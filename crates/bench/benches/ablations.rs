@@ -1,0 +1,47 @@
+//! Ablation benchmarks for the design choices called out in `DESIGN.md`:
+//!
+//! 1. Bayesian prior vs plug-in estimate of `P_ij` in the NC backbone.
+//! 2. Posterior-variance scoring vs the direct binomial p-value (footnote 2).
+//! 3. HSS distance transform: inverse weight vs negative log.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use backboning::{
+    BackboneExtractor, HighSalienceSkeleton, NoiseCorrected, NoiseCorrectedBinomial,
+};
+use backboning_data::noisy_barabasi_albert;
+use backboning_graph::algorithms::shortest_path::DistanceTransform;
+
+fn ablations(criterion: &mut Criterion) {
+    let network = noisy_barabasi_albert(200, 3, 0.2, 13).expect("valid parameters");
+    let graph = &network.graph;
+
+    let mut group = criterion.benchmark_group("ablations");
+    group.sample_size(10);
+
+    group.bench_function("nc_with_bayesian_prior", |bencher| {
+        let extractor = NoiseCorrected::default();
+        bencher.iter(|| black_box(extractor.score(black_box(graph)).unwrap().len()));
+    });
+    group.bench_function("nc_without_prior", |bencher| {
+        let extractor = NoiseCorrected::without_prior();
+        bencher.iter(|| black_box(extractor.score(black_box(graph)).unwrap().len()));
+    });
+    group.bench_function("nc_binomial_pvalue_variant", |bencher| {
+        let extractor = NoiseCorrectedBinomial::new();
+        bencher.iter(|| black_box(extractor.score(black_box(graph)).unwrap().len()));
+    });
+    group.bench_function("hss_inverse_transform", |bencher| {
+        let extractor = HighSalienceSkeleton::new();
+        bencher.iter(|| black_box(extractor.score(black_box(graph)).unwrap().len()));
+    });
+    group.bench_function("hss_negative_log_transform", |bencher| {
+        let extractor = HighSalienceSkeleton::with_transform(DistanceTransform::NegativeLog);
+        bencher.iter(|| black_box(extractor.score(black_box(graph)).unwrap().len()));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, ablations);
+criterion_main!(benches);

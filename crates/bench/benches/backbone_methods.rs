@@ -1,0 +1,38 @@
+//! Criterion micro-benchmarks of the six backboning methods on a common
+//! country-network workload (supports the Figure 9 method-ordering claim:
+//! NC ≈ NT ≈ DF, HSS and DS far slower).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use backboning_data::{CountryData, CountryDataConfig, CountryNetworkKind};
+use backboning_eval::Method;
+
+fn backbone_methods(criterion: &mut Criterion) {
+    let data = CountryData::generate(&CountryDataConfig {
+        country_count: 80,
+        years: 1,
+        ..CountryDataConfig::default()
+    });
+    let graph = data.network(CountryNetworkKind::Trade, 0);
+
+    let mut group = criterion.benchmark_group("backbone_methods/trade_network");
+    group.sample_size(10);
+    for method in Method::all() {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(method.short_name()),
+            &method,
+            |bencher, method| {
+                bencher.iter(|| {
+                    // DS may legitimately fail (no doubly-stochastic scaling); the
+                    // benchmark measures the attempt either way.
+                    let _ = black_box(method.score(black_box(graph)));
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, backbone_methods);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Criterion benchmarks backing Figure 9: running time of the scalable
+//! methods (NC, DF, NT, MST) on Erdős–Rényi workloads of increasing size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use backboning_data::scalability_workload;
+use backboning_eval::Method;
+
+fn scalability(criterion: &mut Criterion) {
+    let sizes = [10_000usize, 40_000, 160_000];
+    let mut group = criterion.benchmark_group("scalability");
+    group.sample_size(10);
+    for &edges in &sizes {
+        let graph = scalability_workload(edges, 99).expect("valid workload");
+        group.throughput(Throughput::Elements(edges as u64));
+        for method in Method::scalable() {
+            group.bench_with_input(
+                BenchmarkId::new(method.short_name(), edges),
+                &method,
+                |bencher, method| {
+                    bencher.iter(|| {
+                        let scored = method.score(black_box(&graph)).expect("method applies");
+                        black_box(scored.len());
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, scalability);
+criterion_main!(benches);

@@ -1,0 +1,17 @@
+//! Reproduce the Section VI case study: occupation skill co-occurrence
+//! backbones evaluated through community structure and flow prediction.
+
+use backboning_bench::occupation_data;
+use backboning_eval::experiments::case_study;
+
+fn main() {
+    let data = occupation_data();
+    let result = case_study::run(&data, 0.15);
+    println!("Section VI — occupation skill-relatedness case study");
+    println!("{}", result.render());
+    println!(
+        "Paper reference values: codelength gain 15.0% (NC) vs 9.3% (DF); classification\n\
+         modularity 0.192 vs 0.115; NMI 0.423 vs 0.401; flow correlation 0.454 (NC) vs 0.431 (DF)\n\
+         vs 0.390 (full network)."
+    );
+}

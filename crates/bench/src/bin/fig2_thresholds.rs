@@ -1,0 +1,14 @@
+//! Reproduce Figure 2: the distribution of `L̃ij − δ·σ` for δ ∈ {1, 2, 3} on
+//! the Country Space and Business networks.
+
+use backboning_bench::country_data;
+use backboning_data::CountryNetworkKind;
+use backboning_eval::experiments::fig2;
+
+fn main() {
+    let data = country_data();
+    for kind in [CountryNetworkKind::CountrySpace, CountryNetworkKind::Business] {
+        let result = fig2::run(&data, kind, &[1.0, 2.0, 3.0], 25);
+        println!("{}", result.render());
+    }
+}

@@ -1,0 +1,23 @@
+//! Reproduce Figure 4: recovery of the true backbone of synthetic
+//! Barabási–Albert networks under increasing noise, for all six methods.
+
+use backboning_bench::small_mode;
+use backboning_eval::experiments::fig4::{self, RecoveryConfig};
+
+fn main() {
+    let config = if small_mode() {
+        RecoveryConfig {
+            repetitions: 1,
+            nodes: 100,
+            ..RecoveryConfig::default()
+        }
+    } else {
+        RecoveryConfig::default()
+    };
+    println!(
+        "Figure 4 — recovery (Jaccard) of the true BA backbone, {} nodes, {} repetitions",
+        config.nodes, config.repetitions
+    );
+    let result = fig4::run(&config);
+    println!("{}", result.render());
+}

@@ -1,0 +1,22 @@
+//! Reproduce Figure 5: cumulative edge-weight distributions of the six
+//! country networks.
+
+use backboning_bench::country_data;
+use backboning_eval::experiments::fig5;
+
+fn main() {
+    let data = country_data();
+    let result = fig5::run(&data);
+    println!("Figure 5 — edge weight distributions (summary quantiles)");
+    println!("{}", result.render());
+    println!("Full CCDF of the Trade network (weight, share of edges ≥ weight):");
+    let trade = result
+        .distributions
+        .iter()
+        .find(|d| d.kind == backboning_data::CountryNetworkKind::Trade)
+        .expect("Trade network present");
+    let step = (trade.ccdf.len() / 20).max(1);
+    for point in trade.ccdf.iter().step_by(step) {
+        println!("  {:>14.1}  {:.5}", point.value, point.share);
+    }
+}

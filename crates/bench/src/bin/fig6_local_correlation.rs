@@ -1,0 +1,12 @@
+//! Reproduce Figure 6: edge weight vs average neighbouring edge weight
+//! (log–log Pearson correlation) for the six country networks.
+
+use backboning_bench::country_data;
+use backboning_eval::experiments::fig6;
+
+fn main() {
+    let data = country_data();
+    let result = fig6::run(&data);
+    println!("Figure 6 — local correlation of edge weights");
+    println!("{}", result.render());
+}

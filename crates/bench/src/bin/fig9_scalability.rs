@@ -1,0 +1,25 @@
+//! Reproduce Figure 9: running-time scalability on Erdős–Rényi graphs with
+//! average degree 3 and uniform random weights.
+//!
+//! Run with `--release`: the paper's claim is about the *scaling exponent*
+//! (NC ≈ O(|E|^1.14)) and the ordering of methods, not absolute seconds.
+
+use backboning_bench::small_mode;
+use backboning_eval::experiments::fig9;
+use backboning_eval::Method;
+
+fn main() {
+    let (sizes, slow_limit): (Vec<usize>, usize) = if small_mode() {
+        (vec![5_000, 20_000, 80_000], 2_000)
+    } else {
+        (
+            vec![25_000, 100_000, 400_000, 1_600_000, 3_200_000],
+            4_000,
+        )
+    };
+    let methods = Method::all().to_vec();
+    println!("Figure 9 — running time scalability (seconds per method)");
+    println!("(HSS and DS are skipped above {slow_limit} edges, as in the paper)");
+    let result = fig9::run(&methods, &sizes, slow_limit, 9);
+    println!("{}", result.render());
+}

@@ -1,0 +1,97 @@
+//! Run every reproduction experiment in sequence and print the combined
+//! report (the source of `EXPERIMENTS.md`).
+//!
+//! `BACKBONING_SMALL=1 cargo run -p backboning-bench --bin reproduce_all`
+//! runs the reduced configuration in a couple of minutes; the default
+//! configuration is meant to be run with `--release`.
+
+use backboning_bench::{country_data, occupation_data, small_mode, sweep_shares};
+use backboning_data::CountryNetworkKind;
+use backboning_eval::experiments::{case_study, fig2, fig3, fig4, fig5, fig6, fig7, fig8, fig9, table1, table2};
+use backboning_eval::Method;
+
+fn main() {
+    let small = small_mode();
+    let data = country_data();
+    let methods: Vec<Method> = if small {
+        vec![
+            Method::NaiveThreshold,
+            Method::MaximumSpanningTree,
+            Method::DisparityFilter,
+            Method::NoiseCorrected,
+        ]
+    } else {
+        Method::all().to_vec()
+    };
+
+    println!("================================================================");
+    println!("Figure 2 — threshold distributions");
+    println!("================================================================");
+    for kind in [CountryNetworkKind::CountrySpace, CountryNetworkKind::Business] {
+        println!("{}", fig2::run(&data, kind, &[1.0, 2.0, 3.0], 25).render());
+    }
+
+    println!("================================================================");
+    println!("Figure 3 — toy example");
+    println!("================================================================");
+    println!("{}", fig3::run().render());
+
+    println!("================================================================");
+    println!("Figure 4 — recovery under noise");
+    println!("================================================================");
+    let fig4_config = if small {
+        fig4::RecoveryConfig {
+            nodes: 100,
+            repetitions: 1,
+            ..fig4::RecoveryConfig::default()
+        }
+    } else {
+        fig4::RecoveryConfig::default()
+    };
+    println!("{}", fig4::run(&fig4_config).render());
+
+    println!("================================================================");
+    println!("Figure 5 — edge weight distributions");
+    println!("================================================================");
+    println!("{}", fig5::run(&data).render());
+
+    println!("================================================================");
+    println!("Figure 6 — local weight correlation");
+    println!("================================================================");
+    println!("{}", fig6::run(&data).render());
+
+    println!("================================================================");
+    println!("Table I — variance validation");
+    println!("================================================================");
+    println!("{}", table1::run(&data).render());
+
+    println!("================================================================");
+    println!("Figure 7 — coverage");
+    println!("================================================================");
+    println!("{}", fig7::run(&data, &methods, &sweep_shares()).render());
+
+    println!("================================================================");
+    println!("Table II — predictive quality");
+    println!("================================================================");
+    println!("{}", table2::run(&data, &methods, 0.2).render());
+
+    println!("================================================================");
+    println!("Figure 8 — stability");
+    println!("================================================================");
+    println!("{}", fig8::run(&data, &methods, &sweep_shares()).render());
+
+    println!("================================================================");
+    println!("Figure 9 — scalability");
+    println!("================================================================");
+    let (sizes, slow_limit): (Vec<usize>, usize) = if small {
+        (vec![5_000, 20_000], 2_000)
+    } else {
+        (vec![25_000, 100_000, 400_000, 1_600_000], 4_000)
+    };
+    println!("{}", fig9::run(&Method::all(), &sizes, slow_limit, 9).render());
+
+    println!("================================================================");
+    println!("Section VI — occupation case study");
+    println!("================================================================");
+    println!("{}", case_study::run(&occupation_data(), 0.15).render());
+}

@@ -1,0 +1,12 @@
+//! Reproduce Table I: correlation between the NC-predicted variance of the
+//! transformed edge weights and the variance observed across years.
+
+use backboning_bench::country_data;
+use backboning_eval::experiments::table1;
+
+fn main() {
+    let data = country_data();
+    let result = table1::run(&data);
+    println!("Table I — validation of the Noise-Corrected variance estimates");
+    println!("{}", result.render());
+}

@@ -1,0 +1,108 @@
+//! Error types for the backboning algorithms.
+
+use std::fmt;
+
+use backboning_graph::GraphError;
+use backboning_stats::StatsError;
+
+/// Errors produced by backbone extraction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BackboneError {
+    /// The input graph cannot be processed by this method.
+    UnsupportedGraph {
+        /// Name of the method that rejected the graph.
+        method: &'static str,
+        /// Why the graph is unsupported.
+        message: String,
+    },
+    /// A parameter was outside its admissible range.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        parameter: &'static str,
+        /// Description of the constraint that was violated.
+        message: String,
+    },
+    /// An underlying graph operation failed.
+    Graph(GraphError),
+    /// An underlying statistical routine failed.
+    Stats(StatsError),
+}
+
+impl fmt::Display for BackboneError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BackboneError::UnsupportedGraph { method, message } => {
+                write!(f, "{method} cannot process this graph: {message}")
+            }
+            BackboneError::InvalidParameter { parameter, message } => {
+                write!(f, "invalid parameter `{parameter}`: {message}")
+            }
+            BackboneError::Graph(err) => write!(f, "graph error: {err}"),
+            BackboneError::Stats(err) => write!(f, "statistics error: {err}"),
+        }
+    }
+}
+
+impl std::error::Error for BackboneError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            BackboneError::Graph(err) => Some(err),
+            BackboneError::Stats(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<GraphError> for BackboneError {
+    fn from(err: GraphError) -> Self {
+        BackboneError::Graph(err)
+    }
+}
+
+impl From<StatsError> for BackboneError {
+    fn from(err: StatsError) -> Self {
+        BackboneError::Stats(err)
+    }
+}
+
+/// Convenience result alias for backbone extraction.
+pub type BackboneResult<T> = Result<T, BackboneError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_from_substrate_errors() {
+        let graph_err = GraphError::InvalidWeight { weight: -1.0 };
+        let converted: BackboneError = graph_err.into();
+        assert!(matches!(converted, BackboneError::Graph(_)));
+        assert!(converted.to_string().contains("graph error"));
+
+        let stats_err = StatsError::EmptyInput { operation: "mean" };
+        let converted: BackboneError = stats_err.into();
+        assert!(matches!(converted, BackboneError::Stats(_)));
+    }
+
+    #[test]
+    fn display_unsupported_graph() {
+        let err = BackboneError::UnsupportedGraph {
+            method: "doubly_stochastic",
+            message: "zero column".to_string(),
+        };
+        assert!(err.to_string().contains("doubly_stochastic"));
+        assert!(err.to_string().contains("zero column"));
+    }
+
+    #[test]
+    fn error_source_is_exposed() {
+        use std::error::Error;
+        let err: BackboneError = GraphError::InvalidWeight { weight: -2.0 }.into();
+        assert!(err.source().is_some());
+        let err = BackboneError::InvalidParameter {
+            parameter: "delta",
+            message: "must be positive".to_string(),
+        };
+        assert!(err.source().is_none());
+    }
+}

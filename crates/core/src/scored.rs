@@ -1,0 +1,369 @@
+//! The scored-edge representation shared by all backboning methods.
+//!
+//! Every method assigns each edge a *significance score* such that higher
+//! means "more salient" and the method's natural pruning rule is
+//! `score ≥ threshold`:
+//!
+//! | Method | `score` | threshold meaning |
+//! |---|---|---|
+//! | Noise-Corrected | `L̃ij / sqrt(V[L̃ij])` (standard deviations above the null) | the paper's `δ` |
+//! | NC (binomial p-value variant) | `1 − p` | `1 − p_max` |
+//! | Disparity Filter | `1 − α` | `1 − α_max` |
+//! | High Salience Skeleton | salience ∈ [0, 1] | salience cut |
+//! | Doubly Stochastic | doubly-stochastic weight | weight cut |
+//! | Maximum Spanning Tree | 1 for tree edges, 0 otherwise | any value in (0, 1] |
+//! | Naive Threshold | raw weight | the naive weight cut `δ` |
+//!
+//! On top of thresholding, [`ScoredEdges`] supports selecting the `k` highest
+//! scoring edges or a fixed *share* of edges — the mechanism the paper uses to
+//! compare methods at equal backbone sizes in the coverage, quality and
+//! stability experiments.
+
+use backboning_graph::{NodeId, WeightedGraph};
+
+use crate::error::{BackboneError, BackboneResult};
+
+/// How the two directed scores of an undirected edge are combined.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Symmetrization {
+    /// Keep the larger of the two directional scores (the default of the
+    /// reference implementation: an edge is salient if it is salient in
+    /// either direction).
+    #[default]
+    Max,
+    /// Keep the smaller of the two directional scores (stricter: the edge must
+    /// be salient in both directions).
+    Min,
+    /// Average the two directional scores.
+    Average,
+}
+
+impl Symmetrization {
+    /// Combine two directional scores.
+    pub fn combine(self, a: f64, b: f64) -> f64 {
+        match self {
+            Symmetrization::Max => a.max(b),
+            Symmetrization::Min => a.min(b),
+            Symmetrization::Average => 0.5 * (a + b),
+        }
+    }
+}
+
+/// A single scored edge.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScoredEdge {
+    /// Dense index of the edge in the original graph.
+    pub edge_index: usize,
+    /// Source endpoint in the original graph.
+    pub source: NodeId,
+    /// Target endpoint in the original graph.
+    pub target: NodeId,
+    /// Original edge weight.
+    pub weight: f64,
+    /// Method-specific significance score (higher = more salient).
+    pub score: f64,
+    /// Method-specific raw score, when it differs from `score` (for the
+    /// Noise-Corrected backbone: the transformed lift `L̃ij`).
+    pub raw_score: Option<f64>,
+    /// Standard deviation of the raw score under the null model (NC only).
+    pub std_dev: Option<f64>,
+    /// p-value of the edge under the method's null model, when defined.
+    pub p_value: Option<f64>,
+}
+
+/// The scored edges of a graph under one backboning method.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScoredEdges {
+    method: &'static str,
+    node_count: usize,
+    edges: Vec<ScoredEdge>,
+}
+
+impl ScoredEdges {
+    /// Create a scored-edge set. Intended for use by backbone implementations.
+    pub fn new(method: &'static str, node_count: usize, edges: Vec<ScoredEdge>) -> Self {
+        ScoredEdges {
+            method,
+            node_count,
+            edges,
+        }
+    }
+
+    /// Name of the method that produced the scores.
+    pub fn method(&self) -> &'static str {
+        self.method
+    }
+
+    /// Number of nodes in the original graph.
+    pub fn node_count(&self) -> usize {
+        self.node_count
+    }
+
+    /// Number of scored edges (equals the original graph's edge count).
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Whether there are no scored edges.
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// Iterate over the scored edges in original edge order.
+    pub fn iter(&self) -> impl Iterator<Item = &ScoredEdge> {
+        self.edges.iter()
+    }
+
+    /// The scored edge for a given original edge index, if present.
+    pub fn get(&self, edge_index: usize) -> Option<&ScoredEdge> {
+        self.edges.iter().find(|e| e.edge_index == edge_index)
+    }
+
+    /// All scores, in original edge order.
+    pub fn scores(&self) -> Vec<f64> {
+        self.edges.iter().map(|e| e.score).collect()
+    }
+
+    /// Indices (into the original graph) of edges whose score is at least
+    /// `threshold`.
+    pub fn filter(&self, threshold: f64) -> Vec<usize> {
+        self.edges
+            .iter()
+            .filter(|e| e.score >= threshold)
+            .map(|e| e.edge_index)
+            .collect()
+    }
+
+    /// Edge indices sorted by descending score (ties broken by descending
+    /// weight, then by edge index for determinism).
+    fn ranked_indices(&self) -> Vec<usize> {
+        let mut order: Vec<usize> = (0..self.edges.len()).collect();
+        order.sort_by(|&a, &b| {
+            let ea = &self.edges[a];
+            let eb = &self.edges[b];
+            eb.score
+                .partial_cmp(&ea.score)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| {
+                    eb.weight
+                        .partial_cmp(&ea.weight)
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                })
+                .then_with(|| ea.edge_index.cmp(&eb.edge_index))
+        });
+        order.into_iter().map(|i| self.edges[i].edge_index).collect()
+    }
+
+    /// Indices of the `k` highest scoring edges.
+    pub fn top_k(&self, k: usize) -> Vec<usize> {
+        let mut ranked = self.ranked_indices();
+        ranked.truncate(k);
+        ranked
+    }
+
+    /// Indices of the top `share` (in `[0, 1]`) of edges by score.
+    pub fn top_share(&self, share: f64) -> BackboneResult<Vec<usize>> {
+        if !(0.0..=1.0).contains(&share) {
+            return Err(BackboneError::InvalidParameter {
+                parameter: "share",
+                message: format!("must lie in [0, 1], got {share}"),
+            });
+        }
+        let k = (share * self.edges.len() as f64).round() as usize;
+        Ok(self.top_k(k))
+    }
+
+    /// The score threshold that keeps exactly the top `k` edges (the k-th
+    /// highest score), or `None` when `k` is zero or exceeds the edge count.
+    pub fn threshold_for_count(&self, k: usize) -> Option<f64> {
+        if k == 0 || k > self.edges.len() {
+            return None;
+        }
+        let mut scores = self.scores();
+        scores.sort_by(|a, b| b.partial_cmp(a).unwrap_or(std::cmp::Ordering::Equal));
+        Some(scores[k - 1])
+    }
+
+    /// Build the backbone graph containing edges with score at least `threshold`.
+    pub fn backbone(
+        &self,
+        graph: &WeightedGraph,
+        threshold: f64,
+    ) -> BackboneResult<WeightedGraph> {
+        Ok(graph.subgraph_with_edges(&self.filter(threshold))?)
+    }
+
+    /// Build the backbone graph containing the `k` highest scoring edges.
+    pub fn backbone_top_k(&self, graph: &WeightedGraph, k: usize) -> BackboneResult<WeightedGraph> {
+        Ok(graph.subgraph_with_edges(&self.top_k(k))?)
+    }
+
+    /// Build the backbone graph containing the top `share` of edges by score.
+    pub fn backbone_top_share(
+        &self,
+        graph: &WeightedGraph,
+        share: f64,
+    ) -> BackboneResult<WeightedGraph> {
+        Ok(graph.subgraph_with_edges(&self.top_share(share)?)?)
+    }
+}
+
+impl<'a> IntoIterator for &'a ScoredEdges {
+    type Item = &'a ScoredEdge;
+    type IntoIter = std::slice::Iter<'a, ScoredEdge>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.edges.iter()
+    }
+}
+
+/// The common interface of all backboning methods.
+pub trait BackboneExtractor {
+    /// Human-readable method name (used in reports and benchmarks).
+    fn name(&self) -> &'static str;
+
+    /// Score every edge of the graph.
+    fn score(&self, graph: &WeightedGraph) -> BackboneResult<ScoredEdges>;
+
+    /// Convenience: score the graph and keep edges with score at least
+    /// `threshold`.
+    fn extract(&self, graph: &WeightedGraph, threshold: f64) -> BackboneResult<WeightedGraph> {
+        self.score(graph)?.backbone(graph, threshold)
+    }
+
+    /// Convenience: score the graph and keep the `k` highest scoring edges.
+    fn extract_top_k(&self, graph: &WeightedGraph, k: usize) -> BackboneResult<WeightedGraph> {
+        self.score(graph)?.backbone_top_k(graph, k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use backboning_graph::Direction;
+
+    fn sample_scores() -> (WeightedGraph, ScoredEdges) {
+        let graph = WeightedGraph::from_edges(
+            Direction::Directed,
+            4,
+            vec![(0, 1, 10.0), (1, 2, 5.0), (2, 3, 1.0), (3, 0, 7.0)],
+        )
+        .unwrap();
+        let edges = graph
+            .edges()
+            .map(|e| ScoredEdge {
+                edge_index: e.index,
+                source: e.source,
+                target: e.target,
+                weight: e.weight,
+                score: e.weight / 10.0,
+                raw_score: None,
+                std_dev: None,
+                p_value: None,
+            })
+            .collect();
+        let scored = ScoredEdges::new("test", graph.node_count(), edges);
+        (graph, scored)
+    }
+
+    #[test]
+    fn basic_accessors() {
+        let (_, scored) = sample_scores();
+        assert_eq!(scored.method(), "test");
+        assert_eq!(scored.len(), 4);
+        assert!(!scored.is_empty());
+        assert_eq!(scored.node_count(), 4);
+        assert_eq!(scored.scores(), vec![1.0, 0.5, 0.1, 0.7]);
+        assert!(scored.get(2).is_some());
+        assert!(scored.get(9).is_none());
+    }
+
+    #[test]
+    fn filter_by_threshold() {
+        let (_, scored) = sample_scores();
+        assert_eq!(scored.filter(0.6), vec![0, 3]);
+        assert_eq!(scored.filter(0.0).len(), 4);
+        assert!(scored.filter(2.0).is_empty());
+    }
+
+    #[test]
+    fn top_k_is_sorted_by_score() {
+        let (_, scored) = sample_scores();
+        assert_eq!(scored.top_k(2), vec![0, 3]);
+        assert_eq!(scored.top_k(0), Vec::<usize>::new());
+        assert_eq!(scored.top_k(10).len(), 4);
+    }
+
+    #[test]
+    fn top_share_selects_fraction() {
+        let (_, scored) = sample_scores();
+        assert_eq!(scored.top_share(0.5).unwrap(), vec![0, 3]);
+        assert_eq!(scored.top_share(1.0).unwrap().len(), 4);
+        assert!(scored.top_share(0.0).unwrap().is_empty());
+        assert!(scored.top_share(1.5).is_err());
+    }
+
+    #[test]
+    fn threshold_for_count_matches_filter() {
+        let (_, scored) = sample_scores();
+        let threshold = scored.threshold_for_count(2).unwrap();
+        assert_eq!(scored.filter(threshold).len(), 2);
+        assert_eq!(scored.threshold_for_count(0), None);
+        assert_eq!(scored.threshold_for_count(99), None);
+    }
+
+    #[test]
+    fn backbone_graphs_preserve_node_set() {
+        let (graph, scored) = sample_scores();
+        let backbone = scored.backbone(&graph, 0.6).unwrap();
+        assert_eq!(backbone.node_count(), 4);
+        assert_eq!(backbone.edge_count(), 2);
+
+        let top = scored.backbone_top_k(&graph, 1).unwrap();
+        assert_eq!(top.edge_count(), 1);
+        assert!(top.has_edge(0, 1));
+
+        let share = scored.backbone_top_share(&graph, 0.75).unwrap();
+        assert_eq!(share.edge_count(), 3);
+    }
+
+    #[test]
+    fn ties_are_broken_deterministically() {
+        let graph = WeightedGraph::from_edges(
+            Direction::Directed,
+            3,
+            vec![(0, 1, 5.0), (1, 2, 5.0), (2, 0, 5.0)],
+        )
+        .unwrap();
+        let edges: Vec<ScoredEdge> = graph
+            .edges()
+            .map(|e| ScoredEdge {
+                edge_index: e.index,
+                source: e.source,
+                target: e.target,
+                weight: e.weight,
+                score: 1.0,
+                raw_score: None,
+                std_dev: None,
+                p_value: None,
+            })
+            .collect();
+        let scored = ScoredEdges::new("tied", 3, edges);
+        assert_eq!(scored.top_k(2), vec![0, 1]);
+    }
+
+    #[test]
+    fn symmetrization_combinations() {
+        assert_eq!(Symmetrization::Max.combine(1.0, 2.0), 2.0);
+        assert_eq!(Symmetrization::Min.combine(1.0, 2.0), 1.0);
+        assert_eq!(Symmetrization::Average.combine(1.0, 2.0), 1.5);
+        assert_eq!(Symmetrization::default(), Symmetrization::Max);
+    }
+
+    #[test]
+    fn into_iterator_yields_all_edges() {
+        let (_, scored) = sample_scores();
+        let count = (&scored).into_iter().count();
+        assert_eq!(count, 4);
+    }
+}

@@ -1,0 +1,494 @@
+//! Generator for the synthetic country networks.
+
+use std::collections::BTreeMap;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use backboning_graph::{Direction, WeightedGraph};
+use backboning_stats::sampling::{sample_normal, sample_poisson};
+
+use crate::country::CountryNetworkKind;
+use crate::world::World;
+
+/// Configuration of the synthetic country dataset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CountryDataConfig {
+    /// Number of countries in the synthetic world.
+    pub country_count: usize,
+    /// Number of yearly observations per network (the paper uses 2–4).
+    pub years: usize,
+    /// Number of synthetic products backing the Country Space network.
+    pub product_count: usize,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for CountryDataConfig {
+    fn default() -> Self {
+        CountryDataConfig {
+            country_count: 120,
+            years: 3,
+            product_count: 250,
+            seed: 2017,
+        }
+    }
+}
+
+impl CountryDataConfig {
+    /// A smaller configuration for fast tests.
+    pub fn small() -> Self {
+        CountryDataConfig {
+            country_count: 50,
+            years: 3,
+            product_count: 120,
+            seed: 99,
+        }
+    }
+}
+
+/// The synthetic country dataset: the world, the six networks observed over
+/// several years, and the auxiliary greenfield-FDI matrix used as a predictor
+/// for the Ownership network.
+#[derive(Debug, Clone)]
+pub struct CountryData {
+    /// The synthetic world the networks are built on.
+    pub world: World,
+    networks: BTreeMap<CountryNetworkKind, Vec<WeightedGraph>>,
+    /// Dense `n × n` matrix (row = origin, column = destination) of greenfield
+    /// foreign direct investment, the Table II predictor for Ownership.
+    fdi: Vec<f64>,
+    years: usize,
+}
+
+/// Persistent latent state shared by all yearly observations.
+struct LatentState {
+    /// Economic affinity shock per ordered pair, shared by Trade and Business.
+    economic_affinity: Vec<f64>,
+    /// Migration-specific diaspora shock per ordered pair.
+    diaspora: Vec<f64>,
+    /// Ownership-specific corporate-linkage shock per ordered pair.
+    corporate: Vec<f64>,
+    /// Mobility shock per ordered pair (flights).
+    mobility: Vec<f64>,
+    /// Export portfolio per country: `exports[c][p]` is true when country `c`
+    /// exports product `p` with revealed comparative advantage.
+    exports: Vec<Vec<bool>>,
+}
+
+impl CountryData {
+    /// Generate the dataset.
+    pub fn generate(config: &CountryDataConfig) -> Self {
+        let world = World::generate(config.country_count, config.seed);
+        let mut rng = StdRng::seed_from_u64(config.seed.wrapping_mul(0x9E37_79B9).wrapping_add(7));
+        let latent = Self::latent_state(&world, config, &mut rng);
+
+        let mut networks: BTreeMap<CountryNetworkKind, Vec<WeightedGraph>> = BTreeMap::new();
+        for kind in CountryNetworkKind::all() {
+            let mut yearly = Vec::with_capacity(config.years);
+            for year in 0..config.years {
+                yearly.push(Self::observe_network(&world, &latent, kind, year, &mut rng));
+            }
+            networks.insert(kind, yearly);
+        }
+
+        // Greenfield FDI: proportional to the latent ownership intensity with
+        // its own multiplicative noise (measured in synthetic dollars).
+        let n = world.len();
+        let mut fdi = vec![0.0; n * n];
+        for origin in 0..n {
+            for destination in 0..n {
+                if origin == destination {
+                    continue;
+                }
+                let latent_ownership =
+                    Self::latent_intensity(&world, &latent, CountryNetworkKind::Ownership, origin, destination);
+                if latent_ownership > 0.0 {
+                    let noise = sample_normal(&mut rng, 0.0, 0.3).exp();
+                    fdi[origin * n + destination] =
+                        latent_ownership * 2.5e6 * world.country(destination).gdp_per_capita.sqrt() * noise;
+                }
+            }
+        }
+
+        CountryData {
+            world,
+            networks,
+            fdi,
+            years: config.years,
+        }
+    }
+
+    /// Generate with the default configuration.
+    pub fn generate_default() -> Self {
+        Self::generate(&CountryDataConfig::default())
+    }
+
+    /// Number of yearly observations per network.
+    pub fn years(&self) -> usize {
+        self.years
+    }
+
+    /// The network of the given kind in the given year (0-based).
+    pub fn network(&self, kind: CountryNetworkKind, year: usize) -> &WeightedGraph {
+        &self.networks[&kind][year]
+    }
+
+    /// All yearly observations of a network.
+    pub fn yearly_networks(&self, kind: CountryNetworkKind) -> &[WeightedGraph] {
+        &self.networks[&kind]
+    }
+
+    /// Greenfield FDI from `origin` to `destination`.
+    pub fn fdi_between(&self, origin: usize, destination: usize) -> f64 {
+        self.fdi[origin * self.world.len() + destination]
+    }
+
+    fn pair_index(n: usize, a: usize, b: usize) -> usize {
+        a * n + b
+    }
+
+    fn latent_state(world: &World, config: &CountryDataConfig, rng: &mut StdRng) -> LatentState {
+        let n = world.len();
+        let mut economic_affinity = vec![1.0; n * n];
+        let mut diaspora = vec![1.0; n * n];
+        let mut corporate = vec![1.0; n * n];
+        let mut mobility = vec![1.0; n * n];
+        for a in 0..n {
+            for b in 0..n {
+                if a == b {
+                    continue;
+                }
+                let index = Self::pair_index(n, a, b);
+                economic_affinity[index] = sample_normal(rng, 0.0, 0.9).exp();
+                diaspora[index] = sample_normal(rng, 0.0, 1.1).exp();
+                corporate[index] = sample_normal(rng, 0.0, 1.0).exp();
+                mobility[index] = sample_normal(rng, 0.0, 0.7).exp();
+            }
+        }
+
+        // Product space: each product has a complexity level; countries export
+        // the products whose complexity they can reach (plus idiosyncratic luck).
+        let product_complexity: Vec<f64> = (0..config.product_count)
+            .map(|_| sample_normal(rng, 0.0, 1.0))
+            .collect();
+        let mut exports = vec![vec![false; config.product_count]; n];
+        for (country_index, portfolio) in exports.iter_mut().enumerate() {
+            let eci = world.country(country_index).eci;
+            let diversity_bias = sample_normal(rng, 0.0, 0.5);
+            for (product, &complexity) in product_complexity.iter().enumerate() {
+                let logit = 1.4 * (eci - complexity) + diversity_bias - 0.6;
+                let probability = 1.0 / (1.0 + (-logit).exp());
+                portfolio[product] = rng.random::<f64>() < probability;
+            }
+        }
+
+        LatentState {
+            economic_affinity,
+            diaspora,
+            corporate,
+            mobility,
+            exports,
+        }
+    }
+
+    /// The latent (noise-free) intensity of an ordered pair under one network kind.
+    fn latent_intensity(
+        world: &World,
+        latent: &LatentState,
+        kind: CountryNetworkKind,
+        origin: usize,
+        destination: usize,
+    ) -> f64 {
+        if origin == destination {
+            return 0.0;
+        }
+        let n = world.len();
+        let index = Self::pair_index(n, origin, destination);
+        let o = world.country(origin);
+        let d = world.country(destination);
+        // Scaled units keep the Poisson means in a numerically comfortable range.
+        let gdp_o = o.gdp() / 1e9; // billions
+        let gdp_d = d.gdp() / 1e9;
+        let pop_o = o.population / 1e6; // millions
+        let pop_d = d.population / 1e6;
+        let distance = (world.distance_km(origin, destination) / 1000.0).max(0.1); // thousands of km
+
+        match kind {
+            CountryNetworkKind::Trade => {
+                0.4 * gdp_o.powf(0.85) * gdp_d.powf(0.75) / distance.powf(1.4)
+                    * latent.economic_affinity[index]
+            }
+            CountryNetworkKind::Business => {
+                0.8 * gdp_o.powf(0.55) * gdp_d.powf(0.5) / distance.powf(1.1)
+                    * latent.economic_affinity[index].powf(0.7)
+                    * latent.mobility[index].powf(0.3)
+            }
+            CountryNetworkKind::Flight => {
+                0.15 * (pop_o * o.gdp_per_capita / 1e4).powf(0.7)
+                    * (pop_d * d.gdp_per_capita / 1e4).powf(0.7)
+                    / distance.powf(1.6)
+                    * latent.mobility[index]
+                    * 40.0
+            }
+            CountryNetworkKind::Migration => {
+                let income_pull = (d.gdp_per_capita / o.gdp_per_capita).powf(0.8);
+                let language_boost = if world.common_language(origin, destination) {
+                    3.0
+                } else {
+                    1.0
+                };
+                let history_boost = if world.same_continent(origin, destination) {
+                    1.8
+                } else {
+                    1.0
+                };
+                0.3 * pop_o.powf(0.9) * pop_d.powf(0.45) * income_pull * language_boost
+                    * history_boost
+                    / distance.powf(1.2)
+                    * latent.diaspora[index]
+            }
+            CountryNetworkKind::Ownership => {
+                0.02 * gdp_o.powf(0.8) * gdp_d.powf(0.45) / distance.powf(0.7)
+                    * (o.gdp_per_capita / 1e4).powf(0.6)
+                    * latent.corporate[index]
+            }
+            CountryNetworkKind::CountrySpace => {
+                // Handled separately (product co-occurrences); this path is only
+                // used by the FDI helper, never for CountrySpace.
+                0.0
+            }
+        }
+    }
+
+    /// Observe a network for one year: latent intensity × year drift, pushed
+    /// through Poisson count noise. Zero-count pairs are omitted.
+    fn observe_network(
+        world: &World,
+        latent: &LatentState,
+        kind: CountryNetworkKind,
+        year: usize,
+        rng: &mut StdRng,
+    ) -> WeightedGraph {
+        let n = world.len();
+        let direction = if kind.is_directed() {
+            Direction::Directed
+        } else {
+            Direction::Undirected
+        };
+        let mut graph = WeightedGraph::new(direction);
+        for country in world.countries() {
+            graph
+                .add_labeled_node(country.code.clone())
+                .expect("country codes are unique");
+        }
+        // Mild global growth plus a small pair-level transient each year.
+        let growth = 1.0 + 0.04 * year as f64;
+
+        if kind == CountryNetworkKind::CountrySpace {
+            // Co-occurrence counts with a small yearly re-measurement of the
+            // export portfolios (a few percent of entries flip).
+            let flip_probability = 0.02 * year as f64;
+            let mut portfolios = latent.exports.clone();
+            if flip_probability > 0.0 {
+                for portfolio in &mut portfolios {
+                    for entry in portfolio.iter_mut() {
+                        if rng.random::<f64>() < flip_probability {
+                            *entry = !*entry;
+                        }
+                    }
+                }
+            }
+            for a in 0..n {
+                for b in (a + 1)..n {
+                    let shared = portfolios[a]
+                        .iter()
+                        .zip(&portfolios[b])
+                        .filter(|(&x, &y)| x && y)
+                        .count();
+                    if shared > 0 {
+                        graph.add_edge(a, b, shared as f64).expect("valid edge");
+                    }
+                }
+            }
+            return graph;
+        }
+
+        for origin in 0..n {
+            for destination in 0..n {
+                if origin == destination {
+                    continue;
+                }
+                let intensity = Self::latent_intensity(world, latent, kind, origin, destination);
+                if intensity <= 0.0 {
+                    continue;
+                }
+                let transient = sample_normal(rng, 0.0, 0.08).exp();
+                let expected = intensity * growth * transient;
+                // Cap the Poisson mean to keep the synthetic totals finite while
+                // preserving ~7 orders of magnitude of weight heterogeneity.
+                let observed = sample_poisson(rng, expected.min(2.0e8));
+                if observed > 0 {
+                    graph
+                        .add_edge(origin, destination, observed as f64)
+                        .expect("valid edge");
+                }
+            }
+        }
+        graph
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use backboning_graph::algorithms::degree::{edge_neighbor_weight_pairs, edge_weights};
+    use backboning_stats::correlation::{log_log_pearson, spearman};
+
+    fn small_data() -> CountryData {
+        CountryData::generate(&CountryDataConfig::small())
+    }
+
+    #[test]
+    fn all_networks_and_years_are_generated() {
+        let data = small_data();
+        assert_eq!(data.years(), 3);
+        for kind in CountryNetworkKind::all() {
+            assert_eq!(data.yearly_networks(kind).len(), 3);
+            for year in 0..3 {
+                let graph = data.network(kind, year);
+                assert_eq!(graph.node_count(), data.world.len());
+                assert!(graph.edge_count() > 0, "{} year {year} has no edges", kind.name());
+                assert_eq!(graph.is_directed(), kind.is_directed());
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let config = CountryDataConfig::small();
+        let a = CountryData::generate(&config);
+        let b = CountryData::generate(&config);
+        for kind in CountryNetworkKind::all() {
+            let weights_a = edge_weights(a.network(kind, 0));
+            let weights_b = edge_weights(b.network(kind, 0));
+            assert_eq!(weights_a, weights_b, "{} not deterministic", kind.name());
+        }
+    }
+
+    #[test]
+    fn trade_weights_are_heavy_tailed() {
+        let data = small_data();
+        let weights = edge_weights(data.network(CountryNetworkKind::Trade, 0));
+        let max = weights.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let mut sorted = weights.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = sorted[sorted.len() / 2];
+        let min = sorted[0];
+        // The paper's Trade network spans ~10 orders of magnitude; the synthetic
+        // stand-in must span several orders end to end even in the small test
+        // configuration (the default 120-country configuration spans more) and
+        // keep a heavy upper tail relative to the median.
+        assert!(max / min > 3e4, "span = {} too narrow", max / min);
+        assert!(max / median > 500.0, "max/median = {} not heavy-tailed", max / median);
+    }
+
+    #[test]
+    fn edge_weights_are_locally_correlated() {
+        // The Figure 6 property: an edge's weight correlates (in log-log space)
+        // with the average weight of neighbouring edges.
+        let data = small_data();
+        for kind in [CountryNetworkKind::Trade, CountryNetworkKind::Flight] {
+            let graph = data.network(kind, 0);
+            let pairs = edge_neighbor_weight_pairs(graph);
+            let own: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+            let neighbor: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+            let (correlation, used) = log_log_pearson(&own, &neighbor).unwrap();
+            assert!(used > 100);
+            assert!(
+                correlation > 0.2,
+                "{}: local weight correlation {correlation} too low",
+                kind.name()
+            );
+        }
+    }
+
+    #[test]
+    fn consecutive_years_are_strongly_correlated() {
+        // The latent structure changes slowly; year-on-year Spearman correlation
+        // of common edges must be high (the paper's stability floor is ~0.84).
+        let data = small_data();
+        for kind in CountryNetworkKind::all() {
+            let year0 = data.network(kind, 0);
+            let year1 = data.network(kind, 1);
+            let mut weights0 = Vec::new();
+            let mut weights1 = Vec::new();
+            for edge in year0.edges() {
+                if let Some(other) = year1.edge_weight(edge.source, edge.target) {
+                    weights0.push(edge.weight);
+                    weights1.push(other);
+                }
+            }
+            assert!(weights0.len() > 50, "{}: too few common edges", kind.name());
+            let rho = spearman(&weights0, &weights1).unwrap();
+            assert!(rho > 0.7, "{}: year-on-year Spearman {rho} too low", kind.name());
+        }
+    }
+
+    #[test]
+    fn country_space_is_undirected_cooccurrence() {
+        let data = small_data();
+        let graph = data.network(CountryNetworkKind::CountrySpace, 0);
+        assert!(!graph.is_directed());
+        for edge in graph.edges() {
+            assert!(edge.weight.fract() == 0.0, "co-occurrence counts must be integers");
+            assert!(edge.weight >= 1.0);
+        }
+    }
+
+    #[test]
+    fn fdi_is_positive_and_correlates_with_ownership() {
+        let data = small_data();
+        let ownership = data.network(CountryNetworkKind::Ownership, 0);
+        let mut fdi_values = Vec::new();
+        let mut ownership_values = Vec::new();
+        for edge in ownership.edges() {
+            let fdi = data.fdi_between(edge.source, edge.target);
+            if fdi > 0.0 {
+                fdi_values.push(fdi);
+                ownership_values.push(edge.weight);
+            }
+        }
+        assert!(fdi_values.len() > 50);
+        let (correlation, _) = log_log_pearson(&fdi_values, &ownership_values).unwrap();
+        assert!(correlation > 0.5, "FDI/ownership correlation {correlation} too weak");
+    }
+
+    #[test]
+    fn migration_prefers_common_language() {
+        let data = small_data();
+        let graph = data.network(CountryNetworkKind::Migration, 0);
+        let world = &data.world;
+        let mut same_language = Vec::new();
+        let mut different_language = Vec::new();
+        for edge in graph.edges() {
+            if world.common_language(edge.source, edge.target) {
+                same_language.push(edge.weight.ln());
+            } else {
+                different_language.push(edge.weight.ln());
+            }
+        }
+        let mean = |v: &Vec<f64>| v.iter().sum::<f64>() / v.len() as f64;
+        assert!(!same_language.is_empty() && !different_language.is_empty());
+        assert!(mean(&same_language) > mean(&different_language));
+    }
+
+    #[test]
+    fn node_labels_match_country_codes() {
+        let data = small_data();
+        let graph = data.network(CountryNetworkKind::Trade, 0);
+        for (index, country) in data.world.countries().iter().enumerate() {
+            assert_eq!(graph.label(index), Some(country.code.as_str()));
+        }
+    }
+}

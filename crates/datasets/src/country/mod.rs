@@ -1,0 +1,99 @@
+//! Synthetic country–country networks.
+//!
+//! The six networks of the paper's evaluation (Section V-B) are rebuilt here
+//! from a synthetic world, because the originals come from proprietary data
+//! providers. Each network is generated from a *latent* gravity-model
+//! intensity per country pair — persistent across years — observed through
+//! Poisson count noise in every year. This reproduces the properties the
+//! evaluation depends on: heavy-tailed weights, weights locally correlated
+//! with node sizes, count-data noise, and year-on-year stability of the latent
+//! structure.
+//!
+//! | Network | Type | Latent intensity driven by |
+//! |---|---|---|
+//! | Business | directed flow | economic affinity (shared with Trade), GDP of both ends, distance |
+//! | Country Space | undirected co-occurrence | number of products both countries export competitively |
+//! | Flight | directed flow | populations, incomes and distance (a classic gravity model) |
+//! | Migration | directed stock | origin population, destination income, distance, common language/continent |
+//! | Ownership | directed stock | origin GDP, destination GDP, distance; proportional to greenfield FDI |
+//! | Trade | directed flow | economic affinity, GDP of both ends, distance |
+
+mod generator;
+
+pub use generator::{CountryData, CountryDataConfig};
+
+/// The six country-network types of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum CountryNetworkKind {
+    /// Corporate credit-card expenditure flows (directed flow network).
+    Business,
+    /// Product-export co-occurrences (undirected co-occurrence network).
+    CountrySpace,
+    /// Airline passenger capacity (directed flow network).
+    Flight,
+    /// Migrant stocks by origin and destination (directed stock network).
+    Migration,
+    /// Foreign establishments reporting to a global headquarter (directed stock network).
+    Ownership,
+    /// Dollar value of exports (directed flow network).
+    Trade,
+}
+
+impl CountryNetworkKind {
+    /// All six kinds, in the paper's alphabetical discussion order.
+    pub fn all() -> [CountryNetworkKind; 6] {
+        [
+            CountryNetworkKind::Business,
+            CountryNetworkKind::CountrySpace,
+            CountryNetworkKind::Flight,
+            CountryNetworkKind::Migration,
+            CountryNetworkKind::Ownership,
+            CountryNetworkKind::Trade,
+        ]
+    }
+
+    /// Human-readable name matching the paper's tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            CountryNetworkKind::Business => "Business",
+            CountryNetworkKind::CountrySpace => "Country Space",
+            CountryNetworkKind::Flight => "Flight",
+            CountryNetworkKind::Migration => "Migration",
+            CountryNetworkKind::Ownership => "Ownership",
+            CountryNetworkKind::Trade => "Trade",
+        }
+    }
+
+    /// Whether the network is directed.
+    pub fn is_directed(&self) -> bool {
+        !matches!(self, CountryNetworkKind::CountrySpace)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn six_kinds_with_stable_names() {
+        let all = CountryNetworkKind::all();
+        assert_eq!(all.len(), 6);
+        let names: Vec<&str> = all.iter().map(|k| k.name()).collect();
+        assert_eq!(
+            names,
+            vec!["Business", "Country Space", "Flight", "Migration", "Ownership", "Trade"]
+        );
+    }
+
+    #[test]
+    fn only_country_space_is_undirected() {
+        for kind in CountryNetworkKind::all() {
+            assert_eq!(
+                kind.is_directed(),
+                kind != CountryNetworkKind::CountrySpace,
+                "direction mismatch for {}",
+                kind.name()
+            );
+        }
+    }
+}

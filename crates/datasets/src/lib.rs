@@ -1,0 +1,51 @@
+//! # backboning-data
+//!
+//! Dataset substrate for the `backboning-rs` workspace, a Rust reproduction of
+//! *Network Backboning with Noisy Data* (Coscia & Neffke, ICDE 2017).
+//!
+//! The paper's evaluation uses six country–country networks built from
+//! proprietary sources (Mastercard corporate-card flows, OAG flight capacity,
+//! Dun & Bradstreet ownership records, UN migration stocks, BACI trade data,
+//! Atlas of Economic Complexity product data) plus public O*NET/CPS data for
+//! the occupation case study. None of those datasets can be redistributed, so
+//! this crate generates **synthetic equivalents** that reproduce the
+//! structural properties the paper's claims rest on:
+//!
+//! * broad, heavy-tailed edge-weight distributions spanning several orders of
+//!   magnitude (Figure 5);
+//! * edge weights locally correlated with topology — the weight of an edge
+//!   correlates with the weights of neighbouring edges (Figure 6);
+//! * count-data measurement noise on top of a slowly changing latent structure,
+//!   observed in several consecutive years (Table I, Figure 8);
+//! * a mix of directed flows, directed stocks and undirected co-occurrences;
+//! * an occupation–skill co-occurrence network whose latent block structure
+//!   matches an expert classification, together with labor flows driven by
+//!   skill similarity (Section VI).
+//!
+//! Everything is deterministic given a seed. See `DESIGN.md` at the repository
+//! root for the full substitution rationale.
+//!
+//! Modules:
+//!
+//! * [`world`] — the synthetic world: countries with population, GDP, economic
+//!   complexity, coordinates, continents and language families.
+//! * [`country`] — gravity-model generators for the six country networks,
+//!   observed over several years with count noise.
+//! * [`occupations`] — the O*NET-like occupation/skill model and labor flows
+//!   for the case study.
+//! * [`synthetic`] — the Barabási–Albert-plus-noise generator of the paper's
+//!   synthetic recovery experiment (Figure 4) and the Erdős–Rényi workloads of
+//!   the scalability experiment (Figure 9).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod country;
+pub mod occupations;
+pub mod synthetic;
+pub mod world;
+
+pub use country::{CountryData, CountryDataConfig, CountryNetworkKind};
+pub use occupations::{OccupationData, OccupationDataConfig};
+pub use synthetic::{noisy_barabasi_albert, scalability_workload, NoisySyntheticNetwork};
+pub use world::{Country, World};

@@ -1,0 +1,303 @@
+//! Synthetic occupation/skill data for the case study (paper, Section VI).
+//!
+//! The paper measures skill relatedness between occupations from O*NET
+//! (which skills matter for which occupation) and validates it against
+//! occupation-switching flows from the Current Population Survey. Those
+//! datasets are public but large and require cleaning; this module generates a
+//! synthetic equivalent with the properties the case study needs:
+//!
+//! * occupations are organised in *major groups* (the first digit of the
+//!   classification code) — the expert ground truth the backbones are judged
+//!   against;
+//! * every occupation uses a mix of *generic* skills (shared by most
+//!   occupations — the source of noisy co-occurrence edges the paper talks
+//!   about) and *group-specific* skills (the latent structure);
+//! * labor flows between occupations grow with skill similarity and with the
+//!   sizes of the two occupations, plus count noise.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use backboning_graph::{Direction, WeightedGraph};
+use backboning_stats::sampling::{sample_log_normal, sample_poisson};
+
+/// Configuration of the synthetic occupation dataset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OccupationDataConfig {
+    /// Number of occupations.
+    pub occupation_count: usize,
+    /// Number of major groups (first classification digit).
+    pub major_groups: usize,
+    /// Number of distinct skills and tasks.
+    pub skill_count: usize,
+    /// Share of skills that are generic (used by most occupations regardless of group).
+    pub generic_skill_share: f64,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for OccupationDataConfig {
+    fn default() -> Self {
+        OccupationDataConfig {
+            occupation_count: 120,
+            major_groups: 10,
+            skill_count: 250,
+            generic_skill_share: 0.3,
+            seed: 2009,
+        }
+    }
+}
+
+impl OccupationDataConfig {
+    /// A smaller configuration for fast tests.
+    pub fn small() -> Self {
+        OccupationDataConfig {
+            occupation_count: 60,
+            major_groups: 6,
+            skill_count: 120,
+            generic_skill_share: 0.3,
+            seed: 7,
+        }
+    }
+}
+
+/// The synthetic occupation dataset.
+#[derive(Debug, Clone)]
+pub struct OccupationData {
+    /// Occupation titles (synthetic codes such as `"31-0042"`, where the
+    /// leading digits encode the major group).
+    pub titles: Vec<String>,
+    /// Major group (first digit of the classification) of every occupation.
+    pub major_group: Vec<usize>,
+    /// Employment size of every occupation (number of workers).
+    pub sizes: Vec<f64>,
+    /// Binary occupation × skill matrix: `skills[o][s]` is true when skill `s`
+    /// is important for occupation `o`.
+    pub skills: Vec<Vec<bool>>,
+    /// The undirected skill co-occurrence network: the weight of `(i, j)` is
+    /// the number of skills occupations `i` and `j` share.
+    pub co_occurrence: WeightedGraph,
+    /// The directed labor-flow network: the weight of `(i, j)` is the number of
+    /// workers switching from occupation `i` to occupation `j` in one year.
+    pub flows: WeightedGraph,
+}
+
+impl OccupationData {
+    /// Generate the dataset.
+    pub fn generate(config: &OccupationDataConfig) -> Self {
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let n = config.occupation_count;
+        let groups = config.major_groups.max(1);
+        let generic_skills = (config.skill_count as f64 * config.generic_skill_share) as usize;
+        let specific_skills = config.skill_count - generic_skills;
+        let skills_per_group = (specific_skills / groups).max(1);
+
+        let mut titles = Vec::with_capacity(n);
+        let mut major_group = Vec::with_capacity(n);
+        let mut sizes = Vec::with_capacity(n);
+        let mut skills = Vec::with_capacity(n);
+
+        for occupation in 0..n {
+            let group = occupation % groups;
+            titles.push(format!("{}{}-{:04}", group / 10 + 1, group % 10, occupation));
+            major_group.push(group);
+            sizes.push(sample_log_normal(&mut rng, 11.0, 0.9).clamp(2_000.0, 8_000_000.0));
+
+            let mut portfolio = vec![false; config.skill_count];
+            // Generic skills: most occupations use most of them.
+            for skill in 0..generic_skills {
+                portfolio[skill] = rng.random::<f64>() < 0.6;
+            }
+            // Group-specific skills: high probability within the own group's
+            // block, low probability elsewhere (cross-group skill overlap).
+            for skill in 0..specific_skills {
+                let skill_group = (skill / skills_per_group).min(groups - 1);
+                let probability = if skill_group == group { 0.7 } else { 0.04 };
+                portfolio[generic_skills + skill] = rng.random::<f64>() < probability;
+            }
+            skills.push(portfolio);
+        }
+
+        // Skill co-occurrence network.
+        let mut co_occurrence = WeightedGraph::new(Direction::Undirected);
+        for title in &titles {
+            co_occurrence
+                .add_labeled_node(title.clone())
+                .expect("titles are unique");
+        }
+        for a in 0..n {
+            for b in (a + 1)..n {
+                let shared = skills[a]
+                    .iter()
+                    .zip(&skills[b])
+                    .filter(|(&x, &y)| x && y)
+                    .count();
+                if shared > 0 {
+                    co_occurrence.add_edge(a, b, shared as f64).expect("valid edge");
+                }
+            }
+        }
+
+        // Labor flows: driven by the *latent* similarity (specific-skill overlap)
+        // plus origin/destination sizes, observed through Poisson noise.
+        let mut flows = WeightedGraph::new(Direction::Directed);
+        for title in &titles {
+            flows.add_labeled_node(title.clone()).expect("titles are unique");
+        }
+        for origin in 0..n {
+            for destination in 0..n {
+                if origin == destination {
+                    continue;
+                }
+                let specific_overlap = skills[origin][generic_skills..]
+                    .iter()
+                    .zip(&skills[destination][generic_skills..])
+                    .filter(|(&x, &y)| x && y)
+                    .count() as f64;
+                let size_effect =
+                    (sizes[origin] / 1e5).powf(0.6) * (sizes[destination] / 1e5).powf(0.5);
+                let expected = 0.6 * size_effect * (0.15 + specific_overlap).powf(1.3);
+                let observed = sample_poisson(&mut rng, expected.min(1.0e6));
+                if observed > 0 {
+                    flows
+                        .add_edge(origin, destination, observed as f64)
+                        .expect("valid edge");
+                }
+            }
+        }
+
+        OccupationData {
+            titles,
+            major_group,
+            sizes,
+            skills,
+            co_occurrence,
+            flows,
+        }
+    }
+
+    /// Generate with the default configuration.
+    pub fn generate_default() -> Self {
+        Self::generate(&OccupationDataConfig::default())
+    }
+
+    /// Number of occupations.
+    pub fn occupation_count(&self) -> usize {
+        self.titles.len()
+    }
+
+    /// Total outgoing switches of every occupation (the `S_i.` size control of
+    /// the case-study regression).
+    pub fn outgoing_switches(&self) -> Vec<f64> {
+        (0..self.occupation_count())
+            .map(|o| self.flows.out_strength(o))
+            .collect()
+    }
+
+    /// Total incoming switches of every occupation (the `S_.j` size control).
+    pub fn incoming_switches(&self) -> Vec<f64> {
+        (0..self.occupation_count())
+            .map(|o| self.flows.in_strength(o))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use backboning_stats::correlation::pearson;
+
+    fn small_data() -> OccupationData {
+        OccupationData::generate(&OccupationDataConfig::small())
+    }
+
+    #[test]
+    fn basic_shape() {
+        let data = small_data();
+        assert_eq!(data.occupation_count(), 60);
+        assert_eq!(data.major_group.len(), 60);
+        assert_eq!(data.sizes.len(), 60);
+        assert_eq!(data.skills.len(), 60);
+        assert_eq!(data.co_occurrence.node_count(), 60);
+        assert_eq!(data.flows.node_count(), 60);
+        assert!(data.co_occurrence.edge_count() > 0);
+        assert!(data.flows.edge_count() > 0);
+        assert!(!data.co_occurrence.is_directed());
+        assert!(data.flows.is_directed());
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let config = OccupationDataConfig::small();
+        let a = OccupationData::generate(&config);
+        let b = OccupationData::generate(&config);
+        assert_eq!(a.titles, b.titles);
+        assert_eq!(a.co_occurrence.edge_count(), b.co_occurrence.edge_count());
+        assert_eq!(a.flows.edge_count(), b.flows.edge_count());
+    }
+
+    #[test]
+    fn co_occurrence_is_dense_and_noisy() {
+        // Generic skills make almost every pair of occupations share something:
+        // this is the "hairball" that motivates backboning in the first place.
+        let data = small_data();
+        let n = data.occupation_count();
+        let possible = n * (n - 1) / 2;
+        let density = data.co_occurrence.edge_count() as f64 / possible as f64;
+        assert!(density > 0.8, "co-occurrence density {density} too low to be a hairball");
+    }
+
+    #[test]
+    fn within_group_pairs_share_more_skills() {
+        let data = small_data();
+        let mut within = Vec::new();
+        let mut across = Vec::new();
+        for edge in data.co_occurrence.edges() {
+            if data.major_group[edge.source] == data.major_group[edge.target] {
+                within.push(edge.weight);
+            } else {
+                across.push(edge.weight);
+            }
+        }
+        let mean = |v: &Vec<f64>| v.iter().sum::<f64>() / v.len() as f64;
+        assert!(mean(&within) > mean(&across) * 1.2);
+    }
+
+    #[test]
+    fn flows_correlate_with_skill_overlap() {
+        // The case study's premise: common skills predict switching flows.
+        let data = small_data();
+        let mut overlaps = Vec::new();
+        let mut flow_weights = Vec::new();
+        for edge in data.flows.edges() {
+            let overlap = data
+                .co_occurrence
+                .edge_weight(edge.source, edge.target)
+                .unwrap_or(0.0);
+            overlaps.push(overlap);
+            flow_weights.push(edge.weight);
+        }
+        let correlation = pearson(&overlaps, &flow_weights).unwrap();
+        assert!(correlation > 0.2, "flow/skill correlation {correlation} too weak");
+    }
+
+    #[test]
+    fn switch_totals_are_consistent_with_flows() {
+        let data = small_data();
+        let outgoing = data.outgoing_switches();
+        let incoming = data.incoming_switches();
+        let total_out: f64 = outgoing.iter().sum();
+        let total_in: f64 = incoming.iter().sum();
+        assert!((total_out - total_in).abs() < 1e-9);
+        assert!((total_out - data.flows.total_weight()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn titles_encode_major_groups() {
+        let data = small_data();
+        for (occupation, title) in data.titles.iter().enumerate() {
+            assert!(title.contains('-'));
+            assert_eq!(data.major_group[occupation], occupation % 6);
+        }
+    }
+}

@@ -1,0 +1,211 @@
+//! Synthetic noisy networks (paper, Sections V-A and V-G).
+//!
+//! * [`noisy_barabasi_albert`] reproduces the Figure 4 workload: a
+//!   Barabási–Albert network whose true edges carry weight
+//!   `(k_i + k_j) · U(η, 1)` while every *non*-edge of the original topology is
+//!   filled with a noisy weight `(k_i + k_j) · U(0, η)`. The noise parameter
+//!   `η ∈ [0, 1]` controls how much the noise floor overlaps the true weights.
+//! * [`scalability_workload`] reproduces the Figure 9 workload: Erdős–Rényi
+//!   graphs with average degree 3 and uniform random weights, scaled up to
+//!   millions of edges.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use backboning_graph::generators::{barabasi_albert, erdos_renyi};
+use backboning_graph::{Direction, GraphError, GraphResult, WeightedGraph};
+
+/// A synthetic network with known ground truth: the full noisy graph plus the
+/// set of edges that belong to the true underlying network.
+#[derive(Debug, Clone)]
+pub struct NoisySyntheticNetwork {
+    /// The observed graph: true edges plus noise edges filling the rest of the
+    /// adjacency matrix.
+    pub graph: WeightedGraph,
+    /// For every edge index of [`NoisySyntheticNetwork::graph`], whether the
+    /// edge belongs to the true underlying network.
+    pub is_true_edge: Vec<bool>,
+    /// Number of true edges.
+    pub true_edge_count: usize,
+}
+
+impl NoisySyntheticNetwork {
+    /// The edge indices of the true underlying network.
+    pub fn true_edge_indices(&self) -> Vec<usize> {
+        self.is_true_edge
+            .iter()
+            .enumerate()
+            .filter_map(|(index, &is_true)| if is_true { Some(index) } else { None })
+            .collect()
+    }
+}
+
+/// Generate the Figure 4 workload: a Barabási–Albert network with `nodes`
+/// nodes and `edges_per_node` attachments, whose complement is filled with
+/// noise controlled by `eta ∈ [0, 1]`.
+///
+/// * True edge `(i, j)`: weight `(k_i + k_j) · U(eta, 1)`.
+/// * Noise edge `(i, j)` (any pair not connected in the BA network): weight
+///   `(k_i + k_j) · U(0, eta)`.
+///
+/// With `eta = 0` the noise disappears entirely; at `eta = 0.3` (the paper's
+/// maximum) noise weights overlap substantially with true weights.
+pub fn noisy_barabasi_albert(
+    nodes: usize,
+    edges_per_node: usize,
+    eta: f64,
+    seed: u64,
+) -> GraphResult<NoisySyntheticNetwork> {
+    if !(0.0..=1.0).contains(&eta) {
+        return Err(GraphError::InvalidParameter {
+            parameter: "eta",
+            message: format!("noise level must lie in [0, 1], got {eta}"),
+        });
+    }
+    let skeleton = barabasi_albert(nodes, edges_per_node, seed)?;
+    let degrees: Vec<usize> = skeleton.nodes().map(|n| skeleton.degree(n)).collect();
+    let mut rng = StdRng::seed_from_u64(seed.wrapping_add(0xABCD_EF01));
+
+    let mut graph = WeightedGraph::with_nodes(Direction::Undirected, nodes);
+    let mut is_true_edge = Vec::new();
+    let mut true_edge_count = 0usize;
+
+    for i in 0..nodes {
+        for j in (i + 1)..nodes {
+            let degree_sum = (degrees[i] + degrees[j]) as f64;
+            if skeleton.has_edge(i, j) {
+                // True edge: a fraction of at least eta of the degree sum.
+                let factor = if eta < 1.0 {
+                    rng.random_range(eta..1.0)
+                } else {
+                    1.0
+                };
+                graph.add_edge(i, j, degree_sum * factor)?;
+                is_true_edge.push(true);
+                true_edge_count += 1;
+            } else {
+                // Noise edge: at most a fraction eta of the degree sum.
+                let factor = if eta > 0.0 {
+                    rng.random_range(0.0..eta)
+                } else {
+                    0.0
+                };
+                let weight = degree_sum * factor;
+                if weight > 0.0 {
+                    graph.add_edge(i, j, weight)?;
+                    is_true_edge.push(false);
+                }
+            }
+        }
+    }
+
+    Ok(NoisySyntheticNetwork {
+        graph,
+        is_true_edge,
+        true_edge_count,
+    })
+}
+
+/// Generate the Figure 9 scalability workload: an Erdős–Rényi graph with
+/// `edges` edges over `edges / 3 × 2` nodes (average degree ≈ 3) and uniform
+/// random weights in `(0, 100]`.
+pub fn scalability_workload(edges: usize, seed: u64) -> GraphResult<WeightedGraph> {
+    let nodes = (edges * 2 / 3).max(4);
+    erdos_renyi(nodes, edges, 100.0, Direction::Undirected, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn true_edges_match_ba_skeleton_size() {
+        let network = noisy_barabasi_albert(200, 3, 0.1, 42).unwrap();
+        // BA with m = 3 over 200 nodes: 6 seed edges + 3·196 attachments.
+        assert_eq!(network.true_edge_count, 3 * 196 + 6);
+        assert_eq!(
+            network.true_edge_indices().len(),
+            network.true_edge_count
+        );
+        assert_eq!(network.is_true_edge.len(), network.graph.edge_count());
+    }
+
+    #[test]
+    fn zero_noise_contains_only_true_edges() {
+        let network = noisy_barabasi_albert(100, 3, 0.0, 1).unwrap();
+        assert_eq!(network.graph.edge_count(), network.true_edge_count);
+        assert!(network.is_true_edge.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn noise_fills_the_complement() {
+        let network = noisy_barabasi_albert(100, 3, 0.2, 1).unwrap();
+        let possible_pairs = 100 * 99 / 2;
+        // With eta = 0.2 essentially every non-edge receives a positive weight.
+        assert!(network.graph.edge_count() > possible_pairs * 9 / 10);
+        assert!(network.graph.edge_count() > network.true_edge_count);
+    }
+
+    #[test]
+    fn true_edges_are_heavier_than_noise_on_average() {
+        let network = noisy_barabasi_albert(150, 3, 0.25, 5).unwrap();
+        let mut true_sum = 0.0;
+        let mut true_count = 0usize;
+        let mut noise_sum = 0.0;
+        let mut noise_count = 0usize;
+        for edge in network.graph.edges() {
+            if network.is_true_edge[edge.index] {
+                true_sum += edge.weight;
+                true_count += 1;
+            } else {
+                noise_sum += edge.weight;
+                noise_count += 1;
+            }
+        }
+        assert!(true_count > 0 && noise_count > 0);
+        assert!(true_sum / true_count as f64 > 2.0 * noise_sum / noise_count as f64);
+    }
+
+    #[test]
+    fn weights_scale_with_degree_sums() {
+        let network = noisy_barabasi_albert(120, 3, 0.1, 9).unwrap();
+        // True edge weights are bounded by the degree sum of their endpoints.
+        let skeleton_degrees: Vec<f64> = {
+            // Recover effective degrees from the true subgraph.
+            let true_graph = network
+                .graph
+                .subgraph_with_edges(&network.true_edge_indices())
+                .unwrap();
+            true_graph.nodes().map(|n| true_graph.degree(n) as f64).collect()
+        };
+        for edge in network.graph.edges() {
+            if network.is_true_edge[edge.index] {
+                let bound = skeleton_degrees[edge.source] + skeleton_degrees[edge.target];
+                assert!(edge.weight <= bound + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn eta_is_validated() {
+        assert!(noisy_barabasi_albert(50, 3, -0.1, 0).is_err());
+        assert!(noisy_barabasi_albert(50, 3, 1.5, 0).is_err());
+    }
+
+    #[test]
+    fn determinism_per_seed() {
+        let a = noisy_barabasi_albert(80, 3, 0.15, 77).unwrap();
+        let b = noisy_barabasi_albert(80, 3, 0.15, 77).unwrap();
+        assert_eq!(a.graph.edge_count(), b.graph.edge_count());
+        assert_eq!(a.is_true_edge, b.is_true_edge);
+    }
+
+    #[test]
+    fn scalability_workload_has_requested_edges() {
+        let graph = scalability_workload(3000, 3).unwrap();
+        assert_eq!(graph.edge_count(), 3000);
+        // Average degree ≈ 3 by construction.
+        let average_degree = 2.0 * graph.edge_count() as f64 / graph.node_count() as f64;
+        assert!((average_degree - 3.0).abs() < 0.5);
+    }
+}

@@ -1,0 +1,258 @@
+//! The synthetic world: countries with economic and geographic attributes.
+//!
+//! The country networks of the paper connect roughly two hundred countries.
+//! This module generates a deterministic synthetic world whose attribute
+//! distributions mirror the real ones where it matters for the experiments:
+//! populations and GDPs are log-normally distributed (so gravity-model edge
+//! weights become heavy-tailed), countries cluster geographically into
+//! continents (so distance is a meaningful predictor), and language families
+//! correlate with geography (so the migration predictors behave plausibly).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use backboning_stats::sampling::{sample_log_normal, sample_normal};
+
+/// Number of continents in the synthetic world.
+pub const CONTINENTS: usize = 6;
+/// Number of language families in the synthetic world.
+pub const LANGUAGE_FAMILIES: usize = 12;
+
+/// A synthetic country.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Country {
+    /// Three-letter style code, e.g. `"C042"`.
+    pub code: String,
+    /// Continent index in `0..CONTINENTS`.
+    pub continent: usize,
+    /// Population (persons).
+    pub population: f64,
+    /// GDP per capita (synthetic dollars).
+    pub gdp_per_capita: f64,
+    /// Economic Complexity Index style score (roughly standard-normal).
+    pub eci: f64,
+    /// Latitude in degrees.
+    pub latitude: f64,
+    /// Longitude in degrees.
+    pub longitude: f64,
+    /// Language family index in `0..LANGUAGE_FAMILIES`.
+    pub language: usize,
+}
+
+impl Country {
+    /// Total GDP (population × GDP per capita).
+    pub fn gdp(&self) -> f64 {
+        self.population * self.gdp_per_capita
+    }
+}
+
+/// The synthetic world: a list of countries plus pairwise geography helpers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct World {
+    countries: Vec<Country>,
+}
+
+impl World {
+    /// Generate a world with `country_count` countries from a seed.
+    pub fn generate(country_count: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        // Continent centres spread around the globe.
+        let continent_centers: Vec<(f64, f64)> = (0..CONTINENTS)
+            .map(|c| {
+                let longitude = -150.0 + 60.0 * c as f64 + rng.random_range(-10.0..10.0);
+                let latitude = rng.random_range(-35.0..55.0);
+                (latitude, longitude)
+            })
+            .collect();
+
+        let mut countries = Vec::with_capacity(country_count);
+        for index in 0..country_count {
+            let continent = index % CONTINENTS;
+            let (center_lat, center_lon) = continent_centers[continent];
+            // Richer continents (low index) have higher GDP per capita on average,
+            // which creates the income gradients the migration and ownership
+            // networks need.
+            let gdp_mu = 10.0 - 0.35 * continent as f64;
+            // Language families are tied to continents with occasional colonial spillover.
+            let language = if rng.random::<f64>() < 0.8 {
+                (continent * 2 + rng.random_range(0..2)) % LANGUAGE_FAMILIES
+            } else {
+                rng.random_range(0..LANGUAGE_FAMILIES)
+            };
+            let eci = sample_normal(&mut rng, 0.8 - 0.3 * continent as f64, 0.8);
+            countries.push(Country {
+                code: format!("C{index:03}"),
+                continent,
+                population: sample_log_normal(&mut rng, 16.0, 1.7).clamp(5e4, 1.6e9),
+                gdp_per_capita: sample_log_normal(&mut rng, gdp_mu, 0.7).clamp(400.0, 150_000.0),
+                eci,
+                latitude: (center_lat + sample_normal(&mut rng, 0.0, 12.0)).clamp(-60.0, 70.0),
+                longitude: center_lon + sample_normal(&mut rng, 0.0, 18.0),
+                language,
+            });
+        }
+        World { countries }
+    }
+
+    /// Number of countries.
+    pub fn len(&self) -> usize {
+        self.countries.len()
+    }
+
+    /// Whether the world is empty.
+    pub fn is_empty(&self) -> bool {
+        self.countries.is_empty()
+    }
+
+    /// The countries.
+    pub fn countries(&self) -> &[Country] {
+        &self.countries
+    }
+
+    /// A single country.
+    pub fn country(&self, index: usize) -> &Country {
+        &self.countries[index]
+    }
+
+    /// Great-circle (haversine) distance between two countries in kilometres.
+    pub fn distance_km(&self, a: usize, b: usize) -> f64 {
+        if a == b {
+            return 0.0;
+        }
+        let earth_radius_km = 6_371.0;
+        let ca = &self.countries[a];
+        let cb = &self.countries[b];
+        let lat_a = ca.latitude.to_radians();
+        let lat_b = cb.latitude.to_radians();
+        let d_lat = (cb.latitude - ca.latitude).to_radians();
+        let d_lon = (cb.longitude - ca.longitude).to_radians();
+        let haversine =
+            (d_lat / 2.0).sin().powi(2) + lat_a.cos() * lat_b.cos() * (d_lon / 2.0).sin().powi(2);
+        2.0 * earth_radius_km * haversine.sqrt().asin()
+    }
+
+    /// Whether two countries share a language family.
+    pub fn common_language(&self, a: usize, b: usize) -> bool {
+        self.countries[a].language == self.countries[b].language
+    }
+
+    /// Whether two countries share a continent (the "common history" proxy of
+    /// the migration predictors).
+    pub fn same_continent(&self, a: usize, b: usize) -> bool {
+        self.countries[a].continent == self.countries[b].continent
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = World::generate(50, 7);
+        let b = World::generate(50, 7);
+        assert_eq!(a, b);
+        let c = World::generate(50, 8);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn attributes_are_in_plausible_ranges() {
+        let world = World::generate(120, 1);
+        assert_eq!(world.len(), 120);
+        for country in world.countries() {
+            assert!(country.population >= 5e4 && country.population <= 1.6e9);
+            assert!(country.gdp_per_capita >= 400.0 && country.gdp_per_capita <= 150_000.0);
+            assert!(country.latitude >= -60.0 && country.latitude <= 70.0);
+            assert!(country.continent < CONTINENTS);
+            assert!(country.language < LANGUAGE_FAMILIES);
+            assert!(country.gdp() > 0.0);
+        }
+    }
+
+    #[test]
+    fn populations_are_heavy_tailed() {
+        let world = World::generate(150, 3);
+        let mut populations: Vec<f64> = world.countries().iter().map(|c| c.population).collect();
+        populations.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = populations[populations.len() / 2];
+        let max = populations[populations.len() - 1];
+        assert!(max / median > 15.0, "max/median = {}", max / median);
+    }
+
+    #[test]
+    fn distance_is_a_metric_like_quantity() {
+        let world = World::generate(60, 5);
+        assert_eq!(world.distance_km(3, 3), 0.0);
+        for a in 0..10 {
+            for b in 0..10 {
+                let d = world.distance_km(a, b);
+                assert!((d - world.distance_km(b, a)).abs() < 1e-9);
+                assert!(d >= 0.0);
+                assert!(d < 21_000.0, "distance {d} exceeds half the Earth circumference");
+            }
+        }
+    }
+
+    #[test]
+    fn same_continent_countries_are_closer_on_average() {
+        let world = World::generate(120, 11);
+        let mut same = Vec::new();
+        let mut different = Vec::new();
+        for a in 0..world.len() {
+            for b in (a + 1)..world.len() {
+                if world.same_continent(a, b) {
+                    same.push(world.distance_km(a, b));
+                } else {
+                    different.push(world.distance_km(a, b));
+                }
+            }
+        }
+        let mean_same: f64 = same.iter().sum::<f64>() / same.len() as f64;
+        let mean_different: f64 = different.iter().sum::<f64>() / different.len() as f64;
+        assert!(mean_same < mean_different);
+    }
+
+    #[test]
+    fn languages_correlate_with_continents() {
+        let world = World::generate(180, 13);
+        let mut same_continent_same_language = 0usize;
+        let mut same_continent_pairs = 0usize;
+        let mut cross_continent_same_language = 0usize;
+        let mut cross_continent_pairs = 0usize;
+        for a in 0..world.len() {
+            for b in (a + 1)..world.len() {
+                if world.same_continent(a, b) {
+                    same_continent_pairs += 1;
+                    if world.common_language(a, b) {
+                        same_continent_same_language += 1;
+                    }
+                } else {
+                    cross_continent_pairs += 1;
+                    if world.common_language(a, b) {
+                        cross_continent_same_language += 1;
+                    }
+                }
+            }
+        }
+        let within = same_continent_same_language as f64 / same_continent_pairs as f64;
+        let across = cross_continent_same_language as f64 / cross_continent_pairs as f64;
+        assert!(within > across);
+    }
+
+    #[test]
+    fn codes_are_unique() {
+        let world = World::generate(100, 2);
+        let mut codes: Vec<&str> = world.countries().iter().map(|c| c.code.as_str()).collect();
+        codes.sort_unstable();
+        codes.dedup();
+        assert_eq!(codes.len(), 100);
+    }
+
+    #[test]
+    fn empty_world() {
+        let world = World::generate(0, 0);
+        assert!(world.is_empty());
+        assert_eq!(world.len(), 0);
+    }
+}

@@ -1,0 +1,119 @@
+//! Figure 5: cumulative edge-weight distributions of the six country networks.
+//!
+//! The paper shows that every network has a broad weight distribution (several
+//! orders of magnitude between the median and the heaviest edges), which is
+//! the reason naive thresholding cannot work. This module reproduces the
+//! complementary cumulative distribution and a set of summary quantiles.
+
+use backboning_data::{CountryData, CountryNetworkKind};
+use backboning_graph::algorithms::degree::edge_weights;
+use backboning_stats::descriptive::quantile;
+use backboning_stats::histogram::{ccdf, DistributionPoint};
+
+use crate::report::TextTable;
+
+/// The weight distribution of one network.
+#[derive(Debug, Clone)]
+pub struct WeightDistribution {
+    /// Which network.
+    pub kind: CountryNetworkKind,
+    /// Number of edges.
+    pub edge_count: usize,
+    /// Median edge weight.
+    pub median: f64,
+    /// 99th percentile edge weight.
+    pub p99: f64,
+    /// Maximum edge weight.
+    pub max: f64,
+    /// Orders of magnitude spanned by the weights (log10 max / min).
+    pub orders_of_magnitude: f64,
+    /// The full complementary CDF.
+    pub ccdf: Vec<DistributionPoint>,
+}
+
+/// Results of the Figure 5 experiment.
+#[derive(Debug, Clone)]
+pub struct WeightDistributionResult {
+    /// One distribution per network.
+    pub distributions: Vec<WeightDistribution>,
+}
+
+impl WeightDistributionResult {
+    /// Render the summary table (the CCDF curves themselves are available in
+    /// the structured result).
+    pub fn render(&self) -> String {
+        let mut table = TextTable::new(vec![
+            "network",
+            "edges",
+            "median weight",
+            "p99 weight",
+            "max weight",
+            "orders of magnitude",
+        ]);
+        for distribution in &self.distributions {
+            table.add_row(vec![
+                distribution.kind.name().to_string(),
+                distribution.edge_count.to_string(),
+                format!("{:.1}", distribution.median),
+                format!("{:.1}", distribution.p99),
+                format!("{:.1}", distribution.max),
+                format!("{:.1}", distribution.orders_of_magnitude),
+            ]);
+        }
+        table.render()
+    }
+}
+
+/// Run the Figure 5 experiment on the first year of every network.
+pub fn run(data: &CountryData) -> WeightDistributionResult {
+    let mut distributions = Vec::new();
+    for kind in CountryNetworkKind::all() {
+        let weights = edge_weights(data.network(kind, 0));
+        let median = quantile(&weights, 0.5).expect("networks are non-empty");
+        let p99 = quantile(&weights, 0.99).expect("networks are non-empty");
+        let max = weights.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let min = weights
+            .iter()
+            .cloned()
+            .filter(|&w| w > 0.0)
+            .fold(f64::INFINITY, f64::min);
+        distributions.push(WeightDistribution {
+            kind,
+            edge_count: weights.len(),
+            median,
+            p99,
+            max,
+            orders_of_magnitude: (max / min).log10(),
+            ccdf: ccdf(&weights).expect("networks are non-empty"),
+        });
+    }
+    WeightDistributionResult { distributions }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use backboning_data::CountryDataConfig;
+
+    #[test]
+    fn distributions_are_broad_for_all_networks() {
+        let data = CountryData::generate(&CountryDataConfig::small());
+        let result = run(&data);
+        assert_eq!(result.distributions.len(), 6);
+        for distribution in &result.distributions {
+            assert!(distribution.edge_count > 0);
+            assert!(distribution.max >= distribution.p99);
+            assert!(distribution.p99 >= distribution.median);
+            // CCDF starts at share 1 and is non-increasing.
+            assert!((distribution.ccdf[0].share - 1.0).abs() < 1e-12);
+        }
+        // The flow/stock networks span at least ~3 orders of magnitude.
+        let trade = result
+            .distributions
+            .iter()
+            .find(|d| d.kind == CountryNetworkKind::Trade)
+            .unwrap();
+        assert!(trade.orders_of_magnitude > 3.0);
+        assert!(result.render().contains("Trade"));
+    }
+}

@@ -1,0 +1,18 @@
+//! One module per table / figure of the paper's evaluation.
+//!
+//! Every experiment exposes a configuration struct, a `run` function returning
+//! structured results, and a `render` helper producing the plain-text report
+//! printed by the corresponding `backboning-bench` binary. `EXPERIMENTS.md` at
+//! the repository root records the paper's numbers next to the reproduced ones.
+
+pub mod case_study;
+pub mod fig2;
+pub mod fig3;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+pub mod table1;
+pub mod table2;

@@ -1,0 +1,35 @@
+//! # backboning-eval
+//!
+//! Evaluation harness reproducing every table and figure of *Network
+//! Backboning with Noisy Data* (Coscia & Neffke, ICDE 2017) on the synthetic
+//! datasets of `backboning-data`.
+//!
+//! | Paper artefact | Module | Reproduction binary (`backboning-bench`) |
+//! |---|---|---|
+//! | Figure 2 (threshold distributions) | [`experiments::fig2`] | `fig2_thresholds` |
+//! | Figure 3 (toy example) | [`experiments::fig3`] | `fig3_toy` |
+//! | Figure 4 (recovery under noise) | [`experiments::fig4`] | `fig4_recovery` |
+//! | Figure 5 (edge weight distributions) | [`experiments::fig5`] | `fig5_weight_distributions` |
+//! | Figure 6 (local weight correlation) | [`experiments::fig6`] | `fig6_local_correlation` |
+//! | Table I (variance validation) | [`experiments::table1`] | `table1_validation` |
+//! | Figure 7 (coverage) | [`experiments::fig7`] | `fig7_coverage` |
+//! | Table II (predictive quality) | [`experiments::table2`] | `table2_quality` |
+//! | Figure 8 (stability) | [`experiments::fig8`] | `fig8_stability` |
+//! | Figure 9 (scalability) | [`experiments::fig9`] | `fig9_scalability` |
+//! | Section VI (occupation case study) | [`experiments::case_study`] | `case_study` |
+//!
+//! The [`metrics`] module holds the four success criteria (recovery, coverage,
+//! quality, stability) plus the variance-validation statistic, and
+//! [`methods`] provides a uniform registry over the six backboning methods so
+//! that every experiment sweeps the same set.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod methods;
+pub mod metrics;
+pub mod report;
+
+pub use methods::Method;
+pub use report::TextTable;

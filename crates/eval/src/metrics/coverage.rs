@@ -1,0 +1,84 @@
+//! Coverage: the Topology criterion (Figure 7).
+
+use backboning_graph::WeightedGraph;
+
+/// Coverage of a backbone: the share of the original network's non-isolated
+/// nodes that keep at least one edge in the backbone,
+///
+/// ```text
+/// Coverage = (|V| − |I_backbone|) / (|V| − |I_original|)
+/// ```
+///
+/// Returns 1 for an original network without any non-isolated node (nothing
+/// can be lost).
+pub fn coverage(original: &WeightedGraph, backbone: &WeightedGraph) -> f64 {
+    assert_eq!(
+        original.node_count(),
+        backbone.node_count(),
+        "backbone must preserve the node set ({} vs {})",
+        original.node_count(),
+        backbone.node_count()
+    );
+    let original_connected = original.non_isolated_node_count();
+    if original_connected == 0 {
+        return 1.0;
+    }
+    backbone.non_isolated_node_count() as f64 / original_connected as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use backboning_graph::{Direction, WeightedGraph};
+
+    fn original() -> WeightedGraph {
+        WeightedGraph::from_edges(
+            Direction::Undirected,
+            5,
+            vec![(0, 1, 1.0), (1, 2, 2.0), (2, 3, 3.0)],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn full_backbone_has_full_coverage() {
+        let graph = original();
+        assert_eq!(coverage(&graph, &graph), 1.0);
+    }
+
+    #[test]
+    fn dropping_a_nodes_last_edge_reduces_coverage() {
+        let graph = original();
+        // Keep only edges 1 and 2: node 0 becomes isolated (3 of 4 connected nodes remain).
+        let backbone = graph.subgraph_with_edges(&[1, 2]).unwrap();
+        assert!((coverage(&graph, &backbone) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn already_isolated_nodes_do_not_count() {
+        let graph = original(); // node 4 is isolated in the original
+        let backbone = graph.subgraph_with_edges(&[0]).unwrap(); // keeps nodes 0 and 1
+        assert!((coverage(&graph, &backbone) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_backbone_has_zero_coverage() {
+        let graph = original();
+        let backbone = graph.subgraph_with_edges(&[]).unwrap();
+        assert_eq!(coverage(&graph, &backbone), 0.0);
+    }
+
+    #[test]
+    fn edgeless_original_network() {
+        let graph = WeightedGraph::with_nodes(Direction::Undirected, 3);
+        assert_eq!(coverage(&graph, &graph), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "preserve the node set")]
+    fn mismatched_node_sets_panic() {
+        let graph = original();
+        let other = WeightedGraph::with_nodes(Direction::Undirected, 3);
+        coverage(&graph, &other);
+    }
+}

@@ -1,0 +1,24 @@
+//! The evaluation criteria of the paper.
+//!
+//! * [`recovery`] — Jaccard similarity between the recovered and true edge
+//!   sets of synthetic networks (Figure 4).
+//! * [`coverage`] — the share of originally non-isolated nodes that keep at
+//!   least one edge in the backbone (the Topology criterion, Figure 7).
+//! * [`quality`] — the ratio of OLS `R²` on the backbone vs on the full
+//!   network, with the paper's per-network predictor sets (Table II).
+//! * [`stability`] — Spearman correlation of edge weights between consecutive
+//!   years restricted to the backbone (Figure 8).
+//! * [`validation`] — correlation between NC-predicted and observed cross-year
+//!   variance of the transformed edge weights (Table I).
+
+pub mod coverage;
+pub mod quality;
+pub mod recovery;
+pub mod stability;
+pub mod validation;
+
+pub use coverage::coverage;
+pub use quality::{quality_ratio, QualityModel};
+pub use recovery::jaccard_index;
+pub use stability::stability;
+pub use validation::variance_validation_correlation;

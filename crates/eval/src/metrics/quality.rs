@@ -1,0 +1,215 @@
+//! Quality: the predictive-power criterion (Table II).
+//!
+//! For every network the paper fits an OLS model
+//! `log(N_ij + 1) = β X_ij + ε_ij` twice — once on all observed edges
+//! (`M_full`) and once restricted to the edges kept by a backbone (`M_bb`) —
+//! and reports `Quality = R²(M_bb) / R²(M_full)`. A value above one means the
+//! backbone contains the edges that the gravity-style model can actually
+//! explain, i.e. the backbone removed noise rather than signal.
+
+use backboning_data::{CountryData, CountryNetworkKind};
+use backboning_graph::WeightedGraph;
+use backboning_stats::{OlsModel, StatsResult};
+
+/// The per-network regression specification of Table II.
+#[derive(Debug, Clone)]
+pub struct QualityModel {
+    /// Which country network the model explains.
+    pub kind: CountryNetworkKind,
+    /// Predictor names in design-matrix order.
+    pub predictor_names: Vec<&'static str>,
+}
+
+impl QualityModel {
+    /// The paper's predictor set for a given network:
+    ///
+    /// * every model includes log geographic distance;
+    /// * all networks except Country Space and Ownership include the log
+    ///   populations of both endpoints;
+    /// * Business adds trade between the countries, Country Space adds the
+    ///   economic complexity of both countries, Migration adds common language
+    ///   and shared continent ("common history"), Ownership adds greenfield
+    ///   FDI, Trade adds business travel; Flight has no extra predictor.
+    pub fn for_kind(kind: CountryNetworkKind) -> Self {
+        let mut predictor_names = vec!["log_distance"];
+        if !matches!(
+            kind,
+            CountryNetworkKind::CountrySpace | CountryNetworkKind::Ownership
+        ) {
+            predictor_names.push("log_population_origin");
+            predictor_names.push("log_population_destination");
+        }
+        match kind {
+            CountryNetworkKind::Business => predictor_names.push("log_trade"),
+            CountryNetworkKind::CountrySpace => {
+                predictor_names.push("eci_origin");
+                predictor_names.push("eci_destination");
+            }
+            CountryNetworkKind::Flight => {}
+            CountryNetworkKind::Migration => {
+                predictor_names.push("common_language");
+                predictor_names.push("common_history");
+            }
+            CountryNetworkKind::Ownership => predictor_names.push("log_fdi"),
+            CountryNetworkKind::Trade => predictor_names.push("log_business_travel"),
+        }
+        QualityModel {
+            kind,
+            predictor_names,
+        }
+    }
+
+    /// Predictor values for one ordered country pair.
+    fn predictors(&self, data: &CountryData, origin: usize, destination: usize) -> Vec<f64> {
+        let world = &data.world;
+        let mut values = vec![(world.distance_km(origin, destination) + 1.0).ln()];
+        if !matches!(
+            self.kind,
+            CountryNetworkKind::CountrySpace | CountryNetworkKind::Ownership
+        ) {
+            values.push(world.country(origin).population.ln());
+            values.push(world.country(destination).population.ln());
+        }
+        match self.kind {
+            CountryNetworkKind::Business => {
+                let trade = data
+                    .network(CountryNetworkKind::Trade, 0)
+                    .edge_weight(origin, destination)
+                    .unwrap_or(0.0);
+                values.push((trade + 1.0).ln());
+            }
+            CountryNetworkKind::CountrySpace => {
+                values.push(world.country(origin).eci);
+                values.push(world.country(destination).eci);
+            }
+            CountryNetworkKind::Flight => {}
+            CountryNetworkKind::Migration => {
+                values.push(f64::from(world.common_language(origin, destination)));
+                values.push(f64::from(world.same_continent(origin, destination)));
+            }
+            CountryNetworkKind::Ownership => {
+                values.push((data.fdi_between(origin, destination) + 1.0).ln());
+            }
+            CountryNetworkKind::Trade => {
+                let business = data
+                    .network(CountryNetworkKind::Business, 0)
+                    .edge_weight(origin, destination)
+                    .unwrap_or(0.0);
+                values.push((business + 1.0).ln());
+            }
+        }
+        values
+    }
+
+    /// Fit the model on the observations given by `edges` (pairs taken from
+    /// `network`) and return the `R²`.
+    pub fn r_squared(
+        &self,
+        data: &CountryData,
+        network: &WeightedGraph,
+        edge_indices: &[usize],
+    ) -> StatsResult<f64> {
+        let mut response = Vec::with_capacity(edge_indices.len());
+        let mut columns: Vec<Vec<f64>> = vec![Vec::new(); self.predictor_names.len()];
+        for &index in edge_indices {
+            let edge = network.edge(index).expect("edge index in range");
+            response.push((edge.weight + 1.0).ln());
+            let predictors = self.predictors(data, edge.source, edge.target);
+            for (column, value) in columns.iter_mut().zip(predictors) {
+                column.push(value);
+            }
+        }
+        let mut model = OlsModel::new();
+        for (name, column) in self.predictor_names.iter().zip(columns) {
+            model = model.predictor(*name, column);
+        }
+        Ok(model.fit(&response)?.r_squared)
+    }
+}
+
+/// Quality of a backbone: `R²` of the Table II model restricted to the
+/// backbone's edges divided by the `R²` on all edges of the network.
+pub fn quality_ratio(
+    data: &CountryData,
+    kind: CountryNetworkKind,
+    network: &WeightedGraph,
+    backbone_edges: &[usize],
+) -> StatsResult<f64> {
+    let model = QualityModel::for_kind(kind);
+    let all_edges: Vec<usize> = (0..network.edge_count()).collect();
+    let full = model.r_squared(data, network, &all_edges)?;
+    let backbone = model.r_squared(data, network, backbone_edges)?;
+    Ok(backbone / full)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use backboning_data::CountryDataConfig;
+
+    fn data() -> CountryData {
+        CountryData::generate(&CountryDataConfig::small())
+    }
+
+    #[test]
+    fn predictor_sets_match_the_paper() {
+        let business = QualityModel::for_kind(CountryNetworkKind::Business);
+        assert!(business.predictor_names.contains(&"log_trade"));
+        assert!(business.predictor_names.contains(&"log_population_origin"));
+
+        let country_space = QualityModel::for_kind(CountryNetworkKind::CountrySpace);
+        assert!(country_space.predictor_names.contains(&"eci_origin"));
+        assert!(!country_space
+            .predictor_names
+            .contains(&"log_population_origin"));
+
+        let flight = QualityModel::for_kind(CountryNetworkKind::Flight);
+        assert_eq!(
+            flight.predictor_names,
+            vec!["log_distance", "log_population_origin", "log_population_destination"]
+        );
+
+        let migration = QualityModel::for_kind(CountryNetworkKind::Migration);
+        assert!(migration.predictor_names.contains(&"common_language"));
+
+        let ownership = QualityModel::for_kind(CountryNetworkKind::Ownership);
+        assert!(ownership.predictor_names.contains(&"log_fdi"));
+        assert!(!ownership.predictor_names.contains(&"log_population_origin"));
+
+        let trade = QualityModel::for_kind(CountryNetworkKind::Trade);
+        assert!(trade.predictor_names.contains(&"log_business_travel"));
+    }
+
+    #[test]
+    fn gravity_model_explains_the_synthetic_networks() {
+        // The synthetic networks are built from gravity intensities, so the
+        // full-network R² must be clearly positive.
+        let data = data();
+        for kind in [CountryNetworkKind::Trade, CountryNetworkKind::Flight] {
+            let network = data.network(kind, 0);
+            let model = QualityModel::for_kind(kind);
+            let all: Vec<usize> = (0..network.edge_count()).collect();
+            let r2 = model.r_squared(&data, network, &all).unwrap();
+            assert!(r2 > 0.2, "{}: R² = {r2}", kind.name());
+            assert!(r2 < 1.0);
+        }
+    }
+
+    #[test]
+    fn quality_ratio_of_the_full_network_is_one() {
+        let data = data();
+        let kind = CountryNetworkKind::Migration;
+        let network = data.network(kind, 0);
+        let all: Vec<usize> = (0..network.edge_count()).collect();
+        let ratio = quality_ratio(&data, kind, network, &all).unwrap();
+        assert!((ratio - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn too_few_observations_is_an_error() {
+        let data = data();
+        let kind = CountryNetworkKind::Trade;
+        let network = data.network(kind, 0);
+        assert!(quality_ratio(&data, kind, network, &[0, 1]).is_err());
+    }
+}

@@ -1,0 +1,51 @@
+//! Recovery: Jaccard similarity between edge sets (Figure 4).
+
+use std::collections::HashSet;
+
+/// Jaccard index between two edge-index sets: `|A ∩ B| / |A ∪ B|`.
+///
+/// Equals 1 when the sets are identical and 0 when they are disjoint. Two
+/// empty sets are considered identical (Jaccard 1).
+pub fn jaccard_index(a: &[usize], b: &[usize]) -> f64 {
+    let set_a: HashSet<usize> = a.iter().copied().collect();
+    let set_b: HashSet<usize> = b.iter().copied().collect();
+    if set_a.is_empty() && set_b.is_empty() {
+        return 1.0;
+    }
+    let intersection = set_a.intersection(&set_b).count();
+    let union = set_a.union(&set_b).count();
+    intersection as f64 / union as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_sets() {
+        assert_eq!(jaccard_index(&[1, 2, 3], &[3, 2, 1]), 1.0);
+    }
+
+    #[test]
+    fn disjoint_sets() {
+        assert_eq!(jaccard_index(&[1, 2], &[3, 4]), 0.0);
+    }
+
+    #[test]
+    fn partial_overlap() {
+        // {1,2,3} vs {2,3,4}: intersection 2, union 4.
+        assert!((jaccard_index(&[1, 2, 3], &[2, 3, 4]) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn duplicates_are_ignored() {
+        assert_eq!(jaccard_index(&[1, 1, 2], &[2, 2, 1]), 1.0);
+    }
+
+    #[test]
+    fn empty_sets() {
+        assert_eq!(jaccard_index(&[], &[]), 1.0);
+        assert_eq!(jaccard_index(&[1], &[]), 0.0);
+        assert_eq!(jaccard_index(&[], &[1]), 0.0);
+    }
+}

@@ -1,0 +1,94 @@
+//! Stability: year-on-year correlation of backbone edge weights (Figure 8).
+
+use backboning_graph::WeightedGraph;
+use backboning_stats::spearman;
+use backboning_stats::StatsResult;
+
+/// Stability of a backbone between two observations of the same network:
+/// the Spearman correlation between the year-`t` and year-`t+1` weights of
+/// the edges contained in the backbone.
+///
+/// Edges that disappear in the later observation enter with weight zero —
+/// exactly the "wild fluctuation" the criterion is meant to punish.
+pub fn stability(
+    backbone_edges: &[usize],
+    year_t: &WeightedGraph,
+    year_t_plus_one: &WeightedGraph,
+) -> StatsResult<f64> {
+    let mut weights_t = Vec::with_capacity(backbone_edges.len());
+    let mut weights_t1 = Vec::with_capacity(backbone_edges.len());
+    for &index in backbone_edges {
+        let edge = year_t.edge(index).expect("edge index in range");
+        weights_t.push(edge.weight);
+        weights_t1.push(
+            year_t_plus_one
+                .edge_weight(edge.source, edge.target)
+                .unwrap_or(0.0),
+        );
+    }
+    spearman(&weights_t, &weights_t1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use backboning_graph::{Direction, WeightedGraph};
+
+    fn year(weights: &[(usize, usize, f64)]) -> WeightedGraph {
+        WeightedGraph::from_edges(Direction::Directed, 5, weights.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn identical_years_have_perfect_stability() {
+        let t = year(&[(0, 1, 5.0), (1, 2, 3.0), (2, 3, 8.0), (3, 4, 1.0)]);
+        let edges: Vec<usize> = (0..t.edge_count()).collect();
+        let s = stability(&edges, &t, &t).unwrap();
+        assert!((s - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rank_preserving_changes_keep_stability_high() {
+        let t = year(&[(0, 1, 5.0), (1, 2, 3.0), (2, 3, 8.0), (3, 4, 1.0)]);
+        let t1 = year(&[(0, 1, 6.0), (1, 2, 3.5), (2, 3, 9.0), (3, 4, 1.5)]);
+        let edges: Vec<usize> = (0..t.edge_count()).collect();
+        assert!((stability(&edges, &t, &t1).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rank_reversal_gives_negative_stability() {
+        let t = year(&[(0, 1, 1.0), (1, 2, 2.0), (2, 3, 3.0), (3, 4, 4.0)]);
+        let t1 = year(&[(0, 1, 4.0), (1, 2, 3.0), (2, 3, 2.0), (3, 4, 1.0)]);
+        let edges: Vec<usize> = (0..t.edge_count()).collect();
+        assert!((stability(&edges, &t, &t1).unwrap() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn missing_edges_count_as_zero() {
+        let t = year(&[(0, 1, 1.0), (1, 2, 2.0), (2, 3, 3.0)]);
+        let t1 = year(&[(0, 1, 1.0), (2, 3, 3.0)]); // edge (1,2) vanished
+        let edges: Vec<usize> = (0..t.edge_count()).collect();
+        let s = stability(&edges, &t, &t1).unwrap();
+        assert!(s < 1.0);
+        assert!(s > 0.0);
+    }
+
+    #[test]
+    fn restricting_to_a_backbone_changes_the_estimate() {
+        // The noisy edge (3,4) collapses next year; excluding it from the
+        // backbone raises stability.
+        let t = year(&[(0, 1, 10.0), (1, 2, 20.0), (2, 3, 30.0), (3, 4, 5.0)]);
+        let t1 = year(&[(0, 1, 11.0), (1, 2, 21.0), (2, 3, 29.0), (3, 4, 0.001)]);
+        let all: Vec<usize> = (0..t.edge_count()).collect();
+        let backbone = vec![0, 1, 2];
+        let with_noise = stability(&all, &t, &t1).unwrap();
+        let without_noise = stability(&backbone, &t, &t1).unwrap();
+        assert!(without_noise >= with_noise);
+        assert!((without_noise - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_backbone_is_an_error() {
+        let t = year(&[(0, 1, 1.0)]);
+        assert!(stability(&[], &t, &t).is_err());
+    }
+}

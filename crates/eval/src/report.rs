@@ -1,0 +1,113 @@
+//! Plain-text table formatting for the reproduction reports.
+
+use std::fmt::Write as _;
+
+/// A simple fixed-width text table used by every reproduction binary.
+#[derive(Debug, Clone, Default)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Create a table with the given column headers.
+    pub fn new<S: Into<String>>(header: Vec<S>) -> Self {
+        TextTable {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (padded or truncated to the header width).
+    pub fn add_row<S: Into<String>>(&mut self, row: Vec<S>) {
+        let mut row: Vec<String> = row.into_iter().map(Into::into).collect();
+        row.resize(self.header.len(), String::new());
+        self.rows.push(row);
+    }
+
+    /// Number of data rows.
+    pub fn row_count(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Render the table as an aligned plain-text string.
+    pub fn render(&self) -> String {
+        let columns = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (column, cell) in row.iter().enumerate().take(columns) {
+                widths[column] = widths[column].max(cell.len());
+            }
+        }
+        let mut output = String::new();
+        let write_row = |output: &mut String, cells: &[String]| {
+            for (column, cell) in cells.iter().enumerate().take(columns) {
+                if column > 0 {
+                    output.push_str("  ");
+                }
+                let _ = write!(output, "{cell:<width$}", width = widths[column]);
+            }
+            output.push('\n');
+        };
+        write_row(&mut output, &self.header);
+        let separator: Vec<String> = widths.iter().map(|&w| "-".repeat(w)).collect();
+        write_row(&mut output, &separator);
+        for row in &self.rows {
+            write_row(&mut output, row);
+        }
+        output
+    }
+}
+
+/// Format a float with three decimal places, rendering non-finite values as "n/a".
+pub fn fmt3(value: f64) -> String {
+    if value.is_finite() {
+        format!("{value:.3}")
+    } else {
+        "n/a".to_string()
+    }
+}
+
+/// Format an optional float with three decimal places, rendering `None` as "n/a".
+pub fn fmt_opt(value: Option<f64>) -> String {
+    match value {
+        Some(v) => fmt3(v),
+        None => "n/a".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_table() {
+        let mut table = TextTable::new(vec!["Method", "Score"]);
+        table.add_row(vec!["NC", "1.000"]);
+        table.add_row(vec!["Disparity Filter", "0.5"]);
+        let rendered = table.render();
+        let lines: Vec<&str> = rendered.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("Method"));
+        assert!(lines[1].starts_with("---"));
+        assert!(lines[3].contains("Disparity Filter"));
+        assert_eq!(table.row_count(), 2);
+    }
+
+    #[test]
+    fn short_rows_are_padded() {
+        let mut table = TextTable::new(vec!["A", "B", "C"]);
+        table.add_row(vec!["x"]);
+        let rendered = table.render();
+        assert!(rendered.contains('x'));
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(fmt3(1.23456), "1.235");
+        assert_eq!(fmt3(f64::NAN), "n/a");
+        assert_eq!(fmt3(f64::INFINITY), "n/a");
+        assert_eq!(fmt_opt(Some(0.5)), "0.500");
+        assert_eq!(fmt_opt(None), "n/a");
+    }
+}

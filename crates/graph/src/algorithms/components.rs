@@ -1,0 +1,159 @@
+//! Connected components.
+//!
+//! Directed graphs are treated as undirected for component computation (weak
+//! connectivity), which is what both the Doubly-Stochastic backbone's stopping
+//! rule and the topology analyses of the paper require.
+
+use crate::algorithms::union_find::UnionFind;
+use crate::graph::{NodeId, WeightedGraph};
+
+/// Assign each node to a (weakly) connected component.
+///
+/// Returns a vector of component labels (0-based, in order of first
+/// appearance) indexed by node id. Isolated nodes form their own components.
+pub fn connected_components(graph: &WeightedGraph) -> Vec<usize> {
+    let mut union_find = UnionFind::new(graph.node_count());
+    for edge in graph.edges() {
+        union_find.union(edge.source, edge.target);
+    }
+    let mut label_of_root = vec![usize::MAX; graph.node_count()];
+    let mut labels = vec![0usize; graph.node_count()];
+    let mut next_label = 0;
+    for node in graph.nodes() {
+        let root = union_find.find(node);
+        if label_of_root[root] == usize::MAX {
+            label_of_root[root] = next_label;
+            next_label += 1;
+        }
+        labels[node] = label_of_root[root];
+    }
+    labels
+}
+
+/// Number of (weakly) connected components.
+pub fn component_count(graph: &WeightedGraph) -> usize {
+    if graph.node_count() == 0 {
+        return 0;
+    }
+    connected_components(graph)
+        .iter()
+        .copied()
+        .max()
+        .map_or(0, |max| max + 1)
+}
+
+/// Whether the graph is (weakly) connected, i.e. consists of a single component.
+/// The empty graph is considered connected.
+pub fn is_connected(graph: &WeightedGraph) -> bool {
+    component_count(graph) <= 1
+}
+
+/// Size (number of nodes) of the largest (weakly) connected component.
+pub fn largest_component_size(graph: &WeightedGraph) -> usize {
+    if graph.node_count() == 0 {
+        return 0;
+    }
+    let labels = connected_components(graph);
+    let component_total = labels.iter().copied().max().unwrap_or(0) + 1;
+    let mut sizes = vec![0usize; component_total];
+    for &label in &labels {
+        sizes[label] += 1;
+    }
+    sizes.into_iter().max().unwrap_or(0)
+}
+
+/// The node ids of the largest (weakly) connected component.
+pub fn largest_component_nodes(graph: &WeightedGraph) -> Vec<NodeId> {
+    if graph.node_count() == 0 {
+        return Vec::new();
+    }
+    let labels = connected_components(graph);
+    let component_total = labels.iter().copied().max().unwrap_or(0) + 1;
+    let mut sizes = vec![0usize; component_total];
+    for &label in &labels {
+        sizes[label] += 1;
+    }
+    let largest = sizes
+        .iter()
+        .enumerate()
+        .max_by_key(|&(_, size)| *size)
+        .map(|(label, _)| label)
+        .unwrap_or(0);
+    graph.nodes().filter(|&n| labels[n] == largest).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Direction;
+
+    #[test]
+    fn single_component_path() {
+        let g = WeightedGraph::from_edges(
+            Direction::Undirected,
+            4,
+            vec![(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0)],
+        )
+        .unwrap();
+        assert!(is_connected(&g));
+        assert_eq!(component_count(&g), 1);
+        assert_eq!(largest_component_size(&g), 4);
+        assert_eq!(connected_components(&g), vec![0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn two_components_and_isolate() {
+        let g = WeightedGraph::from_edges(
+            Direction::Undirected,
+            5,
+            vec![(0, 1, 1.0), (2, 3, 1.0)],
+        )
+        .unwrap();
+        assert!(!is_connected(&g));
+        assert_eq!(component_count(&g), 3);
+        assert_eq!(largest_component_size(&g), 2);
+        let labels = connected_components(&g);
+        assert_eq!(labels[0], labels[1]);
+        assert_eq!(labels[2], labels[3]);
+        assert_ne!(labels[0], labels[2]);
+        assert_ne!(labels[4], labels[0]);
+    }
+
+    #[test]
+    fn directed_edges_count_as_weak_links() {
+        let g = WeightedGraph::from_edges(
+            Direction::Directed,
+            3,
+            vec![(0, 1, 1.0), (2, 1, 1.0)],
+        )
+        .unwrap();
+        // No directed path between 0 and 2, but weakly connected.
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn empty_and_edgeless_graphs() {
+        let empty = WeightedGraph::undirected();
+        assert!(is_connected(&empty));
+        assert_eq!(component_count(&empty), 0);
+        assert_eq!(largest_component_size(&empty), 0);
+        assert!(largest_component_nodes(&empty).is_empty());
+
+        let edgeless = WeightedGraph::with_nodes(Direction::Undirected, 3);
+        assert_eq!(component_count(&edgeless), 3);
+        assert_eq!(largest_component_size(&edgeless), 1);
+    }
+
+    #[test]
+    fn largest_component_nodes_returns_correct_set() {
+        let g = WeightedGraph::from_edges(
+            Direction::Undirected,
+            6,
+            vec![(0, 1, 1.0), (1, 2, 1.0), (3, 4, 1.0)],
+        )
+        .unwrap();
+        let mut nodes = largest_component_nodes(&g);
+        nodes.sort_unstable();
+        assert_eq!(nodes, vec![0, 1, 2]);
+    }
+}

@@ -1,0 +1,146 @@
+//! Degree/strength sequences and neighbour-weight statistics.
+//!
+//! Figure 6 of the paper documents that edge weights are locally correlated:
+//! the weight of an edge correlates with the average weight of the other edges
+//! incident to its endpoints. [`edge_neighbor_weight_pairs`] computes exactly
+//! those pairs; the evaluation crate feeds them to the log–log Pearson
+//! correlation.
+
+use crate::graph::{NodeId, WeightedGraph};
+
+/// The degree of every node (total degree for directed graphs).
+pub fn degree_sequence(graph: &WeightedGraph) -> Vec<usize> {
+    graph.nodes().map(|n| graph.degree(n)).collect()
+}
+
+/// The out-strength of every node.
+pub fn out_strength_sequence(graph: &WeightedGraph) -> Vec<f64> {
+    graph.nodes().map(|n| graph.out_strength(n)).collect()
+}
+
+/// The in-strength of every node.
+pub fn in_strength_sequence(graph: &WeightedGraph) -> Vec<f64> {
+    graph.nodes().map(|n| graph.in_strength(n)).collect()
+}
+
+/// Average degree of the graph (0 for an empty graph).
+pub fn average_degree(graph: &WeightedGraph) -> f64 {
+    if graph.node_count() == 0 {
+        return 0.0;
+    }
+    degree_sequence(graph).iter().sum::<usize>() as f64 / graph.node_count() as f64
+}
+
+/// All edge weights of the graph, in edge insertion order.
+pub fn edge_weights(graph: &WeightedGraph) -> Vec<f64> {
+    graph.edges().map(|e| e.weight).collect()
+}
+
+/// For every edge, the pair `(own weight, average weight of neighbouring
+/// edges)`, where the neighbouring edges are all other edges incident to
+/// either endpoint.
+///
+/// Edges without any neighbouring edge are skipped (the average is undefined).
+pub fn edge_neighbor_weight_pairs(graph: &WeightedGraph) -> Vec<(f64, f64)> {
+    // Precompute per-node incident weight sums and counts.
+    let node_count = graph.node_count();
+    let mut incident_sum = vec![0.0; node_count];
+    let mut incident_count = vec![0usize; node_count];
+    for edge in graph.edges() {
+        incident_sum[edge.source] += edge.weight;
+        incident_count[edge.source] += 1;
+        if edge.source != edge.target {
+            incident_sum[edge.target] += edge.weight;
+            incident_count[edge.target] += 1;
+        }
+    }
+
+    let mut pairs = Vec::with_capacity(graph.edge_count());
+    for edge in graph.edges() {
+        let own_contribution = if edge.source == edge.target { 1 } else { 2 };
+        let neighbor_count =
+            incident_count[edge.source] + incident_count[edge.target] - own_contribution;
+        if neighbor_count == 0 {
+            continue;
+        }
+        let neighbor_sum = incident_sum[edge.source] + incident_sum[edge.target]
+            - own_contribution as f64 * edge.weight;
+        pairs.push((edge.weight, neighbor_sum / neighbor_count as f64));
+    }
+    pairs
+}
+
+/// The node with the largest degree, or `None` for an empty graph.
+pub fn max_degree_node(graph: &WeightedGraph) -> Option<NodeId> {
+    graph.nodes().max_by_key(|&n| graph.degree(n))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Direction;
+
+    fn star() -> WeightedGraph {
+        WeightedGraph::from_edges(
+            Direction::Undirected,
+            4,
+            vec![(0, 1, 10.0), (0, 2, 20.0), (0, 3, 30.0)],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn degree_and_strength_sequences() {
+        let g = star();
+        assert_eq!(degree_sequence(&g), vec![3, 1, 1, 1]);
+        assert_eq!(out_strength_sequence(&g), vec![60.0, 10.0, 20.0, 30.0]);
+        assert_eq!(in_strength_sequence(&g), vec![60.0, 10.0, 20.0, 30.0]);
+        assert!((average_degree(&g) - 1.5).abs() < 1e-12);
+        assert_eq!(max_degree_node(&g), Some(0));
+    }
+
+    #[test]
+    fn directed_strengths_differ() {
+        let g = WeightedGraph::from_edges(
+            Direction::Directed,
+            3,
+            vec![(0, 1, 5.0), (2, 1, 7.0)],
+        )
+        .unwrap();
+        assert_eq!(out_strength_sequence(&g), vec![5.0, 0.0, 7.0]);
+        assert_eq!(in_strength_sequence(&g), vec![0.0, 12.0, 0.0]);
+    }
+
+    #[test]
+    fn edge_weights_in_insertion_order() {
+        let g = star();
+        assert_eq!(edge_weights(&g), vec![10.0, 20.0, 30.0]);
+    }
+
+    #[test]
+    fn neighbor_weight_pairs_on_star() {
+        let g = star();
+        let pairs = edge_neighbor_weight_pairs(&g);
+        assert_eq!(pairs.len(), 3);
+        // For the edge (0,1,10): neighbours are the other two star edges, average 25.
+        let pair = pairs.iter().find(|&&(w, _)| w == 10.0).unwrap();
+        assert!((pair.1 - 25.0).abs() < 1e-12);
+        // For the edge (0,3,30): neighbours average (10+20)/2 = 15.
+        let pair = pairs.iter().find(|&&(w, _)| w == 30.0).unwrap();
+        assert!((pair.1 - 15.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn isolated_edge_is_skipped() {
+        let g = WeightedGraph::from_edges(Direction::Undirected, 2, vec![(0, 1, 4.0)]).unwrap();
+        assert!(edge_neighbor_weight_pairs(&g).is_empty());
+    }
+
+    #[test]
+    fn empty_graph_statistics() {
+        let g = WeightedGraph::undirected();
+        assert!(degree_sequence(&g).is_empty());
+        assert_eq!(average_degree(&g), 0.0);
+        assert_eq!(max_degree_node(&g), None);
+    }
+}

@@ -1,0 +1,167 @@
+//! k-core decomposition.
+//!
+//! The paper's related-work section lists the k-core decomposition (Seidman,
+//! 1983) among the classic ways to reduce a network: recursively remove nodes
+//! of degree lower than `k` until only the `k`-core remains. It is provided
+//! here as an additional, purely structural reduction tool alongside the
+//! backboning methods of the `backboning` crate.
+
+use crate::graph::{NodeId, WeightedGraph};
+
+/// Core number of every node: the largest `k` such that the node belongs to
+/// the `k`-core (the maximal subgraph in which every node has degree ≥ `k`).
+///
+/// Degrees are unweighted; directed graphs are treated as undirected (total
+/// degree), matching the classic definition. Self-loops contribute one to
+/// their node's degree.
+pub fn core_numbers(graph: &WeightedGraph) -> Vec<usize> {
+    let node_count = graph.node_count();
+    // Symmetric unweighted adjacency.
+    let mut adjacency: Vec<Vec<NodeId>> = vec![Vec::new(); node_count];
+    for edge in graph.edges() {
+        adjacency[edge.source].push(edge.target);
+        if edge.source != edge.target {
+            adjacency[edge.target].push(edge.source);
+        }
+    }
+    let mut degree: Vec<usize> = adjacency.iter().map(Vec::len).collect();
+    let max_degree = degree.iter().copied().max().unwrap_or(0);
+
+    // Bucket sort of nodes by current degree (the standard O(|V| + |E|) peel).
+    let mut buckets: Vec<Vec<NodeId>> = vec![Vec::new(); max_degree + 1];
+    for (node, &d) in degree.iter().enumerate() {
+        buckets[d].push(node);
+    }
+    let mut core = vec![0usize; node_count];
+    let mut removed = vec![false; node_count];
+    let mut current_core = 0usize;
+
+    for _ in 0..node_count {
+        // Find the non-removed node with the smallest current degree.
+        let mut found = None;
+        'search: for (bucket_degree, bucket) in buckets.iter_mut().enumerate() {
+            while let Some(candidate) = bucket.pop() {
+                if !removed[candidate] && degree[candidate] == bucket_degree {
+                    found = Some(candidate);
+                    break 'search;
+                }
+                // Stale entry (degree changed since insertion): skip it.
+            }
+        }
+        let Some(node) = found else { break };
+        removed[node] = true;
+        current_core = current_core.max(degree[node]);
+        core[node] = current_core;
+        for &neighbor in &adjacency[node] {
+            if !removed[neighbor] && degree[neighbor] > degree[node] {
+                degree[neighbor] -= 1;
+                buckets[degree[neighbor]].push(neighbor);
+            }
+        }
+    }
+    core
+}
+
+/// The nodes of the `k`-core: every node whose core number is at least `k`.
+pub fn k_core_nodes(graph: &WeightedGraph, k: usize) -> Vec<NodeId> {
+    core_numbers(graph)
+        .into_iter()
+        .enumerate()
+        .filter_map(|(node, core)| if core >= k { Some(node) } else { None })
+        .collect()
+}
+
+/// The `k`-core as a subgraph: the original node set is preserved (so node ids
+/// stay valid) but only edges with both endpoints in the `k`-core are kept.
+pub fn k_core_subgraph(graph: &WeightedGraph, k: usize) -> WeightedGraph {
+    let core = core_numbers(graph);
+    let kept: Vec<usize> = graph
+        .edges()
+        .filter(|edge| core[edge.source] >= k && core[edge.target] >= k)
+        .map(|edge| edge.index)
+        .collect();
+    graph
+        .subgraph_with_edges(&kept)
+        .expect("edge indices come from the same graph")
+}
+
+/// The degeneracy of the graph: the largest `k` for which a non-empty `k`-core exists.
+pub fn degeneracy(graph: &WeightedGraph) -> usize {
+    core_numbers(graph).into_iter().max().unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{complete_graph, path_graph, star_graph};
+    use crate::graph::{Direction, WeightedGraph};
+
+    #[test]
+    fn complete_graph_is_a_single_core() {
+        let g = complete_graph(6, 1.0).unwrap();
+        let core = core_numbers(&g);
+        assert!(core.iter().all(|&c| c == 5));
+        assert_eq!(degeneracy(&g), 5);
+        assert_eq!(k_core_nodes(&g, 5).len(), 6);
+        assert!(k_core_nodes(&g, 6).is_empty());
+    }
+
+    #[test]
+    fn path_and_star_have_core_number_one() {
+        let path = path_graph(5, 1.0).unwrap();
+        assert!(core_numbers(&path).iter().all(|&c| c == 1));
+        let star = star_graph(6, 1.0).unwrap();
+        // Even the hub peels at k = 1: once the leaves are gone its degree is 0.
+        assert!(core_numbers(&star).iter().all(|&c| c == 1));
+        assert_eq!(degeneracy(&star), 1);
+    }
+
+    #[test]
+    fn clique_with_tail_separates_cores() {
+        // A 4-clique (nodes 0..4) with a pendant path 3-4-5.
+        let mut g = WeightedGraph::with_nodes(Direction::Undirected, 6);
+        for i in 0..4usize {
+            for j in (i + 1)..4usize {
+                g.add_edge(i, j, 1.0).unwrap();
+            }
+        }
+        g.add_edge(3, 4, 1.0).unwrap();
+        g.add_edge(4, 5, 1.0).unwrap();
+        let core = core_numbers(&g);
+        assert_eq!(&core[0..4], &[3, 3, 3, 3]);
+        assert_eq!(core[4], 1);
+        assert_eq!(core[5], 1);
+
+        let three_core = k_core_subgraph(&g, 3);
+        assert_eq!(three_core.node_count(), 6); // node set preserved
+        assert_eq!(three_core.edge_count(), 6); // only the clique's edges
+        assert!(three_core.isolates().contains(&5));
+    }
+
+    #[test]
+    fn isolated_nodes_have_core_number_zero() {
+        let mut g = path_graph(3, 1.0).unwrap();
+        g.add_node();
+        let core = core_numbers(&g);
+        assert_eq!(core[3], 0);
+        assert_eq!(k_core_nodes(&g, 1), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn directed_graphs_use_total_degree() {
+        let g = WeightedGraph::from_edges(
+            Direction::Directed,
+            3,
+            vec![(0, 1, 1.0), (1, 2, 1.0), (2, 0, 1.0)],
+        )
+        .unwrap();
+        assert!(core_numbers(&g).iter().all(|&c| c == 2));
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = WeightedGraph::undirected();
+        assert!(core_numbers(&g).is_empty());
+        assert_eq!(degeneracy(&g), 0);
+    }
+}

@@ -1,0 +1,324 @@
+//! Dijkstra's algorithm and shortest-path trees.
+//!
+//! The High Salience Skeleton (Grady et al., 2012; paper Section III-B) is the
+//! superposition of the shortest-path trees rooted at every node, where path
+//! length is measured on a *distance* transform of the (proximity-like) edge
+//! weights. Both the transform and the tree construction live here.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::error::{GraphError, GraphResult};
+use crate::graph::{NodeId, WeightedGraph};
+
+/// How proximity-like edge weights are converted into distances for
+/// shortest-path computations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DistanceTransform {
+    /// `distance = 1 / weight` (the convention of the original HSS paper).
+    #[default]
+    Inverse,
+    /// `distance = −ln(weight / max_weight)`, an alternative that compresses
+    /// very heavy tails; exposed for the ablation benchmarks.
+    NegativeLog,
+    /// Use the weights directly as distances (for graphs that already carry
+    /// distance semantics).
+    Identity,
+}
+
+impl DistanceTransform {
+    /// Convert a single weight into a distance. `max_weight` is the maximum
+    /// weight in the graph (used only by [`DistanceTransform::NegativeLog`]).
+    pub fn apply(self, weight: f64, max_weight: f64) -> f64 {
+        match self {
+            DistanceTransform::Inverse => {
+                if weight > 0.0 {
+                    1.0 / weight
+                } else {
+                    f64::INFINITY
+                }
+            }
+            DistanceTransform::NegativeLog => {
+                if weight > 0.0 && max_weight > 0.0 {
+                    // Add a tiny offset so the heaviest edge has a small positive distance.
+                    (max_weight / weight).ln() + 1e-12
+                } else {
+                    f64::INFINITY
+                }
+            }
+            DistanceTransform::Identity => {
+                if weight >= 0.0 {
+                    weight
+                } else {
+                    f64::INFINITY
+                }
+            }
+        }
+    }
+}
+
+/// Result of a single-source shortest path computation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShortestPathTree {
+    /// The root of the tree.
+    pub source: NodeId,
+    /// Shortest distance from the root to each node (infinity when unreachable).
+    pub distances: Vec<f64>,
+    /// Predecessor of each node on its shortest path (`None` for the root and
+    /// unreachable nodes).
+    pub predecessors: Vec<Option<NodeId>>,
+}
+
+impl ShortestPathTree {
+    /// Whether `node` is reachable from the source.
+    pub fn is_reachable(&self, node: NodeId) -> bool {
+        self.distances
+            .get(node)
+            .map_or(false, |d| d.is_finite())
+    }
+
+    /// The tree edges as `(parent, child)` pairs.
+    pub fn tree_edges(&self) -> Vec<(NodeId, NodeId)> {
+        self.predecessors
+            .iter()
+            .enumerate()
+            .filter_map(|(child, parent)| parent.map(|p| (p, child)))
+            .collect()
+    }
+
+    /// Reconstruct the shortest path from the source to `target`
+    /// (inclusive of both endpoints), or `None` if unreachable.
+    pub fn path_to(&self, target: NodeId) -> Option<Vec<NodeId>> {
+        if !self.is_reachable(target) {
+            return None;
+        }
+        let mut path = vec![target];
+        let mut current = target;
+        while let Some(parent) = self.predecessors[current] {
+            path.push(parent);
+            current = parent;
+        }
+        path.reverse();
+        Some(path)
+    }
+}
+
+/// Entry in the Dijkstra priority queue (min-heap by distance).
+#[derive(Debug, PartialEq)]
+struct QueueEntry {
+    distance: f64,
+    node: NodeId,
+}
+
+impl Eq for QueueEntry {}
+
+impl Ord for QueueEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse so BinaryHeap (a max-heap) pops the smallest distance first.
+        other
+            .distance
+            .partial_cmp(&self.distance)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.node.cmp(&self.node))
+    }
+}
+
+impl PartialOrd for QueueEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Single-source shortest paths with Dijkstra's algorithm on transformed
+/// edge weights.
+///
+/// Edge weights are interpreted as proximities and converted to distances via
+/// `transform`; zero-weight edges become unreachable (infinite distance) under
+/// the inverse and negative-log transforms.
+pub fn dijkstra(
+    graph: &WeightedGraph,
+    source: NodeId,
+    transform: DistanceTransform,
+) -> GraphResult<ShortestPathTree> {
+    if source >= graph.node_count() {
+        return Err(GraphError::NodeOutOfBounds {
+            node: source,
+            node_count: graph.node_count(),
+        });
+    }
+    let max_weight = graph
+        .edges()
+        .map(|e| e.weight)
+        .fold(0.0_f64, f64::max);
+
+    let node_count = graph.node_count();
+    let mut distances = vec![f64::INFINITY; node_count];
+    let mut predecessors: Vec<Option<NodeId>> = vec![None; node_count];
+    let mut settled = vec![false; node_count];
+    let mut heap = BinaryHeap::new();
+
+    distances[source] = 0.0;
+    heap.push(QueueEntry {
+        distance: 0.0,
+        node: source,
+    });
+
+    while let Some(QueueEntry { distance, node }) = heap.pop() {
+        if settled[node] {
+            continue;
+        }
+        settled[node] = true;
+        for (neighbor, weight) in graph.out_neighbors(node) {
+            let edge_distance = transform.apply(weight, max_weight);
+            if !edge_distance.is_finite() {
+                continue;
+            }
+            let candidate = distance + edge_distance;
+            if candidate < distances[neighbor] {
+                distances[neighbor] = candidate;
+                predecessors[neighbor] = Some(node);
+                heap.push(QueueEntry {
+                    distance: candidate,
+                    node: neighbor,
+                });
+            }
+        }
+    }
+
+    Ok(ShortestPathTree {
+        source,
+        distances,
+        predecessors,
+    })
+}
+
+/// Convenience wrapper returning only the shortest-path tree edges rooted at
+/// `source` (the quantity the High Salience Skeleton superimposes).
+pub fn shortest_path_tree(
+    graph: &WeightedGraph,
+    source: NodeId,
+    transform: DistanceTransform,
+) -> GraphResult<Vec<(NodeId, NodeId)>> {
+    Ok(dijkstra(graph, source, transform)?.tree_edges())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Direction;
+
+    /// Triangle where the direct edge A-C is weak and the detour A-B-C is strong.
+    fn detour_graph() -> WeightedGraph {
+        WeightedGraph::from_edges(
+            Direction::Undirected,
+            3,
+            vec![(0, 1, 10.0), (1, 2, 10.0), (0, 2, 1.0)],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn inverse_transform_prefers_heavy_edges() {
+        let g = detour_graph();
+        let tree = dijkstra(&g, 0, DistanceTransform::Inverse).unwrap();
+        // Distance via the heavy detour: 1/10 + 1/10 = 0.2 < 1/1 = 1.0 direct.
+        assert!((tree.distances[2] - 0.2).abs() < 1e-12);
+        assert_eq!(tree.predecessors[2], Some(1));
+        assert_eq!(tree.path_to(2), Some(vec![0, 1, 2]));
+    }
+
+    #[test]
+    fn identity_transform_prefers_light_edges() {
+        let g = detour_graph();
+        let tree = dijkstra(&g, 0, DistanceTransform::Identity).unwrap();
+        assert!((tree.distances[2] - 1.0).abs() < 1e-12);
+        assert_eq!(tree.predecessors[2], Some(0));
+    }
+
+    #[test]
+    fn negative_log_transform_orders_like_inverse() {
+        let g = detour_graph();
+        let inverse = dijkstra(&g, 0, DistanceTransform::Inverse).unwrap();
+        let neg_log = dijkstra(&g, 0, DistanceTransform::NegativeLog).unwrap();
+        assert_eq!(inverse.predecessors[2], neg_log.predecessors[2]);
+    }
+
+    #[test]
+    fn unreachable_nodes_have_infinite_distance() {
+        let g = WeightedGraph::from_edges(
+            Direction::Directed,
+            4,
+            vec![(0, 1, 1.0), (2, 3, 1.0)],
+        )
+        .unwrap();
+        let tree = dijkstra(&g, 0, DistanceTransform::Inverse).unwrap();
+        assert!(tree.is_reachable(1));
+        assert!(!tree.is_reachable(3));
+        assert_eq!(tree.path_to(3), None);
+    }
+
+    #[test]
+    fn zero_weight_edges_are_ignored() {
+        let g = WeightedGraph::from_edges(
+            Direction::Undirected,
+            2,
+            vec![(0, 1, 0.0)],
+        )
+        .unwrap();
+        let tree = dijkstra(&g, 0, DistanceTransform::Inverse).unwrap();
+        assert!(!tree.is_reachable(1));
+    }
+
+    #[test]
+    fn tree_edges_form_a_tree() {
+        // A small dense graph: the SPT must have exactly (reachable − 1) edges.
+        let mut g = WeightedGraph::with_nodes(Direction::Undirected, 6);
+        for i in 0..6usize {
+            for j in (i + 1)..6usize {
+                g.add_edge(i, j, ((i + 2 * j) % 7 + 1) as f64).unwrap();
+            }
+        }
+        let tree = dijkstra(&g, 0, DistanceTransform::Inverse).unwrap();
+        assert_eq!(tree.tree_edges().len(), 5);
+        for node in 1..6 {
+            assert!(tree.is_reachable(node));
+        }
+    }
+
+    #[test]
+    fn directed_shortest_paths_respect_direction() {
+        let g = WeightedGraph::from_edges(
+            Direction::Directed,
+            3,
+            vec![(0, 1, 5.0), (1, 2, 5.0), (2, 0, 5.0)],
+        )
+        .unwrap();
+        let tree = dijkstra(&g, 0, DistanceTransform::Inverse).unwrap();
+        // 0 → 1 → 2 reachable; distances accumulate along direction.
+        assert!((tree.distances[1] - 0.2).abs() < 1e-12);
+        assert!((tree.distances[2] - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn invalid_source_is_rejected() {
+        let g = detour_graph();
+        assert!(dijkstra(&g, 10, DistanceTransform::Inverse).is_err());
+        assert!(shortest_path_tree(&g, 10, DistanceTransform::Inverse).is_err());
+    }
+
+    #[test]
+    fn shortest_path_tree_wrapper_matches_dijkstra() {
+        let g = detour_graph();
+        let tree = dijkstra(&g, 0, DistanceTransform::Inverse).unwrap();
+        let edges = shortest_path_tree(&g, 0, DistanceTransform::Inverse).unwrap();
+        assert_eq!(edges, tree.tree_edges());
+    }
+
+    #[test]
+    fn path_to_source_is_trivial() {
+        let g = detour_graph();
+        let tree = dijkstra(&g, 0, DistanceTransform::Inverse).unwrap();
+        assert_eq!(tree.path_to(0), Some(vec![0]));
+        assert_eq!(tree.distances[0], 0.0);
+    }
+}

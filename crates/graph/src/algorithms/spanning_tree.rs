@@ -1,0 +1,169 @@
+//! Kruskal maximum spanning trees.
+//!
+//! The Maximum Spanning Tree backbone (paper Section III-B) keeps, for each
+//! connected component, the tree of edges with maximum total weight. It is one
+//! of the parameter-free baselines the Noise-Corrected backbone is compared
+//! against.
+
+use crate::algorithms::union_find::UnionFind;
+use crate::graph::WeightedGraph;
+
+/// Compute a maximum spanning forest with Kruskal's algorithm and return the
+/// dense indices of the selected edges.
+///
+/// Directed graphs are treated as undirected (edge direction is ignored when
+/// checking connectivity), mirroring the reference implementation. When
+/// several edges share the same weight the tie is broken by insertion order,
+/// so the result is deterministic.
+pub fn maximum_spanning_tree(graph: &WeightedGraph) -> Vec<usize> {
+    let mut edge_indices: Vec<usize> = (0..graph.edge_count()).collect();
+    // Sort by descending weight; stable sort keeps insertion order for ties.
+    edge_indices.sort_by(|&a, &b| {
+        let wa = graph.edge(a).expect("index in range").weight;
+        let wb = graph.edge(b).expect("index in range").weight;
+        wb.partial_cmp(&wa).unwrap_or(std::cmp::Ordering::Equal)
+    });
+
+    let mut union_find = UnionFind::new(graph.node_count());
+    let mut selected = Vec::new();
+    for index in edge_indices {
+        let edge = graph.edge(index).expect("index in range");
+        if edge.source == edge.target {
+            continue; // self-loops never belong to a spanning tree
+        }
+        if union_find.union(edge.source, edge.target) {
+            selected.push(index);
+        }
+    }
+    selected.sort_unstable();
+    selected
+}
+
+/// Total weight of the maximum spanning forest.
+pub fn maximum_spanning_tree_weight(graph: &WeightedGraph) -> f64 {
+    maximum_spanning_tree(graph)
+        .into_iter()
+        .map(|index| graph.edge(index).expect("index in range").weight)
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::components::{component_count, is_connected};
+    use crate::graph::{Direction, WeightedGraph};
+
+    #[test]
+    fn picks_heaviest_edges_on_triangle() {
+        let g = WeightedGraph::from_edges(
+            Direction::Undirected,
+            3,
+            vec![(0, 1, 1.0), (1, 2, 3.0), (0, 2, 2.0)],
+        )
+        .unwrap();
+        let tree = maximum_spanning_tree(&g);
+        assert_eq!(tree.len(), 2);
+        // The weight-1 edge (index 0) must be dropped.
+        assert!(!tree.contains(&0));
+        assert!((maximum_spanning_tree_weight(&g) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spanning_tree_has_n_minus_one_edges_when_connected() {
+        let mut g = WeightedGraph::with_nodes(Direction::Undirected, 8);
+        for i in 0..8usize {
+            for j in (i + 1)..8usize {
+                g.add_edge(i, j, ((i * 3 + j * 7) % 11 + 1) as f64).unwrap();
+            }
+        }
+        let tree = maximum_spanning_tree(&g);
+        assert_eq!(tree.len(), 7);
+        let backbone = g.subgraph_with_edges(&tree).unwrap();
+        assert!(is_connected(&backbone));
+    }
+
+    #[test]
+    fn spanning_forest_on_disconnected_graph() {
+        let g = WeightedGraph::from_edges(
+            Direction::Undirected,
+            6,
+            vec![(0, 1, 1.0), (1, 2, 2.0), (0, 2, 3.0), (3, 4, 1.0), (4, 5, 2.0), (3, 5, 3.0)],
+        )
+        .unwrap();
+        let tree = maximum_spanning_tree(&g);
+        assert_eq!(tree.len(), 4); // two components × (3 − 1) edges
+        let backbone = g.subgraph_with_edges(&tree).unwrap();
+        assert_eq!(component_count(&backbone), 2);
+    }
+
+    #[test]
+    fn total_weight_is_maximal_on_small_graph() {
+        // Exhaustive check on a 4-node graph: no other spanning tree beats Kruskal.
+        let edges = vec![
+            (0usize, 1usize, 4.0),
+            (0, 2, 3.0),
+            (0, 3, 2.0),
+            (1, 2, 5.0),
+            (1, 3, 1.0),
+            (2, 3, 6.0),
+        ];
+        let g = WeightedGraph::from_edges(Direction::Undirected, 4, edges.clone()).unwrap();
+        let kruskal_weight = maximum_spanning_tree_weight(&g);
+
+        // Enumerate all 3-edge subsets that span the graph.
+        let mut best = 0.0f64;
+        let m = edges.len();
+        for a in 0..m {
+            for b in (a + 1)..m {
+                for c in (b + 1)..m {
+                    let subset = [a, b, c];
+                    let sub = g.subgraph_with_edges(&subset).unwrap();
+                    if is_connected(&sub) {
+                        let weight: f64 = subset
+                            .iter()
+                            .map(|&i| g.edge(i).unwrap().weight)
+                            .sum();
+                        best = best.max(weight);
+                    }
+                }
+            }
+        }
+        assert!((kruskal_weight - best).abs() < 1e-12);
+    }
+
+    #[test]
+    fn self_loops_are_skipped() {
+        let g = WeightedGraph::from_edges(
+            Direction::Undirected,
+            2,
+            vec![(0, 0, 100.0), (0, 1, 1.0)],
+        )
+        .unwrap();
+        let tree = maximum_spanning_tree(&g);
+        assert_eq!(tree.len(), 1);
+        assert_eq!(g.edge(tree[0]).unwrap().weight, 1.0);
+    }
+
+    #[test]
+    fn directed_graph_treated_as_undirected() {
+        let g = WeightedGraph::from_edges(
+            Direction::Directed,
+            3,
+            vec![(0, 1, 1.0), (1, 0, 5.0), (1, 2, 2.0)],
+        )
+        .unwrap();
+        let tree = maximum_spanning_tree(&g);
+        // Only one of the two antiparallel edges is needed for connectivity.
+        assert_eq!(tree.len(), 2);
+        let weights: Vec<f64> = tree.iter().map(|&i| g.edge(i).unwrap().weight).collect();
+        assert!(weights.contains(&5.0));
+        assert!(weights.contains(&2.0));
+    }
+
+    #[test]
+    fn empty_graph_yields_empty_tree() {
+        let g = WeightedGraph::undirected();
+        assert!(maximum_spanning_tree(&g).is_empty());
+        assert_eq!(maximum_spanning_tree_weight(&g), 0.0);
+    }
+}

@@ -1,0 +1,134 @@
+//! Breadth-first and depth-first traversals.
+
+use std::collections::VecDeque;
+
+use crate::graph::{NodeId, WeightedGraph};
+
+/// Nodes reachable from `start` by following outgoing edges, in breadth-first
+/// order (including `start` itself).
+pub fn breadth_first_order(graph: &WeightedGraph, start: NodeId) -> Vec<NodeId> {
+    if start >= graph.node_count() {
+        return Vec::new();
+    }
+    let mut visited = vec![false; graph.node_count()];
+    let mut order = Vec::new();
+    let mut queue = VecDeque::new();
+    visited[start] = true;
+    queue.push_back(start);
+    while let Some(node) = queue.pop_front() {
+        order.push(node);
+        for (neighbor, _) in graph.out_neighbors(node) {
+            if !visited[neighbor] {
+                visited[neighbor] = true;
+                queue.push_back(neighbor);
+            }
+        }
+    }
+    order
+}
+
+/// Nodes reachable from `start` by following outgoing edges, in depth-first
+/// (pre-order) order.
+pub fn depth_first_order(graph: &WeightedGraph, start: NodeId) -> Vec<NodeId> {
+    if start >= graph.node_count() {
+        return Vec::new();
+    }
+    let mut visited = vec![false; graph.node_count()];
+    let mut order = Vec::new();
+    let mut stack = vec![start];
+    while let Some(node) = stack.pop() {
+        if visited[node] {
+            continue;
+        }
+        visited[node] = true;
+        order.push(node);
+        // Push neighbours in reverse insertion order so the traversal visits
+        // them in insertion order (stable, deterministic output).
+        let neighbors: Vec<NodeId> = graph.out_neighbors(node).map(|(n, _)| n).collect();
+        for &neighbor in neighbors.iter().rev() {
+            if !visited[neighbor] {
+                stack.push(neighbor);
+            }
+        }
+    }
+    order
+}
+
+/// Number of nodes reachable from `start` (including itself).
+pub fn reachable_count(graph: &WeightedGraph, start: NodeId) -> usize {
+    breadth_first_order(graph, start).len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Direction;
+
+    fn path_graph() -> WeightedGraph {
+        WeightedGraph::from_edges(
+            Direction::Directed,
+            4,
+            vec![(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0)],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn bfs_visits_reachable_nodes_in_order() {
+        let g = path_graph();
+        assert_eq!(breadth_first_order(&g, 0), vec![0, 1, 2, 3]);
+        assert_eq!(breadth_first_order(&g, 2), vec![2, 3]);
+        assert_eq!(reachable_count(&g, 1), 3);
+    }
+
+    #[test]
+    fn bfs_respects_direction() {
+        let g = path_graph();
+        assert_eq!(breadth_first_order(&g, 3), vec![3]);
+    }
+
+    #[test]
+    fn bfs_layers_on_star() {
+        let g = WeightedGraph::from_edges(
+            Direction::Undirected,
+            4,
+            vec![(0, 1, 1.0), (0, 2, 1.0), (0, 3, 1.0)],
+        )
+        .unwrap();
+        let order = breadth_first_order(&g, 1);
+        assert_eq!(order[0], 1);
+        assert_eq!(order[1], 0);
+        assert_eq!(order.len(), 4);
+    }
+
+    #[test]
+    fn dfs_pre_order() {
+        let g = WeightedGraph::from_edges(
+            Direction::Directed,
+            5,
+            vec![(0, 1, 1.0), (0, 3, 1.0), (1, 2, 1.0), (3, 4, 1.0)],
+        )
+        .unwrap();
+        assert_eq!(depth_first_order(&g, 0), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn out_of_bounds_start_returns_empty() {
+        let g = path_graph();
+        assert!(breadth_first_order(&g, 10).is_empty());
+        assert!(depth_first_order(&g, 10).is_empty());
+    }
+
+    #[test]
+    fn traversal_on_disconnected_graph_stays_in_component() {
+        let g = WeightedGraph::from_edges(
+            Direction::Undirected,
+            5,
+            vec![(0, 1, 1.0), (2, 3, 1.0)],
+        )
+        .unwrap();
+        assert_eq!(breadth_first_order(&g, 0).len(), 2);
+        assert_eq!(depth_first_order(&g, 2).len(), 2);
+        assert_eq!(breadth_first_order(&g, 4), vec![4]);
+    }
+}

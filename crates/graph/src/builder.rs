@@ -1,0 +1,162 @@
+//! A fluent builder for weighted graphs.
+
+use crate::error::GraphResult;
+use crate::graph::{Direction, NodeId, WeightedGraph};
+
+/// Fluent builder around [`WeightedGraph`] for constructing test fixtures and
+/// example networks.
+///
+/// ```
+/// use backboning_graph::GraphBuilder;
+///
+/// let graph = GraphBuilder::undirected()
+///     .edge("A", "B", 3.0)
+///     .edge("B", "C", 1.0)
+///     .build()
+///     .unwrap();
+/// assert_eq!(graph.node_count(), 3);
+/// assert_eq!(graph.edge_count(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct GraphBuilder {
+    direction: Direction,
+    labeled_edges: Vec<(String, String, f64)>,
+    indexed_edges: Vec<(NodeId, NodeId, f64)>,
+    extra_nodes: Vec<String>,
+    unlabeled_nodes: usize,
+}
+
+impl GraphBuilder {
+    /// Start building a directed graph.
+    pub fn directed() -> Self {
+        Self::new(Direction::Directed)
+    }
+
+    /// Start building an undirected graph.
+    pub fn undirected() -> Self {
+        Self::new(Direction::Undirected)
+    }
+
+    /// Start building a graph with the given direction semantics.
+    pub fn new(direction: Direction) -> Self {
+        GraphBuilder {
+            direction,
+            labeled_edges: Vec::new(),
+            indexed_edges: Vec::new(),
+            extra_nodes: Vec::new(),
+            unlabeled_nodes: 0,
+        }
+    }
+
+    /// Add an edge between two labeled nodes (creating the nodes as needed).
+    pub fn edge(mut self, source: impl Into<String>, target: impl Into<String>, weight: f64) -> Self {
+        self.labeled_edges.push((source.into(), target.into(), weight));
+        self
+    }
+
+    /// Add an edge between two node indices. Indices beyond the current node
+    /// count are created automatically at build time.
+    pub fn indexed_edge(mut self, source: NodeId, target: NodeId, weight: f64) -> Self {
+        self.indexed_edges.push((source, target, weight));
+        self
+    }
+
+    /// Add an isolated labeled node.
+    pub fn node(mut self, label: impl Into<String>) -> Self {
+        self.extra_nodes.push(label.into());
+        self
+    }
+
+    /// Reserve `count` unlabeled nodes (ids `0..count`), useful together with
+    /// [`Self::indexed_edge`].
+    pub fn nodes(mut self, count: usize) -> Self {
+        self.unlabeled_nodes = self.unlabeled_nodes.max(count);
+        self
+    }
+
+    /// Build the graph.
+    pub fn build(self) -> GraphResult<WeightedGraph> {
+        let mut graph = WeightedGraph::new(self.direction);
+        for _ in 0..self.unlabeled_nodes {
+            graph.add_node();
+        }
+        let max_index = self
+            .indexed_edges
+            .iter()
+            .map(|&(s, t, _)| s.max(t))
+            .max();
+        if let Some(max_index) = max_index {
+            while graph.node_count() <= max_index {
+                graph.add_node();
+            }
+        }
+        for (source, target, weight) in self.indexed_edges {
+            graph.add_edge(source, target, weight)?;
+        }
+        for label in self.extra_nodes {
+            graph.ensure_node(&label);
+        }
+        for (source, target, weight) in self.labeled_edges {
+            let source = graph.ensure_node(&source);
+            let target = graph.ensure_node(&target);
+            graph.add_edge(source, target, weight)?;
+        }
+        Ok(graph)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_labeled_graph() {
+        let graph = GraphBuilder::undirected()
+            .edge("A", "B", 3.0)
+            .edge("B", "C", 1.0)
+            .node("D")
+            .build()
+            .unwrap();
+        assert_eq!(graph.node_count(), 4);
+        assert_eq!(graph.edge_count(), 2);
+        assert!(graph.node_by_label("D").is_some());
+        assert_eq!(graph.isolates().len(), 1);
+    }
+
+    #[test]
+    fn builds_indexed_graph_and_grows_node_set() {
+        let graph = GraphBuilder::directed()
+            .nodes(2)
+            .indexed_edge(0, 1, 1.0)
+            .indexed_edge(4, 2, 2.0)
+            .build()
+            .unwrap();
+        assert_eq!(graph.node_count(), 5);
+        assert!(graph.has_edge(4, 2));
+    }
+
+    #[test]
+    fn duplicate_labeled_edges_accumulate() {
+        let graph = GraphBuilder::directed()
+            .edge("A", "B", 1.0)
+            .edge("A", "B", 2.0)
+            .build()
+            .unwrap();
+        let a = graph.node_by_label("A").unwrap();
+        let b = graph.node_by_label("B").unwrap();
+        assert_eq!(graph.edge_weight(a, b), Some(3.0));
+    }
+
+    #[test]
+    fn invalid_weight_propagates_error() {
+        assert!(GraphBuilder::directed().edge("A", "B", -1.0).build().is_err());
+    }
+
+    #[test]
+    fn direction_is_respected() {
+        let directed = GraphBuilder::directed().edge("A", "B", 1.0).build().unwrap();
+        assert!(directed.is_directed());
+        let undirected = GraphBuilder::undirected().edge("A", "B", 1.0).build().unwrap();
+        assert!(!undirected.is_directed());
+    }
+}

@@ -1,0 +1,183 @@
+//! Compressed sparse row (CSR) graph representation.
+//!
+//! The scalability experiment of the paper (Figure 9) runs the backboning
+//! methods on networks with millions of edges. The adjacency-list
+//! [`WeightedGraph`](crate::WeightedGraph) is convenient to mutate but has
+//! poor cache locality; [`CsrGraph`] is an immutable, densely packed view that
+//! the hot loops (strength computation, per-node neighbourhood scans) operate
+//! on.
+
+use crate::graph::{Direction, NodeId, WeightedGraph};
+
+/// An immutable compressed-sparse-row view of a weighted graph.
+///
+/// Outgoing edges of node `v` occupy the slice
+/// `offsets[v]..offsets[v + 1]` of `targets` / `weights`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrGraph {
+    direction: Direction,
+    node_count: usize,
+    offsets: Vec<usize>,
+    targets: Vec<NodeId>,
+    weights: Vec<f64>,
+}
+
+impl CsrGraph {
+    /// Build a CSR view from an adjacency-list graph.
+    ///
+    /// For undirected graphs every edge appears in the row of *both*
+    /// endpoints, so row sums equal node strengths in both cases.
+    pub fn from_graph(graph: &WeightedGraph) -> Self {
+        let node_count = graph.node_count();
+        let mut degree = vec![0usize; node_count];
+        for node in graph.nodes() {
+            degree[node] = graph.out_degree(node);
+        }
+        let mut offsets = Vec::with_capacity(node_count + 1);
+        offsets.push(0);
+        for node in 0..node_count {
+            offsets.push(offsets[node] + degree[node]);
+        }
+        let total = offsets[node_count];
+        let mut targets = vec![0; total];
+        let mut weights = vec![0.0; total];
+        let mut cursor = offsets.clone();
+        for node in graph.nodes() {
+            for (neighbor, weight) in graph.out_neighbors(node) {
+                let slot = cursor[node];
+                targets[slot] = neighbor;
+                weights[slot] = weight;
+                cursor[node] += 1;
+            }
+        }
+        CsrGraph {
+            direction: graph.direction(),
+            node_count,
+            offsets,
+            targets,
+            weights,
+        }
+    }
+
+    /// Direction semantics of the underlying graph.
+    pub fn direction(&self) -> Direction {
+        self.direction
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.node_count
+    }
+
+    /// Number of stored adjacency entries. For undirected graphs each edge is
+    /// stored twice (once per endpoint), except self-loops which appear once.
+    pub fn entry_count(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Outgoing neighbor slice of a node.
+    pub fn neighbors(&self, node: NodeId) -> &[NodeId] {
+        &self.targets[self.offsets[node]..self.offsets[node + 1]]
+    }
+
+    /// Outgoing weight slice of a node (parallel to [`Self::neighbors`]).
+    pub fn weights(&self, node: NodeId) -> &[f64] {
+        &self.weights[self.offsets[node]..self.offsets[node + 1]]
+    }
+
+    /// Outgoing strength (row sum) of a node.
+    pub fn strength(&self, node: NodeId) -> f64 {
+        self.weights(node).iter().sum()
+    }
+
+    /// Out-degree (row length) of a node.
+    pub fn degree(&self, node: NodeId) -> usize {
+        self.offsets[node + 1] - self.offsets[node]
+    }
+
+    /// Total weight of all stored adjacency entries. Note that for undirected
+    /// graphs this counts every edge twice (minus self-loops), unlike
+    /// [`WeightedGraph::total_weight`].
+    pub fn total_entry_weight(&self) -> f64 {
+        self.weights.iter().sum()
+    }
+
+    /// Iterate over `(source, target, weight)` adjacency entries.
+    pub fn entries(&self) -> impl Iterator<Item = (NodeId, NodeId, f64)> + '_ {
+        (0..self.node_count).flat_map(move |node| {
+            self.neighbors(node)
+                .iter()
+                .zip(self.weights(node))
+                .map(move |(&target, &weight)| (node, target, weight))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Direction;
+
+    fn sample_directed() -> WeightedGraph {
+        let mut g = WeightedGraph::with_nodes(Direction::Directed, 4);
+        g.add_edge(0, 1, 1.0).unwrap();
+        g.add_edge(0, 2, 2.0).unwrap();
+        g.add_edge(2, 3, 3.0).unwrap();
+        g.add_edge(3, 0, 4.0).unwrap();
+        g
+    }
+
+    #[test]
+    fn csr_matches_adjacency_list() {
+        let g = sample_directed();
+        let csr = CsrGraph::from_graph(&g);
+        assert_eq!(csr.node_count(), 4);
+        assert_eq!(csr.entry_count(), 4);
+        assert_eq!(csr.degree(0), 2);
+        assert_eq!(csr.degree(1), 0);
+        assert_eq!(csr.neighbors(0), &[1, 2]);
+        assert_eq!(csr.weights(2), &[3.0]);
+        assert!((csr.strength(0) - 3.0).abs() < 1e-12);
+        assert!((csr.total_entry_weight() - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn csr_undirected_duplicates_entries() {
+        let mut g = WeightedGraph::with_nodes(Direction::Undirected, 3);
+        g.add_edge(0, 1, 1.0).unwrap();
+        g.add_edge(1, 2, 2.0).unwrap();
+        let csr = CsrGraph::from_graph(&g);
+        assert_eq!(csr.entry_count(), 4);
+        assert_eq!(csr.degree(1), 2);
+        assert!((csr.strength(1) - 3.0).abs() < 1e-12);
+        // Every adjacency entry appears from both endpoints.
+        assert!((csr.total_entry_weight() - 2.0 * g.total_weight()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn entries_iterator_covers_all_rows() {
+        let g = sample_directed();
+        let csr = CsrGraph::from_graph(&g);
+        let entries: Vec<(usize, usize, f64)> = csr.entries().collect();
+        assert_eq!(entries.len(), 4);
+        assert!(entries.contains(&(3, 0, 4.0)));
+    }
+
+    #[test]
+    fn empty_graph_produces_empty_csr() {
+        let g = WeightedGraph::directed();
+        let csr = CsrGraph::from_graph(&g);
+        assert_eq!(csr.node_count(), 0);
+        assert_eq!(csr.entry_count(), 0);
+    }
+
+    #[test]
+    fn isolated_nodes_have_empty_rows() {
+        let mut g = WeightedGraph::with_nodes(Direction::Directed, 3);
+        g.add_edge(0, 1, 1.0).unwrap();
+        let csr = CsrGraph::from_graph(&g);
+        assert_eq!(csr.degree(2), 0);
+        assert!(csr.neighbors(2).is_empty());
+        assert_eq!(csr.strength(2), 0.0);
+    }
+}

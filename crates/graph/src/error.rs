@@ -1,0 +1,119 @@
+//! Error types for the graph substrate.
+
+use std::fmt;
+
+/// Errors produced by graph operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GraphError {
+    /// A node index was out of bounds.
+    NodeOutOfBounds {
+        /// The offending node index.
+        node: usize,
+        /// The number of nodes in the graph.
+        node_count: usize,
+    },
+    /// A node label was not found in the graph.
+    UnknownLabel {
+        /// The label that was looked up.
+        label: String,
+    },
+    /// An edge weight was invalid (negative, NaN or infinite).
+    InvalidWeight {
+        /// The offending weight.
+        weight: f64,
+    },
+    /// A self-loop was supplied where the operation does not allow one.
+    SelfLoop {
+        /// The node on which the self-loop was attempted.
+        node: usize,
+    },
+    /// An operation required a directed (or undirected) graph but got the other kind.
+    WrongDirection {
+        /// Description of the requirement that was violated.
+        message: String,
+    },
+    /// A generator or algorithm received inconsistent parameters.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        parameter: &'static str,
+        /// Description of the constraint that was violated.
+        message: String,
+    },
+    /// An I/O or parsing problem while reading or writing an edge list.
+    Io {
+        /// Description of the failure.
+        message: String,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::NodeOutOfBounds { node, node_count } => {
+                write!(f, "node {node} out of bounds for graph with {node_count} nodes")
+            }
+            GraphError::UnknownLabel { label } => write!(f, "unknown node label `{label}`"),
+            GraphError::InvalidWeight { weight } => {
+                write!(f, "invalid edge weight {weight}: must be finite and non-negative")
+            }
+            GraphError::SelfLoop { node } => {
+                write!(f, "self-loop on node {node} is not allowed here")
+            }
+            GraphError::WrongDirection { message } => write!(f, "{message}"),
+            GraphError::InvalidParameter { parameter, message } => {
+                write!(f, "invalid parameter `{parameter}`: {message}")
+            }
+            GraphError::Io { message } => write!(f, "edge list I/O error: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+impl From<std::io::Error> for GraphError {
+    fn from(err: std::io::Error) -> Self {
+        GraphError::Io {
+            message: err.to_string(),
+        }
+    }
+}
+
+/// Convenience result alias for graph operations.
+pub type GraphResult<T> = Result<T, GraphError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let err = GraphError::NodeOutOfBounds {
+            node: 7,
+            node_count: 3,
+        };
+        assert!(err.to_string().contains('7'));
+        assert!(err.to_string().contains('3'));
+
+        let err = GraphError::UnknownLabel {
+            label: "USA".to_string(),
+        };
+        assert!(err.to_string().contains("USA"));
+
+        let err = GraphError::InvalidWeight { weight: -1.0 };
+        assert!(err.to_string().contains("-1"));
+    }
+
+    #[test]
+    fn io_error_conversion() {
+        let io_err = std::io::Error::new(std::io::ErrorKind::NotFound, "missing file");
+        let graph_err: GraphError = io_err.into();
+        assert!(matches!(graph_err, GraphError::Io { .. }));
+        assert!(graph_err.to_string().contains("missing file"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_error<E: std::error::Error>() {}
+        assert_error::<GraphError>();
+    }
+}

@@ -1,0 +1,114 @@
+//! Random and deterministic graph generators.
+//!
+//! * [`barabasi_albert`] — preferential-attachment networks; the synthetic
+//!   experiment of the paper (Figure 4) uses Barabási–Albert topologies with
+//!   200 nodes and average degree 3.
+//! * [`erdos_renyi`] — G(n, m)-style random graphs; the scalability experiment
+//!   (Figure 9) uses Erdős–Rényi graphs with average degree 3 and uniform
+//!   random weights.
+//! * [`stochastic_block_model`] — planted community structure, used to test
+//!   that backbones preserve community-recoverable structure (Figure 1's
+//!   motivating example).
+//! * Small deterministic topologies ([`complete_graph`], [`star_graph`],
+//!   [`path_graph`], [`cycle_graph`]) used throughout the test suites.
+
+mod random;
+
+pub use random::{barabasi_albert, erdos_renyi, stochastic_block_model};
+
+use crate::error::{GraphError, GraphResult};
+use crate::graph::{Direction, WeightedGraph};
+
+/// Complete undirected graph on `n` nodes with all edge weights equal to `weight`.
+pub fn complete_graph(n: usize, weight: f64) -> GraphResult<WeightedGraph> {
+    let mut graph = WeightedGraph::with_nodes(Direction::Undirected, n);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            graph.add_edge(i, j, weight)?;
+        }
+    }
+    Ok(graph)
+}
+
+/// Star graph: node 0 is connected to every other node with weight `weight`.
+pub fn star_graph(n: usize, weight: f64) -> GraphResult<WeightedGraph> {
+    if n == 0 {
+        return Err(GraphError::InvalidParameter {
+            parameter: "n",
+            message: "star graph needs at least one node".to_string(),
+        });
+    }
+    let mut graph = WeightedGraph::with_nodes(Direction::Undirected, n);
+    for leaf in 1..n {
+        graph.add_edge(0, leaf, weight)?;
+    }
+    Ok(graph)
+}
+
+/// Path graph `0 - 1 - 2 - ... - (n-1)` with uniform edge weight.
+pub fn path_graph(n: usize, weight: f64) -> GraphResult<WeightedGraph> {
+    let mut graph = WeightedGraph::with_nodes(Direction::Undirected, n);
+    for i in 1..n {
+        graph.add_edge(i - 1, i, weight)?;
+    }
+    Ok(graph)
+}
+
+/// Cycle graph on `n ≥ 3` nodes with uniform edge weight.
+pub fn cycle_graph(n: usize, weight: f64) -> GraphResult<WeightedGraph> {
+    if n < 3 {
+        return Err(GraphError::InvalidParameter {
+            parameter: "n",
+            message: format!("cycle graph needs at least 3 nodes, got {n}"),
+        });
+    }
+    let mut graph = path_graph(n, weight)?;
+    graph.add_edge(n - 1, 0, weight)?;
+    Ok(graph)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::components::is_connected;
+
+    #[test]
+    fn complete_graph_edge_count() {
+        let g = complete_graph(6, 1.0).unwrap();
+        assert_eq!(g.node_count(), 6);
+        assert_eq!(g.edge_count(), 15);
+        assert!(is_connected(&g));
+        assert_eq!(g.degree(3), 5);
+    }
+
+    #[test]
+    fn star_graph_shape() {
+        let g = star_graph(5, 2.0).unwrap();
+        assert_eq!(g.edge_count(), 4);
+        assert_eq!(g.degree(0), 4);
+        assert_eq!(g.degree(1), 1);
+        assert!((g.out_strength(0) - 8.0).abs() < 1e-12);
+        assert!(star_graph(0, 1.0).is_err());
+    }
+
+    #[test]
+    fn path_and_cycle_shapes() {
+        let p = path_graph(4, 1.0).unwrap();
+        assert_eq!(p.edge_count(), 3);
+        assert_eq!(p.degree(0), 1);
+        assert_eq!(p.degree(1), 2);
+
+        let c = cycle_graph(4, 1.0).unwrap();
+        assert_eq!(c.edge_count(), 4);
+        assert_eq!(c.degree(0), 2);
+        assert!(cycle_graph(2, 1.0).is_err());
+    }
+
+    #[test]
+    fn degenerate_sizes() {
+        assert_eq!(complete_graph(0, 1.0).unwrap().node_count(), 0);
+        assert_eq!(complete_graph(1, 1.0).unwrap().edge_count(), 0);
+        assert_eq!(path_graph(1, 1.0).unwrap().edge_count(), 0);
+        assert_eq!(star_graph(1, 1.0).unwrap().edge_count(), 0);
+    }
+}

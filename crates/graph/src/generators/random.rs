@@ -1,0 +1,268 @@
+//! Seeded random graph generators.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::error::{GraphError, GraphResult};
+use crate::graph::{Direction, WeightedGraph};
+
+/// Generate a Barabási–Albert preferential-attachment graph.
+///
+/// Starts from a small seed clique and attaches each new node to
+/// `edges_per_node` existing nodes chosen with probability proportional to
+/// their current degree. All edges carry weight 1; callers that need weighted
+/// edges (such as the paper's synthetic noise experiment) assign weights
+/// afterwards.
+///
+/// The Figure 4 experiment uses `nodes = 200` and `edges_per_node = 3`
+/// (yielding average degree ≈ 3 when counting each undirected edge once per
+/// endpoint pair, as the paper does informally).
+pub fn barabasi_albert(nodes: usize, edges_per_node: usize, seed: u64) -> GraphResult<WeightedGraph> {
+    if edges_per_node == 0 {
+        return Err(GraphError::InvalidParameter {
+            parameter: "edges_per_node",
+            message: "each new node must attach with at least one edge".to_string(),
+        });
+    }
+    if nodes <= edges_per_node {
+        return Err(GraphError::InvalidParameter {
+            parameter: "nodes",
+            message: format!(
+                "need more nodes ({nodes}) than edges per node ({edges_per_node})"
+            ),
+        });
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut graph = WeightedGraph::with_nodes(Direction::Undirected, nodes);
+
+    // `attachment_pool` contains each node once per unit of degree, so sampling
+    // uniformly from it implements preferential attachment.
+    let mut attachment_pool: Vec<usize> = Vec::new();
+
+    // Seed: a small clique over the first `edges_per_node + 1` nodes.
+    let seed_size = edges_per_node + 1;
+    for i in 0..seed_size {
+        for j in (i + 1)..seed_size {
+            graph.add_edge(i, j, 1.0)?;
+            attachment_pool.push(i);
+            attachment_pool.push(j);
+        }
+    }
+
+    for new_node in seed_size..nodes {
+        let mut chosen: Vec<usize> = Vec::with_capacity(edges_per_node);
+        let mut guard = 0;
+        while chosen.len() < edges_per_node && guard < 10_000 {
+            guard += 1;
+            let candidate = attachment_pool[rng.random_range(0..attachment_pool.len())];
+            if candidate != new_node && !chosen.contains(&candidate) {
+                chosen.push(candidate);
+            }
+        }
+        for &target in &chosen {
+            graph.add_edge(new_node, target, 1.0)?;
+            attachment_pool.push(new_node);
+            attachment_pool.push(target);
+        }
+    }
+    Ok(graph)
+}
+
+/// Generate an Erdős–Rényi style random graph with a target number of edges.
+///
+/// `expected_edges` distinct node pairs are sampled uniformly at random
+/// (without replacement) and connected with a weight drawn uniformly from
+/// `(0, max_weight]`. This matches the scalability setup of the paper's
+/// Figure 9: average degree 3 with uniform random weights.
+pub fn erdos_renyi(
+    nodes: usize,
+    expected_edges: usize,
+    max_weight: f64,
+    direction: Direction,
+    seed: u64,
+) -> GraphResult<WeightedGraph> {
+    if nodes < 2 {
+        return Err(GraphError::InvalidParameter {
+            parameter: "nodes",
+            message: format!("need at least 2 nodes, got {nodes}"),
+        });
+    }
+    if max_weight <= 0.0 {
+        return Err(GraphError::InvalidParameter {
+            parameter: "max_weight",
+            message: format!("must be positive, got {max_weight}"),
+        });
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut graph = WeightedGraph::with_nodes(direction, nodes);
+    let mut created = 0usize;
+    let mut attempts = 0usize;
+    let attempt_limit = expected_edges.saturating_mul(20).max(1000);
+    while created < expected_edges && attempts < attempt_limit {
+        attempts += 1;
+        let source = rng.random_range(0..nodes);
+        let target = rng.random_range(0..nodes);
+        if source == target || graph.has_edge(source, target) {
+            continue;
+        }
+        let weight = rng.random_range(0.0..max_weight) + f64::MIN_POSITIVE;
+        graph.add_edge(source, target, weight)?;
+        created += 1;
+    }
+    Ok(graph)
+}
+
+/// Generate a weighted stochastic block model.
+///
+/// Nodes are split into `blocks.len()` groups of the given sizes. A pair of
+/// nodes in the same group is connected with probability `p_within`, a pair in
+/// different groups with probability `p_between`. Within-group edges receive
+/// weights around `weight_within`, between-group edges around `weight_between`
+/// (both multiplied by a uniform factor in `[0.5, 1.5)` for variety).
+///
+/// Returns the graph together with the ground-truth block label of every node,
+/// which the community-recovery tests compare against.
+pub fn stochastic_block_model(
+    blocks: &[usize],
+    p_within: f64,
+    p_between: f64,
+    weight_within: f64,
+    weight_between: f64,
+    seed: u64,
+) -> GraphResult<(WeightedGraph, Vec<usize>)> {
+    if blocks.is_empty() {
+        return Err(GraphError::InvalidParameter {
+            parameter: "blocks",
+            message: "need at least one block".to_string(),
+        });
+    }
+    for &probability in &[p_within, p_between] {
+        if !(0.0..=1.0).contains(&probability) {
+            return Err(GraphError::InvalidParameter {
+                parameter: "p_within/p_between",
+                message: format!("probabilities must lie in [0, 1], got {probability}"),
+            });
+        }
+    }
+    let node_count: usize = blocks.iter().sum();
+    let mut labels = Vec::with_capacity(node_count);
+    for (block_index, &size) in blocks.iter().enumerate() {
+        labels.extend(std::iter::repeat(block_index).take(size));
+    }
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut graph = WeightedGraph::with_nodes(Direction::Undirected, node_count);
+    for i in 0..node_count {
+        for j in (i + 1)..node_count {
+            let same_block = labels[i] == labels[j];
+            let probability = if same_block { p_within } else { p_between };
+            if rng.random::<f64>() < probability {
+                let base = if same_block { weight_within } else { weight_between };
+                let weight = base * rng.random_range(0.5..1.5);
+                graph.add_edge(i, j, weight)?;
+            }
+        }
+    }
+    Ok((graph, labels))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::components::is_connected;
+    use crate::algorithms::degree::{average_degree, degree_sequence};
+
+    #[test]
+    fn barabasi_albert_basic_shape() {
+        let g = barabasi_albert(200, 3, 42).unwrap();
+        assert_eq!(g.node_count(), 200);
+        assert!(is_connected(&g));
+        // m = 3 attachment yields roughly 3 edges per non-seed node.
+        let expected_edges = 3 * (200 - 4) + 6;
+        assert_eq!(g.edge_count(), expected_edges);
+        assert!(average_degree(&g) > 5.0); // ≈ 2m for undirected counting
+    }
+
+    #[test]
+    fn barabasi_albert_has_hubs() {
+        let g = barabasi_albert(300, 2, 7).unwrap();
+        let degrees = degree_sequence(&g);
+        let max_degree = degrees.iter().copied().max().unwrap();
+        let median_degree = {
+            let mut sorted = degrees.clone();
+            sorted.sort_unstable();
+            sorted[sorted.len() / 2]
+        };
+        // Preferential attachment produces hubs far above the median degree.
+        assert!(max_degree >= 4 * median_degree);
+    }
+
+    #[test]
+    fn barabasi_albert_is_deterministic_per_seed() {
+        let a = barabasi_albert(100, 3, 5).unwrap();
+        let b = barabasi_albert(100, 3, 5).unwrap();
+        let edges_a: Vec<_> = a.edges().map(|e| (e.source, e.target)).collect();
+        let edges_b: Vec<_> = b.edges().map(|e| (e.source, e.target)).collect();
+        assert_eq!(edges_a, edges_b);
+        let c = barabasi_albert(100, 3, 6).unwrap();
+        let edges_c: Vec<_> = c.edges().map(|e| (e.source, e.target)).collect();
+        assert_ne!(edges_a, edges_c);
+    }
+
+    #[test]
+    fn barabasi_albert_rejects_bad_parameters() {
+        assert!(barabasi_albert(3, 3, 0).is_err());
+        assert!(barabasi_albert(10, 0, 0).is_err());
+    }
+
+    #[test]
+    fn erdos_renyi_edge_count_and_weights() {
+        let g = erdos_renyi(1000, 1500, 10.0, Direction::Undirected, 11).unwrap();
+        assert_eq!(g.node_count(), 1000);
+        assert_eq!(g.edge_count(), 1500);
+        for edge in g.edges() {
+            assert!(edge.weight > 0.0);
+            assert!(edge.weight <= 10.0);
+        }
+    }
+
+    #[test]
+    fn erdos_renyi_directed_variant() {
+        let g = erdos_renyi(50, 200, 1.0, Direction::Directed, 3).unwrap();
+        assert!(g.is_directed());
+        assert_eq!(g.edge_count(), 200);
+    }
+
+    #[test]
+    fn erdos_renyi_rejects_bad_parameters() {
+        assert!(erdos_renyi(1, 10, 1.0, Direction::Undirected, 0).is_err());
+        assert!(erdos_renyi(10, 10, 0.0, Direction::Undirected, 0).is_err());
+    }
+
+    #[test]
+    fn sbm_produces_planted_structure() {
+        let (g, labels) = stochastic_block_model(&[30, 30, 30], 0.5, 0.02, 10.0, 1.0, 19).unwrap();
+        assert_eq!(g.node_count(), 90);
+        assert_eq!(labels.len(), 90);
+        assert_eq!(labels[0], 0);
+        assert_eq!(labels[89], 2);
+
+        // Count within- vs between-block edges: within must dominate heavily.
+        let mut within = 0usize;
+        let mut between = 0usize;
+        for edge in g.edges() {
+            if labels[edge.source] == labels[edge.target] {
+                within += 1;
+            } else {
+                between += 1;
+            }
+        }
+        assert!(within > between * 2);
+    }
+
+    #[test]
+    fn sbm_rejects_bad_parameters() {
+        assert!(stochastic_block_model(&[], 0.5, 0.1, 1.0, 1.0, 0).is_err());
+        assert!(stochastic_block_model(&[10], 1.5, 0.1, 1.0, 1.0, 0).is_err());
+    }
+}

@@ -1,0 +1,264 @@
+//! Plain-text edge-list input/output.
+//!
+//! The reference Python implementation of the paper exchanges networks as
+//! whitespace- or tab-separated edge lists (`source target weight`, one edge
+//! per line, optional header). This module reads and writes the same format so
+//! that networks can be moved between this crate and external tools.
+
+use std::io::{BufRead, BufWriter, Write};
+use std::path::Path;
+
+use crate::error::{GraphError, GraphResult};
+use crate::graph::{Direction, WeightedGraph};
+
+/// Options controlling edge-list parsing.
+#[derive(Debug, Clone)]
+pub struct EdgeListOptions {
+    /// Direction semantics of the resulting graph.
+    pub direction: Direction,
+    /// Field separator (`None` splits on arbitrary whitespace).
+    pub separator: Option<char>,
+    /// Whether the first non-comment line is a header to skip.
+    pub has_header: bool,
+    /// Lines starting with this prefix are ignored.
+    pub comment_prefix: Option<char>,
+}
+
+impl Default for EdgeListOptions {
+    fn default() -> Self {
+        EdgeListOptions {
+            direction: Direction::Directed,
+            separator: None,
+            has_header: false,
+            comment_prefix: Some('#'),
+        }
+    }
+}
+
+impl EdgeListOptions {
+    /// Default options with the given direction.
+    pub fn with_direction(direction: Direction) -> Self {
+        EdgeListOptions {
+            direction,
+            ..Default::default()
+        }
+    }
+}
+
+/// Parse a weighted edge list from any reader.
+///
+/// Each data line must contain `source target [weight]`; when the weight
+/// column is missing the edge gets weight 1. Node names are arbitrary strings
+/// and become node labels. Duplicate edges accumulate their weights.
+pub fn read_edge_list<R: BufRead>(
+    reader: R,
+    options: &EdgeListOptions,
+) -> GraphResult<WeightedGraph> {
+    let mut graph = WeightedGraph::new(options.direction);
+    let mut skipped_header = !options.has_header;
+    for (line_number, line) in reader.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        if let Some(prefix) = options.comment_prefix {
+            if trimmed.starts_with(prefix) {
+                continue;
+            }
+        }
+        if !skipped_header {
+            skipped_header = true;
+            continue;
+        }
+        let fields: Vec<&str> = match options.separator {
+            Some(separator) => trimmed.split(separator).map(str::trim).collect(),
+            None => trimmed.split_whitespace().collect(),
+        };
+        if fields.len() < 2 {
+            return Err(GraphError::Io {
+                message: format!(
+                    "line {}: expected at least `source target`, got `{trimmed}`",
+                    line_number + 1
+                ),
+            });
+        }
+        let weight = if fields.len() >= 3 {
+            fields[2].parse::<f64>().map_err(|_| GraphError::Io {
+                message: format!(
+                    "line {}: cannot parse weight `{}`",
+                    line_number + 1,
+                    fields[2]
+                ),
+            })?
+        } else {
+            1.0
+        };
+        let source = graph.ensure_node(fields[0]);
+        let target = graph.ensure_node(fields[1]);
+        graph.add_edge(source, target, weight)?;
+    }
+    Ok(graph)
+}
+
+/// Parse a weighted edge list from a string.
+pub fn read_edge_list_str(text: &str, options: &EdgeListOptions) -> GraphResult<WeightedGraph> {
+    read_edge_list(text.as_bytes(), options)
+}
+
+/// Read a weighted edge list from a file.
+pub fn read_edge_list_file(
+    path: impl AsRef<Path>,
+    options: &EdgeListOptions,
+) -> GraphResult<WeightedGraph> {
+    let file = std::fs::File::open(path)?;
+    read_edge_list(std::io::BufReader::new(file), options)
+}
+
+/// Write a graph as a tab-separated edge list (`source<TAB>target<TAB>weight`).
+///
+/// Nodes without labels are written as their numeric id.
+pub fn write_edge_list<W: Write>(graph: &WeightedGraph, writer: W) -> GraphResult<()> {
+    let mut writer = BufWriter::new(writer);
+    writeln!(writer, "# source\ttarget\tweight")?;
+    for edge in graph.edges() {
+        let source = graph
+            .label(edge.source)
+            .map(str::to_string)
+            .unwrap_or_else(|| edge.source.to_string());
+        let target = graph
+            .label(edge.target)
+            .map(str::to_string)
+            .unwrap_or_else(|| edge.target.to_string());
+        writeln!(writer, "{source}\t{target}\t{}", edge.weight)?;
+    }
+    writer.flush()?;
+    Ok(())
+}
+
+/// Write a graph as a tab-separated edge list to a file.
+pub fn write_edge_list_file(graph: &WeightedGraph, path: impl AsRef<Path>) -> GraphResult<()> {
+    let file = std::fs::File::create(path)?;
+    write_edge_list(graph, file)
+}
+
+/// Serialise a graph to an edge-list string.
+pub fn write_edge_list_string(graph: &WeightedGraph) -> GraphResult<String> {
+    let mut buffer = Vec::new();
+    write_edge_list(graph, &mut buffer)?;
+    String::from_utf8(buffer).map_err(|e| GraphError::Io {
+        message: format!("generated edge list is not valid UTF-8: {e}"),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reads_whitespace_separated_edges() {
+        let text = "A B 2.0\nB C 3.5\n";
+        let graph = read_edge_list_str(text, &EdgeListOptions::default()).unwrap();
+        assert_eq!(graph.node_count(), 3);
+        assert_eq!(graph.edge_count(), 2);
+        let a = graph.node_by_label("A").unwrap();
+        let b = graph.node_by_label("B").unwrap();
+        assert_eq!(graph.edge_weight(a, b), Some(2.0));
+    }
+
+    #[test]
+    fn missing_weight_defaults_to_one() {
+        let graph = read_edge_list_str("A B\n", &EdgeListOptions::default()).unwrap();
+        let a = graph.node_by_label("A").unwrap();
+        let b = graph.node_by_label("B").unwrap();
+        assert_eq!(graph.edge_weight(a, b), Some(1.0));
+    }
+
+    #[test]
+    fn skips_comments_blank_lines_and_header() {
+        let text = "# a comment\n\nsource target weight\nA B 1\nB C 2\n";
+        let options = EdgeListOptions {
+            has_header: true,
+            ..Default::default()
+        };
+        let graph = read_edge_list_str(text, &options).unwrap();
+        assert_eq!(graph.edge_count(), 2);
+        assert!(graph.node_by_label("source").is_none());
+    }
+
+    #[test]
+    fn custom_separator() {
+        let text = "A,B,4.5\nB,C,1.0\n";
+        let options = EdgeListOptions {
+            separator: Some(','),
+            ..Default::default()
+        };
+        let graph = read_edge_list_str(text, &options).unwrap();
+        assert_eq!(graph.edge_count(), 2);
+    }
+
+    #[test]
+    fn undirected_option_merges_orientations() {
+        let text = "A B 1.0\nB A 2.0\n";
+        let options = EdgeListOptions::with_direction(Direction::Undirected);
+        let graph = read_edge_list_str(text, &options).unwrap();
+        assert_eq!(graph.edge_count(), 1);
+        let a = graph.node_by_label("A").unwrap();
+        let b = graph.node_by_label("B").unwrap();
+        assert_eq!(graph.edge_weight(a, b), Some(3.0));
+    }
+
+    #[test]
+    fn malformed_lines_are_rejected() {
+        assert!(read_edge_list_str("just_one_field\n", &EdgeListOptions::default()).is_err());
+        assert!(read_edge_list_str("A B not_a_number\n", &EdgeListOptions::default()).is_err());
+    }
+
+    #[test]
+    fn write_then_read_round_trips() {
+        let original = WeightedGraph::from_labeled_edges(
+            Direction::Directed,
+            vec![("A", "B", 1.5), ("B", "C", 2.5), ("C", "A", 3.0)],
+        )
+        .unwrap();
+        let text = write_edge_list_string(&original).unwrap();
+        let restored = read_edge_list_str(&text, &EdgeListOptions::default()).unwrap();
+        assert_eq!(restored.node_count(), original.node_count());
+        assert_eq!(restored.edge_count(), original.edge_count());
+        for edge in original.edges() {
+            let source_label = original.label(edge.source).unwrap();
+            let target_label = original.label(edge.target).unwrap();
+            let restored_source = restored.node_by_label(source_label).unwrap();
+            let restored_target = restored.node_by_label(target_label).unwrap();
+            assert_eq!(
+                restored.edge_weight(restored_source, restored_target),
+                Some(edge.weight)
+            );
+        }
+    }
+
+    #[test]
+    fn unlabeled_nodes_are_written_as_ids() {
+        let graph =
+            WeightedGraph::from_edges(Direction::Directed, 2, vec![(0, 1, 7.0)]).unwrap();
+        let text = write_edge_list_string(&graph).unwrap();
+        assert!(text.contains("0\t1\t7"));
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join("backboning_graph_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("edges.tsv");
+        let graph = WeightedGraph::from_labeled_edges(
+            Direction::Undirected,
+            vec![("X", "Y", 1.0), ("Y", "Z", 2.0)],
+        )
+        .unwrap();
+        write_edge_list_file(&graph, &path).unwrap();
+        let options = EdgeListOptions::with_direction(Direction::Undirected);
+        let restored = read_edge_list_file(&path, &options).unwrap();
+        assert_eq!(restored.edge_count(), 2);
+        std::fs::remove_file(&path).unwrap();
+    }
+}

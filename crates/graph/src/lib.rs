@@ -1,0 +1,39 @@
+//! # backboning-graph
+//!
+//! Weighted-graph substrate for the `backboning-rs` workspace, a Rust
+//! reproduction of *Network Backboning with Noisy Data* (Coscia & Neffke,
+//! ICDE 2017).
+//!
+//! The paper's data structure is a weighted graph `G = (V, E, N)` with
+//! non-negative real edge weights, either directed or undirected. This crate
+//! provides:
+//!
+//! * [`WeightedGraph`] — the central adjacency-list representation with node
+//!   labels, per-node in/out strengths and O(1) edge lookup.
+//! * [`CsrGraph`](csr::CsrGraph) — an immutable compressed-sparse-row view used
+//!   by the scalability experiments (Figure 9).
+//! * Graph [`generators`] — Barabási–Albert, Erdős–Rényi, stochastic block
+//!   model and small deterministic topologies, used by the synthetic
+//!   experiments (Figure 4) and the test suites.
+//! * Graph [`algorithms`] — union–find, connected components, BFS/DFS,
+//!   Dijkstra shortest-path trees (the building block of the High Salience
+//!   Skeleton), and Kruskal maximum spanning trees.
+//! * Edge-list [`io`] for plain-text interchange of weighted networks.
+//! * A dense [`matrix`](crate::matrix) adjacency view used by the
+//!   Doubly-Stochastic backbone's Sinkhorn normalisation.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod algorithms;
+pub mod builder;
+pub mod csr;
+pub mod error;
+pub mod generators;
+pub mod graph;
+pub mod io;
+pub mod matrix;
+
+pub use builder::GraphBuilder;
+pub use error::{GraphError, GraphResult};
+pub use graph::{Direction, Edge, EdgeRef, NodeId, WeightedGraph};

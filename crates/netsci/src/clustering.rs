@@ -1,0 +1,127 @@
+//! Clustering coefficients.
+//!
+//! The paper criticises the Maximum Spanning Tree backbone for destroying
+//! transitivity; the clustering coefficient is the metric that makes that
+//! criticism quantitative (a tree always has clustering zero).
+
+use std::collections::HashSet;
+
+use backboning_graph::{NodeId, WeightedGraph};
+
+/// Collect the (unweighted, undirected) neighbour set of a node, ignoring
+/// self-loops.
+fn neighbor_set(graph: &WeightedGraph, node: NodeId) -> HashSet<NodeId> {
+    let mut neighbors: HashSet<NodeId> = graph
+        .out_neighbors(node)
+        .map(|(n, _)| n)
+        .filter(|&n| n != node)
+        .collect();
+    if graph.is_directed() {
+        neighbors.extend(
+            graph
+                .in_neighbors(node)
+                .map(|(n, _)| n)
+                .filter(|&n| n != node),
+        );
+    }
+    neighbors
+}
+
+/// Local clustering coefficient of one node: the share of pairs of its
+/// neighbours that are themselves connected. Nodes with fewer than two
+/// neighbours have coefficient 0.
+pub fn local_clustering(graph: &WeightedGraph, node: NodeId) -> f64 {
+    let neighbors: Vec<NodeId> = neighbor_set(graph, node).into_iter().collect();
+    let degree = neighbors.len();
+    if degree < 2 {
+        return 0.0;
+    }
+    let mut closed = 0usize;
+    for i in 0..degree {
+        for j in (i + 1)..degree {
+            if graph.has_edge(neighbors[i], neighbors[j]) || graph.has_edge(neighbors[j], neighbors[i])
+            {
+                closed += 1;
+            }
+        }
+    }
+    2.0 * closed as f64 / (degree * (degree - 1)) as f64
+}
+
+/// Average local clustering coefficient over all nodes (0 for an empty graph).
+pub fn average_clustering(graph: &WeightedGraph) -> f64 {
+    if graph.node_count() == 0 {
+        return 0.0;
+    }
+    graph
+        .nodes()
+        .map(|n| local_clustering(graph, n))
+        .sum::<f64>()
+        / graph.node_count() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use backboning_graph::generators::{complete_graph, path_graph, star_graph};
+    use backboning_graph::{Direction, GraphBuilder, WeightedGraph};
+
+    #[test]
+    fn complete_graph_has_full_clustering() {
+        let g = complete_graph(5, 1.0).unwrap();
+        assert!((average_clustering(&g) - 1.0).abs() < 1e-12);
+        assert!((local_clustering(&g, 2) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn trees_have_zero_clustering() {
+        let star = star_graph(6, 1.0).unwrap();
+        assert_eq!(average_clustering(&star), 0.0);
+        let path = path_graph(5, 1.0).unwrap();
+        assert_eq!(average_clustering(&path), 0.0);
+    }
+
+    #[test]
+    fn triangle_with_tail() {
+        let g = GraphBuilder::undirected()
+            .indexed_edge(0, 1, 1.0)
+            .indexed_edge(1, 2, 1.0)
+            .indexed_edge(0, 2, 1.0)
+            .indexed_edge(2, 3, 1.0)
+            .build()
+            .unwrap();
+        assert!((local_clustering(&g, 0) - 1.0).abs() < 1e-12);
+        // Node 2 has neighbours {0, 1, 3}; only the pair (0, 1) is closed.
+        assert!((local_clustering(&g, 2) - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(local_clustering(&g, 3), 0.0);
+    }
+
+    #[test]
+    fn directed_edges_count_as_undirected_for_clustering() {
+        let g = WeightedGraph::from_edges(
+            Direction::Directed,
+            3,
+            vec![(0, 1, 1.0), (1, 2, 1.0), (2, 0, 1.0)],
+        )
+        .unwrap();
+        assert!((local_clustering(&g, 0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn self_loops_are_ignored() {
+        let g = GraphBuilder::undirected()
+            .indexed_edge(0, 0, 5.0)
+            .indexed_edge(0, 1, 1.0)
+            .indexed_edge(0, 2, 1.0)
+            .indexed_edge(1, 2, 1.0)
+            .build()
+            .unwrap();
+        assert!((local_clustering(&g, 0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = WeightedGraph::undirected();
+        assert_eq!(average_clustering(&g), 0.0);
+    }
+}

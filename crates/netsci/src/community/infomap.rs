@@ -1,0 +1,349 @@
+//! Two-level map equation (Infomap-style) community detection.
+//!
+//! The case study of the paper (Section VI) uses Infomap's two-level
+//! codelength to compare backbones: partitioning the NC backbone compresses a
+//! random walker's description from 7.97 to 6.78 bits (a 15.0% gain), against
+//! a 9.3% gain on the Disparity Filter backbone. This module implements the
+//! same quantity — the two-level map equation of Rosvall & Bergstrom (2008) —
+//! for undirected weighted networks, plus a greedy optimiser.
+//!
+//! For an undirected weighted network the random walker's stationary visit
+//! rate of node `α` is `p_α = s_α / (2m)` (strength over twice the total edge
+//! weight), and the exit rate of module `i` is `q_i = w_i^out / (2m)` where
+//! `w_i^out` is the total weight of edges with exactly one endpoint in the
+//! module. The two-level codelength is
+//!
+//! ```text
+//! L(M) = plogp(Σ_i q_i)
+//!        − 2 Σ_i plogp(q_i)
+//!        − Σ_α plogp(p_α)
+//!        + Σ_i plogp(q_i + Σ_{α ∈ i} p_α)
+//! ```
+//!
+//! with `plogp(x) = x log₂ x`. With a single module the codelength reduces to
+//! the entropy of the visit rates — the "no community structure" baseline the
+//! paper reports as 7.97 / 7.69 bits.
+
+use std::collections::HashMap;
+
+use backboning_graph::WeightedGraph;
+
+use crate::partition::Partition;
+
+/// `x log₂ x`, with the convention `0 log 0 = 0`.
+fn plogp(x: f64) -> f64 {
+    if x > 0.0 {
+        x * x.log2()
+    } else {
+        0.0
+    }
+}
+
+/// Flow quantities of a weighted network, treating edges as undirected.
+struct Flow {
+    /// Visit rate of every node (`s_α / 2m`).
+    visit_rates: Vec<f64>,
+    /// Symmetric adjacency used to compute module exit rates.
+    adjacency: Vec<Vec<(usize, f64)>>,
+    /// Twice the total edge weight.
+    two_m: f64,
+}
+
+impl Flow {
+    fn from_graph(graph: &WeightedGraph) -> Self {
+        let node_count = graph.node_count();
+        let mut adjacency: Vec<Vec<(usize, f64)>> = vec![Vec::new(); node_count];
+        let mut strength = vec![0.0; node_count];
+        let mut total = 0.0;
+        for edge in graph.edges() {
+            total += edge.weight;
+            strength[edge.source] += edge.weight;
+            strength[edge.target] += edge.weight;
+            if edge.source != edge.target {
+                adjacency[edge.source].push((edge.target, edge.weight));
+                adjacency[edge.target].push((edge.source, edge.weight));
+            }
+        }
+        let two_m = 2.0 * total;
+        let visit_rates = strength
+            .iter()
+            .map(|&s| if two_m > 0.0 { s / two_m } else { 0.0 })
+            .collect();
+        Flow {
+            visit_rates,
+            adjacency,
+            two_m,
+        }
+    }
+
+    /// Exit rate of every module under the given labels.
+    fn module_exit_rates(&self, labels: &[usize]) -> HashMap<usize, f64> {
+        let mut exit: HashMap<usize, f64> = HashMap::new();
+        if self.two_m <= 0.0 {
+            return exit;
+        }
+        for (node, neighbors) in self.adjacency.iter().enumerate() {
+            for &(neighbor, weight) in neighbors {
+                if labels[node] != labels[neighbor] {
+                    // Each undirected edge appears in both adjacency rows, so
+                    // dividing by 2m (not 4m) counts each crossing edge once
+                    // per direction — the flow leaving the module.
+                    *exit.entry(labels[node]).or_insert(0.0) += weight / self.two_m;
+                }
+            }
+        }
+        exit
+    }
+
+    /// Total visit rate per module.
+    fn module_visit_rates(&self, labels: &[usize]) -> HashMap<usize, f64> {
+        let mut rates: HashMap<usize, f64> = HashMap::new();
+        for (node, &rate) in self.visit_rates.iter().enumerate() {
+            *rates.entry(labels[node]).or_insert(0.0) += rate;
+        }
+        rates
+    }
+
+    /// The two-level map-equation codelength (in bits) of a labelling.
+    fn codelength(&self, labels: &[usize]) -> f64 {
+        if self.two_m <= 0.0 || labels.is_empty() {
+            return 0.0;
+        }
+        let exit = self.module_exit_rates(labels);
+        let visits = self.module_visit_rates(labels);
+
+        let total_exit: f64 = exit.values().sum();
+        let exit_terms: f64 = exit.values().map(|&q| plogp(q)).sum();
+        let node_terms: f64 = self.visit_rates.iter().map(|&p| plogp(p)).sum();
+        let module_terms: f64 = visits
+            .iter()
+            .map(|(module, &p_total)| plogp(p_total + exit.get(module).copied().unwrap_or(0.0)))
+            .sum();
+
+        plogp(total_exit) - 2.0 * exit_terms - node_terms + module_terms
+    }
+}
+
+/// The two-level map-equation codelength (bits per random-walker step) of a
+/// partition on a weighted network.
+///
+/// With [`Partition::single_community`] this is the entropy of the node visit
+/// rates — the "codelength without communities" baseline of the paper's case
+/// study.
+pub fn map_equation_codelength(graph: &WeightedGraph, partition: &Partition) -> f64 {
+    assert_eq!(
+        partition.node_count(),
+        graph.node_count(),
+        "partition covers {} nodes but the graph has {}",
+        partition.node_count(),
+        graph.node_count()
+    );
+    Flow::from_graph(graph).codelength(partition.labels())
+}
+
+/// Result of the greedy Infomap-style optimisation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InfomapResult {
+    /// The partition found by the optimiser.
+    pub partition: Partition,
+    /// Codelength of [`InfomapResult::partition`] in bits.
+    pub codelength: f64,
+    /// Codelength of the single-community baseline in bits.
+    pub baseline_codelength: f64,
+}
+
+impl InfomapResult {
+    /// Relative compression gain over the single-community baseline,
+    /// `1 − L(M) / L(1)` — the quantity the paper reports as
+    /// "codelength 15.0% smaller than without communities".
+    pub fn compression_gain(&self) -> f64 {
+        if self.baseline_codelength > 0.0 {
+            1.0 - self.codelength / self.baseline_codelength
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Greedy two-level map-equation optimisation.
+///
+/// Starts from singleton modules and repeatedly moves single nodes to the
+/// neighbouring module that most reduces the codelength, until a full sweep
+/// makes no move or `max_sweeps` is reached. The result never has a larger
+/// codelength than the single-community baseline (if the optimiser cannot
+/// beat the baseline it returns the baseline partition itself).
+pub fn infomap(graph: &WeightedGraph, max_sweeps: usize) -> InfomapResult {
+    let flow = Flow::from_graph(graph);
+    let node_count = graph.node_count();
+    let baseline_labels = vec![0usize; node_count];
+    let baseline_codelength = flow.codelength(&baseline_labels);
+
+    if node_count == 0 {
+        return InfomapResult {
+            partition: Partition::from_labels(Vec::new()),
+            codelength: 0.0,
+            baseline_codelength,
+        };
+    }
+
+    let mut labels: Vec<usize> = (0..node_count).collect();
+    let mut current_codelength = flow.codelength(&labels);
+
+    for _ in 0..max_sweeps {
+        let mut improved = false;
+        for node in 0..node_count {
+            if flow.adjacency[node].is_empty() {
+                continue;
+            }
+            let original = labels[node];
+            // Candidate modules: the modules of the node's neighbours.
+            let mut candidates: Vec<usize> = flow.adjacency[node]
+                .iter()
+                .map(|&(neighbor, _)| labels[neighbor])
+                .collect();
+            candidates.sort_unstable();
+            candidates.dedup();
+
+            let mut best_label = original;
+            let mut best_codelength = current_codelength;
+            for &candidate in &candidates {
+                if candidate == original {
+                    continue;
+                }
+                labels[node] = candidate;
+                let candidate_codelength = flow.codelength(&labels);
+                if candidate_codelength < best_codelength - 1e-12 {
+                    best_codelength = candidate_codelength;
+                    best_label = candidate;
+                }
+            }
+            labels[node] = best_label;
+            if best_label != original {
+                current_codelength = best_codelength;
+                improved = true;
+            }
+        }
+        if !improved {
+            break;
+        }
+    }
+
+    if current_codelength > baseline_codelength {
+        return InfomapResult {
+            partition: Partition::single_community(node_count),
+            codelength: baseline_codelength,
+            baseline_codelength,
+        };
+    }
+    InfomapResult {
+        partition: Partition::from_labels(labels).renumbered(),
+        codelength: current_codelength,
+        baseline_codelength,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use backboning_graph::generators::{complete_graph, stochastic_block_model};
+    use backboning_graph::GraphBuilder;
+    use crate::nmi::normalized_mutual_information;
+
+    #[test]
+    fn single_module_codelength_is_visit_rate_entropy() {
+        // A star with uniform weights: visit rates are 1/2 for the hub and
+        // 1/(2k) for each of the k leaves; the baseline codelength is their entropy.
+        let graph = GraphBuilder::undirected()
+            .indexed_edge(0, 1, 1.0)
+            .indexed_edge(0, 2, 1.0)
+            .indexed_edge(0, 3, 1.0)
+            .indexed_edge(0, 4, 1.0)
+            .build()
+            .unwrap();
+        let baseline =
+            map_equation_codelength(&graph, &Partition::single_community(graph.node_count()));
+        let expected = -(plogp(0.5) + 4.0 * plogp(0.125));
+        assert!((baseline - expected).abs() < 1e-12, "got {baseline}, want {expected}");
+    }
+
+    #[test]
+    fn partitioning_two_cliques_reduces_codelength() {
+        let graph = GraphBuilder::undirected()
+            // Clique A
+            .indexed_edge(0, 1, 5.0)
+            .indexed_edge(1, 2, 5.0)
+            .indexed_edge(0, 2, 5.0)
+            .indexed_edge(2, 3, 5.0)
+            .indexed_edge(0, 3, 5.0)
+            .indexed_edge(1, 3, 5.0)
+            // Clique B
+            .indexed_edge(4, 5, 5.0)
+            .indexed_edge(5, 6, 5.0)
+            .indexed_edge(4, 6, 5.0)
+            .indexed_edge(6, 7, 5.0)
+            .indexed_edge(4, 7, 5.0)
+            .indexed_edge(5, 7, 5.0)
+            // Weak bridge
+            .indexed_edge(3, 4, 0.5)
+            .build()
+            .unwrap();
+        let baseline =
+            map_equation_codelength(&graph, &Partition::single_community(graph.node_count()));
+        let split = map_equation_codelength(
+            &graph,
+            &Partition::from_labels(vec![0, 0, 0, 0, 1, 1, 1, 1]),
+        );
+        assert!(split < baseline, "split {split} should beat baseline {baseline}");
+
+        // A bad split must cost more bits than the good one.
+        let bad = map_equation_codelength(
+            &graph,
+            &Partition::from_labels(vec![0, 1, 0, 1, 0, 1, 0, 1]),
+        );
+        assert!(bad > split);
+    }
+
+    #[test]
+    fn greedy_optimiser_finds_the_two_cliques() {
+        let (graph, truth) = stochastic_block_model(&[20, 20], 0.7, 0.02, 5.0, 1.0, 17).unwrap();
+        let result = infomap(&graph, 50);
+        assert!(result.codelength <= result.baseline_codelength + 1e-12);
+        assert!(result.compression_gain() > 0.05);
+        let nmi =
+            normalized_mutual_information(&result.partition, &Partition::from_labels(truth));
+        assert!(nmi > 0.8, "NMI {nmi} too low");
+    }
+
+    #[test]
+    fn complete_graph_does_not_benefit_from_partitioning() {
+        let graph = complete_graph(8, 1.0).unwrap();
+        let result = infomap(&graph, 50);
+        // No community structure: the optimiser must fall back to (or match)
+        // the single-module baseline.
+        assert!(result.codelength <= result.baseline_codelength + 1e-12);
+        assert!(result.compression_gain() < 0.05);
+    }
+
+    #[test]
+    fn compression_gain_matches_definition() {
+        let (graph, _) = stochastic_block_model(&[15, 15, 15], 0.6, 0.02, 4.0, 1.0, 23).unwrap();
+        let result = infomap(&graph, 50);
+        let expected = 1.0 - result.codelength / result.baseline_codelength;
+        assert!((result.compression_gain() - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_graph_is_handled() {
+        let graph = backboning_graph::WeightedGraph::undirected();
+        let result = infomap(&graph, 10);
+        assert_eq!(result.partition.node_count(), 0);
+        assert_eq!(result.codelength, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "partition covers")]
+    fn mismatched_partition_panics() {
+        let graph = complete_graph(4, 1.0).unwrap();
+        map_equation_codelength(&graph, &Partition::from_labels(vec![0, 1]));
+    }
+}

@@ -1,0 +1,153 @@
+//! Weighted label propagation.
+
+use std::collections::HashMap;
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use backboning_graph::WeightedGraph;
+
+use crate::partition::Partition;
+
+/// Weighted asynchronous label propagation.
+///
+/// Every node starts in its own community; nodes are visited in a random
+/// (seeded) order and adopt the label with the largest total incident weight
+/// among their neighbours. The process stops when a full sweep changes no
+/// label or after `max_sweeps` sweeps.
+///
+/// Directed edges are treated as undirected (weight flows both ways), which is
+/// the convention used throughout the paper's community analyses.
+pub fn label_propagation(graph: &WeightedGraph, seed: u64, max_sweeps: usize) -> Partition {
+    let node_count = graph.node_count();
+    let mut labels: Vec<usize> = (0..node_count).collect();
+    if node_count == 0 {
+        return Partition::from_labels(labels);
+    }
+
+    // Symmetric adjacency (neighbor, weight) built once.
+    let mut adjacency: Vec<Vec<(usize, f64)>> = vec![Vec::new(); node_count];
+    for edge in graph.edges() {
+        if edge.source == edge.target {
+            continue;
+        }
+        adjacency[edge.source].push((edge.target, edge.weight));
+        adjacency[edge.target].push((edge.source, edge.weight));
+    }
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut order: Vec<usize> = (0..node_count).collect();
+
+    for _ in 0..max_sweeps {
+        order.shuffle(&mut rng);
+        let mut changed = false;
+        for &node in &order {
+            if adjacency[node].is_empty() {
+                continue;
+            }
+            let mut weight_by_label: HashMap<usize, f64> = HashMap::new();
+            for &(neighbor, weight) in &adjacency[node] {
+                *weight_by_label.entry(labels[neighbor]).or_insert(0.0) += weight;
+            }
+            // Deterministic tie-break: highest weight, then smallest label.
+            let current = labels[node];
+            let best = weight_by_label
+                .iter()
+                .map(|(&label, &weight)| (label, weight))
+                .max_by(|a, b| {
+                    a.1.partial_cmp(&b.1)
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                        .then_with(|| b.0.cmp(&a.0))
+                })
+                .map(|(label, _)| label)
+                .unwrap_or(current);
+            if best != current {
+                labels[node] = best;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    Partition::from_labels(labels).renumbered()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use backboning_graph::generators::{complete_graph, stochastic_block_model};
+    use backboning_graph::GraphBuilder;
+    use crate::nmi::normalized_mutual_information;
+
+    #[test]
+    fn complete_graph_collapses_to_one_community() {
+        let g = complete_graph(10, 1.0).unwrap();
+        let partition = label_propagation(&g, 1, 50);
+        assert_eq!(partition.community_count(), 1);
+    }
+
+    #[test]
+    fn two_dense_blocks_are_separated() {
+        let g = GraphBuilder::undirected()
+            // Block A
+            .indexed_edge(0, 1, 5.0)
+            .indexed_edge(1, 2, 5.0)
+            .indexed_edge(0, 2, 5.0)
+            .indexed_edge(2, 3, 5.0)
+            .indexed_edge(0, 3, 5.0)
+            .indexed_edge(1, 3, 5.0)
+            // Block B
+            .indexed_edge(4, 5, 5.0)
+            .indexed_edge(5, 6, 5.0)
+            .indexed_edge(4, 6, 5.0)
+            .indexed_edge(6, 7, 5.0)
+            .indexed_edge(4, 7, 5.0)
+            .indexed_edge(5, 7, 5.0)
+            // Weak bridge
+            .indexed_edge(3, 4, 0.5)
+            .build()
+            .unwrap();
+        let partition = label_propagation(&g, 7, 100);
+        assert_eq!(partition.community_count(), 2);
+        assert!(partition.same_community(0, 3));
+        assert!(partition.same_community(4, 7));
+        assert!(!partition.same_community(0, 4));
+    }
+
+    #[test]
+    fn recovers_planted_blocks_approximately() {
+        let (g, truth) = stochastic_block_model(&[25, 25, 25], 0.6, 0.02, 5.0, 1.0, 3).unwrap();
+        let detected = label_propagation(&g, 5, 100);
+        let nmi = normalized_mutual_information(&detected, &Partition::from_labels(truth));
+        assert!(nmi > 0.7, "NMI {nmi} too low for a well-separated SBM");
+    }
+
+    #[test]
+    fn isolated_nodes_keep_their_own_label() {
+        let g = GraphBuilder::undirected()
+            .indexed_edge(0, 1, 1.0)
+            .nodes(4)
+            .build()
+            .unwrap();
+        let partition = label_propagation(&g, 1, 10);
+        assert!(partition.same_community(0, 1));
+        assert!(!partition.same_community(2, 3));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (g, _) = stochastic_block_model(&[20, 20], 0.5, 0.05, 3.0, 1.0, 11).unwrap();
+        let a = label_propagation(&g, 42, 100);
+        let b = label_propagation(&g, 42, 100);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = backboning_graph::WeightedGraph::undirected();
+        let partition = label_propagation(&g, 0, 10);
+        assert_eq!(partition.node_count(), 0);
+    }
+}

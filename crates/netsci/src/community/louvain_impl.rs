@@ -1,0 +1,191 @@
+//! Greedy modularity optimisation in the Louvain style.
+
+use std::collections::HashMap;
+
+use backboning_graph::WeightedGraph;
+
+use crate::modularity::modularity;
+use crate::partition::Partition;
+
+/// Symmetric weighted adjacency with self-loop weights kept separately.
+struct Adjacency {
+    neighbors: Vec<Vec<(usize, f64)>>,
+    strength: Vec<f64>,
+    total_weight: f64,
+}
+
+impl Adjacency {
+    fn from_graph(graph: &WeightedGraph) -> Self {
+        let node_count = graph.node_count();
+        let mut neighbors: Vec<Vec<(usize, f64)>> = vec![Vec::new(); node_count];
+        let mut strength = vec![0.0; node_count];
+        let mut total_weight = 0.0;
+        for edge in graph.edges() {
+            total_weight += edge.weight;
+            strength[edge.source] += edge.weight;
+            strength[edge.target] += edge.weight;
+            if edge.source != edge.target {
+                neighbors[edge.source].push((edge.target, edge.weight));
+                neighbors[edge.target].push((edge.source, edge.weight));
+            }
+        }
+        Adjacency {
+            neighbors,
+            strength,
+            total_weight,
+        }
+    }
+}
+
+/// One pass of greedy local moves: each node is moved to the neighbouring
+/// community that yields the largest modularity gain, until no move improves.
+fn local_moves(adjacency: &Adjacency, labels: &mut [usize], max_sweeps: usize) -> bool {
+    let two_m = 2.0 * adjacency.total_weight;
+    if two_m <= 0.0 {
+        return false;
+    }
+    let node_count = labels.len();
+    // Total strength per community.
+    let mut community_strength: HashMap<usize, f64> = HashMap::new();
+    for node in 0..node_count {
+        *community_strength.entry(labels[node]).or_insert(0.0) += adjacency.strength[node];
+    }
+
+    let mut improved_any = false;
+    for _ in 0..max_sweeps {
+        let mut improved = false;
+        for node in 0..node_count {
+            if adjacency.neighbors[node].is_empty() {
+                continue;
+            }
+            let current = labels[node];
+            // Weight from `node` towards each neighbouring community.
+            let mut weight_to: HashMap<usize, f64> = HashMap::new();
+            for &(neighbor, weight) in &adjacency.neighbors[node] {
+                *weight_to.entry(labels[neighbor]).or_insert(0.0) += weight;
+            }
+            // Remove the node from its community for the gain computation.
+            *community_strength.get_mut(&current).expect("present") -= adjacency.strength[node];
+            let own_strength = adjacency.strength[node];
+
+            let gain = |community: usize| -> f64 {
+                let towards = weight_to.get(&community).copied().unwrap_or(0.0);
+                let sigma = community_strength.get(&community).copied().unwrap_or(0.0);
+                towards / adjacency.total_weight - own_strength * sigma / (two_m * two_m / 2.0)
+            };
+
+            let mut best_community = current;
+            let mut best_gain = gain(current);
+            for &candidate in weight_to.keys() {
+                let candidate_gain = gain(candidate);
+                if candidate_gain > best_gain + 1e-12
+                    || (candidate_gain > best_gain - 1e-12 && candidate < best_community)
+                        && candidate_gain >= best_gain
+                {
+                    best_gain = candidate_gain;
+                    best_community = candidate;
+                }
+            }
+            *community_strength.entry(best_community).or_insert(0.0) += adjacency.strength[node];
+            if best_community != current {
+                labels[node] = best_community;
+                improved = true;
+                improved_any = true;
+            }
+        }
+        if !improved {
+            break;
+        }
+    }
+    improved_any
+}
+
+/// Greedy modularity optimisation.
+///
+/// Starts from singleton communities, performs local moves until convergence,
+/// and returns the partition together with its modularity. This is a
+/// single-level Louvain pass (no graph aggregation), which is sufficient for
+/// the backbone-sized networks of the evaluation and keeps the implementation
+/// easy to audit.
+pub fn louvain(graph: &WeightedGraph, max_sweeps: usize) -> (Partition, f64) {
+    let adjacency = Adjacency::from_graph(graph);
+    let mut labels: Vec<usize> = (0..graph.node_count()).collect();
+    local_moves(&adjacency, &mut labels, max_sweeps);
+    let partition = Partition::from_labels(labels).renumbered();
+    let score = modularity(graph, &partition);
+    (partition, score)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use backboning_graph::generators::{complete_graph, stochastic_block_model};
+    use backboning_graph::GraphBuilder;
+    use crate::nmi::normalized_mutual_information;
+
+    #[test]
+    fn two_triangles_are_split_correctly() {
+        let graph = GraphBuilder::undirected()
+            .indexed_edge(0, 1, 1.0)
+            .indexed_edge(1, 2, 1.0)
+            .indexed_edge(0, 2, 1.0)
+            .indexed_edge(3, 4, 1.0)
+            .indexed_edge(4, 5, 1.0)
+            .indexed_edge(3, 5, 1.0)
+            .indexed_edge(2, 3, 1.0)
+            .build()
+            .unwrap();
+        let (partition, q) = louvain(&graph, 100);
+        assert_eq!(partition.community_count(), 2);
+        assert!(partition.same_community(0, 2));
+        assert!(partition.same_community(3, 5));
+        assert!(!partition.same_community(0, 3));
+        // The optimal split's modularity, computed by hand: 12/14 − 1/2.
+        assert!((q - (12.0 / 14.0 - 0.5)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn modularity_never_negative_on_structured_graphs() {
+        let (graph, _) = stochastic_block_model(&[20, 20, 20], 0.5, 0.02, 4.0, 1.0, 9).unwrap();
+        let (_, q) = louvain(&graph, 100);
+        assert!(q > 0.3, "expected clearly positive modularity, got {q}");
+    }
+
+    #[test]
+    fn recovers_planted_communities() {
+        let (graph, truth) = stochastic_block_model(&[25, 25], 0.6, 0.02, 5.0, 1.0, 21).unwrap();
+        let (partition, _) = louvain(&graph, 200);
+        let nmi = normalized_mutual_information(&partition, &Partition::from_labels(truth));
+        assert!(nmi > 0.8, "NMI {nmi} too low");
+    }
+
+    #[test]
+    fn complete_graph_stays_together_or_splits_harmlessly() {
+        let graph = complete_graph(8, 1.0).unwrap();
+        let (partition, q) = louvain(&graph, 100);
+        // The best modularity of a complete graph is 0 (single community);
+        // greedy optimisation must not do worse than slightly negative.
+        assert!(q >= -1e-9, "modularity {q} should not be negative");
+        assert!(partition.community_count() <= 8);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let graph = backboning_graph::WeightedGraph::undirected();
+        let (partition, q) = louvain(&graph, 10);
+        assert_eq!(partition.node_count(), 0);
+        assert_eq!(q, 0.0);
+    }
+
+    #[test]
+    fn isolated_nodes_stay_in_singletons() {
+        let graph = GraphBuilder::undirected()
+            .indexed_edge(0, 1, 3.0)
+            .nodes(4)
+            .build()
+            .unwrap();
+        let (partition, _) = louvain(&graph, 10);
+        assert!(partition.same_community(0, 1));
+        assert!(!partition.same_community(2, 3));
+    }
+}

@@ -1,0 +1,15 @@
+//! Community detection algorithms.
+//!
+//! * [`label_propagation`] — fast weighted label propagation; used as a
+//!   lightweight detector and as the seed partition for the slower optimisers.
+//! * [`louvain`] — greedy modularity optimisation in the Louvain style.
+//! * [`infomap`] — two-level map-equation (Infomap-style) codelength and its
+//!   greedy optimisation, used by the paper's case study (Section VI).
+
+pub mod infomap;
+mod label_propagation_impl;
+mod louvain_impl;
+
+pub use infomap::{infomap, map_equation_codelength, InfomapResult};
+pub use label_propagation_impl::label_propagation;
+pub use louvain_impl::louvain;

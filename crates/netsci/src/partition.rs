@@ -1,0 +1,146 @@
+//! Node partitions (community assignments).
+
+use std::collections::HashMap;
+
+/// A partition of the nodes `0..n` into communities.
+///
+/// Community labels are arbitrary `usize` values; [`Partition::renumbered`]
+/// maps them onto the dense range `0..community_count()`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Partition {
+    labels: Vec<usize>,
+}
+
+impl Partition {
+    /// Create a partition from per-node community labels.
+    pub fn from_labels(labels: Vec<usize>) -> Self {
+        Partition { labels }
+    }
+
+    /// The partition that puts every node in the same community.
+    pub fn single_community(node_count: usize) -> Self {
+        Partition {
+            labels: vec![0; node_count],
+        }
+    }
+
+    /// The partition that puts every node in its own community.
+    pub fn singletons(node_count: usize) -> Self {
+        Partition {
+            labels: (0..node_count).collect(),
+        }
+    }
+
+    /// Number of nodes covered by the partition.
+    pub fn node_count(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// The community label of a node.
+    pub fn community_of(&self, node: usize) -> usize {
+        self.labels[node]
+    }
+
+    /// The raw label vector.
+    pub fn labels(&self) -> &[usize] {
+        &self.labels
+    }
+
+    /// Number of distinct communities.
+    pub fn community_count(&self) -> usize {
+        let mut seen: Vec<usize> = self.labels.clone();
+        seen.sort_unstable();
+        seen.dedup();
+        seen.len()
+    }
+
+    /// Whether two nodes share a community.
+    pub fn same_community(&self, a: usize, b: usize) -> bool {
+        self.labels[a] == self.labels[b]
+    }
+
+    /// A copy with community labels renumbered to `0..community_count()` in
+    /// order of first appearance.
+    pub fn renumbered(&self) -> Partition {
+        let mut mapping: HashMap<usize, usize> = HashMap::new();
+        let mut next = 0;
+        let labels = self
+            .labels
+            .iter()
+            .map(|&label| {
+                *mapping.entry(label).or_insert_with(|| {
+                    let value = next;
+                    next += 1;
+                    value
+                })
+            })
+            .collect();
+        Partition { labels }
+    }
+
+    /// The members of every community, keyed by (renumbered) community index.
+    pub fn communities(&self) -> Vec<Vec<usize>> {
+        let renumbered = self.renumbered();
+        let mut groups = vec![Vec::new(); renumbered.community_count()];
+        for (node, &label) in renumbered.labels.iter().enumerate() {
+            groups[label].push(node);
+        }
+        groups
+    }
+
+    /// Sizes of all communities (in renumbered order).
+    pub fn community_sizes(&self) -> Vec<usize> {
+        self.communities().iter().map(Vec::len).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_accessors() {
+        let p = Partition::from_labels(vec![5, 5, 7, 9, 7]);
+        assert_eq!(p.node_count(), 5);
+        assert_eq!(p.community_count(), 3);
+        assert_eq!(p.community_of(2), 7);
+        assert!(p.same_community(0, 1));
+        assert!(!p.same_community(0, 2));
+        assert_eq!(p.labels(), &[5, 5, 7, 9, 7]);
+    }
+
+    #[test]
+    fn trivial_partitions() {
+        let single = Partition::single_community(4);
+        assert_eq!(single.community_count(), 1);
+        let singles = Partition::singletons(4);
+        assert_eq!(singles.community_count(), 4);
+        assert!(!singles.same_community(0, 1));
+    }
+
+    #[test]
+    fn renumbering_is_dense_and_order_preserving() {
+        let p = Partition::from_labels(vec![10, 3, 10, 99]).renumbered();
+        assert_eq!(p.labels(), &[0, 1, 0, 2]);
+        assert_eq!(p.community_count(), 3);
+    }
+
+    #[test]
+    fn communities_group_members() {
+        let p = Partition::from_labels(vec![1, 2, 1, 2, 3]);
+        let groups = p.communities();
+        assert_eq!(groups.len(), 3);
+        assert_eq!(groups[0], vec![0, 2]);
+        assert_eq!(groups[1], vec![1, 3]);
+        assert_eq!(groups[2], vec![4]);
+        assert_eq!(p.community_sizes(), vec![2, 2, 1]);
+    }
+
+    #[test]
+    fn empty_partition() {
+        let p = Partition::from_labels(vec![]);
+        assert_eq!(p.node_count(), 0);
+        assert_eq!(p.community_count(), 0);
+        assert!(p.communities().is_empty());
+    }
+}

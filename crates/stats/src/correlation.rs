@@ -1,0 +1,233 @@
+//! Correlation coefficients: Pearson, log–log Pearson and Spearman.
+//!
+//! The paper uses Pearson correlation to validate the Noise-Corrected variance
+//! estimates (Table I), log–log Pearson correlation to document the local
+//! correlation of edge weights (Figure 6), and Spearman rank correlation for
+//! the Stability criterion (Figure 8).
+
+use crate::error::{StatsError, StatsResult};
+use crate::rank::{rank, TieMethod};
+
+/// Pearson product-moment correlation between two paired samples.
+///
+/// Returns an error when the inputs are empty, of different lengths, or when
+/// either sample has zero variance (the correlation is undefined).
+pub fn pearson(x: &[f64], y: &[f64]) -> StatsResult<f64> {
+    if x.is_empty() {
+        return Err(StatsError::EmptyInput {
+            operation: "pearson",
+        });
+    }
+    if x.len() != y.len() {
+        return Err(StatsError::LengthMismatch {
+            operation: "pearson",
+            left: x.len(),
+            right: y.len(),
+        });
+    }
+    let n = x.len() as f64;
+    let mean_x = x.iter().sum::<f64>() / n;
+    let mean_y = y.iter().sum::<f64>() / n;
+
+    let mut covariance = 0.0;
+    let mut var_x = 0.0;
+    let mut var_y = 0.0;
+    for (&xi, &yi) in x.iter().zip(y) {
+        let dx = xi - mean_x;
+        let dy = yi - mean_y;
+        covariance += dx * dy;
+        var_x += dx * dx;
+        var_y += dy * dy;
+    }
+    if var_x == 0.0 || var_y == 0.0 {
+        return Err(StatsError::InvalidParameter {
+            parameter: "x/y",
+            message: "correlation undefined for a constant sample".to_string(),
+        });
+    }
+    Ok(covariance / (var_x.sqrt() * var_y.sqrt()))
+}
+
+/// Pearson correlation of `log10(x)` vs `log10(y)`, restricted to pairs where
+/// both values are strictly positive.
+///
+/// This is the statistic reported in Figure 6 of the paper (edge weight vs
+/// average neighbouring edge weight). Returns the correlation together with
+/// the number of pairs actually used.
+pub fn log_log_pearson(x: &[f64], y: &[f64]) -> StatsResult<(f64, usize)> {
+    if x.len() != y.len() {
+        return Err(StatsError::LengthMismatch {
+            operation: "log_log_pearson",
+            left: x.len(),
+            right: y.len(),
+        });
+    }
+    let mut log_x = Vec::new();
+    let mut log_y = Vec::new();
+    for (&xi, &yi) in x.iter().zip(y) {
+        if xi > 0.0 && yi > 0.0 {
+            log_x.push(xi.log10());
+            log_y.push(yi.log10());
+        }
+    }
+    if log_x.len() < 2 {
+        return Err(StatsError::InvalidParameter {
+            parameter: "x/y",
+            message: format!(
+                "log-log correlation needs at least 2 strictly positive pairs, got {}",
+                log_x.len()
+            ),
+        });
+    }
+    Ok((pearson(&log_x, &log_y)?, log_x.len()))
+}
+
+/// Spearman rank correlation between two paired samples (average ranks for ties).
+pub fn spearman(x: &[f64], y: &[f64]) -> StatsResult<f64> {
+    if x.is_empty() {
+        return Err(StatsError::EmptyInput {
+            operation: "spearman",
+        });
+    }
+    if x.len() != y.len() {
+        return Err(StatsError::LengthMismatch {
+            operation: "spearman",
+            left: x.len(),
+            right: y.len(),
+        });
+    }
+    let ranks_x = rank(x, TieMethod::Average)?;
+    let ranks_y = rank(y, TieMethod::Average)?;
+    pearson(&ranks_x, &ranks_y)
+}
+
+/// Two-sided p-value for a Pearson/Spearman correlation of `r` on `n` pairs,
+/// using the normal approximation of the Fisher z-transform.
+///
+/// The paper reports significance levels such as `p < 10⁻¹⁵` for the Figure 6
+/// correlations; this helper reproduces those statements.
+pub fn correlation_p_value(r: f64, n: usize) -> StatsResult<f64> {
+    if n < 4 {
+        return Err(StatsError::InvalidParameter {
+            parameter: "n",
+            message: format!("p-value needs at least 4 observations, got {n}"),
+        });
+    }
+    if !(-1.0..=1.0).contains(&r) {
+        return Err(StatsError::InvalidParameter {
+            parameter: "r",
+            message: format!("correlation must lie in [-1, 1], got {r}"),
+        });
+    }
+    if r.abs() >= 1.0 {
+        return Ok(0.0);
+    }
+    let z = 0.5 * ((1.0 + r) / (1.0 - r)).ln();
+    let standard_error = 1.0 / ((n as f64 - 3.0).sqrt());
+    let statistic = (z / standard_error).abs();
+    Ok(2.0 * (1.0 - crate::special::standard_normal_cdf(statistic)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(actual: f64, expected: f64, tolerance: f64) {
+        assert!(
+            (actual - expected).abs() <= tolerance,
+            "expected {expected}, got {actual}"
+        );
+    }
+
+    #[test]
+    fn pearson_perfect_correlation() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let y = [2.0, 4.0, 6.0, 8.0];
+        assert_close(pearson(&x, &y).unwrap(), 1.0, 1e-12);
+        let y_neg = [8.0, 6.0, 4.0, 2.0];
+        assert_close(pearson(&x, &y_neg).unwrap(), -1.0, 1e-12);
+    }
+
+    #[test]
+    fn pearson_known_value() {
+        let x = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let y = [2.0, 1.0, 4.0, 3.0, 5.0];
+        // Hand-computed: cov = 4.0, var_x = 10, var_y = 10 → r = 0.8 (sums of squares).
+        assert_close(pearson(&x, &y).unwrap(), 0.8, 1e-12);
+    }
+
+    #[test]
+    fn pearson_errors() {
+        assert!(pearson(&[], &[]).is_err());
+        assert!(pearson(&[1.0, 2.0], &[1.0]).is_err());
+        assert!(pearson(&[1.0, 1.0], &[1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn pearson_invariant_to_affine_transform() {
+        let x = [0.3, 1.7, 2.9, 4.2, 5.0];
+        let y = [1.0, 0.4, 2.2, 3.3, 2.8];
+        let base = pearson(&x, &y).unwrap();
+        let x_scaled: Vec<f64> = x.iter().map(|v| 3.0 * v + 10.0).collect();
+        assert_close(pearson(&x_scaled, &y).unwrap(), base, 1e-12);
+    }
+
+    #[test]
+    fn log_log_filters_non_positive_pairs() {
+        let x = [10.0, 100.0, 0.0, 1000.0];
+        let y = [1.0, 2.0, 5.0, 4.0];
+        let (r, used) = log_log_pearson(&x, &y).unwrap();
+        assert_eq!(used, 3);
+        assert!(r > 0.9);
+    }
+
+    #[test]
+    fn log_log_perfect_power_law() {
+        // y = x^2 → perfectly linear in log-log space.
+        let x = [1.0, 10.0, 100.0, 1000.0];
+        let y: Vec<f64> = x.iter().map(|v| v * v).collect();
+        let (r, used) = log_log_pearson(&x, &y).unwrap();
+        assert_eq!(used, 4);
+        assert_close(r, 1.0, 1e-12);
+    }
+
+    #[test]
+    fn spearman_monotone_relationship() {
+        // Monotone but non-linear relationship → Spearman = 1, Pearson < 1.
+        let x = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let y: Vec<f64> = x.iter().map(|v: &f64| v.exp()).collect();
+        assert_close(spearman(&x, &y).unwrap(), 1.0, 1e-12);
+        assert!(pearson(&x, &y).unwrap() < 1.0);
+    }
+
+    #[test]
+    fn spearman_with_ties() {
+        let x = [1.0, 2.0, 2.0, 3.0];
+        let y = [1.0, 3.0, 3.0, 4.0];
+        assert_close(spearman(&x, &y).unwrap(), 1.0, 1e-12);
+    }
+
+    #[test]
+    fn spearman_reversal() {
+        let x = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let y = [5.0, 4.0, 3.0, 2.0, 1.0];
+        assert_close(spearman(&x, &y).unwrap(), -1.0, 1e-12);
+    }
+
+    #[test]
+    fn p_value_decreases_with_sample_size() {
+        let p_small = correlation_p_value(0.5, 10).unwrap();
+        let p_large = correlation_p_value(0.5, 1000).unwrap();
+        assert!(p_large < p_small);
+        assert!(p_large < 1e-9);
+    }
+
+    #[test]
+    fn p_value_boundary_cases() {
+        assert_eq!(correlation_p_value(1.0, 100).unwrap(), 0.0);
+        assert!(correlation_p_value(0.5, 3).is_err());
+        assert!(correlation_p_value(1.5, 100).is_err());
+        let p_zero = correlation_p_value(0.0, 100).unwrap();
+        assert_close(p_zero, 1.0, 1e-12);
+    }
+}

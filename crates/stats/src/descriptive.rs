@@ -1,0 +1,268 @@
+//! Descriptive statistics on slices of `f64`.
+
+use crate::error::{StatsError, StatsResult};
+
+/// Arithmetic mean of a slice.
+pub fn mean(values: &[f64]) -> StatsResult<f64> {
+    if values.is_empty() {
+        return Err(StatsError::EmptyInput { operation: "mean" });
+    }
+    Ok(values.iter().sum::<f64>() / values.len() as f64)
+}
+
+/// Unbiased (sample) variance of a slice; requires at least two elements.
+pub fn variance(values: &[f64]) -> StatsResult<f64> {
+    if values.len() < 2 {
+        return Err(StatsError::InvalidParameter {
+            parameter: "values",
+            message: format!("sample variance needs at least 2 values, got {}", values.len()),
+        });
+    }
+    let m = mean(values)?;
+    let sum_sq: f64 = values.iter().map(|v| (v - m) * (v - m)).sum();
+    Ok(sum_sq / (values.len() - 1) as f64)
+}
+
+/// Population variance (dividing by `n` rather than `n − 1`).
+pub fn population_variance(values: &[f64]) -> StatsResult<f64> {
+    if values.is_empty() {
+        return Err(StatsError::EmptyInput {
+            operation: "population_variance",
+        });
+    }
+    let m = mean(values)?;
+    let sum_sq: f64 = values.iter().map(|v| (v - m) * (v - m)).sum();
+    Ok(sum_sq / values.len() as f64)
+}
+
+/// Sample standard deviation.
+pub fn std_dev(values: &[f64]) -> StatsResult<f64> {
+    Ok(variance(values)?.sqrt())
+}
+
+/// Median of a slice.
+pub fn median(values: &[f64]) -> StatsResult<f64> {
+    quantile(values, 0.5)
+}
+
+/// Linear-interpolation quantile (type 7, the default of R and NumPy).
+pub fn quantile(values: &[f64], q: f64) -> StatsResult<f64> {
+    if values.is_empty() {
+        return Err(StatsError::EmptyInput {
+            operation: "quantile",
+        });
+    }
+    if !(0.0..=1.0).contains(&q) {
+        return Err(StatsError::InvalidParameter {
+            parameter: "q",
+            message: format!("quantile level must lie in [0, 1], got {q}"),
+        });
+    }
+    let mut sorted: Vec<f64> = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in quantile input"));
+    let position = q * (sorted.len() - 1) as f64;
+    let lower = position.floor() as usize;
+    let upper = position.ceil() as usize;
+    if lower == upper {
+        Ok(sorted[lower])
+    } else {
+        let fraction = position - lower as f64;
+        Ok(sorted[lower] * (1.0 - fraction) + sorted[upper] * fraction)
+    }
+}
+
+/// Minimum of a slice.
+pub fn min(values: &[f64]) -> StatsResult<f64> {
+    if values.is_empty() {
+        return Err(StatsError::EmptyInput { operation: "min" });
+    }
+    Ok(values.iter().cloned().fold(f64::INFINITY, f64::min))
+}
+
+/// Maximum of a slice.
+pub fn max(values: &[f64]) -> StatsResult<f64> {
+    if values.is_empty() {
+        return Err(StatsError::EmptyInput { operation: "max" });
+    }
+    Ok(values.iter().cloned().fold(f64::NEG_INFINITY, f64::max))
+}
+
+/// Weighted arithmetic mean. Weights must be non-negative and not all zero.
+pub fn weighted_mean(values: &[f64], weights: &[f64]) -> StatsResult<f64> {
+    if values.is_empty() {
+        return Err(StatsError::EmptyInput {
+            operation: "weighted_mean",
+        });
+    }
+    if values.len() != weights.len() {
+        return Err(StatsError::LengthMismatch {
+            operation: "weighted_mean",
+            left: values.len(),
+            right: weights.len(),
+        });
+    }
+    let total_weight: f64 = weights.iter().sum();
+    if total_weight <= 0.0 {
+        return Err(StatsError::InvalidParameter {
+            parameter: "weights",
+            message: "weights must sum to a positive value".to_string(),
+        });
+    }
+    let weighted_sum: f64 = values.iter().zip(weights).map(|(v, w)| v * w).sum();
+    Ok(weighted_sum / total_weight)
+}
+
+/// Geometric mean of strictly positive values.
+pub fn geometric_mean(values: &[f64]) -> StatsResult<f64> {
+    if values.is_empty() {
+        return Err(StatsError::EmptyInput {
+            operation: "geometric_mean",
+        });
+    }
+    if values.iter().any(|&v| v <= 0.0) {
+        return Err(StatsError::InvalidParameter {
+            parameter: "values",
+            message: "geometric mean requires strictly positive values".to_string(),
+        });
+    }
+    let log_sum: f64 = values.iter().map(|v| v.ln()).sum();
+    Ok((log_sum / values.len() as f64).exp())
+}
+
+/// Summary statistics of a sample, computed in a single pass over sorted data.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Summary {
+    /// Number of observations.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation (0 when `count < 2`).
+    pub std_dev: f64,
+    /// Minimum value.
+    pub min: f64,
+    /// First quartile.
+    pub q1: f64,
+    /// Median.
+    pub median: f64,
+    /// Third quartile.
+    pub q3: f64,
+    /// Maximum value.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Compute a five-number-plus summary of the given values.
+    pub fn from_values(values: &[f64]) -> StatsResult<Self> {
+        if values.is_empty() {
+            return Err(StatsError::EmptyInput {
+                operation: "Summary::from_values",
+            });
+        }
+        Ok(Summary {
+            count: values.len(),
+            mean: mean(values)?,
+            std_dev: if values.len() >= 2 {
+                std_dev(values)?
+            } else {
+                0.0
+            },
+            min: min(values)?,
+            q1: quantile(values, 0.25)?,
+            median: quantile(values, 0.5)?,
+            q3: quantile(values, 0.75)?,
+            max: max(values)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(actual: f64, expected: f64, tolerance: f64) {
+        assert!(
+            (actual - expected).abs() <= tolerance,
+            "expected {expected}, got {actual}"
+        );
+    }
+
+    #[test]
+    fn mean_basic() {
+        assert_close(mean(&[1.0, 2.0, 3.0, 4.0]).unwrap(), 2.5, 1e-12);
+        assert!(mean(&[]).is_err());
+    }
+
+    #[test]
+    fn variance_and_std_dev() {
+        let values = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        // Known example: population variance 4, sample variance 32/7.
+        assert_close(population_variance(&values).unwrap(), 4.0, 1e-12);
+        assert_close(variance(&values).unwrap(), 32.0 / 7.0, 1e-12);
+        assert_close(std_dev(&values).unwrap(), (32.0f64 / 7.0).sqrt(), 1e-12);
+        assert!(variance(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn median_even_and_odd() {
+        assert_close(median(&[3.0, 1.0, 2.0]).unwrap(), 2.0, 1e-12);
+        assert_close(median(&[4.0, 1.0, 3.0, 2.0]).unwrap(), 2.5, 1e-12);
+    }
+
+    #[test]
+    fn quantile_interpolation() {
+        let values = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_close(quantile(&values, 0.0).unwrap(), 1.0, 1e-12);
+        assert_close(quantile(&values, 1.0).unwrap(), 5.0, 1e-12);
+        assert_close(quantile(&values, 0.25).unwrap(), 2.0, 1e-12);
+        assert_close(quantile(&values, 0.1).unwrap(), 1.4, 1e-12);
+        assert!(quantile(&values, 1.5).is_err());
+    }
+
+    #[test]
+    fn min_max() {
+        let values = [3.0, -1.0, 7.0, 0.0];
+        assert_close(min(&values).unwrap(), -1.0, 1e-15);
+        assert_close(max(&values).unwrap(), 7.0, 1e-15);
+        assert!(min(&[]).is_err());
+        assert!(max(&[]).is_err());
+    }
+
+    #[test]
+    fn weighted_mean_basic() {
+        assert_close(
+            weighted_mean(&[1.0, 2.0, 3.0], &[1.0, 1.0, 2.0]).unwrap(),
+            2.25,
+            1e-12,
+        );
+        assert!(weighted_mean(&[1.0], &[1.0, 2.0]).is_err());
+        assert!(weighted_mean(&[1.0, 2.0], &[0.0, 0.0]).is_err());
+    }
+
+    #[test]
+    fn geometric_mean_basic() {
+        assert_close(geometric_mean(&[1.0, 10.0, 100.0]).unwrap(), 10.0, 1e-10);
+        assert!(geometric_mean(&[1.0, 0.0]).is_err());
+        assert!(geometric_mean(&[]).is_err());
+    }
+
+    #[test]
+    fn summary_five_numbers() {
+        let values = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0];
+        let s = Summary::from_values(&values).unwrap();
+        assert_eq!(s.count, 9);
+        assert_close(s.mean, 5.0, 1e-12);
+        assert_close(s.min, 1.0, 1e-12);
+        assert_close(s.median, 5.0, 1e-12);
+        assert_close(s.max, 9.0, 1e-12);
+        assert_close(s.q1, 3.0, 1e-12);
+        assert_close(s.q3, 7.0, 1e-12);
+    }
+
+    #[test]
+    fn summary_single_value() {
+        let s = Summary::from_values(&[42.0]).unwrap();
+        assert_eq!(s.count, 1);
+        assert_eq!(s.std_dev, 0.0);
+        assert_eq!(s.mean, 42.0);
+    }
+}

@@ -1,0 +1,195 @@
+//! Binomial distribution.
+
+use super::DiscreteDistribution;
+use crate::error::{StatsError, StatsResult};
+use crate::special::{ln_binomial_coefficient, regularized_incomplete_beta};
+
+/// A Binomial distribution `Bin(n, p)`.
+///
+/// The Noise-Corrected backbone's null model assumes that an observed edge
+/// weight `N_ij` is the number of successes among `N_..` unitary interactions,
+/// each succeeding with probability `P_ij` (Eq. 2 of the paper). This type also
+/// provides the direct binomial p-value described in the paper's footnote 2.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Binomial {
+    n: u64,
+    p: f64,
+}
+
+impl Binomial {
+    /// Create a binomial distribution with `n` trials and success probability `p`.
+    pub fn new(n: u64, p: f64) -> StatsResult<Self> {
+        if !(0.0..=1.0).contains(&p) || !p.is_finite() {
+            return Err(StatsError::InvalidParameter {
+                parameter: "p",
+                message: format!("must lie in [0, 1], got {p}"),
+            });
+        }
+        Ok(Self { n, p })
+    }
+
+    /// Number of trials.
+    pub fn trials(&self) -> u64 {
+        self.n
+    }
+
+    /// Success probability.
+    pub fn success_probability(&self) -> f64 {
+        self.p
+    }
+
+    /// Upper-tail p-value `P(X ≥ k)`.
+    ///
+    /// This is the quantity used by the "direct p-value" variant of the
+    /// Noise-Corrected backbone: how likely the observed weight (or a larger
+    /// one) is under the null model.
+    pub fn upper_tail(&self, k: u64) -> f64 {
+        if k == 0 {
+            return 1.0;
+        }
+        if k > self.n {
+            return 0.0;
+        }
+        if self.p == 0.0 {
+            return 0.0;
+        }
+        if self.p == 1.0 {
+            return 1.0;
+        }
+        // P(X ≥ k) = I_p(k, n − k + 1)
+        regularized_incomplete_beta(k as f64, (self.n - k) as f64 + 1.0, self.p)
+            .expect("parameters validated at construction")
+    }
+}
+
+impl DiscreteDistribution for Binomial {
+    fn pmf(&self, k: u64) -> f64 {
+        self.ln_pmf(k).exp()
+    }
+
+    fn ln_pmf(&self, k: u64) -> f64 {
+        if k > self.n {
+            return f64::NEG_INFINITY;
+        }
+        if self.p == 0.0 {
+            return if k == 0 { 0.0 } else { f64::NEG_INFINITY };
+        }
+        if self.p == 1.0 {
+            return if k == self.n { 0.0 } else { f64::NEG_INFINITY };
+        }
+        ln_binomial_coefficient(self.n, k)
+            + k as f64 * self.p.ln()
+            + (self.n - k) as f64 * (1.0 - self.p).ln()
+    }
+
+    fn cdf(&self, k: u64) -> f64 {
+        if k >= self.n {
+            return 1.0;
+        }
+        if self.p == 0.0 {
+            return 1.0;
+        }
+        if self.p == 1.0 {
+            return 0.0;
+        }
+        // P(X ≤ k) = I_{1−p}(n − k, k + 1)
+        regularized_incomplete_beta((self.n - k) as f64, k as f64 + 1.0, 1.0 - self.p)
+            .expect("parameters validated at construction")
+    }
+
+    fn mean(&self) -> f64 {
+        self.n as f64 * self.p
+    }
+
+    fn variance(&self) -> f64 {
+        self.n as f64 * self.p * (1.0 - self.p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(actual: f64, expected: f64, tolerance: f64) {
+        assert!(
+            (actual - expected).abs() <= tolerance,
+            "expected {expected}, got {actual}"
+        );
+    }
+
+    #[test]
+    fn constructor_validates_probability() {
+        assert!(Binomial::new(10, 0.5).is_ok());
+        assert!(Binomial::new(10, -0.1).is_err());
+        assert!(Binomial::new(10, 1.1).is_err());
+        assert!(Binomial::new(10, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn moments() {
+        let b = Binomial::new(20, 0.3).unwrap();
+        assert_close(b.mean(), 6.0, 1e-12);
+        assert_close(b.variance(), 20.0 * 0.3 * 0.7, 1e-12);
+    }
+
+    #[test]
+    fn pmf_matches_hand_computed_values() {
+        let b = Binomial::new(5, 0.5).unwrap();
+        assert_close(b.pmf(0), 1.0 / 32.0, 1e-12);
+        assert_close(b.pmf(1), 5.0 / 32.0, 1e-12);
+        assert_close(b.pmf(2), 10.0 / 32.0, 1e-12);
+        assert_close(b.pmf(5), 1.0 / 32.0, 1e-12);
+        assert_eq!(b.pmf(6), 0.0);
+    }
+
+    #[test]
+    fn pmf_sums_to_one() {
+        let b = Binomial::new(30, 0.37).unwrap();
+        let total: f64 = (0..=30).map(|k| b.pmf(k)).sum();
+        assert_close(total, 1.0, 1e-10);
+    }
+
+    #[test]
+    fn cdf_matches_pmf_sum() {
+        let b = Binomial::new(12, 0.25).unwrap();
+        let mut running = 0.0;
+        for k in 0..=12 {
+            running += b.pmf(k);
+            assert_close(b.cdf(k), running, 1e-10);
+        }
+    }
+
+    #[test]
+    fn upper_tail_complements_cdf() {
+        let b = Binomial::new(15, 0.6).unwrap();
+        for k in 1..=15u64 {
+            assert_close(b.upper_tail(k), 1.0 - b.cdf(k - 1), 1e-10);
+        }
+        assert_close(b.upper_tail(0), 1.0, 1e-15);
+        assert_close(b.upper_tail(16), 0.0, 1e-15);
+    }
+
+    #[test]
+    fn degenerate_probabilities() {
+        let zero = Binomial::new(10, 0.0).unwrap();
+        assert_eq!(zero.pmf(0), 1.0);
+        assert_eq!(zero.pmf(1), 0.0);
+        assert_eq!(zero.cdf(0), 1.0);
+
+        let one = Binomial::new(10, 1.0).unwrap();
+        assert_eq!(one.pmf(10), 1.0);
+        assert_eq!(one.pmf(9), 0.0);
+        assert_eq!(one.cdf(9), 0.0);
+        assert_eq!(one.cdf(10), 1.0);
+    }
+
+    #[test]
+    fn large_n_stays_finite() {
+        // Typical magnitudes in the country networks: N.. can be in the billions.
+        let b = Binomial::new(2_000_000_000, 1e-9).unwrap();
+        assert!(b.pmf(2).is_finite());
+        assert!(b.upper_tail(10) > 0.0);
+        assert!(b.upper_tail(10) < 1.0);
+        assert_close(b.mean(), 2.0, 1e-9);
+    }
+}

@@ -1,0 +1,205 @@
+//! Hypergeometric distribution.
+
+use super::DiscreteDistribution;
+use crate::error::{StatsError, StatsResult};
+use crate::special::ln_binomial_coefficient;
+
+/// A hypergeometric distribution.
+///
+/// Describes the number of successes in `draws` draws *without replacement*
+/// from a population of size `population` containing `successes` success
+/// states.
+///
+/// In the Noise-Corrected backbone the hypergeometric distribution provides
+/// the *prior* mean and variance of the edge probability `P_ij`: each unit of
+/// weight emitted by node `i` picks its destination at random from the pool of
+/// `N_..` interaction endpoints, of which `N_.j` belong to node `j`. The
+/// resulting prior moments (paper, Section IV) are
+///
+/// ```text
+/// E[P_ij] = N_i. N_.j / N_..²
+/// V[P_ij] = N_i. N_.j (N_.. − N_i.)(N_.. − N_.j) / (N_..⁴ (N_.. − 1))
+/// ```
+///
+/// which are exactly `E[X]/N_..` and `V[X]/N_..²` for
+/// `X ~ Hypergeometric(population = N_.., successes = N_.j, draws = N_i.)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Hypergeometric {
+    population: u64,
+    successes: u64,
+    draws: u64,
+}
+
+impl Hypergeometric {
+    /// Create a hypergeometric distribution.
+    ///
+    /// Requires `successes ≤ population` and `draws ≤ population`.
+    pub fn new(population: u64, successes: u64, draws: u64) -> StatsResult<Self> {
+        if successes > population {
+            return Err(StatsError::InvalidParameter {
+                parameter: "successes",
+                message: format!("successes ({successes}) exceeds population ({population})"),
+            });
+        }
+        if draws > population {
+            return Err(StatsError::InvalidParameter {
+                parameter: "draws",
+                message: format!("draws ({draws}) exceeds population ({population})"),
+            });
+        }
+        Ok(Self {
+            population,
+            successes,
+            draws,
+        })
+    }
+
+    /// Population size `N`.
+    pub fn population(&self) -> u64 {
+        self.population
+    }
+
+    /// Number of success states `K` in the population.
+    pub fn successes(&self) -> u64 {
+        self.successes
+    }
+
+    /// Number of draws `n`.
+    pub fn draws(&self) -> u64 {
+        self.draws
+    }
+
+    /// Smallest value with non-zero probability: `max(0, n + K − N)`.
+    pub fn min_value(&self) -> u64 {
+        (self.draws + self.successes).saturating_sub(self.population)
+    }
+
+    /// Largest value with non-zero probability: `min(n, K)`.
+    pub fn max_value(&self) -> u64 {
+        self.draws.min(self.successes)
+    }
+}
+
+impl DiscreteDistribution for Hypergeometric {
+    fn pmf(&self, k: u64) -> f64 {
+        self.ln_pmf(k).exp()
+    }
+
+    fn ln_pmf(&self, k: u64) -> f64 {
+        if k < self.min_value() || k > self.max_value() {
+            return f64::NEG_INFINITY;
+        }
+        ln_binomial_coefficient(self.successes, k)
+            + ln_binomial_coefficient(self.population - self.successes, self.draws - k)
+            - ln_binomial_coefficient(self.population, self.draws)
+    }
+
+    fn cdf(&self, k: u64) -> f64 {
+        if k >= self.max_value() {
+            return 1.0;
+        }
+        let mut total = 0.0;
+        for value in self.min_value()..=k {
+            total += self.pmf(value);
+        }
+        total.min(1.0)
+    }
+
+    fn mean(&self) -> f64 {
+        if self.population == 0 {
+            return 0.0;
+        }
+        self.draws as f64 * self.successes as f64 / self.population as f64
+    }
+
+    fn variance(&self) -> f64 {
+        if self.population <= 1 {
+            return 0.0;
+        }
+        let n = self.population as f64;
+        let k = self.successes as f64;
+        let d = self.draws as f64;
+        d * (k / n) * ((n - k) / n) * ((n - d) / (n - 1.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(actual: f64, expected: f64, tolerance: f64) {
+        assert!(
+            (actual - expected).abs() <= tolerance,
+            "expected {expected}, got {actual}"
+        );
+    }
+
+    #[test]
+    fn constructor_validates() {
+        assert!(Hypergeometric::new(10, 3, 4).is_ok());
+        assert!(Hypergeometric::new(10, 11, 4).is_err());
+        assert!(Hypergeometric::new(10, 3, 11).is_err());
+    }
+
+    #[test]
+    fn support_bounds() {
+        let h = Hypergeometric::new(10, 7, 6).unwrap();
+        assert_eq!(h.min_value(), 3); // 6 + 7 − 10
+        assert_eq!(h.max_value(), 6);
+        assert_eq!(h.pmf(2), 0.0);
+        assert_eq!(h.pmf(7), 0.0);
+    }
+
+    #[test]
+    fn pmf_matches_hand_computed_value() {
+        // Population 10, 4 successes, 5 draws, P(X = 2) = C(4,2) C(6,3) / C(10,5)
+        let h = Hypergeometric::new(10, 4, 5).unwrap();
+        let expected = 6.0 * 20.0 / 252.0;
+        assert_close(h.pmf(2), expected, 1e-12);
+    }
+
+    #[test]
+    fn pmf_sums_to_one() {
+        let h = Hypergeometric::new(30, 12, 9).unwrap();
+        let total: f64 = (0..=9).map(|k| h.pmf(k)).sum();
+        assert_close(total, 1.0, 1e-10);
+        assert_close(h.cdf(9), 1.0, 1e-10);
+    }
+
+    #[test]
+    fn moments_match_formulas() {
+        let h = Hypergeometric::new(50, 20, 10).unwrap();
+        assert_close(h.mean(), 10.0 * 20.0 / 50.0, 1e-12);
+        let n = 50.0;
+        let expected_var = 10.0 * (20.0 / n) * (30.0 / n) * (40.0 / (n - 1.0));
+        assert_close(h.variance(), expected_var, 1e-12);
+    }
+
+    #[test]
+    fn matches_paper_prior_moments() {
+        // The NC prior: E[P_ij] = Ni. N.j / N..², V[P_ij] = V[X]/N..².
+        let n_total = 1000u64;
+        let n_out_i = 120u64; // draws
+        let n_in_j = 75u64; // successes
+        let h = Hypergeometric::new(n_total, n_in_j, n_out_i).unwrap();
+
+        let nt = n_total as f64;
+        let ni = n_out_i as f64;
+        let nj = n_in_j as f64;
+
+        let prior_mean = h.mean() / nt;
+        let expected_mean = ni * nj / (nt * nt);
+        assert_close(prior_mean, expected_mean, 1e-12);
+
+        let prior_var = h.variance() / (nt * nt);
+        let expected_var = ni * nj * (nt - ni) * (nt - nj) / (nt.powi(4) * (nt - 1.0));
+        assert_close(prior_var, expected_var, 1e-12);
+    }
+
+    #[test]
+    fn degenerate_population() {
+        let h = Hypergeometric::new(0, 0, 0).unwrap();
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.variance(), 0.0);
+    }
+}

@@ -1,0 +1,84 @@
+//! Probability distributions used by the backboning algorithms and the
+//! synthetic data generators.
+//!
+//! * [`Beta`] — conjugate prior of the Binomial edge-weight model (Eqs. 4–8 of
+//!   the paper).
+//! * [`Binomial`] — the Noise-Corrected null model for edge weights (Eq. 2) and
+//!   the direct p-value variant mentioned in the paper's footnote 2.
+//! * [`Normal`] — confidence thresholds `δ` and their p-value equivalents.
+//! * [`Hypergeometric`] — provides the prior mean and variance of `P_ij` in the
+//!   Noise-Corrected null model.
+//! * [`Exponential`] — the implicit null model of the Disparity Filter.
+//! * [`Poisson`] — used by the dataset generators to add count-data noise.
+
+mod beta;
+mod binomial;
+mod exponential;
+mod hypergeometric;
+mod normal;
+mod poisson;
+
+pub use beta::Beta;
+pub use binomial::Binomial;
+pub use exponential::Exponential;
+pub use hypergeometric::Hypergeometric;
+pub use normal::Normal;
+pub use poisson::Poisson;
+
+/// Common interface for continuous univariate distributions.
+pub trait ContinuousDistribution {
+    /// Probability density function evaluated at `x`.
+    fn pdf(&self, x: f64) -> f64;
+    /// Cumulative distribution function evaluated at `x`.
+    fn cdf(&self, x: f64) -> f64;
+    /// Mean of the distribution.
+    fn mean(&self) -> f64;
+    /// Variance of the distribution.
+    fn variance(&self) -> f64;
+    /// Standard deviation of the distribution.
+    fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+    /// Survival function `1 − CDF(x)`.
+    fn survival(&self, x: f64) -> f64 {
+        1.0 - self.cdf(x)
+    }
+}
+
+/// Common interface for discrete univariate distributions over the
+/// non-negative integers.
+pub trait DiscreteDistribution {
+    /// Probability mass function evaluated at `k`.
+    fn pmf(&self, k: u64) -> f64;
+    /// Natural logarithm of the probability mass function at `k`.
+    fn ln_pmf(&self, k: u64) -> f64;
+    /// Cumulative distribution function `P(X ≤ k)`.
+    fn cdf(&self, k: u64) -> f64;
+    /// Mean of the distribution.
+    fn mean(&self) -> f64;
+    /// Variance of the distribution.
+    fn variance(&self) -> f64;
+    /// Survival function `P(X > k) = 1 − CDF(k)`.
+    fn survival(&self, k: u64) -> f64 {
+        1.0 - self.cdf(k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn continuous_default_methods() {
+        let n = Normal::standard();
+        assert!((n.std_dev() - 1.0).abs() < 1e-12);
+        assert!((n.survival(0.0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn discrete_default_survival() {
+        let b = Binomial::new(10, 0.5).unwrap();
+        let total = b.cdf(4) + b.survival(4);
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+}

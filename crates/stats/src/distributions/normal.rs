@@ -1,0 +1,139 @@
+//! Normal (Gaussian) distribution.
+
+use super::ContinuousDistribution;
+use crate::error::{StatsError, StatsResult};
+use crate::special::{standard_normal_cdf, standard_normal_quantile};
+
+/// A normal distribution parameterised by mean and standard deviation.
+///
+/// Used throughout the backboning crates to translate the Noise-Corrected
+/// threshold parameter `δ` (a number of standard deviations) into one-tailed
+/// p-values and back, mirroring the paper's suggested values
+/// `δ ∈ {1.28, 1.64, 2.32}` for `p ∈ {0.1, 0.05, 0.01}`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal {
+    mean: f64,
+    std_dev: f64,
+}
+
+impl Normal {
+    /// Create a normal distribution with the given mean and standard deviation.
+    ///
+    /// Returns an error when `std_dev` is not strictly positive or either
+    /// parameter is not finite.
+    pub fn new(mean: f64, std_dev: f64) -> StatsResult<Self> {
+        if !mean.is_finite() {
+            return Err(StatsError::InvalidParameter {
+                parameter: "mean",
+                message: format!("must be finite, got {mean}"),
+            });
+        }
+        if !(std_dev.is_finite() && std_dev > 0.0) {
+            return Err(StatsError::InvalidParameter {
+                parameter: "std_dev",
+                message: format!("must be finite and positive, got {std_dev}"),
+            });
+        }
+        Ok(Self { mean, std_dev })
+    }
+
+    /// The standard normal distribution `N(0, 1)`.
+    pub fn standard() -> Self {
+        Self {
+            mean: 0.0,
+            std_dev: 1.0,
+        }
+    }
+
+    /// Quantile function (inverse CDF).
+    pub fn quantile(&self, p: f64) -> StatsResult<f64> {
+        Ok(self.mean + self.std_dev * standard_normal_quantile(p)?)
+    }
+
+    /// One-tailed p-value of observing a value at least `delta` standard
+    /// deviations above the mean: `P(X > mean + delta·sd)`.
+    pub fn upper_tail_p_value(delta: f64) -> f64 {
+        1.0 - standard_normal_cdf(delta)
+    }
+
+    /// Number of standard deviations corresponding to a one-tailed p-value,
+    /// i.e. the `δ` such that `P(X > mean + δ·sd) = p`.
+    pub fn delta_for_p_value(p: f64) -> StatsResult<f64> {
+        standard_normal_quantile(1.0 - p)
+    }
+}
+
+impl ContinuousDistribution for Normal {
+    fn pdf(&self, x: f64) -> f64 {
+        let z = (x - self.mean) / self.std_dev;
+        (-0.5 * z * z).exp() / (self.std_dev * (2.0 * std::f64::consts::PI).sqrt())
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        standard_normal_cdf((x - self.mean) / self.std_dev)
+    }
+
+    fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    fn variance(&self) -> f64 {
+        self.std_dev * self.std_dev
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructor_validates_parameters() {
+        assert!(Normal::new(0.0, 1.0).is_ok());
+        assert!(Normal::new(0.0, 0.0).is_err());
+        assert!(Normal::new(0.0, -1.0).is_err());
+        assert!(Normal::new(f64::NAN, 1.0).is_err());
+        assert!(Normal::new(0.0, f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn standard_normal_moments() {
+        let n = Normal::standard();
+        assert_eq!(n.mean(), 0.0);
+        assert_eq!(n.variance(), 1.0);
+    }
+
+    #[test]
+    fn pdf_peak_at_mean() {
+        let n = Normal::new(2.0, 3.0).unwrap();
+        let peak = n.pdf(2.0);
+        assert!(peak > n.pdf(1.0));
+        assert!(peak > n.pdf(3.0));
+        assert!((peak - 1.0 / (3.0 * (2.0 * std::f64::consts::PI).sqrt())).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cdf_is_monotone_and_symmetric() {
+        let n = Normal::new(0.0, 2.0).unwrap();
+        assert!((n.cdf(0.0) - 0.5).abs() < 1e-12);
+        assert!(n.cdf(1.0) > n.cdf(0.5));
+        assert!((n.cdf(-1.5) + n.cdf(1.5) - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn quantile_round_trip() {
+        let n = Normal::new(5.0, 0.5).unwrap();
+        for &p in &[0.05, 0.25, 0.5, 0.75, 0.95] {
+            let x = n.quantile(p).unwrap();
+            assert!((n.cdf(x) - p).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn delta_p_value_correspondence() {
+        // The paper's δ = 1.28 / 1.64 / 2.32 ↔ p ≈ 0.1 / 0.05 / 0.01.
+        assert!((Normal::upper_tail_p_value(1.281_551_6) - 0.1).abs() < 1e-6);
+        assert!((Normal::upper_tail_p_value(1.644_853_6) - 0.05).abs() < 1e-6);
+        assert!((Normal::upper_tail_p_value(2.326_347_9) - 0.01).abs() < 1e-6);
+        assert!((Normal::delta_for_p_value(0.05).unwrap() - 1.644_853_6).abs() < 1e-5);
+    }
+}

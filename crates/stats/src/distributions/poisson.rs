@@ -1,0 +1,111 @@
+//! Poisson distribution.
+
+use super::DiscreteDistribution;
+use crate::error::{StatsError, StatsResult};
+use crate::special::{ln_gamma, regularized_upper_gamma};
+
+/// A Poisson distribution with mean `λ`.
+///
+/// Used by the synthetic dataset generators: the country-network edge weights
+/// are latent gravity-model intensities observed through count noise, for which
+/// the Poisson distribution (the large-`n`, small-`p` limit of the paper's
+/// binomial null model) is the natural choice.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Poisson {
+    lambda: f64,
+}
+
+impl Poisson {
+    /// Create a Poisson distribution with mean `λ > 0`.
+    pub fn new(lambda: f64) -> StatsResult<Self> {
+        if !(lambda.is_finite() && lambda > 0.0) {
+            return Err(StatsError::InvalidParameter {
+                parameter: "lambda",
+                message: format!("must be finite and positive, got {lambda}"),
+            });
+        }
+        Ok(Self { lambda })
+    }
+
+    /// The mean parameter `λ`.
+    pub fn lambda(&self) -> f64 {
+        self.lambda
+    }
+}
+
+impl DiscreteDistribution for Poisson {
+    fn pmf(&self, k: u64) -> f64 {
+        self.ln_pmf(k).exp()
+    }
+
+    fn ln_pmf(&self, k: u64) -> f64 {
+        let k = k as f64;
+        k * self.lambda.ln() - self.lambda - ln_gamma(k + 1.0)
+    }
+
+    fn cdf(&self, k: u64) -> f64 {
+        // P(X ≤ k) = Q(k + 1, λ) where Q is the regularized upper incomplete gamma.
+        regularized_upper_gamma(k as f64 + 1.0, self.lambda)
+            .expect("parameters validated at construction")
+    }
+
+    fn mean(&self) -> f64 {
+        self.lambda
+    }
+
+    fn variance(&self) -> f64 {
+        self.lambda
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(actual: f64, expected: f64, tolerance: f64) {
+        assert!(
+            (actual - expected).abs() <= tolerance,
+            "expected {expected}, got {actual}"
+        );
+    }
+
+    #[test]
+    fn constructor_validates_lambda() {
+        assert!(Poisson::new(1.0).is_ok());
+        assert!(Poisson::new(0.0).is_err());
+        assert!(Poisson::new(-2.0).is_err());
+    }
+
+    #[test]
+    fn pmf_known_values() {
+        let p = Poisson::new(2.0).unwrap();
+        assert_close(p.pmf(0), (-2.0f64).exp(), 1e-12);
+        assert_close(p.pmf(1), 2.0 * (-2.0f64).exp(), 1e-12);
+        assert_close(p.pmf(2), 2.0 * (-2.0f64).exp(), 1e-12);
+        assert_close(p.pmf(3), 4.0 / 3.0 * (-2.0f64).exp(), 1e-12);
+    }
+
+    #[test]
+    fn pmf_sums_to_one() {
+        let p = Poisson::new(5.5).unwrap();
+        let total: f64 = (0..100).map(|k| p.pmf(k)).sum();
+        assert_close(total, 1.0, 1e-10);
+    }
+
+    #[test]
+    fn cdf_matches_pmf_sum() {
+        let p = Poisson::new(3.7).unwrap();
+        let mut running = 0.0;
+        for k in 0..25u64 {
+            running += p.pmf(k);
+            assert_close(p.cdf(k), running, 1e-9);
+        }
+    }
+
+    #[test]
+    fn moments() {
+        let p = Poisson::new(7.3).unwrap();
+        assert_close(p.mean(), 7.3, 1e-12);
+        assert_close(p.variance(), 7.3, 1e-12);
+    }
+}

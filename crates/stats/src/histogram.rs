@@ -1,0 +1,273 @@
+//! Empirical distribution helpers: histograms, CDFs and CCDFs.
+//!
+//! Figure 5 of the paper plots cumulative edge-weight distributions on
+//! log-scaled axes; [`ccdf`] and [`LogHistogram`] reproduce those curves.
+
+use crate::error::{StatsError, StatsResult};
+
+/// A single point of an empirical (complementary) cumulative distribution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DistributionPoint {
+    /// The value at which the distribution is evaluated.
+    pub value: f64,
+    /// The cumulative share of observations.
+    pub share: f64,
+}
+
+/// Empirical cumulative distribution function: for each distinct value `v`,
+/// the share of observations `≤ v`.
+pub fn ecdf(values: &[f64]) -> StatsResult<Vec<DistributionPoint>> {
+    if values.is_empty() {
+        return Err(StatsError::EmptyInput { operation: "ecdf" });
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in ecdf input"));
+    let n = sorted.len() as f64;
+    let mut points = Vec::new();
+    let mut index = 0;
+    while index < sorted.len() {
+        let value = sorted[index];
+        let mut run_end = index + 1;
+        while run_end < sorted.len() && sorted[run_end] == value {
+            run_end += 1;
+        }
+        points.push(DistributionPoint {
+            value,
+            share: run_end as f64 / n,
+        });
+        index = run_end;
+    }
+    Ok(points)
+}
+
+/// Empirical complementary cumulative distribution function (CCDF): for each
+/// distinct value `v`, the share of observations `≥ v`. This is the curve the
+/// paper plots in Figure 5 (`CDF(Edge Weight)` on a log-log scale, read as a
+/// survival function).
+pub fn ccdf(values: &[f64]) -> StatsResult<Vec<DistributionPoint>> {
+    if values.is_empty() {
+        return Err(StatsError::EmptyInput { operation: "ccdf" });
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in ccdf input"));
+    let n = sorted.len() as f64;
+    let mut points = Vec::new();
+    let mut index = 0;
+    while index < sorted.len() {
+        let value = sorted[index];
+        let mut run_end = index + 1;
+        while run_end < sorted.len() && sorted[run_end] == value {
+            run_end += 1;
+        }
+        points.push(DistributionPoint {
+            value,
+            share: (sorted.len() - index) as f64 / n,
+        });
+        index = run_end;
+    }
+    Ok(points)
+}
+
+/// A histogram with logarithmically spaced bins, suitable for broadly
+/// distributed edge weights spanning several orders of magnitude.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LogHistogram {
+    /// Lower edge of each bin.
+    pub bin_edges: Vec<f64>,
+    /// Number of observations falling into each bin (`bin_edges.len() − 1` entries).
+    pub counts: Vec<usize>,
+}
+
+impl LogHistogram {
+    /// Build a histogram with `bins` logarithmically spaced bins covering the
+    /// strictly positive values of the input. Non-positive values are ignored.
+    pub fn new(values: &[f64], bins: usize) -> StatsResult<Self> {
+        if bins == 0 {
+            return Err(StatsError::InvalidParameter {
+                parameter: "bins",
+                message: "need at least one bin".to_string(),
+            });
+        }
+        let positive: Vec<f64> = values.iter().copied().filter(|&v| v > 0.0).collect();
+        if positive.is_empty() {
+            return Err(StatsError::EmptyInput {
+                operation: "LogHistogram::new",
+            });
+        }
+        let min = positive.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = positive.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let (log_min, log_max) = if min == max {
+            (min.ln() - 0.5, min.ln() + 0.5)
+        } else {
+            (min.ln(), max.ln())
+        };
+        let step = (log_max - log_min) / bins as f64;
+        let bin_edges: Vec<f64> = (0..=bins).map(|i| (log_min + step * i as f64).exp()).collect();
+        let mut counts = vec![0usize; bins];
+        for &value in &positive {
+            let mut bin = (((value.ln() - log_min) / step).floor() as isize).max(0) as usize;
+            if bin >= bins {
+                bin = bins - 1;
+            }
+            counts[bin] += 1;
+        }
+        Ok(LogHistogram { bin_edges, counts })
+    }
+
+    /// Total number of binned observations.
+    pub fn total(&self) -> usize {
+        self.counts.iter().sum()
+    }
+
+    /// Share of observations in each bin.
+    pub fn shares(&self) -> Vec<f64> {
+        let total = self.total().max(1) as f64;
+        self.counts.iter().map(|&c| c as f64 / total).collect()
+    }
+
+    /// Geometric midpoint of each bin.
+    pub fn bin_centers(&self) -> Vec<f64> {
+        self.bin_edges
+            .windows(2)
+            .map(|w| (w[0] * w[1]).sqrt())
+            .collect()
+    }
+}
+
+/// A histogram with linearly spaced bins (used to reproduce the score
+/// distributions of Figure 2).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinearHistogram {
+    /// Lower edge of each bin.
+    pub bin_edges: Vec<f64>,
+    /// Number of observations in each bin.
+    pub counts: Vec<usize>,
+}
+
+impl LinearHistogram {
+    /// Build a histogram with `bins` equally spaced bins spanning `[min, max]`
+    /// of the data.
+    pub fn new(values: &[f64], bins: usize) -> StatsResult<Self> {
+        if bins == 0 {
+            return Err(StatsError::InvalidParameter {
+                parameter: "bins",
+                message: "need at least one bin".to_string(),
+            });
+        }
+        if values.is_empty() {
+            return Err(StatsError::EmptyInput {
+                operation: "LinearHistogram::new",
+            });
+        }
+        let min = values.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let (low, high) = if min == max {
+            (min - 0.5, max + 0.5)
+        } else {
+            (min, max)
+        };
+        let step = (high - low) / bins as f64;
+        let bin_edges: Vec<f64> = (0..=bins).map(|i| low + step * i as f64).collect();
+        let mut counts = vec![0usize; bins];
+        for &value in values {
+            let mut bin = (((value - low) / step).floor() as isize).max(0) as usize;
+            if bin >= bins {
+                bin = bins - 1;
+            }
+            counts[bin] += 1;
+        }
+        Ok(LinearHistogram { bin_edges, counts })
+    }
+
+    /// Share of observations in each bin.
+    pub fn shares(&self) -> Vec<f64> {
+        let total: usize = self.counts.iter().sum();
+        let total = total.max(1) as f64;
+        self.counts.iter().map(|&c| c as f64 / total).collect()
+    }
+
+    /// Midpoint of each bin.
+    pub fn bin_centers(&self) -> Vec<f64> {
+        self.bin_edges.windows(2).map(|w| (w[0] + w[1]) / 2.0).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ecdf_basic() {
+        let points = ecdf(&[1.0, 2.0, 2.0, 3.0]).unwrap();
+        assert_eq!(points.len(), 3);
+        assert_eq!(points[0].value, 1.0);
+        assert!((points[0].share - 0.25).abs() < 1e-12);
+        assert!((points[1].share - 0.75).abs() < 1e-12);
+        assert!((points[2].share - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ccdf_basic() {
+        let points = ccdf(&[1.0, 2.0, 2.0, 3.0]).unwrap();
+        assert_eq!(points.len(), 3);
+        assert!((points[0].share - 1.0).abs() < 1e-12);
+        assert!((points[1].share - 0.75).abs() < 1e-12);
+        assert!((points[2].share - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ccdf_is_non_increasing() {
+        let values: Vec<f64> = (0..100).map(|i| ((i * 37) % 11) as f64).collect();
+        let points = ccdf(&values).unwrap();
+        for pair in points.windows(2) {
+            assert!(pair[0].share >= pair[1].share);
+            assert!(pair[0].value < pair[1].value);
+        }
+    }
+
+    #[test]
+    fn empty_inputs_are_rejected() {
+        assert!(ecdf(&[]).is_err());
+        assert!(ccdf(&[]).is_err());
+        assert!(LogHistogram::new(&[], 10).is_err());
+        assert!(LinearHistogram::new(&[], 10).is_err());
+    }
+
+    #[test]
+    fn log_histogram_covers_all_positive_values() {
+        let values = [0.1, 1.0, 10.0, 100.0, 1000.0, -5.0, 0.0];
+        let hist = LogHistogram::new(&values, 4).unwrap();
+        assert_eq!(hist.total(), 5); // non-positive values ignored
+        assert_eq!(hist.counts.len(), 4);
+        assert_eq!(hist.bin_edges.len(), 5);
+        let shares: f64 = hist.shares().iter().sum();
+        assert!((shares - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn log_histogram_single_value() {
+        let hist = LogHistogram::new(&[5.0, 5.0, 5.0], 3).unwrap();
+        assert_eq!(hist.total(), 3);
+    }
+
+    #[test]
+    fn log_histogram_rejects_zero_bins() {
+        assert!(LogHistogram::new(&[1.0], 0).is_err());
+    }
+
+    #[test]
+    fn linear_histogram_counts_everything() {
+        let values = [-2.0, -1.0, 0.0, 1.0, 2.0, 3.0];
+        let hist = LinearHistogram::new(&values, 5).unwrap();
+        let total: usize = hist.counts.iter().sum();
+        assert_eq!(total, values.len());
+        assert_eq!(hist.bin_centers().len(), 5);
+    }
+
+    #[test]
+    fn linear_histogram_single_value() {
+        let hist = LinearHistogram::new(&[3.0], 4).unwrap();
+        let total: usize = hist.counts.iter().sum();
+        assert_eq!(total, 1);
+    }
+}

@@ -1,0 +1,54 @@
+//! # backboning-stats
+//!
+//! Statistics substrate for the `backboning-rs` workspace, a Rust reproduction of
+//! *Network Backboning with Noisy Data* (Coscia & Neffke, ICDE 2017).
+//!
+//! The Noise-Corrected backbone and the paper's evaluation need a fairly wide
+//! range of statistical machinery that is not available (or only partially
+//! available) in lightweight Rust crates:
+//!
+//! * **Special functions** ([`special`]): log-gamma, regularized incomplete beta
+//!   and gamma functions, error function — the building blocks of every
+//!   distribution function used by the backbone algorithms.
+//! * **Probability distributions** ([`distributions`]): Beta (the conjugate prior
+//!   of the binomial edge-weight model), Binomial (the edge-weight null model),
+//!   Normal (confidence thresholds `δ`), Hypergeometric (the prior moments of the
+//!   NC null model), and Exponential (the Disparity Filter null model).
+//! * **Descriptive statistics** ([`descriptive`]) and empirical distribution
+//!   functions used to reproduce Figure 5 of the paper.
+//! * **Correlation** ([`correlation`]): Pearson, log–log Pearson (Figure 6) and
+//!   Spearman rank correlation (the Stability criterion of Figure 8), backed by
+//!   tie-aware ranking ([`rank`]).
+//! * **Ordinary least squares regression** ([`regression`]) with `R²`, used by the
+//!   Quality criterion (Table II) and the case study of Section VI.
+//! * **Small dense linear algebra** ([`linalg`]): just enough matrix machinery
+//!   (Cholesky and Gaussian elimination) to solve normal equations.
+//! * **Bayesian helpers** ([`bayes`]): the Beta–Binomial conjugate update at the
+//!   heart of the Noise-Corrected backbone (Eqs. 3–8 of the paper).
+//! * **Sampling utilities** ([`sampling`]): seeded normal / binomial / Poisson
+//!   sampling used by the synthetic dataset generators.
+//!
+//! Everything is implemented from scratch on `f64`, with deterministic behaviour
+//! given a seeded random number generator.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bayes;
+pub mod correlation;
+pub mod descriptive;
+pub mod distributions;
+pub mod error;
+pub mod histogram;
+pub mod linalg;
+pub mod rank;
+pub mod regression;
+pub mod sampling;
+pub mod special;
+
+pub use bayes::BetaBinomialModel;
+pub use correlation::{log_log_pearson, pearson, spearman};
+pub use descriptive::{mean, median, quantile, std_dev, variance};
+pub use error::{StatsError, StatsResult};
+pub use linalg::Matrix;
+pub use regression::{OlsFit, OlsModel};

@@ -1,0 +1,412 @@
+//! Small dense linear algebra: just enough to solve OLS normal equations.
+
+use crate::error::{StatsError, StatsResult};
+
+/// A dense, row-major matrix of `f64`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Create a matrix of zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Create an identity matrix.
+    pub fn identity(size: usize) -> Self {
+        let mut m = Matrix::zeros(size, size);
+        for i in 0..size {
+            m.set(i, i, 1.0);
+        }
+        m
+    }
+
+    /// Create a matrix from row-major data.
+    pub fn from_rows(rows: usize, cols: usize, data: Vec<f64>) -> StatsResult<Self> {
+        if data.len() != rows * cols {
+            return Err(StatsError::LinearAlgebra {
+                message: format!(
+                    "expected {} elements for a {rows}x{cols} matrix, got {}",
+                    rows * cols,
+                    data.len()
+                ),
+            });
+        }
+        Ok(Matrix { rows, cols, data })
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Element access.
+    #[inline]
+    pub fn get(&self, row: usize, col: usize) -> f64 {
+        debug_assert!(row < self.rows && col < self.cols);
+        self.data[row * self.cols + col]
+    }
+
+    /// Element assignment.
+    #[inline]
+    pub fn set(&mut self, row: usize, col: usize, value: f64) {
+        debug_assert!(row < self.rows && col < self.cols);
+        self.data[row * self.cols + col] = value;
+    }
+
+    /// Matrix transpose.
+    pub fn transpose(&self) -> Matrix {
+        let mut result = Matrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                result.set(j, i, self.get(i, j));
+            }
+        }
+        result
+    }
+
+    /// Matrix–matrix product.
+    pub fn matmul(&self, other: &Matrix) -> StatsResult<Matrix> {
+        if self.cols != other.rows {
+            return Err(StatsError::LinearAlgebra {
+                message: format!(
+                    "cannot multiply {}x{} by {}x{}",
+                    self.rows, self.cols, other.rows, other.cols
+                ),
+            });
+        }
+        let mut result = Matrix::zeros(self.rows, other.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let aik = self.get(i, k);
+                if aik == 0.0 {
+                    continue;
+                }
+                for j in 0..other.cols {
+                    let value = result.get(i, j) + aik * other.get(k, j);
+                    result.set(i, j, value);
+                }
+            }
+        }
+        Ok(result)
+    }
+
+    /// Matrix–vector product.
+    pub fn matvec(&self, vector: &[f64]) -> StatsResult<Vec<f64>> {
+        if self.cols != vector.len() {
+            return Err(StatsError::LinearAlgebra {
+                message: format!(
+                    "cannot multiply {}x{} matrix by vector of length {}",
+                    self.rows,
+                    self.cols,
+                    vector.len()
+                ),
+            });
+        }
+        let mut result = vec![0.0; self.rows];
+        for i in 0..self.rows {
+            let mut acc = 0.0;
+            for j in 0..self.cols {
+                acc += self.get(i, j) * vector[j];
+            }
+            result[i] = acc;
+        }
+        Ok(result)
+    }
+
+    /// Cholesky decomposition of a symmetric positive-definite matrix:
+    /// returns lower-triangular `L` with `A = L Lᵀ`.
+    pub fn cholesky(&self) -> StatsResult<Matrix> {
+        if self.rows != self.cols {
+            return Err(StatsError::LinearAlgebra {
+                message: "Cholesky decomposition requires a square matrix".to_string(),
+            });
+        }
+        let n = self.rows;
+        let mut l = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..=i {
+                let mut sum = self.get(i, j);
+                for k in 0..j {
+                    sum -= l.get(i, k) * l.get(j, k);
+                }
+                if i == j {
+                    if sum <= 0.0 {
+                        return Err(StatsError::LinearAlgebra {
+                            message: format!(
+                                "matrix is not positive definite (pivot {sum} at row {i})"
+                            ),
+                        });
+                    }
+                    l.set(i, j, sum.sqrt());
+                } else {
+                    l.set(i, j, sum / l.get(j, j));
+                }
+            }
+        }
+        Ok(l)
+    }
+
+    /// Solve `A x = b` for symmetric positive-definite `A` using the Cholesky
+    /// decomposition; falls back to Gaussian elimination with partial pivoting
+    /// when the matrix is not positive definite.
+    pub fn solve(&self, b: &[f64]) -> StatsResult<Vec<f64>> {
+        if self.rows != self.cols {
+            return Err(StatsError::LinearAlgebra {
+                message: "solve requires a square matrix".to_string(),
+            });
+        }
+        if b.len() != self.rows {
+            return Err(StatsError::LinearAlgebra {
+                message: format!(
+                    "right-hand side has length {} but matrix is {}x{}",
+                    b.len(),
+                    self.rows,
+                    self.cols
+                ),
+            });
+        }
+        match self.cholesky() {
+            Ok(l) => {
+                // Forward substitution: L y = b.
+                let n = self.rows;
+                let mut y = vec![0.0; n];
+                for i in 0..n {
+                    let mut sum = b[i];
+                    for k in 0..i {
+                        sum -= l.get(i, k) * y[k];
+                    }
+                    y[i] = sum / l.get(i, i);
+                }
+                // Back substitution: Lᵀ x = y.
+                let mut x = vec![0.0; n];
+                for i in (0..n).rev() {
+                    let mut sum = y[i];
+                    for k in (i + 1)..n {
+                        sum -= l.get(k, i) * x[k];
+                    }
+                    x[i] = sum / l.get(i, i);
+                }
+                Ok(x)
+            }
+            Err(_) => self.solve_gaussian(b),
+        }
+    }
+
+    /// Solve `A x = b` by Gaussian elimination with partial pivoting.
+    pub fn solve_gaussian(&self, b: &[f64]) -> StatsResult<Vec<f64>> {
+        if self.rows != self.cols {
+            return Err(StatsError::LinearAlgebra {
+                message: "solve_gaussian requires a square matrix".to_string(),
+            });
+        }
+        let n = self.rows;
+        if b.len() != n {
+            return Err(StatsError::LinearAlgebra {
+                message: "right-hand side length mismatch".to_string(),
+            });
+        }
+        // Augmented working copy.
+        let mut a = self.data.clone();
+        let mut rhs = b.to_vec();
+
+        for col in 0..n {
+            // Partial pivoting.
+            let mut pivot_row = col;
+            let mut pivot_value = a[col * n + col].abs();
+            for row in (col + 1)..n {
+                let candidate = a[row * n + col].abs();
+                if candidate > pivot_value {
+                    pivot_value = candidate;
+                    pivot_row = row;
+                }
+            }
+            if pivot_value < 1e-12 {
+                return Err(StatsError::LinearAlgebra {
+                    message: format!("matrix is singular or nearly singular at column {col}"),
+                });
+            }
+            if pivot_row != col {
+                for j in 0..n {
+                    a.swap(col * n + j, pivot_row * n + j);
+                }
+                rhs.swap(col, pivot_row);
+            }
+            // Elimination.
+            for row in (col + 1)..n {
+                let factor = a[row * n + col] / a[col * n + col];
+                if factor == 0.0 {
+                    continue;
+                }
+                for j in col..n {
+                    a[row * n + j] -= factor * a[col * n + j];
+                }
+                rhs[row] -= factor * rhs[col];
+            }
+        }
+        // Back substitution.
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let mut sum = rhs[i];
+            for j in (i + 1)..n {
+                sum -= a[i * n + j] * x[j];
+            }
+            x[i] = sum / a[i * n + i];
+        }
+        Ok(x)
+    }
+
+    /// Inverse of a square matrix (via repeated solves). Intended for the small
+    /// matrices appearing in OLS standard-error computations.
+    pub fn inverse(&self) -> StatsResult<Matrix> {
+        if self.rows != self.cols {
+            return Err(StatsError::LinearAlgebra {
+                message: "inverse requires a square matrix".to_string(),
+            });
+        }
+        let n = self.rows;
+        let mut inverse = Matrix::zeros(n, n);
+        for col in 0..n {
+            let mut unit = vec![0.0; n];
+            unit[col] = 1.0;
+            let column = self.solve(&unit)?;
+            for row in 0..n {
+                inverse.set(row, col, column[row]);
+            }
+        }
+        Ok(inverse)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(actual: f64, expected: f64, tolerance: f64) {
+        assert!(
+            (actual - expected).abs() <= tolerance,
+            "expected {expected}, got {actual}"
+        );
+    }
+
+    #[test]
+    fn construction_and_access() {
+        let mut m = Matrix::zeros(2, 3);
+        assert_eq!(m.rows(), 2);
+        assert_eq!(m.cols(), 3);
+        m.set(1, 2, 5.0);
+        assert_eq!(m.get(1, 2), 5.0);
+        assert!(Matrix::from_rows(2, 2, vec![1.0, 2.0, 3.0]).is_err());
+    }
+
+    #[test]
+    fn identity_and_matmul() {
+        let identity = Matrix::identity(3);
+        let a = Matrix::from_rows(3, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0]).unwrap();
+        let product = a.matmul(&identity).unwrap();
+        assert_eq!(product, a);
+    }
+
+    #[test]
+    fn matmul_known_result() {
+        let a = Matrix::from_rows(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap();
+        let b = Matrix::from_rows(3, 2, vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0]).unwrap();
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c.rows(), 2);
+        assert_eq!(c.cols(), 2);
+        assert_close(c.get(0, 0), 58.0, 1e-12);
+        assert_close(c.get(0, 1), 64.0, 1e-12);
+        assert_close(c.get(1, 0), 139.0, 1e-12);
+        assert_close(c.get(1, 1), 154.0, 1e-12);
+        assert!(a.matmul(&a).is_err());
+    }
+
+    #[test]
+    fn transpose_round_trip() {
+        let a = Matrix::from_rows(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap();
+        let t = a.transpose();
+        assert_eq!(t.rows(), 3);
+        assert_eq!(t.cols(), 2);
+        assert_eq!(t.get(2, 1), 6.0);
+        assert_eq!(t.transpose(), a);
+    }
+
+    #[test]
+    fn matvec_basic() {
+        let a = Matrix::from_rows(2, 2, vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let result = a.matvec(&[5.0, 6.0]).unwrap();
+        assert_eq!(result, vec![17.0, 39.0]);
+        assert!(a.matvec(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn cholesky_known_decomposition() {
+        // A = [[4, 2], [2, 3]] → L = [[2, 0], [1, sqrt(2)]]
+        let a = Matrix::from_rows(2, 2, vec![4.0, 2.0, 2.0, 3.0]).unwrap();
+        let l = a.cholesky().unwrap();
+        assert_close(l.get(0, 0), 2.0, 1e-12);
+        assert_close(l.get(1, 0), 1.0, 1e-12);
+        assert_close(l.get(1, 1), 2.0f64.sqrt(), 1e-12);
+        assert_close(l.get(0, 1), 0.0, 1e-12);
+    }
+
+    #[test]
+    fn cholesky_rejects_non_positive_definite() {
+        let a = Matrix::from_rows(2, 2, vec![1.0, 2.0, 2.0, 1.0]).unwrap();
+        assert!(a.cholesky().is_err());
+        let rect = Matrix::zeros(2, 3);
+        assert!(rect.cholesky().is_err());
+    }
+
+    #[test]
+    fn solve_positive_definite_system() {
+        let a = Matrix::from_rows(3, 3, vec![4.0, 1.0, 1.0, 1.0, 3.0, 0.0, 1.0, 0.0, 2.0]).unwrap();
+        let x_true = [1.0, -2.0, 3.0];
+        let b = a.matvec(&x_true).unwrap();
+        let x = a.solve(&b).unwrap();
+        for (computed, expected) in x.iter().zip(x_true.iter()) {
+            assert_close(*computed, *expected, 1e-10);
+        }
+    }
+
+    #[test]
+    fn solve_falls_back_to_gaussian_for_indefinite_matrix() {
+        // Symmetric but indefinite matrix.
+        let a = Matrix::from_rows(2, 2, vec![0.0, 1.0, 1.0, 0.0]).unwrap();
+        let x = a.solve(&[2.0, 3.0]).unwrap();
+        assert_close(x[0], 3.0, 1e-12);
+        assert_close(x[1], 2.0, 1e-12);
+    }
+
+    #[test]
+    fn solve_gaussian_rejects_singular() {
+        let a = Matrix::from_rows(2, 2, vec![1.0, 2.0, 2.0, 4.0]).unwrap();
+        assert!(a.solve_gaussian(&[1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn inverse_times_matrix_is_identity() {
+        let a = Matrix::from_rows(3, 3, vec![4.0, 1.0, 1.0, 1.0, 3.0, 0.0, 1.0, 0.0, 2.0]).unwrap();
+        let inv = a.inverse().unwrap();
+        let product = a.matmul(&inv).unwrap();
+        for i in 0..3 {
+            for j in 0..3 {
+                let expected = if i == j { 1.0 } else { 0.0 };
+                assert_close(product.get(i, j), expected, 1e-10);
+            }
+        }
+    }
+}

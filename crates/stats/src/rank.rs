@@ -1,0 +1,120 @@
+//! Ranking utilities with tie handling.
+
+use crate::error::{StatsError, StatsResult};
+
+/// How tied values are assigned ranks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TieMethod {
+    /// Tied values receive the average of the ranks they span (the convention
+    /// required by the Spearman correlation used in the Stability criterion).
+    Average,
+    /// Tied values receive the smallest of the ranks they span.
+    Min,
+    /// Tied values receive the largest of the ranks they span.
+    Max,
+    /// Ties are broken by input order (first occurrence gets the lower rank).
+    Ordinal,
+}
+
+/// Assign 1-based ranks to `values`, resolving ties according to `method`.
+///
+/// Returns an error when the input is empty or contains NaN.
+pub fn rank(values: &[f64], method: TieMethod) -> StatsResult<Vec<f64>> {
+    if values.is_empty() {
+        return Err(StatsError::EmptyInput { operation: "rank" });
+    }
+    if values.iter().any(|v| v.is_nan()) {
+        return Err(StatsError::InvalidParameter {
+            parameter: "values",
+            message: "cannot rank NaN values".to_string(),
+        });
+    }
+
+    let mut order: Vec<usize> = (0..values.len()).collect();
+    order.sort_by(|&a, &b| {
+        values[a]
+            .partial_cmp(&values[b])
+            .expect("NaN filtered above")
+    });
+
+    let mut ranks = vec![0.0; values.len()];
+    let mut index = 0;
+    while index < order.len() {
+        // Find the run of tied values starting at `index`.
+        let mut run_end = index + 1;
+        while run_end < order.len() && values[order[run_end]] == values[order[index]] {
+            run_end += 1;
+        }
+        // Ranks are 1-based: positions index..run_end correspond to ranks index+1..run_end.
+        for (offset, &original) in order[index..run_end].iter().enumerate() {
+            let position = index + offset;
+            ranks[original] = match method {
+                TieMethod::Average => (index + 1 + run_end) as f64 / 2.0,
+                TieMethod::Min => (index + 1) as f64,
+                TieMethod::Max => run_end as f64,
+                TieMethod::Ordinal => (position + 1) as f64,
+            };
+        }
+        index = run_end;
+    }
+    Ok(ranks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranks_without_ties() {
+        let ranks = rank(&[10.0, 30.0, 20.0], TieMethod::Average).unwrap();
+        assert_eq!(ranks, vec![1.0, 3.0, 2.0]);
+    }
+
+    #[test]
+    fn average_ties() {
+        // Two values tied for ranks 2 and 3 → both get 2.5.
+        let ranks = rank(&[1.0, 5.0, 5.0, 9.0], TieMethod::Average).unwrap();
+        assert_eq!(ranks, vec![1.0, 2.5, 2.5, 4.0]);
+    }
+
+    #[test]
+    fn min_and_max_ties() {
+        let values = [1.0, 5.0, 5.0, 9.0];
+        assert_eq!(
+            rank(&values, TieMethod::Min).unwrap(),
+            vec![1.0, 2.0, 2.0, 4.0]
+        );
+        assert_eq!(
+            rank(&values, TieMethod::Max).unwrap(),
+            vec![1.0, 3.0, 3.0, 4.0]
+        );
+    }
+
+    #[test]
+    fn ordinal_ties_follow_input_order() {
+        let ranks = rank(&[5.0, 5.0, 1.0], TieMethod::Ordinal).unwrap();
+        assert_eq!(ranks, vec![2.0, 3.0, 1.0]);
+    }
+
+    #[test]
+    fn all_equal_values() {
+        let ranks = rank(&[7.0, 7.0, 7.0], TieMethod::Average).unwrap();
+        assert_eq!(ranks, vec![2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn rejects_empty_and_nan() {
+        assert!(rank(&[], TieMethod::Average).is_err());
+        assert!(rank(&[1.0, f64::NAN], TieMethod::Average).is_err());
+    }
+
+    #[test]
+    fn ranks_are_a_permutation_sum() {
+        // Sum of ranks must always equal n(n+1)/2 for Average ties.
+        let values = [3.0, 3.0, 1.0, 8.0, 8.0, 8.0, 2.0];
+        let ranks = rank(&values, TieMethod::Average).unwrap();
+        let n = values.len() as f64;
+        let total: f64 = ranks.iter().sum();
+        assert!((total - n * (n + 1.0) / 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,344 @@
+//! Ordinary least squares regression.
+//!
+//! The paper's Quality criterion (Table II) fits OLS models of the form
+//! `log(N_ij + 1) = β X_ij + ε_ij` on the full network and on the backbone,
+//! and compares the two `R²` values. The case study of Section VI fits a
+//! linear flow-prediction model. This module provides the estimator used for
+//! both.
+
+use crate::error::{StatsError, StatsResult};
+use crate::linalg::Matrix;
+
+/// A fitted OLS model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OlsFit {
+    /// Estimated coefficients, in the column order of the design matrix
+    /// (intercept first when the model was built with an intercept).
+    pub coefficients: Vec<f64>,
+    /// Coefficient of determination `R²`.
+    pub r_squared: f64,
+    /// Adjusted `R²`.
+    pub adjusted_r_squared: f64,
+    /// Residual sum of squares.
+    pub residual_sum_of_squares: f64,
+    /// Total sum of squares of the response around its mean.
+    pub total_sum_of_squares: f64,
+    /// Number of observations used in the fit.
+    pub observations: usize,
+    /// Number of estimated parameters (including the intercept if present).
+    pub parameters: usize,
+    /// Standard errors of the coefficients (same order as `coefficients`).
+    pub standard_errors: Vec<f64>,
+    /// Whether an intercept column was included.
+    pub has_intercept: bool,
+}
+
+impl OlsFit {
+    /// Predicted value for a single observation's predictor vector (excluding
+    /// the intercept column, which is added automatically when present).
+    pub fn predict(&self, predictors: &[f64]) -> StatsResult<f64> {
+        let expected = if self.has_intercept {
+            self.coefficients.len() - 1
+        } else {
+            self.coefficients.len()
+        };
+        if predictors.len() != expected {
+            return Err(StatsError::Regression {
+                message: format!(
+                    "expected {expected} predictors, got {}",
+                    predictors.len()
+                ),
+            });
+        }
+        let mut value = 0.0;
+        let mut coefficient_index = 0;
+        if self.has_intercept {
+            value += self.coefficients[0];
+            coefficient_index = 1;
+        }
+        for (i, &x) in predictors.iter().enumerate() {
+            value += self.coefficients[coefficient_index + i] * x;
+        }
+        Ok(value)
+    }
+
+    /// Pearson correlation between fitted and observed values; equals
+    /// `sqrt(R²)` for models with an intercept.
+    pub fn fit_correlation(&self) -> f64 {
+        self.r_squared.max(0.0).sqrt()
+    }
+}
+
+/// Builder for an OLS regression: add named predictor columns, then fit
+/// against a response vector.
+#[derive(Debug, Clone)]
+pub struct OlsModel {
+    predictor_names: Vec<String>,
+    columns: Vec<Vec<f64>>,
+    intercept: bool,
+}
+
+impl Default for OlsModel {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl OlsModel {
+    /// Create an empty model with an intercept.
+    pub fn new() -> Self {
+        OlsModel {
+            predictor_names: Vec::new(),
+            columns: Vec::new(),
+            intercept: true,
+        }
+    }
+
+    /// Create an empty model without an intercept.
+    pub fn without_intercept() -> Self {
+        OlsModel {
+            predictor_names: Vec::new(),
+            columns: Vec::new(),
+            intercept: false,
+        }
+    }
+
+    /// Add a named predictor column.
+    pub fn predictor(mut self, name: impl Into<String>, values: Vec<f64>) -> Self {
+        self.predictor_names.push(name.into());
+        self.columns.push(values);
+        self
+    }
+
+    /// Names of the predictors, in design-matrix order (excluding the intercept).
+    pub fn predictor_names(&self) -> &[String] {
+        &self.predictor_names
+    }
+
+    /// Fit the model by ordinary least squares against the response `y`.
+    pub fn fit(&self, y: &[f64]) -> StatsResult<OlsFit> {
+        let n = y.len();
+        if n == 0 {
+            return Err(StatsError::EmptyInput { operation: "OlsModel::fit" });
+        }
+        for (name, column) in self.predictor_names.iter().zip(&self.columns) {
+            if column.len() != n {
+                return Err(StatsError::Regression {
+                    message: format!(
+                        "predictor `{name}` has {} rows but the response has {n}",
+                        column.len()
+                    ),
+                });
+            }
+        }
+        let k = self.columns.len() + usize::from(self.intercept);
+        if k == 0 {
+            return Err(StatsError::Regression {
+                message: "model has no predictors and no intercept".to_string(),
+            });
+        }
+        if n <= k {
+            return Err(StatsError::Regression {
+                message: format!("need more observations ({n}) than parameters ({k})"),
+            });
+        }
+
+        // Build the design matrix.
+        let mut design = Matrix::zeros(n, k);
+        for row in 0..n {
+            let mut col = 0;
+            if self.intercept {
+                design.set(row, 0, 1.0);
+                col = 1;
+            }
+            for (j, column) in self.columns.iter().enumerate() {
+                design.set(row, col + j, column[row]);
+            }
+        }
+
+        // Normal equations: (XᵀX) β = Xᵀ y.
+        let xt = design.transpose();
+        let xtx = xt.matmul(&design)?;
+        let xty = xt.matvec(y)?;
+        let coefficients = xtx.solve(&xty).map_err(|e| StatsError::Regression {
+            message: format!("design matrix is rank deficient: {e}"),
+        })?;
+
+        // Residuals and goodness of fit.
+        let fitted = design.matvec(&coefficients)?;
+        let mean_y = y.iter().sum::<f64>() / n as f64;
+        let mut rss = 0.0;
+        let mut tss = 0.0;
+        for (observed, predicted) in y.iter().zip(&fitted) {
+            rss += (observed - predicted) * (observed - predicted);
+            tss += (observed - mean_y) * (observed - mean_y);
+        }
+        let r_squared = if tss > 0.0 { 1.0 - rss / tss } else { 0.0 };
+        let adjusted_r_squared = if n > k {
+            1.0 - (1.0 - r_squared) * (n as f64 - 1.0) / (n as f64 - k as f64)
+        } else {
+            r_squared
+        };
+
+        // Standard errors from σ² (XᵀX)⁻¹.
+        let sigma2 = rss / (n as f64 - k as f64);
+        let standard_errors = match xtx.inverse() {
+            Ok(inv) => (0..k).map(|i| (sigma2 * inv.get(i, i)).max(0.0).sqrt()).collect(),
+            Err(_) => vec![f64::NAN; k],
+        };
+
+        Ok(OlsFit {
+            coefficients,
+            r_squared,
+            adjusted_r_squared,
+            residual_sum_of_squares: rss,
+            total_sum_of_squares: tss,
+            observations: n,
+            parameters: k,
+            standard_errors,
+            has_intercept: self.intercept,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(actual: f64, expected: f64, tolerance: f64) {
+        assert!(
+            (actual - expected).abs() <= tolerance,
+            "expected {expected}, got {actual}"
+        );
+    }
+
+    #[test]
+    fn perfect_linear_fit() {
+        // y = 3 + 2x fits exactly.
+        let x: Vec<f64> = (0..20).map(|i| i as f64).collect();
+        let y: Vec<f64> = x.iter().map(|&v| 3.0 + 2.0 * v).collect();
+        let fit = OlsModel::new().predictor("x", x).fit(&y).unwrap();
+        assert_close(fit.coefficients[0], 3.0, 1e-9);
+        assert_close(fit.coefficients[1], 2.0, 1e-9);
+        assert_close(fit.r_squared, 1.0, 1e-12);
+        assert_close(fit.predict(&[10.0]).unwrap(), 23.0, 1e-9);
+    }
+
+    #[test]
+    fn two_predictor_fit() {
+        // y = 1 + 2 x1 − 3 x2 with a little deterministic structure.
+        let n = 50;
+        let x1: Vec<f64> = (0..n).map(|i| (i as f64 * 0.37).sin() * 5.0).collect();
+        let x2: Vec<f64> = (0..n).map(|i| (i as f64 * 0.11).cos() * 2.0).collect();
+        let y: Vec<f64> = (0..n).map(|i| 1.0 + 2.0 * x1[i] - 3.0 * x2[i]).collect();
+        let fit = OlsModel::new()
+            .predictor("x1", x1)
+            .predictor("x2", x2)
+            .fit(&y)
+            .unwrap();
+        assert_close(fit.coefficients[0], 1.0, 1e-8);
+        assert_close(fit.coefficients[1], 2.0, 1e-8);
+        assert_close(fit.coefficients[2], -3.0, 1e-8);
+        assert_close(fit.r_squared, 1.0, 1e-10);
+        assert_eq!(fit.parameters, 3);
+        assert_eq!(fit.observations, 50);
+    }
+
+    #[test]
+    fn noisy_fit_has_r_squared_below_one() {
+        // Deterministic "noise" that is orthogonal-ish to the predictor.
+        let n = 100;
+        let x: Vec<f64> = (0..n).map(|i| i as f64 / 10.0).collect();
+        let y: Vec<f64> = (0..n)
+            .map(|i| 2.0 * x[i] + if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
+        let fit = OlsModel::new().predictor("x", x).fit(&y).unwrap();
+        assert!(fit.r_squared > 0.9);
+        assert!(fit.r_squared < 1.0);
+        assert!(fit.adjusted_r_squared <= fit.r_squared);
+        assert!(fit.residual_sum_of_squares > 0.0);
+    }
+
+    #[test]
+    fn intercept_only_model_without_predictors_is_ok() {
+        let y = vec![1.0, 2.0, 3.0, 4.0];
+        let fit = OlsModel::new().fit(&y).unwrap();
+        assert_close(fit.coefficients[0], 2.5, 1e-12);
+        assert_close(fit.r_squared, 0.0, 1e-12);
+    }
+
+    #[test]
+    fn without_intercept_model() {
+        let x: Vec<f64> = (1..=10).map(|i| i as f64).collect();
+        let y: Vec<f64> = x.iter().map(|&v| 4.0 * v).collect();
+        let fit = OlsModel::without_intercept()
+            .predictor("x", x)
+            .fit(&y)
+            .unwrap();
+        assert_eq!(fit.coefficients.len(), 1);
+        assert_close(fit.coefficients[0], 4.0, 1e-9);
+        assert!(!fit.has_intercept);
+        assert_close(fit.predict(&[2.0]).unwrap(), 8.0, 1e-9);
+    }
+
+    #[test]
+    fn errors_on_bad_input() {
+        // Length mismatch.
+        assert!(OlsModel::new()
+            .predictor("x", vec![1.0, 2.0])
+            .fit(&[1.0, 2.0, 3.0])
+            .is_err());
+        // Too few observations.
+        assert!(OlsModel::new()
+            .predictor("x", vec![1.0, 2.0])
+            .fit(&[1.0, 2.0])
+            .is_err());
+        // Empty response.
+        assert!(OlsModel::new().fit(&[]).is_err());
+        // No predictors and no intercept.
+        assert!(OlsModel::without_intercept().fit(&[1.0, 2.0]).is_err());
+        // Collinear predictors.
+        let x = vec![1.0, 2.0, 3.0, 4.0, 5.0];
+        let x2: Vec<f64> = x.iter().map(|v| 2.0 * v).collect();
+        assert!(OlsModel::new()
+            .predictor("x", x)
+            .predictor("2x", x2)
+            .fit(&[1.0, 2.0, 3.0, 4.0, 5.0])
+            .is_err());
+    }
+
+    #[test]
+    fn predict_validates_arity() {
+        let fit = OlsModel::new()
+            .predictor("x", vec![1.0, 2.0, 3.0, 4.0])
+            .fit(&[1.0, 2.0, 3.0, 4.0])
+            .unwrap();
+        assert!(fit.predict(&[]).is_err());
+        assert!(fit.predict(&[1.0, 2.0]).is_err());
+        assert!(fit.predict(&[1.0]).is_ok());
+    }
+
+    #[test]
+    fn standard_errors_are_finite_and_positive() {
+        let n = 40;
+        let x: Vec<f64> = (0..n).map(|i| (i as f64 * 1.13).sin() * 3.0).collect();
+        let y: Vec<f64> = (0..n)
+            .map(|i| 0.5 + 1.5 * x[i] + ((i * 7 % 5) as f64 - 2.0) * 0.1)
+            .collect();
+        let fit = OlsModel::new().predictor("x", x).fit(&y).unwrap();
+        for se in &fit.standard_errors {
+            assert!(se.is_finite());
+            assert!(*se >= 0.0);
+        }
+    }
+
+    #[test]
+    fn fit_correlation_matches_sqrt_r_squared() {
+        let x: Vec<f64> = (0..30).map(|i| i as f64).collect();
+        let y: Vec<f64> = (0..30)
+            .map(|i| i as f64 * 0.7 + if i % 3 == 0 { 2.0 } else { -1.0 })
+            .collect();
+        let fit = OlsModel::new().predictor("x", x).fit(&y).unwrap();
+        assert_close(fit.fit_correlation(), fit.r_squared.sqrt(), 1e-12);
+    }
+}

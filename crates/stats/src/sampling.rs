@@ -1,0 +1,242 @@
+//! Seeded random sampling utilities.
+//!
+//! The synthetic dataset generators need normal, binomial and Poisson samples
+//! that are deterministic given a seed. The `rand` crate (on the workspace's
+//! approved dependency list) provides uniform sampling; the transformations to
+//! other distributions are implemented here so that no additional sampling
+//! crates are required.
+
+use rand::Rng;
+
+/// Draw a standard normal sample using the Box–Muller transform.
+pub fn sample_standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // Avoid u1 == 0 which would send ln(u1) to -inf.
+    let u1: f64 = loop {
+        let candidate: f64 = rng.random();
+        if candidate > f64::MIN_POSITIVE {
+            break candidate;
+        }
+    };
+    let u2: f64 = rng.random();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Draw a normal sample with the given mean and standard deviation.
+pub fn sample_normal<R: Rng + ?Sized>(rng: &mut R, mean: f64, std_dev: f64) -> f64 {
+    mean + std_dev * sample_standard_normal(rng)
+}
+
+/// Draw a Poisson sample with mean `lambda`.
+///
+/// Uses Knuth's multiplication method for small means and a clamped normal
+/// approximation for large means (where the relative error of the
+/// approximation is negligible for our synthetic-data purposes).
+pub fn sample_poisson<R: Rng + ?Sized>(rng: &mut R, lambda: f64) -> u64 {
+    assert!(lambda >= 0.0, "Poisson mean must be non-negative, got {lambda}");
+    if lambda == 0.0 {
+        return 0;
+    }
+    if lambda < 30.0 {
+        let limit = (-lambda).exp();
+        let mut product: f64 = rng.random();
+        let mut count = 0u64;
+        while product > limit {
+            product *= rng.random::<f64>();
+            count += 1;
+        }
+        count
+    } else {
+        // Normal approximation with continuity correction.
+        let sample = sample_normal(rng, lambda, lambda.sqrt());
+        sample.round().max(0.0) as u64
+    }
+}
+
+/// Draw a binomial sample `Bin(n, p)`.
+///
+/// Uses direct Bernoulli summation for small `n`, and a Poisson or normal
+/// approximation for large `n` depending on the regime.
+pub fn sample_binomial<R: Rng + ?Sized>(rng: &mut R, n: u64, p: f64) -> u64 {
+    assert!((0.0..=1.0).contains(&p), "probability must be in [0, 1], got {p}");
+    if n == 0 || p == 0.0 {
+        return 0;
+    }
+    if p == 1.0 {
+        return n;
+    }
+    if n <= 64 {
+        let mut successes = 0u64;
+        for _ in 0..n {
+            if rng.random::<f64>() < p {
+                successes += 1;
+            }
+        }
+        successes
+    } else {
+        let mean = n as f64 * p;
+        let variance = mean * (1.0 - p);
+        if mean < 30.0 {
+            // Rare-event regime: Poisson approximation.
+            sample_poisson(rng, mean).min(n)
+        } else if n as f64 - mean < 30.0 {
+            // Near-certain regime: sample the failures instead.
+            n - sample_poisson(rng, n as f64 - mean).min(n)
+        } else {
+            // Bulk regime: normal approximation.
+            let sample = sample_normal(rng, mean, variance.sqrt());
+            sample.round().clamp(0.0, n as f64) as u64
+        }
+    }
+}
+
+/// Draw a sample from a (continuous) power-law distribution with exponent
+/// `alpha > 1` and lower cutoff `x_min > 0`, via inverse transform sampling.
+///
+/// Used to generate broadly distributed edge weights matching the heavy-tailed
+/// distributions documented in Figure 5 of the paper.
+pub fn sample_power_law<R: Rng + ?Sized>(rng: &mut R, x_min: f64, alpha: f64) -> f64 {
+    assert!(x_min > 0.0, "x_min must be positive, got {x_min}");
+    assert!(alpha > 1.0, "alpha must exceed 1, got {alpha}");
+    let u: f64 = loop {
+        let candidate: f64 = rng.random();
+        if candidate < 1.0 {
+            break candidate;
+        }
+    };
+    x_min * (1.0 - u).powf(-1.0 / (alpha - 1.0))
+}
+
+/// Draw a log-normal sample with the given parameters of the underlying normal.
+pub fn sample_log_normal<R: Rng + ?Sized>(rng: &mut R, mu: f64, sigma: f64) -> f64 {
+    sample_normal(rng, mu, sigma).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0x5eed_cafe)
+    }
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut rng = rng();
+        let samples: Vec<f64> = (0..50_000).map(|_| sample_standard_normal(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let variance =
+            samples.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / samples.len() as f64;
+        assert!(mean.abs() < 0.02, "mean {mean} too far from 0");
+        assert!((variance - 1.0).abs() < 0.05, "variance {variance} too far from 1");
+    }
+
+    #[test]
+    fn normal_respects_location_and_scale() {
+        let mut rng = rng();
+        let samples: Vec<f64> = (0..20_000).map(|_| sample_normal(&mut rng, 10.0, 2.0)).collect();
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        assert!((mean - 10.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn poisson_small_mean() {
+        let mut rng = rng();
+        let lambda = 3.5;
+        let samples: Vec<u64> = (0..30_000).map(|_| sample_poisson(&mut rng, lambda)).collect();
+        let mean = samples.iter().sum::<u64>() as f64 / samples.len() as f64;
+        assert!((mean - lambda).abs() < 0.1, "mean {mean}");
+    }
+
+    #[test]
+    fn poisson_large_mean_uses_normal_approximation() {
+        let mut rng = rng();
+        let lambda = 500.0;
+        let samples: Vec<u64> = (0..5_000).map(|_| sample_poisson(&mut rng, lambda)).collect();
+        let mean = samples.iter().sum::<u64>() as f64 / samples.len() as f64;
+        assert!((mean - lambda).abs() < 2.0, "mean {mean}");
+    }
+
+    #[test]
+    fn poisson_zero_mean() {
+        let mut rng = rng();
+        assert_eq!(sample_poisson(&mut rng, 0.0), 0);
+    }
+
+    #[test]
+    fn binomial_small_n() {
+        let mut rng = rng();
+        let samples: Vec<u64> = (0..20_000).map(|_| sample_binomial(&mut rng, 20, 0.3)).collect();
+        let mean = samples.iter().sum::<u64>() as f64 / samples.len() as f64;
+        assert!((mean - 6.0).abs() < 0.1, "mean {mean}");
+        assert!(samples.iter().all(|&s| s <= 20));
+    }
+
+    #[test]
+    fn binomial_large_n_bulk() {
+        let mut rng = rng();
+        let samples: Vec<u64> =
+            (0..5_000).map(|_| sample_binomial(&mut rng, 10_000, 0.4)).collect();
+        let mean = samples.iter().sum::<u64>() as f64 / samples.len() as f64;
+        assert!((mean - 4000.0).abs() < 10.0, "mean {mean}");
+    }
+
+    #[test]
+    fn binomial_large_n_rare() {
+        let mut rng = rng();
+        let samples: Vec<u64> =
+            (0..20_000).map(|_| sample_binomial(&mut rng, 1_000_000, 1e-5)).collect();
+        let mean = samples.iter().sum::<u64>() as f64 / samples.len() as f64;
+        assert!((mean - 10.0).abs() < 0.2, "mean {mean}");
+    }
+
+    #[test]
+    fn binomial_degenerate_cases() {
+        let mut rng = rng();
+        assert_eq!(sample_binomial(&mut rng, 0, 0.5), 0);
+        assert_eq!(sample_binomial(&mut rng, 10, 0.0), 0);
+        assert_eq!(sample_binomial(&mut rng, 10, 1.0), 10);
+    }
+
+    #[test]
+    fn power_law_respects_cutoff() {
+        let mut rng = rng();
+        for _ in 0..10_000 {
+            let sample = sample_power_law(&mut rng, 2.0, 2.5);
+            assert!(sample >= 2.0);
+            assert!(sample.is_finite());
+        }
+    }
+
+    #[test]
+    fn power_law_is_heavy_tailed() {
+        let mut rng = rng();
+        let samples: Vec<f64> = (0..50_000).map(|_| sample_power_law(&mut rng, 1.0, 2.2)).collect();
+        let max = samples.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let median = {
+            let mut sorted = samples.clone();
+            sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            sorted[sorted.len() / 2]
+        };
+        // Heavy tail: the maximum is orders of magnitude above the median.
+        assert!(max / median > 100.0);
+    }
+
+    #[test]
+    fn log_normal_is_positive() {
+        let mut rng = rng();
+        for _ in 0..1_000 {
+            assert!(sample_log_normal(&mut rng, 0.0, 1.0) > 0.0);
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic_given_seed() {
+        let mut rng_a = StdRng::seed_from_u64(42);
+        let mut rng_b = StdRng::seed_from_u64(42);
+        let a: Vec<u64> = (0..100).map(|_| sample_poisson(&mut rng_a, 10.0)).collect();
+        let b: Vec<u64> = (0..100).map(|_| sample_poisson(&mut rng_b, 10.0)).collect();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,496 @@
+//! Special mathematical functions.
+//!
+//! These are the numerical building blocks for the probability distributions in
+//! [`crate::distributions`]: the log-gamma function, the regularized incomplete
+//! beta and gamma functions, the error function and binomial coefficients.
+//!
+//! All routines operate on `f64` and target roughly 1e-10 relative accuracy in
+//! the parameter ranges exercised by the backboning algorithms.
+
+use crate::error::{StatsError, StatsResult};
+
+/// Machine epsilon-scale tolerance used by the continued fraction evaluations.
+const CF_EPSILON: f64 = 1e-15;
+/// Smallest representable magnitude used to avoid division by zero in Lentz's algorithm.
+const CF_TINY: f64 = 1e-300;
+/// Maximum number of continued fraction / series iterations before reporting failure.
+const MAX_ITERATIONS: usize = 500;
+
+/// Natural logarithm of the gamma function, `ln Γ(x)`, for `x > 0`.
+///
+/// Uses the Lanczos approximation (g = 7, 9 coefficients), accurate to about
+/// 1e-13 over the positive real axis.
+///
+/// # Panics
+///
+/// Panics if `x <= 0`, since the backboning code never evaluates the gamma
+/// function at non-positive arguments; doing so indicates a logic error.
+pub fn ln_gamma(x: f64) -> f64 {
+    assert!(x > 0.0, "ln_gamma requires a positive argument, got {x}");
+
+    // Lanczos coefficients for g = 7.
+    const COEFFICIENTS: [f64; 9] = [
+        0.999_999_999_999_809_93,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_1,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_572e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+
+    if x < 0.5 {
+        // Reflection formula: Γ(x) Γ(1 − x) = π / sin(πx)
+        let pi = std::f64::consts::PI;
+        pi.ln() - (pi * x).sin().ln() - ln_gamma(1.0 - x)
+    } else {
+        let x = x - 1.0;
+        let mut acc = COEFFICIENTS[0];
+        for (i, &c) in COEFFICIENTS.iter().enumerate().skip(1) {
+            acc += c / (x + i as f64);
+        }
+        let t = x + 7.5;
+        0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + acc.ln()
+    }
+}
+
+/// Natural logarithm of the beta function, `ln B(a, b)` for `a, b > 0`.
+pub fn ln_beta(a: f64, b: f64) -> f64 {
+    ln_gamma(a) + ln_gamma(b) - ln_gamma(a + b)
+}
+
+/// Natural logarithm of the binomial coefficient `C(n, k)`.
+///
+/// Returns negative infinity when `k > n`, matching the convention that the
+/// corresponding binomial probability is zero.
+pub fn ln_binomial_coefficient(n: u64, k: u64) -> f64 {
+    if k > n {
+        return f64::NEG_INFINITY;
+    }
+    if k == 0 || k == n {
+        return 0.0;
+    }
+    ln_gamma(n as f64 + 1.0) - ln_gamma(k as f64 + 1.0) - ln_gamma((n - k) as f64 + 1.0)
+}
+
+/// Regularized lower incomplete gamma function `P(a, x) = γ(a, x) / Γ(a)`.
+///
+/// Implemented with the power series for `x < a + 1` and the continued fraction
+/// for larger `x` (Numerical Recipes style).
+pub fn regularized_lower_gamma(a: f64, x: f64) -> StatsResult<f64> {
+    if a <= 0.0 {
+        return Err(StatsError::InvalidParameter {
+            parameter: "a",
+            message: format!("shape must be positive, got {a}"),
+        });
+    }
+    if x < 0.0 {
+        return Err(StatsError::InvalidParameter {
+            parameter: "x",
+            message: format!("argument must be non-negative, got {x}"),
+        });
+    }
+    if x == 0.0 {
+        return Ok(0.0);
+    }
+
+    if x < a + 1.0 {
+        // Series representation.
+        let mut term = 1.0 / a;
+        let mut sum = term;
+        let mut ap = a;
+        for _ in 0..MAX_ITERATIONS {
+            ap += 1.0;
+            term *= x / ap;
+            sum += term;
+            if term.abs() < sum.abs() * CF_EPSILON {
+                let ln_prefactor = -x + a * x.ln() - ln_gamma(a);
+                return Ok((sum * ln_prefactor.exp()).clamp(0.0, 1.0));
+            }
+        }
+        Err(StatsError::ConvergenceFailure {
+            routine: "regularized_lower_gamma (series)",
+            iterations: MAX_ITERATIONS,
+        })
+    } else {
+        // Continued fraction for Q(a, x), then P = 1 − Q.
+        let mut b = x + 1.0 - a;
+        let mut c = 1.0 / CF_TINY;
+        let mut d = 1.0 / b;
+        let mut h = d;
+        for i in 1..=MAX_ITERATIONS {
+            let an = -(i as f64) * (i as f64 - a);
+            b += 2.0;
+            d = an * d + b;
+            if d.abs() < CF_TINY {
+                d = CF_TINY;
+            }
+            c = b + an / c;
+            if c.abs() < CF_TINY {
+                c = CF_TINY;
+            }
+            d = 1.0 / d;
+            let delta = d * c;
+            h *= delta;
+            if (delta - 1.0).abs() < CF_EPSILON {
+                let ln_prefactor = -x + a * x.ln() - ln_gamma(a);
+                let q = (ln_prefactor.exp() * h).clamp(0.0, 1.0);
+                return Ok((1.0 - q).clamp(0.0, 1.0));
+            }
+        }
+        Err(StatsError::ConvergenceFailure {
+            routine: "regularized_lower_gamma (continued fraction)",
+            iterations: MAX_ITERATIONS,
+        })
+    }
+}
+
+/// Regularized upper incomplete gamma function `Q(a, x) = 1 − P(a, x)`.
+pub fn regularized_upper_gamma(a: f64, x: f64) -> StatsResult<f64> {
+    Ok(1.0 - regularized_lower_gamma(a, x)?)
+}
+
+/// Continued fraction used by [`regularized_incomplete_beta`] (Lentz's method).
+fn beta_continued_fraction(a: f64, b: f64, x: f64) -> StatsResult<f64> {
+    let qab = a + b;
+    let qap = a + 1.0;
+    let qam = a - 1.0;
+    let mut c = 1.0;
+    let mut d = 1.0 - qab * x / qap;
+    if d.abs() < CF_TINY {
+        d = CF_TINY;
+    }
+    d = 1.0 / d;
+    let mut h = d;
+
+    for m in 1..=MAX_ITERATIONS {
+        let m = m as f64;
+        let m2 = 2.0 * m;
+
+        // Even step.
+        let aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < CF_TINY {
+            d = CF_TINY;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < CF_TINY {
+            c = CF_TINY;
+        }
+        d = 1.0 / d;
+        h *= d * c;
+
+        // Odd step.
+        let aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < CF_TINY {
+            d = CF_TINY;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < CF_TINY {
+            c = CF_TINY;
+        }
+        d = 1.0 / d;
+        let delta = d * c;
+        h *= delta;
+
+        if (delta - 1.0).abs() < CF_EPSILON {
+            return Ok(h);
+        }
+    }
+    Err(StatsError::ConvergenceFailure {
+        routine: "beta_continued_fraction",
+        iterations: MAX_ITERATIONS,
+    })
+}
+
+/// Regularized incomplete beta function `I_x(a, b)` for `a, b > 0` and `x ∈ [0, 1]`.
+///
+/// This is the CDF of the Beta distribution and (through a standard identity)
+/// the CDF of the Binomial distribution, both of which are central to the
+/// Noise-Corrected backbone's null model.
+pub fn regularized_incomplete_beta(a: f64, b: f64, x: f64) -> StatsResult<f64> {
+    if a <= 0.0 || b <= 0.0 {
+        return Err(StatsError::InvalidParameter {
+            parameter: "a/b",
+            message: format!("shape parameters must be positive, got a={a}, b={b}"),
+        });
+    }
+    if !(0.0..=1.0).contains(&x) {
+        return Err(StatsError::InvalidParameter {
+            parameter: "x",
+            message: format!("argument must lie in [0, 1], got {x}"),
+        });
+    }
+    if x == 0.0 {
+        return Ok(0.0);
+    }
+    if x == 1.0 {
+        return Ok(1.0);
+    }
+
+    let ln_front = a * x.ln() + b * (1.0 - x).ln() - ln_beta(a, b);
+    let front = ln_front.exp();
+
+    // Use the symmetry relation to keep the continued fraction well behaved.
+    if x < (a + 1.0) / (a + b + 2.0) {
+        Ok((front * beta_continued_fraction(a, b, x)? / a).clamp(0.0, 1.0))
+    } else {
+        Ok((1.0 - front * beta_continued_fraction(b, a, 1.0 - x)? / b).clamp(0.0, 1.0))
+    }
+}
+
+/// Error function `erf(x)`.
+///
+/// Computed through the regularized lower incomplete gamma function:
+/// `erf(x) = sign(x) · P(1/2, x²)`.
+pub fn erf(x: f64) -> f64 {
+    if x == 0.0 {
+        return 0.0;
+    }
+    let p = regularized_lower_gamma(0.5, x * x)
+        .expect("regularized_lower_gamma(0.5, x^2) is always well defined");
+    if x > 0.0 {
+        p
+    } else {
+        -p
+    }
+}
+
+/// Complementary error function `erfc(x) = 1 − erf(x)`.
+pub fn erfc(x: f64) -> f64 {
+    1.0 - erf(x)
+}
+
+/// Standard normal cumulative distribution function `Φ(x)`.
+pub fn standard_normal_cdf(x: f64) -> f64 {
+    0.5 * erfc(-x / std::f64::consts::SQRT_2)
+}
+
+/// Inverse of the standard normal CDF (the probit function), `Φ⁻¹(p)`.
+///
+/// Uses Acklam's rational approximation followed by one Halley refinement step,
+/// giving roughly 1e-15 relative accuracy on `(0, 1)`.
+///
+/// Returns an error for `p` outside the open interval `(0, 1)`.
+pub fn standard_normal_quantile(p: f64) -> StatsResult<f64> {
+    if !(0.0..=1.0).contains(&p) || p == 0.0 || p == 1.0 {
+        return Err(StatsError::InvalidParameter {
+            parameter: "p",
+            message: format!("probability must lie strictly inside (0, 1), got {p}"),
+        });
+    }
+
+    // Coefficients of Acklam's approximation.
+    const A: [f64; 6] = [
+        -3.969_683_028_665_376e1,
+        2.209_460_984_245_205e2,
+        -2.759_285_104_469_687e2,
+        1.383_577_518_672_690e2,
+        -3.066_479_806_614_716e1,
+        2.506_628_277_459_239,
+    ];
+    const B: [f64; 5] = [
+        -5.447_609_879_822_406e1,
+        1.615_858_368_580_409e2,
+        -1.556_989_798_598_866e2,
+        6.680_131_188_771_972e1,
+        -1.328_068_155_288_572e1,
+    ];
+    const C: [f64; 6] = [
+        -7.784_894_002_430_293e-3,
+        -3.223_964_580_411_365e-1,
+        -2.400_758_277_161_838,
+        -2.549_732_539_343_734,
+        4.374_664_141_464_968,
+        2.938_163_982_698_783,
+    ];
+    const D: [f64; 4] = [
+        7.784_695_709_041_462e-3,
+        3.224_671_290_700_398e-1,
+        2.445_134_137_142_996,
+        3.754_408_661_907_416,
+    ];
+    const P_LOW: f64 = 0.024_25;
+    const P_HIGH: f64 = 1.0 - P_LOW;
+
+    let x = if p < P_LOW {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= P_HIGH {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        let q = (-2.0 * (1.0 - p).ln()).sqrt();
+        -(((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    };
+
+    // One step of Halley's method for refinement.
+    let e = standard_normal_cdf(x) - p;
+    let u = e * (2.0 * std::f64::consts::PI).sqrt() * (x * x / 2.0).exp();
+    Ok(x - u / (1.0 + x * u / 2.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(actual: f64, expected: f64, tolerance: f64) {
+        assert!(
+            (actual - expected).abs() <= tolerance,
+            "expected {expected}, got {actual} (tolerance {tolerance})"
+        );
+    }
+
+    #[test]
+    fn ln_gamma_matches_factorials() {
+        // Γ(n) = (n-1)!
+        assert_close(ln_gamma(1.0), 0.0, 1e-12);
+        assert_close(ln_gamma(2.0), 0.0, 1e-12);
+        assert_close(ln_gamma(5.0), (24.0f64).ln(), 1e-12);
+        assert_close(ln_gamma(11.0), (3_628_800.0f64).ln(), 1e-10);
+    }
+
+    #[test]
+    fn ln_gamma_half_integer() {
+        // Γ(1/2) = sqrt(pi)
+        assert_close(ln_gamma(0.5), 0.5 * std::f64::consts::PI.ln(), 1e-12);
+        // Γ(3/2) = sqrt(pi) / 2
+        assert_close(
+            ln_gamma(1.5),
+            0.5 * std::f64::consts::PI.ln() - std::f64::consts::LN_2,
+            1e-12,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "positive argument")]
+    fn ln_gamma_rejects_non_positive() {
+        ln_gamma(0.0);
+    }
+
+    #[test]
+    fn ln_beta_matches_known_values() {
+        // B(1, 1) = 1
+        assert_close(ln_beta(1.0, 1.0), 0.0, 1e-12);
+        // B(2, 3) = 1/12
+        assert_close(ln_beta(2.0, 3.0), (1.0f64 / 12.0).ln(), 1e-12);
+    }
+
+    #[test]
+    fn ln_binomial_coefficient_small_values() {
+        assert_close(ln_binomial_coefficient(5, 2), (10.0f64).ln(), 1e-12);
+        assert_close(ln_binomial_coefficient(10, 5), (252.0f64).ln(), 1e-10);
+        assert_eq!(ln_binomial_coefficient(3, 5), f64::NEG_INFINITY);
+        assert_close(ln_binomial_coefficient(7, 0), 0.0, 1e-15);
+        assert_close(ln_binomial_coefficient(7, 7), 0.0, 1e-15);
+    }
+
+    #[test]
+    fn incomplete_gamma_limits() {
+        assert_close(regularized_lower_gamma(2.0, 0.0).unwrap(), 0.0, 1e-15);
+        assert_close(regularized_lower_gamma(2.0, 1e6).unwrap(), 1.0, 1e-12);
+    }
+
+    #[test]
+    fn incomplete_gamma_known_values() {
+        // P(1, x) = 1 - exp(-x)
+        for &x in &[0.1, 0.5, 1.0, 2.0, 10.0] {
+            assert_close(
+                regularized_lower_gamma(1.0, x).unwrap(),
+                1.0 - (-x as f64).exp(),
+                1e-10,
+            );
+        }
+    }
+
+    #[test]
+    fn incomplete_gamma_rejects_bad_parameters() {
+        assert!(regularized_lower_gamma(-1.0, 1.0).is_err());
+        assert!(regularized_lower_gamma(1.0, -1.0).is_err());
+    }
+
+    #[test]
+    fn incomplete_beta_limits() {
+        assert_close(regularized_incomplete_beta(2.0, 3.0, 0.0).unwrap(), 0.0, 1e-15);
+        assert_close(regularized_incomplete_beta(2.0, 3.0, 1.0).unwrap(), 1.0, 1e-15);
+    }
+
+    #[test]
+    fn incomplete_beta_uniform_case() {
+        // I_x(1, 1) = x
+        for &x in &[0.1, 0.25, 0.5, 0.75, 0.9] {
+            assert_close(regularized_incomplete_beta(1.0, 1.0, x).unwrap(), x, 1e-12);
+        }
+    }
+
+    #[test]
+    fn incomplete_beta_symmetry() {
+        // I_x(a, b) = 1 − I_{1−x}(b, a)
+        for &(a, b, x) in &[(2.0, 5.0, 0.3), (0.5, 0.5, 0.2), (10.0, 3.0, 0.7)] {
+            let left = regularized_incomplete_beta(a, b, x).unwrap();
+            let right = 1.0 - regularized_incomplete_beta(b, a, 1.0 - x).unwrap();
+            assert_close(left, right, 1e-10);
+        }
+    }
+
+    #[test]
+    fn incomplete_beta_known_value() {
+        // I_{0.5}(2, 2) = 0.5 by symmetry of Beta(2,2).
+        assert_close(regularized_incomplete_beta(2.0, 2.0, 0.5).unwrap(), 0.5, 1e-12);
+        // Beta(2, 1) has CDF x^2.
+        assert_close(regularized_incomplete_beta(2.0, 1.0, 0.3).unwrap(), 0.09, 1e-12);
+    }
+
+    #[test]
+    fn incomplete_beta_rejects_bad_parameters() {
+        assert!(regularized_incomplete_beta(0.0, 1.0, 0.5).is_err());
+        assert!(regularized_incomplete_beta(1.0, 1.0, 1.5).is_err());
+    }
+
+    #[test]
+    fn erf_known_values() {
+        assert_close(erf(0.0), 0.0, 1e-15);
+        assert_close(erf(1.0), 0.842_700_792_949_714_9, 1e-9);
+        assert_close(erf(-1.0), -0.842_700_792_949_714_9, 1e-9);
+        assert_close(erf(2.0), 0.995_322_265_018_952_7, 1e-9);
+        assert_close(erfc(1.0), 1.0 - 0.842_700_792_949_714_9, 1e-9);
+    }
+
+    #[test]
+    fn normal_cdf_known_values() {
+        assert_close(standard_normal_cdf(0.0), 0.5, 1e-12);
+        assert_close(standard_normal_cdf(1.96), 0.975_002_104_851_780, 1e-7);
+        assert_close(standard_normal_cdf(-1.96), 1.0 - 0.975_002_104_851_780, 1e-7);
+        assert_close(standard_normal_cdf(1.281_551_565_5), 0.9, 1e-7);
+    }
+
+    #[test]
+    fn normal_quantile_round_trips_cdf() {
+        for &p in &[0.001, 0.01, 0.05, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 0.999] {
+            let x = standard_normal_quantile(p).unwrap();
+            assert_close(standard_normal_cdf(x), p, 1e-10);
+        }
+    }
+
+    #[test]
+    fn normal_quantile_common_significance_levels() {
+        // The paper's suggested δ values: 1.28, 1.64, 2.32 for p = 0.1, 0.05, 0.01.
+        assert_close(standard_normal_quantile(0.90).unwrap(), 1.281_551_565_5, 1e-6);
+        assert_close(standard_normal_quantile(0.95).unwrap(), 1.644_853_626_9, 1e-6);
+        assert_close(standard_normal_quantile(0.99).unwrap(), 2.326_347_874_0, 1e-6);
+    }
+
+    #[test]
+    fn normal_quantile_rejects_boundaries() {
+        assert!(standard_normal_quantile(0.0).is_err());
+        assert!(standard_normal_quantile(1.0).is_err());
+        assert!(standard_normal_quantile(-0.1).is_err());
+    }
+}

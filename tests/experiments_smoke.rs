@@ -1,0 +1,96 @@
+//! Workspace integration test: every reproduction experiment runs end to end
+//! on reduced configurations and produces well-formed reports.
+
+use backboning_data::{CountryData, CountryDataConfig, CountryNetworkKind, OccupationData, OccupationDataConfig};
+use backboning_eval::experiments::{case_study, fig2, fig4, fig5, fig6, fig7, fig8, fig9, table1, table2};
+use backboning_eval::Method;
+
+fn data() -> CountryData {
+    CountryData::generate(&CountryDataConfig::small())
+}
+
+#[test]
+fn figure2_report_is_well_formed() {
+    let result = fig2::run(&data(), CountryNetworkKind::Business, &[1.0, 2.0, 3.0], 20);
+    assert_eq!(result.distributions.len(), 3);
+    assert!(result.render().contains("delta"));
+}
+
+#[test]
+fn figure4_report_is_well_formed() {
+    let result = fig4::run(&fig4::RecoveryConfig::small());
+    assert!(!result.points.is_empty());
+    assert!(result.render().contains("noise"));
+}
+
+#[test]
+fn figure5_and_6_reports_cover_all_networks() {
+    let data = data();
+    let fig5_result = fig5::run(&data);
+    assert_eq!(fig5_result.distributions.len(), 6);
+    let fig6_result = fig6::run(&data);
+    assert_eq!(fig6_result.correlations.len(), 6);
+    assert!(fig5_result.render().contains("Business"));
+    assert!(fig6_result.render().contains("Ownership"));
+}
+
+#[test]
+fn table1_reports_positive_correlations() {
+    let result = table1::run(&data());
+    let positive = result
+        .entries
+        .iter()
+        .filter(|e| e.correlation.map_or(false, |c| c > 0.0))
+        .count();
+    assert!(positive >= 5, "only {positive} of 6 networks validate positively");
+}
+
+#[test]
+fn figure7_and_8_sweeps_produce_values_for_fast_methods() {
+    let data = data();
+    let methods = vec![Method::NaiveThreshold, Method::DisparityFilter, Method::NoiseCorrected];
+    let coverage = fig7::run(&data, &methods, &[0.1, 0.5]);
+    assert_eq!(coverage.sweeps.len(), 6);
+    let stability = fig8::run(&data, &methods, &[0.2]);
+    assert_eq!(stability.sweeps.len(), 6);
+    for sweep in &stability.sweeps {
+        for point in &sweep.points {
+            assert!(point.stability.iter().all(Option::is_some));
+        }
+    }
+}
+
+#[test]
+fn table2_reports_quality_for_the_noise_corrected_backbone_everywhere() {
+    let result = table2::run(
+        &data(),
+        &[Method::NaiveThreshold, Method::NoiseCorrected],
+        0.25,
+    );
+    for kind in CountryNetworkKind::all() {
+        let value = result
+            .quality_of(Method::NoiseCorrected, kind)
+            .unwrap_or_else(|| panic!("{} missing NC quality", kind.name()));
+        assert!(value.is_finite() && value > 0.0);
+    }
+}
+
+#[test]
+fn figure9_scaling_is_measured() {
+    let result = fig9::run(
+        &[Method::NaiveThreshold, Method::NoiseCorrected],
+        &[2_000, 8_000],
+        usize::MAX,
+        1,
+    );
+    let exponent = result.scaling_exponent(Method::NoiseCorrected).unwrap();
+    assert!(exponent > 0.3 && exponent < 2.5, "implausible scaling exponent {exponent}");
+}
+
+#[test]
+fn case_study_report_is_well_formed() {
+    let occupation_data = OccupationData::generate(&OccupationDataConfig::small());
+    let result = case_study::run(&occupation_data, 0.15);
+    assert_eq!(result.entries.len(), 3);
+    assert!(result.render().contains("flow correlation"));
+}
