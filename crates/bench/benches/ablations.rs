@@ -7,9 +7,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
-use backboning::{
-    BackboneExtractor, HighSalienceSkeleton, NoiseCorrected, NoiseCorrectedBinomial,
-};
+use backboning::{BackboneExtractor, HighSalienceSkeleton, NoiseCorrected, NoiseCorrectedBinomial};
 use backboning_data::noisy_barabasi_albert;
 use backboning_graph::algorithms::shortest_path::DistanceTransform;
 

@@ -14,7 +14,8 @@ use backboning_stats::OlsModel;
 
 fn substrates(criterion: &mut Criterion) {
     let ba = barabasi_albert(2_000, 3, 11).expect("valid BA parameters");
-    let er = erdos_renyi(20_000, 30_000, 10.0, Direction::Undirected, 5).expect("valid ER parameters");
+    let er =
+        erdos_renyi(20_000, 30_000, 10.0, Direction::Undirected, 5).expect("valid ER parameters");
 
     criterion.bench_function("substrates/barabasi_albert_2k", |bencher| {
         bencher.iter(|| black_box(barabasi_albert(2_000, 3, 11).unwrap().edge_count()));
@@ -36,7 +37,9 @@ fn substrates(criterion: &mut Criterion) {
         for i in 0..120usize {
             for j in 0..120usize {
                 if i != j {
-                    dense.add_edge(i, j, 1.0 + ((i * 13 + j * 7) % 23) as f64).unwrap();
+                    dense
+                        .add_edge(i, j, 1.0 + ((i * 13 + j * 7) % 23) as f64)
+                        .unwrap();
                 }
             }
         }

@@ -7,7 +7,10 @@ use backboning_eval::experiments::fig2;
 
 fn main() {
     let data = country_data();
-    for kind in [CountryNetworkKind::CountrySpace, CountryNetworkKind::Business] {
+    for kind in [
+        CountryNetworkKind::CountrySpace,
+        CountryNetworkKind::Business,
+    ] {
         let result = fig2::run(&data, kind, &[1.0, 2.0, 3.0], 25);
         println!("{}", result.render());
     }

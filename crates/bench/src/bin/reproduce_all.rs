@@ -7,7 +7,9 @@
 
 use backboning_bench::{country_data, occupation_data, small_mode, sweep_shares};
 use backboning_data::CountryNetworkKind;
-use backboning_eval::experiments::{case_study, fig2, fig3, fig4, fig5, fig6, fig7, fig8, fig9, table1, table2};
+use backboning_eval::experiments::{
+    case_study, fig2, fig3, fig4, fig5, fig6, fig7, fig8, fig9, table1, table2,
+};
 use backboning_eval::Method;
 
 fn main() {
@@ -27,7 +29,10 @@ fn main() {
     println!("================================================================");
     println!("Figure 2 — threshold distributions");
     println!("================================================================");
-    for kind in [CountryNetworkKind::CountrySpace, CountryNetworkKind::Business] {
+    for kind in [
+        CountryNetworkKind::CountrySpace,
+        CountryNetworkKind::Business,
+    ] {
         println!("{}", fig2::run(&data, kind, &[1.0, 2.0, 3.0], 25).render());
     }
 
@@ -88,7 +93,10 @@ fn main() {
     } else {
         (vec![25_000, 100_000, 400_000, 1_600_000], 4_000)
     };
-    println!("{}", fig9::run(&Method::all(), &sizes, slow_limit, 9).render());
+    println!(
+        "{}",
+        fig9::run(&Method::all(), &sizes, slow_limit, 9).render()
+    );
 
     println!("================================================================");
     println!("Section VI — occupation case study");

@@ -21,7 +21,9 @@ fn main() {
     println!("Table II — predictive quality R²(backbone) / R²(full network)");
     println!("{}", result.render());
     if result.method_dominates(Method::NoiseCorrected) {
-        println!("The Noise-Corrected backbone has the best quality on every network (as in the paper).");
+        println!(
+            "The Noise-Corrected backbone has the best quality on every network (as in the paper)."
+        );
     } else {
         println!("Note: the Noise-Corrected backbone is not dominant on every synthetic network in this run.");
     }

@@ -32,7 +32,7 @@ use backboning_data::{CountryData, CountryDataConfig, OccupationData, Occupation
 /// Whether the `BACKBONING_SMALL` environment variable asks for the reduced
 /// experiment sizes (used by smoke tests and CI).
 pub fn small_mode() -> bool {
-    std::env::var("BACKBONING_SMALL").map_or(false, |value| value != "0" && !value.is_empty())
+    std::env::var("BACKBONING_SMALL").is_ok_and(|value| value != "0" && !value.is_empty())
 }
 
 /// The country-data configuration used by all reproduction binaries: the

@@ -126,8 +126,8 @@ impl BackboneExtractor for DisparityFilter {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use backboning_graph::{Direction, GraphBuilder, WeightedGraph};
     use crate::noise_corrected::NoiseCorrected;
+    use backboning_graph::{Direction, GraphBuilder, WeightedGraph};
 
     /// The Figure 3 toy graph: hub 0 with five spokes, plus a peripheral edge 1–2.
     fn figure3_toy() -> WeightedGraph {

@@ -213,7 +213,10 @@ mod tests {
     fn fixed_edge_set_is_deterministic() {
         let graph = dense_directed(7);
         let ds = DoublyStochastic::new();
-        assert_eq!(ds.fixed_edge_set(&graph).unwrap(), ds.fixed_edge_set(&graph).unwrap());
+        assert_eq!(
+            ds.fixed_edge_set(&graph).unwrap(),
+            ds.fixed_edge_set(&graph).unwrap()
+        );
     }
 
     #[test]
@@ -221,12 +224,9 @@ mod tests {
         // A directed path: the first node has no incoming edges (zero column),
         // so no doubly-stochastic scaling exists — mirroring the "n/a" entries
         // of the paper's Table II.
-        let graph = WeightedGraph::from_edges(
-            Direction::Directed,
-            3,
-            vec![(0, 1, 1.0), (1, 2, 1.0)],
-        )
-        .unwrap();
+        let graph =
+            WeightedGraph::from_edges(Direction::Directed, 3, vec![(0, 1, 1.0), (1, 2, 1.0)])
+                .unwrap();
         let result = DoublyStochastic::new().score(&graph);
         assert!(matches!(
             result,
@@ -254,7 +254,10 @@ mod tests {
         let empty = WeightedGraph::directed();
         let scored = DoublyStochastic::new().score(&empty).unwrap();
         assert!(scored.is_empty());
-        assert!(DoublyStochastic::new().fixed_edge_set(&empty).unwrap().is_empty());
+        assert!(DoublyStochastic::new()
+            .fixed_edge_set(&empty)
+            .unwrap()
+            .is_empty());
     }
 
     #[test]

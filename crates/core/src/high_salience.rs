@@ -217,7 +217,10 @@ mod tests {
             .score(&graph)
             .unwrap();
         let shortcut = graph.edge_index(0, 2).unwrap();
-        assert_eq!(inverse.get(shortcut).unwrap().score, neg_log.get(shortcut).unwrap().score);
+        assert_eq!(
+            inverse.get(shortcut).unwrap().score,
+            neg_log.get(shortcut).unwrap().score
+        );
     }
 
     #[test]

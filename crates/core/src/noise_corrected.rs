@@ -362,7 +362,10 @@ mod tests {
 
         let with_prior = NoiseCorrected::default().score(&graph).unwrap();
         let zero_edge = with_prior.get(graph.edge_index(2, 0).unwrap()).unwrap();
-        assert!(zero_edge.std_dev.unwrap() > 0.0, "posterior variance must not degenerate");
+        assert!(
+            zero_edge.std_dev.unwrap() > 0.0,
+            "posterior variance must not degenerate"
+        );
 
         let without_prior = NoiseCorrected::without_prior().score(&graph).unwrap();
         let zero_edge_plugin = without_prior.get(graph.edge_index(2, 0).unwrap()).unwrap();
@@ -376,8 +379,14 @@ mod tests {
     #[test]
     fn extractor_names_distinguish_variants() {
         assert_eq!(NoiseCorrected::default().name(), "noise_corrected");
-        assert_eq!(NoiseCorrected::without_prior().name(), "noise_corrected_no_prior");
-        assert_eq!(NoiseCorrectedBinomial::new().name(), "noise_corrected_binomial");
+        assert_eq!(
+            NoiseCorrected::without_prior().name(),
+            "noise_corrected_no_prior"
+        );
+        assert_eq!(
+            NoiseCorrectedBinomial::new().name(),
+            "noise_corrected_binomial"
+        );
     }
 
     #[test]

@@ -151,7 +151,10 @@ impl ScoredEdges {
                 })
                 .then_with(|| ea.edge_index.cmp(&eb.edge_index))
         });
-        order.into_iter().map(|i| self.edges[i].edge_index).collect()
+        order
+            .into_iter()
+            .map(|i| self.edges[i].edge_index)
+            .collect()
     }
 
     /// Indices of the `k` highest scoring edges.
@@ -185,11 +188,7 @@ impl ScoredEdges {
     }
 
     /// Build the backbone graph containing edges with score at least `threshold`.
-    pub fn backbone(
-        &self,
-        graph: &WeightedGraph,
-        threshold: f64,
-    ) -> BackboneResult<WeightedGraph> {
+    pub fn backbone(&self, graph: &WeightedGraph, threshold: f64) -> BackboneResult<WeightedGraph> {
         Ok(graph.subgraph_with_edges(&self.filter(threshold))?)
     }
 

@@ -1,0 +1,183 @@
+//! Regression tests for degenerate inputs: isolated nodes, zero-weight edges,
+//! self-loops, and single-edge graphs must never panic in any extractor.
+
+use backboning::{
+    BackboneExtractor, DisparityFilter, DoublyStochastic, HighSalienceSkeleton,
+    MaximumSpanningTree, NaiveThreshold, NoiseCorrected, NoiseCorrectedBinomial,
+};
+use backboning_graph::{CsrGraph, Direction, WeightedGraph};
+
+fn extractors() -> Vec<Box<dyn BackboneExtractor>> {
+    vec![
+        Box::new(NoiseCorrected::default()),
+        Box::new(NoiseCorrected::without_prior()),
+        Box::new(NoiseCorrectedBinomial::new()),
+        Box::new(DisparityFilter::new()),
+        Box::new(NaiveThreshold::new()),
+        Box::new(HighSalienceSkeleton::new()),
+        Box::new(DoublyStochastic::new()),
+        Box::new(MaximumSpanningTree::new()),
+    ]
+}
+
+/// Graphs that have historically been good at shaking out panics.
+fn degenerate_graphs() -> Vec<(&'static str, WeightedGraph)> {
+    let mut cases = Vec::new();
+
+    for direction in [Direction::Directed, Direction::Undirected] {
+        let tag = match direction {
+            Direction::Directed => "directed",
+            Direction::Undirected => "undirected",
+        };
+
+        cases.push(("empty", WeightedGraph::with_nodes(direction, 0)));
+
+        // Nodes but no edges at all.
+        cases.push(("edgeless", WeightedGraph::with_nodes(direction, 5)));
+
+        // A single edge, with trailing isolated nodes.
+        let mut single = WeightedGraph::with_nodes(direction, 4);
+        single.add_edge(0, 1, 5.0).unwrap();
+        cases.push((
+            if tag == "directed" {
+                "single_directed"
+            } else {
+                "single_undirected"
+            },
+            single,
+        ));
+
+        // Zero-weight edges mixed with positive ones.
+        let mut zero = WeightedGraph::with_nodes(direction, 4);
+        zero.add_edge(0, 1, 0.0).unwrap();
+        zero.add_edge(1, 2, 3.0).unwrap();
+        zero.add_edge(2, 3, 0.0).unwrap();
+        cases.push(("zero_weight", zero));
+
+        // Every edge has zero weight: totals and strengths all vanish.
+        let mut all_zero = WeightedGraph::with_nodes(direction, 3);
+        all_zero.add_edge(0, 1, 0.0).unwrap();
+        all_zero.add_edge(1, 2, 0.0).unwrap();
+        cases.push(("all_zero", all_zero));
+    }
+
+    cases
+}
+
+#[test]
+fn csr_from_graph_handles_degenerate_inputs() {
+    for (name, graph) in degenerate_graphs() {
+        let csr = CsrGraph::from_graph(&graph);
+        assert_eq!(csr.node_count(), graph.node_count(), "{name}: node count");
+        // Every row must be addressable, including trailing isolated nodes.
+        let mut entries = 0usize;
+        for node in 0..csr.node_count() {
+            assert_eq!(
+                csr.neighbors(node).len(),
+                csr.degree(node),
+                "{name}: row {node}"
+            );
+            assert_eq!(
+                csr.weights(node).len(),
+                csr.degree(node),
+                "{name}: row {node}"
+            );
+            entries += csr.degree(node);
+        }
+        assert_eq!(entries, csr.entry_count(), "{name}: total entries");
+        assert_eq!(csr.entries().count(), csr.entry_count(), "{name}: iterator");
+    }
+}
+
+#[test]
+fn every_extractor_scores_degenerate_graphs_without_panicking() {
+    for (name, graph) in degenerate_graphs() {
+        for extractor in extractors() {
+            let scored = match extractor.score(&graph) {
+                Ok(scored) => scored,
+                // A clean error is acceptable for a degenerate input; a panic
+                // is not (and would fail this test by unwinding).
+                Err(_) => continue,
+            };
+            assert_eq!(
+                scored.len(),
+                graph.edge_count(),
+                "{}/{name}: every edge must be scored exactly once",
+                extractor.name()
+            );
+            for edge in scored.iter() {
+                assert!(
+                    !edge.score.is_nan(),
+                    "{}/{name}: NaN score on edge {} ({} -> {}, w={})",
+                    extractor.name(),
+                    edge.edge_index,
+                    edge.source,
+                    edge.target,
+                    edge.weight
+                );
+            }
+            // Selection helpers must tolerate k larger than the edge count.
+            let all = scored.top_k(graph.edge_count() + 10);
+            assert!(
+                all.len() <= graph.edge_count(),
+                "{}/{name}",
+                extractor.name()
+            );
+            let none = scored.top_k(0);
+            assert!(none.is_empty(), "{}/{name}", extractor.name());
+        }
+    }
+}
+
+#[test]
+fn nc_scores_zero_weight_edges_with_positive_variance() {
+    // The zero-weight edge's endpoints both have positive strength, so the
+    // Bayesian prior has something to work with and must keep the posterior
+    // variance strictly positive (the paper's motivation for the prior).
+    let mut graph = WeightedGraph::with_nodes(Direction::Directed, 4);
+    graph.add_edge(0, 1, 10.0).unwrap();
+    graph.add_edge(1, 2, 7.0).unwrap();
+    graph.add_edge(2, 1, 4.0).unwrap();
+    graph.add_edge(1, 0, 3.0).unwrap();
+    let zero_index = graph.add_edge(2, 0, 0.0).unwrap();
+
+    let scored = NoiseCorrected::default().score(&graph).unwrap();
+    let zero_edge = scored.get(zero_index).unwrap();
+    assert!(zero_edge.score.is_finite());
+    assert!(
+        zero_edge.std_dev.unwrap() > 0.0,
+        "Bayesian prior must keep the variance of a zero-weight edge positive"
+    );
+}
+
+#[test]
+fn nc_gives_zero_score_to_edges_from_zero_strength_nodes() {
+    // When the source node's entire out-strength is zero the lift is
+    // undefined (kappa would divide by zero); the scorer must degrade to a
+    // zero score instead of panicking or emitting NaN/inf.
+    let mut graph = WeightedGraph::with_nodes(Direction::Directed, 3);
+    graph.add_edge(0, 1, 10.0).unwrap();
+    let dead_index = graph.add_edge(2, 0, 0.0).unwrap();
+
+    let scored = NoiseCorrected::default().score(&graph).unwrap();
+    let dead_edge = scored.get(dead_index).unwrap();
+    assert_eq!(dead_edge.score, 0.0);
+    assert!(!dead_edge.score.is_nan());
+}
+
+#[test]
+fn single_edge_graph_survives_the_whole_pipeline() {
+    for direction in [Direction::Directed, Direction::Undirected] {
+        let mut graph = WeightedGraph::with_nodes(direction, 2);
+        graph.add_edge(0, 1, 5.0).unwrap();
+
+        let scored = NoiseCorrected::default().score(&graph).unwrap();
+        assert_eq!(scored.len(), 1);
+        let edge = scored.iter().next().unwrap();
+        assert!(!edge.score.is_nan());
+
+        let backbone = scored.backbone_top_k(&graph, 1).unwrap();
+        assert_eq!(backbone.edge_count(), 1);
+        assert_eq!(backbone.node_count(), 2);
+    }
+}

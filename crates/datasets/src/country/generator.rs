@@ -101,12 +101,19 @@ impl CountryData {
                 if origin == destination {
                     continue;
                 }
-                let latent_ownership =
-                    Self::latent_intensity(&world, &latent, CountryNetworkKind::Ownership, origin, destination);
+                let latent_ownership = Self::latent_intensity(
+                    &world,
+                    &latent,
+                    CountryNetworkKind::Ownership,
+                    origin,
+                    destination,
+                );
                 if latent_ownership > 0.0 {
                     let noise = sample_normal(&mut rng, 0.0, 0.3).exp();
-                    fdi[origin * n + destination] =
-                        latent_ownership * 2.5e6 * world.country(destination).gdp_per_capita.sqrt() * noise;
+                    fdi[origin * n + destination] = latent_ownership
+                        * 2.5e6
+                        * world.country(destination).gdp_per_capita.sqrt()
+                        * noise;
                 }
             }
         }
@@ -243,7 +250,10 @@ impl CountryData {
                 } else {
                     1.0
                 };
-                0.3 * pop_o.powf(0.9) * pop_d.powf(0.45) * income_pull * language_boost
+                0.3 * pop_o.powf(0.9)
+                    * pop_d.powf(0.45)
+                    * income_pull
+                    * language_boost
                     * history_boost
                     / distance.powf(1.2)
                     * latent.diaspora[index]
@@ -358,7 +368,11 @@ mod tests {
             for year in 0..3 {
                 let graph = data.network(kind, year);
                 assert_eq!(graph.node_count(), data.world.len());
-                assert!(graph.edge_count() > 0, "{} year {year} has no edges", kind.name());
+                assert!(
+                    graph.edge_count() > 0,
+                    "{} year {year} has no edges",
+                    kind.name()
+                );
                 assert_eq!(graph.is_directed(), kind.is_directed());
             }
         }
@@ -390,7 +404,11 @@ mod tests {
         // configuration (the default 120-country configuration spans more) and
         // keep a heavy upper tail relative to the median.
         assert!(max / min > 3e4, "span = {} too narrow", max / min);
-        assert!(max / median > 500.0, "max/median = {} not heavy-tailed", max / median);
+        assert!(
+            max / median > 500.0,
+            "max/median = {} not heavy-tailed",
+            max / median
+        );
     }
 
     #[test]
@@ -431,7 +449,11 @@ mod tests {
             }
             assert!(weights0.len() > 50, "{}: too few common edges", kind.name());
             let rho = spearman(&weights0, &weights1).unwrap();
-            assert!(rho > 0.7, "{}: year-on-year Spearman {rho} too low", kind.name());
+            assert!(
+                rho > 0.7,
+                "{}: year-on-year Spearman {rho} too low",
+                kind.name()
+            );
         }
     }
 
@@ -441,7 +463,10 @@ mod tests {
         let graph = data.network(CountryNetworkKind::CountrySpace, 0);
         assert!(!graph.is_directed());
         for edge in graph.edges() {
-            assert!(edge.weight.fract() == 0.0, "co-occurrence counts must be integers");
+            assert!(
+                edge.weight.fract() == 0.0,
+                "co-occurrence counts must be integers"
+            );
             assert!(edge.weight >= 1.0);
         }
     }
@@ -461,7 +486,10 @@ mod tests {
         }
         assert!(fdi_values.len() > 50);
         let (correlation, _) = log_log_pearson(&fdi_values, &ownership_values).unwrap();
-        assert!(correlation > 0.5, "FDI/ownership correlation {correlation} too weak");
+        assert!(
+            correlation > 0.5,
+            "FDI/ownership correlation {correlation} too weak"
+        );
     }
 
     #[test]

@@ -81,7 +81,14 @@ mod tests {
         let names: Vec<&str> = all.iter().map(|k| k.name()).collect();
         assert_eq!(
             names,
-            vec!["Business", "Country Space", "Flight", "Migration", "Ownership", "Trade"]
+            vec![
+                "Business",
+                "Country Space",
+                "Flight",
+                "Migration",
+                "Ownership",
+                "Trade"
+            ]
         );
     }
 

@@ -99,14 +99,19 @@ impl OccupationData {
 
         for occupation in 0..n {
             let group = occupation % groups;
-            titles.push(format!("{}{}-{:04}", group / 10 + 1, group % 10, occupation));
+            titles.push(format!(
+                "{}{}-{:04}",
+                group / 10 + 1,
+                group % 10,
+                occupation
+            ));
             major_group.push(group);
             sizes.push(sample_log_normal(&mut rng, 11.0, 0.9).clamp(2_000.0, 8_000_000.0));
 
             let mut portfolio = vec![false; config.skill_count];
             // Generic skills: most occupations use most of them.
-            for skill in 0..generic_skills {
-                portfolio[skill] = rng.random::<f64>() < 0.6;
+            for slot in portfolio.iter_mut().take(generic_skills) {
+                *slot = rng.random::<f64>() < 0.6;
             }
             // Group-specific skills: high probability within the own group's
             // block, low probability elsewhere (cross-group skill overlap).
@@ -133,7 +138,9 @@ impl OccupationData {
                     .filter(|(&x, &y)| x && y)
                     .count();
                 if shared > 0 {
-                    co_occurrence.add_edge(a, b, shared as f64).expect("valid edge");
+                    co_occurrence
+                        .add_edge(a, b, shared as f64)
+                        .expect("valid edge");
                 }
             }
         }
@@ -142,7 +149,9 @@ impl OccupationData {
         // plus origin/destination sizes, observed through Poisson noise.
         let mut flows = WeightedGraph::new(Direction::Directed);
         for title in &titles {
-            flows.add_labeled_node(title.clone()).expect("titles are unique");
+            flows
+                .add_labeled_node(title.clone())
+                .expect("titles are unique");
         }
         for origin in 0..n {
             for destination in 0..n {
@@ -244,7 +253,10 @@ mod tests {
         let n = data.occupation_count();
         let possible = n * (n - 1) / 2;
         let density = data.co_occurrence.edge_count() as f64 / possible as f64;
-        assert!(density > 0.8, "co-occurrence density {density} too low to be a hairball");
+        assert!(
+            density > 0.8,
+            "co-occurrence density {density} too low to be a hairball"
+        );
     }
 
     #[test]
@@ -278,7 +290,10 @@ mod tests {
             flow_weights.push(edge.weight);
         }
         let correlation = pearson(&overlaps, &flow_weights).unwrap();
-        assert!(correlation > 0.2, "flow/skill correlation {correlation} too weak");
+        assert!(
+            correlation > 0.2,
+            "flow/skill correlation {correlation} too weak"
+        );
     }
 
     #[test]

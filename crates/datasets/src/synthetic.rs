@@ -123,10 +123,7 @@ mod tests {
         let network = noisy_barabasi_albert(200, 3, 0.1, 42).unwrap();
         // BA with m = 3 over 200 nodes: 6 seed edges + 3·196 attachments.
         assert_eq!(network.true_edge_count, 3 * 196 + 6);
-        assert_eq!(
-            network.true_edge_indices().len(),
-            network.true_edge_count
-        );
+        assert_eq!(network.true_edge_indices().len(), network.true_edge_count);
         assert_eq!(network.is_true_edge.len(), network.graph.edge_count());
     }
 
@@ -176,7 +173,10 @@ mod tests {
                 .graph
                 .subgraph_with_edges(&network.true_edge_indices())
                 .unwrap();
-            true_graph.nodes().map(|n| true_graph.degree(n) as f64).collect()
+            true_graph
+                .nodes()
+                .map(|n| true_graph.degree(n) as f64)
+                .collect()
         };
         for edge in network.graph.edges() {
             if network.is_true_edge[edge.index] {

@@ -75,7 +75,7 @@ impl World {
             let gdp_mu = 10.0 - 0.35 * continent as f64;
             // Language families are tied to continents with occasional colonial spillover.
             let language = if rng.random::<f64>() < 0.8 {
-                (continent * 2 + rng.random_range(0..2)) % LANGUAGE_FAMILIES
+                (continent * 2 + rng.random_range(0..2usize)) % LANGUAGE_FAMILIES
             } else {
                 rng.random_range(0..LANGUAGE_FAMILIES)
             };
@@ -189,7 +189,10 @@ mod tests {
                 let d = world.distance_km(a, b);
                 assert!((d - world.distance_km(b, a)).abs() < 1e-9);
                 assert!(d >= 0.0);
-                assert!(d < 21_000.0, "distance {d} exceeds half the Earth circumference");
+                assert!(
+                    d < 21_000.0,
+                    "distance {d} exceeds half the Earth circumference"
+                );
             }
         }
     }

@@ -73,9 +73,7 @@ pub fn run(
     for &delta in deltas {
         let shifted: Vec<f64> = scored
             .iter()
-            .map(|edge| {
-                edge.raw_score.unwrap_or(0.0) - delta * edge.std_dev.unwrap_or(0.0)
-            })
+            .map(|edge| edge.raw_score.unwrap_or(0.0) - delta * edge.std_dev.unwrap_or(0.0))
             .collect();
         let accepted = shifted.iter().filter(|&&s| s > 0.0).count();
         let accepted_share = accepted as f64 / shifted.len().max(1) as f64;

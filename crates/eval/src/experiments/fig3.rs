@@ -56,8 +56,12 @@ pub fn toy_graph() -> WeightedGraph {
 /// Run the Figure 3 comparison.
 pub fn run() -> ToyExampleResult {
     let graph = toy_graph();
-    let nc = NoiseCorrected::default().score(&graph).expect("NC scores the toy graph");
-    let df = DisparityFilter::new().score(&graph).expect("DF scores the toy graph");
+    let nc = NoiseCorrected::default()
+        .score(&graph)
+        .expect("NC scores the toy graph");
+    let df = DisparityFilter::new()
+        .score(&graph)
+        .expect("DF scores the toy graph");
     let mut edges = Vec::new();
     let mut nc_scores = Vec::new();
     let mut df_scores = Vec::new();

@@ -54,7 +54,11 @@ impl RecoveryConfig {
             noise_levels: vec![0.05, 0.2],
             repetitions: 1,
             seed: 7,
-            methods: vec![Method::NaiveThreshold, Method::DisparityFilter, Method::NoiseCorrected],
+            methods: vec![
+                Method::NaiveThreshold,
+                Method::DisparityFilter,
+                Method::NoiseCorrected,
+            ],
         }
     }
 }
@@ -120,9 +124,8 @@ pub fn run(config: &RecoveryConfig) -> RecoveryResult {
                 .seed
                 .wrapping_add(noise_index as u64 * 1000)
                 .wrapping_add(repetition as u64);
-            let network =
-                noisy_barabasi_albert(config.nodes, config.edges_per_node, noise, seed)
-                    .expect("valid synthetic network parameters");
+            let network = noisy_barabasi_albert(config.nodes, config.edges_per_node, noise, seed)
+                .expect("valid synthetic network parameters");
             let true_edges = network.true_edge_indices();
             for (column, method) in config.methods.iter().enumerate() {
                 match method.edge_set(&network.graph, network.true_edge_count) {
@@ -140,7 +143,13 @@ pub fn run(config: &RecoveryConfig) -> RecoveryResult {
         let recovery = sums
             .iter()
             .zip(&counts)
-            .map(|(&sum, &count)| if count > 0 { Some(sum / count as f64) } else { None })
+            .map(|(&sum, &count)| {
+                if count > 0 {
+                    Some(sum / count as f64)
+                } else {
+                    None
+                }
+            })
             .collect();
         points.push(RecoveryPoint { noise, recovery });
     }

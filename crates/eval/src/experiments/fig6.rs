@@ -63,8 +63,7 @@ pub fn run(data: &CountryData) -> LocalCorrelationResult {
         let neighbor: Vec<f64> = pairs.iter().map(|p| p.1).collect();
         let (correlation, edges_used) =
             log_log_pearson(&own, &neighbor).expect("networks have enough positive edges");
-        let p_value =
-            correlation_p_value(correlation, edges_used).expect("enough observations");
+        let p_value = correlation_p_value(correlation, edges_used).expect("enough observations");
         correlations.push(LocalCorrelation {
             kind,
             correlation,

@@ -132,7 +132,11 @@ mod tests {
     #[test]
     fn coverage_grows_with_edge_share() {
         let data = CountryData::generate(&CountryDataConfig::small());
-        let methods = vec![Method::NaiveThreshold, Method::NoiseCorrected, Method::MaximumSpanningTree];
+        let methods = vec![
+            Method::NaiveThreshold,
+            Method::NoiseCorrected,
+            Method::MaximumSpanningTree,
+        ];
         let result = run(&data, &methods, &[0.05, 0.5]);
         assert_eq!(result.sweeps.len(), 6);
         for sweep in &result.sweeps {
@@ -141,7 +145,11 @@ mod tests {
             for column in 0..2 {
                 // Scored methods: more edges can only increase coverage.
                 if let (Some(a), Some(b)) = (small.coverage[column], large.coverage[column]) {
-                    assert!(b >= a - 1e-12, "{}: coverage not monotone", sweep.kind.name());
+                    assert!(
+                        b >= a - 1e-12,
+                        "{}: coverage not monotone",
+                        sweep.kind.name()
+                    );
                     assert!(a >= 0.0 && b <= 1.0 + 1e-12);
                 }
             }

@@ -62,7 +62,10 @@ impl StabilityResult {
 
 /// Run the Figure 8 experiment between the first two yearly observations.
 pub fn run(data: &CountryData, methods: &[Method], edge_shares: &[f64]) -> StabilityResult {
-    assert!(data.years() >= 2, "stability needs at least two yearly observations");
+    assert!(
+        data.years() >= 2,
+        "stability needs at least two yearly observations"
+    );
     let mut sweeps = Vec::new();
     for kind in CountryNetworkKind::all() {
         let year_t = data.network(kind, 0);

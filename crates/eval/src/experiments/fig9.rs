@@ -51,8 +51,14 @@ impl ScalabilityResult {
         let n = samples.len() as f64;
         let mean_x = samples.iter().map(|s| s.0).sum::<f64>() / n;
         let mean_y = samples.iter().map(|s| s.1).sum::<f64>() / n;
-        let numerator: f64 = samples.iter().map(|s| (s.0 - mean_x) * (s.1 - mean_y)).sum();
-        let denominator: f64 = samples.iter().map(|s| (s.0 - mean_x) * (s.0 - mean_x)).sum();
+        let numerator: f64 = samples
+            .iter()
+            .map(|s| (s.0 - mean_x) * (s.1 - mean_y))
+            .sum();
+        let denominator: f64 = samples
+            .iter()
+            .map(|s| (s.0 - mean_x) * (s.0 - mean_x))
+            .sum();
         if denominator > 0.0 {
             Some(numerator / denominator)
         } else {
@@ -93,7 +99,12 @@ impl ScalabilityResult {
 /// * `slow_method_limit` — HSS and DS are only run on workloads with at most
 ///   this many edges (the paper could not run them beyond a few thousand
 ///   edges either).
-pub fn run(methods: &[Method], sizes: &[usize], slow_method_limit: usize, seed: u64) -> ScalabilityResult {
+pub fn run(
+    methods: &[Method],
+    sizes: &[usize],
+    slow_method_limit: usize,
+    seed: u64,
+) -> ScalabilityResult {
     let mut points = Vec::with_capacity(sizes.len());
     for (index, &edges) in sizes.iter().enumerate() {
         let graph = scalability_workload(edges, seed.wrapping_add(index as u64))

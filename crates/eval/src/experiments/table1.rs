@@ -32,7 +32,10 @@ impl ValidationResult {
     pub fn render(&self) -> String {
         let mut table = TextTable::new(vec!["Network", "NC Corr"]);
         for entry in &self.entries {
-            table.add_row(vec![entry.kind.name().to_string(), fmt_opt(entry.correlation)]);
+            table.add_row(vec![
+                entry.kind.name().to_string(),
+                fmt_opt(entry.correlation),
+            ]);
         }
         table.render()
     }

@@ -59,7 +59,7 @@ impl QualityResult {
                 .iter()
                 .enumerate()
                 .filter(|&(other, _)| other != column)
-                .all(|(_, &other)| other.map_or(true, |value| own >= value))
+                .all(|(_, &other)| other.is_none_or(|value| own >= value))
         })
     }
 
@@ -118,17 +118,33 @@ mod tests {
         let data = CountryData::generate(&CountryDataConfig::small());
         // Keep the comparison fast: NT, DF, NC only (the structural methods are
         // exercised by the full reproduction binary).
-        let methods = vec![Method::NaiveThreshold, Method::DisparityFilter, Method::NoiseCorrected];
+        let methods = vec![
+            Method::NaiveThreshold,
+            Method::DisparityFilter,
+            Method::NoiseCorrected,
+        ];
         let result = run(&data, &methods, 0.25);
         assert_eq!(result.rows.len(), 6);
 
         // The NC backbone must beat the full network (quality > 1) on the
         // networks whose latent model matches the Table II regression best.
-        for kind in [CountryNetworkKind::Trade, CountryNetworkKind::Flight, CountryNetworkKind::Migration] {
+        for kind in [
+            CountryNetworkKind::Trade,
+            CountryNetworkKind::Flight,
+            CountryNetworkKind::Migration,
+        ] {
             let nc = result.quality_of(Method::NoiseCorrected, kind).unwrap();
-            assert!(nc > 0.9, "{}: NC quality {nc} unexpectedly low", kind.name());
+            assert!(
+                nc > 0.9,
+                "{}: NC quality {nc} unexpectedly low",
+                kind.name()
+            );
             let nt = result.quality_of(Method::NaiveThreshold, kind).unwrap();
-            assert!(nc > nt * 0.9, "{}: NC ({nc}) should not trail NT ({nt}) badly", kind.name());
+            assert!(
+                nc > nt * 0.9,
+                "{}: NC ({nc}) should not trail NT ({nt}) badly",
+                kind.name()
+            );
         }
         assert!(result.render().contains("Noise-Corrected"));
     }

@@ -158,7 +158,11 @@ mod tests {
     #[test]
     fn edge_sets_respect_target_for_scored_methods() {
         let graph = complete_graph(10, 2.0).unwrap();
-        for method in [Method::NaiveThreshold, Method::DisparityFilter, Method::NoiseCorrected] {
+        for method in [
+            Method::NaiveThreshold,
+            Method::DisparityFilter,
+            Method::NoiseCorrected,
+        ] {
             let edges = method.edge_set(&graph, 7).unwrap();
             assert_eq!(edges.len(), 7, "{}", method.short_name());
         }

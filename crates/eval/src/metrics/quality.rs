@@ -166,7 +166,11 @@ mod tests {
         let flight = QualityModel::for_kind(CountryNetworkKind::Flight);
         assert_eq!(
             flight.predictor_names,
-            vec!["log_distance", "log_population_origin", "log_population_destination"]
+            vec![
+                "log_distance",
+                "log_population_origin",
+                "log_population_destination"
+            ]
         );
 
         let migration = QualityModel::for_kind(CountryNetworkKind::Migration);

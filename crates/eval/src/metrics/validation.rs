@@ -63,8 +63,8 @@ pub fn variance_validation_correlation(years: &[WeightedGraph]) -> StatsResult<f
             continue;
         }
         let mean = lifts.iter().sum::<f64>() / lifts.len() as f64;
-        let sample_variance = lifts.iter().map(|l| (l - mean) * (l - mean)).sum::<f64>()
-            / (lifts.len() - 1) as f64;
+        let sample_variance =
+            lifts.iter().map(|l| (l - mean) * (l - mean)).sum::<f64>() / (lifts.len() - 1) as f64;
         let predicted_variance = edge.std_dev.map(|s| s * s).unwrap_or(0.0);
         if predicted_variance > 0.0 && sample_variance > 0.0 {
             predicted.push(predicted_variance.ln());

@@ -103,12 +103,8 @@ mod tests {
 
     #[test]
     fn two_components_and_isolate() {
-        let g = WeightedGraph::from_edges(
-            Direction::Undirected,
-            5,
-            vec![(0, 1, 1.0), (2, 3, 1.0)],
-        )
-        .unwrap();
+        let g = WeightedGraph::from_edges(Direction::Undirected, 5, vec![(0, 1, 1.0), (2, 3, 1.0)])
+            .unwrap();
         assert!(!is_connected(&g));
         assert_eq!(component_count(&g), 3);
         assert_eq!(largest_component_size(&g), 2);
@@ -121,12 +117,8 @@ mod tests {
 
     #[test]
     fn directed_edges_count_as_weak_links() {
-        let g = WeightedGraph::from_edges(
-            Direction::Directed,
-            3,
-            vec![(0, 1, 1.0), (2, 1, 1.0)],
-        )
-        .unwrap();
+        let g = WeightedGraph::from_edges(Direction::Directed, 3, vec![(0, 1, 1.0), (2, 1, 1.0)])
+            .unwrap();
         // No directed path between 0 and 2, but weakly connected.
         assert!(is_connected(&g));
     }

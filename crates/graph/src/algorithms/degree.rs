@@ -101,12 +101,8 @@ mod tests {
 
     #[test]
     fn directed_strengths_differ() {
-        let g = WeightedGraph::from_edges(
-            Direction::Directed,
-            3,
-            vec![(0, 1, 5.0), (2, 1, 7.0)],
-        )
-        .unwrap();
+        let g = WeightedGraph::from_edges(Direction::Directed, 3, vec![(0, 1, 5.0), (2, 1, 7.0)])
+            .unwrap();
         assert_eq!(out_strength_sequence(&g), vec![5.0, 0.0, 7.0]);
         assert_eq!(in_strength_sequence(&g), vec![0.0, 12.0, 0.0]);
     }

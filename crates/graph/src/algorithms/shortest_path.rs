@@ -72,9 +72,7 @@ pub struct ShortestPathTree {
 impl ShortestPathTree {
     /// Whether `node` is reachable from the source.
     pub fn is_reachable(&self, node: NodeId) -> bool {
-        self.distances
-            .get(node)
-            .map_or(false, |d| d.is_finite())
+        self.distances.get(node).is_some_and(|d| d.is_finite())
     }
 
     /// The tree edges as `(parent, child)` pairs.
@@ -146,10 +144,7 @@ pub fn dijkstra(
             node_count: graph.node_count(),
         });
     }
-    let max_weight = graph
-        .edges()
-        .map(|e| e.weight)
-        .fold(0.0_f64, f64::max);
+    let max_weight = graph.edges().map(|e| e.weight).fold(0.0_f64, f64::max);
 
     let node_count = graph.node_count();
     let mut distances = vec![f64::INFINITY; node_count];
@@ -245,12 +240,8 @@ mod tests {
 
     #[test]
     fn unreachable_nodes_have_infinite_distance() {
-        let g = WeightedGraph::from_edges(
-            Direction::Directed,
-            4,
-            vec![(0, 1, 1.0), (2, 3, 1.0)],
-        )
-        .unwrap();
+        let g = WeightedGraph::from_edges(Direction::Directed, 4, vec![(0, 1, 1.0), (2, 3, 1.0)])
+            .unwrap();
         let tree = dijkstra(&g, 0, DistanceTransform::Inverse).unwrap();
         assert!(tree.is_reachable(1));
         assert!(!tree.is_reachable(3));
@@ -259,12 +250,7 @@ mod tests {
 
     #[test]
     fn zero_weight_edges_are_ignored() {
-        let g = WeightedGraph::from_edges(
-            Direction::Undirected,
-            2,
-            vec![(0, 1, 0.0)],
-        )
-        .unwrap();
+        let g = WeightedGraph::from_edges(Direction::Undirected, 2, vec![(0, 1, 0.0)]).unwrap();
         let tree = dijkstra(&g, 0, DistanceTransform::Inverse).unwrap();
         assert!(!tree.is_reachable(1));
     }

@@ -87,7 +87,14 @@ mod tests {
         let g = WeightedGraph::from_edges(
             Direction::Undirected,
             6,
-            vec![(0, 1, 1.0), (1, 2, 2.0), (0, 2, 3.0), (3, 4, 1.0), (4, 5, 2.0), (3, 5, 3.0)],
+            vec![
+                (0, 1, 1.0),
+                (1, 2, 2.0),
+                (0, 2, 3.0),
+                (3, 4, 1.0),
+                (4, 5, 2.0),
+                (3, 5, 3.0),
+            ],
         )
         .unwrap();
         let tree = maximum_spanning_tree(&g);
@@ -119,10 +126,7 @@ mod tests {
                     let subset = [a, b, c];
                     let sub = g.subgraph_with_edges(&subset).unwrap();
                     if is_connected(&sub) {
-                        let weight: f64 = subset
-                            .iter()
-                            .map(|&i| g.edge(i).unwrap().weight)
-                            .sum();
+                        let weight: f64 = subset.iter().map(|&i| g.edge(i).unwrap().weight).sum();
                         best = best.max(weight);
                     }
                 }
@@ -133,12 +137,9 @@ mod tests {
 
     #[test]
     fn self_loops_are_skipped() {
-        let g = WeightedGraph::from_edges(
-            Direction::Undirected,
-            2,
-            vec![(0, 0, 100.0), (0, 1, 1.0)],
-        )
-        .unwrap();
+        let g =
+            WeightedGraph::from_edges(Direction::Undirected, 2, vec![(0, 0, 100.0), (0, 1, 1.0)])
+                .unwrap();
         let tree = maximum_spanning_tree(&g);
         assert_eq!(tree.len(), 1);
         assert_eq!(g.edge(tree[0]).unwrap().weight, 1.0);

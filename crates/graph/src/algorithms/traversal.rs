@@ -121,12 +121,8 @@ mod tests {
 
     #[test]
     fn traversal_on_disconnected_graph_stays_in_component() {
-        let g = WeightedGraph::from_edges(
-            Direction::Undirected,
-            5,
-            vec![(0, 1, 1.0), (2, 3, 1.0)],
-        )
-        .unwrap();
+        let g = WeightedGraph::from_edges(Direction::Undirected, 5, vec![(0, 1, 1.0), (2, 3, 1.0)])
+            .unwrap();
         assert_eq!(breadth_first_order(&g, 0).len(), 2);
         assert_eq!(depth_first_order(&g, 2).len(), 2);
         assert_eq!(breadth_first_order(&g, 4), vec![4]);

@@ -49,8 +49,14 @@ impl GraphBuilder {
     }
 
     /// Add an edge between two labeled nodes (creating the nodes as needed).
-    pub fn edge(mut self, source: impl Into<String>, target: impl Into<String>, weight: f64) -> Self {
-        self.labeled_edges.push((source.into(), target.into(), weight));
+    pub fn edge(
+        mut self,
+        source: impl Into<String>,
+        target: impl Into<String>,
+        weight: f64,
+    ) -> Self {
+        self.labeled_edges
+            .push((source.into(), target.into(), weight));
         self
     }
 
@@ -80,11 +86,7 @@ impl GraphBuilder {
         for _ in 0..self.unlabeled_nodes {
             graph.add_node();
         }
-        let max_index = self
-            .indexed_edges
-            .iter()
-            .map(|&(s, t, _)| s.max(t))
-            .max();
+        let max_index = self.indexed_edges.iter().map(|&(s, t, _)| s.max(t)).max();
         if let Some(max_index) = max_index {
             while graph.node_count() <= max_index {
                 graph.add_node();
@@ -149,14 +151,23 @@ mod tests {
 
     #[test]
     fn invalid_weight_propagates_error() {
-        assert!(GraphBuilder::directed().edge("A", "B", -1.0).build().is_err());
+        assert!(GraphBuilder::directed()
+            .edge("A", "B", -1.0)
+            .build()
+            .is_err());
     }
 
     #[test]
     fn direction_is_respected() {
-        let directed = GraphBuilder::directed().edge("A", "B", 1.0).build().unwrap();
+        let directed = GraphBuilder::directed()
+            .edge("A", "B", 1.0)
+            .build()
+            .unwrap();
         assert!(directed.is_directed());
-        let undirected = GraphBuilder::undirected().edge("A", "B", 1.0).build().unwrap();
+        let undirected = GraphBuilder::undirected()
+            .edge("A", "B", 1.0)
+            .build()
+            .unwrap();
         assert!(!undirected.is_directed());
     }
 }

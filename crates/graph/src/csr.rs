@@ -172,6 +172,42 @@ mod tests {
     }
 
     #[test]
+    fn zero_weight_edges_are_preserved() {
+        let mut g = WeightedGraph::with_nodes(Direction::Directed, 3);
+        g.add_edge(0, 1, 0.0).unwrap();
+        g.add_edge(1, 2, 2.0).unwrap();
+        let csr = CsrGraph::from_graph(&g);
+        assert_eq!(csr.entry_count(), 2);
+        assert_eq!(csr.weights(0), &[0.0]);
+        assert_eq!(csr.strength(0), 0.0);
+        assert!((csr.total_entry_weight() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn undirected_self_loops_appear_once() {
+        let mut g = WeightedGraph::with_nodes(Direction::Undirected, 2);
+        g.add_edge(0, 0, 3.0).unwrap();
+        g.add_edge(0, 1, 1.0).unwrap();
+        let csr = CsrGraph::from_graph(&g);
+        // The self-loop contributes a single adjacency entry; the ordinary
+        // edge contributes one per endpoint.
+        assert_eq!(csr.entry_count(), 3);
+        assert_eq!(csr.degree(0), 2);
+        assert!((csr.strength(0) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_edge_graph_round_trips() {
+        let mut g = WeightedGraph::with_nodes(Direction::Directed, 2);
+        g.add_edge(0, 1, 7.5).unwrap();
+        let csr = CsrGraph::from_graph(&g);
+        assert_eq!(csr.entry_count(), 1);
+        assert_eq!(csr.neighbors(0), &[1]);
+        assert_eq!(csr.weights(0), &[7.5]);
+        assert_eq!(csr.entries().collect::<Vec<_>>(), vec![(0, 1, 7.5)]);
+    }
+
+    #[test]
     fn isolated_nodes_have_empty_rows() {
         let mut g = WeightedGraph::with_nodes(Direction::Directed, 3);
         g.add_edge(0, 1, 1.0).unwrap();

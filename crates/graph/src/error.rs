@@ -50,11 +50,17 @@ impl fmt::Display for GraphError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             GraphError::NodeOutOfBounds { node, node_count } => {
-                write!(f, "node {node} out of bounds for graph with {node_count} nodes")
+                write!(
+                    f,
+                    "node {node} out of bounds for graph with {node_count} nodes"
+                )
             }
             GraphError::UnknownLabel { label } => write!(f, "unknown node label `{label}`"),
             GraphError::InvalidWeight { weight } => {
-                write!(f, "invalid edge weight {weight}: must be finite and non-negative")
+                write!(
+                    f,
+                    "invalid edge weight {weight}: must be finite and non-negative"
+                )
             }
             GraphError::SelfLoop { node } => {
                 write!(f, "self-loop on node {node} is not allowed here")

@@ -17,7 +17,11 @@ use crate::graph::{Direction, WeightedGraph};
 /// The Figure 4 experiment uses `nodes = 200` and `edges_per_node = 3`
 /// (yielding average degree ≈ 3 when counting each undirected edge once per
 /// endpoint pair, as the paper does informally).
-pub fn barabasi_albert(nodes: usize, edges_per_node: usize, seed: u64) -> GraphResult<WeightedGraph> {
+pub fn barabasi_albert(
+    nodes: usize,
+    edges_per_node: usize,
+    seed: u64,
+) -> GraphResult<WeightedGraph> {
     if edges_per_node == 0 {
         return Err(GraphError::InvalidParameter {
             parameter: "edges_per_node",
@@ -27,9 +31,7 @@ pub fn barabasi_albert(nodes: usize, edges_per_node: usize, seed: u64) -> GraphR
     if nodes <= edges_per_node {
         return Err(GraphError::InvalidParameter {
             parameter: "nodes",
-            message: format!(
-                "need more nodes ({nodes}) than edges per node ({edges_per_node})"
-            ),
+            message: format!("need more nodes ({nodes}) than edges per node ({edges_per_node})"),
         });
     }
     let mut rng = StdRng::seed_from_u64(seed);
@@ -147,7 +149,7 @@ pub fn stochastic_block_model(
     let node_count: usize = blocks.iter().sum();
     let mut labels = Vec::with_capacity(node_count);
     for (block_index, &size) in blocks.iter().enumerate() {
-        labels.extend(std::iter::repeat(block_index).take(size));
+        labels.extend(std::iter::repeat_n(block_index, size));
     }
 
     let mut rng = StdRng::seed_from_u64(seed);
@@ -157,7 +159,11 @@ pub fn stochastic_block_model(
             let same_block = labels[i] == labels[j];
             let probability = if same_block { p_within } else { p_between };
             if rng.random::<f64>() < probability {
-                let base = if same_block { weight_within } else { weight_between };
+                let base = if same_block {
+                    weight_within
+                } else {
+                    weight_between
+                };
                 let weight = base * rng.random_range(0.5..1.5);
                 graph.add_edge(i, j, weight)?;
             }

@@ -266,7 +266,9 @@ impl WeightedGraph {
             return None;
         }
         let key = self.canonical_key(source, target);
-        self.edge_lookup.get(&key).map(|&index| self.edges[index].weight)
+        self.edge_lookup
+            .get(&key)
+            .map(|&index| self.edges[index].weight)
     }
 
     /// Whether the edge `(source, target)` exists.
@@ -659,12 +661,8 @@ mod tests {
 
     #[test]
     fn from_edges_round_trip() {
-        let g = WeightedGraph::from_edges(
-            Direction::Undirected,
-            3,
-            vec![(0, 1, 1.0), (1, 2, 2.0)],
-        )
-        .unwrap();
+        let g = WeightedGraph::from_edges(Direction::Undirected, 3, vec![(0, 1, 1.0), (1, 2, 2.0)])
+            .unwrap();
         assert_eq!(g.node_count(), 3);
         assert_eq!(g.edge_count(), 2);
     }

@@ -239,8 +239,7 @@ mod tests {
 
     #[test]
     fn unlabeled_nodes_are_written_as_ids() {
-        let graph =
-            WeightedGraph::from_edges(Direction::Directed, 2, vec![(0, 1, 7.0)]).unwrap();
+        let graph = WeightedGraph::from_edges(Direction::Directed, 2, vec![(0, 1, 7.0)]).unwrap();
         let text = write_edge_list_string(&graph).unwrap();
         assert!(text.contains("0\t1\t7"));
     }

@@ -35,5 +35,6 @@ pub mod io;
 pub mod matrix;
 
 pub use builder::GraphBuilder;
+pub use csr::CsrGraph;
 pub use error::{GraphError, GraphResult};
 pub use graph::{Direction, Edge, EdgeRef, NodeId, WeightedGraph};

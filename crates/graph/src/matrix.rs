@@ -52,7 +52,9 @@ impl AdjacencyMatrix {
 
     /// Sum of a row.
     pub fn row_sum(&self, row: NodeId) -> f64 {
-        self.values[row * self.size..(row + 1) * self.size].iter().sum()
+        self.values[row * self.size..(row + 1) * self.size]
+            .iter()
+            .sum()
     }
 
     /// Sum of a column.
@@ -100,7 +102,9 @@ impl AdjacencyMatrix {
             if self.row_sum(row) == 0.0 {
                 return Err(GraphError::InvalidParameter {
                     parameter: "matrix",
-                    message: format!("row {row} sums to zero; doubly-stochastic scaling impossible"),
+                    message: format!(
+                        "row {row} sums to zero; doubly-stochastic scaling impossible"
+                    ),
                 });
             }
         }
@@ -150,9 +154,7 @@ impl AdjacencyMatrix {
         }
         Err(GraphError::InvalidParameter {
             parameter: "matrix",
-            message: format!(
-                "Sinkhorn-Knopp did not converge within {max_iterations} iterations"
-            ),
+            message: format!("Sinkhorn-Knopp did not converge within {max_iterations} iterations"),
         })
     }
 }

@@ -39,7 +39,8 @@ pub fn local_clustering(graph: &WeightedGraph, node: NodeId) -> f64 {
     let mut closed = 0usize;
     for i in 0..degree {
         for j in (i + 1)..degree {
-            if graph.has_edge(neighbors[i], neighbors[j]) || graph.has_edge(neighbors[j], neighbors[i])
+            if graph.has_edge(neighbors[i], neighbors[j])
+                || graph.has_edge(neighbors[j], neighbors[i])
             {
                 closed += 1;
             }

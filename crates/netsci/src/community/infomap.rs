@@ -245,9 +245,9 @@ pub fn infomap(graph: &WeightedGraph, max_sweeps: usize) -> InfomapResult {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::nmi::normalized_mutual_information;
     use backboning_graph::generators::{complete_graph, stochastic_block_model};
     use backboning_graph::GraphBuilder;
-    use crate::nmi::normalized_mutual_information;
 
     #[test]
     fn single_module_codelength_is_visit_rate_entropy() {
@@ -263,7 +263,10 @@ mod tests {
         let baseline =
             map_equation_codelength(&graph, &Partition::single_community(graph.node_count()));
         let expected = -(plogp(0.5) + 4.0 * plogp(0.125));
-        assert!((baseline - expected).abs() < 1e-12, "got {baseline}, want {expected}");
+        assert!(
+            (baseline - expected).abs() < 1e-12,
+            "got {baseline}, want {expected}"
+        );
     }
 
     #[test]
@@ -293,7 +296,10 @@ mod tests {
             &graph,
             &Partition::from_labels(vec![0, 0, 0, 0, 1, 1, 1, 1]),
         );
-        assert!(split < baseline, "split {split} should beat baseline {baseline}");
+        assert!(
+            split < baseline,
+            "split {split} should beat baseline {baseline}"
+        );
 
         // A bad split must cost more bits than the good one.
         let bad = map_equation_codelength(
@@ -309,8 +315,7 @@ mod tests {
         let result = infomap(&graph, 50);
         assert!(result.codelength <= result.baseline_codelength + 1e-12);
         assert!(result.compression_gain() > 0.05);
-        let nmi =
-            normalized_mutual_information(&result.partition, &Partition::from_labels(truth));
+        let nmi = normalized_mutual_information(&result.partition, &Partition::from_labels(truth));
         assert!(nmi > 0.8, "NMI {nmi} too low");
     }
 

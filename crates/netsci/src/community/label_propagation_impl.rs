@@ -77,9 +77,9 @@ pub fn label_propagation(graph: &WeightedGraph, seed: u64, max_sweeps: usize) ->
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::nmi::normalized_mutual_information;
     use backboning_graph::generators::{complete_graph, stochastic_block_model};
     use backboning_graph::GraphBuilder;
-    use crate::nmi::normalized_mutual_information;
 
     #[test]
     fn complete_graph_collapses_to_one_community() {

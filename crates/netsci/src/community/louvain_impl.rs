@@ -47,8 +47,8 @@ fn local_moves(adjacency: &Adjacency, labels: &mut [usize], max_sweeps: usize) -
     let node_count = labels.len();
     // Total strength per community.
     let mut community_strength: HashMap<usize, f64> = HashMap::new();
-    for node in 0..node_count {
-        *community_strength.entry(labels[node]).or_insert(0.0) += adjacency.strength[node];
+    for (node, &label) in labels.iter().enumerate() {
+        *community_strength.entry(label).or_insert(0.0) += adjacency.strength[node];
     }
 
     let mut improved_any = false;
@@ -119,9 +119,9 @@ pub fn louvain(graph: &WeightedGraph, max_sweeps: usize) -> (Partition, f64) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::nmi::normalized_mutual_information;
     use backboning_graph::generators::{complete_graph, stochastic_block_model};
     use backboning_graph::GraphBuilder;
-    use crate::nmi::normalized_mutual_information;
 
     #[test]
     fn two_triangles_are_split_correctly() {

@@ -51,10 +51,18 @@ pub fn normalized_mutual_information(a: &Partition, b: &Partition) -> f64 {
         *value /= n as f64;
     }
     let marginal_a: Vec<f64> = (0..communities_a)
-        .map(|i| (0..communities_b).map(|j| joint[i * communities_b + j]).sum())
+        .map(|i| {
+            (0..communities_b)
+                .map(|j| joint[i * communities_b + j])
+                .sum()
+        })
         .collect();
     let marginal_b: Vec<f64> = (0..communities_b)
-        .map(|j| (0..communities_a).map(|i| joint[i * communities_b + j]).sum())
+        .map(|j| {
+            (0..communities_a)
+                .map(|i| joint[i * communities_b + j])
+                .sum()
+        })
         .collect();
 
     let h_a = entropy(&marginal_a);

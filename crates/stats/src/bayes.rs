@@ -121,7 +121,7 @@ mod tests {
     fn posterior_shifts_towards_observation() {
         let model = BetaBinomialModel::edge_prior(50.0, 50.0, 1000.0).unwrap();
         let prior_mean = model.prior().mean(); // 0.0025
-        // A much larger observed frequency pulls the posterior mean upward.
+                                               // A much larger observed frequency pulls the posterior mean upward.
         let posterior_mean = model.posterior_mean(100.0, 1000.0).unwrap();
         assert!(posterior_mean > prior_mean);
         assert!(posterior_mean < 0.1 + 1e-9); // but not beyond the empirical frequency

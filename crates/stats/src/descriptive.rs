@@ -15,7 +15,10 @@ pub fn variance(values: &[f64]) -> StatsResult<f64> {
     if values.len() < 2 {
         return Err(StatsError::InvalidParameter {
             parameter: "values",
-            message: format!("sample variance needs at least 2 values, got {}", values.len()),
+            message: format!(
+                "sample variance needs at least 2 values, got {}",
+                values.len()
+            ),
         });
     }
     let m = mean(values)?;

@@ -65,7 +65,10 @@ impl fmt::Display for StatsError {
             StatsError::ConvergenceFailure {
                 routine,
                 iterations,
-            } => write!(f, "{routine} failed to converge after {iterations} iterations"),
+            } => write!(
+                f,
+                "{routine} failed to converge after {iterations} iterations"
+            ),
             StatsError::LinearAlgebra { message } => write!(f, "linear algebra error: {message}"),
             StatsError::Regression { message } => write!(f, "regression error: {message}"),
         }

@@ -102,7 +102,9 @@ impl LogHistogram {
             (min.ln(), max.ln())
         };
         let step = (log_max - log_min) / bins as f64;
-        let bin_edges: Vec<f64> = (0..=bins).map(|i| (log_min + step * i as f64).exp()).collect();
+        let bin_edges: Vec<f64> = (0..=bins)
+            .map(|i| (log_min + step * i as f64).exp())
+            .collect();
         let mut counts = vec![0usize; bins];
         for &value in &positive {
             let mut bin = (((value.ln() - log_min) / step).floor() as isize).max(0) as usize;
@@ -188,7 +190,10 @@ impl LinearHistogram {
 
     /// Midpoint of each bin.
     pub fn bin_centers(&self) -> Vec<f64> {
-        self.bin_edges.windows(2).map(|w| (w[0] + w[1]) / 2.0).collect()
+        self.bin_edges
+            .windows(2)
+            .map(|w| (w[0] + w[1]) / 2.0)
+            .collect()
     }
 }
 

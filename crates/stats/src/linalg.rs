@@ -117,12 +117,12 @@ impl Matrix {
             });
         }
         let mut result = vec![0.0; self.rows];
-        for i in 0..self.rows {
-            let mut acc = 0.0;
-            for j in 0..self.cols {
-                acc += self.get(i, j) * vector[j];
-            }
-            result[i] = acc;
+        for (i, slot) in result.iter_mut().enumerate() {
+            *slot = vector
+                .iter()
+                .enumerate()
+                .map(|(j, &v)| self.get(i, j) * v)
+                .sum();
         }
         Ok(result)
     }
@@ -185,20 +185,24 @@ impl Matrix {
                 let n = self.rows;
                 let mut y = vec![0.0; n];
                 for i in 0..n {
-                    let mut sum = b[i];
-                    for k in 0..i {
-                        sum -= l.get(i, k) * y[k];
-                    }
-                    y[i] = sum / l.get(i, i);
+                    let settled: f64 = y
+                        .iter()
+                        .enumerate()
+                        .take(i)
+                        .map(|(k, &yk)| l.get(i, k) * yk)
+                        .sum();
+                    y[i] = (b[i] - settled) / l.get(i, i);
                 }
                 // Back substitution: Lᵀ x = y.
                 let mut x = vec![0.0; n];
                 for i in (0..n).rev() {
-                    let mut sum = y[i];
-                    for k in (i + 1)..n {
-                        sum -= l.get(k, i) * x[k];
-                    }
-                    x[i] = sum / l.get(i, i);
+                    let settled: f64 = x
+                        .iter()
+                        .enumerate()
+                        .skip(i + 1)
+                        .map(|(k, &xk)| l.get(k, i) * xk)
+                        .sum();
+                    x[i] = (y[i] - settled) / l.get(i, i);
                 }
                 Ok(x)
             }
@@ -283,8 +287,8 @@ impl Matrix {
             let mut unit = vec![0.0; n];
             unit[col] = 1.0;
             let column = self.solve(&unit)?;
-            for row in 0..n {
-                inverse.set(row, col, column[row]);
+            for (row, &value) in column.iter().enumerate() {
+                inverse.set(row, col, value);
             }
         }
         Ok(inverse)

@@ -44,10 +44,7 @@ impl OlsFit {
         };
         if predictors.len() != expected {
             return Err(StatsError::Regression {
-                message: format!(
-                    "expected {expected} predictors, got {}",
-                    predictors.len()
-                ),
+                message: format!("expected {expected} predictors, got {}", predictors.len()),
             });
         }
         let mut value = 0.0;
@@ -119,7 +116,9 @@ impl OlsModel {
     pub fn fit(&self, y: &[f64]) -> StatsResult<OlsFit> {
         let n = y.len();
         if n == 0 {
-            return Err(StatsError::EmptyInput { operation: "OlsModel::fit" });
+            return Err(StatsError::EmptyInput {
+                operation: "OlsModel::fit",
+            });
         }
         for (name, column) in self.predictor_names.iter().zip(&self.columns) {
             if column.len() != n {
@@ -183,7 +182,9 @@ impl OlsModel {
         // Standard errors from σ² (XᵀX)⁻¹.
         let sigma2 = rss / (n as f64 - k as f64);
         let standard_errors = match xtx.inverse() {
-            Ok(inv) => (0..k).map(|i| (sigma2 * inv.get(i, i)).max(0.0).sqrt()).collect(),
+            Ok(inv) => (0..k)
+                .map(|i| (sigma2 * inv.get(i, i)).max(0.0).sqrt())
+                .collect(),
             Err(_) => vec![f64::NAN; k],
         };
 

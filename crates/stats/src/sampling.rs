@@ -32,7 +32,10 @@ pub fn sample_normal<R: Rng + ?Sized>(rng: &mut R, mean: f64, std_dev: f64) -> f
 /// approximation for large means (where the relative error of the
 /// approximation is negligible for our synthetic-data purposes).
 pub fn sample_poisson<R: Rng + ?Sized>(rng: &mut R, lambda: f64) -> u64 {
-    assert!(lambda >= 0.0, "Poisson mean must be non-negative, got {lambda}");
+    assert!(
+        lambda >= 0.0,
+        "Poisson mean must be non-negative, got {lambda}"
+    );
     if lambda == 0.0 {
         return 0;
     }
@@ -57,7 +60,10 @@ pub fn sample_poisson<R: Rng + ?Sized>(rng: &mut R, lambda: f64) -> u64 {
 /// Uses direct Bernoulli summation for small `n`, and a Poisson or normal
 /// approximation for large `n` depending on the regime.
 pub fn sample_binomial<R: Rng + ?Sized>(rng: &mut R, n: u64, p: f64) -> u64 {
-    assert!((0.0..=1.0).contains(&p), "probability must be in [0, 1], got {p}");
+    assert!(
+        (0.0..=1.0).contains(&p),
+        "probability must be in [0, 1], got {p}"
+    );
     if n == 0 || p == 0.0 {
         return 0;
     }
@@ -124,18 +130,25 @@ mod tests {
     #[test]
     fn standard_normal_moments() {
         let mut rng = rng();
-        let samples: Vec<f64> = (0..50_000).map(|_| sample_standard_normal(&mut rng)).collect();
+        let samples: Vec<f64> = (0..50_000)
+            .map(|_| sample_standard_normal(&mut rng))
+            .collect();
         let mean = samples.iter().sum::<f64>() / samples.len() as f64;
         let variance =
             samples.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / samples.len() as f64;
         assert!(mean.abs() < 0.02, "mean {mean} too far from 0");
-        assert!((variance - 1.0).abs() < 0.05, "variance {variance} too far from 1");
+        assert!(
+            (variance - 1.0).abs() < 0.05,
+            "variance {variance} too far from 1"
+        );
     }
 
     #[test]
     fn normal_respects_location_and_scale() {
         let mut rng = rng();
-        let samples: Vec<f64> = (0..20_000).map(|_| sample_normal(&mut rng, 10.0, 2.0)).collect();
+        let samples: Vec<f64> = (0..20_000)
+            .map(|_| sample_normal(&mut rng, 10.0, 2.0))
+            .collect();
         let mean = samples.iter().sum::<f64>() / samples.len() as f64;
         assert!((mean - 10.0).abs() < 0.1);
     }
@@ -144,7 +157,9 @@ mod tests {
     fn poisson_small_mean() {
         let mut rng = rng();
         let lambda = 3.5;
-        let samples: Vec<u64> = (0..30_000).map(|_| sample_poisson(&mut rng, lambda)).collect();
+        let samples: Vec<u64> = (0..30_000)
+            .map(|_| sample_poisson(&mut rng, lambda))
+            .collect();
         let mean = samples.iter().sum::<u64>() as f64 / samples.len() as f64;
         assert!((mean - lambda).abs() < 0.1, "mean {mean}");
     }
@@ -153,7 +168,9 @@ mod tests {
     fn poisson_large_mean_uses_normal_approximation() {
         let mut rng = rng();
         let lambda = 500.0;
-        let samples: Vec<u64> = (0..5_000).map(|_| sample_poisson(&mut rng, lambda)).collect();
+        let samples: Vec<u64> = (0..5_000)
+            .map(|_| sample_poisson(&mut rng, lambda))
+            .collect();
         let mean = samples.iter().sum::<u64>() as f64 / samples.len() as f64;
         assert!((mean - lambda).abs() < 2.0, "mean {mean}");
     }
@@ -167,7 +184,9 @@ mod tests {
     #[test]
     fn binomial_small_n() {
         let mut rng = rng();
-        let samples: Vec<u64> = (0..20_000).map(|_| sample_binomial(&mut rng, 20, 0.3)).collect();
+        let samples: Vec<u64> = (0..20_000)
+            .map(|_| sample_binomial(&mut rng, 20, 0.3))
+            .collect();
         let mean = samples.iter().sum::<u64>() as f64 / samples.len() as f64;
         assert!((mean - 6.0).abs() < 0.1, "mean {mean}");
         assert!(samples.iter().all(|&s| s <= 20));
@@ -176,8 +195,9 @@ mod tests {
     #[test]
     fn binomial_large_n_bulk() {
         let mut rng = rng();
-        let samples: Vec<u64> =
-            (0..5_000).map(|_| sample_binomial(&mut rng, 10_000, 0.4)).collect();
+        let samples: Vec<u64> = (0..5_000)
+            .map(|_| sample_binomial(&mut rng, 10_000, 0.4))
+            .collect();
         let mean = samples.iter().sum::<u64>() as f64 / samples.len() as f64;
         assert!((mean - 4000.0).abs() < 10.0, "mean {mean}");
     }
@@ -185,8 +205,9 @@ mod tests {
     #[test]
     fn binomial_large_n_rare() {
         let mut rng = rng();
-        let samples: Vec<u64> =
-            (0..20_000).map(|_| sample_binomial(&mut rng, 1_000_000, 1e-5)).collect();
+        let samples: Vec<u64> = (0..20_000)
+            .map(|_| sample_binomial(&mut rng, 1_000_000, 1e-5))
+            .collect();
         let mean = samples.iter().sum::<u64>() as f64 / samples.len() as f64;
         assert!((mean - 10.0).abs() < 0.2, "mean {mean}");
     }
@@ -212,7 +233,9 @@ mod tests {
     #[test]
     fn power_law_is_heavy_tailed() {
         let mut rng = rng();
-        let samples: Vec<f64> = (0..50_000).map(|_| sample_power_law(&mut rng, 1.0, 2.2)).collect();
+        let samples: Vec<f64> = (0..50_000)
+            .map(|_| sample_power_law(&mut rng, 1.0, 2.2))
+            .collect();
         let max = samples.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
         let median = {
             let mut sorted = samples.clone();

@@ -28,10 +28,18 @@ fn main() {
     let mut table = TextTable::new(vec!["method", "edges", "coverage", "quality", "stability"]);
     for method in Method::all() {
         let Ok(edges) = method.edge_set(year0, target_edges) else {
-            table.add_row(vec![method.full_name().to_string(), "n/a".into(), "n/a".into(), "n/a".into(), "n/a".into()]);
+            table.add_row(vec![
+                method.full_name().to_string(),
+                "n/a".into(),
+                "n/a".into(),
+                "n/a".into(),
+                "n/a".into(),
+            ]);
             continue;
         };
-        let backbone = year0.subgraph_with_edges(&edges).expect("valid edge indices");
+        let backbone = year0
+            .subgraph_with_edges(&edges)
+            .expect("valid edge indices");
         let coverage_value = coverage(year0, &backbone);
         let quality_value = quality_ratio(&data, kind, year0, &edges).unwrap_or(f64::NAN);
         let stability_value = stability(&edges, year0, year1).unwrap_or(f64::NAN);
@@ -45,5 +53,7 @@ fn main() {
     }
     println!("\nbackbones restricted to ~{target_edges} edges:\n");
     println!("{}", table.render());
-    println!("Quality > 1 means the backbone explains the gravity model better than the full network.");
+    println!(
+        "Quality > 1 means the backbone explains the gravity model better than the full network."
+    );
 }

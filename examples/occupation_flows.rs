@@ -41,7 +41,10 @@ fn main() {
         .backbone_top_k(&data.co_occurrence, target)
         .expect("DF backbone");
 
-    for (label, backbone) in [("Noise-Corrected", &nc_backbone), ("Disparity Filter", &df_backbone)] {
+    for (label, backbone) in [
+        ("Noise-Corrected", &nc_backbone),
+        ("Disparity Filter", &df_backbone),
+    ] {
         let result = infomap(backbone, 30);
         println!(
             "{label} backbone: {} edges, {} covered occupations, codelength {:.2} -> {:.2} bits ({:.1}% gain), classification modularity {:.3}",

@@ -20,7 +20,11 @@ fn main() {
         .build()
         .expect("valid graph");
 
-    println!("original network: {} nodes, {} edges", graph.node_count(), graph.edge_count());
+    println!(
+        "original network: {} nodes, {} edges",
+        graph.node_count(),
+        graph.edge_count()
+    );
 
     // Score every edge with the Noise-Corrected backbone. The score is the
     // number of standard deviations by which the edge exceeds its null-model
@@ -39,7 +43,9 @@ fn main() {
         );
     }
 
-    let backbone = scored.backbone(&graph, DELTA_P05).expect("threshold filtering");
+    let backbone = scored
+        .backbone(&graph, DELTA_P05)
+        .expect("threshold filtering");
     println!(
         "\nNoise-Corrected backbone at delta = {DELTA_P05}: {} of {} edges kept",
         backbone.edge_count(),

@@ -27,8 +27,14 @@ fn main() {
     println!("\nrecovery (Jaccard similarity with the true edge set) per noise level:\n");
     println!("{}", result.render());
 
-    let nc = result.average_recovery(Method::NoiseCorrected).unwrap_or(f64::NAN);
-    let nt = result.average_recovery(Method::NaiveThreshold).unwrap_or(f64::NAN);
-    let df = result.average_recovery(Method::DisparityFilter).unwrap_or(f64::NAN);
+    let nc = result
+        .average_recovery(Method::NoiseCorrected)
+        .unwrap_or(f64::NAN);
+    let nt = result
+        .average_recovery(Method::NaiveThreshold)
+        .unwrap_or(f64::NAN);
+    let df = result
+        .average_recovery(Method::DisparityFilter)
+        .unwrap_or(f64::NAN);
     println!("average recovery across noise levels:  NC {nc:.3}   DF {df:.3}   NT {nt:.3}");
 }

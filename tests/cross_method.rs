@@ -20,7 +20,11 @@ fn statistical_methods_beat_random_selection_on_noisy_synthetic_data() {
     let arbitrary: Vec<usize> = (0..k).collect();
     let arbitrary_recovery = jaccard_index(&arbitrary, &true_edges);
 
-    for method in [Method::NoiseCorrected, Method::DisparityFilter, Method::NaiveThreshold] {
+    for method in [
+        Method::NoiseCorrected,
+        Method::DisparityFilter,
+        Method::NaiveThreshold,
+    ] {
         let recovered = method.edge_set(&network.graph, k).unwrap();
         let recovery = jaccard_index(&recovered, &true_edges);
         assert!(
@@ -41,9 +45,13 @@ fn noise_corrected_is_most_noise_resilient_on_average() {
         let network = noisy_barabasi_albert(150, 3, eta, 100 + run as u64).unwrap();
         let truth = network.true_edge_indices();
         let k = network.true_edge_count;
-        for (slot, method) in [Method::NoiseCorrected, Method::DisparityFilter, Method::NaiveThreshold]
-            .iter()
-            .enumerate()
+        for (slot, method) in [
+            Method::NoiseCorrected,
+            Method::DisparityFilter,
+            Method::NaiveThreshold,
+        ]
+        .iter()
+        .enumerate()
         {
             let recovered = method.edge_set(&network.graph, k).unwrap();
             totals[slot] += jaccard_index(&recovered, &truth);

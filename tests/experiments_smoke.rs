@@ -1,8 +1,12 @@
 //! Workspace integration test: every reproduction experiment runs end to end
 //! on reduced configurations and produces well-formed reports.
 
-use backboning_data::{CountryData, CountryDataConfig, CountryNetworkKind, OccupationData, OccupationDataConfig};
-use backboning_eval::experiments::{case_study, fig2, fig4, fig5, fig6, fig7, fig8, fig9, table1, table2};
+use backboning_data::{
+    CountryData, CountryDataConfig, CountryNetworkKind, OccupationData, OccupationDataConfig,
+};
+use backboning_eval::experiments::{
+    case_study, fig2, fig4, fig5, fig6, fig7, fig8, fig9, table1, table2,
+};
 use backboning_eval::Method;
 
 fn data() -> CountryData {
@@ -40,15 +44,22 @@ fn table1_reports_positive_correlations() {
     let positive = result
         .entries
         .iter()
-        .filter(|e| e.correlation.map_or(false, |c| c > 0.0))
+        .filter(|e| e.correlation.is_some_and(|c| c > 0.0))
         .count();
-    assert!(positive >= 5, "only {positive} of 6 networks validate positively");
+    assert!(
+        positive >= 5,
+        "only {positive} of 6 networks validate positively"
+    );
 }
 
 #[test]
 fn figure7_and_8_sweeps_produce_values_for_fast_methods() {
     let data = data();
-    let methods = vec![Method::NaiveThreshold, Method::DisparityFilter, Method::NoiseCorrected];
+    let methods = vec![
+        Method::NaiveThreshold,
+        Method::DisparityFilter,
+        Method::NoiseCorrected,
+    ];
     let coverage = fig7::run(&data, &methods, &[0.1, 0.5]);
     assert_eq!(coverage.sweeps.len(), 6);
     let stability = fig8::run(&data, &methods, &[0.2]);
@@ -84,7 +95,10 @@ fn figure9_scaling_is_measured() {
         1,
     );
     let exponent = result.scaling_exponent(Method::NoiseCorrected).unwrap();
-    assert!(exponent > 0.3 && exponent < 2.5, "implausible scaling exponent {exponent}");
+    assert!(
+        exponent > 0.3 && exponent < 2.5,
+        "implausible scaling exponent {exponent}"
+    );
 }
 
 #[test]

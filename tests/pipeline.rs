@@ -2,7 +2,9 @@
 //! data — generate, backbone, evaluate topology/quality/stability, and analyse
 //! communities — across all crates.
 
-use backboning_data::{CountryData, CountryDataConfig, CountryNetworkKind, OccupationData, OccupationDataConfig};
+use backboning_data::{
+    CountryData, CountryDataConfig, CountryNetworkKind, OccupationData, OccupationDataConfig,
+};
 use backboning_eval::metrics::{coverage, quality_ratio, stability};
 use backboning_eval::Method;
 use backboning_netsci::community::label_propagation;
@@ -46,14 +48,23 @@ fn all_methods_run_end_to_end_on_a_country_network() {
     for method in Method::all() {
         match method.edge_set(graph, target) {
             Ok(edges) => {
-                assert!(!edges.is_empty(), "{} returned an empty backbone", method.short_name());
+                assert!(
+                    !edges.is_empty(),
+                    "{} returned an empty backbone",
+                    method.short_name()
+                );
                 let backbone = graph.subgraph_with_edges(&edges).unwrap();
                 assert_eq!(backbone.node_count(), graph.node_count());
             }
             Err(_) => {
                 // Only the Doubly-Stochastic method may legitimately fail
                 // (no feasible scaling), mirroring the "n/a" of the paper.
-                assert_eq!(method, Method::DoublyStochastic, "{} failed unexpectedly", method.short_name());
+                assert_eq!(
+                    method,
+                    Method::DoublyStochastic,
+                    "{} failed unexpectedly",
+                    method.short_name()
+                );
             }
         }
     }
@@ -66,7 +77,9 @@ fn backboning_sharpens_community_structure_in_the_occupation_data() {
 
     let full_modularity = modularity(&data.co_occurrence, &classification);
     let target = data.co_occurrence.edge_count() / 7;
-    let nc_edges = Method::NoiseCorrected.edge_set(&data.co_occurrence, target).unwrap();
+    let nc_edges = Method::NoiseCorrected
+        .edge_set(&data.co_occurrence, target)
+        .unwrap();
     let backbone = data.co_occurrence.subgraph_with_edges(&nc_edges).unwrap();
     let backbone_modularity = modularity(&backbone, &classification);
     assert!(
@@ -88,7 +101,11 @@ fn quality_and_stability_are_defined_for_every_network_kind() {
         let target = (graph.edge_count() / 5).max(20);
         let edges = Method::NoiseCorrected.edge_set(graph, target).unwrap();
         let quality = quality_ratio(&data, kind, graph, &edges).unwrap();
-        assert!(quality.is_finite() && quality > 0.0, "{}: quality {quality}", kind.name());
+        assert!(
+            quality.is_finite() && quality > 0.0,
+            "{}: quality {quality}",
+            kind.name()
+        );
         let stability_value = stability(&edges, graph, data.network(kind, 1)).unwrap();
         assert!(
             stability_value > 0.3,

@@ -43,13 +43,17 @@ fn every_method_scores_the_toy_graph_consistently() {
         Box::new(NaiveThreshold::new()),
     ];
     for extractor in &extractors {
-        let scored = extractor.score(&graph).expect("method applies to the toy graph");
+        let scored = extractor
+            .score(&graph)
+            .expect("method applies to the toy graph");
         assert_eq!(scored.len(), graph.edge_count(), "{}", extractor.name());
         // Selecting every edge reproduces the original edge count; selecting the
         // top half produces a strictly smaller backbone with the same node set.
         let all = scored.backbone_top_k(&graph, graph.edge_count()).unwrap();
         assert_eq!(all.edge_count(), graph.edge_count());
-        let half = scored.backbone_top_k(&graph, graph.edge_count() / 2).unwrap();
+        let half = scored
+            .backbone_top_k(&graph, graph.edge_count() / 2)
+            .unwrap();
         assert_eq!(half.edge_count(), graph.edge_count() / 2);
         assert_eq!(half.node_count(), graph.node_count());
     }

@@ -1,0 +1,261 @@
+//! Minimal, dependency-free stand-in for the parts of the `criterion` API the
+//! workspace's benches use. The build environment has no access to a crates.io
+//! mirror, so this vendored harness provides the same surface — groups,
+//! `bench_function` / `bench_with_input`, [`BenchmarkId`], [`Throughput`],
+//! `black_box`, and the `criterion_group!` / `criterion_main!` macros — with a
+//! simple wall-clock timing loop instead of criterion's statistical engine.
+//!
+//! Behavior:
+//! - `cargo bench` runs each registered benchmark for up to `sample_size`
+//!   timed iterations (bounded by a per-benchmark time budget) and prints the
+//!   mean wall-clock time per iteration.
+//! - With `--test` on the command line (what `cargo test --benches` passes),
+//!   every benchmark body runs exactly once so the suite stays fast.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifies one benchmark within a group, e.g. `method/size`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// A two-part id: `function_name/parameter`.
+    pub fn new<S: fmt::Display, P: fmt::Display>(function_name: S, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// An id that is just the parameter value.
+    pub fn from_parameter<P: fmt::Display>(parameter: P) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Throughput annotation for a benchmark (recorded, echoed in the report).
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Number of elements processed per iteration.
+    Elements(u64),
+    /// Number of bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Passed to every benchmark closure; `iter` runs and times the payload.
+pub struct Bencher<'a> {
+    config: &'a RunConfig,
+    report: Option<Sample>,
+}
+
+struct Sample {
+    total: Duration,
+    iterations: u32,
+}
+
+impl Bencher<'_> {
+    /// Runs `payload` repeatedly, recording the mean wall-clock time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut payload: F) {
+        if self.config.test_mode {
+            black_box(payload());
+            self.report = Some(Sample {
+                total: Duration::ZERO,
+                iterations: 1,
+            });
+            return;
+        }
+        // One untimed warmup, then up to `sample_size` timed iterations
+        // bounded by the per-benchmark time budget.
+        black_box(payload());
+        let budget = self.config.measurement_time;
+        let mut total = Duration::ZERO;
+        let mut iterations = 0u32;
+        while iterations < self.config.sample_size && total < budget {
+            let start = Instant::now();
+            black_box(payload());
+            total += start.elapsed();
+            iterations += 1;
+        }
+        self.report = Some(Sample { total, iterations });
+    }
+}
+
+#[derive(Clone)]
+struct RunConfig {
+    test_mode: bool,
+    sample_size: u32,
+    measurement_time: Duration,
+    filter: Option<String>,
+}
+
+impl RunConfig {
+    fn from_args() -> Self {
+        let mut test_mode = false;
+        let mut filter = None;
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" => test_mode = true,
+                // Flags cargo passes to harness=false benches; ignore them.
+                "--bench" | "--nocapture" | "--quiet" | "-q" | "--exact" => {}
+                other if other.starts_with('-') => {}
+                other => filter = Some(other.to_string()),
+            }
+        }
+        RunConfig {
+            test_mode,
+            sample_size: 20,
+            measurement_time: Duration::from_secs(3),
+            filter,
+        }
+    }
+
+    fn matches(&self, id: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| id.contains(f))
+    }
+}
+
+/// The top-level benchmark driver.
+pub struct Criterion {
+    config: RunConfig,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            config: RunConfig::from_args(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Reads command-line arguments (`--test`, name filters). Already done by
+    /// `Default`; kept for API parity with real criterion.
+    #[must_use]
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            config: self.config.clone(),
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// Registers and runs a single ungrouped benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher<'_>)>(&mut self, id: &str, mut body: F) {
+        run_one(&self.config, id, |bencher| body(bencher));
+    }
+}
+
+/// A named collection of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    config: RunConfig,
+    _marker: std::marker::PhantomData<&'a ()>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Caps the number of timed iterations per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.config.sample_size = n.max(1) as u32;
+        self
+    }
+
+    /// Sets the per-benchmark time budget.
+    pub fn measurement_time(&mut self, budget: Duration) -> &mut Self {
+        self.config.measurement_time = budget;
+        self
+    }
+
+    /// Records the work-per-iteration for subsequent benchmarks.
+    pub fn throughput(&mut self, _throughput: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Registers and runs one benchmark in this group.
+    pub fn bench_function<I: fmt::Display, F: FnMut(&mut Bencher<'_>)>(
+        &mut self,
+        id: I,
+        mut body: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        run_one(&self.config, &full, |bencher| body(bencher));
+        self
+    }
+
+    /// Registers and runs one benchmark that borrows an input value.
+    pub fn bench_with_input<I: fmt::Display, T: ?Sized, F: FnMut(&mut Bencher<'_>, &T)>(
+        &mut self,
+        id: I,
+        input: &T,
+        mut body: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        run_one(&self.config, &full, |bencher| body(bencher, input));
+        self
+    }
+
+    /// Ends the group (kept for API parity; reporting is per-benchmark).
+    pub fn finish(self) {}
+}
+
+fn run_one(config: &RunConfig, id: &str, mut body: impl FnMut(&mut Bencher<'_>)) {
+    if !config.matches(id) {
+        return;
+    }
+    let mut bencher = Bencher {
+        config,
+        report: None,
+    };
+    body(&mut bencher);
+    match bencher.report {
+        Some(_) if config.test_mode => println!("test {id} ... ok"),
+        Some(sample) => {
+            let mean = sample.total.as_secs_f64() / f64::from(sample.iterations.max(1));
+            println!(
+                "{id}: {:.3} ms/iter ({} iterations)",
+                mean * 1e3,
+                sample.iterations
+            );
+        }
+        None => println!("{id}: no measurement recorded"),
+    }
+}
+
+/// Declares a group function that runs each listed benchmark function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,342 @@
+//! Minimal, dependency-free stand-in for the parts of the `proptest` API this
+//! workspace uses. The build environment has no access to a crates.io mirror,
+//! so the needed surface is vendored here:
+//!
+//! - [`strategy::Strategy`] with `prop_map`, implemented for numeric ranges,
+//!   tuples of strategies, and [`collection::vec`]
+//! - the [`proptest!`] macro (with `#![proptest_config(...)]` support)
+//! - [`prop_assert!`], [`prop_assert_eq!`], [`prop_assert_ne!`]
+//! - [`test_runner::ProptestConfig`]
+//!
+//! Unlike real proptest there is no shrinking: a failing case reports the
+//! case number and the deterministic seed, which is enough to replay it.
+
+#![forbid(unsafe_code)]
+
+pub mod strategy {
+    //! Value-generation strategies.
+
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// The RNG driving strategy generation.
+    pub type TestRng = StdRng;
+
+    /// Builds the deterministic RNG for a property-test run.
+    pub fn new_test_rng(seed: u64) -> TestRng {
+        use rand::SeedableRng;
+        StdRng::seed_from_u64(seed)
+    }
+
+    /// A recipe for generating values of `Self::Value`.
+    pub trait Strategy {
+        /// The type of value this strategy produces.
+        type Value;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Transforms every generated value with `map`.
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, map: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, map }
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            (**self).generate(rng)
+        }
+    }
+
+    /// A strategy that always yields a clone of one value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// The strategy returned by [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        map: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.map)(self.inner.generate(rng))
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.random_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(usize, u64, u32, u16, u8, i64, i32, i16, i8, f64, f32);
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+    impl_tuple_strategy!(A, B, C, D, E);
+}
+
+pub mod collection {
+    //! Strategies for collections.
+
+    use super::strategy::{Strategy, TestRng};
+    use rand::Rng;
+
+    /// A number-of-elements specification: a fixed size or a range.
+    #[derive(Clone, Debug)]
+    pub struct SizeRange {
+        start: usize,
+        end: usize, // exclusive
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange {
+                start: n,
+                end: n + 1,
+            }
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            SizeRange {
+                start: r.start,
+                end: r.end,
+            }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                start: *r.start(),
+                end: *r.end() + 1,
+            }
+        }
+    }
+
+    /// The strategy returned by [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = if self.size.start + 1 >= self.size.end {
+                self.size.start
+            } else {
+                rng.random_range(self.size.start..self.size.end)
+            };
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// A strategy for `Vec`s whose elements come from `element` and whose
+    /// length comes from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+pub mod test_runner {
+    //! Test-runner configuration and error plumbing.
+
+    /// How a property test should run.
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// Number of generated cases per property.
+        pub cases: u32,
+        /// Seed for the deterministic RNG driving generation.
+        pub rng_seed: u64,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig {
+                cases: 64,
+                rng_seed: 0x5eed_cafe,
+            }
+        }
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` generated inputs per property.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig {
+                cases,
+                ..Self::default()
+            }
+        }
+    }
+
+    /// A failed property assertion.
+    #[derive(Debug)]
+    pub struct TestCaseError {
+        /// Human-readable failure description.
+        pub message: String,
+    }
+
+    impl TestCaseError {
+        /// Builds a failure with the given description.
+        pub fn fail(message: impl Into<String>) -> Self {
+            TestCaseError {
+                message: message.into(),
+            }
+        }
+    }
+}
+
+pub mod prelude {
+    //! The glob-importable API surface.
+
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Runs one generated case. Exists so the generated tuple's concrete type is
+/// pinned before the body closure is type-checked (direct immediate closure
+/// invocation would leave the closure's pattern parameters uninferred).
+#[doc(hidden)]
+pub fn __run_case<V, F>(value: V, body: F) -> Result<(), test_runner::TestCaseError>
+where
+    F: FnOnce(V) -> Result<(), test_runner::TestCaseError>,
+{
+    body(value)
+}
+
+/// Asserts a condition inside a `proptest!` body, failing the current case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = &$left;
+        let right = &$right;
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `left == right`\n  left: {:?}\n right: {:?}",
+            left,
+            right
+        );
+    }};
+}
+
+/// Asserts inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = &$left;
+        let right = &$right;
+        $crate::prop_assert!(
+            left != right,
+            "assertion failed: `left != right`\n  both: {:?}",
+            left
+        );
+    }};
+}
+
+/// Declares property tests: each `#[test] fn name(pattern in strategy, ...)`
+/// runs `config.cases` generated inputs. Write the `#[test]` attribute
+/// explicitly (it is passed through, not synthesized).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { config = ($config); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            config = ($crate::test_runner::ProptestConfig::default());
+            $($rest)*
+        }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (config = ($config:expr);) => {};
+    (
+        config = ($config:expr);
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strategy:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $config;
+            let mut rng: $crate::strategy::TestRng =
+                $crate::strategy::new_test_rng(config.rng_seed);
+            for case in 0..config.cases {
+                let values = ($($crate::strategy::Strategy::generate(&($strategy), &mut rng),)+);
+                let outcome = $crate::__run_case(values, |($($pat,)+)| {
+                    $body
+                    ::core::result::Result::Ok(())
+                });
+                if let ::core::result::Result::Err(error) = outcome {
+                    panic!(
+                        "proptest case {}/{} failed (seed {:#x}): {}",
+                        case + 1,
+                        config.cases,
+                        config.rng_seed,
+                        error.message
+                    );
+                }
+            }
+        }
+        $crate::__proptest_items! { config = ($config); $($rest)* }
+    };
+}

@@ -1,0 +1,54 @@
+//! Meta-tests: the vendored harness must actually fail failing properties.
+
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn passing_property_passes(x in 0usize..100) {
+        prop_assert!(x < 100);
+    }
+
+    #[test]
+    fn tuples_vecs_and_maps_compose(
+        pairs in proptest::collection::vec(((0usize..5), (0.0f64..1.0)), 1..20),
+        scale in 1.0f64..10.0,
+    ) {
+        let scaled: Vec<f64> = pairs.iter().map(|(_, w)| w * scale).collect();
+        prop_assert_eq!(scaled.len(), pairs.len());
+        for value in scaled {
+            prop_assert!((0.0..10.0).contains(&value));
+        }
+    }
+}
+
+#[test]
+fn failing_property_panics() {
+    // Run the generated test fn through catch_unwind: a harness that silently
+    // swallows failures would make every property test in the workspace
+    // meaningless.
+    proptest! {
+        #[allow(dead_code)]
+        fn always_fails(x in 0usize..10) {
+            prop_assert!(x > 100, "x was {}", x);
+        }
+    }
+    let result = std::panic::catch_unwind(always_fails);
+    assert!(result.is_err(), "a failing property must panic the test");
+    let message = *result.unwrap_err().downcast::<String>().unwrap();
+    assert!(
+        message.contains("proptest case") && message.contains("seed"),
+        "failure message must identify the case and seed, got: {message}"
+    );
+}
+
+#[test]
+fn generation_is_deterministic_across_runs() {
+    let mut rng_a = proptest::strategy::new_test_rng(7);
+    let mut rng_b = proptest::strategy::new_test_rng(7);
+    let strategy = proptest::collection::vec(0usize..1000, 5..20);
+    for _ in 0..10 {
+        assert_eq!(strategy.generate(&mut rng_a), strategy.generate(&mut rng_b));
+    }
+}
