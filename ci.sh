@@ -13,4 +13,7 @@ echo "==> tier-1 verify: cargo build --release && cargo test -q"
 cargo build --release
 cargo test -q
 
+echo "==> perf smoke: bench_snapshot -> BENCH_backbones.json"
+cargo run --release -p backboning_bench --bin bench_snapshot
+
 echo "==> OK"

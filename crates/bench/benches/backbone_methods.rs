@@ -5,8 +5,10 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
+use backboning::{BackboneExtractor, HighSalienceSkeleton};
 use backboning_data::{CountryData, CountryDataConfig, CountryNetworkKind};
 use backboning_eval::Method;
+use backboning_graph::generators::barabasi_albert;
 
 fn backbone_methods(criterion: &mut Criterion) {
     let data = CountryData::generate(&CountryDataConfig {
@@ -34,5 +36,27 @@ fn backbone_methods(criterion: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, backbone_methods);
+/// End-to-end High Salience Skeleton extraction on a BA substrate: the seed
+/// adjacency path vs the parallel CSR engine, plus the full score-and-prune
+/// pipeline (the perf-trajectory companion of `bench_snapshot`).
+fn hss_end_to_end(criterion: &mut Criterion) {
+    let graph = barabasi_albert(500, 3, 7).expect("valid BA parameters");
+    let hss = HighSalienceSkeleton::new();
+
+    let mut group = criterion.benchmark_group("hss_end_to_end/ba_500");
+    group.sample_size(10);
+    group.bench_function("seed_adjacency_path", |bencher| {
+        bencher.iter(|| black_box(hss.score_adjacency_reference(black_box(&graph))));
+    });
+    group.bench_function("csr_engine_auto_threads", |bencher| {
+        bencher.iter(|| black_box(hss.score_with_threads(black_box(&graph), 0)));
+    });
+    group.bench_function("extract_top_quarter", |bencher| {
+        let k = graph.edge_count() / 4;
+        bencher.iter(|| black_box(hss.extract_top_k(black_box(&graph), k)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, backbone_methods, hss_end_to_end);
 criterion_main!(benches);

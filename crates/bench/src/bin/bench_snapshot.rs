@@ -1,0 +1,163 @@
+//! Perf smoke snapshot: time every backbone extractor on fixed synthetic
+//! substrates and write `BENCH_backbones.json` at the repo root, so each CI
+//! run leaves a comparable perf trajectory point behind.
+//!
+//! Substrates (fixed seeds, so every run measures the same graphs):
+//!
+//! * `ba_2000` — Barabási–Albert, 2000 nodes, m = 3 (the scalability wall the
+//!   paper hit with the High Salience Skeleton);
+//! * `er_2000` — Erdős–Rényi, 2000 nodes, ~6000 weighted edges;
+//! * `complete_200` — a dense complete graph where the Doubly-Stochastic
+//!   scaling is guaranteed to exist.
+//!
+//! Besides the six methods, the snapshot times the HSS seed adjacency path
+//! against the parallel CSR engine at 4 workers and reports the speedup —
+//! the headline number of the "HSS doesn't scale" fix.
+//!
+//! Environment: `BENCH_RUNS` (default 3) timed runs per entry, median
+//! reported; `BACKBONING_THREADS` steers the auto-threaded entries.
+
+use std::time::Instant;
+
+use backboning::HighSalienceSkeleton;
+use backboning_eval::Method;
+use backboning_graph::generators::{barabasi_albert, complete_graph, erdos_renyi};
+use backboning_graph::{Direction, WeightedGraph};
+use backboning_parallel::available_threads;
+
+/// One measured snapshot entry.
+struct Entry {
+    method: &'static str,
+    substrate: &'static str,
+    nodes: usize,
+    edges: usize,
+    threads: usize,
+    median_ms: f64,
+    edges_per_sec: f64,
+}
+
+fn timed_runs(runs: usize, mut work: impl FnMut()) -> f64 {
+    let mut samples: Vec<f64> = (0..runs)
+        .map(|_| {
+            let start = Instant::now();
+            work();
+            start.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    samples[samples.len() / 2]
+}
+
+fn entry(
+    runs: usize,
+    method: &'static str,
+    substrate: &'static str,
+    graph: &WeightedGraph,
+    threads: usize,
+    work: impl FnMut(),
+) -> Entry {
+    let median_ms = timed_runs(runs, work);
+    Entry {
+        method,
+        substrate,
+        nodes: graph.node_count(),
+        edges: graph.edge_count(),
+        threads,
+        median_ms,
+        edges_per_sec: graph.edge_count() as f64 / (median_ms / 1e3),
+    }
+}
+
+fn render_json(default_threads: usize, entries: &[Entry], hss_speedup: f64) -> String {
+    let mut json = String::from("{\n");
+    json.push_str(&format!("  \"default_threads\": {default_threads},\n"));
+    json.push_str(&format!(
+        "  \"hss_speedup_4_threads_vs_seed_ba_2000\": {hss_speedup:.3},\n"
+    ));
+    json.push_str("  \"entries\": [\n");
+    for (index, e) in entries.iter().enumerate() {
+        let comma = if index + 1 < entries.len() { "," } else { "" };
+        json.push_str(&format!(
+            "    {{\"method\": \"{}\", \"substrate\": \"{}\", \"nodes\": {}, \"edges\": {}, \
+             \"threads\": {}, \"median_ms\": {:.3}, \"edges_per_sec\": {:.1}}}{}\n",
+            e.method, e.substrate, e.nodes, e.edges, e.threads, e.median_ms, e.edges_per_sec, comma
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    json
+}
+
+fn main() {
+    let runs: usize = std::env::var("BENCH_RUNS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(3);
+    let default_threads = available_threads();
+
+    let ba_2000 = barabasi_albert(2000, 3, 4242).expect("valid BA parameters");
+    let er_2000 =
+        erdos_renyi(2000, 6000, 10.0, Direction::Undirected, 99).expect("valid ER parameters");
+    let complete_200 = complete_graph(200, 2.0).expect("valid complete-graph parameters");
+
+    let mut entries = Vec::new();
+    for (substrate, graph) in [("ba_2000", &ba_2000), ("er_2000", &er_2000)] {
+        for method in Method::all() {
+            // The dense Sinkhorn normalisation is measured on its own feasible
+            // substrate below; a 2000-node dense matrix is not a smoke test.
+            if method == Method::DoublyStochastic {
+                continue;
+            }
+            // NT and MST are single sequential passes regardless of the
+            // engine's worker count.
+            let threads = if method.is_parameter_free() || method == Method::NaiveThreshold {
+                1
+            } else {
+                default_threads
+            };
+            entries.push(entry(
+                runs,
+                method.short_name(),
+                substrate,
+                graph,
+                threads,
+                || {
+                    let _ = method.score(graph);
+                },
+            ));
+        }
+    }
+    entries.push(entry(
+        runs,
+        Method::DoublyStochastic.short_name(),
+        "complete_200",
+        &complete_200,
+        default_threads,
+        || {
+            let _ = Method::DoublyStochastic.score(&complete_200);
+        },
+    ));
+
+    // The headline comparison: seed adjacency HSS vs the parallel CSR engine.
+    let hss = HighSalienceSkeleton::new();
+    let seed = entry(runs, "HSS_seed_path", "ba_2000", &ba_2000, 1, || {
+        let _ = hss.score_adjacency_reference(&ba_2000);
+    });
+    let engine = entry(runs, "HSS_csr_4_threads", "ba_2000", &ba_2000, 4, || {
+        let _ = hss.score_with_threads(&ba_2000, 4);
+    });
+    let hss_speedup = seed.median_ms / engine.median_ms;
+    entries.push(seed);
+    entries.push(engine);
+
+    let json = render_json(default_threads, &entries, hss_speedup);
+    // Resolved at runtime (ci.sh runs from the repo root); override with
+    // BENCH_SNAPSHOT_PATH when invoking from elsewhere.
+    let path =
+        std::env::var("BENCH_SNAPSHOT_PATH").unwrap_or_else(|_| "BENCH_backbones.json".to_string());
+    std::fs::write(&path, &json).expect("write BENCH_backbones.json");
+
+    println!("{json}");
+    println!("HSS ba_2000: seed path vs CSR engine @4 threads = {hss_speedup:.2}x (target >= 2x)");
+    println!("snapshot written to {path}");
+}

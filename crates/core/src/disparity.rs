@@ -21,10 +21,12 @@
 //! endpoints jointly, which is why the Disparity Filter keeps periphery–hub
 //! connections that the NC backbone prunes (paper, Figure 3).
 
-use backboning_graph::WeightedGraph;
+use backboning_graph::{EdgeRef, WeightedGraph};
+use backboning_parallel::{clamped_threads, par_map};
 
 use crate::error::BackboneResult;
 use crate::scored::{BackboneExtractor, ScoredEdge, ScoredEdges, Symmetrization};
+use crate::totals::NetworkTotals;
 
 /// The Disparity Filter backbone extractor.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -66,6 +68,67 @@ impl DisparityFilter {
         let share = share.clamp(0.0, 1.0);
         (1.0 - share).powi(degree as i32 - 1)
     }
+
+    /// Score every edge with an explicit worker count (`0` = automatic,
+    /// honoring `BACKBONING_THREADS`). Each edge's p-value depends only on the
+    /// precomputed per-node strengths and degrees, so the result is
+    /// bit-identical for every thread count.
+    pub fn score_with_threads(
+        &self,
+        graph: &WeightedGraph,
+        threads: usize,
+    ) -> BackboneResult<ScoredEdges> {
+        // Per-node strengths and degrees for both roles (emitter / receiver),
+        // built in one pass over the edge list.
+        let totals = NetworkTotals::compute(graph);
+        let out_degree: Vec<usize> = graph.nodes().map(|n| graph.out_degree(n)).collect();
+        let in_degree: Vec<usize> = graph.nodes().map(|n| graph.in_degree(n)).collect();
+
+        let edges: Vec<EdgeRef> = graph.edges().collect();
+        let scored = par_map(
+            &edges,
+            clamped_threads(threads, edges.len(), 2048),
+            |_, edge| {
+                // Emitter perspective: the edge as a share of the source's outgoing weight.
+                let source_alpha = if totals.out_strength[edge.source] > 0.0 {
+                    Self::alpha(
+                        edge.weight / totals.out_strength[edge.source],
+                        out_degree[edge.source],
+                    )
+                } else {
+                    1.0
+                };
+                // Receiver perspective: the edge as a share of the target's incoming weight.
+                let target_alpha = if totals.in_strength[edge.target] > 0.0 {
+                    Self::alpha(
+                        edge.weight / totals.in_strength[edge.target],
+                        in_degree[edge.target],
+                    )
+                } else {
+                    1.0
+                };
+
+                // Combine the two perspectives on the *score* scale (1 − α), so that
+                // Max keeps the most significant perspective.
+                let score = self
+                    .symmetrization
+                    .combine(1.0 - source_alpha, 1.0 - target_alpha);
+                let p_value = 1.0 - score;
+
+                ScoredEdge {
+                    edge_index: edge.index,
+                    source: edge.source,
+                    target: edge.target,
+                    weight: edge.weight,
+                    score,
+                    raw_score: None,
+                    std_dev: None,
+                    p_value: Some(p_value),
+                }
+            },
+        );
+        Ok(ScoredEdges::new(self.name(), graph.node_count(), scored))
+    }
 }
 
 impl BackboneExtractor for DisparityFilter {
@@ -74,52 +137,7 @@ impl BackboneExtractor for DisparityFilter {
     }
 
     fn score(&self, graph: &WeightedGraph) -> BackboneResult<ScoredEdges> {
-        // Per-node strengths and degrees for both roles (emitter / receiver).
-        let out_strength: Vec<f64> = graph.nodes().map(|n| graph.out_strength(n)).collect();
-        let in_strength: Vec<f64> = graph.nodes().map(|n| graph.in_strength(n)).collect();
-        let out_degree: Vec<usize> = graph.nodes().map(|n| graph.out_degree(n)).collect();
-        let in_degree: Vec<usize> = graph.nodes().map(|n| graph.in_degree(n)).collect();
-
-        let mut scored = Vec::with_capacity(graph.edge_count());
-        for edge in graph.edges() {
-            // Emitter perspective: the edge as a share of the source's outgoing weight.
-            let source_alpha = if out_strength[edge.source] > 0.0 {
-                Self::alpha(
-                    edge.weight / out_strength[edge.source],
-                    out_degree[edge.source],
-                )
-            } else {
-                1.0
-            };
-            // Receiver perspective: the edge as a share of the target's incoming weight.
-            let target_alpha = if in_strength[edge.target] > 0.0 {
-                Self::alpha(
-                    edge.weight / in_strength[edge.target],
-                    in_degree[edge.target],
-                )
-            } else {
-                1.0
-            };
-
-            // Combine the two perspectives on the *score* scale (1 − α), so that
-            // Max keeps the most significant perspective.
-            let score = self
-                .symmetrization
-                .combine(1.0 - source_alpha, 1.0 - target_alpha);
-            let p_value = 1.0 - score;
-
-            scored.push(ScoredEdge {
-                edge_index: edge.index,
-                source: edge.source,
-                target: edge.target,
-                weight: edge.weight,
-                score,
-                raw_score: None,
-                std_dev: None,
-                p_value: Some(p_value),
-            });
-        }
-        Ok(ScoredEdges::new(self.name(), graph.node_count(), scored))
+        self.score_with_threads(graph, 0)
     }
 }
 

@@ -19,7 +19,8 @@
 
 use backboning_graph::algorithms::union_find::UnionFind;
 use backboning_graph::matrix::AdjacencyMatrix;
-use backboning_graph::WeightedGraph;
+use backboning_graph::{EdgeRef, WeightedGraph};
+use backboning_parallel::{clamped_threads, par_map};
 
 use crate::error::{BackboneError, BackboneResult};
 use crate::scored::{BackboneExtractor, ScoredEdge, ScoredEdges};
@@ -49,7 +50,16 @@ impl DoublyStochastic {
     }
 
     /// Compute the doubly-stochastic weight of every edge.
-    fn normalised_weights(&self, graph: &WeightedGraph) -> BackboneResult<Vec<f64>> {
+    ///
+    /// The Sinkhorn–Knopp sweeps are inherently sequential (each sweep reads
+    /// the previous one), but the per-edge read-out of the scaled matrix is
+    /// chunked across workers; per-edge values are independent, so the result
+    /// is thread-count invariant.
+    fn normalised_weights(
+        &self,
+        graph: &WeightedGraph,
+        threads: usize,
+    ) -> BackboneResult<Vec<f64>> {
         if graph.node_count() == 0 || graph.edge_count() == 0 {
             return Ok(vec![0.0; graph.edge_count()]);
         }
@@ -60,9 +70,11 @@ impl DoublyStochastic {
                 method: "doubly_stochastic",
                 message: err.to_string(),
             })?;
-        Ok(graph
-            .edges()
-            .map(|edge| {
+        let edges: Vec<EdgeRef> = graph.edges().collect();
+        Ok(par_map(
+            &edges,
+            clamped_threads(threads, edges.len(), 2048),
+            |_, edge| {
                 let forward = doubly_stochastic.get(edge.source, edge.target);
                 if graph.is_directed() {
                     forward
@@ -71,8 +83,31 @@ impl DoublyStochastic {
                     // symmetric input; use the larger orientation.
                     forward.max(doubly_stochastic.get(edge.target, edge.source))
                 }
+            },
+        ))
+    }
+
+    /// Score every edge with an explicit worker count (`0` = automatic).
+    pub fn score_with_threads(
+        &self,
+        graph: &WeightedGraph,
+        threads: usize,
+    ) -> BackboneResult<ScoredEdges> {
+        let weights = self.normalised_weights(graph, threads)?;
+        let scored = graph
+            .edges()
+            .map(|edge| ScoredEdge {
+                edge_index: edge.index,
+                source: edge.source,
+                target: edge.target,
+                weight: edge.weight,
+                score: weights[edge.index],
+                raw_score: None,
+                std_dev: None,
+                p_value: None,
             })
-            .collect())
+            .collect();
+        Ok(ScoredEdges::new(self.name(), graph.node_count(), scored))
     }
 
     /// The paper's parameter-free backbone: add edges in decreasing
@@ -80,7 +115,7 @@ impl DoublyStochastic {
     /// graph belong to one connected component, then stop. Returns the dense
     /// edge indices of the selected edges.
     pub fn fixed_edge_set(&self, graph: &WeightedGraph) -> BackboneResult<Vec<usize>> {
-        let weights = self.normalised_weights(graph)?;
+        let weights = self.normalised_weights(graph, 0)?;
         let mut order: Vec<usize> = (0..graph.edge_count()).collect();
         order.sort_by(|&a, &b| {
             weights[b]
@@ -122,21 +157,7 @@ impl BackboneExtractor for DoublyStochastic {
     }
 
     fn score(&self, graph: &WeightedGraph) -> BackboneResult<ScoredEdges> {
-        let weights = self.normalised_weights(graph)?;
-        let scored = graph
-            .edges()
-            .map(|edge| ScoredEdge {
-                edge_index: edge.index,
-                source: edge.source,
-                target: edge.target,
-                weight: edge.weight,
-                score: weights[edge.index],
-                raw_score: None,
-                std_dev: None,
-                p_value: None,
-            })
-            .collect();
-        Ok(ScoredEdges::new(self.name(), graph.node_count(), scored))
+        self.score_with_threads(graph, 0)
     }
 }
 

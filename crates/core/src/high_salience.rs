@@ -16,12 +16,31 @@
 //! which is the paper's core criticism of it.
 //!
 //! The computation costs one Dijkstra run per node (`O(|V| (|E| + |V|) log |V|)`),
-//! which is why the paper could not run HSS on its larger networks; the same
-//! limitation is reproduced faithfully here and documented in the scalability
-//! benchmarks.
+//! which is why the paper could not run HSS on its larger networks. This
+//! implementation breaks that wall in two ways, without changing a single
+//! output bit (pinned by `tests/parallel_parity.rs`):
+//!
+//! * **CSR hot path** — every root's Dijkstra runs over an immutable
+//!   [`CsrGraph`] with a reusable scratch workspace
+//!   ([`CsrDijkstra`](backboning_graph::algorithms::shortest_path::CsrDijkstra)),
+//!   distance transforms precomputed once per edge, and tree-edge counts
+//!   accumulated directly by CSR edge id — no per-root allocations and no
+//!   `HashMap` lookups per tree edge.
+//! * **Parallel roots** — the per-root loop fans out across worker threads
+//!   (see `backboning_parallel`; override with `BACKBONING_THREADS`), each
+//!   worker accumulating integer salience counters that are merged exactly at
+//!   the end, so the result is independent of the thread count.
+//!
+//! The seed adjacency-list implementation is kept as
+//! [`HighSalienceSkeleton::score_adjacency_reference`] — it is the baseline
+//! the parity tests compare against and the `bench_snapshot` perf trajectory
+//! measures speedups over.
 
-use backboning_graph::algorithms::shortest_path::{dijkstra, DistanceTransform};
-use backboning_graph::WeightedGraph;
+use backboning_graph::algorithms::shortest_path::{
+    csr_entry_distances, dijkstra, CsrDijkstra, DistanceTransform,
+};
+use backboning_graph::{CsrGraph, WeightedGraph};
+use backboning_parallel::{clamped_threads, par_accumulate};
 
 use crate::error::BackboneResult;
 use crate::scored::{BackboneExtractor, ScoredEdge, ScoredEdges};
@@ -53,17 +72,56 @@ impl HighSalienceSkeleton {
     pub fn with_transform(transform: DistanceTransform) -> Self {
         HighSalienceSkeleton { transform }
     }
-}
 
-impl BackboneExtractor for HighSalienceSkeleton {
-    fn name(&self) -> &'static str {
-        "high_salience_skeleton"
+    /// Score every edge using the parallel CSR engine with an explicit worker
+    /// count (`0` means "decide automatically", honoring `BACKBONING_THREADS`).
+    ///
+    /// The salience of every edge is identical for every `threads` value: each
+    /// worker accumulates integer tree-membership counters over a disjoint
+    /// range of roots, and integer merges are exact.
+    pub fn score_with_threads(
+        &self,
+        graph: &WeightedGraph,
+        threads: usize,
+    ) -> BackboneResult<ScoredEdges> {
+        let node_count = graph.node_count();
+        let edge_count = graph.edge_count();
+        let csr = CsrGraph::from_graph(graph);
+        let entry_distances = csr_entry_distances(&csr, self.transform);
+        // One Dijkstra per item is expensive; a handful of roots per worker
+        // already amortises the spawn cost.
+        let threads = clamped_threads(threads, node_count, 8);
+
+        let (_, tree_membership) = par_accumulate(
+            node_count,
+            threads,
+            || (CsrDijkstra::new(node_count), vec![0usize; edge_count]),
+            |(scratch, counts), root| {
+                scratch.run(&csr, &entry_distances, root);
+                for &node in scratch.reached() {
+                    if let Some(entry) = scratch.parent_entry(node) {
+                        counts[csr.entry_edge_id(entry)] += 1;
+                    }
+                }
+            },
+            |(_, counts), (_, partial)| {
+                for (count, other) in counts.iter_mut().zip(partial) {
+                    *count += other;
+                }
+            },
+        );
+
+        Ok(self.scored_from_membership(graph, &tree_membership))
     }
 
-    fn score(&self, graph: &WeightedGraph) -> BackboneResult<ScoredEdges> {
-        let node_count = graph.node_count();
+    /// The seed adjacency-list implementation: one full Dijkstra (with fresh
+    /// allocations) per root and a hash lookup per tree edge, single-threaded.
+    ///
+    /// Kept as the reference the parity tests compare the CSR engine against,
+    /// and as the baseline the `bench_snapshot` perf trajectory measures
+    /// speedups over.
+    pub fn score_adjacency_reference(&self, graph: &WeightedGraph) -> BackboneResult<ScoredEdges> {
         let mut tree_membership = vec![0usize; graph.edge_count()];
-
         for root in graph.nodes() {
             let tree = dijkstra(graph, root, self.transform)?;
             for (parent, child) in tree.tree_edges() {
@@ -75,7 +133,16 @@ impl BackboneExtractor for HighSalienceSkeleton {
                 }
             }
         }
+        Ok(self.scored_from_membership(graph, &tree_membership))
+    }
 
+    /// Turn per-edge tree-membership counts into salience scores.
+    fn scored_from_membership(
+        &self,
+        graph: &WeightedGraph,
+        tree_membership: &[usize],
+    ) -> ScoredEdges {
+        let node_count = graph.node_count();
         let mut scored = Vec::with_capacity(graph.edge_count());
         for edge in graph.edges() {
             let salience = if node_count > 0 {
@@ -94,7 +161,17 @@ impl BackboneExtractor for HighSalienceSkeleton {
                 p_value: None,
             });
         }
-        Ok(ScoredEdges::new(self.name(), node_count, scored))
+        ScoredEdges::new(self.name(), node_count, scored)
+    }
+}
+
+impl BackboneExtractor for HighSalienceSkeleton {
+    fn name(&self) -> &'static str {
+        "high_salience_skeleton"
+    }
+
+    fn score(&self, graph: &WeightedGraph) -> BackboneResult<ScoredEdges> {
+        self.score_with_threads(graph, 0)
     }
 }
 

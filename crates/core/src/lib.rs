@@ -61,6 +61,7 @@ pub mod naive;
 pub mod noise_corrected;
 pub mod scored;
 pub mod spanning_tree;
+mod totals;
 
 pub use disparity::DisparityFilter;
 pub use doubly_stochastic::DoublyStochastic;

@@ -28,40 +28,14 @@
 //! from the binomial null model. It is cheaper but cannot say whether two
 //! edges differ significantly from each other.
 
-use backboning_graph::WeightedGraph;
+use backboning_graph::{EdgeRef, WeightedGraph};
+use backboning_parallel::{clamped_threads, par_map};
 use backboning_stats::distributions::{Binomial, ContinuousDistribution};
 use backboning_stats::BetaBinomialModel;
 
 use crate::error::{BackboneError, BackboneResult};
 use crate::scored::{BackboneExtractor, ScoredEdge, ScoredEdges};
-
-/// Strengths and totals of the (possibly symmetrised) network, precomputed
-/// once per extraction.
-struct NetworkTotals {
-    out_strength: Vec<f64>,
-    in_strength: Vec<f64>,
-    total: f64,
-}
-
-impl NetworkTotals {
-    fn compute(graph: &WeightedGraph) -> Self {
-        let out_strength: Vec<f64> = graph.nodes().map(|n| graph.out_strength(n)).collect();
-        let in_strength: Vec<f64> = graph.nodes().map(|n| graph.in_strength(n)).collect();
-        // For undirected graphs every edge is counted from both endpoints, so
-        // the relevant total is the sum of strengths (≈ 2× the edge-weight sum),
-        // matching the symmetrised table of the reference implementation.
-        let total = if graph.is_directed() {
-            graph.total_weight()
-        } else {
-            out_strength.iter().sum()
-        };
-        NetworkTotals {
-            out_strength,
-            in_strength,
-            total,
-        }
-    }
-}
+use crate::totals::NetworkTotals;
 
 /// The Noise-Corrected backbone extractor.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -135,6 +109,52 @@ impl NoiseCorrected {
 
         (transformed_lift, lift_variance.max(0.0).sqrt())
     }
+
+    /// Score every edge with an explicit worker count (`0` = automatic,
+    /// honoring `BACKBONING_THREADS`). Each edge's score is a pure function of
+    /// the precomputed totals, and the scored list preserves edge order, so
+    /// the result is bit-identical for every thread count.
+    pub fn score_with_threads(
+        &self,
+        graph: &WeightedGraph,
+        threads: usize,
+    ) -> BackboneResult<ScoredEdges> {
+        let totals = NetworkTotals::compute(graph);
+        let edges: Vec<EdgeRef> = graph.edges().collect();
+        let scored = par_map(
+            &edges,
+            clamped_threads(threads, edges.len(), 2048),
+            |_, edge| {
+                // The NC score formula is symmetric in (out-strength of the source,
+                // in-strength of the target); for undirected graphs both directions
+                // give the same value, so a single evaluation suffices.
+                let (transformed_lift, std_dev) = self.score_edge(
+                    edge.weight,
+                    totals.out_strength[edge.source],
+                    totals.in_strength[edge.target],
+                    totals.total,
+                );
+                let score = if std_dev > 0.0 {
+                    transformed_lift / std_dev
+                } else if transformed_lift > 0.0 {
+                    f64::INFINITY
+                } else {
+                    0.0
+                };
+                ScoredEdge {
+                    edge_index: edge.index,
+                    source: edge.source,
+                    target: edge.target,
+                    weight: edge.weight,
+                    score,
+                    raw_score: Some(transformed_lift),
+                    std_dev: Some(std_dev),
+                    p_value: None,
+                }
+            },
+        );
+        Ok(ScoredEdges::new(self.name(), graph.node_count(), scored))
+    }
 }
 
 impl BackboneExtractor for NoiseCorrected {
@@ -147,37 +167,7 @@ impl BackboneExtractor for NoiseCorrected {
     }
 
     fn score(&self, graph: &WeightedGraph) -> BackboneResult<ScoredEdges> {
-        let totals = NetworkTotals::compute(graph);
-        let mut scored = Vec::with_capacity(graph.edge_count());
-        for edge in graph.edges() {
-            // The NC score formula is symmetric in (out-strength of the source,
-            // in-strength of the target); for undirected graphs both directions
-            // give the same value, so a single evaluation suffices.
-            let (transformed_lift, std_dev) = self.score_edge(
-                edge.weight,
-                totals.out_strength[edge.source],
-                totals.in_strength[edge.target],
-                totals.total,
-            );
-            let score = if std_dev > 0.0 {
-                transformed_lift / std_dev
-            } else if transformed_lift > 0.0 {
-                f64::INFINITY
-            } else {
-                0.0
-            };
-            scored.push(ScoredEdge {
-                edge_index: edge.index,
-                source: edge.source,
-                target: edge.target,
-                weight: edge.weight,
-                score,
-                raw_score: Some(transformed_lift),
-                std_dev: Some(std_dev),
-                p_value: None,
-            });
-        }
-        Ok(ScoredEdges::new(self.name(), graph.node_count(), scored))
+        self.score_with_threads(graph, 0)
     }
 }
 
@@ -196,14 +186,14 @@ impl NoiseCorrectedBinomial {
     pub fn new() -> Self {
         NoiseCorrectedBinomial
     }
-}
 
-impl BackboneExtractor for NoiseCorrectedBinomial {
-    fn name(&self) -> &'static str {
-        "noise_corrected_binomial"
-    }
-
-    fn score(&self, graph: &WeightedGraph) -> BackboneResult<ScoredEdges> {
+    /// Score every edge with an explicit worker count (`0` = automatic). Edge
+    /// p-values are independent, so the result is thread-count invariant.
+    pub fn score_with_threads(
+        &self,
+        graph: &WeightedGraph,
+        threads: usize,
+    ) -> BackboneResult<ScoredEdges> {
         let totals = NetworkTotals::compute(graph);
         if totals.total > 4.0e18 {
             return Err(BackboneError::UnsupportedGraph {
@@ -215,32 +205,49 @@ impl BackboneExtractor for NoiseCorrectedBinomial {
             });
         }
         let trials = totals.total.round().max(0.0) as u64;
-        let mut scored = Vec::with_capacity(graph.edge_count());
-        for edge in graph.edges() {
-            let out_strength = totals.out_strength[edge.source];
-            let in_strength = totals.in_strength[edge.target];
-            let p_value = if out_strength <= 0.0 || in_strength <= 0.0 || trials == 0 {
-                1.0
-            } else {
-                let success_probability =
-                    (out_strength * in_strength / (totals.total * totals.total)).clamp(0.0, 1.0);
-                let observed = edge.weight.round().max(0.0) as u64;
-                Binomial::new(trials, success_probability)
-                    .map_err(BackboneError::from)?
-                    .upper_tail(observed)
-            };
-            scored.push(ScoredEdge {
-                edge_index: edge.index,
-                source: edge.source,
-                target: edge.target,
-                weight: edge.weight,
-                score: 1.0 - p_value,
-                raw_score: None,
-                std_dev: None,
-                p_value: Some(p_value),
-            });
-        }
+        let edges: Vec<EdgeRef> = graph.edges().collect();
+        let scored = par_map(
+            &edges,
+            clamped_threads(threads, edges.len(), 2048),
+            |_, edge| {
+                let out_strength = totals.out_strength[edge.source];
+                let in_strength = totals.in_strength[edge.target];
+                let p_value = if out_strength <= 0.0 || in_strength <= 0.0 || trials == 0 {
+                    Ok(1.0)
+                } else {
+                    let success_probability = (out_strength * in_strength
+                        / (totals.total * totals.total))
+                        .clamp(0.0, 1.0);
+                    let observed = edge.weight.round().max(0.0) as u64;
+                    Binomial::new(trials, success_probability)
+                        .map_err(BackboneError::from)
+                        .map(|binomial| binomial.upper_tail(observed))
+                };
+                p_value.map(|p_value| ScoredEdge {
+                    edge_index: edge.index,
+                    source: edge.source,
+                    target: edge.target,
+                    weight: edge.weight,
+                    score: 1.0 - p_value,
+                    raw_score: None,
+                    std_dev: None,
+                    p_value: Some(p_value),
+                })
+            },
+        )
+        .into_iter()
+        .collect::<Result<Vec<_>, _>>()?;
         Ok(ScoredEdges::new(self.name(), graph.node_count(), scored))
+    }
+}
+
+impl BackboneExtractor for NoiseCorrectedBinomial {
+    fn name(&self) -> &'static str {
+        "noise_corrected_binomial"
+    }
+
+    fn score(&self, graph: &WeightedGraph) -> BackboneResult<ScoredEdges> {
+        self.score_with_threads(graph, 0)
     }
 }
 

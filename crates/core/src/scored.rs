@@ -134,34 +134,43 @@ impl ScoredEdges {
             .collect()
     }
 
-    /// Edge indices sorted by descending score (ties broken by descending
-    /// weight, then by edge index for determinism).
-    fn ranked_indices(&self) -> Vec<usize> {
+    /// The ranking order: descending score, ties broken by descending weight,
+    /// then by ascending edge index for determinism.
+    fn rank_order(&self, a: usize, b: usize) -> std::cmp::Ordering {
+        let ea = &self.edges[a];
+        let eb = &self.edges[b];
+        eb.score
+            .partial_cmp(&ea.score)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| {
+                eb.weight
+                    .partial_cmp(&ea.weight)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .then_with(|| ea.edge_index.cmp(&eb.edge_index))
+    }
+
+    /// Indices of the `k` highest scoring edges, in ranking order (descending
+    /// score, ties broken by descending weight, then by edge index).
+    ///
+    /// Uses `select_nth_unstable_by` partial selection — `O(E)` to isolate the
+    /// top `k`, plus `O(k log k)` to order them — instead of a full
+    /// `O(E log E)` sort. The returned set and order are exactly those of a
+    /// full sort, because the tie-break comparator is a total order.
+    pub fn top_k(&self, k: usize) -> Vec<usize> {
+        if k == 0 || self.edges.is_empty() {
+            return Vec::new();
+        }
         let mut order: Vec<usize> = (0..self.edges.len()).collect();
-        order.sort_by(|&a, &b| {
-            let ea = &self.edges[a];
-            let eb = &self.edges[b];
-            eb.score
-                .partial_cmp(&ea.score)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then_with(|| {
-                    eb.weight
-                        .partial_cmp(&ea.weight)
-                        .unwrap_or(std::cmp::Ordering::Equal)
-                })
-                .then_with(|| ea.edge_index.cmp(&eb.edge_index))
-        });
+        if k < order.len() {
+            order.select_nth_unstable_by(k - 1, |&a, &b| self.rank_order(a, b));
+            order.truncate(k);
+        }
+        order.sort_unstable_by(|&a, &b| self.rank_order(a, b));
         order
             .into_iter()
             .map(|i| self.edges[i].edge_index)
             .collect()
-    }
-
-    /// Indices of the `k` highest scoring edges.
-    pub fn top_k(&self, k: usize) -> Vec<usize> {
-        let mut ranked = self.ranked_indices();
-        ranked.truncate(k);
-        ranked
     }
 
     /// Indices of the top `share` (in `[0, 1]`) of edges by score.
@@ -183,8 +192,11 @@ impl ScoredEdges {
             return None;
         }
         let mut scores = self.scores();
-        scores.sort_by(|a, b| b.partial_cmp(a).unwrap_or(std::cmp::Ordering::Equal));
-        Some(scores[k - 1])
+        // Partial selection: only the k-th highest score is needed.
+        let (_, kth, _) = scores.select_nth_unstable_by(k - 1, |a, b| {
+            b.partial_cmp(a).unwrap_or(std::cmp::Ordering::Equal)
+        });
+        Some(*kth)
     }
 
     /// Build the backbone graph containing edges with score at least `threshold`.

@@ -7,6 +7,7 @@
 //! threshold, where the naive threshold is the first to isolate weak nodes.
 
 use backboning_data::{CountryData, CountryNetworkKind};
+use backboning_parallel::{par_map, resolve_threads};
 
 use crate::methods::Method;
 use crate::metrics::coverage::coverage;
@@ -67,17 +68,33 @@ impl CoverageResult {
 /// count) to sweep; parameter-free methods (MST, DS) are evaluated once and
 /// reported at every share, mirroring the single points of the paper's plots.
 pub fn run(data: &CountryData, methods: &[Method], edge_shares: &[f64]) -> CoverageResult {
-    let mut sweeps = Vec::new();
-    for kind in CountryNetworkKind::all() {
+    run_with_threads(data, methods, edge_shares, 0)
+}
+
+/// [`run`] with an explicit worker count (`0` = automatic).
+///
+/// The six networks are swept concurrently — each sweep re-scores every
+/// method on its own network, which is the expensive part — and the sweeps
+/// are returned in the fixed network order, so the result does not depend on
+/// the thread count.
+pub fn run_with_threads(
+    data: &CountryData,
+    methods: &[Method],
+    edge_shares: &[f64],
+    threads: usize,
+) -> CoverageResult {
+    let kinds = CountryNetworkKind::all();
+    let sweeps = par_map(&kinds, resolve_threads(threads), |_, &kind| {
         let graph = data.network(kind, 0);
-        // Pre-score the tunable methods once per network.
+        // Pre-score the tunable methods once per network. Inner scoring is
+        // pinned to one thread — the per-network sweep is the parallel axis.
         let scored: Vec<Option<backboning::ScoredEdges>> = methods
             .iter()
             .map(|method| {
                 if method.is_parameter_free() {
                     None
                 } else {
-                    method.score(graph).ok()
+                    method.score_with_threads(graph, 1).ok()
                 }
             })
             .collect();
@@ -86,7 +103,7 @@ pub fn run(data: &CountryData, methods: &[Method], edge_shares: &[f64]) -> Cover
             .iter()
             .map(|method| {
                 if method.is_parameter_free() {
-                    method.edge_set(graph, 0).ok()
+                    method.edge_set_with_threads(graph, 0, 1).ok()
                 } else {
                     None
                 }
@@ -116,8 +133,8 @@ pub fn run(data: &CountryData, methods: &[Method], edge_shares: &[f64]) -> Cover
                 coverage: row,
             });
         }
-        sweeps.push(CoverageSweep { kind, points });
-    }
+        CoverageSweep { kind, points }
+    });
     CoverageResult {
         methods: methods.to_vec(),
         sweeps,

@@ -85,13 +85,29 @@ impl Method {
 
     /// Score every edge of the graph with this method.
     pub fn score(&self, graph: &WeightedGraph) -> BackboneResult<ScoredEdges> {
+        self.score_with_threads(graph, 0)
+    }
+
+    /// [`Method::score`] with an explicit worker count (`0` = automatic).
+    ///
+    /// Experiments that already parallelize an outer loop (e.g. the Monte
+    /// Carlo trials of Figure 4) pass `1` here so the inner scoring does not
+    /// nest a second thread fan-out. Naive thresholding and MST are single
+    /// sequential passes and ignore the count.
+    pub fn score_with_threads(
+        &self,
+        graph: &WeightedGraph,
+        threads: usize,
+    ) -> BackboneResult<ScoredEdges> {
         match self {
             Method::NaiveThreshold => NaiveThreshold::new().score(graph),
             Method::MaximumSpanningTree => MaximumSpanningTree::new().score(graph),
-            Method::DoublyStochastic => DoublyStochastic::new().score(graph),
-            Method::HighSalienceSkeleton => HighSalienceSkeleton::new().score(graph),
-            Method::DisparityFilter => DisparityFilter::new().score(graph),
-            Method::NoiseCorrected => NoiseCorrected::default().score(graph),
+            Method::DoublyStochastic => DoublyStochastic::new().score_with_threads(graph, threads),
+            Method::HighSalienceSkeleton => {
+                HighSalienceSkeleton::new().score_with_threads(graph, threads)
+            }
+            Method::DisparityFilter => DisparityFilter::new().score_with_threads(graph, threads),
+            Method::NoiseCorrected => NoiseCorrected::default().score_with_threads(graph, threads),
         }
     }
 
@@ -105,10 +121,20 @@ impl Method {
         graph: &WeightedGraph,
         target_edges: usize,
     ) -> BackboneResult<Vec<usize>> {
+        self.edge_set_with_threads(graph, target_edges, 0)
+    }
+
+    /// [`Method::edge_set`] with an explicit worker count (`0` = automatic).
+    pub fn edge_set_with_threads(
+        &self,
+        graph: &WeightedGraph,
+        target_edges: usize,
+        threads: usize,
+    ) -> BackboneResult<Vec<usize>> {
         match self {
             Method::MaximumSpanningTree => Ok(MaximumSpanningTree::new().fixed_edge_set(graph)),
             Method::DoublyStochastic => DoublyStochastic::new().fixed_edge_set(graph),
-            _ => Ok(self.score(graph)?.top_k(target_edges)),
+            _ => Ok(self.score_with_threads(graph, threads)?.top_k(target_edges)),
         }
     }
 

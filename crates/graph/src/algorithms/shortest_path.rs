@@ -8,6 +8,7 @@
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
+use crate::csr::CsrGraph;
 use crate::error::{GraphError, GraphResult};
 use crate::graph::{NodeId, WeightedGraph};
 
@@ -102,7 +103,7 @@ impl ShortestPathTree {
 }
 
 /// Entry in the Dijkstra priority queue (min-heap by distance).
-#[derive(Debug, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 struct QueueEntry {
     distance: f64,
     node: NodeId,
@@ -184,6 +185,344 @@ pub fn dijkstra(
         source,
         distances,
         predecessors,
+    })
+}
+
+/// Precomputed transformed distances of every CSR adjacency entry, plus the
+/// structural flag steering [`CsrDijkstra`]'s fast path.
+#[derive(Debug, Clone)]
+pub struct EntryDistances {
+    values: Vec<f64>,
+    /// `Some(d)` when every *finite* entry distance equals `d` (and at least
+    /// one entry is finite) — the case of uniform-weight and unweighted
+    /// networks under any transform. Dijkstra then degenerates to
+    /// level-synchronous BFS, which [`CsrDijkstra::run`] exploits heap-free
+    /// with bit-identical output.
+    /// Equal distances of exactly `0.0` do NOT qualify: with a zero step
+    /// every level shares the same packed distance bits, so the heap pops
+    /// interleave across levels by node id and level-synchronous processing
+    /// would assign different parents.
+    uniform: Option<f64>,
+}
+
+impl EntryDistances {
+    /// The transformed distance per CSR adjacency entry.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// The uniform finite distance, when the graph has one (see struct docs).
+    pub fn uniform(&self) -> Option<f64> {
+        self.uniform
+    }
+}
+
+/// Precompute the transformed distance of every CSR adjacency entry.
+///
+/// Applying the transform once per entry (instead of once per entry *per
+/// Dijkstra root*) is one of the two wins of the CSR hot path; the other is
+/// the cache-friendly flat layout. The values are identical to what
+/// [`dijkstra`] computes on the fly, since `max_weight` is the same maximum
+/// (each undirected edge merely appears twice in the entry array).
+pub fn csr_entry_distances(csr: &CsrGraph, transform: DistanceTransform) -> EntryDistances {
+    let max_weight = csr.entry_weights().iter().copied().fold(0.0_f64, f64::max);
+    let values: Vec<f64> = csr
+        .entry_weights()
+        .iter()
+        .map(|&weight| transform.apply(weight, max_weight))
+        .collect();
+    let mut uniform = None;
+    for &value in &values {
+        if !value.is_finite() {
+            continue;
+        }
+        match uniform {
+            None => uniform = Some(value),
+            Some(d) if d == value => {}
+            Some(_) => {
+                uniform = None;
+                break;
+            }
+        }
+    }
+    // A zero step cannot drive the BFS path (see field docs).
+    if uniform == Some(0.0) {
+        uniform = None;
+    }
+    EntryDistances { values, uniform }
+}
+
+/// Sentinel for "no parent" in [`CsrDijkstra`]'s dense parent arrays.
+const NO_PARENT: usize = usize::MAX;
+
+/// A heap entry packed into one integer: distance bits in the high 64 bits,
+/// node id in the low 64.
+///
+/// All distances reaching the heap are finite and non-negative (they are sums
+/// of non-negative transformed edge distances, and `-0.0` cannot arise from
+/// `0.0 + x` with `x ≥ 0`), and for such floats the IEEE-754 bit pattern is
+/// monotone in the value. Popping the minimum packed key therefore yields
+/// exactly the ascending `(distance, node)` order of [`QueueEntry`]'s
+/// comparator — same pops, same relaxation order, same tree — while costing a
+/// single integer comparison per sift instead of a float/tie-break chain.
+/// Bit pattern of `f64::INFINITY` — the "unreached" marker in the packed
+/// distance array.
+const INFINITY_BITS: u64 = 0x7FF0_0000_0000_0000;
+
+#[inline]
+fn pack_entry(distance_bits: u64, node: NodeId) -> u128 {
+    (u128::from(distance_bits) << 64) | node as u128
+}
+
+#[inline]
+fn unpack_entry(key: u128) -> (u64, NodeId) {
+    ((key >> 64) as u64, (key & u128::from(u64::MAX)) as usize)
+}
+
+/// A min-queue over packed `(distance bits, node)` keys.
+///
+/// Every key in the queue is unique — a strict relaxation can never re-insert
+/// a node at a distance it already holds — so any correct priority queue pops
+/// the same sequence (ascending key order); the binary heap over packed
+/// integers is simply the fastest safe implementation measured. A single
+/// `u128` comparison replaces the float-compare-plus-tie-break chain of
+/// [`QueueEntry`].
+#[derive(Debug, Clone, Default)]
+struct PackedMinHeap {
+    data: BinaryHeap<std::cmp::Reverse<u128>>,
+}
+
+impl PackedMinHeap {
+    fn clear(&mut self) {
+        self.data.clear();
+    }
+
+    #[inline]
+    fn push(&mut self, key: u128) {
+        self.data.push(std::cmp::Reverse(key));
+    }
+
+    #[inline]
+    fn pop(&mut self) -> Option<u128> {
+        self.data.pop().map(|reverse| reverse.0)
+    }
+}
+
+/// Reusable single-source shortest-path workspace over a [`CsrGraph`].
+///
+/// The High Salience Skeleton runs one Dijkstra per node; allocating the
+/// distance/parent/heap structures per root dominated the seed implementation
+/// on small trees. This scratch allocates once and resets only the entries
+/// touched by the previous run, so consecutive roots on a sparse graph cost
+/// `O(reached · log reached)` with no allocation at all.
+///
+/// The relaxation order, heap tie-breaking and floating-point operations are
+/// exactly those of [`dijkstra`], so for any root the resulting tree is
+/// bit-identical to the adjacency-list implementation (pinned by the parity
+/// test suite).
+#[derive(Debug, Clone)]
+pub struct CsrDijkstra {
+    /// Distance per node as an IEEE-754 bit pattern. All reachable distances
+    /// are non-negative finite floats, for which the bit pattern is monotone
+    /// in the value, so `u64` comparisons order exactly like `f64` ones (with
+    /// [`INFINITY_BITS`] above every finite distance).
+    distance_bits: Vec<u64>,
+    parent_node: Vec<usize>,
+    parent_entry: Vec<usize>,
+    reached: Vec<NodeId>,
+    heap: PackedMinHeap,
+    /// Frontier buffers of the uniform-distance (BFS) fast path.
+    current_level: Vec<NodeId>,
+    next_level: Vec<NodeId>,
+}
+
+impl CsrDijkstra {
+    /// Allocate a workspace for graphs with `node_count` nodes.
+    pub fn new(node_count: usize) -> Self {
+        CsrDijkstra {
+            distance_bits: vec![INFINITY_BITS; node_count],
+            parent_node: vec![NO_PARENT; node_count],
+            parent_entry: vec![NO_PARENT; node_count],
+            reached: Vec::with_capacity(node_count),
+            heap: PackedMinHeap::default(),
+            current_level: Vec::new(),
+            next_level: Vec::new(),
+        }
+    }
+
+    /// Sparse reset: undo only what the previous run touched.
+    fn reset(&mut self) {
+        for &node in &self.reached {
+            self.distance_bits[node] = INFINITY_BITS;
+            self.parent_node[node] = NO_PARENT;
+            self.parent_entry[node] = NO_PARENT;
+        }
+        self.reached.clear();
+        self.heap.clear();
+    }
+
+    /// Run Dijkstra from `source` over `csr`, using the precomputed
+    /// [`csr_entry_distances`] as per-entry edge lengths.
+    ///
+    /// When the entry distances are uniform (unweighted or uniform-weight
+    /// networks) the run takes a heap-free level-synchronous BFS path; the
+    /// resulting tree is bit-identical either way (see [`EntryDistances`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `source` is out of bounds for the workspace, or if
+    /// `entry_distances` is shorter than the graph's entry array.
+    pub fn run(&mut self, csr: &CsrGraph, entry_distances: &EntryDistances, source: NodeId) {
+        assert!(source < self.distance_bits.len(), "source out of bounds");
+        assert!(entry_distances.values().len() >= csr.entry_count());
+        self.reset();
+        self.distance_bits[source] = 0.0_f64.to_bits();
+        self.reached.push(source);
+        if let Some(step) = entry_distances.uniform() {
+            self.run_uniform(csr, entry_distances.values(), step, source);
+        } else {
+            self.run_general(csr, entry_distances.values(), source);
+        }
+    }
+
+    /// The general path: lazy-deletion Dijkstra over the packed min-heap.
+    fn run_general(&mut self, csr: &CsrGraph, entry_distances: &[f64], source: NodeId) {
+        self.heap.push(pack_entry(0.0_f64.to_bits(), source));
+        while let Some(top) = self.heap.pop() {
+            let (top_bits, node) = unpack_entry(top);
+            // Stale-pop check, equivalent to a `settled` flag: a strict
+            // relaxation can never re-push a node at its current (minimal)
+            // distance, so the first pop of a node carries exactly its stored
+            // bits and every later pop carries strictly larger ones.
+            if top_bits != self.distance_bits[node] {
+                continue;
+            }
+            let distance = f64::from_bits(top_bits);
+            let range = csr.entry_range(node);
+            let entry_base = range.start;
+            let targets = csr.neighbors(node);
+            let distances = &entry_distances[range];
+            for (slot, (&neighbor, &edge_distance)) in targets.iter().zip(distances).enumerate() {
+                // An unreachable (infinite) edge distance can never relax:
+                // `distance + ∞` compares above every stored pattern,
+                // including `INFINITY_BITS` itself.
+                let candidate_bits = (distance + edge_distance).to_bits();
+                if candidate_bits < self.distance_bits[neighbor] {
+                    if self.distance_bits[neighbor] == INFINITY_BITS {
+                        self.reached.push(neighbor);
+                    }
+                    self.distance_bits[neighbor] = candidate_bits;
+                    self.parent_node[neighbor] = node;
+                    self.parent_entry[neighbor] = entry_base + slot;
+                    self.heap.push(pack_entry(candidate_bits, neighbor));
+                }
+            }
+        }
+    }
+
+    /// The uniform-distance path: Dijkstra with one finite edge length `step`
+    /// degenerates to BFS processed level by level.
+    ///
+    /// Output equivalence with [`Self::run_general`]: the heap would pop
+    /// nodes in ascending `(distance, node)` order, i.e. level by level and
+    /// by ascending node id within a level (every level-`k` node holds the
+    /// identical accumulated float `k·step`). Processing each sorted level in
+    /// order reproduces that relaxation order exactly, and the first-toucher
+    /// parent assignment matches the heap path's strict relaxation (a later
+    /// equal-distance candidate never replaces an earlier one). The level
+    /// distance accumulates as `previous + step` — the same float expression
+    /// the heap path evaluates — so distances are bit-identical too.
+    fn run_uniform(&mut self, csr: &CsrGraph, entry_distances: &[f64], step: f64, source: NodeId) {
+        let mut current = std::mem::take(&mut self.current_level);
+        let mut next = std::mem::take(&mut self.next_level);
+        current.clear();
+        next.clear();
+        current.push(source);
+        let mut level_distance = 0.0_f64;
+        while !current.is_empty() {
+            let next_distance = level_distance + step;
+            let next_bits = next_distance.to_bits();
+            for &node in &current {
+                let range = csr.entry_range(node);
+                let entry_base = range.start;
+                let targets = csr.neighbors(node);
+                let distances = &entry_distances[range];
+                for (slot, (&neighbor, &edge_distance)) in targets.iter().zip(distances).enumerate()
+                {
+                    // Non-finite entries (e.g. zero-weight edges under the
+                    // inverse transform) never relax.
+                    if edge_distance != step {
+                        continue;
+                    }
+                    if self.distance_bits[neighbor] == INFINITY_BITS {
+                        self.distance_bits[neighbor] = next_bits;
+                        self.parent_node[neighbor] = node;
+                        self.parent_entry[neighbor] = entry_base + slot;
+                        self.reached.push(neighbor);
+                        next.push(neighbor);
+                    }
+                }
+            }
+            // The heap path settles a level in ascending node order.
+            next.sort_unstable();
+            std::mem::swap(&mut current, &mut next);
+            next.clear();
+            level_distance = next_distance;
+        }
+        self.current_level = current;
+        self.next_level = next;
+    }
+
+    /// Shortest distance from the current root to `node`.
+    pub fn distance(&self, node: NodeId) -> f64 {
+        f64::from_bits(self.distance_bits[node])
+    }
+
+    /// Parent of `node` in the current shortest-path tree.
+    pub fn parent(&self, node: NodeId) -> Option<NodeId> {
+        match self.parent_node[node] {
+            NO_PARENT => None,
+            parent => Some(parent),
+        }
+    }
+
+    /// CSR entry index of the tree edge into `node`, if any. Combined with
+    /// [`CsrGraph::entry_edge_id`] this maps a tree edge straight to its dense
+    /// edge id, with no hash lookup.
+    pub fn parent_entry(&self, node: NodeId) -> Option<usize> {
+        match self.parent_entry[node] {
+            NO_PARENT => None,
+            entry => Some(entry),
+        }
+    }
+
+    /// The nodes reached by the current run (the root first, then in order of
+    /// first relaxation).
+    pub fn reached(&self) -> &[NodeId] {
+        &self.reached
+    }
+}
+
+/// Single-source shortest paths over a [`CsrGraph`], equivalent to
+/// [`dijkstra`] on the originating adjacency-list graph.
+pub fn csr_dijkstra(
+    csr: &CsrGraph,
+    source: NodeId,
+    transform: DistanceTransform,
+) -> GraphResult<ShortestPathTree> {
+    if source >= csr.node_count() {
+        return Err(GraphError::NodeOutOfBounds {
+            node: source,
+            node_count: csr.node_count(),
+        });
+    }
+    let entry_distances = csr_entry_distances(csr, transform);
+    let mut scratch = CsrDijkstra::new(csr.node_count());
+    scratch.run(csr, &entry_distances, source);
+    Ok(ShortestPathTree {
+        source,
+        distances: (0..csr.node_count()).map(|n| scratch.distance(n)).collect(),
+        predecessors: (0..csr.node_count()).map(|n| scratch.parent(n)).collect(),
     })
 }
 
@@ -298,6 +637,153 @@ mod tests {
         let tree = dijkstra(&g, 0, DistanceTransform::Inverse).unwrap();
         let edges = shortest_path_tree(&g, 0, DistanceTransform::Inverse).unwrap();
         assert_eq!(edges, tree.tree_edges());
+    }
+
+    #[test]
+    fn csr_dijkstra_matches_adjacency_dijkstra() {
+        let g = detour_graph();
+        let csr = CsrGraph::from_graph(&g);
+        for transform in [
+            DistanceTransform::Inverse,
+            DistanceTransform::NegativeLog,
+            DistanceTransform::Identity,
+        ] {
+            for source in 0..g.node_count() {
+                let adjacency = dijkstra(&g, source, transform).unwrap();
+                let csr_tree = csr_dijkstra(&csr, source, transform).unwrap();
+                assert_eq!(adjacency, csr_tree, "source {source}, {transform:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn csr_scratch_is_reusable_across_roots() {
+        let mut g = WeightedGraph::with_nodes(Direction::Undirected, 8);
+        for i in 0..8usize {
+            for j in (i + 1)..8usize {
+                if (i + j) % 3 != 0 {
+                    g.add_edge(i, j, ((i * 5 + j) % 11 + 1) as f64).unwrap();
+                }
+            }
+        }
+        let csr = CsrGraph::from_graph(&g);
+        let entry_distances = csr_entry_distances(&csr, DistanceTransform::Inverse);
+        let mut scratch = CsrDijkstra::new(csr.node_count());
+        for source in 0..g.node_count() {
+            scratch.run(&csr, &entry_distances, source);
+            let reference = dijkstra(&g, source, DistanceTransform::Inverse).unwrap();
+            for node in 0..g.node_count() {
+                assert_eq!(scratch.distance(node), reference.distances[node]);
+                assert_eq!(scratch.parent(node), reference.predecessors[node]);
+            }
+            // Parent entries resolve to real edges of the original graph.
+            for node in 0..g.node_count() {
+                if let Some(entry) = scratch.parent_entry(node) {
+                    let edge_id = csr.entry_edge_id(entry);
+                    let parent = scratch.parent(node).unwrap();
+                    assert_eq!(g.edge_index(parent, node), Some(edge_id));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn csr_dijkstra_rejects_invalid_source() {
+        let g = detour_graph();
+        let csr = CsrGraph::from_graph(&g);
+        assert!(csr_dijkstra(&csr, 10, DistanceTransform::Inverse).is_err());
+    }
+
+    #[test]
+    fn csr_entry_distances_match_on_the_fly_transform() {
+        let g = detour_graph();
+        let csr = CsrGraph::from_graph(&g);
+        let max_weight = g.edges().map(|e| e.weight).fold(0.0_f64, f64::max);
+        for transform in [DistanceTransform::Inverse, DistanceTransform::NegativeLog] {
+            let distances = csr_entry_distances(&csr, transform);
+            for (entry, &distance) in distances.values().iter().enumerate() {
+                let weight = csr.entry_weights()[entry];
+                assert_eq!(distance, transform.apply(weight, max_weight));
+            }
+        }
+    }
+
+    #[test]
+    fn uniform_distances_are_detected() {
+        // Unit weights → all inverse distances equal 1.0.
+        let mut unit = WeightedGraph::with_nodes(Direction::Undirected, 4);
+        unit.add_edge(0, 1, 1.0).unwrap();
+        unit.add_edge(1, 2, 1.0).unwrap();
+        unit.add_edge(2, 3, 1.0).unwrap();
+        let csr = CsrGraph::from_graph(&unit);
+        assert_eq!(
+            csr_entry_distances(&csr, DistanceTransform::Inverse).uniform(),
+            Some(1.0)
+        );
+        // A zero-weight edge (infinite distance) does not break uniformity.
+        unit.add_edge(0, 3, 0.0).unwrap();
+        let csr = CsrGraph::from_graph(&unit);
+        assert_eq!(
+            csr_entry_distances(&csr, DistanceTransform::Inverse).uniform(),
+            Some(1.0)
+        );
+        // Distinct weights do.
+        let g = detour_graph();
+        let csr = CsrGraph::from_graph(&g);
+        assert_eq!(
+            csr_entry_distances(&csr, DistanceTransform::Inverse).uniform(),
+            None
+        );
+    }
+
+    #[test]
+    fn zero_step_uniform_graphs_take_the_general_path() {
+        // All-zero weights under the identity transform: every edge distance
+        // is 0.0, so all levels share one packed distance and the BFS path
+        // would assign different parents than the heap's by-node-id pops.
+        let mut g = WeightedGraph::with_nodes(Direction::Directed, 10);
+        for (a, b) in [(0, 9), (0, 1), (1, 2), (2, 8), (9, 8)] {
+            g.add_edge(a, b, 0.0).unwrap();
+        }
+        let csr = CsrGraph::from_graph(&g);
+        assert_eq!(
+            csr_entry_distances(&csr, DistanceTransform::Identity).uniform(),
+            None
+        );
+        for source in g.nodes() {
+            let adjacency = dijkstra(&g, source, DistanceTransform::Identity).unwrap();
+            let csr_tree = csr_dijkstra(&csr, source, DistanceTransform::Identity).unwrap();
+            assert_eq!(adjacency, csr_tree, "source {source}");
+        }
+    }
+
+    #[test]
+    fn uniform_fast_path_matches_adjacency_dijkstra() {
+        // A unit-weight graph with branching, cycles, a zero-weight edge and a
+        // disconnected part, exercising the BFS fast path.
+        let mut g = WeightedGraph::with_nodes(Direction::Undirected, 10);
+        for (a, b) in [
+            (0, 1),
+            (0, 2),
+            (1, 3),
+            (2, 3),
+            (3, 4),
+            (4, 5),
+            (2, 5),
+            (7, 8),
+        ] {
+            g.add_edge(a, b, 1.0).unwrap();
+        }
+        g.add_edge(0, 6, 0.0).unwrap(); // unreachable under inverse transform
+        let csr = CsrGraph::from_graph(&g);
+        assert!(csr_entry_distances(&csr, DistanceTransform::Inverse)
+            .uniform()
+            .is_some());
+        for source in g.nodes() {
+            let adjacency = dijkstra(&g, source, DistanceTransform::Inverse).unwrap();
+            let csr_tree = csr_dijkstra(&csr, source, DistanceTransform::Inverse).unwrap();
+            assert_eq!(adjacency, csr_tree, "source {source}");
+        }
     }
 
     #[test]

@@ -17,9 +17,15 @@ use crate::graph::{Direction, NodeId, WeightedGraph};
 pub struct CsrGraph {
     direction: Direction,
     node_count: usize,
+    edge_count: usize,
     offsets: Vec<usize>,
     targets: Vec<NodeId>,
     weights: Vec<f64>,
+    /// Dense index (in the originating [`WeightedGraph`]) of the edge behind
+    /// each adjacency entry; both orientations of an undirected edge share one
+    /// id. This is what lets the High Salience Skeleton accumulate tree-edge
+    /// counts without hash lookups.
+    edge_ids: Vec<usize>,
 }
 
 impl CsrGraph {
@@ -41,21 +47,29 @@ impl CsrGraph {
         let total = offsets[node_count];
         let mut targets = vec![0; total];
         let mut weights = vec![0.0; total];
+        let mut edge_ids = vec![0; total];
         let mut cursor = offsets.clone();
         for node in graph.nodes() {
-            for (neighbor, weight) in graph.out_neighbors(node) {
+            // `out_neighbors` and `out_edge_indices` walk the same adjacency
+            // list, so zipping them pairs each entry with its edge id.
+            for ((neighbor, weight), edge_id) in
+                graph.out_neighbors(node).zip(graph.out_edge_indices(node))
+            {
                 let slot = cursor[node];
                 targets[slot] = neighbor;
                 weights[slot] = weight;
+                edge_ids[slot] = edge_id;
                 cursor[node] += 1;
             }
         }
         CsrGraph {
             direction: graph.direction(),
             node_count,
+            edge_count: graph.edge_count(),
             offsets,
             targets,
             weights,
+            edge_ids,
         }
     }
 
@@ -75,14 +89,47 @@ impl CsrGraph {
         self.targets.len()
     }
 
+    /// Number of distinct edges in the originating graph (each undirected edge
+    /// counted once, unlike [`Self::entry_count`]).
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// The adjacency-entry range of a node: its outgoing entries occupy
+    /// `self.entry_range(node)` within the flat entry arrays.
+    pub fn entry_range(&self, node: NodeId) -> std::ops::Range<usize> {
+        self.offsets[node]..self.offsets[node + 1]
+    }
+
     /// Outgoing neighbor slice of a node.
     pub fn neighbors(&self, node: NodeId) -> &[NodeId] {
-        &self.targets[self.offsets[node]..self.offsets[node + 1]]
+        &self.targets[self.entry_range(node)]
+    }
+
+    /// Original-graph edge ids of a node's outgoing entries (parallel to
+    /// [`Self::neighbors`]).
+    pub fn edge_ids(&self, node: NodeId) -> &[usize] {
+        &self.edge_ids[self.entry_range(node)]
+    }
+
+    /// The target node of a flat adjacency entry.
+    pub fn entry_target(&self, entry: usize) -> NodeId {
+        self.targets[entry]
+    }
+
+    /// The original-graph edge id behind a flat adjacency entry.
+    pub fn entry_edge_id(&self, entry: usize) -> usize {
+        self.edge_ids[entry]
+    }
+
+    /// All entry weights as one flat slice (entry order: node by node).
+    pub fn entry_weights(&self) -> &[f64] {
+        &self.weights
     }
 
     /// Outgoing weight slice of a node (parallel to [`Self::neighbors`]).
     pub fn weights(&self, node: NodeId) -> &[f64] {
-        &self.weights[self.offsets[node]..self.offsets[node + 1]]
+        &self.weights[self.entry_range(node)]
     }
 
     /// Outgoing strength (row sum) of a node.
@@ -161,6 +208,38 @@ mod tests {
         let entries: Vec<(usize, usize, f64)> = csr.entries().collect();
         assert_eq!(entries.len(), 4);
         assert!(entries.contains(&(3, 0, 4.0)));
+    }
+
+    #[test]
+    fn entry_edge_ids_round_trip_to_original_edges() {
+        let g = sample_directed();
+        let csr = CsrGraph::from_graph(&g);
+        assert_eq!(csr.edge_count(), 4);
+        for node in 0..csr.node_count() {
+            for (slot, entry) in csr.entry_range(node).enumerate() {
+                let edge_id = csr.entry_edge_id(entry);
+                assert_eq!(edge_id, csr.edge_ids(node)[slot]);
+                let edge = g.edge(edge_id).unwrap();
+                let target = csr.entry_target(entry);
+                assert_eq!((edge.source, edge.target), (node, target));
+                assert_eq!(edge.weight, csr.weights(node)[slot]);
+            }
+        }
+    }
+
+    #[test]
+    fn undirected_orientations_share_one_edge_id() {
+        let mut g = WeightedGraph::with_nodes(Direction::Undirected, 3);
+        g.add_edge(0, 1, 1.0).unwrap();
+        g.add_edge(1, 2, 2.0).unwrap();
+        let csr = CsrGraph::from_graph(&g);
+        assert_eq!(csr.edge_count(), 2);
+        assert_eq!(csr.entry_count(), 4);
+        // The 0–1 edge appears from node 0 and node 1 with the same id.
+        assert_eq!(csr.edge_ids(0), &[0]);
+        assert!(csr.edge_ids(1).contains(&0));
+        assert!(csr.edge_ids(1).contains(&1));
+        assert_eq!(csr.entry_weights().len(), 4);
     }
 
     #[test]

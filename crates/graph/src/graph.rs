@@ -40,6 +40,33 @@ pub struct EdgeRef {
     pub weight: f64,
 }
 
+/// Concrete iterator over a node's incoming `(neighbor, weight)` pairs.
+///
+/// Returned by [`WeightedGraph::in_neighbors`]. Both direction variants share
+/// one representation: an adjacency slice (the in-list for directed graphs,
+/// the incident list for undirected ones) resolved against the edge store.
+#[derive(Debug, Clone)]
+pub struct InNeighbors<'a> {
+    edges: &'a [Edge],
+    adjacency: std::slice::Iter<'a, (NodeId, usize)>,
+}
+
+impl Iterator for InNeighbors<'_> {
+    type Item = (NodeId, f64);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        self.adjacency
+            .next()
+            .map(|&(neighbor, index)| (neighbor, self.edges[index].weight))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.adjacency.size_hint()
+    }
+}
+
+impl ExactSizeIterator for InNeighbors<'_> {}
+
 /// A weighted graph `G = (V, E, N)` with non-negative real edge weights,
 /// stored as adjacency lists with an auxiliary hash index for O(1) edge
 /// lookup.
@@ -319,16 +346,16 @@ impl WeightedGraph {
     /// Incoming neighbors of a node as `(neighbor, weight)` pairs.
     ///
     /// For undirected graphs this is identical to [`Self::out_neighbors`].
-    pub fn in_neighbors(&self, node: NodeId) -> Box<dyn Iterator<Item = (NodeId, f64)> + '_> {
-        match self.direction {
-            Direction::Directed => Box::new(
-                self.in_adjacency
-                    .get(node)
-                    .into_iter()
-                    .flatten()
-                    .map(move |&(neighbor, index)| (neighbor, self.edges[index].weight)),
-            ),
-            Direction::Undirected => Box::new(self.out_neighbors(node)),
+    /// Returns a concrete iterator (not a boxed `dyn Iterator`), so per-node
+    /// strength loops compile down to plain slice walks.
+    pub fn in_neighbors(&self, node: NodeId) -> InNeighbors<'_> {
+        let adjacency = match self.direction {
+            Direction::Directed => self.in_adjacency.get(node),
+            Direction::Undirected => self.out_adjacency.get(node),
+        };
+        InNeighbors {
+            edges: &self.edges,
+            adjacency: adjacency.map_or([].iter(), |list| list.iter()),
         }
     }
 

@@ -37,4 +37,4 @@ pub mod matrix;
 pub use builder::GraphBuilder;
 pub use csr::CsrGraph;
 pub use error::{GraphError, GraphResult};
-pub use graph::{Direction, Edge, EdgeRef, NodeId, WeightedGraph};
+pub use graph::{Direction, Edge, EdgeRef, InNeighbors, NodeId, WeightedGraph};
