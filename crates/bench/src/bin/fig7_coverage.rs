@@ -1,25 +1,12 @@
 //! Reproduce Figure 7: coverage per backbone for varying threshold values, on
 //! all six country networks.
 
-use backboning_bench::{country_data, small_mode, sweep_shares};
+use backboning_bench::{country_data, paper_methods, sweep_shares};
 use backboning_eval::experiments::fig7;
-use backboning_eval::Method;
 
 fn main() {
     let data = country_data();
-    // The structural methods (HSS in particular) are expensive on the larger
-    // configuration; they are included unless running in small mode.
-    let methods: Vec<Method> = if small_mode() {
-        vec![
-            Method::NaiveThreshold,
-            Method::MaximumSpanningTree,
-            Method::DisparityFilter,
-            Method::NoiseCorrected,
-        ]
-    } else {
-        Method::all().to_vec()
-    };
-    let result = fig7::run(&data, &methods, &sweep_shares());
+    let result = fig7::run(&data, &paper_methods(), &sweep_shares());
     println!("Figure 7 — coverage per backbone for varying backbone sizes");
     println!("{}", result.render());
 }

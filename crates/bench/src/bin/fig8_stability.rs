@@ -1,23 +1,12 @@
 //! Reproduce Figure 8: stability (Spearman correlation of backbone edge
 //! weights between consecutive years) for varying backbone sizes.
 
-use backboning_bench::{country_data, small_mode, sweep_shares};
+use backboning_bench::{country_data, paper_methods, sweep_shares};
 use backboning_eval::experiments::fig8;
-use backboning_eval::Method;
 
 fn main() {
     let data = country_data();
-    let methods: Vec<Method> = if small_mode() {
-        vec![
-            Method::NaiveThreshold,
-            Method::MaximumSpanningTree,
-            Method::DisparityFilter,
-            Method::NoiseCorrected,
-        ]
-    } else {
-        Method::all().to_vec()
-    };
-    let result = fig8::run(&data, &methods, &sweep_shares());
+    let result = fig8::run(&data, &paper_methods(), &sweep_shares());
     println!("Figure 8 — stability per backbone for varying backbone sizes");
     println!("{}", result.render());
 }

@@ -5,7 +5,7 @@
 //! runs the reduced configuration in a couple of minutes; the default
 //! configuration is meant to be run with `--release`.
 
-use backboning_bench::{country_data, occupation_data, small_mode, sweep_shares};
+use backboning_bench::{country_data, occupation_data, paper_methods, small_mode, sweep_shares};
 use backboning_data::CountryNetworkKind;
 use backboning_eval::experiments::{
     case_study, fig2, fig3, fig4, fig5, fig6, fig7, fig8, fig9, table1, table2,
@@ -15,16 +15,9 @@ use backboning_eval::Method;
 fn main() {
     let small = small_mode();
     let data = country_data();
-    let methods: Vec<Method> = if small {
-        vec![
-            Method::NaiveThreshold,
-            Method::MaximumSpanningTree,
-            Method::DisparityFilter,
-            Method::NoiseCorrected,
-        ]
-    } else {
-        Method::all().to_vec()
-    };
+    // Every sweep below scores and selects through the shared
+    // `backboning::Pipeline` — the same code the `backbone` CLI serves.
+    let methods = paper_methods();
 
     println!("================================================================");
     println!("Figure 2 — threshold distributions");

@@ -1,23 +1,13 @@
 //! Reproduce Table II: the improvement in predictive power (OLS R² ratio)
 //! when restricting the gravity-style models to each method's backbone.
 
-use backboning_bench::{country_data, small_mode};
+use backboning_bench::{country_data, paper_methods};
 use backboning_eval::experiments::table2;
 use backboning_eval::Method;
 
 fn main() {
     let data = country_data();
-    let methods: Vec<Method> = if small_mode() {
-        vec![
-            Method::NaiveThreshold,
-            Method::MaximumSpanningTree,
-            Method::DisparityFilter,
-            Method::NoiseCorrected,
-        ]
-    } else {
-        Method::all().to_vec()
-    };
-    let result = table2::run(&data, &methods, 0.2);
+    let result = table2::run(&data, &paper_methods(), 0.2);
     println!("Table II — predictive quality R²(backbone) / R²(full network)");
     println!("{}", result.render());
     if result.method_dominates(Method::NoiseCorrected) {

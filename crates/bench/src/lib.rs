@@ -28,6 +28,7 @@
 #![warn(missing_docs)]
 
 use backboning_data::{CountryData, CountryDataConfig, OccupationData, OccupationDataConfig};
+use backboning_eval::Method;
 
 /// Whether the `BACKBONING_SMALL` environment variable asks for the reduced
 /// experiment sizes (used by smoke tests and CI).
@@ -62,6 +63,17 @@ pub fn occupation_config() -> OccupationDataConfig {
 /// Generate the occupation dataset used by the case-study binary.
 pub fn occupation_data() -> OccupationData {
     OccupationData::generate(&occupation_config())
+}
+
+/// The methods compared by the reproduction binaries: the paper's six in
+/// full mode, or the four fast ones in small mode (the structural methods —
+/// HSS in particular — are expensive on the larger configuration).
+pub fn paper_methods() -> Vec<Method> {
+    if small_mode() {
+        Method::scalable().to_vec()
+    } else {
+        Method::all().to_vec()
+    }
 }
 
 /// The edge shares swept by the coverage and stability reproductions.

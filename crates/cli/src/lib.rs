@@ -1,0 +1,476 @@
+//! # backboning-cli
+//!
+//! The library behind the `backbone` binary: argument parsing and execution
+//! for the production-facing backboning pipeline. Given any weighted edge
+//! list — a file or stdin, whitespace/CSV/TSV separated — it selects one of
+//! the seven backboning methods, applies one of the four threshold policies,
+//! and emits the backbone edge list, the full scored-edge table, or a JSON
+//! run summary.
+//!
+//! All of the actual work happens in [`backboning::Pipeline`]; this crate
+//! only translates command-line flags into a [`CliConfig`] and streams the
+//! input. The parser is hand-rolled (the build environment vendors no
+//! argument-parsing crate) but follows GNU conventions: long flags with
+//! values as separate arguments, `-` for stdin, `--` unsupported-flag errors
+//! with a usage hint.
+//!
+//! ```
+//! use backboning_cli::{parse_args, Command};
+//!
+//! let command = parse_args(["--method", "nc", "--top-k", "10", "edges.tsv"]
+//!     .map(String::from))
+//!     .unwrap();
+//! let Command::Run(config) = command else { panic!("expected a run") };
+//! assert_eq!(config.method, backboning::Method::NoiseCorrected);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::io::{BufReader, Write};
+use std::path::PathBuf;
+
+use backboning::{Method, Pipeline, ThresholdPolicy};
+use backboning_graph::io::{read_edge_list_named, EdgeListOptions};
+use backboning_graph::Direction;
+
+/// The usage text printed by `backbone --help` and on usage errors.
+pub const USAGE: &str = "\
+backbone — extract the statistically significant backbone of a weighted network
+(Coscia & Neffke, \"Network Backboning with Noisy Data\", ICDE 2017)
+
+USAGE:
+    backbone --method <METHOD> <POLICY> [OPTIONS] [INPUT]
+
+INPUT:
+    Path to a weighted edge list (`source target [weight]`, one edge per
+    line), or `-` for stdin (the default). Input is streamed line by line.
+
+METHOD (-m, --method):
+    nc      Noise-Corrected backbone (the paper's contribution)
+    ncb     Noise-Corrected, direct binomial p-values
+    df      Disparity Filter (Serrano et al. 2009)
+    hss     High Salience Skeleton (Grady et al. 2012)
+    ds      Doubly Stochastic (Slater 2009; parameter-free)
+    mst     Maximum Spanning Tree (parameter-free)
+    naive   Naive weight threshold
+
+POLICY (exactly one):
+    --threshold <SCORE>    keep edges with score ≥ SCORE (the method's natural
+                           parameter, e.g. the NC δ: 1.28/1.64/2.32 for
+                           p ≈ .10/.05/.01)
+    --top-k <N>            keep the N highest scoring edges
+    --top-share <F>        keep the top share F ∈ [0,1] of edges
+    --coverage <F>         keep the smallest score-ranked prefix of edges
+                           covering a share F ∈ [0,1] of the non-isolated nodes
+
+INPUT FORMAT:
+    --undirected           merge edge orientations (default: directed)
+    --csv                  comma-separated fields
+    --tsv                  tab-separated fields
+    --separator <CHAR>     custom single-character separator
+                           (default: any whitespace)
+    --header               skip the first non-comment line
+    --comment <CHAR>       comment-line prefix (default: '#')
+    --no-comment           treat no line as a comment
+
+OUTPUT:
+    -o, --output <KIND>    backbone  the backbone as a TSV edge list (default)
+                           scores    the full scored-edge table as TSV
+                           summary   a JSON run summary
+    --threads <N>          worker threads (default: auto; also honours the
+                           BACKBONING_THREADS environment variable)
+
+    -h, --help             print this help
+";
+
+/// What kind of output the run writes to stdout.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OutputKind {
+    /// The backbone as a TSV edge list.
+    Backbone,
+    /// The full scored-edge table as TSV.
+    Scores,
+    /// A JSON run summary.
+    Summary,
+}
+
+/// A fully parsed `backbone` invocation.
+#[derive(Debug, Clone)]
+pub struct CliConfig {
+    /// Input path; `None` reads stdin.
+    pub input: Option<PathBuf>,
+    /// The backboning method.
+    pub method: Method,
+    /// The threshold policy.
+    pub policy: ThresholdPolicy,
+    /// Edge-list parsing options (direction, separator, header, comments).
+    pub options: EdgeListOptions,
+    /// What to write to stdout.
+    pub output: OutputKind,
+    /// Worker threads (`0` = automatic).
+    pub threads: usize,
+}
+
+/// The parsed command: either run the pipeline or print help.
+#[derive(Debug, Clone)]
+pub enum Command {
+    /// Run the pipeline with this configuration.
+    Run(CliConfig),
+    /// Print the usage text and exit successfully.
+    Help,
+}
+
+/// A usage error: the message to print alongside the usage hint (exit 2).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UsageError(pub String);
+
+impl std::fmt::Display for UsageError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for UsageError {}
+
+fn usage_error(message: impl Into<String>) -> UsageError {
+    UsageError(message.into())
+}
+
+fn parse_number<T: std::str::FromStr>(flag: &str, value: &str) -> Result<T, UsageError> {
+    value
+        .parse::<T>()
+        .map_err(|_| usage_error(format!("{flag}: cannot parse `{value}` as a number")))
+}
+
+fn parse_separator(flag: &str, value: &str) -> Result<char, UsageError> {
+    let mut chars = value.chars();
+    match (chars.next(), chars.next()) {
+        (Some(c), None) => Ok(c),
+        _ => Err(usage_error(format!(
+            "{flag}: expected a single character, got `{value}`"
+        ))),
+    }
+}
+
+/// Parse a `backbone` command line (without the program name).
+pub fn parse_args<I>(args: I) -> Result<Command, UsageError>
+where
+    I: IntoIterator<Item = String>,
+{
+    let mut args = args.into_iter();
+    let mut method: Option<Method> = None;
+    let mut policy: Option<ThresholdPolicy> = None;
+    let mut input: Option<PathBuf> = None;
+    let mut explicit_stdin = false;
+    let mut options = EdgeListOptions::default();
+    let mut output = OutputKind::Backbone;
+    let mut threads = 0usize;
+
+    let set_policy = |new: ThresholdPolicy, existing: &mut Option<ThresholdPolicy>| {
+        if existing.is_some() {
+            return Err(usage_error(
+                "exactly one policy flag (--threshold, --top-k, --top-share, --coverage) may be given",
+            ));
+        }
+        *existing = Some(new);
+        Ok(())
+    };
+
+    while let Some(arg) = args.next() {
+        let mut value_for = |flag: &str| {
+            args.next()
+                .ok_or_else(|| usage_error(format!("{flag}: missing value")))
+        };
+        match arg.as_str() {
+            "-h" | "--help" => return Ok(Command::Help),
+            "-m" | "--method" => {
+                let name = value_for(&arg)?;
+                method = Some(Method::parse(&name).ok_or_else(|| {
+                    usage_error(format!(
+                        "unknown method `{name}` (expected one of: nc, ncb, df, hss, ds, mst, naive)"
+                    ))
+                })?);
+            }
+            "--threshold" => {
+                let v: f64 = parse_number(&arg, &value_for(&arg)?)?;
+                set_policy(ThresholdPolicy::Score(v), &mut policy)?;
+            }
+            "--top-k" => {
+                let v: usize = parse_number(&arg, &value_for(&arg)?)?;
+                set_policy(ThresholdPolicy::TopK(v), &mut policy)?;
+            }
+            "--top-share" => {
+                let v: f64 = parse_number(&arg, &value_for(&arg)?)?;
+                set_policy(ThresholdPolicy::TopShare(v), &mut policy)?;
+            }
+            "--coverage" => {
+                let v: f64 = parse_number(&arg, &value_for(&arg)?)?;
+                set_policy(ThresholdPolicy::Coverage(v), &mut policy)?;
+            }
+            "--undirected" => options.direction = Direction::Undirected,
+            "--directed" => options.direction = Direction::Directed,
+            "--csv" => options.separator = Some(','),
+            "--tsv" => options.separator = Some('\t'),
+            "--separator" => {
+                options.separator = Some(parse_separator(&arg, &value_for(&arg)?)?);
+            }
+            "--header" => options.has_header = true,
+            "--comment" => {
+                options.comment_prefix = Some(parse_separator(&arg, &value_for(&arg)?)?);
+            }
+            "--no-comment" => options.comment_prefix = None,
+            "-o" | "--output" => {
+                let kind = value_for(&arg)?;
+                output = match kind.as_str() {
+                    "backbone" => OutputKind::Backbone,
+                    "scores" => OutputKind::Scores,
+                    "summary" => OutputKind::Summary,
+                    other => {
+                        return Err(usage_error(format!(
+                            "unknown output kind `{other}` (expected backbone, scores or summary)"
+                        )))
+                    }
+                };
+            }
+            "--threads" => threads = parse_number(&arg, &value_for(&arg)?)?,
+            "-" => {
+                if input.is_some() || explicit_stdin {
+                    return Err(usage_error(
+                        "unexpected extra input `-` (one edge list per run)",
+                    ));
+                }
+                // Stdin is the default; an explicit `-` documents it.
+                explicit_stdin = true;
+            }
+            flag if flag.starts_with('-') => {
+                return Err(usage_error(format!("unknown flag `{flag}`")));
+            }
+            path => {
+                if input.is_some() || explicit_stdin {
+                    return Err(usage_error(format!(
+                        "unexpected extra input `{path}` (one edge list per run)"
+                    )));
+                }
+                input = Some(PathBuf::from(path));
+            }
+        }
+    }
+
+    let method = method.ok_or_else(|| usage_error("--method is required"))?;
+    let policy = policy.ok_or_else(|| {
+        usage_error("a policy flag (--threshold, --top-k, --top-share or --coverage) is required")
+    })?;
+    Ok(Command::Run(CliConfig {
+        input,
+        method,
+        policy,
+        options,
+        output,
+        threads,
+    }))
+}
+
+/// Execute a parsed configuration, writing the requested output to `out`.
+///
+/// The input is streamed line by line — from the named file, or from stdin
+/// when no path was given — so the full edge list is never buffered.
+pub fn execute(config: &CliConfig, out: &mut dyn Write) -> Result<(), String> {
+    let graph = match &config.input {
+        Some(path) => backboning_graph::io::read_edge_list_file(path, &config.options),
+        None => {
+            let stdin = std::io::stdin();
+            read_edge_list_named(BufReader::new(stdin.lock()), &config.options, "<stdin>")
+        }
+    }
+    .map_err(|e| e.to_string())?;
+
+    let run = Pipeline::new(config.method, config.policy)
+        .with_threads(config.threads)
+        .run(&graph)
+        .map_err(|e| e.to_string())?;
+
+    match config.output {
+        OutputKind::Backbone => run.write_backbone(&mut *out).map_err(|e| e.to_string())?,
+        OutputKind::Scores => run.write_scores(&mut *out).map_err(|e| e.to_string())?,
+        OutputKind::Summary => {
+            writeln!(out, "{}", run.summary_json()).map_err(|e| e.to_string())?
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<Command, UsageError> {
+        parse_args(args.iter().map(|s| s.to_string()))
+    }
+
+    fn config(args: &[&str]) -> CliConfig {
+        match parse(args).unwrap() {
+            Command::Run(config) => config,
+            Command::Help => panic!("expected a run command"),
+        }
+    }
+
+    #[test]
+    fn minimal_invocation_reads_stdin() {
+        let config = config(&["--method", "nc", "--top-k", "5"]);
+        assert_eq!(config.method, Method::NoiseCorrected);
+        assert_eq!(config.policy, ThresholdPolicy::TopK(5));
+        assert!(config.input.is_none());
+        assert_eq!(config.output, OutputKind::Backbone);
+        assert_eq!(config.threads, 0);
+    }
+
+    #[test]
+    fn full_invocation_parses_every_flag() {
+        let config = config(&[
+            "-m",
+            "df",
+            "--threshold",
+            "0.95",
+            "--undirected",
+            "--csv",
+            "--header",
+            "--comment",
+            "%",
+            "-o",
+            "summary",
+            "--threads",
+            "3",
+            "edges.csv",
+        ]);
+        assert_eq!(config.method, Method::DisparityFilter);
+        assert_eq!(config.policy, ThresholdPolicy::Score(0.95));
+        assert_eq!(config.options.direction, Direction::Undirected);
+        assert_eq!(config.options.separator, Some(','));
+        assert!(config.options.has_header);
+        assert_eq!(config.options.comment_prefix, Some('%'));
+        assert_eq!(config.output, OutputKind::Summary);
+        assert_eq!(config.threads, 3);
+        assert_eq!(
+            config.input.as_deref(),
+            Some(std::path::Path::new("edges.csv"))
+        );
+    }
+
+    #[test]
+    fn every_method_name_is_accepted() {
+        for method in Method::every() {
+            let parsed = config(&["--method", method.cli_name(), "--top-k", "1"]);
+            assert_eq!(parsed.method, method);
+        }
+    }
+
+    #[test]
+    fn each_policy_flag_maps_to_its_policy() {
+        assert_eq!(
+            config(&["-m", "nc", "--threshold", "1.64"]).policy,
+            ThresholdPolicy::Score(1.64)
+        );
+        assert_eq!(
+            config(&["-m", "nc", "--top-share", "0.25"]).policy,
+            ThresholdPolicy::TopShare(0.25)
+        );
+        assert_eq!(
+            config(&["-m", "nc", "--coverage", "0.9"]).policy,
+            ThresholdPolicy::Coverage(0.9)
+        );
+    }
+
+    #[test]
+    fn help_flag_wins() {
+        assert!(matches!(parse(&["--help"]), Ok(Command::Help)));
+        assert!(matches!(parse(&["-m", "nc", "-h"]), Ok(Command::Help)));
+    }
+
+    #[test]
+    fn usage_errors_are_reported() {
+        for (args, needle) in [
+            (&["--top-k", "5"][..], "--method is required"),
+            (&["-m", "nc"][..], "policy flag"),
+            (&["-m", "zz", "--top-k", "1"][..], "unknown method"),
+            (&["-m", "nc", "--top-k", "x"][..], "cannot parse"),
+            (
+                &["-m", "nc", "--top-k", "1", "--coverage", "0.5"][..],
+                "exactly one policy",
+            ),
+            (&["-m", "nc", "--top-k", "1", "--wat"][..], "unknown flag"),
+            (&["-m", "nc", "--top-k", "1", "a", "b"][..], "extra input"),
+            (&["-m", "nc", "--top-k"][..], "missing value"),
+            (
+                &["-m", "nc", "--top-k", "1", "--separator", "ab"][..],
+                "single character",
+            ),
+            (
+                &["-m", "nc", "--top-k", "1", "-o", "wat"][..],
+                "unknown output kind",
+            ),
+        ] {
+            let err = parse(args).unwrap_err();
+            assert!(
+                err.0.contains(needle),
+                "{args:?}: expected `{needle}` in `{}`",
+                err.0
+            );
+        }
+    }
+
+    #[test]
+    fn explicit_stdin_dash_conflicts_with_a_path() {
+        // `-` alone is fine (stdin, the default).
+        assert!(config(&["-m", "nc", "--top-k", "1", "-"]).input.is_none());
+        // But mixing `-` with a path (in either order) is a usage error, not a
+        // silent override.
+        for args in [
+            &["-m", "nc", "--top-k", "1", "edges.tsv", "-"][..],
+            &["-m", "nc", "--top-k", "1", "-", "edges.tsv"][..],
+            &["-m", "nc", "--top-k", "1", "-", "-"][..],
+        ] {
+            let err = parse(args).unwrap_err();
+            assert!(err.0.contains("extra input"), "{args:?}: `{}`", err.0);
+        }
+    }
+
+    #[test]
+    fn no_comment_disables_comment_handling() {
+        let config = config(&["-m", "nc", "--top-k", "1", "--no-comment"]);
+        assert_eq!(config.options.comment_prefix, None);
+    }
+
+    #[test]
+    fn execute_runs_a_file_end_to_end() {
+        let dir = std::env::temp_dir().join("backboning_cli_lib_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("edges.tsv");
+        std::fs::write(&path, "a b 5\nb c 4\nc d 1\n").unwrap();
+
+        let mut config = config(&["-m", "naive", "--top-k", "2", "--undirected"]);
+        config.input = Some(path.clone());
+        let mut out = Vec::new();
+        execute(&config, &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("a\tb\t5"));
+        assert!(text.contains("b\tc\t4"));
+        assert!(!text.contains("c\td"));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn execute_surfaces_named_parse_errors() {
+        let dir = std::env::temp_dir().join("backboning_cli_lib_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("broken.tsv");
+        std::fs::write(&path, "a b heavy\n").unwrap();
+
+        let mut config = config(&["-m", "nc", "--top-k", "2"]);
+        config.input = Some(path.clone());
+        let err = execute(&config, &mut Vec::new()).unwrap_err();
+        assert!(err.contains("broken.tsv"), "missing path in `{err}`");
+        assert!(err.contains("line 1"), "missing line in `{err}`");
+        std::fs::remove_file(&path).unwrap();
+    }
+}

@@ -1,0 +1,35 @@
+//! The `backbone` binary: parse the command line, stream the edge list,
+//! run the shared [`backboning::Pipeline`], and write the result to stdout.
+//!
+//! Exit codes: `0` success, `1` runtime failure (unreadable input, malformed
+//! edge list, method error), `2` usage error.
+
+use std::io::Write;
+
+use backboning_cli::{execute, parse_args, Command, USAGE};
+
+fn main() {
+    let args = std::env::args().skip(1);
+    let command = match parse_args(args) {
+        Ok(command) => command,
+        Err(err) => {
+            eprintln!("backbone: {err}");
+            eprintln!("Run `backbone --help` for usage.");
+            std::process::exit(2);
+        }
+    };
+    match command {
+        Command::Help => {
+            print!("{USAGE}");
+        }
+        Command::Run(config) => {
+            let stdout = std::io::stdout();
+            let mut out = stdout.lock();
+            if let Err(err) = execute(&config, &mut out) {
+                eprintln!("backbone: {err}");
+                std::process::exit(1);
+            }
+            let _ = out.flush();
+        }
+    }
+}

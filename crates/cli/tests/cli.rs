@@ -1,0 +1,214 @@
+//! End-to-end tests of the `backbone` binary: every method × policy on a
+//! user-supplied edge list, from a file and from stdin, plus the three output
+//! kinds and the error paths.
+
+use std::io::Write;
+use std::process::{Command, Output, Stdio};
+
+const BACKBONE: &str = env!("CARGO_BIN_EXE_backbone");
+
+/// The bundled example network from `docs/GUIDE.md`.
+fn trade_path() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../docs/examples/trade.tsv")
+}
+
+fn run_with_stdin(args: &[&str], stdin: Option<&str>) -> Output {
+    let mut child = Command::new(BACKBONE)
+        .args(args)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn backbone");
+    if let Some(text) = stdin {
+        child
+            .stdin
+            .as_mut()
+            .unwrap()
+            .write_all(text.as_bytes())
+            .unwrap();
+    }
+    drop(child.stdin.take());
+    child.wait_with_output().expect("wait for backbone")
+}
+
+fn stdout_of(output: &Output) -> String {
+    assert!(
+        output.status.success(),
+        "backbone failed: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    String::from_utf8(output.stdout.clone()).unwrap()
+}
+
+#[test]
+fn every_method_and_policy_runs_on_a_file() {
+    let path = trade_path();
+    let path = path.to_str().unwrap();
+    for method in ["nc", "ncb", "df", "hss", "ds", "mst", "naive"] {
+        for policy in [
+            &["--threshold", "0.0"][..],
+            &["--top-k", "10"][..],
+            &["--top-share", "0.3"][..],
+            &["--coverage", "0.9"][..],
+        ] {
+            let mut args = vec!["--method", method, "--undirected"];
+            args.extend_from_slice(policy);
+            args.push(path);
+            let output = run_with_stdin(&args, None);
+            let text = stdout_of(&output);
+            assert!(
+                text.starts_with("# source\ttarget\tweight"),
+                "{method} {policy:?}: unexpected output `{}`",
+                text.lines().next().unwrap_or_default()
+            );
+            assert!(
+                text.lines().count() > 1,
+                "{method} {policy:?}: empty backbone"
+            );
+        }
+    }
+}
+
+#[test]
+fn stdin_and_file_inputs_agree() {
+    let path = trade_path();
+    let text = std::fs::read_to_string(&path).unwrap();
+    let args = ["--method", "nc", "--top-k", "12", "--undirected"];
+
+    let mut file_args = args.to_vec();
+    let path_str = path.to_str().unwrap();
+    file_args.push(path_str);
+    let from_file = stdout_of(&run_with_stdin(&file_args, None));
+    let from_stdin = stdout_of(&run_with_stdin(&args, Some(&text)));
+    assert_eq!(from_file, from_stdin);
+    // 12 kept edges + header.
+    assert_eq!(from_file.lines().count(), 13);
+}
+
+#[test]
+fn scores_output_lists_every_edge() {
+    let path = trade_path();
+    let output = run_with_stdin(
+        &[
+            "--method",
+            "nc",
+            "--top-k",
+            "5",
+            "--undirected",
+            "-o",
+            "scores",
+            path.to_str().unwrap(),
+        ],
+        None,
+    );
+    let text = stdout_of(&output);
+    let mut lines = text.lines();
+    assert_eq!(
+        lines.next().unwrap(),
+        "# source\ttarget\tweight\tscore\traw_score\tstd_dev\tp_value\tkept"
+    );
+    // 28 edges in the bundled network, each with a kept flag; exactly 5 kept.
+    let rows: Vec<&str> = lines.collect();
+    assert_eq!(rows.len(), 28);
+    let kept = rows.iter().filter(|row| row.ends_with("\t1")).count();
+    assert_eq!(kept, 5);
+}
+
+#[test]
+fn summary_output_is_json_with_run_statistics() {
+    let path = trade_path();
+    let output = run_with_stdin(
+        &[
+            "--method",
+            "df",
+            "--top-share",
+            "0.5",
+            "--undirected",
+            "--threads",
+            "2",
+            "-o",
+            "summary",
+            path.to_str().unwrap(),
+        ],
+        None,
+    );
+    let text = stdout_of(&output);
+    for needle in [
+        "\"method\": \"df\"",
+        "\"kind\": \"top_share\"",
+        "\"threads\": 2",
+        "\"nodes\": 8",
+        "\"edges\": 28",
+        "\"coverage\":",
+        "\"wall_ms\":",
+    ] {
+        assert!(text.contains(needle), "missing `{needle}` in `{text}`");
+    }
+}
+
+#[test]
+fn csv_separator_and_header_flags_work() {
+    let csv = "src,dst,w\na,b,5\nb,c,4\nc,a,3\n";
+    let output = run_with_stdin(
+        &[
+            "--method",
+            "naive",
+            "--top-k",
+            "2",
+            "--csv",
+            "--header",
+            "--undirected",
+        ],
+        Some(csv),
+    );
+    let text = stdout_of(&output);
+    assert!(text.contains("a\tb\t5"));
+    assert!(text.contains("b\tc\t4"));
+    assert!(!text.contains("\tsrc"));
+}
+
+#[test]
+fn malformed_input_fails_with_named_source_and_exit_1() {
+    let output = run_with_stdin(
+        &["--method", "nc", "--top-k", "2"],
+        Some("a b 1.0\nb c heavy\n"),
+    );
+    assert_eq!(output.status.code(), Some(1));
+    let err = String::from_utf8_lossy(&output.stderr);
+    assert!(err.contains("<stdin>"), "missing source in `{err}`");
+    assert!(err.contains("line 2"), "missing line in `{err}`");
+}
+
+#[test]
+fn missing_file_fails_with_named_path_and_exit_1() {
+    let output = run_with_stdin(
+        &["--method", "nc", "--top-k", "2", "/no/such/file.tsv"],
+        None,
+    );
+    assert_eq!(output.status.code(), Some(1));
+    let err = String::from_utf8_lossy(&output.stderr);
+    assert!(err.contains("/no/such/file.tsv"), "missing path in `{err}`");
+}
+
+#[test]
+fn usage_errors_exit_2_and_hint_at_help() {
+    for args in [
+        &["--top-k", "2"][..],
+        &["--method", "nc"][..],
+        &["--method", "nc", "--top-k", "1", "--unknown-flag"][..],
+    ] {
+        let output = run_with_stdin(args, Some(""));
+        assert_eq!(output.status.code(), Some(2), "{args:?}");
+        let err = String::from_utf8_lossy(&output.stderr);
+        assert!(err.contains("--help"), "{args:?}: no help hint in `{err}`");
+    }
+}
+
+#[test]
+fn help_prints_usage_and_exits_0() {
+    let output = run_with_stdin(&["--help"], None);
+    let text = stdout_of(&output);
+    assert!(text.contains("USAGE"));
+    assert!(text.contains("--coverage"));
+}

@@ -115,7 +115,15 @@ impl DoublyStochastic {
     /// graph belong to one connected component, then stop. Returns the dense
     /// edge indices of the selected edges.
     pub fn fixed_edge_set(&self, graph: &WeightedGraph) -> BackboneResult<Vec<usize>> {
-        let weights = self.normalised_weights(graph, 0)?;
+        let scored = self.score_with_threads(graph, 0)?;
+        Ok(Self::fixed_edge_set_from_scores(graph, &scored))
+    }
+
+    /// [`DoublyStochastic::fixed_edge_set`], reusing an already-computed score
+    /// set (the scores *are* the doubly-stochastic weights) so the Sinkhorn
+    /// normalisation does not run a second time. Bit-identical to recomputing.
+    pub fn fixed_edge_set_from_scores(graph: &WeightedGraph, scored: &ScoredEdges) -> Vec<usize> {
+        let weights = scored.scores();
         let mut order: Vec<usize> = (0..graph.edge_count()).collect();
         order.sort_by(|&a, &b| {
             weights[b]
@@ -142,7 +150,7 @@ impl DoublyStochastic {
             }
         }
         selected.sort_unstable();
-        Ok(selected)
+        selected
     }
 
     /// Convenience: build the parameter-free backbone graph.

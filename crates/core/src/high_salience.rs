@@ -22,7 +22,7 @@
 //!
 //! * **CSR hot path** — every root's Dijkstra runs over an immutable
 //!   [`CsrGraph`] with a reusable scratch workspace
-//!   ([`CsrDijkstra`](backboning_graph::algorithms::shortest_path::CsrDijkstra)),
+//!   ([`CsrDijkstra`]),
 //!   distance transforms precomputed once per edge, and tree-edge counts
 //!   accumulated directly by CSR edge id — no per-root allocations and no
 //!   `HashMap` lookups per tree edge.

@@ -49,6 +49,29 @@
 //! or selecting a fixed share of edges — the latter two are what the paper's
 //! evaluation sweeps (coverage, quality, stability) use to compare methods at
 //! equal backbone sizes.
+//!
+//! # The pipeline
+//!
+//! The [`Pipeline`] type composes the whole flow — method selection
+//! ([`Method`]), scoring, and a pruning [`ThresholdPolicy`] — behind one
+//! `run` call. It is the engine of the `backbone` command-line tool and of
+//! the paper's reproduction binaries alike:
+//!
+//! ```
+//! use backboning::{Pipeline, Method, ThresholdPolicy};
+//! use backboning_graph::io::{read_edge_list_str, EdgeListOptions};
+//! use backboning_graph::Direction;
+//!
+//! let edge_list = "hub a 10\nhub b 10\nhub c 12\nhub d 11\na b 6\n";
+//! let options = EdgeListOptions::with_direction(Direction::Undirected);
+//! let graph = read_edge_list_str(edge_list, &options).unwrap();
+//!
+//! let run = Pipeline::new(Method::NoiseCorrected, ThresholdPolicy::TopK(3))
+//!     .run(&graph)
+//!     .unwrap();
+//! assert_eq!(run.backbone.edge_count(), 3);
+//! assert!(run.coverage > 0.0 && run.coverage <= 1.0);
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -57,8 +80,10 @@ pub mod disparity;
 pub mod doubly_stochastic;
 pub mod error;
 pub mod high_salience;
+pub mod method;
 pub mod naive;
 pub mod noise_corrected;
+pub mod pipeline;
 pub mod scored;
 pub mod spanning_tree;
 mod totals;
@@ -67,8 +92,10 @@ pub use disparity::DisparityFilter;
 pub use doubly_stochastic::DoublyStochastic;
 pub use error::{BackboneError, BackboneResult};
 pub use high_salience::HighSalienceSkeleton;
+pub use method::Method;
 pub use naive::NaiveThreshold;
 pub use noise_corrected::{NoiseCorrected, NoiseCorrectedBinomial};
+pub use pipeline::{Pipeline, PipelineRun, ThresholdPolicy};
 pub use scored::{BackboneExtractor, ScoredEdge, ScoredEdges, Symmetrization};
 pub use spanning_tree::MaximumSpanningTree;
 

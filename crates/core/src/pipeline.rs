@@ -1,0 +1,491 @@
+//! The end-to-end backboning pipeline shared by the `backbone` CLI and the
+//! reproduction experiments.
+//!
+//! A [`Pipeline`] bundles the three decisions of a backboning run — which
+//! [`Method`] scores the edges, which [`ThresholdPolicy`] decides how many of
+//! them survive, and how many worker threads do the scoring — behind one
+//! `run` call that produces a [`PipelineRun`]: the scored edges, the kept
+//! edge set, the backbone graph, and the run statistics (coverage, wall
+//! time). The same type drives the paper's evaluation sweeps (via
+//! [`Method::edge_set`]) and user-supplied networks (via the `backbone`
+//! binary in `crates/cli`), so the reproduction path and the serving path are
+//! the same code.
+//!
+//! ```
+//! use backboning::{Pipeline, Method, ThresholdPolicy};
+//! use backboning_graph::io::{read_edge_list_str, EdgeListOptions};
+//! use backboning_graph::Direction;
+//!
+//! let text = "hub a 10\nhub b 10\nhub c 12\nhub d 11\na b 6\n";
+//! let options = EdgeListOptions::with_direction(Direction::Undirected);
+//! let graph = read_edge_list_str(text, &options).unwrap();
+//!
+//! let run = Pipeline::new(Method::NoiseCorrected, ThresholdPolicy::TopShare(0.6))
+//!     .run(&graph)
+//!     .unwrap();
+//! assert_eq!(run.kept.len(), 3);
+//! assert_eq!(run.backbone.node_count(), graph.node_count());
+//! assert!(run.summary_json().contains("\"method\": \"nc\""));
+//! ```
+
+use std::collections::HashSet;
+use std::io::{BufWriter, Write};
+use std::time::{Duration, Instant};
+
+use backboning_graph::io::write_edge_list;
+use backboning_graph::WeightedGraph;
+
+use crate::error::{BackboneError, BackboneResult};
+use crate::method::Method;
+use crate::scored::ScoredEdges;
+
+/// How the scored edges are pruned into a backbone.
+///
+/// Every policy selects by the method's significance score (see the table in
+/// [`crate::scored`]); they differ in how the cut-off is chosen.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ThresholdPolicy {
+    /// Keep edges whose score is at least this value (the method's natural
+    /// significance parameter, e.g. the Noise-Corrected `δ`).
+    Score(f64),
+    /// Keep the `k` highest scoring edges (ties broken deterministically, see
+    /// [`ScoredEdges::top_k`]).
+    TopK(usize),
+    /// Keep the top share (in `[0, 1]`) of edges by score.
+    TopShare(f64),
+    /// Keep the smallest score-ranked prefix of edges whose node coverage —
+    /// the share of originally non-isolated nodes with at least one backbone
+    /// edge — reaches the target (in `[0, 1]`).
+    Coverage(f64),
+}
+
+impl ThresholdPolicy {
+    /// The lowercase identifier used by the `backbone` CLI and the JSON run
+    /// summaries.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ThresholdPolicy::Score(_) => "score",
+            ThresholdPolicy::TopK(_) => "top_k",
+            ThresholdPolicy::TopShare(_) => "top_share",
+            ThresholdPolicy::Coverage(_) => "coverage",
+        }
+    }
+
+    /// The policy's parameter as a number (for reports and JSON summaries).
+    pub fn value(&self) -> f64 {
+        match self {
+            ThresholdPolicy::Score(s) => *s,
+            ThresholdPolicy::TopK(k) => *k as f64,
+            ThresholdPolicy::TopShare(s) => *s,
+            ThresholdPolicy::Coverage(c) => *c,
+        }
+    }
+}
+
+impl std::fmt::Display for ThresholdPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ThresholdPolicy::Score(s) => write!(f, "score ≥ {s}"),
+            ThresholdPolicy::TopK(k) => write!(f, "top {k} edges"),
+            ThresholdPolicy::TopShare(s) => write!(f, "top {s} of edges"),
+            ThresholdPolicy::Coverage(c) => write!(f, "coverage ≥ {c}"),
+        }
+    }
+}
+
+/// A configured backboning run: method × threshold policy × worker count.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Pipeline {
+    method: Method,
+    policy: ThresholdPolicy,
+    threads: usize,
+}
+
+impl Pipeline {
+    /// A pipeline with automatic thread count (honours `BACKBONING_THREADS`).
+    pub fn new(method: Method, policy: ThresholdPolicy) -> Self {
+        Pipeline {
+            method,
+            policy,
+            threads: 0,
+        }
+    }
+
+    /// Set an explicit worker count (`0` = automatic). Results are
+    /// bit-identical at any thread count — parallelism only changes the wall
+    /// time (see `backboning_parallel`).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// The configured method.
+    pub fn method(&self) -> Method {
+        self.method
+    }
+
+    /// The configured threshold policy.
+    pub fn policy(&self) -> ThresholdPolicy {
+        self.policy
+    }
+
+    /// The configured worker count (`0` = automatic).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Stage 1: score every edge of the graph with the configured method.
+    pub fn score(&self, graph: &WeightedGraph) -> BackboneResult<ScoredEdges> {
+        self.method.score_with_threads(graph, self.threads)
+    }
+
+    /// Stage 2: apply the threshold policy to a scored edge set, returning the
+    /// kept edge indices.
+    ///
+    /// For the parameter-free methods (MST, DS) the size-targeting policies
+    /// (`TopK`, `TopShare`, `Coverage`) return the method's fixed backbone
+    /// regardless of the requested size — their backbone is a single edge set,
+    /// which is how the paper compares them. The fixed set is derived from the
+    /// already-computed scores, so the expensive scoring pass never runs
+    /// twice. The `Score` policy always thresholds the scores directly.
+    pub fn select(
+        &self,
+        graph: &WeightedGraph,
+        scored: &ScoredEdges,
+    ) -> BackboneResult<Vec<usize>> {
+        if !matches!(self.policy, ThresholdPolicy::Score(_)) {
+            if let Some(fixed) = self.method.fixed_edge_set_from_scores(graph, scored) {
+                return Ok(fixed);
+            }
+        }
+        match self.policy {
+            ThresholdPolicy::Score(threshold) => Ok(scored.filter(threshold)),
+            ThresholdPolicy::TopK(k) => Ok(scored.top_k(k)),
+            ThresholdPolicy::TopShare(share) => scored.top_share(share),
+            ThresholdPolicy::Coverage(target) => coverage_prefix(graph, scored, target),
+        }
+    }
+
+    /// Score and select in one call, returning the kept edge indices.
+    pub fn edge_set(&self, graph: &WeightedGraph) -> BackboneResult<Vec<usize>> {
+        let scored = self.score(graph)?;
+        self.select(graph, &scored)
+    }
+
+    /// Run the full pipeline: score, select, and build the backbone graph,
+    /// measuring wall time and coverage along the way.
+    pub fn run(&self, graph: &WeightedGraph) -> BackboneResult<PipelineRun> {
+        let start = Instant::now();
+        let scored = self.score(graph)?;
+        let kept = self.select(graph, &scored)?;
+        let backbone = graph.subgraph_with_edges(&kept)?;
+        let elapsed = start.elapsed();
+        let original_connected = graph.non_isolated_node_count();
+        let coverage = if original_connected == 0 {
+            1.0
+        } else {
+            backbone.non_isolated_node_count() as f64 / original_connected as f64
+        };
+        Ok(PipelineRun {
+            method: self.method,
+            policy: self.policy,
+            threads: backboning_parallel::resolve_threads(self.threads),
+            original_nodes: graph.node_count(),
+            original_edges: graph.edge_count(),
+            coverage,
+            elapsed,
+            scored,
+            kept,
+            backbone,
+        })
+    }
+}
+
+/// The smallest score-ranked prefix of edges whose node coverage reaches
+/// `target`, in ranking order.
+fn coverage_prefix(
+    graph: &WeightedGraph,
+    scored: &ScoredEdges,
+    target: f64,
+) -> BackboneResult<Vec<usize>> {
+    if !(0.0..=1.0).contains(&target) {
+        return Err(BackboneError::InvalidParameter {
+            parameter: "coverage",
+            message: format!("must lie in [0, 1], got {target}"),
+        });
+    }
+    let original_connected = graph.non_isolated_node_count();
+    if target == 0.0 || original_connected == 0 {
+        return Ok(Vec::new());
+    }
+    let order = scored.top_k(scored.len());
+    let mut covered = vec![false; graph.node_count()];
+    let mut covered_count = 0usize;
+    let mut kept = Vec::new();
+    for edge_index in order {
+        let edge = graph.edge(edge_index).expect("scored edge index in range");
+        kept.push(edge_index);
+        for node in [edge.source, edge.target] {
+            if !covered[node] {
+                covered[node] = true;
+                covered_count += 1;
+            }
+        }
+        if covered_count as f64 / original_connected as f64 >= target - 1e-12 {
+            return Ok(kept);
+        }
+    }
+    // The full edge set covers every non-isolated node, so this is only
+    // reachable through floating-point slack; keep everything.
+    Ok(kept)
+}
+
+/// The result of one [`Pipeline::run`]: scores, kept edges, backbone graph
+/// and run statistics.
+#[derive(Debug, Clone)]
+pub struct PipelineRun {
+    /// The method that scored the edges.
+    pub method: Method,
+    /// The policy that pruned them.
+    pub policy: ThresholdPolicy,
+    /// The resolved worker count that did the scoring.
+    pub threads: usize,
+    /// Node count of the input graph.
+    pub original_nodes: usize,
+    /// Edge count of the input graph.
+    pub original_edges: usize,
+    /// Node coverage of the backbone (share of originally non-isolated nodes
+    /// keeping at least one edge).
+    pub coverage: f64,
+    /// Wall time of scoring + selection + backbone construction.
+    pub elapsed: Duration,
+    /// Every edge with its method-specific significance score.
+    pub scored: ScoredEdges,
+    /// Indices (into the input graph) of the kept edges.
+    pub kept: Vec<usize>,
+    /// The backbone graph (full node set, kept edges only).
+    pub backbone: WeightedGraph,
+}
+
+impl PipelineRun {
+    /// Share of original edges kept in the backbone.
+    pub fn edge_share(&self) -> f64 {
+        if self.original_edges == 0 {
+            1.0
+        } else {
+            self.kept.len() as f64 / self.original_edges as f64
+        }
+    }
+
+    /// Write the backbone as a tab-separated edge list
+    /// (`source<TAB>target<TAB>weight`, one header comment line).
+    pub fn write_backbone<W: Write>(&self, writer: W) -> BackboneResult<()> {
+        Ok(write_edge_list(&self.backbone, writer)?)
+    }
+
+    /// Write the full scored-edge table as tab-separated text: one row per
+    /// original edge with its weight, significance score, the method-specific
+    /// optional columns (raw score, standard deviation, p-value; `NA` when
+    /// the method does not define them) and whether the edge was kept.
+    pub fn write_scores<W: Write>(&self, writer: W) -> BackboneResult<()> {
+        let mut writer = BufWriter::new(writer);
+        let kept: HashSet<usize> = self.kept.iter().copied().collect();
+        let fmt_opt = |value: Option<f64>| match value {
+            Some(v) => format!("{v}"),
+            None => "NA".to_string(),
+        };
+        let io_err = |e: std::io::Error| backboning_graph::GraphError::from(e);
+        writeln!(
+            writer,
+            "# source\ttarget\tweight\tscore\traw_score\tstd_dev\tp_value\tkept"
+        )
+        .map_err(io_err)?;
+        for edge in self.scored.iter() {
+            let label = |node| {
+                self.backbone
+                    .label(node)
+                    .map(str::to_string)
+                    .unwrap_or_else(|| node.to_string())
+            };
+            writeln!(
+                writer,
+                "{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}",
+                label(edge.source),
+                label(edge.target),
+                edge.weight,
+                edge.score,
+                fmt_opt(edge.raw_score),
+                fmt_opt(edge.std_dev),
+                fmt_opt(edge.p_value),
+                u8::from(kept.contains(&edge.edge_index)),
+            )
+            .map_err(io_err)?;
+        }
+        writer.flush().map_err(io_err)?;
+        Ok(())
+    }
+
+    /// The run summary as a JSON object: method, policy, thread count,
+    /// input/backbone sizes, coverage and wall time.
+    pub fn summary_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\n",
+                "  \"method\": \"{}\",\n",
+                "  \"policy\": {{ \"kind\": \"{}\", \"value\": {} }},\n",
+                "  \"threads\": {},\n",
+                "  \"input\": {{ \"nodes\": {}, \"edges\": {} }},\n",
+                "  \"backbone\": {{ \"nodes_covered\": {}, \"edges\": {}, \"edge_share\": {:.6}, \"coverage\": {:.6} }},\n",
+                "  \"wall_ms\": {:.3}\n",
+                "}}"
+            ),
+            self.method.cli_name(),
+            self.policy.kind(),
+            self.policy.value(),
+            self.threads,
+            self.original_nodes,
+            self.original_edges,
+            self.backbone.non_isolated_node_count(),
+            self.kept.len(),
+            self.edge_share(),
+            self.coverage,
+            self.elapsed.as_secs_f64() * 1e3,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use backboning_graph::generators::complete_graph;
+    use backboning_graph::{Direction, WeightedGraph};
+
+    fn path_graph() -> WeightedGraph {
+        WeightedGraph::from_labeled_edges(
+            Direction::Undirected,
+            vec![
+                ("a", "b", 4.0),
+                ("b", "c", 3.0),
+                ("c", "d", 2.0),
+                ("d", "e", 1.0),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn top_k_policy_keeps_exactly_k_edges() {
+        let graph = path_graph();
+        let run = Pipeline::new(Method::NaiveThreshold, ThresholdPolicy::TopK(2))
+            .run(&graph)
+            .unwrap();
+        assert_eq!(run.kept, vec![0, 1]);
+        assert_eq!(run.backbone.edge_count(), 2);
+        assert_eq!(run.backbone.node_count(), graph.node_count());
+    }
+
+    #[test]
+    fn score_policy_thresholds_directly() {
+        let graph = path_graph();
+        let run = Pipeline::new(Method::NaiveThreshold, ThresholdPolicy::Score(2.5))
+            .run(&graph)
+            .unwrap();
+        // Naive scores are the raw weights: 4 and 3 survive.
+        assert_eq!(run.kept, vec![0, 1]);
+    }
+
+    #[test]
+    fn coverage_policy_stops_at_the_target() {
+        let graph = path_graph();
+        // 5 non-isolated nodes; the two heaviest edges cover a, b, c: 3/5.
+        let run = Pipeline::new(Method::NaiveThreshold, ThresholdPolicy::Coverage(0.6))
+            .run(&graph)
+            .unwrap();
+        assert_eq!(run.kept, vec![0, 1]);
+        assert!((run.coverage - 0.6).abs() < 1e-12);
+
+        let full = Pipeline::new(Method::NaiveThreshold, ThresholdPolicy::Coverage(1.0))
+            .run(&graph)
+            .unwrap();
+        assert_eq!(full.coverage, 1.0);
+
+        let none = Pipeline::new(Method::NaiveThreshold, ThresholdPolicy::Coverage(0.0))
+            .run(&graph)
+            .unwrap();
+        assert!(none.kept.is_empty());
+    }
+
+    #[test]
+    fn coverage_policy_rejects_out_of_range_targets() {
+        let graph = path_graph();
+        for target in [-0.1, 1.5] {
+            assert!(
+                Pipeline::new(Method::NaiveThreshold, ThresholdPolicy::Coverage(target))
+                    .run(&graph)
+                    .is_err()
+            );
+        }
+    }
+
+    #[test]
+    fn parameter_free_methods_ignore_size_policies() {
+        let graph = complete_graph(8, 2.0).unwrap();
+        let fixed = Method::MaximumSpanningTree
+            .fixed_edge_set(&graph)
+            .unwrap()
+            .unwrap();
+        for policy in [
+            ThresholdPolicy::TopK(1),
+            ThresholdPolicy::TopShare(0.1),
+            ThresholdPolicy::Coverage(0.5),
+        ] {
+            let run = Pipeline::new(Method::MaximumSpanningTree, policy)
+                .run(&graph)
+                .unwrap();
+            assert_eq!(run.kept, fixed, "{policy}");
+        }
+        // The score policy still thresholds MST's 0/1 scores directly.
+        let scored = Pipeline::new(Method::MaximumSpanningTree, ThresholdPolicy::Score(0.5))
+            .run(&graph)
+            .unwrap();
+        let mut sorted = scored.kept.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, fixed);
+    }
+
+    #[test]
+    fn run_summary_and_writers_are_consistent() {
+        let graph = path_graph();
+        let run = Pipeline::new(Method::NoiseCorrected, ThresholdPolicy::TopShare(0.5))
+            .with_threads(1)
+            .run(&graph)
+            .unwrap();
+        assert_eq!(run.threads, 1);
+        assert_eq!(run.kept.len(), 2);
+        assert!((run.edge_share() - 0.5).abs() < 1e-12);
+
+        let mut backbone_out = Vec::new();
+        run.write_backbone(&mut backbone_out).unwrap();
+        let text = String::from_utf8(backbone_out).unwrap();
+        assert_eq!(text.lines().count(), 1 + run.kept.len());
+
+        let mut scores_out = Vec::new();
+        run.write_scores(&mut scores_out).unwrap();
+        let table = String::from_utf8(scores_out).unwrap();
+        assert_eq!(table.lines().count(), 1 + graph.edge_count());
+        assert!(table.contains("a\tb"));
+
+        let json = run.summary_json();
+        assert!(json.contains("\"method\": \"nc\""));
+        assert!(json.contains("\"kind\": \"top_share\""));
+        assert!(json.contains("\"edges\": 4"));
+    }
+
+    #[test]
+    fn policy_display_and_metadata() {
+        assert_eq!(ThresholdPolicy::TopK(5).kind(), "top_k");
+        assert_eq!(ThresholdPolicy::TopK(5).value(), 5.0);
+        assert_eq!(ThresholdPolicy::Score(1.28).to_string(), "score ≥ 1.28");
+        assert_eq!(ThresholdPolicy::Coverage(0.9).kind(), "coverage");
+    }
+}

@@ -153,6 +153,18 @@ impl ScoredEdges {
     /// Indices of the `k` highest scoring edges, in ranking order (descending
     /// score, ties broken by descending weight, then by edge index).
     ///
+    /// # Tie-break and determinism contract
+    ///
+    /// The ranking comparator is a **total order** over edges: descending
+    /// `score`, then descending `weight`, then *ascending* `edge_index` as the
+    /// final tiebreaker (incomparable floats — NaN — compare equal and fall
+    /// through to the next key). Because `edge_index` is unique, two distinct
+    /// edges never compare equal, so the selected set and its order are a pure
+    /// function of the scores: independent of thread count, selection
+    /// algorithm, and call order. Equal-score, equal-weight edges are kept in
+    /// original edge order — the contract the evaluation sweeps and the
+    /// `Pipeline` golden tests rely on.
+    ///
     /// Uses `select_nth_unstable_by` partial selection — `O(E)` to isolate the
     /// top `k`, plus `O(k log k)` to order them — instead of a full
     /// `O(E log E)` sort. The returned set and order are exactly those of a
@@ -174,6 +186,12 @@ impl ScoredEdges {
     }
 
     /// Indices of the top `share` (in `[0, 1]`) of edges by score.
+    ///
+    /// The edge count is `round(share × E)` — round-half-up, so `share = 0.5`
+    /// of 5 edges keeps 3 — and the selection inherits the deterministic
+    /// tie-break contract of [`ScoredEdges::top_k`]: the result is the same
+    /// set, in the same ranking order, on every run and at every thread
+    /// count.
     pub fn top_share(&self, share: f64) -> BackboneResult<Vec<usize>> {
         if !(0.0..=1.0).contains(&share) {
             return Err(BackboneError::InvalidParameter {

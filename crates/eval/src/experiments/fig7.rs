@@ -6,6 +6,7 @@
 //! construction; the interesting comparison is NC vs DF vs the naive
 //! threshold, where the naive threshold is the first to isolate weak nodes.
 
+use backboning::{Pipeline, ThresholdPolicy};
 use backboning_data::{CountryData, CountryNetworkKind};
 use backboning_parallel::{par_map, resolve_threads};
 
@@ -115,10 +116,16 @@ pub fn run_with_threads(
             let target = ((share * graph.edge_count() as f64).round() as usize).max(1);
             let mut row = Vec::with_capacity(methods.len());
             for (column, method) in methods.iter().enumerate() {
+                // The per-share cut goes through the shared Pipeline, the
+                // same selection code the `backbone` CLI runs.
                 let edge_set = if method.is_parameter_free() {
                     fixed[column].clone()
                 } else {
-                    scored[column].as_ref().map(|s| s.top_k(target))
+                    scored[column].as_ref().and_then(|s| {
+                        Pipeline::new(*method, ThresholdPolicy::TopK(target))
+                            .select(graph, s)
+                            .ok()
+                    })
                 };
                 let value = edge_set.and_then(|edges| {
                     graph

@@ -6,6 +6,7 @@
 //! above .84); the experiment checks that pruning noisy edges does not *hurt*
 //! stability.
 
+use backboning::{Pipeline, ThresholdPolicy};
 use backboning_data::{CountryData, CountryNetworkKind};
 
 use crate::methods::Method;
@@ -96,10 +97,16 @@ pub fn run(data: &CountryData, methods: &[Method], edge_shares: &[f64]) -> Stabi
             let target = ((share * year_t.edge_count() as f64).round() as usize).max(2);
             let mut row = Vec::with_capacity(methods.len());
             for (column, method) in methods.iter().enumerate() {
+                // The per-share cut goes through the shared Pipeline, the
+                // same selection code the `backbone` CLI runs.
                 let edge_set = if method.is_parameter_free() {
                     fixed[column].clone()
                 } else {
-                    scored[column].as_ref().map(|s| s.top_k(target))
+                    scored[column].as_ref().and_then(|s| {
+                        Pipeline::new(*method, ThresholdPolicy::TopK(target))
+                            .select(year_t, s)
+                            .ok()
+                    })
                 };
                 let value = edge_set.and_then(|edges| stability(&edges, year_t, year_t1).ok());
                 row.push(value);

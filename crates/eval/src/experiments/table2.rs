@@ -7,6 +7,7 @@
 //! claim: the Noise-Corrected backbone has the best quality on every network
 //! and is the only method that always improves on the full network (> 1).
 
+use backboning::{Pipeline, ThresholdPolicy};
 use backboning_data::{CountryData, CountryNetworkKind};
 
 use crate::methods::Method;
@@ -90,8 +91,10 @@ pub fn run(data: &CountryData, methods: &[Method], edge_share: f64) -> QualityRe
         let target_edges = ((edge_share * graph.edge_count() as f64).round() as usize).max(10);
         let mut quality = Vec::with_capacity(methods.len());
         for method in methods {
-            let value = method
-                .edge_set(graph, target_edges)
+            // One shared Pipeline per method: the same scoring + selection
+            // code that serves user networks through the `backbone` CLI.
+            let value = Pipeline::new(*method, ThresholdPolicy::TopK(target_edges))
+                .edge_set(graph)
                 .ok()
                 .and_then(|edges| quality_ratio(data, kind, graph, &edges).ok());
             quality.push(value);

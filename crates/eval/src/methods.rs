@@ -1,208 +1,13 @@
-//! A uniform registry over the six backboning methods.
+//! A uniform registry over the backboning methods.
 //!
-//! Every experiment of the paper compares the same six methods; this registry
-//! lets the evaluation code sweep them generically, while still respecting the
-//! two parameter-free methods (Maximum Spanning Tree and Doubly Stochastic)
-//! whose backbone is a fixed edge set rather than a tunable sweep.
+//! The [`Method`] enum now lives in the core crate (`backboning::Method`),
+//! beside the extractors and the shared [`backboning::Pipeline`], so that the
+//! evaluation sweeps and the `backbone` CLI select and run methods through
+//! the same code. This module re-exports it under the historical
+//! `backboning_eval::methods` path.
+//!
+//! Every experiment of the paper compares the same six methods
+//! ([`Method::all`]); the registry also carries the binomial Noise-Corrected
+//! variant ([`Method::every`]) used by the CLI.
 
-use backboning::{
-    BackboneExtractor, BackboneResult, DisparityFilter, DoublyStochastic, HighSalienceSkeleton,
-    MaximumSpanningTree, NaiveThreshold, NoiseCorrected, ScoredEdges,
-};
-use backboning_graph::WeightedGraph;
-
-/// The six backboning methods of the paper's evaluation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub enum Method {
-    /// Naive weight threshold.
-    NaiveThreshold,
-    /// Maximum spanning tree (parameter-free).
-    MaximumSpanningTree,
-    /// Doubly-Stochastic transformation (parameter-free).
-    DoublyStochastic,
-    /// High Salience Skeleton.
-    HighSalienceSkeleton,
-    /// Disparity Filter.
-    DisparityFilter,
-    /// Noise-Corrected backbone (the paper's contribution).
-    NoiseCorrected,
-}
-
-impl Method {
-    /// All six methods, in the plotting order of the paper's figures.
-    pub fn all() -> [Method; 6] {
-        [
-            Method::NaiveThreshold,
-            Method::MaximumSpanningTree,
-            Method::DoublyStochastic,
-            Method::HighSalienceSkeleton,
-            Method::DisparityFilter,
-            Method::NoiseCorrected,
-        ]
-    }
-
-    /// The methods that scale to large networks (used by the Figure 9 sweep on
-    /// millions of edges; HSS and DS are benchmarked only on small sizes, as
-    /// in the paper).
-    pub fn scalable() -> [Method; 4] {
-        [
-            Method::NaiveThreshold,
-            Method::MaximumSpanningTree,
-            Method::DisparityFilter,
-            Method::NoiseCorrected,
-        ]
-    }
-
-    /// Short identifier used in tables (matches the paper's legend).
-    pub fn short_name(&self) -> &'static str {
-        match self {
-            Method::NaiveThreshold => "NT",
-            Method::MaximumSpanningTree => "MST",
-            Method::DoublyStochastic => "DS",
-            Method::HighSalienceSkeleton => "HSS",
-            Method::DisparityFilter => "DF",
-            Method::NoiseCorrected => "NC",
-        }
-    }
-
-    /// Full name used in reports.
-    pub fn full_name(&self) -> &'static str {
-        match self {
-            Method::NaiveThreshold => "Naive Threshold",
-            Method::MaximumSpanningTree => "Maximum Spanning Tree",
-            Method::DoublyStochastic => "Doubly Stochastic",
-            Method::HighSalienceSkeleton => "High Salience Skeleton",
-            Method::DisparityFilter => "Disparity Filter",
-            Method::NoiseCorrected => "Noise-Corrected",
-        }
-    }
-
-    /// Whether the method has no tunable parameter (its backbone is a single
-    /// fixed edge set).
-    pub fn is_parameter_free(&self) -> bool {
-        matches!(self, Method::MaximumSpanningTree | Method::DoublyStochastic)
-    }
-
-    /// Score every edge of the graph with this method.
-    pub fn score(&self, graph: &WeightedGraph) -> BackboneResult<ScoredEdges> {
-        self.score_with_threads(graph, 0)
-    }
-
-    /// [`Method::score`] with an explicit worker count (`0` = automatic).
-    ///
-    /// Experiments that already parallelize an outer loop (e.g. the Monte
-    /// Carlo trials of Figure 4) pass `1` here so the inner scoring does not
-    /// nest a second thread fan-out. Naive thresholding and MST are single
-    /// sequential passes and ignore the count.
-    pub fn score_with_threads(
-        &self,
-        graph: &WeightedGraph,
-        threads: usize,
-    ) -> BackboneResult<ScoredEdges> {
-        match self {
-            Method::NaiveThreshold => NaiveThreshold::new().score(graph),
-            Method::MaximumSpanningTree => MaximumSpanningTree::new().score(graph),
-            Method::DoublyStochastic => DoublyStochastic::new().score_with_threads(graph, threads),
-            Method::HighSalienceSkeleton => {
-                HighSalienceSkeleton::new().score_with_threads(graph, threads)
-            }
-            Method::DisparityFilter => DisparityFilter::new().score_with_threads(graph, threads),
-            Method::NoiseCorrected => NoiseCorrected::default().score_with_threads(graph, threads),
-        }
-    }
-
-    /// The method's backbone as an edge-index set at a target edge count.
-    ///
-    /// Scored methods return their `target_edges` highest scoring edges;
-    /// parameter-free methods return their fixed backbone regardless of
-    /// `target_edges` (matching how the paper compares them).
-    pub fn edge_set(
-        &self,
-        graph: &WeightedGraph,
-        target_edges: usize,
-    ) -> BackboneResult<Vec<usize>> {
-        self.edge_set_with_threads(graph, target_edges, 0)
-    }
-
-    /// [`Method::edge_set`] with an explicit worker count (`0` = automatic).
-    pub fn edge_set_with_threads(
-        &self,
-        graph: &WeightedGraph,
-        target_edges: usize,
-        threads: usize,
-    ) -> BackboneResult<Vec<usize>> {
-        match self {
-            Method::MaximumSpanningTree => Ok(MaximumSpanningTree::new().fixed_edge_set(graph)),
-            Method::DoublyStochastic => DoublyStochastic::new().fixed_edge_set(graph),
-            _ => Ok(self.score_with_threads(graph, threads)?.top_k(target_edges)),
-        }
-    }
-
-    /// The method's backbone graph at a target edge count (see [`Method::edge_set`]).
-    pub fn backbone(
-        &self,
-        graph: &WeightedGraph,
-        target_edges: usize,
-    ) -> BackboneResult<WeightedGraph> {
-        Ok(graph.subgraph_with_edges(&self.edge_set(graph, target_edges)?)?)
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use backboning_graph::generators::complete_graph;
-
-    #[test]
-    fn registry_covers_six_methods() {
-        assert_eq!(Method::all().len(), 6);
-        assert_eq!(Method::scalable().len(), 4);
-        let names: Vec<&str> = Method::all().iter().map(|m| m.short_name()).collect();
-        assert_eq!(names, vec!["NT", "MST", "DS", "HSS", "DF", "NC"]);
-        for method in Method::all() {
-            assert!(!method.full_name().is_empty());
-        }
-    }
-
-    #[test]
-    fn parameter_free_flags() {
-        assert!(Method::MaximumSpanningTree.is_parameter_free());
-        assert!(Method::DoublyStochastic.is_parameter_free());
-        assert!(!Method::NoiseCorrected.is_parameter_free());
-        assert!(!Method::DisparityFilter.is_parameter_free());
-    }
-
-    #[test]
-    fn every_method_scores_a_dense_graph() {
-        let graph = complete_graph(12, 2.0).unwrap();
-        for method in Method::all() {
-            let scored = method.score(&graph).unwrap();
-            assert_eq!(scored.len(), graph.edge_count(), "{}", method.short_name());
-        }
-    }
-
-    #[test]
-    fn edge_sets_respect_target_for_scored_methods() {
-        let graph = complete_graph(10, 2.0).unwrap();
-        for method in [
-            Method::NaiveThreshold,
-            Method::DisparityFilter,
-            Method::NoiseCorrected,
-        ] {
-            let edges = method.edge_set(&graph, 7).unwrap();
-            assert_eq!(edges.len(), 7, "{}", method.short_name());
-        }
-        // MST ignores the target and returns n − 1 edges.
-        let mst = Method::MaximumSpanningTree.edge_set(&graph, 7).unwrap();
-        assert_eq!(mst.len(), 9);
-    }
-
-    #[test]
-    fn backbone_preserves_node_count() {
-        let graph = complete_graph(8, 1.0).unwrap();
-        for method in Method::all() {
-            let backbone = method.backbone(&graph, 10).unwrap();
-            assert_eq!(backbone.node_count(), 8, "{}", method.short_name());
-        }
-    }
-}
+pub use backboning::Method;

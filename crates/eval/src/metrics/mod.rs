@@ -2,12 +2,12 @@
 //!
 //! * [`recovery`] — Jaccard similarity between the recovered and true edge
 //!   sets of synthetic networks (Figure 4).
-//! * [`coverage`] — the share of originally non-isolated nodes that keep at
-//!   least one edge in the backbone (the Topology criterion, Figure 7).
+//! * [`mod@coverage`] — the share of originally non-isolated nodes that keep
+//!   at least one edge in the backbone (the Topology criterion, Figure 7).
 //! * [`quality`] — the ratio of OLS `R²` on the backbone vs on the full
 //!   network, with the paper's per-network predictor sets (Table II).
-//! * [`stability`] — Spearman correlation of edge weights between consecutive
-//!   years restricted to the backbone (Figure 8).
+//! * [`mod@stability`] — Spearman correlation of edge weights between
+//!   consecutive years restricted to the backbone (Figure 8).
 //! * [`validation`] — correlation between NC-predicted and observed cross-year
 //!   variance of the transformed edge weights (Table I).
 

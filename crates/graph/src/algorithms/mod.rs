@@ -1,6 +1,6 @@
 //! Graph algorithms used by the backboning methods and the evaluation harness.
 //!
-//! * [`UnionFind`](union_find::UnionFind) — disjoint sets, used by Kruskal's
+//! * [`UnionFind`] — disjoint sets, used by Kruskal's
 //!   algorithm and the connectivity check of the Doubly-Stochastic backbone.
 //! * [`components`] — (weakly) connected components and component counts.
 //! * [`traversal`] — breadth-first and depth-first traversals.

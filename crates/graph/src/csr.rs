@@ -2,7 +2,7 @@
 //!
 //! The scalability experiment of the paper (Figure 9) runs the backboning
 //! methods on networks with millions of edges. The adjacency-list
-//! [`WeightedGraph`](crate::WeightedGraph) is convenient to mutate but has
+//! [`WeightedGraph`] is convenient to mutate but has
 //! poor cache locality; [`CsrGraph`] is an immutable, densely packed view that
 //! the hot loops (strength computation, per-node neighbourhood scans) operate
 //! on.

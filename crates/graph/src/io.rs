@@ -4,12 +4,43 @@
 //! whitespace- or tab-separated edge lists (`source target weight`, one edge
 //! per line, optional header). This module reads and writes the same format so
 //! that networks can be moved between this crate and external tools.
+//!
+//! Reading is **streaming**: lines are consumed one at a time from any
+//! [`BufRead`] source (a file, stdin, a byte slice), so arbitrarily large
+//! edge lists are ingested without buffering the whole file. Parse failures
+//! report the offending source name and line number.
+//!
+//! ```
+//! use backboning_graph::io::{read_edge_list_str, write_edge_list_string, EdgeListOptions};
+//! use backboning_graph::Direction;
+//!
+//! // Comments and blank lines are skipped; duplicate edges accumulate.
+//! let text = "# world trade, USD\nNLD DEU 4.0\nNLD DEU 1.5\nDEU FRA 2.0\n";
+//! let options = EdgeListOptions::with_direction(Direction::Undirected);
+//! let graph = read_edge_list_str(text, &options).unwrap();
+//! assert_eq!(graph.edge_count(), 2);
+//!
+//! let nld = graph.node_by_label("NLD").unwrap();
+//! let deu = graph.node_by_label("DEU").unwrap();
+//! assert_eq!(graph.edge_weight(nld, deu), Some(5.5));
+//!
+//! // Errors carry the source name and the line number.
+//! let err = read_edge_list_str("A B not_a_number", &options).unwrap_err();
+//! assert!(err.to_string().contains("line 1"));
+//!
+//! // Writing round-trips through the same format.
+//! let round = write_edge_list_string(&graph).unwrap();
+//! assert!(round.contains("NLD\tDEU\t5.5"));
+//! ```
 
 use std::io::{BufRead, BufWriter, Write};
 use std::path::Path;
 
 use crate::error::{GraphError, GraphResult};
 use crate::graph::{Direction, WeightedGraph};
+
+/// The source name used in error messages when none is supplied.
+const ANONYMOUS_SOURCE: &str = "<edge list>";
 
 /// Options controlling edge-list parsing.
 #[derive(Debug, Clone)]
@@ -50,14 +81,31 @@ impl EdgeListOptions {
 /// Each data line must contain `source target [weight]`; when the weight
 /// column is missing the edge gets weight 1. Node names are arbitrary strings
 /// and become node labels. Duplicate edges accumulate their weights.
+///
+/// Error messages use a generic source name; use [`read_edge_list_named`]
+/// (or [`read_edge_list_file`], which names the file automatically) to report
+/// where a malformed line came from.
 pub fn read_edge_list<R: BufRead>(
     reader: R,
     options: &EdgeListOptions,
 ) -> GraphResult<WeightedGraph> {
+    read_edge_list_named(reader, options, ANONYMOUS_SOURCE)
+}
+
+/// [`read_edge_list`], reporting `source_name` (a file path, `<stdin>`, …) in
+/// every parse error alongside the 1-based line number.
+pub fn read_edge_list_named<R: BufRead>(
+    reader: R,
+    options: &EdgeListOptions,
+    source_name: &str,
+) -> GraphResult<WeightedGraph> {
     let mut graph = WeightedGraph::new(options.direction);
     let mut skipped_header = !options.has_header;
-    for (line_number, line) in reader.lines().enumerate() {
-        let line = line?;
+    for (line_index, line) in reader.lines().enumerate() {
+        let line_number = line_index + 1;
+        let line = line.map_err(|e| GraphError::Io {
+            message: format!("{source_name}: line {line_number}: {e}"),
+        })?;
         let trimmed = line.trim();
         if trimmed.is_empty() {
             continue;
@@ -78,16 +126,14 @@ pub fn read_edge_list<R: BufRead>(
         if fields.len() < 2 {
             return Err(GraphError::Io {
                 message: format!(
-                    "line {}: expected at least `source target`, got `{trimmed}`",
-                    line_number + 1
+                    "{source_name}: line {line_number}: expected at least `source target`, got `{trimmed}`"
                 ),
             });
         }
         let weight = if fields.len() >= 3 {
             fields[2].parse::<f64>().map_err(|_| GraphError::Io {
                 message: format!(
-                    "line {}: cannot parse weight `{}`",
-                    line_number + 1,
+                    "{source_name}: line {line_number}: cannot parse weight `{}`",
                     fields[2]
                 ),
             })?
@@ -96,7 +142,11 @@ pub fn read_edge_list<R: BufRead>(
         };
         let source = graph.ensure_node(fields[0]);
         let target = graph.ensure_node(fields[1]);
-        graph.add_edge(source, target, weight)?;
+        graph
+            .add_edge(source, target, weight)
+            .map_err(|e| GraphError::Io {
+                message: format!("{source_name}: line {line_number}: {e}"),
+            })?;
     }
     Ok(graph)
 }
@@ -107,12 +157,21 @@ pub fn read_edge_list_str(text: &str, options: &EdgeListOptions) -> GraphResult<
 }
 
 /// Read a weighted edge list from a file.
+///
+/// Both open failures and parse failures name the offending path.
 pub fn read_edge_list_file(
     path: impl AsRef<Path>,
     options: &EdgeListOptions,
 ) -> GraphResult<WeightedGraph> {
-    let file = std::fs::File::open(path)?;
-    read_edge_list(std::io::BufReader::new(file), options)
+    let path = path.as_ref();
+    let file = std::fs::File::open(path).map_err(|e| GraphError::Io {
+        message: format!("{}: {e}", path.display()),
+    })?;
+    read_edge_list_named(
+        std::io::BufReader::new(file),
+        options,
+        &path.display().to_string(),
+    )
 }
 
 /// Write a graph as a tab-separated edge list (`source<TAB>target<TAB>weight`).

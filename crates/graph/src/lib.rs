@@ -10,7 +10,7 @@
 //!
 //! * [`WeightedGraph`] — the central adjacency-list representation with node
 //!   labels, per-node in/out strengths and O(1) edge lookup.
-//! * [`CsrGraph`](csr::CsrGraph) — an immutable compressed-sparse-row view used
+//! * [`CsrGraph`] — an immutable compressed-sparse-row view used
 //!   by the scalability experiments (Figure 9).
 //! * Graph [`generators`] — Barabási–Albert, Erdős–Rényi, stochastic block
 //!   model and small deterministic topologies, used by the synthetic
@@ -19,7 +19,7 @@
 //!   Dijkstra shortest-path trees (the building block of the High Salience
 //!   Skeleton), and Kruskal maximum spanning trees.
 //! * Edge-list [`io`] for plain-text interchange of weighted networks.
-//! * A dense [`matrix`](crate::matrix) adjacency view used by the
+//! * A dense [`matrix`] adjacency view used by the
 //!   Doubly-Stochastic backbone's Sinkhorn normalisation.
 
 #![forbid(unsafe_code)]

@@ -3,7 +3,7 @@
 //! * [`label_propagation`] — fast weighted label propagation; used as a
 //!   lightweight detector and as the seed partition for the slower optimisers.
 //! * [`louvain`] — greedy modularity optimisation in the Louvain style.
-//! * [`infomap`] — two-level map-equation (Infomap-style) codelength and its
+//! * [`mod@infomap`] — two-level map-equation (Infomap-style) codelength and its
 //!   greedy optimisation, used by the paper's case study (Section VI).
 
 pub mod infomap;

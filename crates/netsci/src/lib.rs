@@ -10,9 +10,9 @@
 //! * the **Infomap codelength** gain obtained by partitioning the backbone
 //!   (the paper reports a 15.0% gain for the NC backbone vs 9.3% for the
 //!   Disparity Filter) — implemented as the two-level map equation in
-//!   [`community::infomap`];
+//!   [`mod@community::infomap`];
 //! * the **modularity** of the expert classification on each backbone
-//!   ([`modularity`]);
+//!   ([`modularity()`]);
 //! * the **normalized mutual information** between detected communities and
 //!   the classification ([`nmi`]).
 //!

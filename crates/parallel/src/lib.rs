@@ -28,6 +28,28 @@
 //! be overridden with the `BACKBONING_THREADS` environment variable (a
 //! positive integer; `BACKBONING_THREADS=1` forces the sequential path, which
 //! runs inline on the calling thread without spawning).
+//!
+//! ## Example
+//!
+//! ```
+//! use backboning_parallel::{par_map, par_accumulate};
+//!
+//! // Order-preserving parallel map: result `i` is `map(i, &items[i])`,
+//! // bit-identical at any worker count.
+//! let squares = par_map(&[1u64, 2, 3, 4], 2, |_, &x| x * x);
+//! assert_eq!(squares, vec![1, 4, 9, 16]);
+//!
+//! // Accumulate-then-merge over an index range: each worker folds its own
+//! // contiguous range, and the partials merge in ascending range order.
+//! let sum = par_accumulate(
+//!     100,
+//!     4,
+//!     || 0u64,
+//!     |acc, i| *acc += i as u64,
+//!     |acc, partial| *acc += partial,
+//! );
+//! assert_eq!(sum, 4950);
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
