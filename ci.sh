@@ -22,4 +22,40 @@ cargo test -q
 echo "==> perf smoke: bench_snapshot -> BENCH_backbones.json"
 cargo run --release -p backboning_bench --bin bench_snapshot
 
+echo "==> server smoke: backbone serve"
+SERVE_PORT="${SERVE_PORT:-48170}"
+SERVE_URL="http://127.0.0.1:${SERVE_PORT}"
+./target/release/backbone serve --addr "127.0.0.1:${SERVE_PORT}" \
+    --graphs docs/examples --undirected &
+SERVE_PID=$!
+cleanup_server() {
+    if kill -0 "$SERVE_PID" 2>/dev/null; then
+        kill -TERM "$SERVE_PID" 2>/dev/null || true
+        wait "$SERVE_PID" 2>/dev/null || true
+    fi
+}
+trap cleanup_server EXIT
+
+# Wait for the listener (the health route answers once the pool is up).
+for _ in $(seq 1 50); do
+    if curl -sf "${SERVE_URL}/health" >/dev/null 2>&1; then break; fi
+    sleep 0.1
+done
+curl -sf "${SERVE_URL}/health" | grep -q '"status": "ok"'
+
+# A real backbone query on the bundled example graph, validated as JSON.
+SUMMARY=$(curl -sf "${SERVE_URL}/graphs/trade/backbone?method=nc&top_share=0.2&output=summary")
+echo "$SUMMARY" | grep -q '"method": "nc"'
+echo "$SUMMARY" | grep -q '"kind": "top_share"'
+echo "$SUMMARY" | grep -q '"graph": "trade"'
+# A cached re-query must return the identical bytes.
+SUMMARY_CACHED=$(curl -sf "${SERVE_URL}/graphs/trade/backbone?method=nc&top_share=0.2&output=summary")
+[ "$SUMMARY" = "$SUMMARY_CACHED" ]
+
+# Clean shutdown via the control path; SIGTERM (see cleanup_server) is the
+# fallback if the route ever breaks.
+curl -sf -X POST "${SERVE_URL}/shutdown" | grep -q 'shutting down'
+wait "$SERVE_PID"
+trap - EXIT
+
 echo "==> OK"

@@ -14,16 +14,26 @@
 //! against the parallel CSR engine at 4 workers and reports the speedup —
 //! the headline number of the "HSS doesn't scale" fix.
 //!
+//! Since PR 4 the snapshot also measures the HTTP serving subsystem
+//! (`backboning_server`) on `ba_2000`: for NC and HSS it records the cold
+//! first request (scoring included), the cached-request median and its
+//! requests/sec, the in-process pipeline-from-scratch median, and the
+//! resulting cache speedup — the "sweeping thresholds costs microseconds"
+//! claim, measured end-to-end through real loopback sockets.
+//!
 //! Environment: `BENCH_RUNS` (default 3) timed runs per entry, median
 //! reported; `BACKBONING_THREADS` steers the auto-threaded entries.
 
+use std::io::{Read, Write};
+use std::net::TcpStream;
 use std::time::Instant;
 
-use backboning::HighSalienceSkeleton;
+use backboning::{HighSalienceSkeleton, Pipeline, ThresholdPolicy};
 use backboning_eval::Method;
 use backboning_graph::generators::{barabasi_albert, complete_graph, erdos_renyi};
 use backboning_graph::{Direction, WeightedGraph};
 use backboning_parallel::available_threads;
+use backboning_server::{Server, ServerConfig};
 
 /// One measured snapshot entry.
 struct Entry {
@@ -68,7 +78,122 @@ fn entry(
     }
 }
 
-fn render_json(default_threads: usize, entries: &[Entry], hss_speedup: f64) -> String {
+/// One measured server query: the same (graph, method, policy) asked cold
+/// (first request: scoring runs), cached (every later request), and as an
+/// in-process pipeline run from scratch for comparison.
+struct ServerQuery {
+    method: &'static str,
+    cold_first_request_ms: f64,
+    cached_median_ms: f64,
+    cached_rps: f64,
+    pipeline_scratch_ms: f64,
+    speedup_cached_vs_scratch: f64,
+}
+
+/// One blocking HTTP GET over a fresh loopback connection; asserts 200.
+fn http_get(addr: std::net::SocketAddr, path: &str) -> Vec<u8> {
+    let mut stream = TcpStream::connect(addr).expect("connect to the bench server");
+    write!(
+        stream,
+        "GET {path} HTTP/1.1\r\nHost: bench\r\nConnection: close\r\n\r\n"
+    )
+    .expect("send the bench request");
+    let mut response = Vec::new();
+    stream
+        .read_to_end(&mut response)
+        .expect("read the bench response");
+    assert!(
+        response.starts_with(b"HTTP/1.1 200"),
+        "bench query `{path}` failed: {}",
+        String::from_utf8_lossy(&response[..response.len().min(200)])
+    );
+    response
+}
+
+/// Measure the serving subsystem on `graph`: cold vs cached requests for a
+/// cheap-to-score method (NC) and an expensive one (HSS), plus an aggregate
+/// cached requests/sec under 4 concurrent client threads.
+fn measure_server(runs: usize, graph: &WeightedGraph) -> (Vec<ServerQuery>, f64) {
+    let server = Server::bind(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        ..ServerConfig::default()
+    })
+    .expect("bind the bench server on an ephemeral port");
+    let addr = server.addr();
+
+    let mut queries = Vec::new();
+    for method in [Method::NoiseCorrected, Method::HighSalienceSkeleton] {
+        let cli_name = match method {
+            Method::NoiseCorrected => "nc",
+            _ => "hss",
+        };
+        // The same work, in process, re-scoring every time — what each
+        // threshold sweep step cost before the scored-graph cache existed.
+        let pipeline = Pipeline::new(method, ThresholdPolicy::TopShare(0.2));
+        let pipeline_scratch_ms = timed_runs(runs, || {
+            let _ = pipeline.run(graph);
+        });
+
+        // A fresh registry name per method makes the first request cold.
+        let name = format!("bench_{cli_name}");
+        server
+            .registry()
+            .insert(&name, graph.clone())
+            .expect("register the bench graph");
+        let path =
+            format!("/graphs/{name}/backbone?method={cli_name}&top_share=0.2&output=summary");
+
+        let cold_start = Instant::now();
+        let cold_body = http_get(addr, &path);
+        let cold_first_request_ms = cold_start.elapsed().as_secs_f64() * 1e3;
+
+        let samples = (runs * 10).max(20);
+        let mut cached: Vec<f64> = (0..samples)
+            .map(|_| {
+                let start = Instant::now();
+                let body = http_get(addr, &path);
+                assert_eq!(body, cold_body, "cached response differs from cold");
+                start.elapsed().as_secs_f64() * 1e3
+            })
+            .collect();
+        cached.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let cached_median_ms = cached[cached.len() / 2];
+
+        queries.push(ServerQuery {
+            method: cli_name,
+            cold_first_request_ms,
+            cached_median_ms,
+            cached_rps: 1e3 / cached_median_ms,
+            pipeline_scratch_ms,
+            speedup_cached_vs_scratch: pipeline_scratch_ms / cached_median_ms,
+        });
+    }
+
+    // Aggregate cached throughput: 4 client threads, 25 requests each.
+    let path = "/graphs/bench_nc/backbone?method=nc&top_share=0.2&output=summary";
+    let burst_start = Instant::now();
+    std::thread::scope(|scope| {
+        for _ in 0..4 {
+            scope.spawn(|| {
+                for _ in 0..25 {
+                    let _ = http_get(addr, path);
+                }
+            });
+        }
+    });
+    let concurrent_rps = 100.0 / burst_start.elapsed().as_secs_f64();
+
+    server.shutdown();
+    (queries, concurrent_rps)
+}
+
+fn render_json(
+    default_threads: usize,
+    entries: &[Entry],
+    hss_speedup: f64,
+    server_queries: &[ServerQuery],
+    concurrent_rps: f64,
+) -> String {
     let mut json = String::from("{\n");
     json.push_str(&format!("  \"default_threads\": {default_threads},\n"));
     json.push_str(&format!(
@@ -83,7 +208,35 @@ fn render_json(default_threads: usize, entries: &[Entry], hss_speedup: f64) -> S
             e.method, e.substrate, e.nodes, e.edges, e.threads, e.median_ms, e.edges_per_sec, comma
         ));
     }
-    json.push_str("  ]\n}\n");
+    json.push_str("  ],\n");
+    json.push_str("  \"server\": {\n");
+    json.push_str("    \"substrate\": \"ba_2000\",\n");
+    json.push_str("    \"policy\": \"top_share=0.2, summary output\",\n");
+    json.push_str(&format!(
+        "    \"cached_concurrent_rps_4_clients\": {concurrent_rps:.1},\n"
+    ));
+    json.push_str("    \"queries\": [\n");
+    for (index, q) in server_queries.iter().enumerate() {
+        let comma = if index + 1 < server_queries.len() {
+            ","
+        } else {
+            ""
+        };
+        json.push_str(&format!(
+            "      {{\"method\": \"{}\", \"cold_first_request_ms\": {:.3}, \
+             \"cached_median_ms\": {:.3}, \"cached_rps\": {:.1}, \
+             \"pipeline_scratch_ms\": {:.3}, \"speedup_cached_vs_scratch\": {:.1}}}{}\n",
+            q.method,
+            q.cold_first_request_ms,
+            q.cached_median_ms,
+            q.cached_rps,
+            q.pipeline_scratch_ms,
+            q.speedup_cached_vs_scratch,
+            comma
+        ));
+    }
+    json.push_str("    ]\n");
+    json.push_str("  }\n}\n");
     json
 }
 
@@ -150,7 +303,15 @@ fn main() {
     entries.push(seed);
     entries.push(engine);
 
-    let json = render_json(default_threads, &entries, hss_speedup);
+    let (server_queries, concurrent_rps) = measure_server(runs, &ba_2000);
+
+    let json = render_json(
+        default_threads,
+        &entries,
+        hss_speedup,
+        &server_queries,
+        concurrent_rps,
+    );
     // Resolved at runtime (ci.sh runs from the repo root); override with
     // BENCH_SNAPSHOT_PATH when invoking from elsewhere.
     let path =
@@ -159,5 +320,11 @@ fn main() {
 
     println!("{json}");
     println!("HSS ba_2000: seed path vs CSR engine @4 threads = {hss_speedup:.2}x (target >= 2x)");
+    for q in &server_queries {
+        println!(
+            "server ba_2000 {}: cached query vs pipeline from scratch = {:.1}x (target >= 10x)",
+            q.method, q.speedup_cached_vs_scratch
+        );
+    }
     println!("snapshot written to {path}");
 }

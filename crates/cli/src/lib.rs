@@ -8,7 +8,8 @@
 //! run summary.
 //!
 //! All of the actual work happens in [`backboning::Pipeline`]; this crate
-//! only translates command-line flags into a [`CliConfig`] and streams the
+//! only translates command-line flags into a [`CliConfig`] (or, for
+//! `backbone serve`, a [`backboning_server::ServerConfig`]) and streams the
 //! input. The parser is hand-rolled (the build environment vendors no
 //! argument-parsing crate) but follows GNU conventions: long flags with
 //! values as separate arguments, `-` for stdin, `--` unsupported-flag errors
@@ -81,6 +82,26 @@ OUTPUT:
     --threads <N>          worker threads (default: auto; also honours the
                            BACKBONING_THREADS environment variable)
 
+SERVE MODE:
+    backbone serve [--addr HOST:PORT] [--graphs DIR] [OPTIONS]
+
+    Run a long-lived HTTP server with a scored-graph cache: graphs are
+    loaded from DIR at startup (and can be uploaded via POST /graphs/NAME),
+    each (graph, method) pair is scored at most once, and every threshold
+    query after the first is answered from the cached scores.
+
+    --addr <HOST:PORT>     bind address (default 127.0.0.1:4817; port 0
+                           picks an ephemeral port)
+    --graphs <DIR>         directory of edge lists (*.tsv, *.csv, *.txt,
+                           *.edges) to register at startup, named by file
+                           stem
+    --threads <N>          scoring worker threads, and the worker-pool floor
+    The INPUT FORMAT flags above apply to the startup graph directory.
+
+    Routes: GET /health · GET /graphs · GET|POST|DELETE /graphs/NAME ·
+    GET /graphs/NAME/backbone?method=nc&top_share=0.2[&output=...][&format=...]
+    · POST /shutdown (clean stop). See docs/GUIDE.md § Serving backbones.
+
     -h, --help             print this help
 ";
 
@@ -112,11 +133,13 @@ pub struct CliConfig {
     pub threads: usize,
 }
 
-/// The parsed command: either run the pipeline or print help.
+/// The parsed command: run the pipeline, serve over HTTP, or print help.
 #[derive(Debug, Clone)]
 pub enum Command {
     /// Run the pipeline with this configuration.
     Run(CliConfig),
+    /// Start the HTTP serving subsystem (`backbone serve`).
+    Serve(backboning_server::ServerConfig),
     /// Print the usage text and exit successfully.
     Help,
 }
@@ -153,12 +176,77 @@ fn parse_separator(flag: &str, value: &str) -> Result<char, UsageError> {
     }
 }
 
+/// Apply one of the shared edge-list format flags (`--undirected`, `--csv`,
+/// `--separator`, …) to `options`, consuming its value from `args` when the
+/// flag takes one. Returns `false` when `flag` is not a format flag.
+fn apply_format_flag(
+    flag: &str,
+    args: &mut impl Iterator<Item = String>,
+    options: &mut EdgeListOptions,
+) -> Result<bool, UsageError> {
+    let mut value_for = |flag: &str| {
+        args.next()
+            .ok_or_else(|| usage_error(format!("{flag}: missing value")))
+    };
+    match flag {
+        "--undirected" => options.direction = Direction::Undirected,
+        "--directed" => options.direction = Direction::Directed,
+        "--csv" => options.separator = Some(','),
+        "--tsv" => options.separator = Some('\t'),
+        "--separator" => {
+            options.separator = Some(parse_separator(flag, &value_for(flag)?)?);
+        }
+        "--header" => options.has_header = true,
+        "--comment" => {
+            options.comment_prefix = Some(parse_separator(flag, &value_for(flag)?)?);
+        }
+        "--no-comment" => options.comment_prefix = None,
+        _ => return Ok(false),
+    }
+    Ok(true)
+}
+
+/// Parse the flags of `backbone serve …` (after the `serve` word).
+fn parse_serve_args(mut args: impl Iterator<Item = String>) -> Result<Command, UsageError> {
+    let mut config = backboning_server::ServerConfig::default();
+    while let Some(arg) = args.next() {
+        if matches!(arg.as_str(), "-h" | "--help") {
+            return Ok(Command::Help);
+        }
+        if apply_format_flag(&arg, &mut args, &mut config.options)? {
+            continue;
+        }
+        let mut value_for = |flag: &str| {
+            args.next()
+                .ok_or_else(|| usage_error(format!("{flag}: missing value")))
+        };
+        match arg.as_str() {
+            "--addr" => config.addr = value_for(&arg)?,
+            "--graphs" => config.graphs_dir = Some(PathBuf::from(value_for(&arg)?)),
+            "--threads" => config.threads = parse_number(&arg, &value_for(&arg)?)?,
+            flag if flag.starts_with('-') => {
+                return Err(usage_error(format!("unknown serve flag `{flag}`")));
+            }
+            other => {
+                return Err(usage_error(format!(
+                    "serve takes no positional arguments, got `{other}`"
+                )));
+            }
+        }
+    }
+    Ok(Command::Serve(config))
+}
+
 /// Parse a `backbone` command line (without the program name).
 pub fn parse_args<I>(args: I) -> Result<Command, UsageError>
 where
     I: IntoIterator<Item = String>,
 {
-    let mut args = args.into_iter();
+    let mut args = args.into_iter().peekable();
+    if args.peek().map(String::as_str) == Some("serve") {
+        args.next();
+        return parse_serve_args(args);
+    }
     let mut method: Option<Method> = None;
     let mut policy: Option<ThresholdPolicy> = None;
     let mut input: Option<PathBuf> = None;
@@ -178,6 +266,9 @@ where
     };
 
     while let Some(arg) = args.next() {
+        if apply_format_flag(&arg, &mut args, &mut options)? {
+            continue;
+        }
         let mut value_for = |flag: &str| {
             args.next()
                 .ok_or_else(|| usage_error(format!("{flag}: missing value")))
@@ -208,18 +299,6 @@ where
                 let v: f64 = parse_number(&arg, &value_for(&arg)?)?;
                 set_policy(ThresholdPolicy::Coverage(v), &mut policy)?;
             }
-            "--undirected" => options.direction = Direction::Undirected,
-            "--directed" => options.direction = Direction::Directed,
-            "--csv" => options.separator = Some(','),
-            "--tsv" => options.separator = Some('\t'),
-            "--separator" => {
-                options.separator = Some(parse_separator(&arg, &value_for(&arg)?)?);
-            }
-            "--header" => options.has_header = true,
-            "--comment" => {
-                options.comment_prefix = Some(parse_separator(&arg, &value_for(&arg)?)?);
-            }
-            "--no-comment" => options.comment_prefix = None,
             "-o" | "--output" => {
                 let kind = value_for(&arg)?;
                 output = match kind.as_str() {
@@ -311,7 +390,7 @@ mod tests {
     fn config(args: &[&str]) -> CliConfig {
         match parse(args).unwrap() {
             Command::Run(config) => config,
-            Command::Help => panic!("expected a run command"),
+            Command::Help | Command::Serve(_) => panic!("expected a run command"),
         }
     }
 
@@ -385,6 +464,61 @@ mod tests {
     fn help_flag_wins() {
         assert!(matches!(parse(&["--help"]), Ok(Command::Help)));
         assert!(matches!(parse(&["-m", "nc", "-h"]), Ok(Command::Help)));
+        assert!(matches!(parse(&["serve", "--help"]), Ok(Command::Help)));
+    }
+
+    #[test]
+    fn serve_subcommand_parses_its_flags() {
+        let Command::Serve(config) = parse(&[
+            "serve",
+            "--addr",
+            "0.0.0.0:9000",
+            "--graphs",
+            "data/graphs",
+            "--threads",
+            "2",
+            "--undirected",
+            "--header",
+        ])
+        .unwrap() else {
+            panic!("expected a serve command")
+        };
+        assert_eq!(config.addr, "0.0.0.0:9000");
+        assert_eq!(
+            config.graphs_dir.as_deref(),
+            Some(std::path::Path::new("data/graphs"))
+        );
+        assert_eq!(config.threads, 2);
+        assert_eq!(config.options.direction, Direction::Undirected);
+        assert!(config.options.has_header);
+    }
+
+    #[test]
+    fn serve_defaults_need_no_flags() {
+        let Command::Serve(config) = parse(&["serve"]).unwrap() else {
+            panic!("expected a serve command")
+        };
+        assert_eq!(config.addr, "127.0.0.1:4817");
+        assert!(config.graphs_dir.is_none());
+        assert_eq!(config.threads, 0);
+    }
+
+    #[test]
+    fn serve_usage_errors_are_reported() {
+        for (args, needle) in [
+            (&["serve", "--wat"][..], "unknown serve flag"),
+            (&["serve", "edges.tsv"][..], "no positional arguments"),
+            (&["serve", "--addr"][..], "missing value"),
+            (&["serve", "--threads", "x"][..], "cannot parse"),
+            (&["serve", "--separator", "ab"][..], "single character"),
+        ] {
+            let err = parse(args).unwrap_err();
+            assert!(
+                err.0.contains(needle),
+                "{args:?}: expected `{needle}` in `{}`",
+                err.0
+            );
+        }
     }
 
     #[test]

@@ -1,8 +1,10 @@
 //! The `backbone` binary: parse the command line, stream the edge list,
-//! run the shared [`backboning::Pipeline`], and write the result to stdout.
+//! run the shared [`backboning::Pipeline`], and write the result to stdout —
+//! or, as `backbone serve`, start the long-lived HTTP serving subsystem
+//! (`backboning_server`) with its scored-graph cache.
 //!
 //! Exit codes: `0` success, `1` runtime failure (unreadable input, malformed
-//! edge list, method error), `2` usage error.
+//! edge list, method error, bind failure), `2` usage error.
 
 use std::io::Write;
 
@@ -22,6 +24,21 @@ fn main() {
         Command::Help => {
             print!("{USAGE}");
         }
+        Command::Serve(config) => match backboning_server::Server::bind(config) {
+            Ok(server) => {
+                println!(
+                    "backbone: serving on http://{} ({} graph(s) loaded, POST /shutdown to stop)",
+                    server.addr(),
+                    server.registry().graph_count()
+                );
+                let _ = std::io::stdout().flush();
+                server.wait();
+            }
+            Err(err) => {
+                eprintln!("backbone: serve: {err}");
+                std::process::exit(1);
+            }
+        },
         Command::Run(config) => {
             let stdout = std::io::stdout();
             let mut out = stdout.lock();

@@ -80,6 +80,7 @@ pub mod disparity;
 pub mod doubly_stochastic;
 pub mod error;
 pub mod high_salience;
+pub mod json;
 pub mod method;
 pub mod naive;
 pub mod noise_corrected;

@@ -131,6 +131,22 @@ impl Method {
         }
     }
 
+    /// The identifier this method's extractor stamps onto the
+    /// [`ScoredEdges`] it produces (its [`BackboneExtractor::name`]); used
+    /// to verify that cached scores belong to the method re-selecting over
+    /// them.
+    pub fn score_name(&self) -> &'static str {
+        match self {
+            Method::NaiveThreshold => NaiveThreshold::new().name(),
+            Method::MaximumSpanningTree => MaximumSpanningTree::new().name(),
+            Method::DoublyStochastic => DoublyStochastic::new().name(),
+            Method::HighSalienceSkeleton => HighSalienceSkeleton::new().name(),
+            Method::DisparityFilter => DisparityFilter::new().name(),
+            Method::NoiseCorrected => NoiseCorrected::default().name(),
+            Method::NoiseCorrectedBinomial => NoiseCorrectedBinomial::new().name(),
+        }
+    }
+
     /// Parse a method name, case-insensitively. Accepts the CLI names
     /// (`nc`, `ncb`, `df`, `hss`, `ds`, `mst`, `naive`), the table legends
     /// (`NT`, …) and a few spelled-out aliases (`noise-corrected`,
@@ -314,6 +330,7 @@ mod tests {
         for method in Method::every() {
             let scored = method.score(&graph).unwrap();
             assert_eq!(scored.len(), graph.edge_count(), "{}", method.short_name());
+            assert_eq!(scored.method(), method.score_name());
         }
     }
 

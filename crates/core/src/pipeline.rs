@@ -30,12 +30,14 @@
 
 use std::collections::HashSet;
 use std::io::{BufWriter, Write};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use backboning_graph::io::write_edge_list;
 use backboning_graph::WeightedGraph;
 
 use crate::error::{BackboneError, BackboneResult};
+use crate::json;
 use crate::method::Method;
 use crate::scored::ScoredEdges;
 
@@ -176,7 +178,68 @@ impl Pipeline {
     /// measuring wall time and coverage along the way.
     pub fn run(&self, graph: &WeightedGraph) -> BackboneResult<PipelineRun> {
         let start = Instant::now();
-        let scored = self.score(graph)?;
+        let scored = Arc::new(self.score(graph)?);
+        self.assemble(graph, scored, start)
+    }
+
+    /// Run everything *after* scoring on an already-scored edge set: apply
+    /// the threshold policy, build the backbone graph, and assemble a full
+    /// [`PipelineRun`] — without recomputing the scores.
+    ///
+    /// This is the score-once-select-many entry point: score a graph once
+    /// (via [`Pipeline::score`] or a cache of [`ScoredEdges`]) and sweep any
+    /// number of threshold policies over the shared scores at selection
+    /// cost only — the `Arc` makes the hot path allocation-free even for
+    /// multi-million-edge score sets. The resulting run is identical to a
+    /// fresh [`Pipeline::run`] with the same method and policy — same kept
+    /// set, same backbone, same summary — except for the measured wall
+    /// time, which here covers only selection and backbone construction.
+    /// The `backboning_server` scored-graph cache serves every threshold
+    /// query after the first through this path.
+    ///
+    /// The scores must actually belong to this pipeline's method and to
+    /// `graph` (same node and edge counts); mismatches — scores produced by
+    /// another method, or for another graph — are rejected instead of
+    /// silently producing a wrong backbone.
+    pub fn run_with_scores(
+        &self,
+        graph: &WeightedGraph,
+        scored: Arc<ScoredEdges>,
+    ) -> BackboneResult<PipelineRun> {
+        let expected = self.method.score_name();
+        if scored.method() != expected {
+            return Err(BackboneError::InvalidParameter {
+                parameter: "scored",
+                message: format!(
+                    "scores were produced by `{}`, but this pipeline runs `{expected}`",
+                    scored.method()
+                ),
+            });
+        }
+        if scored.node_count() != graph.node_count() || scored.len() != graph.edge_count() {
+            return Err(BackboneError::InvalidParameter {
+                parameter: "scored",
+                message: format!(
+                    "scores cover a {}-node / {}-edge graph, but this graph has {} nodes / {} edges",
+                    scored.node_count(),
+                    scored.len(),
+                    graph.node_count(),
+                    graph.edge_count()
+                ),
+            });
+        }
+        self.assemble(graph, scored, Instant::now())
+    }
+
+    /// Select, build the backbone, and package the run statistics. `start`
+    /// is when the caller's measured work began (before scoring for `run`,
+    /// after it for `run_with_scores`).
+    fn assemble(
+        &self,
+        graph: &WeightedGraph,
+        scored: Arc<ScoredEdges>,
+        start: Instant,
+    ) -> BackboneResult<PipelineRun> {
         let kept = self.select(graph, &scored)?;
         let backbone = graph.subgraph_with_edges(&kept)?;
         let elapsed = start.elapsed();
@@ -259,8 +322,9 @@ pub struct PipelineRun {
     pub coverage: f64,
     /// Wall time of scoring + selection + backbone construction.
     pub elapsed: Duration,
-    /// Every edge with its method-specific significance score.
-    pub scored: ScoredEdges,
+    /// Every edge with its method-specific significance score (shared, so a
+    /// cached selection never copies the score vector).
+    pub scored: Arc<ScoredEdges>,
     /// Indices (into the input graph) of the kept edges.
     pub kept: Vec<usize>,
     /// The backbone graph (full node set, kept edges only).
@@ -328,29 +392,46 @@ impl PipelineRun {
     /// The run summary as a JSON object: method, policy, thread count,
     /// input/backbone sizes, coverage and wall time.
     pub fn summary_json(&self) -> String {
-        format!(
-            concat!(
-                "{{\n",
-                "  \"method\": \"{}\",\n",
-                "  \"policy\": {{ \"kind\": \"{}\", \"value\": {} }},\n",
-                "  \"threads\": {},\n",
-                "  \"input\": {{ \"nodes\": {}, \"edges\": {} }},\n",
-                "  \"backbone\": {{ \"nodes_covered\": {}, \"edges\": {}, \"edge_share\": {:.6}, \"coverage\": {:.6} }},\n",
-                "  \"wall_ms\": {:.3}\n",
-                "}}"
-            ),
-            self.method.cli_name(),
-            self.policy.kind(),
-            self.policy.value(),
-            self.threads,
-            self.original_nodes,
-            self.original_edges,
-            self.backbone.non_isolated_node_count(),
-            self.kept.len(),
-            self.edge_share(),
-            self.coverage,
-            self.elapsed.as_secs_f64() * 1e3,
-        )
+        self.summary(true)
+    }
+
+    /// [`PipelineRun::summary_json`] without the `wall_ms` field.
+    ///
+    /// Wall time is the one run statistic that is not a pure function of the
+    /// input; omitting it makes the summary *stable*: two runs with the same
+    /// graph, method and policy produce byte-identical summaries. The HTTP
+    /// server responds with this form so a cache-hit answer is exactly the
+    /// bytes of the cold one.
+    pub fn summary_json_stable(&self) -> String {
+        self.summary(false)
+    }
+
+    fn summary(&self, include_timing: bool) -> String {
+        let mut policy = json::JsonObject::inline();
+        policy
+            .string("kind", self.policy.kind())
+            .f64("value", self.policy.value());
+        let mut input = json::JsonObject::inline();
+        input
+            .usize("nodes", self.original_nodes)
+            .usize("edges", self.original_edges);
+        let mut backbone = json::JsonObject::inline();
+        backbone
+            .usize("nodes_covered", self.backbone.non_isolated_node_count())
+            .usize("edges", self.kept.len())
+            .f64_fixed("edge_share", self.edge_share(), 6)
+            .f64_fixed("coverage", self.coverage, 6);
+        let mut summary = json::JsonObject::pretty();
+        summary
+            .string("method", self.method.cli_name())
+            .raw("policy", &policy.finish())
+            .usize("threads", self.threads)
+            .raw("input", &input.finish())
+            .raw("backbone", &backbone.finish());
+        if include_timing {
+            summary.f64_fixed("wall_ms", self.elapsed.as_secs_f64() * 1e3, 3);
+        }
+        summary.finish()
     }
 }
 

@@ -1,0 +1,328 @@
+//! The graph registry and its scored-edge cache.
+//!
+//! A [`Registry`] owns every named graph the server can answer queries
+//! about: graphs loaded from a directory at startup plus graphs uploaded
+//! over HTTP. Each [`GraphEntry`] carries a **scored-edge cache** keyed by
+//! method, so the expensive scoring pass (Sinkhorn for DS, one Dijkstra per
+//! root for HSS, the NC posterior, Monte Carlo-free but still O(E) work for
+//! the rest) runs **once per `(graph, method)`** and every subsequent
+//! threshold policy is answered from the cached
+//! [`backboning::ScoredEdges`] at selection cost.
+//!
+//! Concurrency model: the graph map is behind an `RwLock` (lookups are
+//! reads; uploads are rare writes). Each cache slot is an
+//! `Arc<OnceLock<…>>`, so concurrent first hits on the same `(graph,
+//! method)` block on one scoring pass instead of duplicating it, while
+//! queries for *other* methods or graphs proceed unhindered. Failed scoring
+//! attempts are cached too — a graph with no doubly-stochastic scaling
+//! answers every DS query with the same error without re-running Sinkhorn.
+
+use std::collections::{BTreeMap, HashMap};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, RwLock};
+
+use backboning::error::BackboneError;
+use backboning::{Method, ScoredEdges};
+use backboning_graph::io::{read_edge_list_file, EdgeListOptions};
+use backboning_graph::WeightedGraph;
+
+type ScoreSlot = Arc<OnceLock<Result<Arc<ScoredEdges>, BackboneError>>>;
+
+/// A named graph plus its per-method scored-edge cache.
+pub struct GraphEntry {
+    name: String,
+    graph: WeightedGraph,
+    cache: Mutex<HashMap<&'static str, ScoreSlot>>,
+}
+
+impl GraphEntry {
+    fn new(name: String, graph: WeightedGraph) -> Self {
+        GraphEntry {
+            name,
+            graph,
+            cache: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The registry name of the graph.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The graph itself.
+    pub fn graph(&self) -> &WeightedGraph {
+        &self.graph
+    }
+
+    /// CLI names of the methods whose scores are currently cached
+    /// (successfully computed ones only), sorted for stable output.
+    pub fn cached_methods(&self) -> Vec<&'static str> {
+        let cache = self.cache.lock().unwrap_or_else(|e| e.into_inner());
+        let mut names: Vec<&'static str> = cache
+            .iter()
+            .filter(|(_, slot)| matches!(slot.get(), Some(Ok(_))))
+            .map(|(name, _)| *name)
+            .collect();
+        names.sort_unstable();
+        names
+    }
+}
+
+/// Maximum accepted graph-name length.
+const MAX_NAME_LEN: usize = 100;
+
+/// Whether `name` is a legal registry name: 1–100 characters from
+/// `[A-Za-z0-9._-]`, not starting with a dot.
+pub fn valid_graph_name(name: &str) -> bool {
+    !name.is_empty()
+        && name.len() <= MAX_NAME_LEN
+        && !name.starts_with('.')
+        && name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '-'))
+}
+
+/// The server's set of named graphs and their scored-edge caches.
+pub struct Registry {
+    graphs: RwLock<BTreeMap<String, Arc<GraphEntry>>>,
+    threads: usize,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+}
+
+impl Registry {
+    /// An empty registry whose scoring passes use `threads` workers
+    /// (`0` = automatic, honouring `BACKBONING_THREADS`).
+    pub fn new(threads: usize) -> Self {
+        Registry {
+            graphs: RwLock::new(BTreeMap::new()),
+            threads,
+            cache_hits: AtomicU64::new(0),
+            cache_misses: AtomicU64::new(0),
+        }
+    }
+
+    /// The configured scoring worker count (`0` = automatic).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Load every edge-list file of `dir` (extensions `tsv`, `csv`, `txt`,
+    /// `edges`) as a named graph; the file stem becomes the name. `csv`
+    /// files are parsed comma-separated, everything else with `options`.
+    /// Returns the loaded names; any unreadable or malformed file fails the
+    /// whole load (a server should not come up half-configured).
+    pub fn load_dir(&self, dir: &Path, options: &EdgeListOptions) -> Result<Vec<String>, String> {
+        let entries = std::fs::read_dir(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+        let mut paths: Vec<std::path::PathBuf> = entries
+            .filter_map(|entry| entry.ok().map(|e| e.path()))
+            .filter(|path| {
+                path.extension()
+                    .and_then(|ext| ext.to_str())
+                    .is_some_and(|ext| matches!(ext, "tsv" | "csv" | "txt" | "edges"))
+            })
+            .collect();
+        paths.sort();
+        let mut loaded = Vec::new();
+        for path in paths {
+            let name = path
+                .file_stem()
+                .and_then(|stem| stem.to_str())
+                .unwrap_or_default()
+                .to_string();
+            if !valid_graph_name(&name) {
+                return Err(format!(
+                    "{}: `{name}` is not a valid graph name (use [A-Za-z0-9._-])",
+                    path.display()
+                ));
+            }
+            let mut file_options = options.clone();
+            if path.extension().and_then(|e| e.to_str()) == Some("csv") {
+                file_options.separator = Some(',');
+            }
+            let graph = read_edge_list_file(&path, &file_options).map_err(|e| e.to_string())?;
+            self.insert(&name, graph)?;
+            loaded.push(name);
+        }
+        Ok(loaded)
+    }
+
+    /// Register `graph` under `name`, replacing any previous graph of that
+    /// name (and dropping its cache). Rejects invalid names.
+    pub fn insert(&self, name: &str, graph: WeightedGraph) -> Result<Arc<GraphEntry>, String> {
+        if !valid_graph_name(name) {
+            return Err(format!(
+                "invalid graph name `{name}` (1-{MAX_NAME_LEN} characters from [A-Za-z0-9._-], not starting with a dot)"
+            ));
+        }
+        let entry = Arc::new(GraphEntry::new(name.to_string(), graph));
+        let mut graphs = self.graphs.write().unwrap_or_else(|e| e.into_inner());
+        graphs.insert(name.to_string(), Arc::clone(&entry));
+        Ok(entry)
+    }
+
+    /// Remove the graph registered under `name`. Returns whether it existed.
+    pub fn remove(&self, name: &str) -> bool {
+        let mut graphs = self.graphs.write().unwrap_or_else(|e| e.into_inner());
+        graphs.remove(name).is_some()
+    }
+
+    /// Look up a graph by name.
+    pub fn get(&self, name: &str) -> Option<Arc<GraphEntry>> {
+        let graphs = self.graphs.read().unwrap_or_else(|e| e.into_inner());
+        graphs.get(name).cloned()
+    }
+
+    /// All registered graphs in name order.
+    pub fn list(&self) -> Vec<Arc<GraphEntry>> {
+        let graphs = self.graphs.read().unwrap_or_else(|e| e.into_inner());
+        graphs.values().cloned().collect()
+    }
+
+    /// Number of registered graphs.
+    pub fn graph_count(&self) -> usize {
+        let graphs = self.graphs.read().unwrap_or_else(|e| e.into_inner());
+        graphs.len()
+    }
+
+    /// The scored edges of `entry` under `method`, from the cache when
+    /// present, scoring (once, with concurrent callers blocking on the same
+    /// pass) when not.
+    pub fn scored(
+        &self,
+        entry: &GraphEntry,
+        method: Method,
+    ) -> Result<Arc<ScoredEdges>, BackboneError> {
+        let slot = {
+            let mut cache = entry.cache.lock().unwrap_or_else(|e| e.into_inner());
+            Arc::clone(cache.entry(method.cli_name()).or_default())
+        };
+        let mut computed_here = false;
+        let result = slot.get_or_init(|| {
+            computed_here = true;
+            method
+                .score_with_threads(&entry.graph, self.threads)
+                .map(Arc::new)
+        });
+        if computed_here {
+            self.cache_misses.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.cache_hits.fetch_add(1, Ordering::Relaxed);
+        }
+        result.clone()
+    }
+
+    /// Lifetime cache statistics: `(hits, misses)`. A hit is any scored
+    /// lookup answered without running a scoring pass on the calling thread.
+    pub fn cache_stats(&self) -> (u64, u64) {
+        (
+            self.cache_hits.load(Ordering::Relaxed),
+            self.cache_misses.load(Ordering::Relaxed),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use backboning_graph::Direction;
+
+    fn sample_graph() -> WeightedGraph {
+        WeightedGraph::from_labeled_edges(
+            Direction::Undirected,
+            vec![("a", "b", 4.0), ("b", "c", 3.0), ("c", "a", 2.0)],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn insert_get_remove_round_trip() {
+        let registry = Registry::new(1);
+        assert_eq!(registry.graph_count(), 0);
+        registry.insert("g1", sample_graph()).unwrap();
+        assert_eq!(registry.graph_count(), 1);
+        let entry = registry.get("g1").expect("registered graph");
+        assert_eq!(entry.name(), "g1");
+        assert_eq!(entry.graph().edge_count(), 3);
+        assert!(registry.get("g2").is_none());
+        assert!(registry.remove("g1"));
+        assert!(!registry.remove("g1"));
+        assert_eq!(registry.graph_count(), 0);
+    }
+
+    #[test]
+    fn graph_names_are_validated() {
+        let registry = Registry::new(1);
+        for bad in [
+            "",
+            ".hidden",
+            "has space",
+            "sla/sh",
+            "q?x",
+            &"x".repeat(101),
+        ] {
+            assert!(registry.insert(bad, sample_graph()).is_err(), "`{bad}`");
+        }
+        for good in ["trade", "my-graph_2.v1", "X"] {
+            assert!(registry.insert(good, sample_graph()).is_ok(), "`{good}`");
+        }
+    }
+
+    #[test]
+    fn scoring_is_cached_per_method() {
+        let registry = Registry::new(1);
+        let entry = registry.insert("g", sample_graph()).unwrap();
+        assert_eq!(registry.cache_stats(), (0, 0));
+        let first = registry.scored(&entry, Method::NoiseCorrected).unwrap();
+        assert_eq!(registry.cache_stats(), (0, 1));
+        let second = registry.scored(&entry, Method::NoiseCorrected).unwrap();
+        assert_eq!(registry.cache_stats(), (1, 1));
+        // Same allocation, not merely equal scores.
+        assert!(Arc::ptr_eq(&first, &second));
+        let _ = registry.scored(&entry, Method::DisparityFilter).unwrap();
+        assert_eq!(registry.cache_stats(), (1, 2));
+        assert_eq!(entry.cached_methods(), vec!["df", "nc"]);
+    }
+
+    #[test]
+    fn reinserting_a_name_drops_the_old_cache() {
+        let registry = Registry::new(1);
+        let entry = registry.insert("g", sample_graph()).unwrap();
+        let _ = registry.scored(&entry, Method::NaiveThreshold).unwrap();
+        assert_eq!(entry.cached_methods(), vec!["naive"]);
+        let replacement = registry.insert("g", sample_graph()).unwrap();
+        assert!(replacement.cached_methods().is_empty());
+    }
+
+    #[test]
+    fn load_dir_names_graphs_by_file_stem() {
+        let dir = std::env::temp_dir().join("backboning_server_registry_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("tiny.tsv"), "a b 2\nb c 1\n").unwrap();
+        std::fs::write(dir.join("comma.csv"), "a,b,2\n").unwrap();
+        std::fs::write(dir.join("ignored.md"), "not an edge list").unwrap();
+
+        let registry = Registry::new(1);
+        let loaded = registry
+            .load_dir(&dir, &EdgeListOptions::default())
+            .unwrap();
+        assert_eq!(loaded, vec!["comma".to_string(), "tiny".to_string()]);
+        assert_eq!(registry.get("tiny").unwrap().graph().edge_count(), 2);
+        assert_eq!(registry.get("comma").unwrap().graph().edge_count(), 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn load_dir_fails_on_malformed_files() {
+        let dir = std::env::temp_dir().join("backboning_server_registry_bad");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("broken.tsv"), "a b heavy\n").unwrap();
+        let registry = Registry::new(1);
+        let err = registry
+            .load_dir(&dir, &EdgeListOptions::default())
+            .unwrap_err();
+        assert!(err.contains("broken.tsv"), "`{err}`");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

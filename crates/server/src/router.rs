@@ -1,0 +1,353 @@
+//! Route dispatch: one parsed [`Request`] in, one [`Response`] out.
+//!
+//! | Route | Meaning |
+//! |---|---|
+//! | `GET /health` | liveness, graph count, cache hit/miss counters |
+//! | `GET /graphs` | list registered graphs |
+//! | `GET /graphs/{name}` | one graph's size, direction and cached methods |
+//! | `POST /graphs/{name}` | upload an edge list body, register it as `{name}` |
+//! | `DELETE /graphs/{name}` | unregister a graph |
+//! | `GET /graphs/{name}/backbone` | run the pipeline (cache-backed) and return backbone / scores / summary |
+//! | `POST /shutdown` | stop accepting and drain the worker pool |
+//!
+//! The backbone route takes `method=` (required; any CLI method name) and
+//! exactly one threshold-policy parameter (`threshold=`, `top_k=`,
+//! `top_share=`, `coverage=`), plus `output=backbone|scores|summary` and
+//! `format=tsv|json` (default: TSV for backbone/scores, JSON for summary;
+//! an `Accept: application/json` header also selects JSON). Responses are
+//! produced by the same writers as the `backbone` CLI, so the two surfaces
+//! emit identical bytes — and because scored edges are cached and wall time
+//! is excluded from the served summary, a cache-hit response is
+//! byte-identical to the cold one.
+
+use backboning::json::{self, JsonArray, JsonObject};
+use backboning::{Method, Pipeline, PipelineRun, ThresholdPolicy};
+use backboning_graph::io::read_edge_list_named;
+use backboning_graph::Direction;
+
+use crate::http::{Request, Response};
+use crate::registry::{valid_graph_name, GraphEntry, Registry};
+use crate::server::ServerControl;
+
+/// Dispatch one request against the registry, possibly signalling shutdown.
+pub fn handle(registry: &Registry, control: &ServerControl, request: &Request) -> Response {
+    let segments = request.path_segments();
+    match (request.method.as_str(), segments.as_slice()) {
+        ("GET", ["health"]) => health(registry),
+        ("GET", ["graphs"]) => list_graphs(registry),
+        ("GET", ["graphs", name]) => graph_info(registry, name),
+        ("POST", ["graphs", name]) => upload_graph(registry, name, request),
+        ("DELETE", ["graphs", name]) => delete_graph(registry, name),
+        ("GET", ["graphs", name, "backbone"]) => backbone(registry, name, request),
+        ("POST", ["shutdown"]) => {
+            control.request_shutdown();
+            let mut body = JsonObject::pretty();
+            body.string("status", "shutting down");
+            Response::json(200, finish_line(&mut body))
+        }
+        // Known paths hit with the wrong verb get a 405 rather than a 404.
+        (_, ["health"] | ["graphs"] | ["graphs", _] | ["graphs", _, "backbone"] | ["shutdown"]) => {
+            Response::error(405, &format!("method {} not allowed here", request.method))
+        }
+        _ => Response::error(404, &format!("no route for {}", request.path)),
+    }
+}
+
+/// Finish a pretty JSON object with a trailing newline (curl-friendly).
+fn finish_line(object: &mut JsonObject) -> String {
+    let mut body = object.finish();
+    body.push('\n');
+    body
+}
+
+fn health(registry: &Registry) -> Response {
+    let (hits, misses) = registry.cache_stats();
+    let mut cache = JsonObject::inline();
+    cache.u64("hits", hits).u64("misses", misses);
+    let mut body = JsonObject::pretty();
+    body.string("status", "ok")
+        .usize("graphs", registry.graph_count())
+        .raw("cache", &cache.finish());
+    Response::json(200, finish_line(&mut body))
+}
+
+fn graph_json(entry: &GraphEntry) -> String {
+    let mut methods = JsonArray::new();
+    for name in entry.cached_methods() {
+        methods.string(name);
+    }
+    let mut object = JsonObject::inline();
+    object
+        .string("name", entry.name())
+        .usize("nodes", entry.graph().node_count())
+        .usize("edges", entry.graph().edge_count())
+        .string(
+            "direction",
+            match entry.graph().direction() {
+                Direction::Directed => "directed",
+                Direction::Undirected => "undirected",
+            },
+        )
+        .raw("cached_methods", &methods.finish());
+    object.finish()
+}
+
+fn list_graphs(registry: &Registry) -> Response {
+    let mut graphs = JsonArray::new();
+    for entry in registry.list() {
+        graphs.raw(&graph_json(&entry));
+    }
+    let mut body = JsonObject::pretty();
+    body.usize("count", registry.graph_count())
+        .raw("graphs", &graphs.finish());
+    Response::json(200, finish_line(&mut body))
+}
+
+fn graph_info(registry: &Registry, name: &str) -> Response {
+    match registry.get(name) {
+        Some(entry) => Response::json(200, format!("{}\n", graph_json(&entry))),
+        None => Response::error(404, &format!("no graph named `{name}`")),
+    }
+}
+
+fn upload_graph(registry: &Registry, name: &str, request: &Request) -> Response {
+    if !valid_graph_name(name) {
+        return Response::error(
+            400,
+            &format!("invalid graph name `{name}` (use [A-Za-z0-9._-])"),
+        );
+    }
+    let mut options = registry_upload_options(request);
+    if let Some(separator) = request.query_param("separator") {
+        let mut chars = separator.chars();
+        match (chars.next(), chars.next()) {
+            (Some(c), None) => options.separator = Some(c),
+            _ => {
+                return Response::error(
+                    400,
+                    &format!("separator: expected a single character, got `{separator}`"),
+                )
+            }
+        }
+    }
+    let source_name = format!("<upload {name}>");
+    let graph = match read_edge_list_named(request.body.as_slice(), &options, &source_name) {
+        Ok(graph) => graph,
+        Err(err) => return Response::error(400, &err.to_string()),
+    };
+    match registry.insert(name, graph) {
+        Ok(entry) => Response::json(201, format!("{}\n", graph_json(&entry))),
+        Err(message) => Response::error(400, &message),
+    }
+}
+
+/// Upload parsing options from query parameters: `direction=directed|
+/// undirected` (default undirected — the common case for backboning),
+/// `header=1` to skip a header line.
+fn registry_upload_options(request: &Request) -> backboning_graph::io::EdgeListOptions {
+    backboning_graph::io::EdgeListOptions {
+        direction: match request.query_param("direction") {
+            Some("directed") => Direction::Directed,
+            _ => Direction::Undirected,
+        },
+        has_header: matches!(request.query_param("header"), Some("1" | "true")),
+        ..Default::default()
+    }
+}
+
+fn delete_graph(registry: &Registry, name: &str) -> Response {
+    if registry.remove(name) {
+        let mut body = JsonObject::pretty();
+        body.string("deleted", name);
+        Response::json(200, finish_line(&mut body))
+    } else {
+        Response::error(404, &format!("no graph named `{name}`"))
+    }
+}
+
+/// What the backbone route returns: mirrors the CLI's `-o` kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Output {
+    Backbone,
+    Scores,
+    Summary,
+}
+
+fn parse_policy(request: &Request) -> Result<ThresholdPolicy, String> {
+    let mut policies = Vec::new();
+    if let Some(value) = request.query_param("threshold") {
+        let value: f64 = value
+            .parse()
+            .map_err(|_| format!("threshold: cannot parse `{value}` as a number"))?;
+        policies.push(ThresholdPolicy::Score(value));
+    }
+    if let Some(value) = request.query_param("top_k") {
+        let value: usize = value
+            .parse()
+            .map_err(|_| format!("top_k: cannot parse `{value}` as an integer"))?;
+        policies.push(ThresholdPolicy::TopK(value));
+    }
+    if let Some(value) = request.query_param("top_share") {
+        let value: f64 = value
+            .parse()
+            .map_err(|_| format!("top_share: cannot parse `{value}` as a number"))?;
+        policies.push(ThresholdPolicy::TopShare(value));
+    }
+    if let Some(value) = request.query_param("coverage") {
+        let value: f64 = value
+            .parse()
+            .map_err(|_| format!("coverage: cannot parse `{value}` as a number"))?;
+        policies.push(ThresholdPolicy::Coverage(value));
+    }
+    match policies.as_slice() {
+        [policy] => Ok(*policy),
+        [] => Err(
+            "exactly one policy parameter (threshold, top_k, top_share, coverage) is required"
+                .to_string(),
+        ),
+        _ => Err("exactly one policy parameter may be given".to_string()),
+    }
+}
+
+fn parse_output(request: &Request) -> Result<Output, String> {
+    match request.query_param("output") {
+        None | Some("backbone") => Ok(Output::Backbone),
+        Some("scores") => Ok(Output::Scores),
+        Some("summary") => Ok(Output::Summary),
+        Some(other) => Err(format!(
+            "unknown output kind `{other}` (expected backbone, scores or summary)"
+        )),
+    }
+}
+
+/// Whether to render the selected output as JSON (`format=json`, or an
+/// `Accept: application/json` header; summaries are always JSON).
+fn wants_json(request: &Request, output: Output) -> Result<bool, String> {
+    match request.query_param("format") {
+        Some("json") => Ok(true),
+        Some("tsv") => Ok(false),
+        Some(other) => Err(format!("unknown format `{other}` (expected tsv or json)")),
+        None => Ok(output == Output::Summary || request.accepts_json()),
+    }
+}
+
+fn backbone(registry: &Registry, name: &str, request: &Request) -> Response {
+    let Some(entry) = registry.get(name) else {
+        return Response::error(404, &format!("no graph named `{name}`"));
+    };
+    let Some(method_name) = request.query_param("method") else {
+        return Response::error(400, "the `method` parameter is required");
+    };
+    let Some(method) = Method::parse(method_name) else {
+        return Response::error(
+            400,
+            &format!(
+                "unknown method `{method_name}` (expected one of: nc, ncb, df, hss, ds, mst, naive)"
+            ),
+        );
+    };
+    let policy = match parse_policy(request) {
+        Ok(policy) => policy,
+        Err(message) => return Response::error(400, &message),
+    };
+    let output = match parse_output(request) {
+        Ok(output) => output,
+        Err(message) => return Response::error(400, &message),
+    };
+    let as_json = match wants_json(request, output) {
+        Ok(as_json) => as_json,
+        Err(message) => return Response::error(400, &message),
+    };
+
+    // The cache-backed hot path: scoring runs at most once per
+    // (graph, method); every policy re-selects over the borrowed scores.
+    let scored = match registry.scored(&entry, method) {
+        Ok(scored) => scored,
+        Err(err) => return Response::error(400, &err.to_string()),
+    };
+    let run = match Pipeline::new(method, policy)
+        .with_threads(registry.threads())
+        .run_with_scores(entry.graph(), scored)
+    {
+        Ok(run) => run,
+        Err(err) => return Response::error(400, &err.to_string()),
+    };
+    render(&entry, &run, output, as_json)
+}
+
+fn render(entry: &GraphEntry, run: &PipelineRun, output: Output, as_json: bool) -> Response {
+    match (output, as_json) {
+        (Output::Summary, _) => {
+            let mut body = JsonObject::pretty();
+            body.string("graph", entry.name())
+                .raw("summary", &run.summary_json_stable());
+            Response::json(200, finish_line(&mut body))
+        }
+        (Output::Backbone, false) => {
+            let mut body = Vec::new();
+            if let Err(err) = run.write_backbone(&mut body) {
+                return Response::error(500, &err.to_string());
+            }
+            Response::tsv(200, body)
+        }
+        (Output::Scores, false) => {
+            let mut body = Vec::new();
+            if let Err(err) = run.write_scores(&mut body) {
+                return Response::error(500, &err.to_string());
+            }
+            Response::tsv(200, body)
+        }
+        (Output::Backbone, true) => {
+            let graph = &run.backbone;
+            let mut edges = JsonArray::new();
+            for edge in graph.edges() {
+                let mut object = JsonObject::inline();
+                object
+                    .string("source", &node_label(graph, edge.source))
+                    .string("target", &node_label(graph, edge.target))
+                    .f64("weight", edge.weight);
+                edges.raw(&object.finish());
+            }
+            let mut body = JsonObject::pretty();
+            body.string("graph", entry.name())
+                .string("method", run.method.cli_name())
+                .usize("edges_kept", run.kept.len())
+                .raw("edges", &edges.finish());
+            Response::json(200, finish_line(&mut body))
+        }
+        (Output::Scores, true) => {
+            let kept: std::collections::HashSet<usize> = run.kept.iter().copied().collect();
+            let mut rows = JsonArray::new();
+            for edge in run.scored.iter() {
+                let mut object = JsonObject::inline();
+                object
+                    .string("source", &node_label(&run.backbone, edge.source))
+                    .string("target", &node_label(&run.backbone, edge.target))
+                    .f64("weight", edge.weight)
+                    .f64("score", edge.score)
+                    .raw("p_value", &optional_number(edge.p_value))
+                    .bool("kept", kept.contains(&edge.edge_index));
+                rows.raw(&object.finish());
+            }
+            let mut body = JsonObject::pretty();
+            body.string("graph", entry.name())
+                .string("method", run.method.cli_name())
+                .raw("scores", &rows.finish());
+            Response::json(200, finish_line(&mut body))
+        }
+    }
+}
+
+fn optional_number(value: Option<f64>) -> String {
+    match value {
+        Some(v) => json::number(v),
+        None => "null".to_string(),
+    }
+}
+
+fn node_label(graph: &backboning_graph::WeightedGraph, node: backboning_graph::NodeId) -> String {
+    graph
+        .label(node)
+        .map(str::to_string)
+        .unwrap_or_else(|| node.to_string())
+}

@@ -1,0 +1,297 @@
+//! The TCP accept loop and the worker-thread pool.
+//!
+//! A [`Server`] owns one `std::net::TcpListener`, one accept thread, and a
+//! fixed pool of worker threads. Accepted connections flow through an mpsc
+//! channel to the pool; each worker reads one request, dispatches it through
+//! [`crate::router::handle`], and writes the response. Pool sizing reuses
+//! the `backboning_parallel` thread-count resolution (`BACKBONING_THREADS`
+//! aware), floored at [`MIN_WORKERS`] so the server stays concurrent even on
+//! a single-core host — workers spend most of their time blocked on sockets
+//! or on a scoring pass, not on the CPU.
+//!
+//! Shutdown is cooperative: the `POST /shutdown` control path (or
+//! [`Server::shutdown`]) flips an atomic flag and pokes the listener with a
+//! loopback connection so the blocking `accept` observes the flag. The
+//! accept thread then closes the channel, the workers drain in-flight
+//! requests and exit, and [`Server::wait`] joins them all. Killing the
+//! process with SIGTERM is equally safe — the server holds no state that
+//! outlives it.
+
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use backboning_graph::io::EdgeListOptions;
+
+use crate::http::{read_request, HttpError, Response};
+use crate::registry::Registry;
+use crate::router;
+
+/// The worker pool never has fewer threads than this, whatever
+/// `BACKBONING_THREADS` or the core count say: request handling is
+/// I/O-bound between scoring passes, and a lone worker would serialise the
+/// health probe behind a long scoring request.
+pub const MIN_WORKERS: usize = 4;
+
+/// Per-connection socket timeout: a client that stalls mid-request cannot
+/// pin a worker forever.
+const SOCKET_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Configuration of a [`Server`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address, e.g. `127.0.0.1:4817` (port `0` picks an ephemeral
+    /// port — the bound address is reported by [`Server::addr`]).
+    pub addr: String,
+    /// Directory of edge-list files to pre-register at startup.
+    pub graphs_dir: Option<PathBuf>,
+    /// Worker threads for scoring (and the floor-adjusted pool size);
+    /// `0` = automatic (honours `BACKBONING_THREADS`).
+    pub threads: usize,
+    /// Edge-list parsing options for graphs loaded from `graphs_dir`.
+    pub options: EdgeListOptions,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:4817".to_string(),
+            graphs_dir: None,
+            threads: 0,
+            options: EdgeListOptions::default(),
+        }
+    }
+}
+
+/// A failure to bring the server up.
+#[derive(Debug)]
+pub enum ServerError {
+    /// Binding or configuring the listener failed.
+    Io(std::io::Error),
+    /// Loading the startup graph directory failed.
+    Load(String),
+}
+
+impl std::fmt::Display for ServerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServerError::Io(err) => write!(f, "{err}"),
+            ServerError::Load(message) => write!(f, "loading graphs: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for ServerError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServerError::Io(err) => Some(err),
+            ServerError::Load(_) => None,
+        }
+    }
+}
+
+/// The shutdown signal shared between the router and the accept loop.
+pub struct ServerControl {
+    stop: AtomicBool,
+    addr: SocketAddr,
+}
+
+impl ServerControl {
+    /// Whether shutdown has been requested.
+    pub fn is_shutting_down(&self) -> bool {
+        self.stop.load(Ordering::SeqCst)
+    }
+
+    /// Request shutdown: flip the flag and wake the blocking `accept` with
+    /// a throwaway loopback connection.
+    pub fn request_shutdown(&self) {
+        if !self.stop.swap(true, Ordering::SeqCst) {
+            // The connect only exists to wake `accept`; it is dropped
+            // unanswered and read_request treats it as an empty connection.
+            // A wildcard bind address (0.0.0.0 / ::) is not connectable, so
+            // wake through loopback on the same port instead.
+            let mut wake = self.addr;
+            if wake.ip().is_unspecified() {
+                wake.set_ip(match wake.ip() {
+                    std::net::IpAddr::V4(_) => std::net::IpAddr::V4(std::net::Ipv4Addr::LOCALHOST),
+                    std::net::IpAddr::V6(_) => std::net::IpAddr::V6(std::net::Ipv6Addr::LOCALHOST),
+                });
+            }
+            let _ = TcpStream::connect_timeout(&wake, Duration::from_secs(1));
+        }
+    }
+}
+
+/// A running backboning HTTP server.
+pub struct Server {
+    addr: SocketAddr,
+    registry: Arc<Registry>,
+    control: Arc<ServerControl>,
+    accept_handle: Option<JoinHandle<()>>,
+    worker_handles: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Bind the configured address, load the startup graphs, and spawn the
+    /// accept loop plus the worker pool. Returns once the server is
+    /// accepting (the listener is live before this returns).
+    pub fn bind(config: ServerConfig) -> Result<Server, ServerError> {
+        let registry = Arc::new(Registry::new(config.threads));
+        if let Some(dir) = &config.graphs_dir {
+            registry
+                .load_dir(dir, &config.options)
+                .map_err(ServerError::Load)?;
+        }
+
+        let addr = config
+            .addr
+            .to_socket_addrs()
+            .map_err(ServerError::Io)?
+            .next()
+            .ok_or_else(|| {
+                ServerError::Io(std::io::Error::new(
+                    std::io::ErrorKind::InvalidInput,
+                    format!("`{}` resolves to no address", config.addr),
+                ))
+            })?;
+        let listener = TcpListener::bind(addr).map_err(ServerError::Io)?;
+        let addr = listener.local_addr().map_err(ServerError::Io)?;
+        let control = Arc::new(ServerControl {
+            stop: AtomicBool::new(false),
+            addr,
+        });
+
+        let workers = backboning_parallel::resolve_threads(config.threads).max(MIN_WORKERS);
+        let (sender, receiver) = channel::<TcpStream>();
+        let receiver = Arc::new(Mutex::new(receiver));
+        let worker_handles = (0..workers)
+            .map(|_| {
+                let receiver = Arc::clone(&receiver);
+                let registry = Arc::clone(&registry);
+                let control = Arc::clone(&control);
+                std::thread::spawn(move || worker_loop(&receiver, &registry, &control))
+            })
+            .collect();
+
+        let accept_control = Arc::clone(&control);
+        let accept_handle = std::thread::spawn(move || {
+            accept_loop(&listener, sender, &accept_control);
+        });
+
+        Ok(Server {
+            addr,
+            registry,
+            control,
+            accept_handle: Some(accept_handle),
+            worker_handles,
+        })
+    }
+
+    /// The address the server is listening on (useful with port `0`).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The graph registry (for pre-registering graphs programmatically, as
+    /// the benchmark harness does).
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
+    }
+
+    /// Block until the server shuts down (via `POST /shutdown` or
+    /// [`Server::shutdown`]) and all workers have drained.
+    pub fn wait(mut self) {
+        self.join();
+    }
+
+    /// Request shutdown and block until every worker has drained.
+    pub fn shutdown(mut self) {
+        self.control.request_shutdown();
+        self.join();
+    }
+
+    fn join(&mut self) {
+        if let Some(handle) = self.accept_handle.take() {
+            let _ = handle.join();
+        }
+        for handle in self.worker_handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.control.request_shutdown();
+        self.join();
+    }
+}
+
+fn accept_loop(listener: &TcpListener, sender: Sender<TcpStream>, control: &ServerControl) {
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(_) => {
+                if control.is_shutting_down() {
+                    break;
+                }
+                // Transient accept failures (fd exhaustion under flood,
+                // aborted handshakes) must not turn into a busy spin.
+                std::thread::sleep(Duration::from_millis(10));
+                continue;
+            }
+        };
+        if control.is_shutting_down() {
+            // The wake-up connection (or a straggler): drop it unanswered.
+            break;
+        }
+        if sender.send(stream).is_err() {
+            break;
+        }
+    }
+    // Dropping the sender closes the channel; workers drain and exit.
+}
+
+fn worker_loop(
+    receiver: &Arc<Mutex<Receiver<TcpStream>>>,
+    registry: &Arc<Registry>,
+    control: &Arc<ServerControl>,
+) {
+    loop {
+        let stream = {
+            let receiver = receiver.lock().unwrap_or_else(|e| e.into_inner());
+            receiver.recv()
+        };
+        let Ok(stream) = stream else { break };
+        handle_connection(stream, registry, control);
+    }
+}
+
+fn handle_connection(stream: TcpStream, registry: &Arc<Registry>, control: &Arc<ServerControl>) {
+    let _ = stream.set_read_timeout(Some(SOCKET_TIMEOUT));
+    let _ = stream.set_write_timeout(Some(SOCKET_TIMEOUT));
+    let mut reader = BufReader::new(&stream);
+    let response = match read_request(&mut reader) {
+        Ok(None) => return, // probe or shutdown wake: nothing to answer
+        Ok(Some(request)) => {
+            // A panicking handler must not take its worker down with it.
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                router::handle(registry, control, &request)
+            }))
+            .unwrap_or_else(|_| Response::error(500, "internal error while handling the request"))
+        }
+        Err(HttpError::TooLarge(bytes)) => Response::error(
+            413,
+            &format!("request body of {bytes} bytes exceeds the upload limit"),
+        ),
+        Err(HttpError::Malformed(message)) => Response::error(400, &message),
+        Err(HttpError::Io(_)) => return, // peer went away mid-request
+    };
+    let mut writer = &stream;
+    let _ = response.write_to(&mut writer);
+}

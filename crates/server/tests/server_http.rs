@@ -1,0 +1,380 @@
+//! End-to-end integration tests of the backboning HTTP server: each test
+//! binds a real server on an ephemeral port and talks to it over plain TCP
+//! sockets — no in-process shortcuts. Covered: the 404/400 error paths,
+//! upload-then-query, all 7 methods × 4 threshold policies, the
+//! cache-hit-equals-cold byte-identity contract (sequentially, under
+//! concurrent load, and across worker counts), and the `POST /shutdown`
+//! control path.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+
+use backboning_graph::io::{read_edge_list_file, EdgeListOptions};
+use backboning_graph::{Direction, WeightedGraph};
+use backboning_server::{Server, ServerConfig};
+
+/// The bundled example network from `docs/GUIDE.md` (8 nodes, 28 edges).
+fn trade_graph() -> WeightedGraph {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../docs/examples/trade.tsv");
+    let options = EdgeListOptions::with_direction(Direction::Undirected);
+    read_edge_list_file(&path, &options).expect("bundled example edge list parses")
+}
+
+/// Bind a fresh server on an ephemeral port with the trade graph loaded.
+fn trade_server(threads: usize) -> Server {
+    let server = Server::bind(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        threads,
+        ..ServerConfig::default()
+    })
+    .expect("bind an ephemeral port");
+    server
+        .registry()
+        .insert("trade", trade_graph())
+        .expect("register the fixture graph");
+    server
+}
+
+/// One HTTP exchange over a fresh TCP connection; returns (status, body).
+fn request(server: &Server, request_text: &str) -> (u16, Vec<u8>) {
+    let mut stream = TcpStream::connect(server.addr()).expect("connect to the server");
+    stream
+        .write_all(request_text.as_bytes())
+        .expect("send the request");
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).expect("read the response");
+    let head_end = raw
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .expect("response has a header/body separator");
+    let head = std::str::from_utf8(&raw[..head_end]).expect("headers are UTF-8");
+    let status: u16 = head
+        .split_whitespace()
+        .nth(1)
+        .expect("status line has a code")
+        .parse()
+        .expect("status code parses");
+    let content_length: usize = head
+        .lines()
+        .find_map(|line| line.strip_prefix("Content-Length: "))
+        .expect("response declares a length")
+        .parse()
+        .expect("length parses");
+    let body = raw[head_end + 4..].to_vec();
+    assert_eq!(body.len(), content_length, "body length matches the header");
+    (status, body)
+}
+
+fn get(server: &Server, path_and_query: &str) -> (u16, Vec<u8>) {
+    request(
+        server,
+        &format!("GET {path_and_query} HTTP/1.1\r\nHost: test\r\nConnection: close\r\n\r\n"),
+    )
+}
+
+fn post(server: &Server, path_and_query: &str, body: &str) -> (u16, Vec<u8>) {
+    request(
+        server,
+        &format!(
+            "POST {path_and_query} HTTP/1.1\r\nHost: test\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+            body.len()
+        ),
+    )
+}
+
+fn text(body: &[u8]) -> String {
+    String::from_utf8(body.to_vec()).expect("body is UTF-8")
+}
+
+#[test]
+fn health_and_graph_listing() {
+    let server = trade_server(1);
+    let (status, body) = get(&server, "/health");
+    assert_eq!(status, 200);
+    let health = text(&body);
+    assert!(health.contains("\"status\": \"ok\""), "{health}");
+    assert!(health.contains("\"graphs\": 1"), "{health}");
+    assert!(health.contains("\"cache\""), "{health}");
+
+    let (status, body) = get(&server, "/graphs");
+    assert_eq!(status, 200);
+    let listing = text(&body);
+    assert!(listing.contains("\"name\": \"trade\""), "{listing}");
+    assert!(listing.contains("\"nodes\": 8"), "{listing}");
+    assert!(listing.contains("\"edges\": 28"), "{listing}");
+
+    let (status, body) = get(&server, "/graphs/trade");
+    assert_eq!(status, 200);
+    assert!(text(&body).contains("\"direction\": \"undirected\""));
+    server.shutdown();
+}
+
+#[test]
+fn all_methods_and_policies_answer() {
+    let server = trade_server(1);
+    for method in ["nc", "ncb", "df", "hss", "ds", "mst", "naive"] {
+        for policy in ["threshold=0.0", "top_k=10", "top_share=0.3", "coverage=0.9"] {
+            let (status, body) = get(
+                &server,
+                &format!("/graphs/trade/backbone?method={method}&{policy}"),
+            );
+            let body = text(&body);
+            assert_eq!(status, 200, "{method} {policy}: {body}");
+            assert!(
+                body.starts_with("# source\ttarget\tweight"),
+                "{method} {policy}: unexpected body `{}`",
+                body.lines().next().unwrap_or_default()
+            );
+            assert!(
+                body.lines().count() > 1,
+                "{method} {policy}: empty backbone"
+            );
+        }
+    }
+    // 7 methods scored once each; 7 × 4 = 28 queries → 21 cache hits.
+    let (hits, misses) = server.registry().cache_stats();
+    assert_eq!(misses, 7);
+    assert_eq!(hits, 21);
+    server.shutdown();
+}
+
+#[test]
+fn output_kinds_and_formats() {
+    let server = trade_server(1);
+    // Scores table: same shape as the CLI's `-o scores`.
+    let (status, body) = get(
+        &server,
+        "/graphs/trade/backbone?method=nc&top_k=5&output=scores",
+    );
+    assert_eq!(status, 200);
+    let table = text(&body);
+    assert!(table.starts_with("# source\ttarget\tweight\tscore\traw_score\tstd_dev\tp_value\tkept"));
+    assert_eq!(table.lines().count(), 29);
+
+    // Summary: JSON, stable (no wall time), wrapped with the graph name.
+    let (status, body) = get(
+        &server,
+        "/graphs/trade/backbone?method=nc&top_share=0.3&output=summary",
+    );
+    assert_eq!(status, 200);
+    let summary = text(&body);
+    assert!(summary.contains("\"graph\": \"trade\""), "{summary}");
+    assert!(summary.contains("\"method\": \"nc\""), "{summary}");
+    assert!(summary.contains("\"kind\": \"top_share\""), "{summary}");
+    assert!(!summary.contains("wall_ms"), "{summary}");
+
+    // JSON backbone via format=.
+    let (status, body) = get(
+        &server,
+        "/graphs/trade/backbone?method=nc&top_k=3&format=json",
+    );
+    assert_eq!(status, 200);
+    let json = text(&body);
+    assert!(json.contains("\"edges_kept\": 3"), "{json}");
+    assert!(json.contains("\"source\":"), "{json}");
+
+    // JSON scores via the Accept header.
+    let (status, body) = request(
+        &server,
+        "GET /graphs/trade/backbone?method=df&top_k=3&output=scores HTTP/1.1\r\nHost: t\r\nAccept: application/json\r\nConnection: close\r\n\r\n",
+    );
+    assert_eq!(status, 200);
+    let json = text(&body);
+    assert!(json.contains("\"scores\": ["), "{json}");
+    assert!(json.contains("\"kept\": true"), "{json}");
+    server.shutdown();
+}
+
+#[test]
+fn upload_then_query() {
+    let server = trade_server(1);
+    let edge_list = "a b 5\nb c 4\nc d 1\nd a 3\n";
+    let (status, body) = post(&server, "/graphs/uploaded?direction=undirected", edge_list);
+    assert_eq!(status, 201, "{}", text(&body));
+    let info = text(&body);
+    assert!(info.contains("\"name\": \"uploaded\""), "{info}");
+    assert!(info.contains("\"nodes\": 4"), "{info}");
+    assert!(info.contains("\"edges\": 4"), "{info}");
+
+    let (status, body) = get(&server, "/graphs/uploaded/backbone?method=naive&top_k=2");
+    assert_eq!(status, 200);
+    let backbone = text(&body);
+    assert!(backbone.contains("a\tb\t5"), "{backbone}");
+    assert!(backbone.contains("b\tc\t4"), "{backbone}");
+    assert!(!backbone.contains("c\td"), "{backbone}");
+
+    // Uploading under the same name replaces the graph (and its cache).
+    let (status, _) = post(&server, "/graphs/uploaded?direction=undirected", "x y 1\n");
+    assert_eq!(status, 201);
+    let (status, body) = get(&server, "/graphs/uploaded");
+    assert_eq!(status, 200);
+    assert!(text(&body).contains("\"edges\": 1"));
+
+    // DELETE unregisters.
+    let (status, _) = request(
+        &server,
+        "DELETE /graphs/uploaded HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n",
+    );
+    assert_eq!(status, 200);
+    let (status, _) = get(&server, "/graphs/uploaded");
+    assert_eq!(status, 404);
+    server.shutdown();
+}
+
+#[test]
+fn not_found_and_bad_request_paths() {
+    let server = trade_server(1);
+    for (path, expected) in [
+        ("/nope", 404),
+        ("/graphs/absent", 404),
+        ("/graphs/absent/backbone?method=nc&top_k=3", 404),
+        ("/graphs/trade/backbone?method=wat&top_k=3", 400),
+        ("/graphs/trade/backbone?top_k=3", 400),
+        ("/graphs/trade/backbone?method=nc", 400),
+        (
+            "/graphs/trade/backbone?method=nc&top_k=3&top_share=0.5",
+            400,
+        ),
+        ("/graphs/trade/backbone?method=nc&top_share=1.5", 400),
+        ("/graphs/trade/backbone?method=nc&top_k=x", 400),
+        ("/graphs/trade/backbone?method=nc&top_k=3&output=wat", 400),
+        ("/graphs/trade/backbone?method=nc&top_k=3&format=xml", 400),
+    ] {
+        let (status, body) = get(&server, path);
+        assert_eq!(status, expected, "{path}: {}", text(&body));
+        assert!(text(&body).contains("\"error\":"), "{path}");
+    }
+
+    // Wrong verbs → 405.
+    let (status, _) = post(&server, "/health", "");
+    assert_eq!(status, 405);
+    let (status, _) = get(&server, "/shutdown");
+    assert_eq!(status, 405);
+
+    // Malformed upload bodies → 400 naming the upload and the line.
+    let (status, body) = post(&server, "/graphs/broken", "a b heavy\n");
+    assert_eq!(status, 400);
+    let err = text(&body);
+    assert!(err.contains("upload broken"), "{err}");
+    assert!(err.contains("line 1"), "{err}");
+
+    // Invalid graph names are rejected before parsing.
+    let (status, _) = post(&server, "/graphs/..", "a b 1\n");
+    assert_eq!(status, 400);
+
+    // A garbage request line → 400 without killing the worker.
+    let (status, _) = request(&server, "NONSENSE\r\n\r\n");
+    assert_eq!(status, 400);
+    let (status, _) = get(&server, "/health");
+    assert_eq!(status, 200);
+    server.shutdown();
+}
+
+/// The tentpole contract: a cache-hit response is byte-identical to the
+/// cold response, for every output kind.
+#[test]
+fn cached_responses_are_byte_identical_to_cold() {
+    let server = trade_server(1);
+    for query in [
+        "/graphs/trade/backbone?method=nc&top_share=0.3",
+        "/graphs/trade/backbone?method=nc&top_share=0.3&output=scores",
+        "/graphs/trade/backbone?method=nc&top_share=0.3&output=summary",
+        "/graphs/trade/backbone?method=hss&coverage=0.9&format=json",
+    ] {
+        let (status, cold) = get(&server, query);
+        assert_eq!(status, 200, "{query}");
+        for _ in 0..3 {
+            let (status, warm) = get(&server, query);
+            assert_eq!(status, 200, "{query}");
+            assert_eq!(warm, cold, "{query}: cached bytes differ from cold");
+        }
+    }
+    server.shutdown();
+}
+
+/// Worker-count invariance over HTTP: servers running the scoring engine at
+/// 1 thread and at 4 threads serve byte-identical responses — the
+/// `BACKBONING_THREADS` contract of the parallel engine, end to end.
+#[test]
+fn responses_are_identical_across_worker_counts() {
+    let single = trade_server(1);
+    let multi = trade_server(4);
+    // Summaries are excluded here: they report the *configured* thread
+    // count, which legitimately differs between the two servers. Backbones
+    // and score tables carry only scoring results, which must not.
+    for query in [
+        "/graphs/trade/backbone?method=nc&top_share=0.3",
+        "/graphs/trade/backbone?method=hss&top_k=10",
+        "/graphs/trade/backbone?method=df&threshold=0.6&output=scores",
+        "/graphs/trade/backbone?method=ds&coverage=0.9&output=scores",
+    ] {
+        let (_, at_one) = get(&single, query);
+        let (_, at_four) = get(&multi, query);
+        assert_eq!(at_one, at_four, "{query}: thread count changed the bytes");
+    }
+    single.shutdown();
+    multi.shutdown();
+}
+
+/// Concurrent stress: many client threads hammer the same and different
+/// `(method, policy)` queries; every response must equal the cold bytes.
+#[test]
+fn concurrent_requests_serve_identical_bytes() {
+    let server = trade_server(2);
+    let queries = [
+        "/graphs/trade/backbone?method=nc&top_share=0.3",
+        "/graphs/trade/backbone?method=nc&top_k=10&output=scores",
+        "/graphs/trade/backbone?method=df&top_share=0.3",
+        "/graphs/trade/backbone?method=hss&coverage=0.9&output=summary",
+    ];
+    // Cold reference bytes, gathered sequentially first.
+    let cold: Vec<Vec<u8>> = queries
+        .iter()
+        .map(|query| {
+            let (status, body) = get(&server, query);
+            assert_eq!(status, 200, "{query}");
+            body
+        })
+        .collect();
+
+    std::thread::scope(|scope| {
+        for worker in 0..8 {
+            let server = &server;
+            let queries = &queries;
+            let cold = &cold;
+            scope.spawn(move || {
+                for round in 0..5 {
+                    let index = (worker + round) % queries.len();
+                    let (status, body) = get(server, queries[index]);
+                    assert_eq!(status, 200, "{}", queries[index]);
+                    assert_eq!(
+                        body, cold[index],
+                        "{}: concurrent response differs from cold",
+                        queries[index]
+                    );
+                }
+            });
+        }
+    });
+
+    let (hits, misses) = server.registry().cache_stats();
+    assert_eq!(misses, 3, "nc, df, hss each scored exactly once");
+    assert_eq!(hits + misses, 44, "4 cold + 40 concurrent lookups");
+    server.shutdown();
+}
+
+/// The clean-shutdown control path: POST /shutdown answers, the server
+/// drains, `wait` returns, and the port stops accepting.
+#[test]
+fn shutdown_route_stops_the_server() {
+    let server = trade_server(1);
+    let addr = server.addr();
+    let (status, body) = post(&server, "/shutdown", "");
+    assert_eq!(status, 200);
+    assert!(text(&body).contains("shutting down"));
+    server.wait(); // returns only once every thread has drained
+
+    // The listener is gone: a fresh connection must fail.
+    assert!(TcpStream::connect_timeout(&addr, std::time::Duration::from_millis(500)).is_err());
+}
