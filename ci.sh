@@ -15,6 +15,9 @@ RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 echo "==> cargo test --doc"
 cargo test -q --doc --workspace
 
+echo "==> docs check: md_check (fenced sh blocks parse, intra-repo links resolve)"
+cargo run --release -p backboning_bench --bin md_check
+
 echo "==> tier-1 verify: cargo build --release && cargo test -q"
 cargo build --release
 cargo test -q
@@ -51,6 +54,17 @@ echo "$SUMMARY" | grep -q '"graph": "trade"'
 # A cached re-query must return the identical bytes.
 SUMMARY_CACHED=$(curl -sf "${SERVE_URL}/graphs/trade/backbone?method=nc&top_share=0.2&output=summary")
 [ "$SUMMARY" = "$SUMMARY_CACHED" ]
+
+# Compare smoke: the CLI's stable JSON report and the server's /compare
+# route must emit byte-identical documents, cold and from cache.
+COMPARE_CLI=$(./target/release/backbone compare --methods nc,df,hss \
+    --top-share 0.1 --undirected -o json docs/examples/trade.tsv)
+echo "$COMPARE_CLI" | grep -q '"matched_edges": 3'
+echo "$COMPARE_CLI" | grep -q '"noise_stability"'
+COMPARE_SERVER=$(curl -sf "${SERVE_URL}/graphs/trade/compare")
+[ "$COMPARE_CLI" = "$COMPARE_SERVER" ]
+COMPARE_CACHED=$(curl -sf "${SERVE_URL}/graphs/trade/compare")
+[ "$COMPARE_SERVER" = "$COMPARE_CACHED" ]
 
 # Clean shutdown via the control path; SIGTERM (see cleanup_server) is the
 # fallback if the route ever breaks.

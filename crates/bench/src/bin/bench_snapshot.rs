@@ -21,14 +21,22 @@
 //! resulting cache speedup — the "sweeping thresholds costs microseconds"
 //! claim, measured end-to-end through real loopback sockets.
 //!
+//! Since PR 5 the snapshot also times the `backbone compare` evaluation
+//! engine (`backboning_eval::Comparison`) on `er_2000`: the cold run (every
+//! method scored plus the noise Monte Carlo) against the cache-backed run
+//! (`run_with_scores` over pre-scored edges — what the server's
+//! `/graphs/{name}/compare` route does after the first request).
+//!
 //! Environment: `BENCH_RUNS` (default 3) timed runs per entry, median
 //! reported; `BACKBONING_THREADS` steers the auto-threaded entries.
 
 use std::io::{Read, Write};
 use std::net::TcpStream;
+use std::sync::Arc;
 use std::time::Instant;
 
 use backboning::{HighSalienceSkeleton, Pipeline, ThresholdPolicy};
+use backboning_eval::comparison::{Comparison, ComparisonConfig};
 use backboning_eval::Method;
 use backboning_graph::generators::{barabasi_albert, complete_graph, erdos_renyi};
 use backboning_graph::{Direction, WeightedGraph};
@@ -187,12 +195,78 @@ fn measure_server(runs: usize, graph: &WeightedGraph) -> (Vec<ServerQuery>, f64)
     (queries, concurrent_rps)
 }
 
+/// Timings of the `backbone compare` evaluation engine on one substrate,
+/// with the configuration labels derived from the config that actually ran.
+struct CompareTimings {
+    methods: String,
+    top_share: f64,
+    noise: f64,
+    resamples: usize,
+    cold_ms: f64,
+    cached_scores_ms: f64,
+}
+
+/// Time the comparison engine cold (every method scored in-run) and with
+/// pre-scored edges (the server's scored-edge-cache path).
+fn measure_compare(runs: usize, graph: &WeightedGraph) -> CompareTimings {
+    let config = ComparisonConfig {
+        methods: vec![
+            Method::NoiseCorrected,
+            Method::DisparityFilter,
+            Method::NaiveThreshold,
+        ],
+        noise_resamples: 4,
+        ..ComparisonConfig::default()
+    };
+    let comparison = Comparison::new(config).expect("bench compare config is valid");
+    let cold_ms = timed_runs(runs, || {
+        let _ = comparison.run(graph);
+    });
+    let scored: Vec<(Method, Arc<backboning::ScoredEdges>)> = comparison
+        .config()
+        .methods
+        .iter()
+        .map(|&method| {
+            (
+                method,
+                Arc::new(method.score(graph).expect("bench methods score")),
+            )
+        })
+        .collect();
+    let cached_scores_ms = timed_runs(runs, || {
+        let _ = comparison.run_with_scores(graph, |method| {
+            Ok(Arc::clone(
+                &scored
+                    .iter()
+                    .find(|(cached, _)| *cached == method)
+                    .expect("pre-scored method")
+                    .1,
+            ))
+        });
+    });
+    let config = comparison.config();
+    CompareTimings {
+        methods: config
+            .methods
+            .iter()
+            .map(|m| m.cli_name())
+            .collect::<Vec<_>>()
+            .join(","),
+        top_share: config.top_share,
+        noise: config.noise_level,
+        resamples: config.noise_resamples,
+        cold_ms,
+        cached_scores_ms,
+    }
+}
+
 fn render_json(
     default_threads: usize,
     entries: &[Entry],
     hss_speedup: f64,
     server_queries: &[ServerQuery],
     concurrent_rps: f64,
+    compare: &CompareTimings,
 ) -> String {
     let mut json = String::from("{\n");
     json.push_str(&format!("  \"default_threads\": {default_threads},\n"));
@@ -236,6 +310,19 @@ fn render_json(
         ));
     }
     json.push_str("    ]\n");
+    json.push_str("  },\n");
+    json.push_str("  \"compare\": {\n");
+    json.push_str("    \"substrate\": \"er_2000\",\n");
+    json.push_str(&format!(
+        "    \"methods\": \"{}\", \"top_share\": {}, \"noise\": {}, \"resamples\": {},\n",
+        compare.methods, compare.top_share, compare.noise, compare.resamples
+    ));
+    json.push_str(&format!(
+        "    \"cold_ms\": {:.3}, \"cached_scores_ms\": {:.3}, \"speedup_cached_vs_cold\": {:.2}\n",
+        compare.cold_ms,
+        compare.cached_scores_ms,
+        compare.cold_ms / compare.cached_scores_ms
+    ));
     json.push_str("  }\n}\n");
     json
 }
@@ -304,6 +391,7 @@ fn main() {
     entries.push(engine);
 
     let (server_queries, concurrent_rps) = measure_server(runs, &ba_2000);
+    let compare = measure_compare(runs, &er_2000);
 
     let json = render_json(
         default_threads,
@@ -311,6 +399,7 @@ fn main() {
         hss_speedup,
         &server_queries,
         concurrent_rps,
+        &compare,
     );
     // Resolved at runtime (ci.sh runs from the repo root); override with
     // BENCH_SNAPSHOT_PATH when invoking from elsewhere.

@@ -1,0 +1,266 @@
+//! Markdown docs checker, run by `ci.sh`: the README and every file under
+//! `docs/` must stay consistent with the repository.
+//!
+//! Two checks, both cheap and dependency-free:
+//!
+//! * **Intra-repo links resolve** — every relative markdown link target
+//!   (`[text](docs/GUIDE.md#anchor)`, `[text](../README.md)`) must name an
+//!   existing file or directory after stripping the `#anchor`. External
+//!   links (`http://`, `https://`, `mailto:`) are not fetched.
+//! * **Fenced shell blocks parse** — every ```` ```sh ```` / `bash` /
+//!   `shell` fence must be accepted by `bash -n` (syntax only, nothing is
+//!   executed), so the commands the docs tell users to run at least parse.
+//!
+//! Exit code 0 when everything passes, 1 with one line per finding
+//! otherwise. Override the repository root with `MD_CHECK_ROOT` (defaults
+//! to the workspace root, resolved from this crate's manifest directory).
+
+use std::path::{Path, PathBuf};
+
+/// A fenced code block: the fence's info string, the body, and where it
+/// started (for error messages).
+struct Fence {
+    language: String,
+    body: String,
+    line: usize,
+}
+
+/// Split a markdown document into its prose (with fenced blocks blanked
+/// out, so links inside code are not treated as real links) and its fences.
+fn split_fences(text: &str) -> (String, Vec<Fence>) {
+    let mut prose = String::with_capacity(text.len());
+    let mut fences = Vec::new();
+    let mut current: Option<Fence> = None;
+    for (index, line) in text.lines().enumerate() {
+        let trimmed = line.trim_start();
+        if let Some(info) = trimmed.strip_prefix("```") {
+            match current.take() {
+                Some(fence) => fences.push(fence),
+                None => {
+                    current = Some(Fence {
+                        language: info.trim().to_string(),
+                        body: String::new(),
+                        line: index + 1,
+                    });
+                }
+            }
+            prose.push('\n');
+            continue;
+        }
+        match current.as_mut() {
+            Some(fence) => {
+                fence.body.push_str(line);
+                fence.body.push('\n');
+                prose.push('\n');
+            }
+            None => {
+                prose.push_str(line);
+                prose.push('\n');
+            }
+        }
+    }
+    if let Some(fence) = current {
+        // An unterminated fence is itself a finding; report it as a fence
+        // with a sentinel language the caller flags.
+        fences.push(Fence {
+            language: format!("UNTERMINATED {}", fence.language),
+            body: fence.body,
+            line: fence.line,
+        });
+    }
+    (prose, fences)
+}
+
+/// Extract every markdown link target `(...)` following a `](` in `prose`.
+fn link_targets(prose: &str) -> Vec<String> {
+    let bytes = prose.as_bytes();
+    let mut targets = Vec::new();
+    let mut i = 0;
+    while i + 1 < bytes.len() {
+        if bytes[i] == b']' && bytes[i + 1] == b'(' {
+            let start = i + 2;
+            if let Some(length) = prose[start..].find(')') {
+                targets.push(prose[start..start + length].to_string());
+                i = start + length;
+            }
+        }
+        i += 1;
+    }
+    targets
+}
+
+/// Whether a link target should be checked against the filesystem.
+fn is_local_target(target: &str) -> bool {
+    !(target.is_empty()
+        || target.starts_with('#')
+        || target.starts_with("http://")
+        || target.starts_with("https://")
+        || target.starts_with("mailto:"))
+}
+
+fn check_file(path: &Path, findings: &mut Vec<String>) {
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(err) => {
+            findings.push(format!("{}: unreadable: {err}", path.display()));
+            return;
+        }
+    };
+    let (prose, fences) = split_fences(&text);
+
+    let directory = path.parent().unwrap_or(Path::new("."));
+    for target in link_targets(&prose) {
+        if !is_local_target(&target) {
+            continue;
+        }
+        let file_part = target.split('#').next().unwrap_or_default();
+        if file_part.is_empty() {
+            continue;
+        }
+        let resolved = directory.join(file_part);
+        if !resolved.exists() {
+            findings.push(format!(
+                "{}: broken link `{target}` ({} does not exist)",
+                path.display(),
+                resolved.display()
+            ));
+        }
+    }
+
+    for fence in fences {
+        if fence.language.starts_with("UNTERMINATED") {
+            findings.push(format!(
+                "{}:{}: unterminated code fence",
+                path.display(),
+                fence.line
+            ));
+            continue;
+        }
+        if !matches!(fence.language.as_str(), "sh" | "bash" | "shell") {
+            continue;
+        }
+        match bash_parses(&fence.body) {
+            Ok(()) => {}
+            Err(message) => findings.push(format!(
+                "{}:{}: ```{} block does not parse: {message}",
+                path.display(),
+                fence.line,
+                fence.language
+            )),
+        }
+    }
+}
+
+/// Run `bash -n` (parse only) on `script`.
+fn bash_parses(script: &str) -> Result<(), String> {
+    use std::io::Write;
+    use std::process::{Command, Stdio};
+    let mut child = Command::new("bash")
+        .args(["-n", "/dev/stdin"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::null())
+        .stderr(Stdio::piped())
+        .spawn()
+        .map_err(|err| format!("cannot run bash: {err}"))?;
+    child
+        .stdin
+        .as_mut()
+        .expect("stdin is piped")
+        .write_all(script.as_bytes())
+        .map_err(|err| format!("cannot feed bash: {err}"))?;
+    drop(child.stdin.take());
+    let output = child
+        .wait_with_output()
+        .map_err(|err| format!("bash did not finish: {err}"))?;
+    if output.status.success() {
+        Ok(())
+    } else {
+        Err(String::from_utf8_lossy(&output.stderr)
+            .lines()
+            .next()
+            .unwrap_or("bash -n failed")
+            .to_string())
+    }
+}
+
+/// All markdown files to check: the repo-root README plus `docs/**/*.md`.
+fn markdown_files(root: &Path) -> Vec<PathBuf> {
+    let mut files = vec![root.join("README.md")];
+    let mut stack = vec![root.join("docs")];
+    while let Some(dir) = stack.pop() {
+        let Ok(entries) = std::fs::read_dir(&dir) else {
+            continue;
+        };
+        for entry in entries.flatten() {
+            let path = entry.path();
+            if path.is_dir() {
+                stack.push(path);
+            } else if path.extension().and_then(|e| e.to_str()) == Some("md") {
+                files.push(path);
+            }
+        }
+    }
+    files.sort();
+    files
+}
+
+fn main() {
+    let root = std::env::var("MD_CHECK_ROOT")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../.."));
+    let files = markdown_files(&root);
+    let mut findings = Vec::new();
+    for file in &files {
+        check_file(file, &mut findings);
+    }
+    if findings.is_empty() {
+        println!("md_check: {} file(s) OK", files.len());
+        return;
+    }
+    for finding in &findings {
+        eprintln!("md_check: {finding}");
+    }
+    eprintln!(
+        "md_check: {} finding(s) in {} file(s)",
+        findings.len(),
+        files.len()
+    );
+    std::process::exit(1);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn links_are_extracted_outside_fences_only() {
+        let text = "see [a](x.md) and [b](docs/y.md#z)\n```sh\necho '[not](a-link.md)'\n```\n";
+        let (prose, fences) = split_fences(text);
+        assert_eq!(link_targets(&prose), vec!["x.md", "docs/y.md#z"]);
+        assert_eq!(fences.len(), 1);
+        assert_eq!(fences[0].language, "sh");
+        assert!(fences[0].body.contains("not"));
+    }
+
+    #[test]
+    fn local_target_filter() {
+        assert!(is_local_target("docs/GUIDE.md"));
+        assert!(is_local_target("../README.md#anchor"));
+        assert!(!is_local_target("https://example.com"));
+        assert!(!is_local_target("#anchor"));
+        assert!(!is_local_target("mailto:x@y.z"));
+    }
+
+    #[test]
+    fn bash_syntax_gate() {
+        assert!(bash_parses("echo hi | sort\n").is_ok());
+        assert!(bash_parses("for f in; do\n").is_err());
+    }
+
+    #[test]
+    fn unterminated_fences_are_flagged() {
+        let (_, fences) = split_fences("```sh\necho hi\n");
+        assert_eq!(fences.len(), 1);
+        assert!(fences[0].language.starts_with("UNTERMINATED"));
+    }
+}

@@ -32,6 +32,7 @@ use std::io::{BufReader, Write};
 use std::path::PathBuf;
 
 use backboning::{Method, Pipeline, ThresholdPolicy};
+use backboning_eval::comparison::{parse_method_list, Comparison, ComparisonConfig};
 use backboning_graph::io::{read_edge_list_named, EdgeListOptions};
 use backboning_graph::Direction;
 
@@ -82,6 +83,30 @@ OUTPUT:
     --threads <N>          worker threads (default: auto; also honours the
                            BACKBONING_THREADS environment variable)
 
+COMPARE MODE:
+    backbone compare [--methods LIST] [--top-share F] [OPTIONS] [INPUT]
+
+    Run several methods on the same graph and report which backbone to
+    trust: every method is selected at matched edge coverage (the paper's
+    Section V methodology) and compared on node/edge/weight coverage,
+    connectivity, pairwise Jaccard agreement, and stability under
+    multiplicative noise. See docs/GUIDE.md § Which method should I use?
+
+    --methods <LIST>       comma-separated method names, or `all`
+                           (default: nc,df,hss — the tunable methods)
+    --top-share <F>        matched edge coverage: every method keeps
+                           round(F × E) edges (default 0.1)
+    --noise <F>            multiplicative noise level in [0, 1): weights are
+                           scaled by U(1-F, 1+F) per resample (default 0.1)
+    --resamples <N>        noise Monte Carlo resamples; 0 skips the
+                           stability metric (default 8)
+    --seed <N>             base seed of the noise resamples (default 4242)
+    -o, --output <KIND>    table  human-readable comparison tables (default)
+                           json   the stable JSON report (same bytes as the
+                                  server's /graphs/NAME/compare route)
+    --threads <N>          worker threads (default: auto)
+    The INPUT FORMAT flags above apply; INPUT defaults to stdin.
+
 SERVE MODE:
     backbone serve [--addr HOST:PORT] [--graphs DIR] [OPTIONS]
 
@@ -100,7 +125,8 @@ SERVE MODE:
 
     Routes: GET /health · GET /graphs · GET|POST|DELETE /graphs/NAME ·
     GET /graphs/NAME/backbone?method=nc&top_share=0.2[&output=...][&format=...]
-    · POST /shutdown (clean stop). See docs/GUIDE.md § Serving backbones.
+    · GET /graphs/NAME/compare[?methods=...&top_share=...] · POST /shutdown
+    (clean stop). Full reference: docs/API.md.
 
     -h, --help             print this help
 ";
@@ -133,11 +159,37 @@ pub struct CliConfig {
     pub threads: usize,
 }
 
-/// The parsed command: run the pipeline, serve over HTTP, or print help.
+/// What a `backbone compare` run writes to stdout.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CompareOutputKind {
+    /// Human-readable comparison tables.
+    Table,
+    /// The stable JSON report ([`backboning_eval::ComparisonReport::to_json`]).
+    Json,
+}
+
+/// A fully parsed `backbone compare` invocation.
+#[derive(Debug, Clone)]
+pub struct CompareCliConfig {
+    /// Input path; `None` reads stdin.
+    pub input: Option<PathBuf>,
+    /// Edge-list parsing options (direction, separator, header, comments).
+    pub options: EdgeListOptions,
+    /// The comparison engine configuration (methods, matched share, noise
+    /// Monte Carlo).
+    pub comparison: ComparisonConfig,
+    /// What to write to stdout.
+    pub output: CompareOutputKind,
+}
+
+/// The parsed command: run the pipeline, compare methods, serve over HTTP,
+/// or print help.
 #[derive(Debug, Clone)]
 pub enum Command {
     /// Run the pipeline with this configuration.
     Run(CliConfig),
+    /// Run the method comparison (`backbone compare`).
+    Compare(CompareCliConfig),
     /// Start the HTTP serving subsystem (`backbone serve`).
     Serve(backboning_server::ServerConfig),
     /// Print the usage text and exit successfully.
@@ -237,6 +289,74 @@ fn parse_serve_args(mut args: impl Iterator<Item = String>) -> Result<Command, U
     Ok(Command::Serve(config))
 }
 
+/// Parse the flags of `backbone compare …` (after the `compare` word).
+fn parse_compare_args(mut args: impl Iterator<Item = String>) -> Result<Command, UsageError> {
+    let mut config = CompareCliConfig {
+        input: None,
+        options: EdgeListOptions::default(),
+        comparison: ComparisonConfig::default(),
+        output: CompareOutputKind::Table,
+    };
+    let mut explicit_stdin = false;
+    while let Some(arg) = args.next() {
+        if matches!(arg.as_str(), "-h" | "--help") {
+            return Ok(Command::Help);
+        }
+        if apply_format_flag(&arg, &mut args, &mut config.options)? {
+            continue;
+        }
+        let mut value_for = |flag: &str| {
+            args.next()
+                .ok_or_else(|| usage_error(format!("{flag}: missing value")))
+        };
+        match arg.as_str() {
+            "--methods" => {
+                config.comparison.methods =
+                    parse_method_list(&value_for(&arg)?).map_err(usage_error)?;
+            }
+            "--top-share" => config.comparison.top_share = parse_number(&arg, &value_for(&arg)?)?,
+            "--noise" => config.comparison.noise_level = parse_number(&arg, &value_for(&arg)?)?,
+            "--resamples" => {
+                config.comparison.noise_resamples = parse_number(&arg, &value_for(&arg)?)?;
+            }
+            "--seed" => config.comparison.seed = parse_number(&arg, &value_for(&arg)?)?,
+            "--threads" => config.comparison.threads = parse_number(&arg, &value_for(&arg)?)?,
+            "-o" | "--output" => {
+                let kind = value_for(&arg)?;
+                config.output = match kind.as_str() {
+                    "table" => CompareOutputKind::Table,
+                    "json" => CompareOutputKind::Json,
+                    other => {
+                        return Err(usage_error(format!(
+                            "unknown compare output kind `{other}` (expected table or json)"
+                        )))
+                    }
+                };
+            }
+            "-" => {
+                if config.input.is_some() || explicit_stdin {
+                    return Err(usage_error(
+                        "unexpected extra input `-` (one edge list per run)",
+                    ));
+                }
+                explicit_stdin = true;
+            }
+            flag if flag.starts_with('-') => {
+                return Err(usage_error(format!("unknown compare flag `{flag}`")));
+            }
+            path => {
+                if config.input.is_some() || explicit_stdin {
+                    return Err(usage_error(format!(
+                        "unexpected extra input `{path}` (one edge list per run)"
+                    )));
+                }
+                config.input = Some(PathBuf::from(path));
+            }
+        }
+    }
+    Ok(Command::Compare(config))
+}
+
 /// Parse a `backbone` command line (without the program name).
 pub fn parse_args<I>(args: I) -> Result<Command, UsageError>
 where
@@ -246,6 +366,10 @@ where
     if args.peek().map(String::as_str) == Some("serve") {
         args.next();
         return parse_serve_args(args);
+    }
+    if args.peek().map(String::as_str) == Some("compare") {
+        args.next();
+        return parse_compare_args(args);
     }
     let mut method: Option<Method> = None;
     let mut policy: Option<ThresholdPolicy> = None;
@@ -379,6 +503,35 @@ pub fn execute(config: &CliConfig, out: &mut dyn Write) -> Result<(), String> {
     Ok(())
 }
 
+/// Execute a parsed `backbone compare` configuration, writing the report to
+/// `out`.
+pub fn execute_compare(config: &CompareCliConfig, out: &mut dyn Write) -> Result<(), String> {
+    let graph = match &config.input {
+        Some(path) => backboning_graph::io::read_edge_list_file(path, &config.options),
+        None => {
+            let stdin = std::io::stdin();
+            read_edge_list_named(BufReader::new(stdin.lock()), &config.options, "<stdin>")
+        }
+    }
+    .map_err(|e| e.to_string())?;
+
+    let report = Comparison::new(config.comparison.clone())
+        .map_err(|e| e.to_string())?
+        .run(&graph)
+        .map_err(|e| e.to_string())?;
+
+    let rendered = match config.output {
+        CompareOutputKind::Table => report.render_table(),
+        CompareOutputKind::Json => {
+            let mut json = report.to_json();
+            json.push('\n');
+            json
+        }
+    };
+    out.write_all(rendered.as_bytes())
+        .map_err(|e| e.to_string())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -390,7 +543,14 @@ mod tests {
     fn config(args: &[&str]) -> CliConfig {
         match parse(args).unwrap() {
             Command::Run(config) => config,
-            Command::Help | Command::Serve(_) => panic!("expected a run command"),
+            _ => panic!("expected a run command"),
+        }
+    }
+
+    fn compare_config(args: &[&str]) -> CompareCliConfig {
+        match parse(args).unwrap() {
+            Command::Compare(config) => config,
+            _ => panic!("expected a compare command"),
         }
     }
 
@@ -465,6 +625,128 @@ mod tests {
         assert!(matches!(parse(&["--help"]), Ok(Command::Help)));
         assert!(matches!(parse(&["-m", "nc", "-h"]), Ok(Command::Help)));
         assert!(matches!(parse(&["serve", "--help"]), Ok(Command::Help)));
+        assert!(matches!(parse(&["compare", "-h"]), Ok(Command::Help)));
+    }
+
+    #[test]
+    fn compare_defaults_need_no_flags() {
+        let config = compare_config(&["compare"]);
+        assert!(config.input.is_none());
+        assert_eq!(config.output, CompareOutputKind::Table);
+        assert_eq!(
+            config.comparison.methods,
+            backboning_eval::comparison::DEFAULT_METHODS.to_vec()
+        );
+        assert_eq!(config.comparison.top_share, 0.1);
+        assert_eq!(config.comparison.noise_level, 0.1);
+        assert_eq!(config.comparison.noise_resamples, 8);
+        assert_eq!(config.comparison.seed, 4242);
+        assert_eq!(config.comparison.threads, 0);
+    }
+
+    #[test]
+    fn compare_subcommand_parses_its_flags() {
+        let config = compare_config(&[
+            "compare",
+            "--methods",
+            "nc,mst,naive",
+            "--top-share",
+            "0.25",
+            "--noise",
+            "0.2",
+            "--resamples",
+            "16",
+            "--seed",
+            "7",
+            "--threads",
+            "2",
+            "--undirected",
+            "--header",
+            "-o",
+            "json",
+            "edges.tsv",
+        ]);
+        assert_eq!(
+            config.comparison.methods,
+            vec![
+                Method::NoiseCorrected,
+                Method::MaximumSpanningTree,
+                Method::NaiveThreshold
+            ]
+        );
+        assert_eq!(config.comparison.top_share, 0.25);
+        assert_eq!(config.comparison.noise_level, 0.2);
+        assert_eq!(config.comparison.noise_resamples, 16);
+        assert_eq!(config.comparison.seed, 7);
+        assert_eq!(config.comparison.threads, 2);
+        assert_eq!(config.options.direction, Direction::Undirected);
+        assert!(config.options.has_header);
+        assert_eq!(config.output, CompareOutputKind::Json);
+        assert_eq!(
+            config.input.as_deref(),
+            Some(std::path::Path::new("edges.tsv"))
+        );
+        // `all` expands to the full registry.
+        let all = compare_config(&["compare", "--methods", "all"]);
+        assert_eq!(all.comparison.methods, Method::every().to_vec());
+    }
+
+    #[test]
+    fn compare_usage_errors_are_reported() {
+        for (args, needle) in [
+            (&["compare", "--wat"][..], "unknown compare flag"),
+            (&["compare", "--methods", "nc,zz"][..], "unknown method"),
+            (&["compare", "--methods", "nc,nc"][..], "duplicate method"),
+            (&["compare", "--methods"][..], "missing value"),
+            (&["compare", "--top-share", "x"][..], "cannot parse"),
+            (&["compare", "-o", "summary"][..], "unknown compare output"),
+            (&["compare", "a.tsv", "b.tsv"][..], "extra input"),
+            (&["compare", "-", "a.tsv"][..], "extra input"),
+        ] {
+            let err = parse(args).unwrap_err();
+            assert!(
+                err.0.contains(needle),
+                "{args:?}: expected `{needle}` in `{}`",
+                err.0
+            );
+        }
+    }
+
+    #[test]
+    fn execute_compare_runs_a_file_end_to_end() {
+        let dir = std::env::temp_dir().join("backboning_cli_compare_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("edges.tsv");
+        std::fs::write(&path, "a b 5\nb c 4\nc d 3\nd a 2\na c 1\n").unwrap();
+
+        let mut config = compare_config(&[
+            "compare",
+            "--methods",
+            "naive,mst",
+            "--top-share",
+            "0.4",
+            "--resamples",
+            "2",
+            "--undirected",
+            "-o",
+            "json",
+        ]);
+        config.input = Some(path.clone());
+        let mut out = Vec::new();
+        execute_compare(&config, &mut out).unwrap();
+        let json = String::from_utf8(out).unwrap();
+        assert!(json.contains("\"matched_edges\": 2"), "{json}");
+        assert!(json.contains("\"method\": \"naive\""));
+        assert!(json.contains("\"jaccard\""));
+        assert!(json.ends_with('\n'));
+
+        let mut table_config = config.clone();
+        table_config.output = CompareOutputKind::Table;
+        let mut table_out = Vec::new();
+        execute_compare(&table_config, &mut table_out).unwrap();
+        let table = String::from_utf8(table_out).unwrap();
+        assert!(table.contains("Pairwise Jaccard agreement"), "{table}");
+        std::fs::remove_file(&path).unwrap();
     }
 
     #[test]

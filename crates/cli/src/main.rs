@@ -1,14 +1,16 @@
 //! The `backbone` binary: parse the command line, stream the edge list,
 //! run the shared [`backboning::Pipeline`], and write the result to stdout —
-//! or, as `backbone serve`, start the long-lived HTTP serving subsystem
-//! (`backboning_server`) with its scored-graph cache.
+//! or, as `backbone compare`, run the matched-coverage method comparison
+//! (`backboning_eval::Comparison`) — or, as `backbone serve`, start the
+//! long-lived HTTP serving subsystem (`backboning_server`) with its
+//! scored-graph cache.
 //!
 //! Exit codes: `0` success, `1` runtime failure (unreadable input, malformed
 //! edge list, method error, bind failure), `2` usage error.
 
 use std::io::Write;
 
-use backboning_cli::{execute, parse_args, Command, USAGE};
+use backboning_cli::{execute, execute_compare, parse_args, Command, USAGE};
 
 fn main() {
     let args = std::env::args().skip(1);
@@ -43,6 +45,15 @@ fn main() {
             let stdout = std::io::stdout();
             let mut out = stdout.lock();
             if let Err(err) = execute(&config, &mut out) {
+                eprintln!("backbone: {err}");
+                std::process::exit(1);
+            }
+            let _ = out.flush();
+        }
+        Command::Compare(config) => {
+            let stdout = std::io::stdout();
+            let mut out = stdout.lock();
+            if let Err(err) = execute_compare(&config, &mut out) {
                 eprintln!("backbone: {err}");
                 std::process::exit(1);
             }

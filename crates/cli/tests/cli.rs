@@ -211,4 +211,68 @@ fn help_prints_usage_and_exits_0() {
     let text = stdout_of(&output);
     assert!(text.contains("USAGE"));
     assert!(text.contains("--coverage"));
+    assert!(text.contains("compare"));
+}
+
+#[test]
+fn compare_emits_tables_and_stable_json() {
+    let path = trade_path();
+    let path = path.to_str().unwrap();
+    let table = stdout_of(&run_with_stdin(&["compare", "--undirected", path], None));
+    assert!(table.contains("Backbone comparison"), "{table}");
+    assert!(table.contains("Pairwise Jaccard agreement"), "{table}");
+    for method in ["NC", "DF", "HSS"] {
+        assert!(table.contains(method), "missing {method} in\n{table}");
+    }
+
+    let json_args = [
+        "compare",
+        "--methods",
+        "nc,df,hss",
+        "--top-share",
+        "0.1",
+        "--undirected",
+        "-o",
+        "json",
+        path,
+    ];
+    let first = stdout_of(&run_with_stdin(&json_args, None));
+    assert!(first.contains("\"matched_edges\": 3"), "{first}");
+    assert!(first.contains("\"noise_stability\""), "{first}");
+    // The JSON report is a pure function of graph and config: re-running
+    // produces the identical bytes.
+    let second = stdout_of(&run_with_stdin(&json_args, None));
+    assert_eq!(first, second);
+
+    // Stdin and file inputs agree for compare too.
+    let text = std::fs::read_to_string(trade_path()).unwrap();
+    let stdin_args: Vec<&str> = json_args[..json_args.len() - 1].to_vec();
+    let from_stdin = stdout_of(&run_with_stdin(&stdin_args, Some(&text)));
+    assert_eq!(first, from_stdin);
+}
+
+#[test]
+fn compare_usage_errors_exit_2() {
+    let output = run_with_stdin(&["compare", "--methods", "nc,bogus"], Some(""));
+    assert_eq!(output.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&output.stderr);
+    assert!(err.contains("unknown method"), "{err}");
+}
+
+#[test]
+fn compare_invalid_share_exits_1() {
+    let path = trade_path();
+    let output = run_with_stdin(
+        &[
+            "compare",
+            "--top-share",
+            "1.5",
+            "--undirected",
+            path.to_str().unwrap(),
+        ],
+        None,
+    );
+    assert_eq!(output.status.code(), Some(1));
+    let err = String::from_utf8_lossy(&output.stderr);
+    assert!(err.contains("top_share"), "{err}");
 }

@@ -103,6 +103,27 @@ pub struct Pipeline {
     threads: usize,
 }
 
+/// The number of edges a matched-coverage comparison keeps: `round(share ×
+/// edge_count)` — the same round-half-up rule as [`ScoredEdges::top_share`],
+/// so a matched [`Pipeline`] and a `TopShare` pipeline at the same share keep
+/// identical edge sets. Rejects shares outside `[0, 1]`.
+///
+/// ```
+/// use backboning::pipeline::matched_edge_count;
+/// assert_eq!(matched_edge_count(28, 0.1).unwrap(), 3);
+/// assert_eq!(matched_edge_count(5, 0.5).unwrap(), 3);
+/// assert!(matched_edge_count(10, 1.2).is_err());
+/// ```
+pub fn matched_edge_count(edge_count: usize, share: f64) -> BackboneResult<usize> {
+    if !(0.0..=1.0).contains(&share) {
+        return Err(BackboneError::InvalidParameter {
+            parameter: "top_share",
+            message: format!("must lie in [0, 1], got {share}"),
+        });
+    }
+    Ok((share * edge_count as f64).round() as usize)
+}
+
 impl Pipeline {
     /// A pipeline with automatic thread count (honours `BACKBONING_THREADS`).
     pub fn new(method: Method, policy: ThresholdPolicy) -> Self {
@@ -111,6 +132,22 @@ impl Pipeline {
             policy,
             threads: 0,
         }
+    }
+
+    /// The matched-coverage pipeline of the paper's evaluation methodology
+    /// (Section V): every method is asked for the **same number of edges** —
+    /// [`matched_edge_count`] of `graph`'s edges at `top_share` — so that
+    /// coverage, connectivity and stability are compared at equal backbone
+    /// size rather than at each method's natural threshold. Parameter-free
+    /// methods (MST, DS) still return their fixed edge set, which is exactly
+    /// how the paper places them on the same axes.
+    pub fn matched(
+        method: Method,
+        graph: &WeightedGraph,
+        top_share: f64,
+    ) -> BackboneResult<Pipeline> {
+        let target = matched_edge_count(graph.edge_count(), top_share)?;
+        Ok(Pipeline::new(method, ThresholdPolicy::TopK(target)))
     }
 
     /// Set an explicit worker count (`0` = automatic). Results are
@@ -560,6 +597,25 @@ mod tests {
         assert!(json.contains("\"method\": \"nc\""));
         assert!(json.contains("\"kind\": \"top_share\""));
         assert!(json.contains("\"edges\": 4"));
+    }
+
+    #[test]
+    fn matched_pipeline_equals_top_share_selection() {
+        let graph = complete_graph(9, 2.0).unwrap(); // 36 edges
+        for share in [0.0, 0.1, 0.25, 1.0] {
+            let matched = Pipeline::matched(Method::NoiseCorrected, &graph, share)
+                .unwrap()
+                .edge_set(&graph)
+                .unwrap();
+            let top_share = Pipeline::new(Method::NoiseCorrected, ThresholdPolicy::TopShare(share))
+                .edge_set(&graph)
+                .unwrap();
+            assert_eq!(matched, top_share, "share {share}");
+            assert_eq!(matched.len(), matched_edge_count(36, share).unwrap());
+        }
+        for share in [-0.01, 1.01, f64::NAN] {
+            assert!(Pipeline::matched(Method::NoiseCorrected, &graph, share).is_err());
+        }
     }
 
     #[test]

@@ -22,14 +22,22 @@
 //! quality, stability) plus the variance-validation statistic, and
 //! [`methods`] provides a uniform registry over the six backboning methods so
 //! that every experiment sweeps the same set.
+//!
+//! The [`comparison`] module turns the paper's evaluation methodology into a
+//! reusable engine for *user-supplied* graphs: methods are selected at
+//! matched edge coverage and compared on coverage, connectivity, pairwise
+//! agreement and noise stability — the `backbone compare` subcommand and the
+//! server's `GET /graphs/{name}/compare` route both run through it.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod comparison;
 pub mod experiments;
 pub mod methods;
 pub mod metrics;
 pub mod report;
 
+pub use comparison::{Comparison, ComparisonConfig, ComparisonReport, MethodReport};
 pub use methods::Method;
 pub use report::TextTable;

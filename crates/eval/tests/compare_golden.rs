@@ -1,0 +1,109 @@
+//! Golden-file regression test for the `backbone compare` JSON report, plus
+//! the thread-count invariance contract of the noise-stability Monte Carlo.
+//!
+//! The bundled example edge list (`docs/examples/trade.tsv`) goes in with
+//! the `backbone compare` defaults (`nc,df,hss`, matched at the top 10% of
+//! edges, 8 multiplicative-noise resamples at ±0.1, seed 4242), and the
+//! resulting stable JSON must match the committed golden file byte for byte
+//! — the same bytes the CLI's `-o json` and the server's
+//! `GET /graphs/trade/compare` emit.
+//!
+//! The golden file lives in `crates/eval/tests/golden/`. To regenerate it
+//! after an intentional behaviour change:
+//!
+//! ```sh
+//! BACKBONING_REGEN_GOLDEN=1 cargo test -p backboning_eval --test compare_golden
+//! ```
+
+use std::path::PathBuf;
+
+use backboning_eval::comparison::DEFAULT_METHODS;
+use backboning_eval::{Comparison, ComparisonConfig};
+use backboning_graph::io::{read_edge_list_file, EdgeListOptions};
+use backboning_graph::{Direction, WeightedGraph};
+
+fn fixture_graph() -> WeightedGraph {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../docs/examples/trade.tsv");
+    let options = EdgeListOptions::with_direction(Direction::Undirected);
+    read_edge_list_file(&path, &options).expect("bundled example edge list parses")
+}
+
+fn golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/compare_trade.json")
+}
+
+#[test]
+fn default_compare_report_matches_its_golden_json() {
+    let graph = fixture_graph();
+    assert_eq!(graph.node_count(), 8);
+    assert_eq!(graph.edge_count(), 28);
+
+    let report = Comparison::new(ComparisonConfig::default())
+        .expect("default config is valid")
+        .run(&graph)
+        .expect("comparison runs on the fixture");
+    let mut produced = report.to_json();
+    produced.push('\n');
+
+    let path = golden_path();
+    if std::env::var("BACKBONING_REGEN_GOLDEN").is_ok() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, &produced).unwrap();
+        return;
+    }
+    let golden = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {} (regenerate with BACKBONING_REGEN_GOLDEN=1): {e}",
+            path.display()
+        )
+    });
+    assert_eq!(
+        produced,
+        golden,
+        "compare report drifted from {}",
+        path.display()
+    );
+
+    // Structural sanity on top of the byte comparison: every default method
+    // succeeded and the matched target is round(0.1 × 28) = 3.
+    assert_eq!(report.matched_edges, 3);
+    for method_report in &report.methods {
+        let metrics = method_report
+            .metrics
+            .as_ref()
+            .unwrap_or_else(|e| panic!("{} failed: {e}", method_report.method));
+        assert_eq!(metrics.edges, 3);
+        assert!(metrics.noise_stability.is_some());
+    }
+    assert_eq!(report.methods.len(), DEFAULT_METHODS.len());
+}
+
+/// The noise-stability Monte Carlo fans trials out across worker threads;
+/// the mean is accumulated in trial order, so the whole report — down to the
+/// JSON bytes — must be identical at any thread count.
+#[test]
+fn compare_report_is_invariant_across_thread_counts() {
+    let graph = fixture_graph();
+    let reference = Comparison::new(ComparisonConfig {
+        threads: 1,
+        ..ComparisonConfig::default()
+    })
+    .unwrap()
+    .run(&graph)
+    .unwrap();
+    for threads in [2, 3, 8] {
+        let run = Comparison::new(ComparisonConfig {
+            threads,
+            ..ComparisonConfig::default()
+        })
+        .unwrap()
+        .run(&graph)
+        .unwrap();
+        assert_eq!(run, reference, "threads = {threads}");
+        assert_eq!(
+            run.to_json(),
+            reference.to_json(),
+            "threads = {threads}: JSON bytes differ"
+        );
+    }
+}

@@ -9,6 +9,14 @@
 //! threshold policy is answered from the cached
 //! [`backboning::ScoredEdges`] at selection cost.
 //!
+//! Each entry additionally carries a **comparison report cache** keyed by
+//! the canonical `/compare` configuration: a comparison's noise Monte
+//! Carlo re-scores perturbed graph copies, which the scored-edge cache
+//! cannot help with, but the finished report is a pure function of
+//! `(graph, config)`, so its bytes are stored and repeated requests skip
+//! the Monte Carlo entirely (bounded per graph; see
+//! [`GraphEntry::store_compare`]).
+//!
 //! Concurrency model: the graph map is behind an `RwLock` (lookups are
 //! reads; uploads are rare writes). Each cache slot is an
 //! `Arc<OnceLock<…>>`, so concurrent first hits on the same `(graph,
@@ -29,11 +37,19 @@ use backboning_graph::WeightedGraph;
 
 type ScoreSlot = Arc<OnceLock<Result<Arc<ScoredEdges>, BackboneError>>>;
 
-/// A named graph plus its per-method scored-edge cache.
+/// Maximum number of cached comparison reports per graph. A comparison
+/// report is small (a few KiB of JSON), but its cache key includes
+/// free-form query parameters, so the map is bounded to keep a client
+/// sweeping parameters from growing it without limit.
+const MAX_COMPARE_REPORTS: usize = 32;
+
+/// A named graph plus its per-method scored-edge cache and its comparison
+/// report cache.
 pub struct GraphEntry {
     name: String,
     graph: WeightedGraph,
     cache: Mutex<HashMap<&'static str, ScoreSlot>>,
+    compare_cache: Mutex<HashMap<String, Arc<str>>>,
 }
 
 impl GraphEntry {
@@ -42,7 +58,31 @@ impl GraphEntry {
             name,
             graph,
             cache: Mutex::new(HashMap::new()),
+            compare_cache: Mutex::new(HashMap::new()),
         }
+    }
+
+    /// The cached comparison report body for a canonical configuration key,
+    /// if one was stored. Comparison reports are pure functions of
+    /// `(graph, config)` — no wall times — so serving the stored bytes is
+    /// indistinguishable from recomputing them.
+    pub fn cached_compare(&self, key: &str) -> Option<Arc<str>> {
+        let cache = self.compare_cache.lock().unwrap_or_else(|e| e.into_inner());
+        cache.get(key).cloned()
+    }
+
+    /// Store a comparison report body under its configuration key. The map
+    /// is bounded (`MAX_COMPARE_REPORTS`); when full it is cleared rather
+    /// than grown — recomputation is always correct, an unbounded map is
+    /// not. Concurrent first requests may both compute and store; the
+    /// bodies are byte-identical by construction, so last-write-wins is
+    /// harmless.
+    pub fn store_compare(&self, key: String, body: Arc<str>) {
+        let mut cache = self.compare_cache.lock().unwrap_or_else(|e| e.into_inner());
+        if cache.len() >= MAX_COMPARE_REPORTS && !cache.contains_key(&key) {
+            cache.clear();
+        }
+        cache.insert(key, body);
     }
 
     /// The registry name of the graph.
@@ -293,6 +333,30 @@ mod tests {
         assert_eq!(entry.cached_methods(), vec!["naive"]);
         let replacement = registry.insert("g", sample_graph()).unwrap();
         assert!(replacement.cached_methods().is_empty());
+    }
+
+    #[test]
+    fn compare_reports_are_cached_and_bounded() {
+        let registry = Registry::new(1);
+        let entry = registry.insert("g", sample_graph()).unwrap();
+        assert!(entry.cached_compare("key").is_none());
+        entry.store_compare("key".to_string(), Arc::from("{}"));
+        assert_eq!(entry.cached_compare("key").as_deref(), Some("{}"));
+
+        // Filling the map up to the bound keeps everything; the store that
+        // would exceed it clears the map instead of growing it.
+        for index in 0..MAX_COMPARE_REPORTS - 1 {
+            entry.store_compare(format!("filler-{index}"), Arc::from("{}"));
+        }
+        assert!(entry.cached_compare("key").is_some());
+        assert!(entry.cached_compare("filler-1").is_some());
+        entry.store_compare("one-too-many".to_string(), Arc::from("{}"));
+        assert!(entry.cached_compare("filler-1").is_none());
+        assert!(entry.cached_compare("one-too-many").is_some());
+
+        // Re-inserting the graph drops the report cache with the entry.
+        let replacement = registry.insert("g", sample_graph()).unwrap();
+        assert!(replacement.cached_compare("key").is_none());
     }
 
     #[test]

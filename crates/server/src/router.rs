@@ -8,6 +8,7 @@
 //! | `POST /graphs/{name}` | upload an edge list body, register it as `{name}` |
 //! | `DELETE /graphs/{name}` | unregister a graph |
 //! | `GET /graphs/{name}/backbone` | run the pipeline (cache-backed) and return backbone / scores / summary |
+//! | `GET /graphs/{name}/compare` | matched-coverage method comparison (cache-backed), stable JSON |
 //! | `POST /shutdown` | stop accepting and drain the worker pool |
 //!
 //! The backbone route takes `method=` (required; any CLI method name) and
@@ -19,9 +20,22 @@
 //! emit identical bytes — and because scored edges are cached and wall time
 //! is excluded from the served summary, a cache-hit response is
 //! byte-identical to the cold one.
+//!
+//! The compare route takes `methods=` (comma-separated CLI names or `all`;
+//! default `nc,df,hss`), `top_share=`, `noise=`, `resamples=` and `seed=`,
+//! mirroring the defaults of `backbone compare` — the body is exactly the
+//! bytes of `backbone compare … -o json` on the same graph. Base scoring
+//! goes through the scored-edge cache ([`Registry::scored`]), so an
+//! N-method comparison costs at most N scoring passes ever, and the
+//! finished report — a pure function of `(graph, config)` — is cached per
+//! graph, so only the *first* request for a configuration pays the noise
+//! Monte Carlo. See `docs/API.md` for the full reference.
+
+use std::sync::Arc;
 
 use backboning::json::{self, JsonArray, JsonObject};
 use backboning::{Method, Pipeline, PipelineRun, ThresholdPolicy};
+use backboning_eval::comparison;
 use backboning_graph::io::read_edge_list_named;
 use backboning_graph::Direction;
 
@@ -39,6 +53,7 @@ pub fn handle(registry: &Registry, control: &ServerControl, request: &Request) -
         ("POST", ["graphs", name]) => upload_graph(registry, name, request),
         ("DELETE", ["graphs", name]) => delete_graph(registry, name),
         ("GET", ["graphs", name, "backbone"]) => backbone(registry, name, request),
+        ("GET", ["graphs", name, "compare"]) => compare(registry, name, request),
         ("POST", ["shutdown"]) => {
             control.request_shutdown();
             let mut body = JsonObject::pretty();
@@ -46,9 +61,15 @@ pub fn handle(registry: &Registry, control: &ServerControl, request: &Request) -
             Response::json(200, finish_line(&mut body))
         }
         // Known paths hit with the wrong verb get a 405 rather than a 404.
-        (_, ["health"] | ["graphs"] | ["graphs", _] | ["graphs", _, "backbone"] | ["shutdown"]) => {
-            Response::error(405, &format!("method {} not allowed here", request.method))
-        }
+        (
+            _,
+            ["health"]
+            | ["graphs"]
+            | ["graphs", _]
+            | ["graphs", _, "backbone"]
+            | ["graphs", _, "compare"]
+            | ["shutdown"],
+        ) => Response::error(405, &format!("method {} not allowed here", request.method)),
         _ => Response::error(404, &format!("no route for {}", request.path)),
     }
 }
@@ -273,6 +294,95 @@ fn backbone(registry: &Registry, name: &str, request: &Request) -> Response {
         Err(err) => return Response::error(400, &err.to_string()),
     };
     render(&entry, &run, output, as_json)
+}
+
+/// Parse the comparison configuration from the request's query parameters,
+/// starting from the `backbone compare` defaults so the two surfaces agree.
+fn parse_compare_config(
+    request: &Request,
+    threads: usize,
+) -> Result<comparison::ComparisonConfig, String> {
+    let mut config = comparison::ComparisonConfig {
+        threads,
+        ..comparison::ComparisonConfig::default()
+    };
+    if let Some(spec) = request.query_param("methods") {
+        config.methods = comparison::parse_method_list(spec)?;
+    }
+    let number = |name: &'static str| -> Result<Option<f64>, String> {
+        request
+            .query_param(name)
+            .map(|value| {
+                value
+                    .parse::<f64>()
+                    .map_err(|_| format!("{name}: cannot parse `{value}` as a number"))
+            })
+            .transpose()
+    };
+    if let Some(value) = number("top_share")? {
+        config.top_share = value;
+    }
+    if let Some(value) = number("noise")? {
+        config.noise_level = value;
+    }
+    if let Some(value) = request.query_param("resamples") {
+        config.noise_resamples = value
+            .parse()
+            .map_err(|_| format!("resamples: cannot parse `{value}` as an integer"))?;
+    }
+    if let Some(value) = request.query_param("seed") {
+        config.seed = value
+            .parse()
+            .map_err(|_| format!("seed: cannot parse `{value}` as an integer"))?;
+    }
+    Ok(config)
+}
+
+/// The canonical cache key of a comparison configuration: every field the
+/// report depends on, in a fixed order. Thread count is deliberately
+/// excluded — results are bit-identical at any worker count.
+fn compare_cache_key(config: &comparison::ComparisonConfig) -> String {
+    let methods: Vec<&str> = config.methods.iter().map(Method::cli_name).collect();
+    format!(
+        "{}|{}|{}|{}|{}",
+        methods.join(","),
+        json::number(config.top_share),
+        json::number(config.noise_level),
+        config.noise_resamples,
+        config.seed
+    )
+}
+
+fn compare(registry: &Registry, name: &str, request: &Request) -> Response {
+    let Some(entry) = registry.get(name) else {
+        return Response::error(404, &format!("no graph named `{name}`"));
+    };
+    let config = match parse_compare_config(request, registry.threads()) {
+        Ok(config) => config,
+        Err(message) => return Response::error(400, &message),
+    };
+    let comparison = match comparison::Comparison::new(config) {
+        Ok(comparison) => comparison,
+        Err(err) => return Response::error(400, &err.to_string()),
+    };
+    // The finished report is a pure function of (graph, config) — no wall
+    // times — so repeated requests are answered from the per-graph report
+    // cache without re-running the noise Monte Carlo.
+    let key = compare_cache_key(comparison.config());
+    if let Some(body) = entry.cached_compare(&key) {
+        return Response::json(200, body.to_string());
+    }
+    // Base scoring goes through the (graph, method) scored-edge cache; only
+    // the noise resamples are scored fresh (they are perturbed copies).
+    let report =
+        match comparison.run_with_scores(entry.graph(), |method| registry.scored(&entry, method)) {
+            Ok(report) => report,
+            Err(err) => return Response::error(400, &err.to_string()),
+        };
+    let mut body = report.to_json();
+    body.push('\n');
+    entry.store_compare(key, Arc::from(body.as_str()));
+    Response::json(200, body)
 }
 
 fn render(entry: &GraphEntry, run: &PipelineRun, output: Output, as_json: bool) -> Response {

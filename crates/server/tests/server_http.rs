@@ -364,6 +364,93 @@ fn concurrent_requests_serve_identical_bytes() {
     server.shutdown();
 }
 
+/// The compare route: stable JSON that is byte-identical across calls
+/// (cold and cache-hit), equal to the in-process `Comparison` engine on the
+/// same graph, invariant across worker counts, and answered from the
+/// scored-edge cache.
+#[test]
+fn compare_route_serves_stable_cache_backed_json() {
+    let server = trade_server(1);
+    let query = "/graphs/trade/compare?methods=nc,df,hss&top_share=0.1";
+    let (status, cold) = get(&server, query);
+    assert_eq!(status, 200, "{}", text(&cold));
+    let body = text(&cold);
+    assert!(body.contains("\"matched_edges\": 3"), "{body}");
+    assert!(body.contains("\"noise_stability\""), "{body}");
+    assert!(body.contains("\"jaccard\""), "{body}");
+
+    // The default parameters are exactly `?methods=nc,df,hss&top_share=0.1`
+    // (plus the default noise Monte Carlo), so the bare route answers the
+    // same bytes.
+    let (status, bare) = get(&server, "/graphs/trade/compare");
+    assert_eq!(status, 200);
+    assert_eq!(bare, cold);
+
+    // Cache hits are byte-identical to the cold response.
+    for _ in 0..2 {
+        let (status, warm) = get(&server, query);
+        assert_eq!(status, 200);
+        assert_eq!(warm, cold, "cached compare differs from cold");
+    }
+
+    // The cold request scored nc, df and hss exactly once; every follow-up
+    // (bare default and both warm repeats) was answered from the per-graph
+    // comparison report cache without touching the scored-edge cache at
+    // all — no re-scoring, no noise Monte Carlo.
+    let (hits, misses) = server.registry().cache_stats();
+    assert_eq!(misses, 3, "nc, df, hss each scored once");
+    assert_eq!(hits, 0, "follow-ups served from the report cache");
+
+    // The served bytes are exactly the in-process engine's report (+ \n) —
+    // the same path `backbone compare -o json` renders.
+    let report = backboning_eval::Comparison::new(backboning_eval::ComparisonConfig::default())
+        .expect("default config is valid")
+        .run(&trade_graph())
+        .expect("comparison runs");
+    assert_eq!(text(&cold), format!("{}\n", report.to_json()));
+
+    // Worker-count invariance of the noise Monte Carlo, end to end.
+    let multi = trade_server(4);
+    let (_, at_four) = get(&multi, query);
+    assert_eq!(at_four, cold, "thread count changed the compare bytes");
+
+    // Non-default parameters change the report but stay deterministic.
+    let custom = "/graphs/trade/compare?methods=all&top_share=0.3&noise=0.2&resamples=4&seed=7";
+    let (status, first) = get(&server, custom);
+    assert_eq!(status, 200, "{}", text(&first));
+    assert!(text(&first).contains("\"method\": \"mst\""));
+    let (_, second) = get(&server, custom);
+    assert_eq!(first, second);
+
+    server.shutdown();
+    multi.shutdown();
+}
+
+/// Compare-route error paths: missing graphs 404, bad parameters 400.
+#[test]
+fn compare_route_rejects_bad_requests() {
+    let server = trade_server(1);
+    for (path, expected) in [
+        ("/graphs/absent/compare", 404),
+        ("/graphs/trade/compare?methods=wat", 400),
+        ("/graphs/trade/compare?methods=nc,nc", 400),
+        ("/graphs/trade/compare?methods=", 400),
+        ("/graphs/trade/compare?top_share=1.5", 400),
+        ("/graphs/trade/compare?top_share=x", 400),
+        ("/graphs/trade/compare?noise=1.0", 400),
+        ("/graphs/trade/compare?resamples=x", 400),
+        ("/graphs/trade/compare?seed=-1", 400),
+    ] {
+        let (status, body) = get(&server, path);
+        assert_eq!(status, expected, "{path}: {}", text(&body));
+        assert!(text(&body).contains("\"error\":"), "{path}");
+    }
+    // Wrong verb → 405.
+    let (status, _) = post(&server, "/graphs/trade/compare", "");
+    assert_eq!(status, 405);
+    server.shutdown();
+}
+
 /// The clean-shutdown control path: POST /shutdown answers, the server
 /// drains, `wait` returns, and the port stops accepting.
 #[test]
