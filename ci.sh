@@ -23,7 +23,21 @@ cargo build --release
 cargo test -q
 
 echo "==> perf smoke: bench_snapshot -> BENCH_backbones.json"
+# BENCH_SCALE=full adds the million-node substrates (that mode produces the
+# committed BENCH_backbones.json); the default keeps the smoke budget.
 cargo run --release -p backboning_bench --bin bench_snapshot
+
+echo "==> large-substrate smoke: 100k-node BA through score -> select (180 s budget)"
+SMOKE_TSV=$(mktemp --suffix .tsv)
+cleanup_smoke() { rm -f "$SMOKE_TSV"; }
+trap cleanup_smoke EXIT
+cargo run --release -p backboning_bench --bin gen_substrate -- ba 100000 3 4242 "$SMOKE_TSV"
+SMOKE_SUMMARY=$(timeout 180 ./target/release/backbone --method nc --top-share 0.1 \
+    --undirected -o summary "$SMOKE_TSV")
+echo "$SMOKE_SUMMARY" | grep -q '"nodes": 100000'
+echo "$SMOKE_SUMMARY" | grep -q '"method": "nc"'
+cleanup_smoke
+trap - EXIT
 
 echo "==> server smoke: backbone serve"
 SERVE_PORT="${SERVE_PORT:-48170}"

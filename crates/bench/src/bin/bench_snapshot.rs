@@ -27,8 +27,18 @@
 //! (`run_with_scores` over pre-scored edges — what the server's
 //! `/graphs/{name}/compare` route does after the first request).
 //!
+//! Since PR 6 the snapshot also measures the compact u32/CSR core at scale:
+//! `ba_100k`/`er_100k` (always) and `ba_1m`/`er_1m` (1M nodes, 3M/10M
+//! edges; only with `BENCH_SCALE=full`, which is how the committed
+//! `BENCH_backbones.json` is produced) are generated straight into
+//! [`backboning_graph::CsrGraph`] and scored with the four scalable
+//! methods (NT, MST, DF, NC), recording the CSR footprint and the process
+//! memory high-water mark (`VmHWM`) alongside each median. The substrates
+//! run smallest-first, so each entry's HWM bounds that substrate's peak.
+//!
 //! Environment: `BENCH_RUNS` (default 3) timed runs per entry, median
-//! reported; `BACKBONING_THREADS` steers the auto-threaded entries.
+//! reported; `BENCH_SCALE=full` adds the million-node substrates;
+//! `BACKBONING_THREADS` steers the auto-threaded entries.
 
 use std::io::{Read, Write};
 use std::net::TcpStream;
@@ -38,8 +48,10 @@ use std::time::Instant;
 use backboning::{HighSalienceSkeleton, Pipeline, ThresholdPolicy};
 use backboning_eval::comparison::{Comparison, ComparisonConfig};
 use backboning_eval::Method;
-use backboning_graph::generators::{barabasi_albert, complete_graph, erdos_renyi};
-use backboning_graph::{Direction, WeightedGraph};
+use backboning_graph::generators::{
+    barabasi_albert, barabasi_albert_csr, complete_graph, erdos_renyi, erdos_renyi_csr,
+};
+use backboning_graph::{CsrGraph, Direction, WeightedGraph};
 use backboning_parallel::available_threads;
 use backboning_server::{Server, ServerConfig};
 
@@ -83,6 +95,63 @@ fn entry(
         threads,
         median_ms,
         edges_per_sec: graph.edge_count() as f64 / (median_ms / 1e3),
+    }
+}
+
+/// One measured entry of the large CSR substrates.
+struct LargeEntry {
+    method: &'static str,
+    substrate: &'static str,
+    nodes: usize,
+    edges: usize,
+    /// Bytes of the flat CSR arrays (offsets, targets, edge ids, weights).
+    graph_mib: f64,
+    median_ms: f64,
+    edges_per_sec: f64,
+    /// Process `VmHWM` after this measurement, in MiB. The kernel counter
+    /// is monotone, so within the smallest-first substrate order each value
+    /// is an upper bound on the substrate's true peak.
+    peak_rss_mib: f64,
+}
+
+/// The process's peak resident set (`VmHWM` from `/proc/self/status`) in
+/// MiB; `0.0` where the proc interface is unavailable.
+fn peak_rss_mib() -> f64 {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|status| {
+            status
+                .lines()
+                .find(|line| line.starts_with("VmHWM:"))
+                .and_then(|line| line.split_whitespace().nth(1))
+                .and_then(|kib| kib.parse::<f64>().ok())
+        })
+        .map(|kib| kib / 1024.0)
+        .unwrap_or(0.0)
+}
+
+/// Score every scalable method on one large CSR substrate, recording the
+/// memory high-water mark after each timed run.
+fn measure_large(
+    entries: &mut Vec<LargeEntry>,
+    substrate: &'static str,
+    graph: &CsrGraph,
+    runs: usize,
+) {
+    for method in Method::scalable() {
+        let median_ms = timed_runs(runs, || {
+            let _ = method.score(graph);
+        });
+        entries.push(LargeEntry {
+            method: method.short_name(),
+            substrate,
+            nodes: graph.node_count(),
+            edges: graph.edge_count(),
+            graph_mib: graph.memory_bytes() as f64 / (1024.0 * 1024.0),
+            median_ms,
+            edges_per_sec: graph.edge_count() as f64 / (median_ms / 1e3),
+            peak_rss_mib: peak_rss_mib(),
+        });
     }
 }
 
@@ -146,7 +215,10 @@ fn measure_server(runs: usize, graph: &WeightedGraph) -> (Vec<ServerQuery>, f64)
         let name = format!("bench_{cli_name}");
         server
             .registry()
-            .insert(&name, graph.clone())
+            .insert(
+                &name,
+                CsrGraph::from_graph(graph).expect("bench graph fits the CSR limits"),
+            )
             .expect("register the bench graph");
         let path =
             format!("/graphs/{name}/backbone?method={cli_name}&top_share=0.2&output=summary");
@@ -263,6 +335,7 @@ fn measure_compare(runs: usize, graph: &WeightedGraph) -> CompareTimings {
 fn render_json(
     default_threads: usize,
     entries: &[Entry],
+    large: &[LargeEntry],
     hss_speedup: f64,
     server_queries: &[ServerQuery],
     concurrent_rps: f64,
@@ -280,6 +353,25 @@ fn render_json(
             "    {{\"method\": \"{}\", \"substrate\": \"{}\", \"nodes\": {}, \"edges\": {}, \
              \"threads\": {}, \"median_ms\": {:.3}, \"edges_per_sec\": {:.1}}}{}\n",
             e.method, e.substrate, e.nodes, e.edges, e.threads, e.median_ms, e.edges_per_sec, comma
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str("  \"large_substrates\": [\n");
+    for (index, e) in large.iter().enumerate() {
+        let comma = if index + 1 < large.len() { "," } else { "" };
+        json.push_str(&format!(
+            "    {{\"method\": \"{}\", \"substrate\": \"{}\", \"nodes\": {}, \"edges\": {}, \
+             \"csr_mib\": {:.1}, \"median_ms\": {:.3}, \"edges_per_sec\": {:.1}, \
+             \"peak_rss_mib\": {:.1}}}{}\n",
+            e.method,
+            e.substrate,
+            e.nodes,
+            e.edges,
+            e.graph_mib,
+            e.median_ms,
+            e.edges_per_sec,
+            e.peak_rss_mib,
+            comma
         ));
     }
     json.push_str("  ],\n");
@@ -393,9 +485,35 @@ fn main() {
     let (server_queries, concurrent_rps) = measure_server(runs, &ba_2000);
     let compare = measure_compare(runs, &er_2000);
 
+    // Large CSR substrates, smallest first (VmHWM is monotone). The
+    // million-node pair only runs under BENCH_SCALE=full — that mode
+    // produces the committed BENCH_backbones.json; the default keeps CI
+    // within its smoke budget.
+    let full_scale = std::env::var("BENCH_SCALE").as_deref() == Ok("full");
+    let mut large = Vec::new();
+    {
+        let ba_100k = barabasi_albert_csr(100_000, 3, 4242).expect("valid BA parameters");
+        measure_large(&mut large, "ba_100k", &ba_100k, runs);
+    }
+    {
+        let er_100k = erdos_renyi_csr(100_000, 300_000, 10.0, Direction::Undirected, 99)
+            .expect("valid ER parameters");
+        measure_large(&mut large, "er_100k", &er_100k, runs);
+    }
+    if full_scale {
+        {
+            let ba_1m = barabasi_albert_csr(1_000_000, 3, 4242).expect("valid BA parameters");
+            measure_large(&mut large, "ba_1m", &ba_1m, 1);
+        }
+        let er_1m = erdos_renyi_csr(1_000_000, 10_000_000, 10.0, Direction::Undirected, 99)
+            .expect("valid ER parameters");
+        measure_large(&mut large, "er_1m", &er_1m, 1);
+    }
+
     let json = render_json(
         default_threads,
         &entries,
+        &large,
         hss_speedup,
         &server_queries,
         concurrent_rps,

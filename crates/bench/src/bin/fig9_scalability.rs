@@ -12,7 +12,13 @@ fn main() {
     let (sizes, slow_limit): (Vec<usize>, usize) = if small_mode() {
         (vec![5_000, 20_000, 80_000], 2_000)
     } else {
-        (vec![25_000, 100_000, 400_000, 1_600_000, 3_200_000], 4_000)
+        // 1_000_000 aligns the sweep with the bench_snapshot large
+        // substrates (ba_1m/er_1m), so the fitted exponent and the absolute
+        // snapshot numbers share a measured point.
+        (
+            vec![25_000, 100_000, 400_000, 1_000_000, 1_600_000, 3_200_000],
+            4_000,
+        )
     };
     let methods = Method::all().to_vec();
     println!("Figure 9 — running time scalability (seconds per method)");

@@ -33,7 +33,7 @@ use std::path::PathBuf;
 
 use backboning::{Method, Pipeline, ThresholdPolicy};
 use backboning_eval::comparison::{parse_method_list, Comparison, ComparisonConfig};
-use backboning_graph::io::{read_edge_list_named, EdgeListOptions};
+use backboning_graph::io::{read_edge_list_csr_named, EdgeListOptions};
 use backboning_graph::Direction;
 
 /// The usage text printed by `backbone --help` and on usage errors.
@@ -479,11 +479,14 @@ where
 /// The input is streamed line by line — from the named file, or from stdin
 /// when no path was given — so the full edge list is never buffered.
 pub fn execute(config: &CliConfig, out: &mut dyn Write) -> Result<(), String> {
+    // Parse straight into the compact u32/CSR core: the pipeline is generic
+    // over both representations with bit-identical output, and the CSR form
+    // is what keeps million-edge runs inside a laptop's memory.
     let graph = match &config.input {
-        Some(path) => backboning_graph::io::read_edge_list_file(path, &config.options),
+        Some(path) => backboning_graph::io::read_edge_list_csr_file(path, &config.options),
         None => {
             let stdin = std::io::stdin();
-            read_edge_list_named(BufReader::new(stdin.lock()), &config.options, "<stdin>")
+            read_edge_list_csr_named(BufReader::new(stdin.lock()), &config.options, "<stdin>")
         }
     }
     .map_err(|e| e.to_string())?;
@@ -507,10 +510,10 @@ pub fn execute(config: &CliConfig, out: &mut dyn Write) -> Result<(), String> {
 /// `out`.
 pub fn execute_compare(config: &CompareCliConfig, out: &mut dyn Write) -> Result<(), String> {
     let graph = match &config.input {
-        Some(path) => backboning_graph::io::read_edge_list_file(path, &config.options),
+        Some(path) => backboning_graph::io::read_edge_list_csr_file(path, &config.options),
         None => {
             let stdin = std::io::stdin();
-            read_edge_list_named(BufReader::new(stdin.lock()), &config.options, "<stdin>")
+            read_edge_list_csr_named(BufReader::new(stdin.lock()), &config.options, "<stdin>")
         }
     }
     .map_err(|e| e.to_string())?;

@@ -21,7 +21,7 @@
 //! endpoints jointly, which is why the Disparity Filter keeps periphery–hub
 //! connections that the NC backbone prunes (paper, Figure 3).
 
-use backboning_graph::{EdgeRef, WeightedGraph};
+use backboning_graph::{EdgeRef, GraphView, WeightedGraph};
 use backboning_parallel::{clamped_threads, par_map};
 
 use crate::error::BackboneResult;
@@ -73,9 +73,9 @@ impl DisparityFilter {
     /// honoring `BACKBONING_THREADS`). Each edge's p-value depends only on the
     /// precomputed per-node strengths and degrees, so the result is
     /// bit-identical for every thread count.
-    pub fn score_with_threads(
+    pub fn score_with_threads<G: GraphView>(
         &self,
-        graph: &WeightedGraph,
+        graph: &G,
         threads: usize,
     ) -> BackboneResult<ScoredEdges> {
         // Per-node strengths and degrees for both roles (emitter / receiver),
@@ -127,7 +127,11 @@ impl DisparityFilter {
                 }
             },
         );
-        Ok(ScoredEdges::new(self.name(), graph.node_count(), scored))
+        Ok(ScoredEdges::new(
+            BackboneExtractor::name(self),
+            graph.node_count(),
+            scored,
+        ))
     }
 }
 

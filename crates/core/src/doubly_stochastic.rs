@@ -19,7 +19,7 @@
 
 use backboning_graph::algorithms::union_find::UnionFind;
 use backboning_graph::matrix::AdjacencyMatrix;
-use backboning_graph::{EdgeRef, WeightedGraph};
+use backboning_graph::{EdgeRef, GraphView, WeightedGraph};
 use backboning_parallel::{clamped_threads, par_map};
 
 use crate::error::{BackboneError, BackboneResult};
@@ -55,9 +55,9 @@ impl DoublyStochastic {
     /// the previous one), but the per-edge read-out of the scaled matrix is
     /// chunked across workers; per-edge values are independent, so the result
     /// is thread-count invariant.
-    fn normalised_weights(
+    fn normalised_weights<G: GraphView>(
         &self,
-        graph: &WeightedGraph,
+        graph: &G,
         threads: usize,
     ) -> BackboneResult<Vec<f64>> {
         if graph.node_count() == 0 || graph.edge_count() == 0 {
@@ -71,12 +71,13 @@ impl DoublyStochastic {
                 message: err.to_string(),
             })?;
         let edges: Vec<EdgeRef> = graph.edges().collect();
+        let directed = graph.is_directed();
         Ok(par_map(
             &edges,
             clamped_threads(threads, edges.len(), 2048),
             |_, edge| {
                 let forward = doubly_stochastic.get(edge.source, edge.target);
-                if graph.is_directed() {
+                if directed {
                     forward
                 } else {
                     // The scaled matrix is generally *not* symmetric even for a
@@ -88,9 +89,9 @@ impl DoublyStochastic {
     }
 
     /// Score every edge with an explicit worker count (`0` = automatic).
-    pub fn score_with_threads(
+    pub fn score_with_threads<G: GraphView>(
         &self,
-        graph: &WeightedGraph,
+        graph: &G,
         threads: usize,
     ) -> BackboneResult<ScoredEdges> {
         let weights = self.normalised_weights(graph, threads)?;
@@ -107,14 +108,18 @@ impl DoublyStochastic {
                 p_value: None,
             })
             .collect();
-        Ok(ScoredEdges::new(self.name(), graph.node_count(), scored))
+        Ok(ScoredEdges::new(
+            BackboneExtractor::name(self),
+            graph.node_count(),
+            scored,
+        ))
     }
 
     /// The paper's parameter-free backbone: add edges in decreasing
     /// doubly-stochastic weight until all non-isolated nodes of the original
     /// graph belong to one connected component, then stop. Returns the dense
     /// edge indices of the selected edges.
-    pub fn fixed_edge_set(&self, graph: &WeightedGraph) -> BackboneResult<Vec<usize>> {
+    pub fn fixed_edge_set<G: GraphView>(&self, graph: &G) -> BackboneResult<Vec<usize>> {
         let scored = self.score_with_threads(graph, 0)?;
         Ok(Self::fixed_edge_set_from_scores(graph, &scored))
     }
@@ -122,7 +127,7 @@ impl DoublyStochastic {
     /// [`DoublyStochastic::fixed_edge_set`], reusing an already-computed score
     /// set (the scores *are* the doubly-stochastic weights) so the Sinkhorn
     /// normalisation does not run a second time. Bit-identical to recomputing.
-    pub fn fixed_edge_set_from_scores(graph: &WeightedGraph, scored: &ScoredEdges) -> Vec<usize> {
+    pub fn fixed_edge_set_from_scores<G: GraphView>(graph: &G, scored: &ScoredEdges) -> Vec<usize> {
         let weights = scored.scores();
         let mut order: Vec<usize> = (0..graph.edge_count()).collect();
         order.sort_by(|&a, &b| {
@@ -154,7 +159,7 @@ impl DoublyStochastic {
     }
 
     /// Convenience: build the parameter-free backbone graph.
-    pub fn extract_fixed(&self, graph: &WeightedGraph) -> BackboneResult<WeightedGraph> {
+    pub fn extract_fixed<G: GraphView>(&self, graph: &G) -> BackboneResult<WeightedGraph> {
         Ok(graph.subgraph_with_edges(&self.fixed_edge_set(graph)?)?)
     }
 }

@@ -21,7 +21,7 @@
 //! output bit (pinned by `tests/parallel_parity.rs`):
 //!
 //! * **CSR hot path** — every root's Dijkstra runs over an immutable
-//!   [`CsrGraph`] with a reusable scratch workspace
+//!   [`CsrGraph`](backboning_graph::CsrGraph) with a reusable scratch workspace
 //!   ([`CsrDijkstra`]),
 //!   distance transforms precomputed once per edge, and tree-edge counts
 //!   accumulated directly by CSR edge id — no per-root allocations and no
@@ -39,7 +39,7 @@
 use backboning_graph::algorithms::shortest_path::{
     csr_entry_distances, dijkstra, CsrDijkstra, DistanceTransform,
 };
-use backboning_graph::{CsrGraph, WeightedGraph};
+use backboning_graph::{GraphView, WeightedGraph};
 use backboning_parallel::{clamped_threads, par_accumulate};
 
 use crate::error::BackboneResult;
@@ -79,14 +79,15 @@ impl HighSalienceSkeleton {
     /// The salience of every edge is identical for every `threads` value: each
     /// worker accumulates integer tree-membership counters over a disjoint
     /// range of roots, and integer merges are exact.
-    pub fn score_with_threads(
+    pub fn score_with_threads<G: GraphView>(
         &self,
-        graph: &WeightedGraph,
+        graph: &G,
         threads: usize,
     ) -> BackboneResult<ScoredEdges> {
         let node_count = graph.node_count();
         let edge_count = graph.edge_count();
-        let csr = CsrGraph::from_graph(graph);
+        // Borrowed when the input already is compact; built once otherwise.
+        let csr = graph.to_csr()?;
         let entry_distances = csr_entry_distances(&csr, self.transform);
         // One Dijkstra per item is expensive; a handful of roots per worker
         // already amortises the spawn cost.
@@ -137,9 +138,9 @@ impl HighSalienceSkeleton {
     }
 
     /// Turn per-edge tree-membership counts into salience scores.
-    fn scored_from_membership(
+    fn scored_from_membership<G: GraphView>(
         &self,
-        graph: &WeightedGraph,
+        graph: &G,
         tree_membership: &[usize],
     ) -> ScoredEdges {
         let node_count = graph.node_count();
@@ -161,7 +162,7 @@ impl HighSalienceSkeleton {
                 p_value: None,
             });
         }
-        ScoredEdges::new(self.name(), node_count, scored)
+        ScoredEdges::new(BackboneExtractor::name(self), node_count, scored)
     }
 }
 

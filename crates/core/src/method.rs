@@ -19,7 +19,7 @@
 //! assert_eq!(scored.len(), graph.edge_count());
 //! ```
 
-use backboning_graph::WeightedGraph;
+use backboning_graph::{GraphView, WeightedGraph};
 
 use crate::disparity::DisparityFilter;
 use crate::doubly_stochastic::DoublyStochastic;
@@ -175,8 +175,9 @@ impl Method {
         matches!(self, Method::MaximumSpanningTree | Method::DoublyStochastic)
     }
 
-    /// Score every edge of the graph with this method.
-    pub fn score(&self, graph: &WeightedGraph) -> BackboneResult<ScoredEdges> {
+    /// Score every edge of the graph (either representation) with this
+    /// method.
+    pub fn score<G: GraphView>(&self, graph: &G) -> BackboneResult<ScoredEdges> {
         self.score_with_threads(graph, 0)
     }
 
@@ -186,14 +187,16 @@ impl Method {
     /// Carlo trials of Figure 4) pass `1` here so the inner scoring does not
     /// nest a second thread fan-out. Naive thresholding and MST are single
     /// sequential passes and ignore the count.
-    pub fn score_with_threads(
+    pub fn score_with_threads<G: GraphView>(
         &self,
-        graph: &WeightedGraph,
+        graph: &G,
         threads: usize,
     ) -> BackboneResult<ScoredEdges> {
         match self {
-            Method::NaiveThreshold => NaiveThreshold::new().score(graph),
-            Method::MaximumSpanningTree => MaximumSpanningTree::new().score(graph),
+            Method::NaiveThreshold => NaiveThreshold::new().score_with_threads(graph, threads),
+            Method::MaximumSpanningTree => {
+                MaximumSpanningTree::new().score_with_threads(graph, threads)
+            }
             Method::DoublyStochastic => DoublyStochastic::new().score_with_threads(graph, threads),
             Method::HighSalienceSkeleton => {
                 HighSalienceSkeleton::new().score_with_threads(graph, threads)
@@ -212,7 +215,7 @@ impl Method {
     /// in ascending edge-index order.
     ///
     /// Returns `None` for tunable methods.
-    pub fn fixed_edge_set(&self, graph: &WeightedGraph) -> Option<BackboneResult<Vec<usize>>> {
+    pub fn fixed_edge_set<G: GraphView>(&self, graph: &G) -> Option<BackboneResult<Vec<usize>>> {
         if !self.is_parameter_free() {
             return None;
         }
@@ -227,9 +230,9 @@ impl Method {
     /// Kruskal) does not run a second time. The scores fully determine the
     /// fixed set: MST scores mark the forest edges with 1, DS scores are the
     /// doubly-stochastic weights.
-    pub fn fixed_edge_set_from_scores(
+    pub fn fixed_edge_set_from_scores<G: GraphView>(
         &self,
-        graph: &WeightedGraph,
+        graph: &G,
         scored: &ScoredEdges,
     ) -> Option<Vec<usize>> {
         match self {
@@ -248,18 +251,18 @@ impl Method {
     /// `target_edges` (matching how the paper compares them). Routed through
     /// the shared [`Pipeline`], so the reproduction experiments and the
     /// `backbone` CLI exercise the same code.
-    pub fn edge_set(
+    pub fn edge_set<G: GraphView>(
         &self,
-        graph: &WeightedGraph,
+        graph: &G,
         target_edges: usize,
     ) -> BackboneResult<Vec<usize>> {
         self.edge_set_with_threads(graph, target_edges, 0)
     }
 
     /// [`Method::edge_set`] with an explicit worker count (`0` = automatic).
-    pub fn edge_set_with_threads(
+    pub fn edge_set_with_threads<G: GraphView>(
         &self,
-        graph: &WeightedGraph,
+        graph: &G,
         target_edges: usize,
         threads: usize,
     ) -> BackboneResult<Vec<usize>> {
@@ -269,9 +272,9 @@ impl Method {
     }
 
     /// The method's backbone graph at a target edge count (see [`Method::edge_set`]).
-    pub fn backbone(
+    pub fn backbone<G: GraphView>(
         &self,
-        graph: &WeightedGraph,
+        graph: &G,
         target_edges: usize,
     ) -> BackboneResult<WeightedGraph> {
         Ok(graph.subgraph_with_edges(&self.edge_set(graph, target_edges)?)?)

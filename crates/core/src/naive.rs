@@ -7,7 +7,7 @@
 //! removal of weakly-connected regions — are exactly what the evaluation
 //! criteria expose.
 
-use backboning_graph::WeightedGraph;
+use backboning_graph::{GraphView, WeightedGraph};
 
 use crate::error::BackboneResult;
 use crate::scored::{BackboneExtractor, ScoredEdge, ScoredEdges};
@@ -21,14 +21,15 @@ impl NaiveThreshold {
     pub fn new() -> Self {
         NaiveThreshold
     }
-}
 
-impl BackboneExtractor for NaiveThreshold {
-    fn name(&self) -> &'static str {
-        "naive_threshold"
-    }
-
-    fn score(&self, graph: &WeightedGraph) -> BackboneResult<ScoredEdges> {
+    /// Score every edge of any graph representation. The score of an edge is
+    /// its raw weight; `_threads` is accepted for registry uniformity (the
+    /// pass is a single sequential scan).
+    pub fn score_with_threads<G: GraphView>(
+        &self,
+        graph: &G,
+        _threads: usize,
+    ) -> BackboneResult<ScoredEdges> {
         let scored = graph
             .edges()
             .map(|edge| ScoredEdge {
@@ -42,7 +43,21 @@ impl BackboneExtractor for NaiveThreshold {
                 p_value: None,
             })
             .collect();
-        Ok(ScoredEdges::new(self.name(), graph.node_count(), scored))
+        Ok(ScoredEdges::new(
+            BackboneExtractor::name(self),
+            graph.node_count(),
+            scored,
+        ))
+    }
+}
+
+impl BackboneExtractor for NaiveThreshold {
+    fn name(&self) -> &'static str {
+        "naive_threshold"
+    }
+
+    fn score(&self, graph: &WeightedGraph) -> BackboneResult<ScoredEdges> {
+        self.score_with_threads(graph, 0)
     }
 }
 

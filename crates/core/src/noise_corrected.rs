@@ -28,7 +28,7 @@
 //! from the binomial null model. It is cheaper but cannot say whether two
 //! edges differ significantly from each other.
 
-use backboning_graph::{EdgeRef, WeightedGraph};
+use backboning_graph::{EdgeRef, GraphView, WeightedGraph};
 use backboning_parallel::{clamped_threads, par_map};
 use backboning_stats::distributions::{Binomial, ContinuousDistribution};
 use backboning_stats::BetaBinomialModel;
@@ -114,9 +114,9 @@ impl NoiseCorrected {
     /// honoring `BACKBONING_THREADS`). Each edge's score is a pure function of
     /// the precomputed totals, and the scored list preserves edge order, so
     /// the result is bit-identical for every thread count.
-    pub fn score_with_threads(
+    pub fn score_with_threads<G: GraphView>(
         &self,
-        graph: &WeightedGraph,
+        graph: &G,
         threads: usize,
     ) -> BackboneResult<ScoredEdges> {
         let totals = NetworkTotals::compute(graph);
@@ -153,7 +153,11 @@ impl NoiseCorrected {
                 }
             },
         );
-        Ok(ScoredEdges::new(self.name(), graph.node_count(), scored))
+        Ok(ScoredEdges::new(
+            BackboneExtractor::name(self),
+            graph.node_count(),
+            scored,
+        ))
     }
 }
 
@@ -189,9 +193,9 @@ impl NoiseCorrectedBinomial {
 
     /// Score every edge with an explicit worker count (`0` = automatic). Edge
     /// p-values are independent, so the result is thread-count invariant.
-    pub fn score_with_threads(
+    pub fn score_with_threads<G: GraphView>(
         &self,
-        graph: &WeightedGraph,
+        graph: &G,
         threads: usize,
     ) -> BackboneResult<ScoredEdges> {
         let totals = NetworkTotals::compute(graph);
@@ -237,7 +241,11 @@ impl NoiseCorrectedBinomial {
         )
         .into_iter()
         .collect::<Result<Vec<_>, _>>()?;
-        Ok(ScoredEdges::new(self.name(), graph.node_count(), scored))
+        Ok(ScoredEdges::new(
+            BackboneExtractor::name(self),
+            graph.node_count(),
+            scored,
+        ))
     }
 }
 

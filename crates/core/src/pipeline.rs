@@ -34,7 +34,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use backboning_graph::io::write_edge_list;
-use backboning_graph::WeightedGraph;
+use backboning_graph::{GraphView, WeightedGraph};
 
 use crate::error::{BackboneError, BackboneResult};
 use crate::json;
@@ -141,9 +141,9 @@ impl Pipeline {
     /// size rather than at each method's natural threshold. Parameter-free
     /// methods (MST, DS) still return their fixed edge set, which is exactly
     /// how the paper places them on the same axes.
-    pub fn matched(
+    pub fn matched<G: GraphView>(
         method: Method,
-        graph: &WeightedGraph,
+        graph: &G,
         top_share: f64,
     ) -> BackboneResult<Pipeline> {
         let target = matched_edge_count(graph.edge_count(), top_share)?;
@@ -174,7 +174,7 @@ impl Pipeline {
     }
 
     /// Stage 1: score every edge of the graph with the configured method.
-    pub fn score(&self, graph: &WeightedGraph) -> BackboneResult<ScoredEdges> {
+    pub fn score<G: GraphView>(&self, graph: &G) -> BackboneResult<ScoredEdges> {
         self.method.score_with_threads(graph, self.threads)
     }
 
@@ -187,9 +187,9 @@ impl Pipeline {
     /// which is how the paper compares them. The fixed set is derived from the
     /// already-computed scores, so the expensive scoring pass never runs
     /// twice. The `Score` policy always thresholds the scores directly.
-    pub fn select(
+    pub fn select<G: GraphView>(
         &self,
-        graph: &WeightedGraph,
+        graph: &G,
         scored: &ScoredEdges,
     ) -> BackboneResult<Vec<usize>> {
         if !matches!(self.policy, ThresholdPolicy::Score(_)) {
@@ -206,14 +206,14 @@ impl Pipeline {
     }
 
     /// Score and select in one call, returning the kept edge indices.
-    pub fn edge_set(&self, graph: &WeightedGraph) -> BackboneResult<Vec<usize>> {
+    pub fn edge_set<G: GraphView>(&self, graph: &G) -> BackboneResult<Vec<usize>> {
         let scored = self.score(graph)?;
         self.select(graph, &scored)
     }
 
     /// Run the full pipeline: score, select, and build the backbone graph,
     /// measuring wall time and coverage along the way.
-    pub fn run(&self, graph: &WeightedGraph) -> BackboneResult<PipelineRun> {
+    pub fn run<G: GraphView>(&self, graph: &G) -> BackboneResult<PipelineRun> {
         let start = Instant::now();
         let scored = Arc::new(self.score(graph)?);
         self.assemble(graph, scored, start)
@@ -238,9 +238,9 @@ impl Pipeline {
     /// `graph` (same node and edge counts); mismatches — scores produced by
     /// another method, or for another graph — are rejected instead of
     /// silently producing a wrong backbone.
-    pub fn run_with_scores(
+    pub fn run_with_scores<G: GraphView>(
         &self,
-        graph: &WeightedGraph,
+        graph: &G,
         scored: Arc<ScoredEdges>,
     ) -> BackboneResult<PipelineRun> {
         let expected = self.method.score_name();
@@ -271,9 +271,9 @@ impl Pipeline {
     /// Select, build the backbone, and package the run statistics. `start`
     /// is when the caller's measured work began (before scoring for `run`,
     /// after it for `run_with_scores`).
-    fn assemble(
+    fn assemble<G: GraphView>(
         &self,
-        graph: &WeightedGraph,
+        graph: &G,
         scored: Arc<ScoredEdges>,
         start: Instant,
     ) -> BackboneResult<PipelineRun> {
@@ -303,8 +303,8 @@ impl Pipeline {
 
 /// The smallest score-ranked prefix of edges whose node coverage reaches
 /// `target`, in ranking order.
-fn coverage_prefix(
-    graph: &WeightedGraph,
+fn coverage_prefix<G: GraphView>(
+    graph: &G,
     scored: &ScoredEdges,
     target: f64,
 ) -> BackboneResult<Vec<usize>> {

@@ -19,7 +19,7 @@
 //! compare methods at equal backbone sizes in the coverage, quality and
 //! stability experiments.
 
-use backboning_graph::{NodeId, WeightedGraph};
+use backboning_graph::{GraphView, NodeId, WeightedGraph};
 
 use crate::error::{BackboneError, BackboneResult};
 
@@ -218,19 +218,27 @@ impl ScoredEdges {
     }
 
     /// Build the backbone graph containing edges with score at least `threshold`.
-    pub fn backbone(&self, graph: &WeightedGraph, threshold: f64) -> BackboneResult<WeightedGraph> {
+    pub fn backbone<G: GraphView>(
+        &self,
+        graph: &G,
+        threshold: f64,
+    ) -> BackboneResult<WeightedGraph> {
         Ok(graph.subgraph_with_edges(&self.filter(threshold))?)
     }
 
     /// Build the backbone graph containing the `k` highest scoring edges.
-    pub fn backbone_top_k(&self, graph: &WeightedGraph, k: usize) -> BackboneResult<WeightedGraph> {
+    pub fn backbone_top_k<G: GraphView>(
+        &self,
+        graph: &G,
+        k: usize,
+    ) -> BackboneResult<WeightedGraph> {
         Ok(graph.subgraph_with_edges(&self.top_k(k))?)
     }
 
     /// Build the backbone graph containing the top `share` of edges by score.
-    pub fn backbone_top_share(
+    pub fn backbone_top_share<G: GraphView>(
         &self,
-        graph: &WeightedGraph,
+        graph: &G,
         share: f64,
     ) -> BackboneResult<WeightedGraph> {
         Ok(graph.subgraph_with_edges(&self.top_share(share)?)?)

@@ -7,7 +7,7 @@
 //! criticism of it.
 
 use backboning_graph::algorithms::spanning_tree::maximum_spanning_tree;
-use backboning_graph::WeightedGraph;
+use backboning_graph::{GraphView, WeightedGraph};
 
 use crate::error::BackboneResult;
 use crate::scored::{BackboneExtractor, ScoredEdge, ScoredEdges};
@@ -27,22 +27,23 @@ impl MaximumSpanningTree {
     }
 
     /// The maximum spanning forest as dense edge indices.
-    pub fn fixed_edge_set(&self, graph: &WeightedGraph) -> Vec<usize> {
+    pub fn fixed_edge_set<G: GraphView>(&self, graph: &G) -> Vec<usize> {
         maximum_spanning_tree(graph)
     }
 
     /// Convenience: build the spanning-forest backbone graph.
-    pub fn extract_fixed(&self, graph: &WeightedGraph) -> BackboneResult<WeightedGraph> {
+    pub fn extract_fixed<G: GraphView>(&self, graph: &G) -> BackboneResult<WeightedGraph> {
         Ok(graph.subgraph_with_edges(&self.fixed_edge_set(graph))?)
     }
-}
 
-impl BackboneExtractor for MaximumSpanningTree {
-    fn name(&self) -> &'static str {
-        "maximum_spanning_tree"
-    }
-
-    fn score(&self, graph: &WeightedGraph) -> BackboneResult<ScoredEdges> {
+    /// Score every edge of any graph representation (tree edges score 1, the
+    /// rest 0); `_threads` is accepted for registry uniformity (Kruskal is
+    /// inherently sequential).
+    pub fn score_with_threads<G: GraphView>(
+        &self,
+        graph: &G,
+        _threads: usize,
+    ) -> BackboneResult<ScoredEdges> {
         let tree: std::collections::HashSet<usize> =
             maximum_spanning_tree(graph).into_iter().collect();
         let scored = graph
@@ -58,7 +59,21 @@ impl BackboneExtractor for MaximumSpanningTree {
                 p_value: None,
             })
             .collect();
-        Ok(ScoredEdges::new(self.name(), graph.node_count(), scored))
+        Ok(ScoredEdges::new(
+            BackboneExtractor::name(self),
+            graph.node_count(),
+            scored,
+        ))
+    }
+}
+
+impl BackboneExtractor for MaximumSpanningTree {
+    fn name(&self) -> &'static str {
+        "maximum_spanning_tree"
+    }
+
+    fn score(&self, graph: &WeightedGraph) -> BackboneResult<ScoredEdges> {
+        self.score_with_threads(graph, 0)
     }
 }
 

@@ -1,6 +1,6 @@
 //! Per-node strengths and network totals, computed in one pass.
 
-use backboning_graph::WeightedGraph;
+use backboning_graph::GraphView;
 
 /// Strengths and totals of the (possibly symmetrised) network, precomputed
 /// once per extraction and shared by the statistical extractors.
@@ -20,8 +20,10 @@ impl NetworkTotals {
     /// Per-node contributions are accumulated in edge-insertion order — the
     /// same order in which the per-node adjacency lists store them — so the
     /// resulting sums are bit-identical to per-node
-    /// [`WeightedGraph::out_strength`]/[`WeightedGraph::in_strength`] sums.
-    pub fn compute(graph: &WeightedGraph) -> Self {
+    /// `WeightedGraph::out_strength`/`WeightedGraph::in_strength` sums, and
+    /// identical across graph representations (the edge order is the dense
+    /// edge-id order on both).
+    pub fn compute<G: GraphView>(graph: &G) -> Self {
         let node_count = graph.node_count();
         let mut out_strength = vec![0.0; node_count];
         if graph.is_directed() {
@@ -59,7 +61,7 @@ impl NetworkTotals {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use backboning_graph::{Direction, WeightedGraph};
+    use backboning_graph::{CsrGraph, Direction, WeightedGraph};
 
     #[test]
     fn single_pass_matches_per_node_iterator_sums() {
@@ -88,6 +90,28 @@ mod tests {
                 graph.nodes().map(|n| graph.out_strength(n)).sum()
             };
             assert_eq!(totals.total, expected_total);
+        }
+    }
+
+    #[test]
+    fn csr_totals_are_bit_identical() {
+        for direction in [Direction::Directed, Direction::Undirected] {
+            let mut graph = WeightedGraph::with_nodes(direction, 6);
+            let mut k = 0u32;
+            for i in 0..6usize {
+                for j in 0..6usize {
+                    if i != j && (i * 2 + j) % 3 != 0 {
+                        k += 1;
+                        graph.add_edge(i, j, 0.61 * f64::from(k)).unwrap();
+                    }
+                }
+            }
+            let csr = CsrGraph::from_graph(&graph).unwrap();
+            let reference = NetworkTotals::compute(&graph);
+            let compact = NetworkTotals::compute(&csr);
+            assert_eq!(reference.out_strength, compact.out_strength);
+            assert_eq!(reference.in_strength, compact.in_strength);
+            assert_eq!(reference.total, compact.total);
         }
     }
 

@@ -1,0 +1,101 @@
+//! Property tests for the compact-core refactor: every backbone method must
+//! score a [`CsrGraph`] **bit-identically** to the adjacency
+//! [`WeightedGraph`] it was built from, and the full score → select pipeline
+//! must keep exactly the same edge set on either representation.
+//!
+//! Scoring is monomorphized over [`backboning_graph::GraphView`], so both
+//! paths traverse edges in the same order and sum in the same order — the
+//! parity here is exact f64 equality, not tolerance-based.
+
+use proptest::prelude::*;
+
+use backboning::{Method, Pipeline, ThresholdPolicy};
+use backboning_graph::{CsrGraph, Direction, WeightedGraph};
+
+/// Strategy: a small random weighted graph of either direction, possibly with
+/// accumulated duplicate edges, isolated nodes and weak weights (the same
+/// shape as the `pipeline_parity` harness).
+fn random_graph() -> impl Strategy<Value = WeightedGraph> {
+    (
+        proptest::collection::vec(((0usize..12), (0usize..12), 0.05f64..50.0), 1..80),
+        0usize..2,
+    )
+        .prop_map(|(edges, directed)| {
+            let direction = if directed == 0 {
+                Direction::Directed
+            } else {
+                Direction::Undirected
+            };
+            let mut graph = WeightedGraph::with_nodes(direction, 12);
+            for (source, target, weight) in edges {
+                if source != target {
+                    graph.add_edge(source, target, weight).unwrap();
+                }
+            }
+            graph
+        })
+}
+
+fn policies() -> [ThresholdPolicy; 4] {
+    [
+        ThresholdPolicy::Score(0.5),
+        ThresholdPolicy::TopK(7),
+        ThresholdPolicy::TopShare(0.4),
+        ThresholdPolicy::Coverage(0.8),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// All seven methods score the CSR image bit-identically to the
+    /// adjacency original (Doubly Stochastic may fail when no scaling
+    /// exists — then it must fail on both representations).
+    #[test]
+    fn csr_scores_are_bit_identical_to_adjacency(graph in random_graph()) {
+        let csr = CsrGraph::from_graph(&graph).unwrap();
+        for method in Method::every() {
+            let reference = method.score(&graph);
+            let compact = method.score(&csr);
+            match (&reference, &compact) {
+                (Ok(expected), Ok(got)) => prop_assert!(
+                    expected == got,
+                    "{method} scores differ between adjacency and CSR"
+                ),
+                (Err(_), Err(_)) => prop_assert!(method == Method::DoublyStochastic),
+                _ => prop_assert!(
+                    false,
+                    "{method}: adjacency ok={}, CSR ok={}",
+                    reference.is_ok(),
+                    compact.is_ok()
+                ),
+            }
+        }
+    }
+
+    /// The full pipeline keeps exactly the same edge set on either
+    /// representation, for every method × threshold policy.
+    #[test]
+    fn csr_pipeline_edge_sets_match_adjacency(graph in random_graph()) {
+        let csr = CsrGraph::from_graph(&graph).unwrap();
+        for method in Method::every() {
+            for policy in policies() {
+                let reference = Pipeline::new(method, policy).edge_set(&graph);
+                let compact = Pipeline::new(method, policy).edge_set(&csr);
+                match (&reference, &compact) {
+                    (Ok(expected), Ok(got)) => prop_assert!(
+                        expected == got,
+                        "{method} × {policy} edge set differs between adjacency and CSR"
+                    ),
+                    (Err(_), Err(_)) => prop_assert!(method == Method::DoublyStochastic),
+                    _ => prop_assert!(
+                        false,
+                        "{method} × {policy}: adjacency ok={}, CSR ok={}",
+                        reference.is_ok(),
+                        compact.is_ok()
+                    ),
+                }
+            }
+        }
+    }
+}

@@ -67,22 +67,27 @@ fn degenerate_graphs() -> Vec<(&'static str, WeightedGraph)> {
 #[test]
 fn csr_from_graph_handles_degenerate_inputs() {
     for (name, graph) in degenerate_graphs() {
-        let csr = CsrGraph::from_graph(&graph);
+        let csr = CsrGraph::from_graph(&graph).unwrap();
         assert_eq!(csr.node_count(), graph.node_count(), "{name}: node count");
         // Every row must be addressable, including trailing isolated nodes.
         let mut entries = 0usize;
         for node in 0..csr.node_count() {
             assert_eq!(
                 csr.neighbors(node).len(),
-                csr.degree(node),
+                csr.out_degree(node),
                 "{name}: row {node}"
             );
             assert_eq!(
                 csr.weights(node).len(),
-                csr.degree(node),
+                csr.out_degree(node),
                 "{name}: row {node}"
             );
-            entries += csr.degree(node);
+            assert_eq!(
+                csr.degree(node),
+                graph.degree(node),
+                "{name}: degree {node}"
+            );
+            entries += csr.out_degree(node);
         }
         assert_eq!(entries, csr.entry_count(), "{name}: total entries");
         assert_eq!(csr.entries().count(), csr.entry_count(), "{name}: iterator");

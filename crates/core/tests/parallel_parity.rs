@@ -96,7 +96,7 @@ proptest! {
     /// the adjacency-list Dijkstra from every root, under every transform.
     #[test]
     fn csr_dijkstra_matches_adjacency_dijkstra(graph in random_graph()) {
-        let csr = CsrGraph::from_graph(&graph);
+        let csr = CsrGraph::from_graph(&graph).unwrap();
         for transform in [
             DistanceTransform::Inverse,
             DistanceTransform::NegativeLog,

@@ -52,8 +52,8 @@ use backboning::error::{BackboneError, BackboneResult};
 use backboning::json::{self, JsonArray, JsonObject};
 use backboning::pipeline::matched_edge_count;
 use backboning::{Method, Pipeline, ScoredEdges, ThresholdPolicy};
-use backboning_graph::algorithms::components::{component_count, largest_component_size};
-use backboning_graph::WeightedGraph;
+use backboning_graph::algorithms::union_find::UnionFind;
+use backboning_graph::{GraphView, WeightedGraph};
 use backboning_parallel::par_map;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -156,7 +156,7 @@ pub fn parse_method_list(spec: &str) -> Result<Vec<Method>, String> {
 /// the stability Monte Carlo. Nodes, edge endpoints and edge *indices* are
 /// preserved exactly, so edge-index sets of the original and the resampled
 /// graph are directly comparable. Deterministic for a given `seed`.
-pub fn multiplicative_resample(graph: &WeightedGraph, level: f64, seed: u64) -> WeightedGraph {
+pub fn multiplicative_resample<G: GraphView>(graph: &G, level: f64, seed: u64) -> WeightedGraph {
     let mut rng = StdRng::seed_from_u64(seed);
     let edges: Vec<(usize, usize, f64)> = graph
         .edges()
@@ -444,7 +444,7 @@ impl Comparison {
     }
 
     /// Run the comparison, scoring every method on `graph` directly.
-    pub fn run(&self, graph: &WeightedGraph) -> BackboneResult<ComparisonReport> {
+    pub fn run<G: GraphView + Sync>(&self, graph: &G) -> BackboneResult<ComparisonReport> {
         self.run_with_scores(graph, |method| {
             method
                 .score_with_threads(graph, self.config.threads)
@@ -462,12 +462,13 @@ impl Comparison {
     /// Per-method failures (scoring or selection errors) are captured in the
     /// report rather than failing the run; an `Err` here means the
     /// comparison itself was impossible (invalid matched share).
-    pub fn run_with_scores<F>(
+    pub fn run_with_scores<G, F>(
         &self,
-        graph: &WeightedGraph,
+        graph: &G,
         mut scores: F,
     ) -> BackboneResult<ComparisonReport>
     where
+        G: GraphView + Sync,
         F: FnMut(Method) -> BackboneResult<Arc<ScoredEdges>>,
     {
         let matched = matched_edge_count(graph.edge_count(), self.config.top_share)?;
@@ -540,9 +541,9 @@ impl Comparison {
     /// Trials fan out via [`par_map`] (order-preserving) and the per-method
     /// means are accumulated in trial order on the calling thread, so the
     /// result is bit-identical at any thread count.
-    fn noise_stability(
+    fn noise_stability<G: GraphView + Sync>(
         &self,
-        graph: &WeightedGraph,
+        graph: &G,
         matched: usize,
         selections: &[Result<Vec<usize>, String>],
     ) -> Vec<Option<f64>> {
@@ -590,15 +591,36 @@ impl Comparison {
 }
 
 /// Compute the coverage/connectivity/degree metrics of one kept edge set.
-fn backbone_metrics(
-    graph: &WeightedGraph,
+///
+/// Runs directly on the kept edge ids with a union–find over the original
+/// node set — the backbone subgraph is never materialized, so a comparison
+/// on a multi-million-edge [`backboning_graph::CsrGraph`] costs one degree
+/// array and one union–find, not an adjacency-map copy per method.
+fn backbone_metrics<G: GraphView>(
+    graph: &G,
     kept: &[usize],
     noise_stability: Option<f64>,
 ) -> MethodMetrics {
-    let backbone = graph
-        .subgraph_with_edges(kept)
-        .expect("kept indices come from this graph");
-    let covered = backbone.non_isolated_node_count();
+    let node_count = graph.node_count();
+    let directed = graph.is_directed();
+    // Backbone degrees, matching `WeightedGraph::degree` semantics exactly:
+    // directed = out + in (a self-loop counts twice), undirected = incident
+    // edges (a self-loop counts once).
+    let mut degrees = vec![0usize; node_count];
+    let mut union_find = UnionFind::new(node_count);
+    let mut kept_weight = 0.0;
+    for &index in kept {
+        let edge = graph
+            .edge(index)
+            .expect("kept indices come from this graph");
+        kept_weight += edge.weight;
+        degrees[edge.source] += 1;
+        if directed || edge.source != edge.target {
+            degrees[edge.target] += 1;
+        }
+        union_find.union(edge.source, edge.target);
+    }
+    let covered = degrees.iter().filter(|&&degree| degree > 0).count();
     let original_connected = graph.non_isolated_node_count();
     let share_of_connected = |count: usize| {
         if original_connected == 0 {
@@ -616,25 +638,34 @@ fn backbone_metrics(
     let weight_share = if total_weight == 0.0 {
         1.0
     } else {
-        kept.iter()
-            .map(|&index| graph.edge(index).expect("kept index in range").weight)
-            .sum::<f64>()
-            / total_weight
+        kept_weight / total_weight
     };
     let (components, largest_component_share) = if kept.is_empty() {
         (0, 0.0)
     } else {
-        let isolated = backbone.node_count() - covered;
-        (
-            component_count(&backbone) - isolated,
-            share_of_connected(largest_component_size(&backbone)),
-        )
+        // Components among the covered nodes only: count distinct union–find
+        // roots over the nodes that kept at least one edge, and take the
+        // largest such root's population for the LCC share.
+        let mut root_sizes = vec![0usize; node_count];
+        for node in 0..node_count {
+            if degrees[node] > 0 {
+                root_sizes[union_find.find(node)] += 1;
+            }
+        }
+        let mut components = 0usize;
+        let mut largest = 0usize;
+        for &size in &root_sizes {
+            if size > 0 {
+                components += 1;
+                largest = largest.max(size);
+            }
+        }
+        (components, share_of_connected(largest))
     };
     let mut degree_min = 0usize;
     let mut degree_max = 0usize;
     let mut degree_sum = 0usize;
-    for node in backbone.nodes() {
-        let degree = backbone.degree(node);
+    for &degree in &degrees {
         if degree == 0 {
             continue;
         }
@@ -693,6 +724,25 @@ mod tests {
             threads: 1,
             ..ComparisonConfig::default()
         }
+    }
+
+    #[test]
+    fn csr_comparison_is_bit_identical_to_adjacency() {
+        // The comparison engine is generic over GraphView; running it on the
+        // compact CSR form must reproduce the adjacency report byte for byte
+        // (same scores, same union-find connectivity, same JSON).
+        let graph = two_triangles();
+        let csr = backboning_graph::CsrGraph::from_graph(&graph).unwrap();
+        let comparison = Comparison::new(quick_config(vec![
+            Method::NaiveThreshold,
+            Method::NoiseCorrected,
+            Method::MaximumSpanningTree,
+        ]))
+        .unwrap();
+        let adjacency_report = comparison.run(&graph).unwrap();
+        let csr_report = comparison.run(&csr).unwrap();
+        assert_eq!(adjacency_report, csr_report);
+        assert_eq!(adjacency_report.to_json(), csr_report.to_json());
     }
 
     #[test]

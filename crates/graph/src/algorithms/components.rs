@@ -5,13 +5,14 @@
 //! rule and the topology analyses of the paper require.
 
 use crate::algorithms::union_find::UnionFind;
-use crate::graph::{NodeId, WeightedGraph};
+use crate::graph::NodeId;
+use crate::view::GraphView;
 
 /// Assign each node to a (weakly) connected component.
 ///
 /// Returns a vector of component labels (0-based, in order of first
 /// appearance) indexed by node id. Isolated nodes form their own components.
-pub fn connected_components(graph: &WeightedGraph) -> Vec<usize> {
+pub fn connected_components<G: GraphView>(graph: &G) -> Vec<usize> {
     let mut union_find = UnionFind::new(graph.node_count());
     for edge in graph.edges() {
         union_find.union(edge.source, edge.target);
@@ -31,7 +32,7 @@ pub fn connected_components(graph: &WeightedGraph) -> Vec<usize> {
 }
 
 /// Number of (weakly) connected components.
-pub fn component_count(graph: &WeightedGraph) -> usize {
+pub fn component_count<G: GraphView>(graph: &G) -> usize {
     if graph.node_count() == 0 {
         return 0;
     }
@@ -44,12 +45,12 @@ pub fn component_count(graph: &WeightedGraph) -> usize {
 
 /// Whether the graph is (weakly) connected, i.e. consists of a single component.
 /// The empty graph is considered connected.
-pub fn is_connected(graph: &WeightedGraph) -> bool {
+pub fn is_connected<G: GraphView>(graph: &G) -> bool {
     component_count(graph) <= 1
 }
 
 /// Size (number of nodes) of the largest (weakly) connected component.
-pub fn largest_component_size(graph: &WeightedGraph) -> usize {
+pub fn largest_component_size<G: GraphView>(graph: &G) -> usize {
     if graph.node_count() == 0 {
         return 0;
     }
@@ -63,7 +64,7 @@ pub fn largest_component_size(graph: &WeightedGraph) -> usize {
 }
 
 /// The node ids of the largest (weakly) connected component.
-pub fn largest_component_nodes(graph: &WeightedGraph) -> Vec<NodeId> {
+pub fn largest_component_nodes<G: GraphView>(graph: &G) -> Vec<NodeId> {
     if graph.node_count() == 0 {
         return Vec::new();
     }
@@ -85,7 +86,7 @@ pub fn largest_component_nodes(graph: &WeightedGraph) -> Vec<NodeId> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::graph::Direction;
+    use crate::graph::{Direction, WeightedGraph};
 
     #[test]
     fn single_component_path() {

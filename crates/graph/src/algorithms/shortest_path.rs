@@ -403,6 +403,7 @@ impl CsrDijkstra {
             let targets = csr.neighbors(node);
             let distances = &entry_distances[range];
             for (slot, (&neighbor, &edge_distance)) in targets.iter().zip(distances).enumerate() {
+                let neighbor = neighbor as NodeId;
                 // An unreachable (infinite) edge distance can never relax:
                 // `distance + ∞` compares above every stored pattern,
                 // including `INFINITY_BITS` itself.
@@ -449,6 +450,7 @@ impl CsrDijkstra {
                 let distances = &entry_distances[range];
                 for (slot, (&neighbor, &edge_distance)) in targets.iter().zip(distances).enumerate()
                 {
+                    let neighbor = neighbor as NodeId;
                     // Non-finite entries (e.g. zero-weight edges under the
                     // inverse transform) never relax.
                     if edge_distance != step {
@@ -642,7 +644,7 @@ mod tests {
     #[test]
     fn csr_dijkstra_matches_adjacency_dijkstra() {
         let g = detour_graph();
-        let csr = CsrGraph::from_graph(&g);
+        let csr = CsrGraph::from_graph(&g).unwrap();
         for transform in [
             DistanceTransform::Inverse,
             DistanceTransform::NegativeLog,
@@ -666,7 +668,7 @@ mod tests {
                 }
             }
         }
-        let csr = CsrGraph::from_graph(&g);
+        let csr = CsrGraph::from_graph(&g).unwrap();
         let entry_distances = csr_entry_distances(&csr, DistanceTransform::Inverse);
         let mut scratch = CsrDijkstra::new(csr.node_count());
         for source in 0..g.node_count() {
@@ -690,14 +692,14 @@ mod tests {
     #[test]
     fn csr_dijkstra_rejects_invalid_source() {
         let g = detour_graph();
-        let csr = CsrGraph::from_graph(&g);
+        let csr = CsrGraph::from_graph(&g).unwrap();
         assert!(csr_dijkstra(&csr, 10, DistanceTransform::Inverse).is_err());
     }
 
     #[test]
     fn csr_entry_distances_match_on_the_fly_transform() {
         let g = detour_graph();
-        let csr = CsrGraph::from_graph(&g);
+        let csr = CsrGraph::from_graph(&g).unwrap();
         let max_weight = g.edges().map(|e| e.weight).fold(0.0_f64, f64::max);
         for transform in [DistanceTransform::Inverse, DistanceTransform::NegativeLog] {
             let distances = csr_entry_distances(&csr, transform);
@@ -715,21 +717,21 @@ mod tests {
         unit.add_edge(0, 1, 1.0).unwrap();
         unit.add_edge(1, 2, 1.0).unwrap();
         unit.add_edge(2, 3, 1.0).unwrap();
-        let csr = CsrGraph::from_graph(&unit);
+        let csr = CsrGraph::from_graph(&unit).unwrap();
         assert_eq!(
             csr_entry_distances(&csr, DistanceTransform::Inverse).uniform(),
             Some(1.0)
         );
         // A zero-weight edge (infinite distance) does not break uniformity.
         unit.add_edge(0, 3, 0.0).unwrap();
-        let csr = CsrGraph::from_graph(&unit);
+        let csr = CsrGraph::from_graph(&unit).unwrap();
         assert_eq!(
             csr_entry_distances(&csr, DistanceTransform::Inverse).uniform(),
             Some(1.0)
         );
         // Distinct weights do.
         let g = detour_graph();
-        let csr = CsrGraph::from_graph(&g);
+        let csr = CsrGraph::from_graph(&g).unwrap();
         assert_eq!(
             csr_entry_distances(&csr, DistanceTransform::Inverse).uniform(),
             None
@@ -745,7 +747,7 @@ mod tests {
         for (a, b) in [(0, 9), (0, 1), (1, 2), (2, 8), (9, 8)] {
             g.add_edge(a, b, 0.0).unwrap();
         }
-        let csr = CsrGraph::from_graph(&g);
+        let csr = CsrGraph::from_graph(&g).unwrap();
         assert_eq!(
             csr_entry_distances(&csr, DistanceTransform::Identity).uniform(),
             None
@@ -775,7 +777,7 @@ mod tests {
             g.add_edge(a, b, 1.0).unwrap();
         }
         g.add_edge(0, 6, 0.0).unwrap(); // unreachable under inverse transform
-        let csr = CsrGraph::from_graph(&g);
+        let csr = CsrGraph::from_graph(&g).unwrap();
         assert!(csr_entry_distances(&csr, DistanceTransform::Inverse)
             .uniform()
             .is_some());

@@ -6,7 +6,7 @@
 //! against.
 
 use crate::algorithms::union_find::UnionFind;
-use crate::graph::WeightedGraph;
+use crate::view::GraphView;
 
 /// Compute a maximum spanning forest with Kruskal's algorithm and return the
 /// dense indices of the selected edges.
@@ -15,7 +15,7 @@ use crate::graph::WeightedGraph;
 /// checking connectivity), mirroring the reference implementation. When
 /// several edges share the same weight the tie is broken by insertion order,
 /// so the result is deterministic.
-pub fn maximum_spanning_tree(graph: &WeightedGraph) -> Vec<usize> {
+pub fn maximum_spanning_tree<G: GraphView>(graph: &G) -> Vec<usize> {
     let mut edge_indices: Vec<usize> = (0..graph.edge_count()).collect();
     // Sort by descending weight; stable sort keeps insertion order for ties.
     edge_indices.sort_by(|&a, &b| {
@@ -40,7 +40,7 @@ pub fn maximum_spanning_tree(graph: &WeightedGraph) -> Vec<usize> {
 }
 
 /// Total weight of the maximum spanning forest.
-pub fn maximum_spanning_tree_weight(graph: &WeightedGraph) -> f64 {
+pub fn maximum_spanning_tree_weight<G: GraphView>(graph: &G) -> f64 {
     maximum_spanning_tree(graph)
         .into_iter()
         .map(|index| graph.edge(index).expect("index in range").weight)

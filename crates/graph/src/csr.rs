@@ -1,81 +1,171 @@
-//! Compressed sparse row (CSR) graph representation.
+//! Compact compressed-sparse-row (CSR) graph core.
 //!
-//! The scalability experiment of the paper (Figure 9) runs the backboning
-//! methods on networks with millions of edges. The adjacency-list
-//! [`WeightedGraph`] is convenient to mutate but has
-//! poor cache locality; [`CsrGraph`] is an immutable, densely packed view that
-//! the hot loops (strength computation, per-node neighbourhood scans) operate
-//! on.
+//! This is the canonical large-graph representation of the workspace: `u32`
+//! node ids, a flat prefix-offset adjacency (one cache-friendly entry array
+//! instead of a `Vec` per node) and parallel dense edge arrays in edge-id
+//! order. A 10M-edge undirected graph costs ~48 bytes per edge here versus
+//! several hundred in the adjacency-map [`WeightedGraph`], which remains as a
+//! mutable builder/compat shim for small graphs and backbone outputs.
+//!
+//! Structure invariants (shared with [`WeightedGraph`], pinned by the parity
+//! suite):
+//!
+//! * edge ids are dense `0..edge_count` in first-occurrence order; duplicate
+//!   `(source, target)` pairs accumulate their weights into the first
+//!   occurrence, left to right;
+//! * undirected edges store canonical `(min, max)` endpoints and appear in
+//!   the adjacency rows of **both** endpoints under the same edge id
+//!   (self-loops appear once);
+//! * per-row adjacency order equals [`WeightedGraph`]'s insertion order, so
+//!   any algorithm walking rows (e.g. [`CsrDijkstra`]) is bit-identical on
+//!   either representation.
+//!
+//! Every constructor returns a structured [`GraphError::CapacityExceeded`]
+//! (never a panic or a silent truncation) when the node, edge or adjacency
+//! entry count would overflow the `u32` index space.
+//!
+//! [`CsrDijkstra`]: crate::algorithms::shortest_path::CsrDijkstra
 
-use crate::graph::{Direction, NodeId, WeightedGraph};
+use std::collections::HashMap;
+use std::mem::size_of;
+use std::ops::Range;
 
-/// An immutable compressed-sparse-row view of a weighted graph.
-///
-/// Outgoing edges of node `v` occupy the slice
-/// `offsets[v]..offsets[v + 1]` of `targets` / `weights`.
+use crate::error::{GraphError, GraphResult};
+use crate::graph::{Direction, EdgeRef, NodeId, WeightedGraph};
+use crate::view::GraphView;
+
+/// The maximum node/edge/entry count the compact core can address.
+pub const CSR_INDEX_LIMIT: u64 = u32::MAX as u64;
+
+fn check_capacity(what: &'static str, requested: u64) -> GraphResult<()> {
+    if requested > CSR_INDEX_LIMIT {
+        Err(GraphError::CapacityExceeded {
+            what,
+            requested,
+            limit: CSR_INDEX_LIMIT,
+        })
+    } else {
+        Ok(())
+    }
+}
+
+/// An immutable compact CSR graph — see the [module docs](self).
 #[derive(Debug, Clone, PartialEq)]
 pub struct CsrGraph {
     direction: Direction,
     node_count: usize,
-    edge_count: usize,
-    offsets: Vec<usize>,
-    targets: Vec<NodeId>,
-    weights: Vec<f64>,
-    /// Dense index (in the originating [`WeightedGraph`]) of the edge behind
-    /// each adjacency entry; both orientations of an undirected edge share one
-    /// id. This is what lets the High Salience Skeleton accumulate tree-edge
-    /// counts without hash lookups.
-    edge_ids: Vec<usize>,
+    /// Row boundaries: node `n`'s adjacency entries live at
+    /// `offsets[n]..offsets[n + 1]`.
+    offsets: Vec<u32>,
+    /// Neighbor node id per adjacency entry.
+    targets: Vec<u32>,
+    /// Dense edge id per adjacency entry (undirected edges share one id
+    /// across both endpoint rows).
+    entry_edge_ids: Vec<u32>,
+    /// Edge weight per adjacency entry.
+    entry_weights: Vec<f64>,
+    /// Canonical source per edge, in edge-id order.
+    edge_sources: Vec<u32>,
+    /// Canonical target per edge, in edge-id order.
+    edge_targets: Vec<u32>,
+    /// Weight per edge, in edge-id order.
+    edge_weights: Vec<f64>,
+    /// In-degree per node (directed graphs only; empty for undirected, where
+    /// in-degree equals the row length).
+    in_degrees: Vec<u32>,
+    /// Node labels (empty when the graph is unlabeled).
+    labels: Vec<Option<String>>,
 }
 
 impl CsrGraph {
-    /// Build a CSR view from an adjacency-list graph.
-    ///
-    /// For undirected graphs every edge appears in the row of *both*
-    /// endpoints, so row sums equal node strengths in both cases.
-    pub fn from_graph(graph: &WeightedGraph) -> Self {
+    /// Build the compact CSR form of an adjacency-map graph, preserving node
+    /// labels, edge ids and per-row adjacency order exactly.
+    pub fn from_graph(graph: &WeightedGraph) -> GraphResult<CsrGraph> {
+        check_capacity("nodes", graph.node_count() as u64)?;
+        check_capacity("edges", graph.edge_count() as u64)?;
+
         let node_count = graph.node_count();
-        let mut degree = vec![0usize; node_count];
-        for node in graph.nodes() {
-            degree[node] = graph.out_degree(node);
+        let mut edge_sources = Vec::with_capacity(graph.edge_count());
+        let mut edge_targets = Vec::with_capacity(graph.edge_count());
+        let mut edge_weights = Vec::with_capacity(graph.edge_count());
+        for edge in graph.edges() {
+            edge_sources.push(edge.source as u32);
+            edge_targets.push(edge.target as u32);
+            edge_weights.push(edge.weight);
         }
+
+        let mut entry_total = 0u64;
+        for node in graph.nodes() {
+            entry_total += graph.out_degree(node) as u64;
+        }
+        check_capacity("adjacency entries", entry_total)?;
+
         let mut offsets = Vec::with_capacity(node_count + 1);
+        let mut targets = Vec::with_capacity(entry_total as usize);
+        let mut entry_edge_ids = Vec::with_capacity(entry_total as usize);
+        let mut entry_weights = Vec::with_capacity(entry_total as usize);
         offsets.push(0);
-        for node in 0..node_count {
-            offsets.push(offsets[node] + degree[node]);
-        }
-        let total = offsets[node_count];
-        let mut targets = vec![0; total];
-        let mut weights = vec![0.0; total];
-        let mut edge_ids = vec![0; total];
-        let mut cursor = offsets.clone();
         for node in graph.nodes() {
-            // `out_neighbors` and `out_edge_indices` walk the same adjacency
-            // list, so zipping them pairs each entry with its edge id.
             for ((neighbor, weight), edge_id) in
                 graph.out_neighbors(node).zip(graph.out_edge_indices(node))
             {
-                let slot = cursor[node];
-                targets[slot] = neighbor;
-                weights[slot] = weight;
-                edge_ids[slot] = edge_id;
-                cursor[node] += 1;
+                targets.push(neighbor as u32);
+                entry_edge_ids.push(edge_id as u32);
+                entry_weights.push(weight);
             }
+            offsets.push(targets.len() as u32);
         }
-        CsrGraph {
+
+        let in_degrees = match graph.direction() {
+            Direction::Undirected => Vec::new(),
+            Direction::Directed => graph.nodes().map(|n| graph.in_degree(n) as u32).collect(),
+        };
+        let mut labels: Vec<Option<String>> = graph
+            .nodes()
+            .map(|n| graph.label(n).map(str::to_string))
+            .collect();
+        if labels.iter().all(Option::is_none) {
+            labels = Vec::new();
+        }
+
+        Ok(CsrGraph {
             direction: graph.direction(),
             node_count,
-            edge_count: graph.edge_count(),
             offsets,
             targets,
-            weights,
-            edge_ids,
-        }
+            entry_edge_ids,
+            entry_weights,
+            edge_sources,
+            edge_targets,
+            edge_weights,
+            in_degrees,
+            labels,
+        })
     }
 
-    /// Direction semantics of the underlying graph.
+    /// Build a compact graph on `node_count` unlabeled nodes from
+    /// `(source, target, weight)` triples, accumulating duplicate edges —
+    /// the streaming equivalent of [`WeightedGraph::from_edges`].
+    pub fn from_edges(
+        direction: Direction,
+        node_count: usize,
+        triples: impl IntoIterator<Item = (NodeId, NodeId, f64)>,
+    ) -> GraphResult<CsrGraph> {
+        let mut builder = CsrBuilder::with_nodes(direction, node_count)?;
+        for (source, target, weight) in triples {
+            builder.add_edge(source, target, weight)?;
+        }
+        builder.finish()
+    }
+
+    /// Direction semantics of the graph.
     pub fn direction(&self) -> Direction {
         self.direction
+    }
+
+    /// Whether the graph is directed.
+    pub fn is_directed(&self) -> bool {
+        self.direction == Direction::Directed
     }
 
     /// Number of nodes.
@@ -83,80 +173,480 @@ impl CsrGraph {
         self.node_count
     }
 
-    /// Number of stored adjacency entries. For undirected graphs each edge is
-    /// stored twice (once per endpoint), except self-loops which appear once.
+    /// Number of adjacency entries (each undirected edge contributes two
+    /// except self-loops, which contribute one).
     pub fn entry_count(&self) -> usize {
         self.targets.len()
     }
 
-    /// Number of distinct edges in the originating graph (each undirected edge
-    /// counted once, unlike [`Self::entry_count`]).
+    /// Number of distinct edges.
     pub fn edge_count(&self) -> usize {
-        self.edge_count
+        self.edge_weights.len()
     }
 
-    /// The adjacency-entry range of a node: its outgoing entries occupy
-    /// `self.entry_range(node)` within the flat entry arrays.
-    pub fn entry_range(&self, node: NodeId) -> std::ops::Range<usize> {
-        self.offsets[node]..self.offsets[node + 1]
+    /// Iterator over all node ids.
+    pub fn nodes(&self) -> Range<NodeId> {
+        0..self.node_count
     }
 
-    /// Outgoing neighbor slice of a node.
-    pub fn neighbors(&self, node: NodeId) -> &[NodeId] {
+    /// The label of `node`, if it has one.
+    pub fn label(&self, node: NodeId) -> Option<&str> {
+        self.labels.get(node).and_then(|label| label.as_deref())
+    }
+
+    /// The entry range of `node`'s adjacency row.
+    #[inline]
+    pub fn entry_range(&self, node: NodeId) -> Range<usize> {
+        self.offsets[node] as usize..self.offsets[node + 1] as usize
+    }
+
+    /// The neighbor ids of `node`, in insertion order.
+    #[inline]
+    pub fn neighbors(&self, node: NodeId) -> &[u32] {
         &self.targets[self.entry_range(node)]
     }
 
-    /// Original-graph edge ids of a node's outgoing entries (parallel to
-    /// [`Self::neighbors`]).
-    pub fn edge_ids(&self, node: NodeId) -> &[usize] {
-        &self.edge_ids[self.entry_range(node)]
+    /// The dense edge ids of `node`'s adjacency row.
+    #[inline]
+    pub fn edge_ids(&self, node: NodeId) -> &[u32] {
+        &self.entry_edge_ids[self.entry_range(node)]
     }
 
-    /// The target node of a flat adjacency entry.
-    pub fn entry_target(&self, entry: usize) -> NodeId {
-        self.targets[entry]
-    }
-
-    /// The original-graph edge id behind a flat adjacency entry.
-    pub fn entry_edge_id(&self, entry: usize) -> usize {
-        self.edge_ids[entry]
-    }
-
-    /// All entry weights as one flat slice (entry order: node by node).
-    pub fn entry_weights(&self) -> &[f64] {
-        &self.weights
-    }
-
-    /// Outgoing weight slice of a node (parallel to [`Self::neighbors`]).
+    /// The edge weights of `node`'s adjacency row.
+    #[inline]
     pub fn weights(&self, node: NodeId) -> &[f64] {
-        &self.weights[self.entry_range(node)]
+        &self.entry_weights[self.entry_range(node)]
     }
 
-    /// Outgoing strength (row sum) of a node.
+    /// The neighbor id of one adjacency entry.
+    #[inline]
+    pub fn entry_target(&self, entry: usize) -> NodeId {
+        self.targets[entry] as NodeId
+    }
+
+    /// The dense edge id of one adjacency entry.
+    #[inline]
+    pub fn entry_edge_id(&self, entry: usize) -> usize {
+        self.entry_edge_ids[entry] as usize
+    }
+
+    /// The flat per-entry weight array (parallel to the entry array).
+    #[inline]
+    pub fn entry_weights(&self) -> &[f64] {
+        &self.entry_weights
+    }
+
+    /// Out-degree of `node` (row length).
+    #[inline]
+    pub fn out_degree(&self, node: NodeId) -> usize {
+        (self.offsets[node + 1] - self.offsets[node]) as usize
+    }
+
+    /// In-degree of `node` (equals the out-degree for undirected graphs).
+    #[inline]
+    pub fn in_degree(&self, node: NodeId) -> usize {
+        match self.direction {
+            Direction::Undirected => self.out_degree(node),
+            Direction::Directed => self.in_degrees[node] as usize,
+        }
+    }
+
+    /// Degree of `node`: incident edge count for undirected graphs,
+    /// out-degree plus in-degree for directed ones.
+    pub fn degree(&self, node: NodeId) -> usize {
+        match self.direction {
+            Direction::Undirected => self.out_degree(node),
+            Direction::Directed => self.out_degree(node) + self.in_degree(node),
+        }
+    }
+
+    /// Sum of the weights in `node`'s adjacency row.
     pub fn strength(&self, node: NodeId) -> f64 {
         self.weights(node).iter().sum()
     }
 
-    /// Out-degree (row length) of a node.
-    pub fn degree(&self, node: NodeId) -> usize {
-        self.offsets[node + 1] - self.offsets[node]
-    }
-
-    /// Total weight of all stored adjacency entries. Note that for undirected
-    /// graphs this counts every edge twice (minus self-loops), unlike
-    /// [`WeightedGraph::total_weight`].
+    /// Sum of all entry weights (undirected edges count twice, except
+    /// self-loops).
     pub fn total_entry_weight(&self) -> f64 {
-        self.weights.iter().sum()
+        self.entry_weights.iter().sum()
     }
 
-    /// Iterate over `(source, target, weight)` adjacency entries.
+    /// Sum of all edge weights (each edge once) — matches
+    /// [`WeightedGraph::total_weight`].
+    pub fn total_weight(&self) -> f64 {
+        self.edge_weights.iter().sum()
+    }
+
+    /// The edge with dense id `index`, if it exists.
+    pub fn edge(&self, index: usize) -> Option<EdgeRef> {
+        if index < self.edge_count() {
+            Some(EdgeRef {
+                index,
+                source: self.edge_sources[index] as NodeId,
+                target: self.edge_targets[index] as NodeId,
+                weight: self.edge_weights[index],
+            })
+        } else {
+            None
+        }
+    }
+
+    /// Iterate over all edges in edge-id order.
+    pub fn edges(&self) -> impl Iterator<Item = EdgeRef> + '_ {
+        (0..self.edge_count()).map(|index| EdgeRef {
+            index,
+            source: self.edge_sources[index] as NodeId,
+            target: self.edge_targets[index] as NodeId,
+            weight: self.edge_weights[index],
+        })
+    }
+
+    /// Iterate over the adjacency entries as `(source, target, weight)`.
     pub fn entries(&self) -> impl Iterator<Item = (NodeId, NodeId, f64)> + '_ {
-        (0..self.node_count).flat_map(move |node| {
+        self.nodes().flat_map(move |node| {
             self.neighbors(node)
                 .iter()
                 .zip(self.weights(node))
-                .map(move |(&target, &weight)| (node, target, weight))
+                .map(move |(&target, &weight)| (node, target as NodeId, weight))
         })
+    }
+
+    /// Number of nodes with at least one incident edge.
+    pub fn non_isolated_node_count(&self) -> usize {
+        self.nodes().filter(|&n| self.degree(n) > 0).count()
+    }
+
+    /// Build an adjacency-map graph with the same node set (and labels)
+    /// containing only the edges whose dense ids are listed in
+    /// `edge_indices` — semantics identical to
+    /// [`WeightedGraph::subgraph_with_edges`]. Backbones are small, so the
+    /// mutable representation is the right output type.
+    pub fn subgraph_with_edges(&self, edge_indices: &[usize]) -> GraphResult<WeightedGraph> {
+        let mut subgraph = WeightedGraph::new(self.direction);
+        for node in self.nodes() {
+            match self.label(node) {
+                Some(label) => {
+                    subgraph.add_labeled_node(label.to_string())?;
+                }
+                None => {
+                    subgraph.add_node();
+                }
+            }
+        }
+        for &index in edge_indices {
+            let edge = self.edge(index).ok_or(GraphError::InvalidParameter {
+                parameter: "edge_indices",
+                message: format!("edge index {index} out of bounds"),
+            })?;
+            subgraph.set_edge_weight(edge.source, edge.target, edge.weight)?;
+        }
+        Ok(subgraph)
+    }
+
+    /// Expand back into a mutable adjacency-map graph (labels preserved).
+    pub fn to_weighted_graph(&self) -> GraphResult<WeightedGraph> {
+        self.subgraph_with_edges(&(0..self.edge_count()).collect::<Vec<_>>())
+    }
+
+    /// Precise heap footprint of the compact arrays in bytes (labels
+    /// excluded): the number reported by the scaling benchmarks.
+    pub fn memory_bytes(&self) -> usize {
+        self.offsets.len() * size_of::<u32>()
+            + self.targets.len() * size_of::<u32>()
+            + self.entry_edge_ids.len() * size_of::<u32>()
+            + self.entry_weights.len() * size_of::<f64>()
+            + self.edge_sources.len() * size_of::<u32>()
+            + self.edge_targets.len() * size_of::<u32>()
+            + self.edge_weights.len() * size_of::<f64>()
+            + self.in_degrees.len() * size_of::<u32>()
+    }
+}
+
+/// Streaming builder for [`CsrGraph`]: push `(source, target, weight)` edges
+/// one at a time (by index or by label) and [`CsrBuilder::finish`] into the
+/// compact form. No intermediate [`WeightedGraph`] and no per-edge hash
+/// lookup is involved: duplicate detection is a post-hoc sort over the
+/// collected triples, which reproduces [`WeightedGraph::add_edge`]'s
+/// left-to-right duplicate accumulation bit-exactly (pinned by the ingestion
+/// parity suite).
+#[derive(Debug, Clone)]
+pub struct CsrBuilder {
+    direction: Direction,
+    node_count: usize,
+    sources: Vec<u32>,
+    targets: Vec<u32>,
+    weights: Vec<f64>,
+    labels: Vec<Option<String>>,
+    label_index: HashMap<String, u32>,
+}
+
+impl CsrBuilder {
+    /// Start a builder with no declared nodes (node count grows with the
+    /// pushed edges and labels).
+    pub fn new(direction: Direction) -> CsrBuilder {
+        CsrBuilder {
+            direction,
+            node_count: 0,
+            sources: Vec::new(),
+            targets: Vec::new(),
+            weights: Vec::new(),
+            labels: Vec::new(),
+            label_index: HashMap::new(),
+        }
+    }
+
+    /// Start a builder with `node_count` pre-declared unlabeled nodes.
+    /// Fails fast (before any allocation) when the count overflows the
+    /// `u32` index space.
+    pub fn with_nodes(direction: Direction, node_count: usize) -> GraphResult<CsrBuilder> {
+        check_capacity("nodes", node_count as u64)?;
+        let mut builder = CsrBuilder::new(direction);
+        builder.node_count = node_count;
+        Ok(builder)
+    }
+
+    /// Direction semantics of the graph being built.
+    pub fn direction(&self) -> Direction {
+        self.direction
+    }
+
+    /// Current node count.
+    pub fn node_count(&self) -> usize {
+        self.node_count
+    }
+
+    /// Number of pushed (pre-deduplication) edges.
+    pub fn pushed_edges(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// The node id for `label`, interning a new node on first appearance —
+    /// the same first-appearance id assignment as
+    /// [`WeightedGraph::ensure_node`].
+    pub fn ensure_node(&mut self, label: &str) -> GraphResult<NodeId> {
+        if let Some(&id) = self.label_index.get(label) {
+            return Ok(id as NodeId);
+        }
+        check_capacity("nodes", self.node_count as u64 + 1)?;
+        let id = self.node_count as u32;
+        // Pad any pre-declared unlabeled nodes so label slots line up.
+        while self.labels.len() < self.node_count {
+            self.labels.push(None);
+        }
+        self.labels.push(Some(label.to_string()));
+        self.label_index.insert(label.to_string(), id);
+        self.node_count += 1;
+        Ok(id as NodeId)
+    }
+
+    /// Push an edge by node index, growing the node count as needed.
+    /// Validates the weight exactly like [`WeightedGraph::add_edge`]
+    /// (finite, non-negative).
+    pub fn add_edge(&mut self, source: NodeId, target: NodeId, weight: f64) -> GraphResult<()> {
+        if !weight.is_finite() || weight < 0.0 {
+            return Err(GraphError::InvalidWeight { weight });
+        }
+        let max_id = source.max(target);
+        check_capacity("nodes", max_id as u64 + 1)?;
+        check_capacity("edges", self.weights.len() as u64 + 1)?;
+        if max_id >= self.node_count {
+            self.node_count = max_id + 1;
+        }
+        let (a, b) = match self.direction {
+            Direction::Directed => (source, target),
+            Direction::Undirected => (source.min(target), source.max(target)),
+        };
+        self.sources.push(a as u32);
+        self.targets.push(b as u32);
+        self.weights.push(weight);
+        Ok(())
+    }
+
+    /// Push an edge by node labels, interning nodes on first appearance.
+    pub fn add_labeled_edge(&mut self, source: &str, target: &str, weight: f64) -> GraphResult<()> {
+        let source = self.ensure_node(source)?;
+        let target = self.ensure_node(target)?;
+        self.add_edge(source, target, weight)
+    }
+
+    /// Deduplicate and pack the pushed edges into the compact form.
+    pub fn finish(self) -> GraphResult<CsrGraph> {
+        let CsrBuilder {
+            direction,
+            node_count,
+            sources,
+            targets,
+            weights,
+            mut labels,
+            label_index,
+        } = self;
+        drop(label_index);
+        while labels.len() < node_count && !labels.is_empty() {
+            labels.push(None);
+        }
+
+        // Sort push-order indices by canonical endpoint key, ties by push
+        // order; equal-key runs then list every occurrence of one edge in
+        // arrival order.
+        let key = |i: usize| (u64::from(sources[i]) << 32) | u64::from(targets[i]);
+        let mut order: Vec<usize> = (0..weights.len()).collect();
+        order.sort_unstable_by_key(|&i| (key(i), i));
+
+        // Merge each run: the first occurrence fixes the edge's identity and
+        // later occurrences accumulate left to right, exactly like repeated
+        // `WeightedGraph::add_edge` calls.
+        let mut merged: Vec<(usize, u32, u32, f64)> = Vec::with_capacity(order.len());
+        let mut cursor = 0;
+        while cursor < order.len() {
+            let first = order[cursor];
+            let run_key = key(first);
+            let mut weight = weights[first];
+            cursor += 1;
+            while cursor < order.len() && key(order[cursor]) == run_key {
+                weight += weights[order[cursor]];
+                cursor += 1;
+            }
+            merged.push((first, sources[first], targets[first], weight));
+        }
+        // Dense edge ids follow first-occurrence order.
+        merged.sort_unstable_by_key(|&(first, _, _, _)| first);
+        check_capacity("edges", merged.len() as u64)?;
+        drop(order);
+        drop(sources);
+        drop(targets);
+        drop(weights);
+
+        let edge_count = merged.len();
+        let mut edge_sources = Vec::with_capacity(edge_count);
+        let mut edge_targets = Vec::with_capacity(edge_count);
+        let mut edge_weights = Vec::with_capacity(edge_count);
+        for &(_, source, target, weight) in &merged {
+            edge_sources.push(source);
+            edge_targets.push(target);
+            edge_weights.push(weight);
+        }
+        drop(merged);
+
+        // Row sizes, then a counting sort appending the edges in id order:
+        // this reproduces the adjacency-map push order (source row first,
+        // then — for a non-loop undirected edge — the target row).
+        let mut row_len = vec![0u32; node_count];
+        let mut in_degrees = match direction {
+            Direction::Directed => vec![0u32; node_count],
+            Direction::Undirected => Vec::new(),
+        };
+        let mut entry_total = 0u64;
+        for index in 0..edge_count {
+            let source = edge_sources[index] as usize;
+            let target = edge_targets[index] as usize;
+            row_len[source] += 1;
+            entry_total += 1;
+            match direction {
+                Direction::Directed => in_degrees[target] += 1,
+                Direction::Undirected => {
+                    if source != target {
+                        row_len[target] += 1;
+                        entry_total += 1;
+                    }
+                }
+            }
+        }
+        check_capacity("adjacency entries", entry_total)?;
+
+        let mut offsets = Vec::with_capacity(node_count + 1);
+        offsets.push(0u32);
+        let mut running = 0u32;
+        for &len in &row_len {
+            running += len;
+            offsets.push(running);
+        }
+        drop(row_len);
+        let entry_count = running as usize;
+        let mut next_slot: Vec<u32> = offsets[..node_count].to_vec();
+        let mut entry_targets = vec![0u32; entry_count];
+        let mut entry_edge_ids = vec![0u32; entry_count];
+        let mut entry_weights = vec![0.0f64; entry_count];
+        for index in 0..edge_count {
+            let source = edge_sources[index] as usize;
+            let target = edge_targets[index] as usize;
+            let weight = edge_weights[index];
+            let slot = next_slot[source] as usize;
+            entry_targets[slot] = target as u32;
+            entry_edge_ids[slot] = index as u32;
+            entry_weights[slot] = weight;
+            next_slot[source] += 1;
+            if direction == Direction::Undirected && source != target {
+                let slot = next_slot[target] as usize;
+                entry_targets[slot] = source as u32;
+                entry_edge_ids[slot] = index as u32;
+                entry_weights[slot] = weight;
+                next_slot[target] += 1;
+            }
+        }
+
+        Ok(CsrGraph {
+            direction,
+            node_count,
+            offsets,
+            targets: entry_targets,
+            entry_edge_ids,
+            entry_weights,
+            edge_sources,
+            edge_targets,
+            edge_weights,
+            in_degrees,
+            labels,
+        })
+    }
+}
+
+impl GraphView for CsrGraph {
+    fn direction(&self) -> Direction {
+        self.direction
+    }
+
+    fn node_count(&self) -> usize {
+        self.node_count
+    }
+
+    fn edge_count(&self) -> usize {
+        CsrGraph::edge_count(self)
+    }
+
+    fn edge(&self, index: usize) -> Option<EdgeRef> {
+        CsrGraph::edge(self, index)
+    }
+
+    fn out_degree(&self, node: NodeId) -> usize {
+        CsrGraph::out_degree(self, node)
+    }
+
+    fn in_degree(&self, node: NodeId) -> usize {
+        CsrGraph::in_degree(self, node)
+    }
+
+    fn degree(&self, node: NodeId) -> usize {
+        CsrGraph::degree(self, node)
+    }
+
+    fn label(&self, node: NodeId) -> Option<&str> {
+        CsrGraph::label(self, node)
+    }
+
+    fn total_weight(&self) -> f64 {
+        CsrGraph::total_weight(self)
+    }
+
+    fn non_isolated_node_count(&self) -> usize {
+        CsrGraph::non_isolated_node_count(self)
+    }
+
+    fn subgraph_with_edges(&self, edge_indices: &[usize]) -> GraphResult<WeightedGraph> {
+        CsrGraph::subgraph_with_edges(self, edge_indices)
+    }
+
+    fn to_csr(&self) -> GraphResult<std::borrow::Cow<'_, CsrGraph>> {
+        Ok(std::borrow::Cow::Borrowed(self))
     }
 }
 
@@ -165,134 +655,222 @@ mod tests {
     use super::*;
     use crate::graph::Direction;
 
-    fn sample_directed() -> WeightedGraph {
-        let mut g = WeightedGraph::with_nodes(Direction::Directed, 4);
+    fn sample_undirected() -> WeightedGraph {
+        let mut g = WeightedGraph::with_nodes(Direction::Undirected, 4);
         g.add_edge(0, 1, 1.0).unwrap();
-        g.add_edge(0, 2, 2.0).unwrap();
+        g.add_edge(1, 2, 2.0).unwrap();
         g.add_edge(2, 3, 3.0).unwrap();
-        g.add_edge(3, 0, 4.0).unwrap();
+        g.add_edge(0, 3, 4.0).unwrap();
         g
     }
 
     #[test]
-    fn csr_matches_adjacency_list() {
-        let g = sample_directed();
-        let csr = CsrGraph::from_graph(&g);
+    fn csr_matches_graph_structure() {
+        let g = sample_undirected();
+        let csr = CsrGraph::from_graph(&g).unwrap();
         assert_eq!(csr.node_count(), 4);
-        assert_eq!(csr.entry_count(), 4);
-        assert_eq!(csr.degree(0), 2);
-        assert_eq!(csr.degree(1), 0);
-        assert_eq!(csr.neighbors(0), &[1, 2]);
-        assert_eq!(csr.weights(2), &[3.0]);
-        assert!((csr.strength(0) - 3.0).abs() < 1e-12);
-        assert!((csr.total_entry_weight() - 10.0).abs() < 1e-12);
+        assert_eq!(csr.edge_count(), 4);
+        assert_eq!(csr.entry_count(), 8);
+        assert_eq!(csr.neighbors(0), &[1, 3]);
+        assert_eq!(csr.weights(2), &[2.0, 3.0]);
+        assert_eq!(csr.degree(1), 2);
+        assert!((csr.total_entry_weight() - 20.0).abs() < 1e-12);
+        assert!((csr.total_weight() - 10.0).abs() < 1e-12);
     }
 
     #[test]
-    fn csr_undirected_duplicates_entries() {
-        let mut g = WeightedGraph::with_nodes(Direction::Undirected, 3);
-        g.add_edge(0, 1, 1.0).unwrap();
-        g.add_edge(1, 2, 2.0).unwrap();
-        let csr = CsrGraph::from_graph(&g);
-        assert_eq!(csr.entry_count(), 4);
-        assert_eq!(csr.degree(1), 2);
-        assert!((csr.strength(1) - 3.0).abs() < 1e-12);
-        // Every adjacency entry appears from both endpoints.
+    fn undirected_entries_double_edges() {
+        let g = sample_undirected();
+        let csr = CsrGraph::from_graph(&g).unwrap();
+        assert_eq!(csr.entry_count(), 2 * g.edge_count());
         assert!((csr.total_entry_weight() - 2.0 * g.total_weight()).abs() < 1e-12);
     }
 
     #[test]
-    fn entries_iterator_covers_all_rows() {
-        let g = sample_directed();
-        let csr = CsrGraph::from_graph(&g);
+    fn entries_iterator_visits_every_entry() {
+        let g = sample_undirected();
+        let csr = CsrGraph::from_graph(&g).unwrap();
         let entries: Vec<(usize, usize, f64)> = csr.entries().collect();
-        assert_eq!(entries.len(), 4);
-        assert!(entries.contains(&(3, 0, 4.0)));
+        assert_eq!(entries.len(), csr.entry_count());
+        assert!(entries.contains(&(0, 1, 1.0)));
+        assert!(entries.contains(&(1, 0, 1.0)));
     }
 
     #[test]
-    fn entry_edge_ids_round_trip_to_original_edges() {
-        let g = sample_directed();
-        let csr = CsrGraph::from_graph(&g);
-        assert_eq!(csr.edge_count(), 4);
-        for node in 0..csr.node_count() {
-            for (slot, entry) in csr.entry_range(node).enumerate() {
-                let edge_id = csr.entry_edge_id(entry);
-                assert_eq!(edge_id, csr.edge_ids(node)[slot]);
-                let edge = g.edge(edge_id).unwrap();
-                let target = csr.entry_target(entry);
-                assert_eq!((edge.source, edge.target), (node, target));
-                assert_eq!(edge.weight, csr.weights(node)[slot]);
+    fn rows_mirror_adjacency_insertion_order() {
+        let g = sample_undirected();
+        let csr = CsrGraph::from_graph(&g).unwrap();
+        for node in g.nodes() {
+            let adjacency: Vec<(usize, usize, f64)> = g
+                .out_neighbors(node)
+                .zip(g.out_edge_indices(node))
+                .map(|((neighbor, weight), edge_id)| (neighbor, edge_id, weight))
+                .collect();
+            for (slot, &(neighbor, edge_id, weight)) in adjacency.iter().enumerate() {
+                assert_eq!(neighbor as u32, csr.neighbors(node)[slot]);
+                assert_eq!(edge_id as u32, csr.edge_ids(node)[slot]);
+                assert_eq!(weight, csr.weights(node)[slot]);
+                let entry = csr.entry_range(node).start + slot;
+                assert_eq!(csr.entry_target(entry), neighbor);
+                assert_eq!(csr.entry_edge_id(entry), edge_id);
             }
         }
     }
 
     #[test]
-    fn undirected_orientations_share_one_edge_id() {
+    fn undirected_endpoints_share_edge_ids() {
         let mut g = WeightedGraph::with_nodes(Direction::Undirected, 3);
         g.add_edge(0, 1, 1.0).unwrap();
         g.add_edge(1, 2, 2.0).unwrap();
-        let csr = CsrGraph::from_graph(&g);
-        assert_eq!(csr.edge_count(), 2);
-        assert_eq!(csr.entry_count(), 4);
-        // The 0–1 edge appears from node 0 and node 1 with the same id.
+        let csr = CsrGraph::from_graph(&g).unwrap();
         assert_eq!(csr.edge_ids(0), &[0]);
         assert!(csr.edge_ids(1).contains(&0));
         assert!(csr.edge_ids(1).contains(&1));
-        assert_eq!(csr.entry_weights().len(), 4);
     }
 
     #[test]
-    fn empty_graph_produces_empty_csr() {
-        let g = WeightedGraph::directed();
-        let csr = CsrGraph::from_graph(&g);
+    fn self_loops_appear_once_and_zero_weights_survive() {
+        let mut g = WeightedGraph::with_nodes(Direction::Undirected, 2);
+        g.add_edge(0, 0, 0.0).unwrap();
+        g.add_edge(0, 1, 2.0).unwrap();
+        let csr = CsrGraph::from_graph(&g).unwrap();
+        assert_eq!(csr.out_degree(0), 2);
+        assert_eq!(csr.weights(0), &[0.0, 2.0]);
+        assert_eq!(csr.out_degree(1), 1);
+        assert!((csr.total_entry_weight() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn directed_rows_are_out_edges_only() {
+        let mut g = WeightedGraph::with_nodes(Direction::Directed, 3);
+        g.add_edge(0, 1, 1.0).unwrap();
+        g.add_edge(1, 2, 2.0).unwrap();
+        g.add_edge(2, 0, 3.0).unwrap();
+        let csr = CsrGraph::from_graph(&g).unwrap();
+        assert_eq!(csr.neighbors(0), &[1]);
+        assert_eq!(csr.neighbors(1), &[2]);
+        assert_eq!(csr.out_degree(0), 1);
+        assert_eq!(csr.in_degree(0), 1);
+        assert_eq!(csr.degree(0), 2);
+    }
+
+    #[test]
+    fn empty_graph_and_isolated_nodes() {
+        let empty = WeightedGraph::undirected();
+        let csr = CsrGraph::from_graph(&empty).unwrap();
         assert_eq!(csr.node_count(), 0);
         assert_eq!(csr.entry_count(), 0);
-    }
 
-    #[test]
-    fn zero_weight_edges_are_preserved() {
-        let mut g = WeightedGraph::with_nodes(Direction::Directed, 3);
-        g.add_edge(0, 1, 0.0).unwrap();
-        g.add_edge(1, 2, 2.0).unwrap();
-        let csr = CsrGraph::from_graph(&g);
-        assert_eq!(csr.entry_count(), 2);
-        assert_eq!(csr.weights(0), &[0.0]);
-        assert_eq!(csr.strength(0), 0.0);
-        assert!((csr.total_entry_weight() - 2.0).abs() < 1e-12);
-    }
-
-    #[test]
-    fn undirected_self_loops_appear_once() {
-        let mut g = WeightedGraph::with_nodes(Direction::Undirected, 2);
-        g.add_edge(0, 0, 3.0).unwrap();
-        g.add_edge(0, 1, 1.0).unwrap();
-        let csr = CsrGraph::from_graph(&g);
-        // The self-loop contributes a single adjacency entry; the ordinary
-        // edge contributes one per endpoint.
-        assert_eq!(csr.entry_count(), 3);
-        assert_eq!(csr.degree(0), 2);
-        assert!((csr.strength(0) - 4.0).abs() < 1e-12);
-    }
-
-    #[test]
-    fn single_edge_graph_round_trips() {
-        let mut g = WeightedGraph::with_nodes(Direction::Directed, 2);
+        let mut g = WeightedGraph::with_nodes(Direction::Undirected, 3);
         g.add_edge(0, 1, 7.5).unwrap();
-        let csr = CsrGraph::from_graph(&g);
-        assert_eq!(csr.entry_count(), 1);
-        assert_eq!(csr.neighbors(0), &[1]);
+        let csr = CsrGraph::from_graph(&g).unwrap();
+        assert_eq!(csr.out_degree(2), 0);
+        assert_eq!(csr.neighbors(2), &[] as &[u32]);
         assert_eq!(csr.weights(0), &[7.5]);
-        assert_eq!(csr.entries().collect::<Vec<_>>(), vec![(0, 1, 7.5)]);
+        assert_eq!(
+            csr.entries().collect::<Vec<_>>(),
+            vec![(0, 1, 7.5), (1, 0, 7.5)]
+        );
+        assert_eq!(csr.non_isolated_node_count(), 2);
     }
 
     #[test]
-    fn isolated_nodes_have_empty_rows() {
-        let mut g = WeightedGraph::with_nodes(Direction::Directed, 3);
-        g.add_edge(0, 1, 1.0).unwrap();
-        let csr = CsrGraph::from_graph(&g);
-        assert_eq!(csr.degree(2), 0);
-        assert!(csr.neighbors(2).is_empty());
-        assert_eq!(csr.strength(2), 0.0);
+    fn builder_matches_weighted_graph_on_duplicates() {
+        // Duplicate edges (in both orientations for the undirected case)
+        // accumulate into the first occurrence, preserving edge-id order.
+        let triples = vec![
+            (0usize, 1usize, 1.0),
+            (2, 3, 4.0),
+            (1, 0, 2.5),
+            (0, 1, 0.5),
+            (3, 3, 1.0),
+        ];
+        for direction in [Direction::Undirected, Direction::Directed] {
+            let reference = WeightedGraph::from_edges(direction, 4, triples.clone()).unwrap();
+            let compact = CsrGraph::from_edges(direction, 4, triples.clone()).unwrap();
+            let converted = CsrGraph::from_graph(&reference).unwrap();
+            assert_eq!(compact, converted, "{direction:?}");
+        }
+    }
+
+    #[test]
+    fn builder_labels_follow_first_appearance() {
+        let mut builder = CsrBuilder::new(Direction::Undirected);
+        builder.add_labeled_edge("b", "a", 1.0).unwrap();
+        builder.add_labeled_edge("a", "c", 2.0).unwrap();
+        let csr = builder.finish().unwrap();
+        assert_eq!(csr.label(0), Some("b"));
+        assert_eq!(csr.label(1), Some("a"));
+        assert_eq!(csr.label(2), Some("c"));
+
+        let reference = WeightedGraph::from_labeled_edges(
+            Direction::Undirected,
+            vec![("b", "a", 1.0), ("a", "c", 2.0)],
+        )
+        .unwrap();
+        assert_eq!(csr, CsrGraph::from_graph(&reference).unwrap());
+    }
+
+    #[test]
+    fn builder_rejects_invalid_weights() {
+        let mut builder = CsrBuilder::new(Direction::Directed);
+        assert_eq!(
+            builder.add_edge(0, 1, -1.0),
+            Err(GraphError::InvalidWeight { weight: -1.0 })
+        );
+        assert!(builder.add_edge(0, 1, f64::NAN).is_err());
+        assert!(builder.add_edge(0, 1, f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn capacity_overflow_is_a_structured_error() {
+        // Declaring too many nodes fails before any allocation.
+        let oversized = u32::MAX as usize + 1;
+        match CsrBuilder::with_nodes(Direction::Undirected, oversized) {
+            Err(GraphError::CapacityExceeded {
+                what, requested, ..
+            }) => {
+                assert_eq!(what, "nodes");
+                assert_eq!(requested, oversized as u64);
+            }
+            other => panic!("expected CapacityExceeded, got {other:?}"),
+        }
+        // A single edge endpoint beyond the id space is rejected too.
+        let mut builder = CsrBuilder::new(Direction::Directed);
+        assert!(matches!(
+            builder.add_edge(0, oversized, 1.0),
+            Err(GraphError::CapacityExceeded { what: "nodes", .. })
+        ));
+        // And the error has a readable message.
+        let error = CsrBuilder::with_nodes(Direction::Undirected, oversized).unwrap_err();
+        assert!(error.to_string().contains("capacity"));
+    }
+
+    #[test]
+    fn subgraph_round_trips_like_weighted_graph() {
+        let g = sample_undirected();
+        let csr = CsrGraph::from_graph(&g).unwrap();
+        let kept = vec![0usize, 2];
+        let from_csr = csr.subgraph_with_edges(&kept).unwrap();
+        let from_graph = g.subgraph_with_edges(&kept).unwrap();
+        assert_eq!(from_csr.node_count(), from_graph.node_count());
+        assert_eq!(from_csr.edge_count(), from_graph.edge_count());
+        for (a, b) in from_csr.edges().zip(from_graph.edges()) {
+            assert_eq!(
+                (a.source, a.target, a.weight),
+                (b.source, b.target, b.weight)
+            );
+        }
+        assert!(csr.subgraph_with_edges(&[99]).is_err());
+    }
+
+    #[test]
+    fn memory_bytes_counts_the_flat_arrays() {
+        let g = sample_undirected();
+        let csr = CsrGraph::from_graph(&g).unwrap();
+        // 5 offsets + 8 entry targets/ids ×2 + 8 entry weights
+        // + 4 edge sources/targets ×2 + 4 edge weights.
+        let expected = 5 * 4 + 8 * 4 + 8 * 4 + 8 * 8 + 4 * 4 + 4 * 4 + 4 * 8;
+        assert_eq!(csr.memory_bytes(), expected);
     }
 }

@@ -44,6 +44,16 @@ pub enum GraphError {
         /// Description of the failure.
         message: String,
     },
+    /// The graph exceeds the capacity of the compact `u32`/CSR core (more
+    /// nodes, edges or adjacency entries than a `u32` index can address).
+    CapacityExceeded {
+        /// What overflowed: `"nodes"`, `"edges"` or `"adjacency entries"`.
+        what: &'static str,
+        /// The requested count.
+        requested: u64,
+        /// The maximum representable count.
+        limit: u64,
+    },
 }
 
 impl fmt::Display for GraphError {
@@ -70,6 +80,17 @@ impl fmt::Display for GraphError {
                 write!(f, "invalid parameter `{parameter}`: {message}")
             }
             GraphError::Io { message } => write!(f, "edge list I/O error: {message}"),
+            GraphError::CapacityExceeded {
+                what,
+                requested,
+                limit,
+            } => {
+                write!(
+                    f,
+                    "graph exceeds the compact core's capacity: {requested} {what} \
+                     (limit {limit})"
+                )
+            }
         }
     }
 }

@@ -6,6 +6,9 @@
 //! * [`erdos_renyi`] — G(n, m)-style random graphs; the scalability experiment
 //!   (Figure 9) uses Erdős–Rényi graphs with average degree 3 and uniform
 //!   random weights.
+//! * [`barabasi_albert_csr`] / [`erdos_renyi_csr`] — the same generators
+//!   emitting the compact [`crate::CsrGraph`] directly, for the 100k–1M-node
+//!   benchmark substrates where the adjacency-map form would dominate memory.
 //! * [`stochastic_block_model`] — planted community structure, used to test
 //!   that backbones preserve community-recoverable structure (Figure 1's
 //!   motivating example).
@@ -14,7 +17,9 @@
 
 mod random;
 
-pub use random::{barabasi_albert, erdos_renyi, stochastic_block_model};
+pub use random::{
+    barabasi_albert, barabasi_albert_csr, erdos_renyi, erdos_renyi_csr, stochastic_block_model,
+};
 
 use crate::error::{GraphError, GraphResult};
 use crate::graph::{Direction, WeightedGraph};

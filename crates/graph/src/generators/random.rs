@@ -1,8 +1,11 @@
 //! Seeded random graph generators.
 
+use std::collections::HashSet;
+
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use crate::csr::{CsrBuilder, CsrGraph};
 use crate::error::{GraphError, GraphResult};
 use crate::graph::{Direction, WeightedGraph};
 
@@ -70,6 +73,62 @@ pub fn barabasi_albert(
     Ok(graph)
 }
 
+/// [`barabasi_albert`], generating straight into the compact [`CsrGraph`].
+///
+/// Consumes the random stream identically to the adjacency-map version, so
+/// for any `(nodes, edges_per_node, seed)` that fits both representations
+/// the two produce the same graph (same node ids, edge ids and weights).
+/// This is the substrate generator of the large-scale benchmarks, where the
+/// adjacency-map representation would dominate the memory high-water mark.
+pub fn barabasi_albert_csr(
+    nodes: usize,
+    edges_per_node: usize,
+    seed: u64,
+) -> GraphResult<CsrGraph> {
+    if edges_per_node == 0 {
+        return Err(GraphError::InvalidParameter {
+            parameter: "edges_per_node",
+            message: "each new node must attach with at least one edge".to_string(),
+        });
+    }
+    if nodes <= edges_per_node {
+        return Err(GraphError::InvalidParameter {
+            parameter: "nodes",
+            message: format!("need more nodes ({nodes}) than edges per node ({edges_per_node})"),
+        });
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut builder = CsrBuilder::with_nodes(Direction::Undirected, nodes)?;
+
+    let mut attachment_pool: Vec<usize> = Vec::new();
+    let seed_size = edges_per_node + 1;
+    for i in 0..seed_size {
+        for j in (i + 1)..seed_size {
+            builder.add_edge(i, j, 1.0)?;
+            attachment_pool.push(i);
+            attachment_pool.push(j);
+        }
+    }
+
+    for new_node in seed_size..nodes {
+        let mut chosen: Vec<usize> = Vec::with_capacity(edges_per_node);
+        let mut guard = 0;
+        while chosen.len() < edges_per_node && guard < 10_000 {
+            guard += 1;
+            let candidate = attachment_pool[rng.random_range(0..attachment_pool.len())];
+            if candidate != new_node && !chosen.contains(&candidate) {
+                chosen.push(candidate);
+            }
+        }
+        for &target in &chosen {
+            builder.add_edge(new_node, target, 1.0)?;
+            attachment_pool.push(new_node);
+            attachment_pool.push(target);
+        }
+    }
+    builder.finish()
+}
+
 /// Generate an Erdős–Rényi style random graph with a target number of edges.
 ///
 /// `expected_edges` distinct node pairs are sampled uniformly at random
@@ -112,6 +171,61 @@ pub fn erdos_renyi(
         created += 1;
     }
     Ok(graph)
+}
+
+/// [`erdos_renyi`], generating straight into the compact [`CsrGraph`].
+///
+/// Sampled-pair rejection (self-loops, already-present pairs) consumes the
+/// random stream identically to the adjacency-map version — duplicate
+/// detection uses a packed-pair hash set instead of graph lookups — so both
+/// versions produce the same graph for the same parameters. This is the
+/// 1M-node / 10M-edge substrate generator of the scalability benchmarks.
+pub fn erdos_renyi_csr(
+    nodes: usize,
+    expected_edges: usize,
+    max_weight: f64,
+    direction: Direction,
+    seed: u64,
+) -> GraphResult<CsrGraph> {
+    if nodes < 2 {
+        return Err(GraphError::InvalidParameter {
+            parameter: "nodes",
+            message: format!("need at least 2 nodes, got {nodes}"),
+        });
+    }
+    if max_weight <= 0.0 {
+        return Err(GraphError::InvalidParameter {
+            parameter: "max_weight",
+            message: format!("must be positive, got {max_weight}"),
+        });
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut builder = CsrBuilder::with_nodes(direction, nodes)?;
+    let mut present: HashSet<u64> = HashSet::with_capacity(expected_edges * 2);
+    let mut created = 0usize;
+    let mut attempts = 0usize;
+    let attempt_limit = expected_edges.saturating_mul(20).max(1000);
+    while created < expected_edges && attempts < attempt_limit {
+        attempts += 1;
+        let source = rng.random_range(0..nodes);
+        let target = rng.random_range(0..nodes);
+        if source == target {
+            continue;
+        }
+        let (a, b) = if direction == Direction::Undirected && source > target {
+            (target, source)
+        } else {
+            (source, target)
+        };
+        let key = ((a as u64) << 32) | b as u64;
+        if !present.insert(key) {
+            continue;
+        }
+        let weight = rng.random_range(0.0..max_weight) + f64::MIN_POSITIVE;
+        builder.add_edge(source, target, weight)?;
+        created += 1;
+    }
+    builder.finish()
 }
 
 /// Generate a weighted stochastic block model.
@@ -243,6 +357,25 @@ mod tests {
     fn erdos_renyi_rejects_bad_parameters() {
         assert!(erdos_renyi(1, 10, 1.0, Direction::Undirected, 0).is_err());
         assert!(erdos_renyi(10, 10, 0.0, Direction::Undirected, 0).is_err());
+    }
+
+    #[test]
+    fn csr_generators_match_adjacency_generators() {
+        let ba = barabasi_albert(300, 3, 42).unwrap();
+        let ba_csr = barabasi_albert_csr(300, 3, 42).unwrap();
+        assert_eq!(ba_csr, CsrGraph::from_graph(&ba).unwrap());
+
+        for direction in [Direction::Undirected, Direction::Directed] {
+            let er = erdos_renyi(200, 400, 10.0, direction, 7).unwrap();
+            let er_csr = erdos_renyi_csr(200, 400, 10.0, direction, 7).unwrap();
+            assert_eq!(er_csr, CsrGraph::from_graph(&er).unwrap(), "{direction:?}");
+        }
+    }
+
+    #[test]
+    fn csr_generators_reject_bad_parameters() {
+        assert!(barabasi_albert_csr(3, 3, 0).is_err());
+        assert!(erdos_renyi_csr(10, 10, 0.0, Direction::Undirected, 0).is_err());
     }
 
     #[test]

@@ -7,8 +7,18 @@
 //!
 //! Reading is **streaming**: lines are consumed one at a time from any
 //! [`BufRead`] source (a file, stdin, a byte slice), so arbitrarily large
-//! edge lists are ingested without buffering the whole file. Parse failures
-//! report the offending source name and line number.
+//! edge lists are ingested without buffering the whole file or materializing
+//! an intermediate `Vec` of parsed lines. Parse failures report the offending
+//! source name and line number.
+//!
+//! Two families of readers share one parser:
+//!
+//! * `read_edge_list*` build the mutable adjacency-map [`WeightedGraph`]
+//!   (small graphs, fixtures, compat);
+//! * `read_edge_list_csr*` stream straight into a [`CsrBuilder`] and return
+//!   the compact [`CsrGraph`] — the canonical ingestion path of the CLI and
+//!   the HTTP server. Both produce bit-identical structures (same node ids,
+//!   edge ids and accumulated weights; pinned by the ingestion parity suite).
 //!
 //! ```
 //! use backboning_graph::io::{read_edge_list_str, write_edge_list_string, EdgeListOptions};
@@ -36,8 +46,10 @@
 use std::io::{BufRead, BufWriter, Write};
 use std::path::Path;
 
+use crate::csr::{CsrBuilder, CsrGraph};
 use crate::error::{GraphError, GraphResult};
 use crate::graph::{Direction, WeightedGraph};
+use crate::view::GraphView;
 
 /// The source name used in error messages when none is supplied.
 const ANONYMOUS_SOURCE: &str = "<edge list>";
@@ -76,30 +88,19 @@ impl EdgeListOptions {
     }
 }
 
-/// Parse a weighted edge list from any reader.
-///
-/// Each data line must contain `source target [weight]`; when the weight
-/// column is missing the edge gets weight 1. Node names are arbitrary strings
-/// and become node labels. Duplicate edges accumulate their weights.
-///
-/// Error messages use a generic source name; use [`read_edge_list_named`]
-/// (or [`read_edge_list_file`], which names the file automatically) to report
-/// where a malformed line came from.
-pub fn read_edge_list<R: BufRead>(
-    reader: R,
-    options: &EdgeListOptions,
-) -> GraphResult<WeightedGraph> {
-    read_edge_list_named(reader, options, ANONYMOUS_SOURCE)
-}
-
-/// [`read_edge_list`], reporting `source_name` (a file path, `<stdin>`, …) in
-/// every parse error alongside the 1-based line number.
-pub fn read_edge_list_named<R: BufRead>(
+/// The shared streaming parser: feed every data line's
+/// `(source, target, weight)` to `sink`, wrapping both parse failures and
+/// sink errors with `source_name` and the 1-based line number.
+fn parse_edge_lines<R, F>(
     reader: R,
     options: &EdgeListOptions,
     source_name: &str,
-) -> GraphResult<WeightedGraph> {
-    let mut graph = WeightedGraph::new(options.direction);
+    mut sink: F,
+) -> GraphResult<()>
+where
+    R: BufRead,
+    F: FnMut(&str, &str, f64) -> GraphResult<()>,
+{
     let mut skipped_header = !options.has_header;
     for (line_index, line) in reader.lines().enumerate() {
         let line_number = line_index + 1;
@@ -140,14 +141,42 @@ pub fn read_edge_list_named<R: BufRead>(
         } else {
             1.0
         };
-        let source = graph.ensure_node(fields[0]);
-        let target = graph.ensure_node(fields[1]);
-        graph
-            .add_edge(source, target, weight)
-            .map_err(|e| GraphError::Io {
-                message: format!("{source_name}: line {line_number}: {e}"),
-            })?;
+        sink(fields[0], fields[1], weight).map_err(|e| GraphError::Io {
+            message: format!("{source_name}: line {line_number}: {e}"),
+        })?;
     }
+    Ok(())
+}
+
+/// Parse a weighted edge list from any reader.
+///
+/// Each data line must contain `source target [weight]`; when the weight
+/// column is missing the edge gets weight 1. Node names are arbitrary strings
+/// and become node labels. Duplicate edges accumulate their weights.
+///
+/// Error messages use a generic source name; use [`read_edge_list_named`]
+/// (or [`read_edge_list_file`], which names the file automatically) to report
+/// where a malformed line came from.
+pub fn read_edge_list<R: BufRead>(
+    reader: R,
+    options: &EdgeListOptions,
+) -> GraphResult<WeightedGraph> {
+    read_edge_list_named(reader, options, ANONYMOUS_SOURCE)
+}
+
+/// [`read_edge_list`], reporting `source_name` (a file path, `<stdin>`, …) in
+/// every parse error alongside the 1-based line number.
+pub fn read_edge_list_named<R: BufRead>(
+    reader: R,
+    options: &EdgeListOptions,
+    source_name: &str,
+) -> GraphResult<WeightedGraph> {
+    let mut graph = WeightedGraph::new(options.direction);
+    parse_edge_lines(reader, options, source_name, |source, target, weight| {
+        let source = graph.ensure_node(source);
+        let target = graph.ensure_node(target);
+        graph.add_edge(source, target, weight).map(|_| ())
+    })?;
     Ok(graph)
 }
 
@@ -174,10 +203,57 @@ pub fn read_edge_list_file(
     )
 }
 
+/// Parse a weighted edge list straight into the compact [`CsrGraph`] — the
+/// large-scale ingestion path. Parse semantics, error messages, node-id
+/// assignment and duplicate-edge accumulation are identical to
+/// [`read_edge_list`]; the difference is that no adjacency-map graph is ever
+/// materialized.
+pub fn read_edge_list_csr<R: BufRead>(
+    reader: R,
+    options: &EdgeListOptions,
+) -> GraphResult<CsrGraph> {
+    read_edge_list_csr_named(reader, options, ANONYMOUS_SOURCE)
+}
+
+/// [`read_edge_list_csr`], reporting `source_name` in every parse error.
+pub fn read_edge_list_csr_named<R: BufRead>(
+    reader: R,
+    options: &EdgeListOptions,
+    source_name: &str,
+) -> GraphResult<CsrGraph> {
+    let mut builder = CsrBuilder::new(options.direction);
+    parse_edge_lines(reader, options, source_name, |source, target, weight| {
+        builder.add_labeled_edge(source, target, weight)
+    })?;
+    builder.finish()
+}
+
+/// Parse a weighted edge list string into the compact [`CsrGraph`].
+pub fn read_edge_list_csr_str(text: &str, options: &EdgeListOptions) -> GraphResult<CsrGraph> {
+    read_edge_list_csr(text.as_bytes(), options)
+}
+
+/// Read a weighted edge list file into the compact [`CsrGraph`].
+pub fn read_edge_list_csr_file(
+    path: impl AsRef<Path>,
+    options: &EdgeListOptions,
+) -> GraphResult<CsrGraph> {
+    let path = path.as_ref();
+    let file = std::fs::File::open(path).map_err(|e| GraphError::Io {
+        message: format!("{}: {e}", path.display()),
+    })?;
+    read_edge_list_csr_named(
+        std::io::BufReader::new(file),
+        options,
+        &path.display().to_string(),
+    )
+}
+
 /// Write a graph as a tab-separated edge list (`source<TAB>target<TAB>weight`).
 ///
-/// Nodes without labels are written as their numeric id.
-pub fn write_edge_list<W: Write>(graph: &WeightedGraph, writer: W) -> GraphResult<()> {
+/// Accepts either representation through [`GraphView`]. Nodes without labels
+/// are written as their numeric id.
+pub fn write_edge_list<G: GraphView, W: Write>(graph: &G, writer: W) -> GraphResult<()> {
     let mut writer = BufWriter::new(writer);
     writeln!(writer, "# source\ttarget\tweight")?;
     for edge in graph.edges() {
@@ -196,13 +272,13 @@ pub fn write_edge_list<W: Write>(graph: &WeightedGraph, writer: W) -> GraphResul
 }
 
 /// Write a graph as a tab-separated edge list to a file.
-pub fn write_edge_list_file(graph: &WeightedGraph, path: impl AsRef<Path>) -> GraphResult<()> {
+pub fn write_edge_list_file<G: GraphView>(graph: &G, path: impl AsRef<Path>) -> GraphResult<()> {
     let file = std::fs::File::create(path)?;
     write_edge_list(graph, file)
 }
 
 /// Serialise a graph to an edge-list string.
-pub fn write_edge_list_string(graph: &WeightedGraph) -> GraphResult<String> {
+pub fn write_edge_list_string<G: GraphView>(graph: &G) -> GraphResult<String> {
     let mut buffer = Vec::new();
     write_edge_list(graph, &mut buffer)?;
     String::from_utf8(buffer).map_err(|e| GraphError::Io {
@@ -213,6 +289,7 @@ pub fn write_edge_list_string(graph: &WeightedGraph) -> GraphResult<String> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::csr::CsrGraph;
 
     #[test]
     fn reads_whitespace_separated_edges() {
@@ -274,6 +351,39 @@ mod tests {
     }
 
     #[test]
+    fn csr_reader_matches_adjacency_reader() {
+        // Duplicates, both orientations, comments, header, missing weights.
+        let text = "# trade\nsrc dst w\nA B 2.0\nB A 1.5\nB C\nA B 0.5\nC C 3.0\n";
+        for direction in [Direction::Directed, Direction::Undirected] {
+            let options = EdgeListOptions {
+                direction,
+                has_header: true,
+                ..Default::default()
+            };
+            let graph = read_edge_list_str(text, &options).unwrap();
+            let streamed = read_edge_list_csr_str(text, &options).unwrap();
+            assert_eq!(
+                streamed,
+                CsrGraph::from_graph(&graph).unwrap(),
+                "{direction:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn csr_reader_reports_identical_errors() {
+        for bad in ["just_one_field\n", "A B not_a_number\n", "A B -2.0\n"] {
+            let adjacency =
+                read_edge_list_named(bad.as_bytes(), &EdgeListOptions::default(), "input.tsv")
+                    .unwrap_err();
+            let csr =
+                read_edge_list_csr_named(bad.as_bytes(), &EdgeListOptions::default(), "input.tsv")
+                    .unwrap_err();
+            assert_eq!(adjacency, csr, "{bad:?}");
+        }
+    }
+
+    #[test]
     fn write_then_read_round_trips() {
         let original = WeightedGraph::from_labeled_edges(
             Direction::Directed,
@@ -297,6 +407,20 @@ mod tests {
     }
 
     #[test]
+    fn csr_graphs_serialize_identically() {
+        let graph = WeightedGraph::from_labeled_edges(
+            Direction::Undirected,
+            vec![("X", "Y", 1.0), ("Y", "Z", 2.0)],
+        )
+        .unwrap();
+        let csr = CsrGraph::from_graph(&graph).unwrap();
+        assert_eq!(
+            write_edge_list_string(&graph).unwrap(),
+            write_edge_list_string(&csr).unwrap()
+        );
+    }
+
+    #[test]
     fn unlabeled_nodes_are_written_as_ids() {
         let graph = WeightedGraph::from_edges(Direction::Directed, 2, vec![(0, 1, 7.0)]).unwrap();
         let text = write_edge_list_string(&graph).unwrap();
@@ -317,6 +441,8 @@ mod tests {
         let options = EdgeListOptions::with_direction(Direction::Undirected);
         let restored = read_edge_list_file(&path, &options).unwrap();
         assert_eq!(restored.edge_count(), 2);
+        let compact = read_edge_list_csr_file(&path, &options).unwrap();
+        assert_eq!(compact, CsrGraph::from_graph(&restored).unwrap());
         std::fs::remove_file(&path).unwrap();
     }
 }

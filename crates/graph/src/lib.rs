@@ -8,10 +8,16 @@
 //! non-negative real edge weights, either directed or undirected. This crate
 //! provides:
 //!
-//! * [`WeightedGraph`] — the central adjacency-list representation with node
-//!   labels, per-node in/out strengths and O(1) edge lookup.
-//! * [`CsrGraph`] — an immutable compressed-sparse-row view used
-//!   by the scalability experiments (Figure 9).
+//! * [`CsrGraph`] — the canonical compact representation: `u32` node ids,
+//!   flat prefix-offset CSR adjacency and dense edge arrays, built by the
+//!   streaming [`csr::CsrBuilder`]. This is what the pipeline, server and
+//!   scalability experiments (Figure 9) operate on.
+//! * [`WeightedGraph`] — the mutable adjacency-list builder/compat shim with
+//!   node labels and O(1) edge lookup, used for small graphs, fixtures and
+//!   backbone outputs.
+//! * [`GraphView`] — the read-only trait both implement, over which the
+//!   scoring pipeline is generic (bit-identical results on either
+//!   representation).
 //! * Graph [`generators`] — Barabási–Albert, Erdős–Rényi, stochastic block
 //!   model and small deterministic topologies, used by the synthetic
 //!   experiments (Figure 4) and the test suites.
@@ -33,8 +39,10 @@ pub mod generators;
 pub mod graph;
 pub mod io;
 pub mod matrix;
+pub mod view;
 
 pub use builder::GraphBuilder;
-pub use csr::CsrGraph;
+pub use csr::{CsrBuilder, CsrGraph};
 pub use error::{GraphError, GraphResult};
 pub use graph::{Direction, Edge, EdgeRef, InNeighbors, NodeId, WeightedGraph};
+pub use view::GraphView;

@@ -7,7 +7,8 @@
 //! next to the dense matrix view it operates on.
 
 use crate::error::{GraphError, GraphResult};
-use crate::graph::{Direction, NodeId, WeightedGraph};
+use crate::graph::{Direction, NodeId};
+use crate::view::GraphView;
 
 /// A dense adjacency matrix of a weighted graph.
 ///
@@ -20,8 +21,8 @@ pub struct AdjacencyMatrix {
 }
 
 impl AdjacencyMatrix {
-    /// Build the dense adjacency matrix of a graph.
-    pub fn from_graph(graph: &WeightedGraph) -> Self {
+    /// Build the dense adjacency matrix of a graph (either representation).
+    pub fn from_graph<G: GraphView>(graph: &G) -> Self {
         let size = graph.node_count();
         let mut values = vec![0.0; size * size];
         for edge in graph.edges() {
@@ -162,7 +163,7 @@ impl AdjacencyMatrix {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::graph::Direction;
+    use crate::graph::{Direction, WeightedGraph};
 
     #[test]
     fn matrix_from_directed_graph() {

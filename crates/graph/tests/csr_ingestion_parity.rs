@@ -1,0 +1,162 @@
+//! Property tests for the compact-core refactor seams in this crate:
+//!
+//! * the streaming CSR edge-list reader must agree with the in-memory
+//!   adjacency reader on **every** input — well-formed, malformed, and
+//!   degenerate alike (same graph on success, same error message on failure);
+//! * union-find connectivity (the engine behind `algorithms::components` and
+//!   the comparison report) must match an independent BFS reference, on both
+//!   the adjacency graph and its CSR image.
+
+use proptest::prelude::*;
+
+use backboning_graph::algorithms::components::{component_count, largest_component_size};
+use backboning_graph::algorithms::union_find::UnionFind;
+use backboning_graph::io::{read_edge_list_csr_named, read_edge_list_named, EdgeListOptions};
+use backboning_graph::{CsrGraph, Direction, GraphView, WeightedGraph};
+
+const LABELS: [&str; 6] = ["alpha", "beta", "gamma", "delta", "epsilon", "zeta"];
+
+/// Strategy: raw edge-list text mixing valid weighted lines, weightless
+/// lines, duplicate edges (the same label pair recurs freely), comments,
+/// blank lines, malformed weights, and negative weights.
+fn edge_list_text() -> impl Strategy<Value = String> {
+    proptest::collection::vec(
+        ((0usize..8), (0usize..6), (0usize..6), 0.05f64..50.0),
+        0..40,
+    )
+    .prop_map(|lines| {
+        let mut text = String::new();
+        for (kind, a, b, weight) in lines {
+            let a = LABELS[a];
+            let b = LABELS[b];
+            match kind {
+                0..=2 => text.push_str(&format!("{a} {b} {weight}\n")),
+                3 => text.push_str(&format!("{a}\t{b}\n")),
+                4 => text.push_str("# interleaved comment\n"),
+                5 => text.push_str("   \n"),
+                6 => text.push_str(&format!("{a} {b} not-a-number\n")),
+                _ => text.push_str(&format!("{a} {b} -{weight}\n")),
+            }
+        }
+        text
+    })
+}
+
+/// Strategy: a small random graph of either direction with duplicate edges
+/// accumulated and isolated nodes possible (same shape as the core crate's
+/// parity harnesses).
+fn random_graph() -> impl Strategy<Value = WeightedGraph> {
+    (
+        proptest::collection::vec(((0usize..12), (0usize..12), 0.05f64..50.0), 0..60),
+        0usize..2,
+    )
+        .prop_map(|(edges, directed)| {
+            let direction = if directed == 0 {
+                Direction::Directed
+            } else {
+                Direction::Undirected
+            };
+            let mut graph = WeightedGraph::with_nodes(direction, 12);
+            for (source, target, weight) in edges {
+                if source != target {
+                    graph.add_edge(source, target, weight).unwrap();
+                }
+            }
+            graph
+        })
+}
+
+/// Independent reference: weak connectivity via BFS over an adjacency list
+/// built from scratch, ignoring edge direction.
+fn bfs_component_sizes<G: GraphView>(graph: &G) -> Vec<usize> {
+    let node_count = graph.node_count();
+    let mut neighbors = vec![Vec::new(); node_count];
+    for edge in graph.edges() {
+        neighbors[edge.source].push(edge.target);
+        neighbors[edge.target].push(edge.source);
+    }
+    let mut visited = vec![false; node_count];
+    let mut sizes = Vec::new();
+    for start in 0..node_count {
+        if visited[start] {
+            continue;
+        }
+        visited[start] = true;
+        let mut queue = std::collections::VecDeque::from([start]);
+        let mut size = 0usize;
+        while let Some(node) = queue.pop_front() {
+            size += 1;
+            for &next in &neighbors[node] {
+                if !visited[next] {
+                    visited[next] = true;
+                    queue.push_back(next);
+                }
+            }
+        }
+        sizes.push(size);
+    }
+    sizes
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Streaming CSR ingestion is a drop-in replacement for the adjacency
+    /// reader: identical graphs on success, identical diagnostics on failure.
+    #[test]
+    fn streaming_reader_matches_adjacency_reader(
+        (text, directed) in (edge_list_text(), 0usize..2)
+    ) {
+        let direction = if directed == 0 {
+            Direction::Directed
+        } else {
+            Direction::Undirected
+        };
+        let options = EdgeListOptions::with_direction(direction);
+        let adjacency = read_edge_list_named(text.as_bytes(), &options, "<prop>");
+        let streamed = read_edge_list_csr_named(text.as_bytes(), &options, "<prop>");
+        match (adjacency, streamed) {
+            (Ok(graph), Ok(csr)) => {
+                let compact = CsrGraph::from_graph(&graph).unwrap();
+                prop_assert!(
+                    compact == csr,
+                    "graphs differ for input {text:?} ({direction:?})"
+                );
+            }
+            (Err(expected), Err(got)) => {
+                prop_assert_eq!(expected.to_string(), got.to_string());
+            }
+            (adjacency, streamed) => prop_assert!(
+                false,
+                "readers disagree on success for {:?}: adjacency ok={}, streamed ok={}",
+                text,
+                adjacency.is_ok(),
+                streamed.is_ok()
+            ),
+        }
+    }
+
+    /// Union-find connectivity agrees with an independent BFS reference, and
+    /// is view-invariant: the CSR image reports the same components as the
+    /// adjacency graph it was built from.
+    #[test]
+    fn union_find_connectivity_matches_bfs(graph in random_graph()) {
+        let bfs_sizes = bfs_component_sizes(&graph);
+        let bfs_components = bfs_sizes.len();
+        let bfs_largest = bfs_sizes.iter().copied().max().unwrap_or(0);
+
+        prop_assert_eq!(component_count(&graph), bfs_components);
+        prop_assert_eq!(largest_component_size(&graph), bfs_largest);
+
+        // Raw union-find, driven the same way the comparison report drives it.
+        let mut union_find = UnionFind::new(graph.node_count());
+        for edge in graph.edges() {
+            union_find.union(edge.source, edge.target);
+        }
+        prop_assert_eq!(union_find.component_count(), bfs_components);
+
+        let csr = CsrGraph::from_graph(&graph).unwrap();
+        prop_assert_eq!(component_count(&csr), bfs_components);
+        prop_assert_eq!(largest_component_size(&csr), bfs_largest);
+    }
+}

@@ -17,8 +17,8 @@
 //!                                       │  http::read_request
 //!                                       ▼
 //!                                   router::handle ──▶ registry::Registry
-//!                                       │                 graphs: name → WeightedGraph
-//!                                       │                 cache:  (graph, method) → ScoredEdges
+//!                                       │                 graphs: name → CsrGraph (compact u32 core)
+//!                                       │                 cache:  (graph, method) → ScoredEdges (LRU)
 //!                                       ▼
 //!                            Pipeline::run_with_scores   (select only — scores reused)
 //! ```
@@ -33,16 +33,17 @@
 //!
 //! ```
 //! use backboning_server::{Server, ServerConfig};
-//! use backboning_graph::{Direction, WeightedGraph};
+//! use backboning_graph::io::{read_edge_list_csr_str, EdgeListOptions};
+//! use backboning_graph::Direction;
 //!
 //! let server = Server::bind(ServerConfig {
 //!     addr: "127.0.0.1:0".to_string(), // ephemeral port
 //!     ..ServerConfig::default()
 //! })
 //! .unwrap();
-//! let graph = WeightedGraph::from_labeled_edges(
-//!     Direction::Undirected,
-//!     vec![("a", "b", 2.0), ("b", "c", 1.0)],
+//! let graph = read_edge_list_csr_str(
+//!     "a b 2\nb c 1\n",
+//!     &EdgeListOptions::with_direction(Direction::Undirected),
 //! )
 //! .unwrap();
 //! server.registry().insert("tiny", graph).unwrap();

@@ -24,6 +24,14 @@
 //! queries for *other* methods or graphs proceed unhindered. Failed scoring
 //! attempts are cached too — a graph with no doubly-stochastic scaling
 //! answers every DS query with the same error without re-running Sinkhorn.
+//!
+//! Both caches are **LRU-bounded**: a `ScoredEdges` set of a million-edge
+//! [`CsrGraph`] is an order of magnitude larger than the graph itself, so
+//! at most `MAX_SCORED_METHODS` score sets (and `MAX_COMPARE_REPORTS`
+//! reports) are retained per graph, evicting the least-recently-used slot.
+//! Eviction is always safe: every cached value is a pure function of
+//! `(graph, key)`, so a re-scored response is byte-identical to the
+//! evicted one (pinned by the integration suite).
 
 use std::collections::{BTreeMap, HashMap};
 use std::path::Path;
@@ -32,8 +40,8 @@ use std::sync::{Arc, Mutex, OnceLock, RwLock};
 
 use backboning::error::BackboneError;
 use backboning::{Method, ScoredEdges};
-use backboning_graph::io::{read_edge_list_file, EdgeListOptions};
-use backboning_graph::WeightedGraph;
+use backboning_graph::io::{read_edge_list_csr_file, EdgeListOptions};
+use backboning_graph::CsrGraph;
 
 type ScoreSlot = Arc<OnceLock<Result<Arc<ScoredEdges>, BackboneError>>>;
 
@@ -43,46 +51,67 @@ type ScoreSlot = Arc<OnceLock<Result<Arc<ScoredEdges>, BackboneError>>>;
 /// sweeping parameters from growing it without limit.
 const MAX_COMPARE_REPORTS: usize = 32;
 
+/// Maximum number of scored-edge sets retained per graph. A score set
+/// carries several `f64` columns per edge, so on a multi-million-edge graph
+/// it dwarfs the CSR arrays themselves; bounding the per-graph set keeps a
+/// client sweeping methods from pinning `7 × O(E)` memory.
+const MAX_SCORED_METHODS: usize = 4;
+
 /// A named graph plus its per-method scored-edge cache and its comparison
 /// report cache.
 pub struct GraphEntry {
     name: String,
-    graph: WeightedGraph,
-    cache: Mutex<HashMap<&'static str, ScoreSlot>>,
-    compare_cache: Mutex<HashMap<String, Arc<str>>>,
+    graph: CsrGraph,
+    /// Logical clock driving both LRU caches: bumped on every cache touch,
+    /// so the entry with the smallest stamp is the least recently used.
+    clock: AtomicU64,
+    cache: Mutex<HashMap<&'static str, (u64, ScoreSlot)>>,
+    compare_cache: Mutex<HashMap<String, (u64, Arc<str>)>>,
 }
 
 impl GraphEntry {
-    fn new(name: String, graph: WeightedGraph) -> Self {
+    fn new(name: String, graph: CsrGraph) -> Self {
         GraphEntry {
             name,
             graph,
+            clock: AtomicU64::new(0),
             cache: Mutex::new(HashMap::new()),
             compare_cache: Mutex::new(HashMap::new()),
         }
     }
 
+    fn tick(&self) -> u64 {
+        self.clock.fetch_add(1, Ordering::Relaxed)
+    }
+
     /// The cached comparison report body for a canonical configuration key,
     /// if one was stored. Comparison reports are pure functions of
     /// `(graph, config)` — no wall times — so serving the stored bytes is
-    /// indistinguishable from recomputing them.
+    /// indistinguishable from recomputing them. A hit refreshes the entry's
+    /// LRU stamp.
     pub fn cached_compare(&self, key: &str) -> Option<Arc<str>> {
-        let cache = self.compare_cache.lock().unwrap_or_else(|e| e.into_inner());
-        cache.get(key).cloned()
+        let stamp = self.tick();
+        let mut cache = self.compare_cache.lock().unwrap_or_else(|e| e.into_inner());
+        cache.get_mut(key).map(|(used, body)| {
+            *used = stamp;
+            Arc::clone(body)
+        })
     }
 
     /// Store a comparison report body under its configuration key. The map
-    /// is bounded (`MAX_COMPARE_REPORTS`); when full it is cleared rather
-    /// than grown — recomputation is always correct, an unbounded map is
-    /// not. Concurrent first requests may both compute and store; the
-    /// bodies are byte-identical by construction, so last-write-wins is
-    /// harmless.
+    /// is bounded (`MAX_COMPARE_REPORTS`); storing past the bound evicts
+    /// the least-recently-used report rather than growing. Eviction is
+    /// lossless: the report is a pure function of `(graph, config)`, so a
+    /// recomputed body is byte-identical. Concurrent first requests may
+    /// both compute and store; last-write-wins is harmless for the same
+    /// reason.
     pub fn store_compare(&self, key: String, body: Arc<str>) {
+        let stamp = self.tick();
         let mut cache = self.compare_cache.lock().unwrap_or_else(|e| e.into_inner());
         if cache.len() >= MAX_COMPARE_REPORTS && !cache.contains_key(&key) {
-            cache.clear();
+            evict_least_recently_used(&mut cache);
         }
-        cache.insert(key, body);
+        cache.insert(key, (stamp, body));
     }
 
     /// The registry name of the graph.
@@ -90,8 +119,8 @@ impl GraphEntry {
         &self.name
     }
 
-    /// The graph itself.
-    pub fn graph(&self) -> &WeightedGraph {
+    /// The graph itself, in its compact CSR form.
+    pub fn graph(&self) -> &CsrGraph {
         &self.graph
     }
 
@@ -101,11 +130,22 @@ impl GraphEntry {
         let cache = self.cache.lock().unwrap_or_else(|e| e.into_inner());
         let mut names: Vec<&'static str> = cache
             .iter()
-            .filter(|(_, slot)| matches!(slot.get(), Some(Ok(_))))
+            .filter(|(_, (_, slot))| matches!(slot.get(), Some(Ok(_))))
             .map(|(name, _)| *name)
             .collect();
         names.sort_unstable();
         names
+    }
+}
+
+/// Remove the entry with the smallest LRU stamp from a bounded cache map.
+fn evict_least_recently_used<K: Clone + std::hash::Hash + Eq, V>(map: &mut HashMap<K, (u64, V)>) {
+    if let Some(oldest) = map
+        .iter()
+        .min_by_key(|(_, (used, _))| *used)
+        .map(|(key, _)| key.clone())
+    {
+        map.remove(&oldest);
     }
 }
 
@@ -181,7 +221,10 @@ impl Registry {
             if path.extension().and_then(|e| e.to_str()) == Some("csv") {
                 file_options.separator = Some(',');
             }
-            let graph = read_edge_list_file(&path, &file_options).map_err(|e| e.to_string())?;
+            // Stream straight into the CSR builder — no adjacency-map
+            // intermediate, so startup memory is the CSR arrays plus one
+            // line buffer even for multi-million-edge files.
+            let graph = read_edge_list_csr_file(&path, &file_options).map_err(|e| e.to_string())?;
             self.insert(&name, graph)?;
             loaded.push(name);
         }
@@ -190,7 +233,7 @@ impl Registry {
 
     /// Register `graph` under `name`, replacing any previous graph of that
     /// name (and dropping its cache). Rejects invalid names.
-    pub fn insert(&self, name: &str, graph: WeightedGraph) -> Result<Arc<GraphEntry>, String> {
+    pub fn insert(&self, name: &str, graph: CsrGraph) -> Result<Arc<GraphEntry>, String> {
         if !valid_graph_name(name) {
             return Err(format!(
                 "invalid graph name `{name}` (1-{MAX_NAME_LEN} characters from [A-Za-z0-9._-], not starting with a dot)"
@@ -228,15 +271,24 @@ impl Registry {
 
     /// The scored edges of `entry` under `method`, from the cache when
     /// present, scoring (once, with concurrent callers blocking on the same
-    /// pass) when not.
+    /// pass) when not. At most `MAX_SCORED_METHODS` score sets are
+    /// retained per graph; a lookup past the bound evicts the
+    /// least-recently-used method's slot (whose scores are recomputed —
+    /// bit-identically — if it is ever asked for again).
     pub fn scored(
         &self,
         entry: &GraphEntry,
         method: Method,
     ) -> Result<Arc<ScoredEdges>, BackboneError> {
+        let stamp = entry.tick();
         let slot = {
             let mut cache = entry.cache.lock().unwrap_or_else(|e| e.into_inner());
-            Arc::clone(cache.entry(method.cli_name()).or_default())
+            if cache.len() >= MAX_SCORED_METHODS && !cache.contains_key(method.cli_name()) {
+                evict_least_recently_used(&mut cache);
+            }
+            let (used, slot) = cache.entry(method.cli_name()).or_default();
+            *used = stamp;
+            Arc::clone(slot)
         };
         let mut computed_here = false;
         let result = slot.get_or_init(|| {
@@ -266,14 +318,15 @@ impl Registry {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use backboning_graph::Direction;
+    use backboning_graph::{Direction, WeightedGraph};
 
-    fn sample_graph() -> WeightedGraph {
-        WeightedGraph::from_labeled_edges(
+    fn sample_graph() -> CsrGraph {
+        let graph = WeightedGraph::from_labeled_edges(
             Direction::Undirected,
             vec![("a", "b", 4.0), ("b", "c", 3.0), ("c", "a", 2.0)],
         )
-        .unwrap()
+        .unwrap();
+        CsrGraph::from_graph(&graph).unwrap()
     }
 
     #[test]
@@ -336,27 +389,61 @@ mod tests {
     }
 
     #[test]
-    fn compare_reports_are_cached_and_bounded() {
+    fn compare_reports_are_cached_and_lru_bounded() {
         let registry = Registry::new(1);
         let entry = registry.insert("g", sample_graph()).unwrap();
         assert!(entry.cached_compare("key").is_none());
         entry.store_compare("key".to_string(), Arc::from("{}"));
         assert_eq!(entry.cached_compare("key").as_deref(), Some("{}"));
 
-        // Filling the map up to the bound keeps everything; the store that
-        // would exceed it clears the map instead of growing it.
+        // Filling the map up to the bound keeps everything.
         for index in 0..MAX_COMPARE_REPORTS - 1 {
             entry.store_compare(format!("filler-{index}"), Arc::from("{}"));
         }
+        assert!(entry.cached_compare("filler-1").is_some());
+        // "key" was just touched above, so the store past the bound evicts
+        // the least-recently-used entry — filler-0 — and nothing else.
+        assert!(entry.cached_compare("key").is_some());
+        entry.store_compare("one-too-many".to_string(), Arc::from("{}"));
+        assert!(entry.cached_compare("filler-0").is_none());
         assert!(entry.cached_compare("key").is_some());
         assert!(entry.cached_compare("filler-1").is_some());
-        entry.store_compare("one-too-many".to_string(), Arc::from("{}"));
-        assert!(entry.cached_compare("filler-1").is_none());
         assert!(entry.cached_compare("one-too-many").is_some());
 
         // Re-inserting the graph drops the report cache with the entry.
         let replacement = registry.insert("g", sample_graph()).unwrap();
         assert!(replacement.cached_compare("key").is_none());
+    }
+
+    #[test]
+    fn score_cache_evicts_least_recently_used_method() {
+        let registry = Registry::new(1);
+        let entry = registry.insert("g", sample_graph()).unwrap();
+        let methods = [
+            Method::NoiseCorrected,
+            Method::DisparityFilter,
+            Method::NaiveThreshold,
+            Method::MaximumSpanningTree,
+        ];
+        assert_eq!(methods.len(), MAX_SCORED_METHODS);
+        let first = registry.scored(&entry, methods[0]).unwrap();
+        for &method in &methods[1..] {
+            registry.scored(&entry, method).unwrap();
+        }
+        assert_eq!(entry.cached_methods().len(), MAX_SCORED_METHODS);
+
+        // A fifth method evicts the least-recently-used slot (nc).
+        registry
+            .scored(&entry, Method::HighSalienceSkeleton)
+            .unwrap();
+        assert_eq!(entry.cached_methods().len(), MAX_SCORED_METHODS);
+        assert!(!entry.cached_methods().contains(&"nc"));
+
+        // Re-scoring the evicted method is a fresh pass with bit-identical
+        // results — eviction is lossless.
+        let rescored = registry.scored(&entry, methods[0]).unwrap();
+        assert!(!Arc::ptr_eq(&first, &rescored), "a fresh scoring pass ran");
+        assert_eq!(first.scores(), rescored.scores());
     }
 
     #[test]

@@ -36,7 +36,7 @@ use std::sync::Arc;
 use backboning::json::{self, JsonArray, JsonObject};
 use backboning::{Method, Pipeline, PipelineRun, ThresholdPolicy};
 use backboning_eval::comparison;
-use backboning_graph::io::read_edge_list_named;
+use backboning_graph::io::read_edge_list_csr_named;
 use backboning_graph::Direction;
 
 use crate::http::{Request, Response};
@@ -152,7 +152,9 @@ fn upload_graph(registry: &Registry, name: &str, request: &Request) -> Response 
         }
     }
     let source_name = format!("<upload {name}>");
-    let graph = match read_edge_list_named(request.body.as_slice(), &options, &source_name) {
+    // Uploads stream straight into the CSR builder; oversized inputs (past
+    // the u32 node/offset range) surface as a structured 400, not a panic.
+    let graph = match read_edge_list_csr_named(request.body.as_slice(), &options, &source_name) {
         Ok(graph) => graph,
         Err(err) => return Response::error(400, &err.to_string()),
     };

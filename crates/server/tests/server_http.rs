@@ -10,15 +10,16 @@ use std::io::{Read, Write};
 use std::net::TcpStream;
 use std::path::PathBuf;
 
-use backboning_graph::io::{read_edge_list_file, EdgeListOptions};
-use backboning_graph::{Direction, WeightedGraph};
+use backboning_graph::io::{read_edge_list_csr_file, EdgeListOptions};
+use backboning_graph::{CsrGraph, Direction};
 use backboning_server::{Server, ServerConfig};
 
-/// The bundled example network from `docs/GUIDE.md` (8 nodes, 28 edges).
-fn trade_graph() -> WeightedGraph {
+/// The bundled example network from `docs/GUIDE.md` (8 nodes, 28 edges),
+/// streamed into the compact CSR form the registry stores.
+fn trade_graph() -> CsrGraph {
     let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../docs/examples/trade.tsv");
     let options = EdgeListOptions::with_direction(Direction::Undirected);
-    read_edge_list_file(&path, &options).expect("bundled example edge list parses")
+    read_edge_list_csr_file(&path, &options).expect("bundled example edge list parses")
 }
 
 /// Bind a fresh server on an ephemeral port with the trade graph loaded.
@@ -290,6 +291,46 @@ fn cached_responses_are_byte_identical_to_cold() {
             assert_eq!(warm, cold, "{query}: cached bytes differ from cold");
         }
     }
+    server.shutdown();
+}
+
+/// The scored-edge cache is LRU-bounded (4 methods per graph): sweeping
+/// more methods than the bound evicts the oldest slot, and re-querying the
+/// evicted method re-scores to byte-identical bytes — eviction is lossless.
+#[test]
+fn evicted_scores_recompute_byte_identically() {
+    let server = trade_server(1);
+    let query = "/graphs/trade/backbone?method=nc&top_share=0.3&output=scores";
+    let (status, cold) = get(&server, query);
+    assert_eq!(status, 200);
+
+    // Score four other methods: nc is now the least recently used of five
+    // candidates and must have been evicted.
+    for method in ["df", "hss", "mst", "naive"] {
+        let (status, _) = get(
+            &server,
+            &format!("/graphs/trade/backbone?method={method}&top_k=5"),
+        );
+        assert_eq!(status, 200, "{method}");
+    }
+    let entry = server.registry().get("trade").expect("registered graph");
+    assert!(
+        !entry.cached_methods().contains(&"nc"),
+        "nc evicted after sweeping past the cache bound, got {:?}",
+        entry.cached_methods()
+    );
+
+    // The re-score pays a cache miss but serves the same bytes.
+    let (_, misses_before) = server.registry().cache_stats();
+    let (status, warm) = get(&server, query);
+    assert_eq!(status, 200);
+    assert_eq!(warm, cold, "re-scored response differs from the cold bytes");
+    let (_, misses_after) = server.registry().cache_stats();
+    assert_eq!(
+        misses_after,
+        misses_before + 1,
+        "eviction forced a re-score"
+    );
     server.shutdown();
 }
 
