@@ -36,6 +36,13 @@ SMOKE_SUMMARY=$(timeout 180 ./target/release/backbone --method nc --top-share 0.
     --undirected -o summary "$SMOKE_TSV")
 echo "$SMOKE_SUMMARY" | grep -q '"nodes": 100000'
 echo "$SMOKE_SUMMARY" | grep -q '"method": "nc"'
+
+# hss-approx smoke: the sampled-root estimator serves the same 100k
+# substrate inside the same budget (256 roots, default seed).
+SMOKE_HSSA=$(timeout 180 ./target/release/backbone --method hss-approx --hss-roots 256 \
+    --top-share 0.05 --undirected -o summary "$SMOKE_TSV")
+echo "$SMOKE_HSSA" | grep -q '"method": "hss-approx"'
+echo "$SMOKE_HSSA" | grep -q '"hss_roots": 256'
 cleanup_smoke
 trap - EXIT
 
@@ -69,14 +76,17 @@ echo "$SUMMARY" | grep -q '"graph": "trade"'
 SUMMARY_CACHED=$(curl -sf "${SERVE_URL}/graphs/trade/backbone?method=nc&top_share=0.2&output=summary")
 [ "$SUMMARY" = "$SUMMARY_CACHED" ]
 
-# Compare smoke: the CLI's stable JSON report and the server's /compare
-# route must emit byte-identical documents, cold and from cache.
+# Compare smoke: the CLI's JSON report minus its per-method score_wall_ms
+# timing (the one run-dependent field) and the server's /compare route must
+# emit byte-identical documents, cold and from cache.
 COMPARE_CLI=$(./target/release/backbone compare --methods nc,df,hss \
     --top-share 0.1 --undirected -o json docs/examples/trade.tsv)
 echo "$COMPARE_CLI" | grep -q '"matched_edges": 3'
 echo "$COMPARE_CLI" | grep -q '"noise_stability"'
+echo "$COMPARE_CLI" | grep -q '"score_wall_ms"'
+COMPARE_CLI_STABLE=$(echo "$COMPARE_CLI" | sed 's/, "score_wall_ms": [0-9.]*//g')
 COMPARE_SERVER=$(curl -sf "${SERVE_URL}/graphs/trade/compare")
-[ "$COMPARE_CLI" = "$COMPARE_SERVER" ]
+[ "$COMPARE_CLI_STABLE" = "$COMPARE_SERVER" ]
 COMPARE_CACHED=$(curl -sf "${SERVE_URL}/graphs/trade/compare")
 [ "$COMPARE_SERVER" = "$COMPARE_CACHED" ]
 

@@ -36,6 +36,15 @@
 //! memory high-water mark (`VmHWM`) alongside each median. The substrates
 //! run smallest-first, so each entry's HWM bounds that substrate's peak.
 //!
+//! Since PR 7 the scalable-method set includes the sampled-root `hss-approx`
+//! estimator, so the large substrates carry approximate-HSS rows, and a
+//! dedicated `hss` section records (a) the estimator's max per-edge
+//! deviation from exact HSS on the 2k substrates next to its 95% Hoeffding
+//! union bound, and (b) exact HSS timed at 100k on the unit-weight BA
+//! substrate under `BENCH_SCALE=full` — with explicit `"skipped": true`
+//! markers where the exact skeleton is deliberately not run. Every
+//! `large_substrates` row now also reports its resolved worker count.
+//!
 //! Environment: `BENCH_RUNS` (default 3) timed runs per entry, median
 //! reported; `BENCH_SCALE=full` adds the million-node substrates;
 //! `BACKBONING_THREADS` steers the auto-threaded entries.
@@ -106,6 +115,8 @@ struct LargeEntry {
     edges: usize,
     /// Bytes of the flat CSR arrays (offsets, targets, edge ids, weights).
     graph_mib: f64,
+    /// The resolved worker count the scoring pass actually used.
+    threads: usize,
     median_ms: f64,
     edges_per_sec: f64,
     /// Process `VmHWM` after this measurement, in MiB. The kernel counter
@@ -131,14 +142,23 @@ fn peak_rss_mib() -> f64 {
 }
 
 /// Score every scalable method on one large CSR substrate, recording the
-/// memory high-water mark after each timed run.
+/// resolved worker count and the memory high-water mark after each timed
+/// run.
 fn measure_large(
     entries: &mut Vec<LargeEntry>,
     substrate: &'static str,
     graph: &CsrGraph,
     runs: usize,
+    default_threads: usize,
 ) {
     for method in Method::scalable() {
+        // NT and MST are single sequential passes regardless of the
+        // engine's worker count; the statistical methods auto-thread.
+        let threads = if method.is_parameter_free() || method == Method::NaiveThreshold {
+            1
+        } else {
+            default_threads
+        };
         let median_ms = timed_runs(runs, || {
             let _ = method.score(graph);
         });
@@ -148,6 +168,7 @@ fn measure_large(
             nodes: graph.node_count(),
             edges: graph.edge_count(),
             graph_mib: graph.memory_bytes() as f64 / (1024.0 * 1024.0),
+            threads,
             median_ms,
             edges_per_sec: graph.edge_count() as f64 / (median_ms / 1e3),
             peak_rss_mib: peak_rss_mib(),
@@ -267,6 +288,59 @@ fn measure_server(runs: usize, graph: &WeightedGraph) -> (Vec<ServerQuery>, f64)
     (queries, concurrent_rps)
 }
 
+/// Empirical accuracy of the sampled-root HSS estimator on one substrate
+/// where the exact skeleton is affordable: the maximum per-edge absolute
+/// deviation between `hss-approx` (at its default roots/seed) and exact
+/// HSS, next to the Hoeffding bounds it is supposed to respect.
+struct HssDeviation {
+    substrate: &'static str,
+    edges: usize,
+    max_abs_deviation: f64,
+    union_bound_95: f64,
+}
+
+/// Exact HSS timed at scale — or an explicit skip marker, so a missing
+/// number in the snapshot reads as a decision, not an oversight.
+enum HssAtScale {
+    Measured {
+        substrate: &'static str,
+        threads: usize,
+        median_ms: f64,
+        peak_rss_mib: f64,
+    },
+    Skipped {
+        substrate: &'static str,
+        reason: &'static str,
+    },
+}
+
+/// Max per-edge |approx − exact| of the default hss-approx configuration.
+fn measure_hss_deviation(substrate: &'static str, graph: &WeightedGraph) -> HssDeviation {
+    let Method::HssApprox { roots, seed } = Method::hss_approx_default() else {
+        unreachable!("hss_approx_default is the sampled variant");
+    };
+    let hss = HighSalienceSkeleton::new();
+    let exact = hss.score_with_threads(graph, 0).expect("exact HSS scores");
+    let approx = hss
+        .score_sampled_with_threads(graph, roots, seed, 0)
+        .expect("sampled HSS scores");
+    let max_abs_deviation = exact
+        .iter()
+        .zip(approx.iter())
+        .map(|(a, b)| (a.score - b.score).abs())
+        .fold(0.0, f64::max);
+    HssDeviation {
+        substrate,
+        edges: graph.edge_count(),
+        max_abs_deviation,
+        union_bound_95: backboning::high_salience::max_salience_error_bound(
+            roots,
+            graph.edge_count(),
+            0.95,
+        ),
+    }
+}
+
 /// Timings of the `backbone compare` evaluation engine on one substrate,
 /// with the configuration labels derived from the config that actually ran.
 struct CompareTimings {
@@ -332,6 +406,7 @@ fn measure_compare(runs: usize, graph: &WeightedGraph) -> CompareTimings {
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn render_json(
     default_threads: usize,
     entries: &[Entry],
@@ -340,6 +415,8 @@ fn render_json(
     server_queries: &[ServerQuery],
     concurrent_rps: f64,
     compare: &CompareTimings,
+    hss_deviation: &[HssDeviation],
+    hss_at_scale: &[HssAtScale],
 ) -> String {
     let mut json = String::from("{\n");
     json.push_str(&format!("  \"default_threads\": {default_threads},\n"));
@@ -361,13 +438,14 @@ fn render_json(
         let comma = if index + 1 < large.len() { "," } else { "" };
         json.push_str(&format!(
             "    {{\"method\": \"{}\", \"substrate\": \"{}\", \"nodes\": {}, \"edges\": {}, \
-             \"csr_mib\": {:.1}, \"median_ms\": {:.3}, \"edges_per_sec\": {:.1}, \
-             \"peak_rss_mib\": {:.1}}}{}\n",
+             \"csr_mib\": {:.1}, \"threads\": {}, \"median_ms\": {:.3}, \
+             \"edges_per_sec\": {:.1}, \"peak_rss_mib\": {:.1}}}{}\n",
             e.method,
             e.substrate,
             e.nodes,
             e.edges,
             e.graph_mib,
+            e.threads,
             e.median_ms,
             e.edges_per_sec,
             e.peak_rss_mib,
@@ -415,6 +493,62 @@ fn render_json(
         compare.cached_scores_ms,
         compare.cold_ms / compare.cached_scores_ms
     ));
+    json.push_str("  },\n");
+
+    let Method::HssApprox { roots, seed } = Method::hss_approx_default() else {
+        unreachable!("hss_approx_default is the sampled variant");
+    };
+    json.push_str("  \"hss\": {\n");
+    json.push_str(&format!(
+        "    \"approx_roots\": {roots}, \"approx_seed\": {seed},\n"
+    ));
+    json.push_str(&format!(
+        "    \"per_edge_error_bound_95\": {:.6},\n",
+        backboning::high_salience::salience_error_bound(roots, 0.95)
+    ));
+    json.push_str("    \"deviation_vs_exact\": [\n");
+    for (index, d) in hss_deviation.iter().enumerate() {
+        let comma = if index + 1 < hss_deviation.len() {
+            ","
+        } else {
+            ""
+        };
+        json.push_str(&format!(
+            "      {{\"substrate\": \"{}\", \"edges\": {}, \"max_abs_deviation\": {:.6}, \
+             \"union_bound_95\": {:.6}, \"within_union_bound\": {}}}{}\n",
+            d.substrate,
+            d.edges,
+            d.max_abs_deviation,
+            d.union_bound_95,
+            d.max_abs_deviation <= d.union_bound_95,
+            comma
+        ));
+    }
+    json.push_str("    ],\n");
+    json.push_str("    \"exact_at_scale\": [\n");
+    for (index, e) in hss_at_scale.iter().enumerate() {
+        let comma = if index + 1 < hss_at_scale.len() {
+            ","
+        } else {
+            ""
+        };
+        match e {
+            HssAtScale::Measured {
+                substrate,
+                threads,
+                median_ms,
+                peak_rss_mib,
+            } => json.push_str(&format!(
+                "      {{\"substrate\": \"{substrate}\", \"threads\": {threads}, \
+                 \"median_ms\": {median_ms:.3}, \"peak_rss_mib\": {peak_rss_mib:.1}}}{comma}\n"
+            )),
+            HssAtScale::Skipped { substrate, reason } => json.push_str(&format!(
+                "      {{\"substrate\": \"{substrate}\", \"skipped\": true, \
+                 \"reason\": \"{reason}\"}}{comma}\n"
+            )),
+        }
+    }
+    json.push_str("    ]\n");
     json.push_str("  }\n}\n");
     json
 }
@@ -485,29 +619,61 @@ fn main() {
     let (server_queries, concurrent_rps) = measure_server(runs, &ba_2000);
     let compare = measure_compare(runs, &er_2000);
 
+    // Sampled-root accuracy: on the 2k substrates the exact skeleton is
+    // affordable, so the estimator's worst per-edge deviation can be put
+    // next to its Hoeffding bound.
+    let hss_deviation = vec![
+        measure_hss_deviation("ba_2000", &ba_2000),
+        measure_hss_deviation("er_2000", &er_2000),
+    ];
+
     // Large CSR substrates, smallest first (VmHWM is monotone). The
     // million-node pair only runs under BENCH_SCALE=full — that mode
     // produces the committed BENCH_backbones.json; the default keeps CI
     // within its smoke budget.
     let full_scale = std::env::var("BENCH_SCALE").as_deref() == Ok("full");
     let mut large = Vec::new();
+    let mut hss_at_scale = Vec::new();
     {
         let ba_100k = barabasi_albert_csr(100_000, 3, 4242).expect("valid BA parameters");
-        measure_large(&mut large, "ba_100k", &ba_100k, runs);
+        measure_large(&mut large, "ba_100k", &ba_100k, runs, default_threads);
+        // Exact HSS is feasible at 100k on the unit-weight BA substrate
+        // (the batched-BFS path), but only inside the full-scale budget.
+        if full_scale {
+            let hss = HighSalienceSkeleton::new();
+            let median_ms = timed_runs(1, || {
+                let _ = hss.score_with_threads(&ba_100k, 0);
+            });
+            hss_at_scale.push(HssAtScale::Measured {
+                substrate: "ba_100k",
+                threads: default_threads,
+                median_ms,
+                peak_rss_mib: peak_rss_mib(),
+            });
+        } else {
+            hss_at_scale.push(HssAtScale::Skipped {
+                substrate: "ba_100k",
+                reason: "exact HSS at 100k runs only under BENCH_SCALE=full",
+            });
+        }
     }
     {
         let er_100k = erdos_renyi_csr(100_000, 300_000, 10.0, Direction::Undirected, 99)
             .expect("valid ER parameters");
-        measure_large(&mut large, "er_100k", &er_100k, runs);
+        measure_large(&mut large, "er_100k", &er_100k, runs, default_threads);
+        hss_at_scale.push(HssAtScale::Skipped {
+            substrate: "er_100k",
+            reason: "weighted substrate: 100k exact per-root SSSP is out of budget; use hss-approx",
+        });
     }
     if full_scale {
         {
             let ba_1m = barabasi_albert_csr(1_000_000, 3, 4242).expect("valid BA parameters");
-            measure_large(&mut large, "ba_1m", &ba_1m, 1);
+            measure_large(&mut large, "ba_1m", &ba_1m, 1, default_threads);
         }
         let er_1m = erdos_renyi_csr(1_000_000, 10_000_000, 10.0, Direction::Undirected, 99)
             .expect("valid ER parameters");
-        measure_large(&mut large, "er_1m", &er_1m, 1);
+        measure_large(&mut large, "er_1m", &er_1m, 1, default_threads);
     }
 
     let json = render_json(
@@ -518,6 +684,8 @@ fn main() {
         &server_queries,
         concurrent_rps,
         &compare,
+        &hss_deviation,
+        &hss_at_scale,
     );
     // Resolved at runtime (ci.sh runs from the repo root); override with
     // BENCH_SNAPSHOT_PATH when invoking from elsewhere.
@@ -531,6 +699,45 @@ fn main() {
         println!(
             "server ba_2000 {}: cached query vs pipeline from scratch = {:.1}x (target >= 10x)",
             q.method, q.speedup_cached_vs_scratch
+        );
+    }
+    if let Some(exact_hss) = entries
+        .iter()
+        .find(|e| e.method == "HSS" && e.substrate == "ba_2000")
+    {
+        println!(
+            "exact HSS ba_2000: {:.1} ms (target <= 86.4 ms, half the 172.8 ms seed-era median)",
+            exact_hss.median_ms
+        );
+    }
+    let large_median = |method: &str, substrate: &str| {
+        large
+            .iter()
+            .find(|e| e.method == method && e.substrate == substrate)
+            .map(|e| e.median_ms)
+    };
+    if let (Some(approx), Some(nc)) = (
+        large_median("HSSA", "ba_100k"),
+        large_median("NC", "ba_100k"),
+    ) {
+        println!(
+            "hss-approx ba_100k: {:.1} ms = {:.1}x NC's {:.1} ms (target <= 10x)",
+            approx,
+            approx / nc,
+            nc
+        );
+    }
+    for d in &hss_deviation {
+        println!(
+            "hss-approx {}: max per-edge deviation {:.4} vs 95% union bound {:.4} ({})",
+            d.substrate,
+            d.max_abs_deviation,
+            d.union_bound_95,
+            if d.max_abs_deviation <= d.union_bound_95 {
+                "within bound"
+            } else {
+                "EXCEEDS bound"
+            }
         );
     }
     println!("snapshot written to {path}");

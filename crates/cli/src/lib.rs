@@ -49,13 +49,23 @@ INPUT:
     line), or `-` for stdin (the default). Input is streamed line by line.
 
 METHOD (-m, --method):
-    nc      Noise-Corrected backbone (the paper's contribution)
-    ncb     Noise-Corrected, direct binomial p-values
-    df      Disparity Filter (Serrano et al. 2009)
-    hss     High Salience Skeleton (Grady et al. 2012)
-    ds      Doubly Stochastic (Slater 2009; parameter-free)
-    mst     Maximum Spanning Tree (parameter-free)
-    naive   Naive weight threshold
+    nc          Noise-Corrected backbone (the paper's contribution)
+    ncb         Noise-Corrected, direct binomial p-values
+    df          Disparity Filter (Serrano et al. 2009)
+    hss         High Salience Skeleton (Grady et al. 2012)
+    hss-approx  HSS estimated from K sampled roots (see --hss-roots); scales
+                to networks where exact hss is infeasible
+    ds          Doubly Stochastic (Slater 2009; parameter-free)
+    mst         Maximum Spanning Tree (parameter-free)
+    naive       Naive weight threshold
+
+HSS-APPROX OPTIONS (with --method hss-approx, or compare --methods lists
+containing it; rejected otherwise):
+    --hss-roots <K>        sampled shortest-path-tree roots (default 256);
+                           per-edge salience error ≤ sqrt(ln(2/α)/(2K)) with
+                           probability 1−α, and K ≥ |V| is exactly hss
+    --hss-seed <N>         root-sampling seed (default 4242); a fixed
+                           (roots, seed) pair is fully deterministic
 
 POLICY (exactly one):
     --threshold <SCORE>    keep edges with score ≥ SCORE (the method's natural
@@ -102,10 +112,12 @@ COMPARE MODE:
                            stability metric (default 8)
     --seed <N>             base seed of the noise resamples (default 4242)
     -o, --output <KIND>    table  human-readable comparison tables (default)
-                           json   the stable JSON report (same bytes as the
-                                  server's /graphs/NAME/compare route)
+                           json   the JSON report: the stable report of the
+                                  server's /graphs/NAME/compare route plus a
+                                  per-method score_wall_ms timing field
     --threads <N>          worker threads (default: auto)
-    The INPUT FORMAT flags above apply; INPUT defaults to stdin.
+    The INPUT FORMAT and HSS-APPROX flags above apply; INPUT defaults to
+    stdin.
 
 SERVE MODE:
     backbone serve [--addr HOST:PORT] [--graphs DIR] [OPTIONS]
@@ -258,6 +270,27 @@ fn apply_format_flag(
     Ok(true)
 }
 
+/// Patch `--hss-roots` / `--hss-seed` overrides onto an `hss-approx` method.
+///
+/// The flags are rejected for any other method instead of being silently
+/// ignored.
+fn apply_hss_params(
+    method: Method,
+    hss_roots: Option<usize>,
+    hss_seed: Option<u64>,
+) -> Result<Method, UsageError> {
+    match method {
+        Method::HssApprox { roots, seed } => Ok(Method::HssApprox {
+            roots: hss_roots.unwrap_or(roots),
+            seed: hss_seed.unwrap_or(seed),
+        }),
+        _ if hss_roots.is_some() || hss_seed.is_some() => Err(usage_error(
+            "--hss-roots/--hss-seed apply only to the hss-approx method",
+        )),
+        _ => Ok(method),
+    }
+}
+
 /// Parse the flags of `backbone serve …` (after the `serve` word).
 fn parse_serve_args(mut args: impl Iterator<Item = String>) -> Result<Command, UsageError> {
     let mut config = backboning_server::ServerConfig::default();
@@ -298,6 +331,8 @@ fn parse_compare_args(mut args: impl Iterator<Item = String>) -> Result<Command,
         output: CompareOutputKind::Table,
     };
     let mut explicit_stdin = false;
+    let mut hss_roots: Option<usize> = None;
+    let mut hss_seed: Option<u64> = None;
     while let Some(arg) = args.next() {
         if matches!(arg.as_str(), "-h" | "--help") {
             return Ok(Command::Help);
@@ -320,6 +355,8 @@ fn parse_compare_args(mut args: impl Iterator<Item = String>) -> Result<Command,
                 config.comparison.noise_resamples = parse_number(&arg, &value_for(&arg)?)?;
             }
             "--seed" => config.comparison.seed = parse_number(&arg, &value_for(&arg)?)?,
+            "--hss-roots" => hss_roots = Some(parse_number(&arg, &value_for(&arg)?)?),
+            "--hss-seed" => hss_seed = Some(parse_number(&arg, &value_for(&arg)?)?),
             "--threads" => config.comparison.threads = parse_number(&arg, &value_for(&arg)?)?,
             "-o" | "--output" => {
                 let kind = value_for(&arg)?;
@@ -354,6 +391,23 @@ fn parse_compare_args(mut args: impl Iterator<Item = String>) -> Result<Command,
             }
         }
     }
+    if hss_roots.is_some() || hss_seed.is_some() {
+        if !config
+            .comparison
+            .methods
+            .iter()
+            .any(|m| matches!(m, Method::HssApprox { .. }))
+        {
+            return Err(usage_error(
+                "--hss-roots/--hss-seed apply only when --methods includes hss-approx",
+            ));
+        }
+        for method in &mut config.comparison.methods {
+            if matches!(method, Method::HssApprox { .. }) {
+                *method = apply_hss_params(*method, hss_roots, hss_seed)?;
+            }
+        }
+    }
     Ok(Command::Compare(config))
 }
 
@@ -378,6 +432,8 @@ where
     let mut options = EdgeListOptions::default();
     let mut output = OutputKind::Backbone;
     let mut threads = 0usize;
+    let mut hss_roots: Option<usize> = None;
+    let mut hss_seed: Option<u64> = None;
 
     let set_policy = |new: ThresholdPolicy, existing: &mut Option<ThresholdPolicy>| {
         if existing.is_some() {
@@ -403,10 +459,13 @@ where
                 let name = value_for(&arg)?;
                 method = Some(Method::parse(&name).ok_or_else(|| {
                     usage_error(format!(
-                        "unknown method `{name}` (expected one of: nc, ncb, df, hss, ds, mst, naive)"
+                        "unknown method `{name}` (expected one of: nc, ncb, df, hss, \
+                         hss-approx, ds, mst, naive)"
                     ))
                 })?);
             }
+            "--hss-roots" => hss_roots = Some(parse_number(&arg, &value_for(&arg)?)?),
+            "--hss-seed" => hss_seed = Some(parse_number(&arg, &value_for(&arg)?)?),
             "--threshold" => {
                 let v: f64 = parse_number(&arg, &value_for(&arg)?)?;
                 set_policy(ThresholdPolicy::Score(v), &mut policy)?;
@@ -461,6 +520,7 @@ where
     }
 
     let method = method.ok_or_else(|| usage_error("--method is required"))?;
+    let method = apply_hss_params(method, hss_roots, hss_seed)?;
     let policy = policy.ok_or_else(|| {
         usage_error("a policy flag (--threshold, --top-k, --top-share or --coverage) is required")
     })?;
@@ -608,6 +668,54 @@ mod tests {
     }
 
     #[test]
+    fn hss_approx_flags_parse_and_are_scoped() {
+        // Defaults without overrides.
+        let parsed = config(&["--method", "hss-approx", "--top-k", "5"]);
+        assert_eq!(parsed.method, Method::hss_approx_default());
+        // Explicit overrides.
+        let parsed = config(&[
+            "--method",
+            "hss-approx",
+            "--hss-roots",
+            "128",
+            "--hss-seed",
+            "9",
+            "--top-k",
+            "5",
+        ]);
+        assert_eq!(
+            parsed.method,
+            Method::HssApprox {
+                roots: 128,
+                seed: 9
+            }
+        );
+        // Flag order does not matter: overrides before --method still apply.
+        let parsed = config(&["--hss-roots", "64", "-m", "hss-approx", "--top-k", "1"]);
+        assert_eq!(
+            parsed.method,
+            Method::HssApprox {
+                roots: 64,
+                seed: 4242
+            }
+        );
+        // The flags are rejected for other methods instead of being ignored.
+        let err = parse(&["-m", "nc", "--hss-roots", "64", "--top-k", "1"]).unwrap_err();
+        assert!(err.0.contains("hss-approx"), "{}", err.0);
+
+        // Compare mode: overrides patch every hss-approx in the list…
+        let compare =
+            compare_config(&["compare", "--methods", "nc,hss-approx", "--hss-roots", "32"]);
+        assert!(compare.comparison.methods.contains(&Method::HssApprox {
+            roots: 32,
+            seed: 4242
+        }));
+        // …and error when the list has none.
+        let err = parse(&["compare", "--methods", "nc,df", "--hss-seed", "1"]).unwrap_err();
+        assert!(err.0.contains("hss-approx"), "{}", err.0);
+    }
+
+    #[test]
     fn each_policy_flag_maps_to_its_policy() {
         assert_eq!(
             config(&["-m", "nc", "--threshold", "1.64"]).policy,
@@ -741,6 +849,8 @@ mod tests {
         assert!(json.contains("\"matched_edges\": 2"), "{json}");
         assert!(json.contains("\"method\": \"naive\""));
         assert!(json.contains("\"jaccard\""));
+        // The CLI's JSON is the timed rendering: one score_wall_ms per method.
+        assert_eq!(json.matches("\"score_wall_ms\"").count(), 2, "{json}");
         assert!(json.ends_with('\n'));
 
         let mut table_config = config.clone();
@@ -749,6 +859,7 @@ mod tests {
         execute_compare(&table_config, &mut table_out).unwrap();
         let table = String::from_utf8(table_out).unwrap();
         assert!(table.contains("Pairwise Jaccard agreement"), "{table}");
+        assert!(table.contains("score ms"), "{table}");
         std::fs::remove_file(&path).unwrap();
     }
 

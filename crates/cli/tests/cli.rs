@@ -239,16 +239,39 @@ fn compare_emits_tables_and_stable_json() {
     let first = stdout_of(&run_with_stdin(&json_args, None));
     assert!(first.contains("\"matched_edges\": 3"), "{first}");
     assert!(first.contains("\"noise_stability\""), "{first}");
-    // The JSON report is a pure function of graph and config: re-running
-    // produces the identical bytes.
+    assert!(first.contains("\"score_wall_ms\""), "{first}");
+    // Everything except the per-method score_wall_ms timing is a pure
+    // function of graph and config: re-running produces identical bytes
+    // once the timings are stripped.
     let second = stdout_of(&run_with_stdin(&json_args, None));
-    assert_eq!(first, second);
+    assert_eq!(strip_score_wall_ms(&first), strip_score_wall_ms(&second));
 
     // Stdin and file inputs agree for compare too.
     let text = std::fs::read_to_string(trade_path()).unwrap();
     let stdin_args: Vec<&str> = json_args[..json_args.len() - 1].to_vec();
     let from_stdin = stdout_of(&run_with_stdin(&stdin_args, Some(&text)));
-    assert_eq!(first, from_stdin);
+    assert_eq!(
+        strip_score_wall_ms(&first),
+        strip_score_wall_ms(&from_stdin)
+    );
+}
+
+/// Remove every `, "score_wall_ms": <number>` fragment — the one
+/// run-dependent field of the compare JSON.
+fn strip_score_wall_ms(json: &str) -> String {
+    const MARKER: &str = ", \"score_wall_ms\": ";
+    let mut out = String::new();
+    let mut rest = json;
+    while let Some(position) = rest.find(MARKER) {
+        out.push_str(&rest[..position]);
+        let after = &rest[position + MARKER.len()..];
+        let end = after
+            .find(|c: char| !(c.is_ascii_digit() || c == '.'))
+            .unwrap_or(after.len());
+        rest = &after[end..];
+    }
+    out.push_str(rest);
+    out
 }
 
 #[test]

@@ -17,19 +17,27 @@
 //!
 //! The computation costs one Dijkstra run per node (`O(|V| (|E| + |V|) log |V|)`),
 //! which is why the paper could not run HSS on its larger networks. This
-//! implementation breaks that wall in two ways, without changing a single
-//! output bit (pinned by `tests/parallel_parity.rs`):
+//! implementation breaks that wall in three ways, the first two without
+//! changing a single output bit (pinned by `tests/parallel_parity.rs`):
 //!
-//! * **CSR hot path** — every root's Dijkstra runs over an immutable
-//!   [`CsrGraph`](backboning_graph::CsrGraph) with a reusable scratch workspace
-//!   ([`CsrDijkstra`]),
-//!   distance transforms precomputed once per edge, and tree-edge counts
-//!   accumulated directly by CSR edge id — no per-root allocations and no
-//!   `HashMap` lookups per tree edge.
-//! * **Parallel roots** — the per-root loop fans out across worker threads
+//! * **CSR hot path** — every root's shortest-path tree grows over an
+//!   immutable [`CsrGraph`] with reusable scratch
+//!   workspaces, distance transforms precomputed once per edge, and tree-edge
+//!   counts accumulated directly by CSR edge id. Uniform-weight graphs take a
+//!   64-root batched BFS ([`UniformBfsBatch`]) that settles 64 trees per edge
+//!   sweep; weighted graphs take the per-root [`CsrDijkstra`], whose
+//!   frontier-bucketed queue replaces the heap's `O(log n)` sifts with `O(1)`
+//!   bucket pushes (both engines reproduce the exact heap pop order).
+//! * **Parallel roots** — the root loop fans out across worker threads
 //!   (see `backboning_parallel`; override with `BACKBONING_THREADS`), each
 //!   worker accumulating integer salience counters that are merged exactly at
 //!   the end, so the result is independent of the thread count.
+//! * **Sampled roots** — [`HighSalienceSkeleton::score_sampled_with_threads`]
+//!   estimates salience from `K` deterministically seeded roots instead of
+//!   all `|V|`. The estimate is unbiased, and Hoeffding's inequality bounds
+//!   the per-edge error: `P(|ŝ(e) − s(e)| ≥ ε) ≤ 2·exp(−2Kε²)` (see
+//!   [`salience_error_bound`]). With `K = |V|` the sample is every node and
+//!   the output is bit-identical to the exact skeleton.
 //!
 //! The seed adjacency-list implementation is kept as
 //! [`HighSalienceSkeleton::score_adjacency_reference`] — it is the baseline
@@ -37,13 +45,134 @@
 //! measures speedups over.
 
 use backboning_graph::algorithms::shortest_path::{
-    csr_entry_distances, dijkstra, CsrDijkstra, DistanceTransform,
+    csr_entry_distances, dijkstra, CsrDijkstra, DistanceTransform, EntryDistances, UniformBfsBatch,
+    UNIFORM_BFS_LANES,
 };
-use backboning_graph::{GraphView, WeightedGraph};
+use backboning_graph::{CsrGraph, GraphView, NodeId, WeightedGraph};
 use backboning_parallel::{clamped_threads, par_accumulate};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
-use crate::error::BackboneResult;
+use crate::error::{BackboneError, BackboneResult};
 use crate::scored::{BackboneExtractor, ScoredEdge, ScoredEdges};
+
+/// Extractor name stamped on sampled-root salience scores (distinct from the
+/// exact skeleton's, so cached exact scores are never mistaken for estimates).
+pub const HSS_APPROX_SCORE_NAME: &str = "high_salience_skeleton_approx";
+
+/// Deterministically sample `k` distinct root nodes, sorted ascending, via a
+/// seeded partial Fisher–Yates shuffle. `k ≥ node_count` selects every node
+/// (making the sampled estimator coincide with the exact skeleton).
+pub fn sample_roots(node_count: usize, k: usize, seed: u64) -> Vec<NodeId> {
+    if k >= node_count {
+        return (0..node_count).collect();
+    }
+    let mut indices: Vec<u32> = (0..node_count as u32).collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    for i in 0..k {
+        let j = rng.random_range(i..node_count);
+        indices.swap(i, j);
+    }
+    let mut roots: Vec<NodeId> = indices[..k].iter().map(|&node| node as NodeId).collect();
+    roots.sort_unstable();
+    roots
+}
+
+/// Hoeffding bound on a **single edge's** salience estimation error.
+///
+/// Each of the `roots` sampled trees contributes an indicator in `{0, 1}` for
+/// the edge, so by Hoeffding's inequality the estimate `ŝ = count / K`
+/// satisfies `P(|ŝ − s| ≥ ε) ≤ 2·exp(−2Kε²)`; solving for the error at the
+/// requested confidence gives `ε = sqrt(ln(2 / (1 − confidence)) / (2K))`.
+/// Roots are drawn without replacement, which concentrates at least as fast
+/// as the independent case the bound assumes (Hoeffding 1963, Theorem 4).
+pub fn salience_error_bound(roots: usize, confidence: f64) -> f64 {
+    assert!(roots > 0, "error bound requires at least one sampled root");
+    assert!(
+        (0.0..1.0).contains(&confidence),
+        "confidence must be in [0, 1)"
+    );
+    ((2.0 / (1.0 - confidence)).ln() / (2.0 * roots as f64)).sqrt()
+}
+
+/// Union (Bonferroni) bound over **every edge at once**: with probability at
+/// least `confidence`, no edge's salience estimate errs by more than the
+/// returned `ε = sqrt(ln(2·|E| / (1 − confidence)) / (2K))`. This is the
+/// bound to compare a measured max per-edge deviation against.
+pub fn max_salience_error_bound(roots: usize, edge_count: usize, confidence: f64) -> f64 {
+    assert!(roots > 0, "error bound requires at least one sampled root");
+    assert!(edge_count > 0, "error bound requires at least one edge");
+    assert!(
+        (0.0..1.0).contains(&confidence),
+        "confidence must be in [0, 1)"
+    );
+    ((2.0 * edge_count as f64 / (1.0 - confidence)).ln() / (2.0 * roots as f64)).sqrt()
+}
+
+/// Accumulate per-edge shortest-path-tree membership counts over `roots`.
+///
+/// Uniform-weight graphs batch [`UNIFORM_BFS_LANES`] roots per bit-parallel
+/// BFS sweep; weighted graphs run one bucketed Dijkstra per root. Both
+/// engines grow the same deterministic trees (strict-relaxation,
+/// lowest-entry-id parents), and both fan out over `threads` workers whose
+/// integer counters merge in worker order, so the counts are independent of
+/// the thread count and of which engine ran.
+fn tree_membership_counts(
+    csr: &CsrGraph,
+    entry_distances: &EntryDistances,
+    roots: &[NodeId],
+    threads: usize,
+    edge_count: usize,
+) -> Vec<usize> {
+    let node_count = csr.node_count();
+    if entry_distances.uniform().is_some() {
+        let batches = roots.len().div_ceil(UNIFORM_BFS_LANES);
+        // Each batch already sweeps up to 64 trees, so one batch per worker
+        // is plenty of work.
+        let threads = clamped_threads(threads, batches, 1);
+        let (_, counts) = par_accumulate(
+            batches,
+            threads,
+            || (UniformBfsBatch::new(node_count), vec![0usize; edge_count]),
+            |(scratch, counts), batch| {
+                let start = batch * UNIFORM_BFS_LANES;
+                let end = roots.len().min(start + UNIFORM_BFS_LANES);
+                scratch.run(csr, entry_distances, &roots[start..end], |entry, lanes| {
+                    counts[csr.entry_edge_id(entry)] += lanes as usize;
+                });
+            },
+            |(_, counts), (_, partial)| {
+                for (count, other) in counts.iter_mut().zip(partial) {
+                    *count += other;
+                }
+            },
+        );
+        counts
+    } else {
+        // One Dijkstra per item is expensive; a handful of roots per worker
+        // already amortises the spawn cost.
+        let threads = clamped_threads(threads, roots.len(), 8);
+        let (_, counts) = par_accumulate(
+            roots.len(),
+            threads,
+            || (CsrDijkstra::new(node_count), vec![0usize; edge_count]),
+            |(scratch, counts), index| {
+                scratch.run(csr, entry_distances, roots[index]);
+                for &node in scratch.reached() {
+                    if let Some(entry) = scratch.parent_entry(node) {
+                        counts[csr.entry_edge_id(entry)] += 1;
+                    }
+                }
+            },
+            |(_, counts), (_, partial)| {
+                for (count, other) in counts.iter_mut().zip(partial) {
+                    *count += other;
+                }
+            },
+        );
+        counts
+    }
+}
 
 /// The High Salience Skeleton backbone extractor.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -85,34 +214,60 @@ impl HighSalienceSkeleton {
         threads: usize,
     ) -> BackboneResult<ScoredEdges> {
         let node_count = graph.node_count();
-        let edge_count = graph.edge_count();
         // Borrowed when the input already is compact; built once otherwise.
         let csr = graph.to_csr()?;
         let entry_distances = csr_entry_distances(&csr, self.transform);
-        // One Dijkstra per item is expensive; a handful of roots per worker
-        // already amortises the spawn cost.
-        let threads = clamped_threads(threads, node_count, 8);
-
-        let (_, tree_membership) = par_accumulate(
+        let roots: Vec<NodeId> = (0..node_count).collect();
+        let tree_membership =
+            tree_membership_counts(&csr, &entry_distances, &roots, threads, graph.edge_count());
+        Ok(self.scored_from_membership(
+            graph,
+            &tree_membership,
             node_count,
-            threads,
-            || (CsrDijkstra::new(node_count), vec![0usize; edge_count]),
-            |(scratch, counts), root| {
-                scratch.run(&csr, &entry_distances, root);
-                for &node in scratch.reached() {
-                    if let Some(entry) = scratch.parent_entry(node) {
-                        counts[csr.entry_edge_id(entry)] += 1;
-                    }
-                }
-            },
-            |(_, counts), (_, partial)| {
-                for (count, other) in counts.iter_mut().zip(partial) {
-                    *count += other;
-                }
-            },
-        );
+            BackboneExtractor::name(self),
+        ))
+    }
 
-        Ok(self.scored_from_membership(graph, &tree_membership))
+    /// Estimate every edge's salience from `roots` deterministically sampled
+    /// shortest-path-tree roots (see [`sample_roots`]), using the same CSR
+    /// engines and thread fan-out as the exact skeleton.
+    ///
+    /// The estimate is unbiased and obeys the Hoeffding bounds of
+    /// [`salience_error_bound`] / [`max_salience_error_bound`]. With
+    /// `roots ≥ |V|` the sample is every node and the scores are bit-identical
+    /// to [`Self::score_with_threads`] (pinned by `tests/parallel_parity.rs`); the
+    /// result is deterministic for a fixed `(roots, seed)` regardless of
+    /// `threads`. Errors on `roots == 0`.
+    pub fn score_sampled_with_threads<G: GraphView>(
+        &self,
+        graph: &G,
+        roots: usize,
+        seed: u64,
+        threads: usize,
+    ) -> BackboneResult<ScoredEdges> {
+        if roots == 0 {
+            return Err(BackboneError::InvalidParameter {
+                parameter: "hss-roots",
+                message: "sampled-root HSS needs at least one root".to_string(),
+            });
+        }
+        let node_count = graph.node_count();
+        let csr = graph.to_csr()?;
+        let entry_distances = csr_entry_distances(&csr, self.transform);
+        let selected = sample_roots(node_count, roots, seed);
+        let tree_membership = tree_membership_counts(
+            &csr,
+            &entry_distances,
+            &selected,
+            threads,
+            graph.edge_count(),
+        );
+        Ok(self.scored_from_membership(
+            graph,
+            &tree_membership,
+            selected.len(),
+            HSS_APPROX_SCORE_NAME,
+        ))
     }
 
     /// The seed adjacency-list implementation: one full Dijkstra (with fresh
@@ -134,20 +289,30 @@ impl HighSalienceSkeleton {
                 }
             }
         }
-        Ok(self.scored_from_membership(graph, &tree_membership))
+        let node_count = graph.node_count();
+        Ok(self.scored_from_membership(
+            graph,
+            &tree_membership,
+            node_count,
+            BackboneExtractor::name(self),
+        ))
     }
 
-    /// Turn per-edge tree-membership counts into salience scores.
+    /// Turn per-edge tree-membership counts into salience scores: the count
+    /// divided by `denominator` (the number of roots whose trees were grown),
+    /// stamped with `score_name`.
     fn scored_from_membership<G: GraphView>(
         &self,
         graph: &G,
         tree_membership: &[usize],
+        denominator: usize,
+        score_name: &'static str,
     ) -> ScoredEdges {
         let node_count = graph.node_count();
         let mut scored = Vec::with_capacity(graph.edge_count());
         for edge in graph.edges() {
-            let salience = if node_count > 0 {
-                tree_membership[edge.index] as f64 / node_count as f64
+            let salience = if denominator > 0 {
+                tree_membership[edge.index] as f64 / denominator as f64
             } else {
                 0.0
             };
@@ -162,7 +327,7 @@ impl HighSalienceSkeleton {
                 p_value: None,
             });
         }
-        ScoredEdges::new(BackboneExtractor::name(self), node_count, scored)
+        ScoredEdges::new(score_name, node_count, scored)
     }
 }
 
@@ -320,5 +485,102 @@ mod tests {
         for edge in scored.iter() {
             assert!((edge.score - 0.5).abs() < 1e-12);
         }
+    }
+
+    fn community_graph() -> WeightedGraph {
+        GraphBuilder::undirected()
+            .indexed_edge(0, 1, 10.0)
+            .indexed_edge(1, 2, 10.0)
+            .indexed_edge(0, 2, 10.0)
+            .indexed_edge(3, 4, 10.0)
+            .indexed_edge(4, 5, 10.0)
+            .indexed_edge(3, 5, 10.0)
+            .indexed_edge(2, 3, 5.0)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn sample_roots_are_distinct_sorted_and_deterministic() {
+        let roots = sample_roots(1000, 64, 4242);
+        assert_eq!(roots.len(), 64);
+        assert!(roots.windows(2).all(|pair| pair[0] < pair[1]));
+        assert!(roots.iter().all(|&root| root < 1000));
+        assert_eq!(roots, sample_roots(1000, 64, 4242));
+        assert_ne!(roots, sample_roots(1000, 64, 4243));
+    }
+
+    #[test]
+    fn sample_roots_with_k_at_least_v_selects_every_node() {
+        let all: Vec<usize> = (0..10).collect();
+        assert_eq!(sample_roots(10, 10, 7), all);
+        assert_eq!(sample_roots(10, 1000, 7), all);
+    }
+
+    #[test]
+    fn sampled_scores_with_all_roots_match_exact() {
+        let graph = community_graph();
+        let hss = HighSalienceSkeleton::new();
+        let exact = hss.score_with_threads(&graph, 1).unwrap();
+        let sampled = hss
+            .score_sampled_with_threads(&graph, graph.node_count(), 99, 1)
+            .unwrap();
+        assert_eq!(sampled.method(), HSS_APPROX_SCORE_NAME);
+        for (a, b) in exact.iter().zip(sampled.iter()) {
+            assert_eq!(a.score.to_bits(), b.score.to_bits());
+        }
+    }
+
+    #[test]
+    fn sampled_scores_are_deterministic_and_thread_invariant() {
+        let graph = community_graph();
+        let hss = HighSalienceSkeleton::new();
+        let baseline = hss.score_sampled_with_threads(&graph, 3, 11, 1).unwrap();
+        for threads in [2, 3, 8] {
+            let other = hss
+                .score_sampled_with_threads(&graph, 3, 11, threads)
+                .unwrap();
+            for (a, b) in baseline.iter().zip(other.iter()) {
+                assert_eq!(a.score.to_bits(), b.score.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn sampled_scores_use_the_sample_size_as_denominator() {
+        // The bridge edge 2–3 lies on every shortest-path tree, so any sample
+        // of roots must give it salience exactly 1.
+        let graph = community_graph();
+        let sampled = HighSalienceSkeleton::new()
+            .score_sampled_with_threads(&graph, 3, 5, 1)
+            .unwrap();
+        let bridge = sampled.get(graph.edge_index(2, 3).unwrap()).unwrap();
+        assert_eq!(bridge.score, 1.0);
+    }
+
+    #[test]
+    fn zero_roots_are_rejected() {
+        let graph = community_graph();
+        let err = HighSalienceSkeleton::new()
+            .score_sampled_with_threads(&graph, 0, 5, 1)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            BackboneError::InvalidParameter {
+                parameter: "hss-roots",
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn error_bounds_shrink_with_more_roots() {
+        let loose = salience_error_bound(64, 0.95);
+        let tight = salience_error_bound(1024, 0.95);
+        assert!(tight < loose);
+        // The union bound dominates the per-edge bound.
+        assert!(max_salience_error_bound(64, 10_000, 0.95) > loose);
+        // 2exp(-2Kε²) = 0.05 at K=1024 → ε ≈ 0.0424.
+        assert!((salience_error_bound(1024, 0.95) - 0.042448).abs() < 1e-4);
     }
 }

@@ -24,7 +24,7 @@ use backboning_graph::{GraphView, WeightedGraph};
 use crate::disparity::DisparityFilter;
 use crate::doubly_stochastic::DoublyStochastic;
 use crate::error::BackboneResult;
-use crate::high_salience::HighSalienceSkeleton;
+use crate::high_salience::{HighSalienceSkeleton, HSS_APPROX_SCORE_NAME};
 use crate::naive::NaiveThreshold;
 use crate::noise_corrected::{NoiseCorrected, NoiseCorrectedBinomial};
 use crate::pipeline::{Pipeline, ThresholdPolicy};
@@ -42,6 +42,19 @@ pub enum Method {
     DoublyStochastic,
     /// High Salience Skeleton.
     HighSalienceSkeleton,
+    /// High Salience Skeleton estimated from `roots` sampled shortest-path
+    /// tree roots drawn deterministically from `seed` (see
+    /// `HighSalienceSkeleton::score_sampled_with_threads` for the Hoeffding
+    /// error bounds). Not part of the paper's evaluation sweep; it exists so
+    /// HSS-style structure survives onto networks where the exact skeleton's
+    /// one-tree-per-node cost is prohibitive.
+    HssApprox {
+        /// How many shortest-path-tree roots to sample (`≥ |V|` degenerates
+        /// to the exact skeleton).
+        roots: usize,
+        /// Seed for the deterministic root sample.
+        seed: u64,
+    },
     /// Disparity Filter.
     DisparityFilter,
     /// Noise-Corrected backbone (the paper's contribution).
@@ -52,6 +65,24 @@ pub enum Method {
 }
 
 impl Method {
+    /// Default root-sample size for [`Method::HssApprox`]: 256 roots bound the
+    /// per-edge salience error by ~0.076 at 95% confidence
+    /// (`salience_error_bound(256, 0.95)`) while costing hundreds of times
+    /// less than the exact skeleton on large networks.
+    pub const DEFAULT_HSS_APPROX_ROOTS: usize = 256;
+
+    /// Default sampling seed for [`Method::HssApprox`] (the same constant the
+    /// repo's substrate generators use, so runs are reproducible by default).
+    pub const DEFAULT_HSS_APPROX_SEED: u64 = 4242;
+
+    /// The sampled-root HSS with the default `(roots, seed)` parameters.
+    pub fn hss_approx_default() -> Method {
+        Method::HssApprox {
+            roots: Method::DEFAULT_HSS_APPROX_ROOTS,
+            seed: Method::DEFAULT_HSS_APPROX_SEED,
+        }
+    }
+
     /// The six methods of the paper's evaluation, in the plotting order of the
     /// paper's figures.
     pub fn all() -> [Method; 6] {
@@ -65,8 +96,13 @@ impl Method {
         ]
     }
 
-    /// Every method in the registry, including the binomial Noise-Corrected
-    /// variant (the full menu of the `backbone` CLI).
+    /// Every *exact* method in the registry, including the binomial
+    /// Noise-Corrected variant (the full menu of the `backbone` CLI's
+    /// `--methods all`). The sampled-root [`Method::HssApprox`] estimator is
+    /// deliberately excluded: it is parameterized (its output depends on
+    /// `(roots, seed)`) and approximates a method already listed here, so
+    /// sweeps over `every()` stay sweeps over exact, parameter-identical
+    /// methods.
     pub fn every() -> [Method; 7] {
         [
             Method::NaiveThreshold,
@@ -79,15 +115,22 @@ impl Method {
         ]
     }
 
-    /// The methods that scale to large networks (used by the Figure 9 sweep on
-    /// millions of edges; HSS and DS are benchmarked only on small sizes, as
-    /// in the paper).
-    pub fn scalable() -> [Method; 4] {
+    /// The methods that scale to large networks (used by the Figure 9 sweep
+    /// on millions of edges and by `bench_snapshot`'s large substrates).
+    ///
+    /// Inclusion criterion: worst-case scoring cost sub-quadratic in `|V|`
+    /// (near-linear in `|E|` up to log factors). NT, MST, DF and NC are one
+    /// or two passes over the edges; `HssApprox` with its default fixed root
+    /// count costs `O(roots · |E|)` — a constant number of tree sweeps,
+    /// independent of `|V|`. Exact HSS (`Θ(|V| · |E|)`) and DS (quadratic
+    /// Sinkhorn iterations) stay excluded, as in the paper.
+    pub fn scalable() -> [Method; 5] {
         [
             Method::NaiveThreshold,
             Method::MaximumSpanningTree,
             Method::DisparityFilter,
             Method::NoiseCorrected,
+            Method::hss_approx_default(),
         ]
     }
 
@@ -98,6 +141,7 @@ impl Method {
             Method::MaximumSpanningTree => "MST",
             Method::DoublyStochastic => "DS",
             Method::HighSalienceSkeleton => "HSS",
+            Method::HssApprox { .. } => "HSSA",
             Method::DisparityFilter => "DF",
             Method::NoiseCorrected => "NC",
             Method::NoiseCorrectedBinomial => "NCB",
@@ -111,6 +155,7 @@ impl Method {
             Method::MaximumSpanningTree => "Maximum Spanning Tree",
             Method::DoublyStochastic => "Doubly Stochastic",
             Method::HighSalienceSkeleton => "High Salience Skeleton",
+            Method::HssApprox { .. } => "High Salience Skeleton (sampled roots)",
             Method::DisparityFilter => "Disparity Filter",
             Method::NoiseCorrected => "Noise-Corrected",
             Method::NoiseCorrectedBinomial => "Noise-Corrected (binomial)",
@@ -125,6 +170,7 @@ impl Method {
             Method::MaximumSpanningTree => "mst",
             Method::DoublyStochastic => "ds",
             Method::HighSalienceSkeleton => "hss",
+            Method::HssApprox { .. } => "hss-approx",
             Method::DisparityFilter => "df",
             Method::NoiseCorrected => "nc",
             Method::NoiseCorrectedBinomial => "ncb",
@@ -141,6 +187,7 @@ impl Method {
             Method::MaximumSpanningTree => MaximumSpanningTree::new().name(),
             Method::DoublyStochastic => DoublyStochastic::new().name(),
             Method::HighSalienceSkeleton => HighSalienceSkeleton::new().name(),
+            Method::HssApprox { .. } => HSS_APPROX_SCORE_NAME,
             Method::DisparityFilter => DisparityFilter::new().name(),
             Method::NoiseCorrected => NoiseCorrected::default().name(),
             Method::NoiseCorrectedBinomial => NoiseCorrectedBinomial::new().name(),
@@ -148,10 +195,14 @@ impl Method {
     }
 
     /// Parse a method name, case-insensitively. Accepts the CLI names
-    /// (`nc`, `ncb`, `df`, `hss`, `ds`, `mst`, `naive`), the table legends
-    /// (`NT`, …) and a few spelled-out aliases (`noise-corrected`,
-    /// `disparity`, `high-salience`, `doubly-stochastic`, `spanning-tree`,
-    /// `naive-threshold`).
+    /// (`nc`, `ncb`, `df`, `hss`, `hss-approx`, `ds`, `mst`, `naive`), the
+    /// table legends (`NT`, …) and a few spelled-out aliases
+    /// (`noise-corrected`, `disparity`, `high-salience`, `doubly-stochastic`,
+    /// `spanning-tree`, `naive-threshold`).
+    ///
+    /// `hss-approx` parses to [`Method::hss_approx_default`]; callers that
+    /// accept `--hss-roots` / `--hss-seed` overrides patch the fields
+    /// afterwards.
     pub fn parse(name: &str) -> Option<Method> {
         match name.to_ascii_lowercase().as_str() {
             "naive" | "nt" | "naive-threshold" | "threshold" => Some(Method::NaiveThreshold),
@@ -160,12 +211,30 @@ impl Method {
             "hss" | "high-salience" | "high-salience-skeleton" => {
                 Some(Method::HighSalienceSkeleton)
             }
+            "hss-approx" | "hssa" | "high-salience-approx" => Some(Method::hss_approx_default()),
             "df" | "disparity" | "disparity-filter" => Some(Method::DisparityFilter),
             "nc" | "noise-corrected" => Some(Method::NoiseCorrected),
             "ncb" | "noise-corrected-binomial" | "nc-binomial" => {
                 Some(Method::NoiseCorrectedBinomial)
             }
             _ => None,
+        }
+    }
+
+    /// A cache key uniquely identifying this method *and its parameters*.
+    ///
+    /// [`Method::cli_name`] alone is ambiguous for [`Method::HssApprox`]
+    /// (every `(roots, seed)` shares the name `hss-approx`), so caches keyed
+    /// by method — the server's scored-edge cache in particular — key by this
+    /// string instead. Exact methods use their `cli_name` verbatim;
+    /// `HssApprox` appends its parameters as
+    /// `hss-approx:roots=<K>:seed=<S>`.
+    pub fn cache_key(&self) -> String {
+        match self {
+            Method::HssApprox { roots, seed } => {
+                format!("hss-approx:roots={roots}:seed={seed}")
+            }
+            _ => self.cli_name().to_string(),
         }
     }
 
@@ -201,6 +270,8 @@ impl Method {
             Method::HighSalienceSkeleton => {
                 HighSalienceSkeleton::new().score_with_threads(graph, threads)
             }
+            Method::HssApprox { roots, seed } => HighSalienceSkeleton::new()
+                .score_sampled_with_threads(graph, *roots, *seed, threads),
             Method::DisparityFilter => DisparityFilter::new().score_with_threads(graph, threads),
             Method::NoiseCorrected => NoiseCorrected::default().score_with_threads(graph, threads),
             Method::NoiseCorrectedBinomial => {
@@ -296,11 +367,45 @@ mod tests {
     fn registry_covers_the_methods() {
         assert_eq!(Method::all().len(), 6);
         assert_eq!(Method::every().len(), 7);
-        assert_eq!(Method::scalable().len(), 4);
+        assert_eq!(Method::scalable().len(), 5);
         let names: Vec<&str> = Method::all().iter().map(|m| m.short_name()).collect();
         assert_eq!(names, vec!["NT", "MST", "DS", "HSS", "DF", "NC"]);
+        // hss-approx is scalable but deliberately not part of `every()`.
+        assert!(Method::scalable().contains(&Method::hss_approx_default()));
+        assert!(!Method::every()
+            .iter()
+            .any(|m| matches!(m, Method::HssApprox { .. })));
         for method in Method::every() {
             assert!(!method.full_name().is_empty());
+        }
+    }
+
+    #[test]
+    fn hss_approx_parses_and_keys_its_parameters() {
+        assert_eq!(
+            Method::parse("hss-approx"),
+            Some(Method::hss_approx_default())
+        );
+        assert_eq!(Method::parse("HSSA"), Some(Method::hss_approx_default()));
+        let custom = Method::HssApprox { roots: 64, seed: 7 };
+        assert_eq!(custom.cli_name(), "hss-approx");
+        assert_eq!(custom.cache_key(), "hss-approx:roots=64:seed=7");
+        // Exact methods key by their CLI name; different parameterizations of
+        // hss-approx never collide.
+        assert_eq!(Method::NoiseCorrected.cache_key(), "nc");
+        assert_ne!(custom.cache_key(), Method::hss_approx_default().cache_key());
+    }
+
+    #[test]
+    fn hss_approx_scores_deterministically() {
+        let graph = complete_graph(12, 2.0).unwrap();
+        let method = Method::HssApprox { roots: 4, seed: 9 };
+        let scored = method.score(&graph).unwrap();
+        assert_eq!(scored.len(), graph.edge_count());
+        assert_eq!(scored.method(), method.score_name());
+        let again = method.score(&graph).unwrap();
+        for (a, b) in scored.iter().zip(again.iter()) {
+            assert_eq!(a.score.to_bits(), b.score.to_bits());
         }
     }
 
@@ -325,6 +430,7 @@ mod tests {
         assert!(!Method::NoiseCorrected.is_parameter_free());
         assert!(!Method::DisparityFilter.is_parameter_free());
         assert!(!Method::NoiseCorrectedBinomial.is_parameter_free());
+        assert!(!Method::hss_approx_default().is_parameter_free());
     }
 
     #[test]

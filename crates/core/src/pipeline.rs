@@ -459,8 +459,15 @@ impl PipelineRun {
             .f64_fixed("edge_share", self.edge_share(), 6)
             .f64_fixed("coverage", self.coverage, 6);
         let mut summary = json::JsonObject::pretty();
+        summary.string("method", self.method.cli_name());
+        // `hss-approx` is parameterized, and the summary must pin the run
+        // down completely — emit the sample parameters right after the name.
+        if let Method::HssApprox { roots, seed } = self.method {
+            let mut params = json::JsonObject::inline();
+            params.usize("hss_roots", roots).u64("hss_seed", seed);
+            summary.raw("method_params", &params.finish());
+        }
         summary
-            .string("method", self.method.cli_name())
             .raw("policy", &policy.finish())
             .usize("threads", self.threads)
             .raw("input", &input.finish())
@@ -597,6 +604,25 @@ mod tests {
         assert!(json.contains("\"method\": \"nc\""));
         assert!(json.contains("\"kind\": \"top_share\""));
         assert!(json.contains("\"edges\": 4"));
+        // Exact methods carry no parameter object.
+        assert!(!json.contains("method_params"));
+    }
+
+    #[test]
+    fn hss_approx_summary_pins_its_parameters() {
+        let graph = path_graph();
+        let run = Pipeline::new(
+            Method::HssApprox { roots: 2, seed: 7 },
+            ThresholdPolicy::TopShare(0.5),
+        )
+        .with_threads(1)
+        .run(&graph)
+        .unwrap();
+        let json = run.summary_json();
+        assert!(json.contains("\"method\": \"hss-approx\""));
+        assert!(json.contains("\"method_params\": { \"hss_roots\": 2, \"hss_seed\": 7 }"));
+        // The parameters are part of the stable summary too.
+        assert!(run.summary_json_stable().contains("\"hss_roots\": 2"));
     }
 
     #[test]

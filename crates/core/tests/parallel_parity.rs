@@ -13,7 +13,9 @@ use backboning::{
     BackboneExtractor, DisparityFilter, DoublyStochastic, HighSalienceSkeleton, NoiseCorrected,
     NoiseCorrectedBinomial,
 };
-use backboning_graph::algorithms::shortest_path::{csr_dijkstra, dijkstra, DistanceTransform};
+use backboning_graph::algorithms::shortest_path::{
+    csr_dijkstra, csr_entry_distances, dijkstra, CsrDijkstra, DistanceTransform, SsspEngine,
+};
 use backboning_graph::{CsrGraph, Direction, WeightedGraph};
 
 /// Strategy: a small random weighted graph of either direction, possibly with
@@ -122,6 +124,70 @@ proptest! {
             }
         }
     }
+
+    /// Sampled-root HSS with K = |V| roots (every node sampled) is
+    /// bit-identical to the exact skeleton, for any seed.
+    #[test]
+    fn hss_approx_with_all_roots_matches_exact(graph in random_graph(), seed in 0u64..u64::MAX) {
+        let hss = HighSalienceSkeleton::new();
+        let exact = hss.score_with_threads(&graph, 1).unwrap();
+        let sampled = hss
+            .score_sampled_with_threads(&graph, graph.node_count(), seed, 1)
+            .unwrap();
+        prop_assert_eq!(sampled.len(), exact.len());
+        // The extractor names differ on purpose; the scores must not.
+        for (a, b) in exact.iter().zip(sampled.iter()) {
+            prop_assert_eq!(a.score.to_bits(), b.score.to_bits());
+        }
+    }
+
+    /// A fixed `(roots, seed)` sample estimates bit-identically at 1/2/3/8
+    /// worker threads.
+    #[test]
+    fn hss_approx_is_thread_count_invariant(
+        graph in random_graph(),
+        roots in 1usize..16,
+        seed in 0u64..u64::MAX,
+    ) {
+        let hss = HighSalienceSkeleton::new();
+        let reference = hss.score_sampled_with_threads(&graph, roots, seed, 1).unwrap();
+        for threads in [2, 3, 8] {
+            let parallel = hss
+                .score_sampled_with_threads(&graph, roots, seed, threads)
+                .unwrap();
+            prop_assert_eq!(&parallel, &reference);
+        }
+    }
+
+    /// The frontier-bucketed SSSP engine reproduces the binary-heap engine's
+    /// exact tree (reached set, distance bits, parents) from every root,
+    /// under every distance transform.
+    #[test]
+    fn bucketed_sssp_matches_heap_sssp(graph in random_graph()) {
+        let csr = CsrGraph::from_graph(&graph).unwrap();
+        for transform in [
+            DistanceTransform::Inverse,
+            DistanceTransform::NegativeLog,
+            DistanceTransform::Identity,
+        ] {
+            let entry_distances = csr_entry_distances(&csr, transform);
+            let mut heap = CsrDijkstra::with_engine(csr.node_count(), SsspEngine::BinaryHeap);
+            let mut bucketed = CsrDijkstra::with_engine(csr.node_count(), SsspEngine::Bucketed);
+            for source in graph.nodes() {
+                heap.run(&csr, &entry_distances, source);
+                bucketed.run(&csr, &entry_distances, source);
+                prop_assert_eq!(heap.reached(), bucketed.reached());
+                for node in graph.nodes() {
+                    prop_assert_eq!(
+                        heap.distance(node).to_bits(),
+                        bucketed.distance(node).to_bits()
+                    );
+                    prop_assert_eq!(heap.parent(node), bucketed.parent(node));
+                    prop_assert_eq!(heap.parent_entry(node), bucketed.parent_entry(node));
+                }
+            }
+        }
+    }
 }
 
 /// The HSS engine handles degenerate inputs identically to the seed path.
@@ -165,6 +231,17 @@ fn hss_parity_on_unit_weight_graphs() {
     let reference = hss.score_adjacency_reference(&graph).unwrap();
     for threads in THREAD_COUNTS {
         assert_eq!(hss.score_with_threads(&graph, threads).unwrap(), reference);
+    }
+
+    // Sampling every node rides the same batched-BFS path and must agree
+    // with the seed path score for score, at any thread count.
+    for threads in [1, 2, 3, 8] {
+        let sampled = hss
+            .score_sampled_with_threads(&graph, graph.node_count(), 4242, threads)
+            .unwrap();
+        for (a, b) in reference.iter().zip(sampled.iter()) {
+            assert_eq!(a.score.to_bits(), b.score.to_bits());
+        }
     }
 }
 

@@ -35,6 +35,7 @@ fn score_threshold(method: Method) -> f64 {
         Method::MaximumSpanningTree => 0.5,
         Method::DoublyStochastic => 0.1,
         Method::HighSalienceSkeleton => 0.3,
+        Method::HssApprox { .. } => 0.3,
         Method::DisparityFilter => 0.6,
         Method::NoiseCorrected => 1.28,
         Method::NoiseCorrectedBinomial => 0.9,

@@ -30,6 +30,7 @@ fn score_threshold(method: Method) -> f64 {
         Method::MaximumSpanningTree => 0.5,
         Method::DoublyStochastic => 0.1,
         Method::HighSalienceSkeleton => 0.3,
+        Method::HssApprox { .. } => 0.3,
         Method::DisparityFilter => 0.6,
         Method::NoiseCorrected => 1.28,
         Method::NoiseCorrectedBinomial => 0.9,
@@ -60,7 +61,12 @@ fn score_bytes(run: &PipelineRun) -> Vec<u8> {
 #[test]
 fn score_once_select_many_equals_run_per_policy() {
     let graph = fixture_graph();
-    for method in Method::every() {
+    // Every exact method, plus the sampled-root estimator the server caches
+    // under its parameterized cache key.
+    let methods = Method::every()
+        .into_iter()
+        .chain([Method::hss_approx_default()]);
+    for method in methods {
         // One scoring pass, shared by all four policies…
         let scored = Arc::new(
             Pipeline::new(method, ThresholdPolicy::TopK(0))

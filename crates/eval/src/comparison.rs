@@ -15,10 +15,13 @@
 //!   `(graph, method)` scored-edge cache here, so a repeated comparison
 //!   never re-scores);
 //! * [`ComparisonReport`] — per-method coverage/connectivity/degree metrics,
-//!   a pairwise Jaccard agreement matrix, and noise stability, renderable as
-//!   a text table ([`ComparisonReport::render_table`]) or as **stable JSON**
-//!   ([`ComparisonReport::to_json`]: a pure function of graph and config, so
-//!   the CLI and a cache-hit server response emit identical bytes).
+//!   a pairwise Jaccard agreement matrix, noise stability, and the wall time
+//!   of each method's scoring pass, renderable as a text table
+//!   ([`ComparisonReport::render_table`]), as JSON with the timings
+//!   ([`ComparisonReport::to_json`]), or as **stable JSON**
+//!   ([`ComparisonReport::to_json_stable`]: a pure function of graph and
+//!   config, so the CLI and a cache-hit server response emit identical
+//!   bytes).
 //!
 //! Noise stability is a Monte Carlo: the graph's weights are perturbed
 //! multiplicatively ([`multiplicative_resample`]) `noise_resamples` times,
@@ -47,6 +50,7 @@
 //! ```
 
 use std::sync::Arc;
+use std::time::Instant;
 
 use backboning::error::{BackboneError, BackboneResult};
 use backboning::json::{self, JsonArray, JsonObject};
@@ -202,6 +206,22 @@ pub struct MethodMetrics {
     pub noise_stability: Option<f64>,
 }
 
+/// A measured wall time in milliseconds.
+///
+/// Compares equal to **any** other value: a timing is a measurement, not
+/// part of a report's identity, so the derived `PartialEq` on the report
+/// types keeps meaning "same backbone result" — the thread-invariance and
+/// CSR-parity tests rely on that, the same way `wall_ms` is excluded from
+/// the pipeline's stable summary.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WallMillis(pub f64);
+
+impl PartialEq for WallMillis {
+    fn eq(&self, _other: &Self) -> bool {
+        true
+    }
+}
+
 /// One method's entry in a [`ComparisonReport`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct MethodReport {
@@ -210,6 +230,11 @@ pub struct MethodReport {
     /// The kept edge indices at matched coverage, in ranking order (empty
     /// when the method failed).
     pub kept: Vec<usize>,
+    /// Wall time of this method's scoring pass alone (selection and metrics
+    /// excluded). Against a score cache this is the cache-lookup time, which
+    /// is exactly the point of reporting it. Excluded from report equality
+    /// and from the stable JSON (see [`WallMillis`]).
+    pub score_wall_ms: WallMillis,
     /// The computed metrics, or the scoring/selection error (e.g. Doubly
     /// Stochastic on a graph with no feasible scaling).
     pub metrics: Result<MethodMetrics, String>,
@@ -246,11 +271,25 @@ impl ComparisonReport {
         self.methods.iter().find(|report| report.method == method)
     }
 
+    /// The report as JSON, *including* each method's `score_wall_ms` timing
+    /// (three fixed decimals, last field of each method object). Everything
+    /// except the timings is deterministic; callers that need byte-stable
+    /// output (the server cache, the golden tests) use
+    /// [`ComparisonReport::to_json_stable`] instead — the same split as the
+    /// pipeline's `summary_json` / `summary_json_stable`.
+    pub fn to_json(&self) -> String {
+        self.json_body(true)
+    }
+
     /// The report as a stable JSON document: a pure function of the graph
     /// and the configuration (no wall times), so two runs with the same
     /// inputs — CLI or server, cold or cache-hit — produce byte-identical
     /// output. Computed metrics are emitted with six fixed decimals.
-    pub fn to_json(&self) -> String {
+    pub fn to_json_stable(&self) -> String {
+        self.json_body(false)
+    }
+
+    fn json_body(&self, include_timing: bool) -> String {
         let mut input = JsonObject::inline();
         input.usize("nodes", self.nodes).usize("edges", self.edges);
         let mut noise = JsonObject::inline();
@@ -293,6 +332,9 @@ impl ComparisonReport {
                             },
                         );
                 }
+            }
+            if include_timing {
+                object.f64_fixed("score_wall_ms", report.score_wall_ms.0, 3);
             }
             methods.raw(&object.finish());
         }
@@ -344,6 +386,7 @@ impl ComparisonReport {
             "lcc share",
             "deg min/mean/max",
             "stability",
+            "score ms",
         ]);
         for report in &self.methods {
             match &report.metrics {
@@ -362,6 +405,7 @@ impl ComparisonReport {
                         metrics.degree_max
                     ),
                     fmt_opt(metrics.noise_stability),
+                    fmt3(report.score_wall_ms.0),
                 ]),
                 Err(error) => table.add_row(vec![
                     report.method.short_name().to_string(),
@@ -373,6 +417,7 @@ impl ComparisonReport {
                     String::new(),
                     String::new(),
                     String::new(),
+                    fmt3(report.score_wall_ms.0),
                 ]),
             }
         }
@@ -472,6 +517,7 @@ impl Comparison {
         F: FnMut(Method) -> BackboneResult<Arc<ScoredEdges>>,
     {
         let matched = matched_edge_count(graph.edge_count(), self.config.top_share)?;
+        let mut score_wall: Vec<WallMillis> = Vec::with_capacity(self.config.methods.len());
         let selections: Vec<Result<Vec<usize>, String>> = self
             .config
             .methods
@@ -479,7 +525,12 @@ impl Comparison {
             .map(|&method| {
                 let pipeline = Pipeline::new(method, ThresholdPolicy::TopK(matched))
                     .with_threads(self.config.threads);
-                scores(method)
+                // Time the scoring pass alone: against a cache `scores` is a
+                // lookup and the near-zero reading is the interesting datum.
+                let start = Instant::now();
+                let scored = scores(method);
+                score_wall.push(WallMillis(start.elapsed().as_secs_f64() * 1e3));
+                scored
                     .and_then(|scored| pipeline.select(graph, &scored))
                     .map_err(|error| error.to_string())
             })
@@ -493,18 +544,23 @@ impl Comparison {
             .iter()
             .zip(selections.iter())
             .zip(stability)
-            .map(|((&method, selection), noise_stability)| match selection {
-                Ok(kept) => MethodReport {
-                    method,
-                    kept: kept.clone(),
-                    metrics: Ok(backbone_metrics(graph, kept, noise_stability)),
+            .zip(score_wall)
+            .map(
+                |(((&method, selection), noise_stability), score_wall_ms)| match selection {
+                    Ok(kept) => MethodReport {
+                        method,
+                        kept: kept.clone(),
+                        score_wall_ms,
+                        metrics: Ok(backbone_metrics(graph, kept, noise_stability)),
+                    },
+                    Err(error) => MethodReport {
+                        method,
+                        kept: Vec::new(),
+                        score_wall_ms,
+                        metrics: Err(error.clone()),
+                    },
                 },
-                Err(error) => MethodReport {
-                    method,
-                    kept: Vec::new(),
-                    metrics: Err(error.clone()),
-                },
-            })
+            )
             .collect();
 
         let jaccard = selections
@@ -742,7 +798,10 @@ mod tests {
         let adjacency_report = comparison.run(&graph).unwrap();
         let csr_report = comparison.run(&csr).unwrap();
         assert_eq!(adjacency_report, csr_report);
-        assert_eq!(adjacency_report.to_json(), csr_report.to_json());
+        assert_eq!(
+            adjacency_report.to_json_stable(),
+            csr_report.to_json_stable()
+        );
     }
 
     #[test]
@@ -916,7 +975,27 @@ mod tests {
             .unwrap();
         assert_eq!(passes, 2);
         assert_eq!(direct, cached);
-        assert_eq!(direct.to_json(), cached.to_json());
+        assert_eq!(direct.to_json_stable(), cached.to_json_stable());
+    }
+
+    #[test]
+    fn score_wall_time_is_reported_but_kept_out_of_the_stable_json() {
+        let graph = two_triangles();
+        let config = ComparisonConfig {
+            noise_resamples: 0,
+            ..quick_config(vec![Method::NaiveThreshold, Method::NoiseCorrected])
+        };
+        let report = Comparison::new(config).unwrap().run(&graph).unwrap();
+        let timed = report.to_json();
+        let stable = report.to_json_stable();
+        assert_eq!(timed.matches("\"score_wall_ms\"").count(), 2);
+        assert!(!stable.contains("score_wall_ms"));
+        assert!(report.render_table().contains("score ms"));
+        // The timing is a measurement, not identity: two reports differing
+        // only in wall time still compare equal.
+        let mut retimed = report.clone();
+        retimed.methods[0].score_wall_ms = WallMillis(report.methods[0].score_wall_ms.0 + 1.0);
+        assert_eq!(retimed, report);
     }
 
     #[test]

@@ -4,9 +4,10 @@
 //! The bundled example edge list (`docs/examples/trade.tsv`) goes in with
 //! the `backbone compare` defaults (`nc,df,hss`, matched at the top 10% of
 //! edges, 8 multiplicative-noise resamples at ±0.1, seed 4242), and the
-//! resulting stable JSON must match the committed golden file byte for byte
-//! — the same bytes the CLI's `-o json` and the server's
-//! `GET /graphs/trade/compare` emit.
+//! resulting stable JSON (`to_json_stable`, no timings) must match the
+//! committed golden file byte for byte — the same bytes the server's
+//! `GET /graphs/trade/compare` emits (the CLI's `-o json` adds a
+//! `score_wall_ms` timing per method on top of these).
 //!
 //! The golden file lives in `crates/eval/tests/golden/`. To regenerate it
 //! after an intentional behaviour change:
@@ -42,7 +43,7 @@ fn default_compare_report_matches_its_golden_json() {
         .expect("default config is valid")
         .run(&graph)
         .expect("comparison runs on the fixture");
-    let mut produced = report.to_json();
+    let mut produced = report.to_json_stable();
     produced.push('\n');
 
     let path = golden_path();
@@ -101,8 +102,8 @@ fn compare_report_is_invariant_across_thread_counts() {
         .unwrap();
         assert_eq!(run, reference, "threads = {threads}");
         assert_eq!(
-            run.to_json(),
-            reference.to_json(),
+            run.to_json_stable(),
+            reference.to_json_stable(),
             "threads = {threads}: JSON bytes differ"
         );
     }

@@ -203,6 +203,13 @@ pub struct EntryDistances {
     /// interleave across levels by node id and level-synchronous processing
     /// would assign different parents.
     uniform: Option<f64>,
+    /// Whether `uniform` covers *every* entry (no infinite distances at all),
+    /// letting the BFS paths skip the per-entry distance check.
+    uniform_total: bool,
+    /// Auto-tuned bucket width for [`BucketQueue`] (`None` when the
+    /// distribution offers nothing to bucket on: uniform distances, or no
+    /// finite positive distance at all).
+    bucket_width: Option<f64>,
 }
 
 impl EntryDistances {
@@ -214,6 +221,21 @@ impl EntryDistances {
     /// The uniform finite distance, when the graph has one (see struct docs).
     pub fn uniform(&self) -> Option<f64> {
         self.uniform
+    }
+
+    /// Whether the uniform distance covers every entry (no entry is
+    /// infinite), so uniform-path scans need no per-entry distance check.
+    pub fn uniform_is_total(&self) -> bool {
+        self.uniform_total
+    }
+
+    /// The auto-tuned bucket width for the frontier-bucketed SSSP engine: the
+    /// 25th percentile of the finite positive entry distances (clamped from
+    /// below so the whole per-entry range spans a bounded number of buckets).
+    /// With that width at least three quarters of all relaxations jump past
+    /// the current bucket and cost `O(1)` ring pushes instead of heap sifts.
+    pub fn bucket_width(&self) -> Option<f64> {
+        self.bucket_width
     }
 }
 
@@ -232,16 +254,19 @@ pub fn csr_entry_distances(csr: &CsrGraph, transform: DistanceTransform) -> Entr
         .map(|&weight| transform.apply(weight, max_weight))
         .collect();
     let mut uniform = None;
+    let mut distinct_finite = false;
+    let mut any_non_finite = false;
     for &value in &values {
         if !value.is_finite() {
+            any_non_finite = true;
             continue;
         }
         match uniform {
-            None => uniform = Some(value),
+            None if !distinct_finite => uniform = Some(value),
             Some(d) if d == value => {}
-            Some(_) => {
+            _ => {
                 uniform = None;
-                break;
+                distinct_finite = true;
             }
         }
     }
@@ -249,7 +274,37 @@ pub fn csr_entry_distances(csr: &CsrGraph, transform: DistanceTransform) -> Entr
     if uniform == Some(0.0) {
         uniform = None;
     }
-    EntryDistances { values, uniform }
+    let uniform_total = uniform.is_some() && !any_non_finite;
+    let bucket_width = if uniform.is_some() {
+        None
+    } else {
+        tuned_bucket_width(&values)
+    };
+    EntryDistances {
+        values,
+        uniform,
+        uniform_total,
+        bucket_width,
+    }
+}
+
+/// Pick the [`BucketQueue`] width from the finite positive entry distances:
+/// their 25th percentile, clamped so the largest single entry distance spans
+/// at most 2^16 buckets (heavier tails only cost overflow redistributions,
+/// never correctness, but a bounded span keeps them rare).
+fn tuned_bucket_width(values: &[f64]) -> Option<f64> {
+    let mut finite: Vec<f64> = values
+        .iter()
+        .copied()
+        .filter(|v| v.is_finite() && *v > 0.0)
+        .collect();
+    if finite.is_empty() {
+        return None;
+    }
+    let k = finite.len() / 4;
+    let (_, &mut quartile, _) = finite.select_nth_unstable_by(k, f64::total_cmp);
+    let max = finite.iter().copied().fold(0.0_f64, f64::max);
+    Some(quartile.max(max / 65536.0))
 }
 
 /// Sentinel for "no parent" in [`CsrDijkstra`]'s dense parent arrays.
@@ -308,6 +363,212 @@ impl PackedMinHeap {
     }
 }
 
+/// The priority-queue interface shared by [`PackedMinHeap`] and
+/// [`BucketQueue`]. Both pop packed keys in exactly ascending order, so the
+/// relaxation loop is generic over the queue with bit-identical output.
+trait MinQueue {
+    fn push(&mut self, key: u128);
+    fn pop(&mut self) -> Option<u128>;
+}
+
+impl MinQueue for PackedMinHeap {
+    #[inline]
+    fn push(&mut self, key: u128) {
+        PackedMinHeap::push(self, key);
+    }
+
+    #[inline]
+    fn pop(&mut self) -> Option<u128> {
+        PackedMinHeap::pop(self)
+    }
+}
+
+/// Number of future buckets directly addressable in [`BucketQueue`]'s ring.
+const BUCKET_RING: usize = 1024;
+const BUCKET_RING_WORDS: usize = BUCKET_RING / 64;
+
+/// A frontier-bucketed (delta-stepping style) monotone min-queue over packed
+/// `(distance bits, node)` keys.
+///
+/// Keys are grouped by `floor(distance / width)`. The bucket currently being
+/// drained is held in a small exact binary heap; future buckets live in a
+/// circular ring of `O(1)`-push vectors; keys more than [`BUCKET_RING`]
+/// buckets ahead wait in an overflow list that is redistributed when the
+/// window advances past them.
+///
+/// **Pop order is exactly that of [`PackedMinHeap`]** — the property that
+/// keeps the SPT parents (and therefore every HSS salience bit) identical:
+///
+/// * the bucket index is monotone in the key (a positive multiply and a
+///   truncation preserve order, and the `as u64` saturation only merges
+///   far-future buckets), so every key in bucket `b` orders below every key
+///   in any bucket `b' > b`;
+/// * within the current bucket the binary heap pops exact ascending `u128`
+///   order, including the node-id tie-break for equal distances;
+/// * Dijkstra's monotonicity (a relaxation pushes `settled + edge ≥ settled`)
+///   guarantees no key ever lands in a bucket below the one being drained,
+///   so draining buckets in ascending index yields globally ascending pops.
+///
+/// The win over the heap is that the common case — a relaxation jumping past
+/// the current bucket — is an `O(1)` ring push instead of an `O(log n)` sift.
+#[derive(Debug, Clone)]
+struct BucketQueue {
+    width: f64,
+    inv_width: f64,
+    /// Bucket id currently being drained (through `current`).
+    base: u64,
+    /// Exact min-heap over the keys of bucket `base`.
+    current: BinaryHeap<std::cmp::Reverse<u128>>,
+    /// Future buckets `base+1 .. base+BUCKET_RING`, at slot `bucket % BUCKET_RING`.
+    ring: Vec<Vec<u128>>,
+    /// One bit per ring slot: slot holds at least one key.
+    occupied: [u64; BUCKET_RING_WORDS],
+    /// Keys at least [`BUCKET_RING`] buckets ahead of `base`.
+    overflow: Vec<u128>,
+    /// Minimum bucket id among `overflow` keys (when non-empty).
+    overflow_min: u64,
+}
+
+impl BucketQueue {
+    fn new(width: f64) -> Self {
+        assert!(
+            width.is_finite() && width > 0.0,
+            "bucket width must be positive"
+        );
+        BucketQueue {
+            width,
+            inv_width: width.recip(),
+            base: 0,
+            current: BinaryHeap::new(),
+            ring: vec![Vec::new(); BUCKET_RING],
+            occupied: [0; BUCKET_RING_WORDS],
+            overflow: Vec::new(),
+            overflow_min: u64::MAX,
+        }
+    }
+
+    #[inline]
+    fn bucket_of(&self, key: u128) -> u64 {
+        // Monotone in the distance; saturates for enormous quotients, which
+        // only merges far-future buckets (the in-bucket heap re-orders them
+        // exactly once they become current).
+        (f64::from_bits((key >> 64) as u64) * self.inv_width) as u64
+    }
+
+    /// Reset to an empty queue at bucket zero. Sparse: only slots the last
+    /// run left occupied are visited (a fully drained run leaves none).
+    fn clear(&mut self) {
+        self.current.clear();
+        for (word_index, word) in self.occupied.iter_mut().enumerate() {
+            let mut bits = *word;
+            while bits != 0 {
+                let bit = bits.trailing_zeros() as usize;
+                self.ring[word_index * 64 + bit].clear();
+                bits &= bits - 1;
+            }
+            *word = 0;
+        }
+        self.overflow.clear();
+        self.overflow_min = u64::MAX;
+        self.base = 0;
+    }
+
+    /// First occupied ring slot at or after `start` in circular window order
+    /// (window order equals ascending bucket offset from `base`).
+    fn next_occupied_slot(&self, start: usize) -> Option<usize> {
+        let word0 = start / 64;
+        let masked = self.occupied[word0] & (!0u64 << (start % 64));
+        if masked != 0 {
+            return Some(word0 * 64 + masked.trailing_zeros() as usize);
+        }
+        for step in 1..=BUCKET_RING_WORDS {
+            let word = (word0 + step) % BUCKET_RING_WORDS;
+            if self.occupied[word] != 0 {
+                return Some(word * 64 + self.occupied[word].trailing_zeros() as usize);
+            }
+        }
+        None
+    }
+
+    /// Move `base` to the next non-empty bucket and load it into `current`.
+    /// Returns `false` when the queue is exhausted.
+    fn advance(&mut self) -> bool {
+        let base_slot = (self.base % BUCKET_RING as u64) as usize;
+        if let Some(slot) = self.next_occupied_slot((base_slot + 1) % BUCKET_RING) {
+            let offset = ((slot + BUCKET_RING - base_slot) % BUCKET_RING) as u64;
+            self.base += offset;
+            self.occupied[slot / 64] &= !(1u64 << (slot % 64));
+            // `drain` keeps the slot's allocation for later buckets.
+            self.current
+                .extend(self.ring[slot].drain(..).map(std::cmp::Reverse));
+            return true;
+        }
+        if self.overflow.is_empty() {
+            return false;
+        }
+        // Re-base the window onto the earliest overflow bucket and re-push;
+        // at least one key maps to the new base bucket, i.e. into `current`.
+        self.base = self.overflow_min;
+        self.overflow_min = u64::MAX;
+        let pending = std::mem::take(&mut self.overflow);
+        for key in pending {
+            self.push(key);
+        }
+        true
+    }
+}
+
+impl MinQueue for BucketQueue {
+    #[inline]
+    fn push(&mut self, key: u128) {
+        let bucket = self.bucket_of(key);
+        if bucket <= self.base {
+            // Same-bucket relaxation (equal or near-equal distance): the
+            // exact heap keeps it ordered among the remaining current keys.
+            self.current.push(std::cmp::Reverse(key));
+        } else if bucket - self.base < BUCKET_RING as u64 {
+            let slot = (bucket % BUCKET_RING as u64) as usize;
+            self.ring[slot].push(key);
+            self.occupied[slot / 64] |= 1u64 << (slot % 64);
+        } else {
+            if bucket < self.overflow_min {
+                self.overflow_min = bucket;
+            }
+            self.overflow.push(key);
+        }
+    }
+
+    #[inline]
+    fn pop(&mut self) -> Option<u128> {
+        loop {
+            if let Some(std::cmp::Reverse(key)) = self.current.pop() {
+                return Some(key);
+            }
+            if !self.advance() {
+                return None;
+            }
+        }
+    }
+}
+
+/// Which priority queue drives [`CsrDijkstra`]'s general (non-uniform) path.
+///
+/// Both engines pop packed keys in exactly ascending order, so distances,
+/// parents and parent entries are bit-identical whichever is selected (pinned
+/// by the engine-parity tests and the adjacency parity proptests).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SsspEngine {
+    /// Pick per run: the frontier-bucketed queue whenever the entry-distance
+    /// distribution yields a usable bucket width, the binary heap otherwise.
+    #[default]
+    Auto,
+    /// Always the packed-`u128` binary heap.
+    BinaryHeap,
+    /// The frontier-bucketed queue (falls back to the heap when no bucket
+    /// width can be tuned, e.g. all finite distances are zero).
+    Bucketed,
+}
+
 /// Reusable single-source shortest-path workspace over a [`CsrGraph`].
 ///
 /// The High Salience Skeleton runs one Dijkstra per node; allocating the
@@ -316,10 +577,10 @@ impl PackedMinHeap {
 /// touched by the previous run, so consecutive roots on a sparse graph cost
 /// `O(reached · log reached)` with no allocation at all.
 ///
-/// The relaxation order, heap tie-breaking and floating-point operations are
-/// exactly those of [`dijkstra`], so for any root the resulting tree is
-/// bit-identical to the adjacency-list implementation (pinned by the parity
-/// test suite).
+/// The relaxation order, queue tie-breaking and floating-point operations are
+/// exactly those of [`dijkstra`] — for either [`SsspEngine`] — so for any
+/// root the resulting tree is bit-identical to the adjacency-list
+/// implementation (pinned by the parity test suite).
 #[derive(Debug, Clone)]
 pub struct CsrDijkstra {
     /// Distance per node as an IEEE-754 bit pattern. All reachable distances
@@ -330,21 +591,33 @@ pub struct CsrDijkstra {
     parent_node: Vec<usize>,
     parent_entry: Vec<usize>,
     reached: Vec<NodeId>,
+    engine: SsspEngine,
     heap: PackedMinHeap,
+    /// Lazily built when a run first takes the bucketed engine; reused (ring
+    /// allocations and all) across runs with the same width.
+    bucket: Option<BucketQueue>,
     /// Frontier buffers of the uniform-distance (BFS) fast path.
     current_level: Vec<NodeId>,
     next_level: Vec<NodeId>,
 }
 
 impl CsrDijkstra {
-    /// Allocate a workspace for graphs with `node_count` nodes.
+    /// Allocate a workspace for graphs with `node_count` nodes, selecting the
+    /// queue engine automatically per run.
     pub fn new(node_count: usize) -> Self {
+        Self::with_engine(node_count, SsspEngine::Auto)
+    }
+
+    /// Allocate a workspace pinned to a specific [`SsspEngine`].
+    pub fn with_engine(node_count: usize, engine: SsspEngine) -> Self {
         CsrDijkstra {
             distance_bits: vec![INFINITY_BITS; node_count],
             parent_node: vec![NO_PARENT; node_count],
             parent_entry: vec![NO_PARENT; node_count],
             reached: Vec::with_capacity(node_count),
+            engine,
             heap: PackedMinHeap::default(),
+            bucket: None,
             current_level: Vec::new(),
             next_level: Vec::new(),
         }
@@ -359,6 +632,9 @@ impl CsrDijkstra {
         }
         self.reached.clear();
         self.heap.clear();
+        if let Some(bucket) = &mut self.bucket {
+            bucket.clear();
+        }
     }
 
     /// Run Dijkstra from `source` over `csr`, using the precomputed
@@ -381,43 +657,53 @@ impl CsrDijkstra {
         if let Some(step) = entry_distances.uniform() {
             self.run_uniform(csr, entry_distances.values(), step, source);
         } else {
-            self.run_general(csr, entry_distances.values(), source);
+            self.run_general(csr, entry_distances, source);
         }
     }
 
-    /// The general path: lazy-deletion Dijkstra over the packed min-heap.
-    fn run_general(&mut self, csr: &CsrGraph, entry_distances: &[f64], source: NodeId) {
-        self.heap.push(pack_entry(0.0_f64.to_bits(), source));
-        while let Some(top) = self.heap.pop() {
-            let (top_bits, node) = unpack_entry(top);
-            // Stale-pop check, equivalent to a `settled` flag: a strict
-            // relaxation can never re-push a node at its current (minimal)
-            // distance, so the first pop of a node carries exactly its stored
-            // bits and every later pop carries strictly larger ones.
-            if top_bits != self.distance_bits[node] {
-                continue;
+    /// The general path: lazy-deletion Dijkstra over the engine's min-queue
+    /// (both queues pop the identical ascending key sequence, see
+    /// [`SsspEngine`]).
+    fn run_general(&mut self, csr: &CsrGraph, entry_distances: &EntryDistances, source: NodeId) {
+        let bucket_width = match self.engine {
+            SsspEngine::BinaryHeap => None,
+            SsspEngine::Auto | SsspEngine::Bucketed => entry_distances.bucket_width(),
+        };
+        let CsrDijkstra {
+            distance_bits,
+            parent_node,
+            parent_entry,
+            reached,
+            heap,
+            bucket,
+            ..
+        } = self;
+        if let Some(width) = bucket_width {
+            if bucket.as_ref().is_none_or(|queue| queue.width != width) {
+                *bucket = Some(BucketQueue::new(width));
             }
-            let distance = f64::from_bits(top_bits);
-            let range = csr.entry_range(node);
-            let entry_base = range.start;
-            let targets = csr.neighbors(node);
-            let distances = &entry_distances[range];
-            for (slot, (&neighbor, &edge_distance)) in targets.iter().zip(distances).enumerate() {
-                let neighbor = neighbor as NodeId;
-                // An unreachable (infinite) edge distance can never relax:
-                // `distance + ∞` compares above every stored pattern,
-                // including `INFINITY_BITS` itself.
-                let candidate_bits = (distance + edge_distance).to_bits();
-                if candidate_bits < self.distance_bits[neighbor] {
-                    if self.distance_bits[neighbor] == INFINITY_BITS {
-                        self.reached.push(neighbor);
-                    }
-                    self.distance_bits[neighbor] = candidate_bits;
-                    self.parent_node[neighbor] = node;
-                    self.parent_entry[neighbor] = entry_base + slot;
-                    self.heap.push(pack_entry(candidate_bits, neighbor));
-                }
-            }
+            let queue = bucket.as_mut().expect("bucket queue just ensured");
+            run_queue(
+                queue,
+                csr,
+                entry_distances.values(),
+                distance_bits,
+                parent_node,
+                parent_entry,
+                reached,
+                source,
+            );
+        } else {
+            run_queue(
+                heap,
+                csr,
+                entry_distances.values(),
+                distance_bits,
+                parent_node,
+                parent_entry,
+                reached,
+                source,
+            );
         }
     }
 
@@ -502,6 +788,210 @@ impl CsrDijkstra {
     /// first relaxation).
     pub fn reached(&self) -> &[NodeId] {
         &self.reached
+    }
+}
+
+/// The engine-generic relaxation loop: lazy-deletion Dijkstra over any
+/// ascending-order [`MinQueue`]. Monomorphized per queue, so the heap path
+/// compiles to exactly the loop it was before the bucketed engine existed.
+#[allow(clippy::too_many_arguments)]
+fn run_queue<Q: MinQueue>(
+    queue: &mut Q,
+    csr: &CsrGraph,
+    entry_distances: &[f64],
+    distance_bits: &mut [u64],
+    parent_node: &mut [usize],
+    parent_entry: &mut [usize],
+    reached: &mut Vec<NodeId>,
+    source: NodeId,
+) {
+    queue.push(pack_entry(0.0_f64.to_bits(), source));
+    while let Some(top) = queue.pop() {
+        let (top_bits, node) = unpack_entry(top);
+        // Stale-pop check, equivalent to a `settled` flag: a strict
+        // relaxation can never re-push a node at its current (minimal)
+        // distance, so the first pop of a node carries exactly its stored
+        // bits and every later pop carries strictly larger ones.
+        if top_bits != distance_bits[node] {
+            continue;
+        }
+        let distance = f64::from_bits(top_bits);
+        let range = csr.entry_range(node);
+        let entry_base = range.start;
+        let targets = csr.neighbors(node);
+        let distances = &entry_distances[range];
+        for (slot, (&neighbor, &edge_distance)) in targets.iter().zip(distances).enumerate() {
+            let neighbor = neighbor as NodeId;
+            // An unreachable (infinite) edge distance can never relax:
+            // `distance + ∞` compares above every stored pattern,
+            // including `INFINITY_BITS` itself.
+            let candidate_bits = (distance + edge_distance).to_bits();
+            if candidate_bits < distance_bits[neighbor] {
+                if distance_bits[neighbor] == INFINITY_BITS {
+                    reached.push(neighbor);
+                }
+                distance_bits[neighbor] = candidate_bits;
+                parent_node[neighbor] = node;
+                parent_entry[neighbor] = entry_base + slot;
+                queue.push(pack_entry(candidate_bits, neighbor));
+            }
+        }
+    }
+}
+
+/// Lane width of [`UniformBfsBatch`]: one `u64` mask packs 64 roots.
+pub const UNIFORM_BFS_LANES: usize = 64;
+
+/// Batched multi-root BFS over uniform entry distances: up to
+/// [`UNIFORM_BFS_LANES`] shortest-path trees grown in one pass over the
+/// edges per level, with per-root membership delivered as bitmask counts.
+///
+/// This is the engine behind exact HSS on uniform-weight graphs: instead of
+/// one level-synchronous BFS per root (`O(V · E)` entry visits overall), each
+/// batch advances 64 roots simultaneously — a node holds one `u64` frontier
+/// mask and one `u64` undiscovered mask, and an edge scan settles it for all
+/// 64 lanes at once (`O(V · E / 64)` plus per-discovery bit work).
+///
+/// **Output equivalence with the per-root paths** (pinned by the HSS parity
+/// proptests): every level processes its nodes in ascending node id — the
+/// union of the lanes' frontiers, sorted — and a lane's discoveries happen at
+/// exactly the (node, slot) position its own sorted-level BFS would visit,
+/// because nodes not in that lane's frontier contribute an empty lane mask.
+/// First discovery wins per lane (the undiscovered-mask test), which is the
+/// strict-relaxation parent rule of the heap path for uniform distances.
+/// Levels stay synchronized across lanes since every tree edge has the same
+/// step; distances are not materialized (no caller of the batch needs them).
+#[derive(Debug, Clone)]
+pub struct UniformBfsBatch {
+    /// Per node: lanes that hold the node in the current BFS level.
+    frontier: Vec<u64>,
+    /// Per node: lanes that discovered the node while scanning this level.
+    next_frontier: Vec<u64>,
+    /// Per node: lanes that have NOT yet discovered the node.
+    undiscovered: Vec<u64>,
+    /// Current level, ascending; the union over all lanes.
+    active: Vec<NodeId>,
+    next_active: Vec<NodeId>,
+    /// Nodes whose `undiscovered` mask was touched, for the sparse reset.
+    touched: Vec<NodeId>,
+}
+
+impl UniformBfsBatch {
+    /// Allocate a batch workspace for graphs with `node_count` nodes.
+    pub fn new(node_count: usize) -> Self {
+        UniformBfsBatch {
+            frontier: vec![0; node_count],
+            next_frontier: vec![0; node_count],
+            undiscovered: vec![u64::MAX; node_count],
+            active: Vec::new(),
+            next_active: Vec::new(),
+            touched: Vec::new(),
+        }
+    }
+
+    /// Grow the shortest-path trees of up to 64 distinct `roots` at once.
+    ///
+    /// `on_tree_entry(entry, lanes)` fires once per discovery event: the CSR
+    /// entry is the tree edge into the discovered node for exactly `lanes`
+    /// roots of this batch. Summed over a whole batch sweep this yields the
+    /// HSS tree-membership counts, bit-identical to running the roots one by
+    /// one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entry_distances` is not uniform, `roots` has more than
+    /// [`UNIFORM_BFS_LANES`] entries, or a root is out of bounds. Roots must
+    /// be distinct (checked in debug builds).
+    pub fn run(
+        &mut self,
+        csr: &CsrGraph,
+        entry_distances: &EntryDistances,
+        roots: &[NodeId],
+        on_tree_entry: impl FnMut(usize, u32),
+    ) {
+        let step = entry_distances
+            .uniform()
+            .expect("batched BFS requires uniform entry distances");
+        assert!(roots.len() <= UNIFORM_BFS_LANES, "too many roots per batch");
+        if entry_distances.uniform_is_total() {
+            self.run_inner::<false>(csr, entry_distances.values(), step, roots, on_tree_entry);
+        } else {
+            self.run_inner::<true>(csr, entry_distances.values(), step, roots, on_tree_entry);
+        }
+    }
+
+    fn run_inner<const CHECK_STEP: bool>(
+        &mut self,
+        csr: &CsrGraph,
+        entry_distances: &[f64],
+        step: f64,
+        roots: &[NodeId],
+        mut on_tree_entry: impl FnMut(usize, u32),
+    ) {
+        let UniformBfsBatch {
+            frontier,
+            next_frontier,
+            undiscovered,
+            active,
+            next_active,
+            touched,
+        } = self;
+        for (lane, &root) in roots.iter().enumerate() {
+            let bit = 1u64 << lane;
+            debug_assert!(undiscovered[root] & bit != 0, "roots must be distinct");
+            if undiscovered[root] == u64::MAX {
+                touched.push(root);
+            }
+            undiscovered[root] &= !bit;
+            if frontier[root] == 0 {
+                active.push(root);
+            }
+            frontier[root] |= bit;
+        }
+        active.sort_unstable();
+        while !active.is_empty() {
+            for &node in active.iter() {
+                let lanes = frontier[node];
+                let range = csr.entry_range(node);
+                let entry_base = range.start;
+                for (slot, &neighbor) in csr.neighbors(node).iter().enumerate() {
+                    if CHECK_STEP && entry_distances[entry_base + slot] != step {
+                        continue;
+                    }
+                    let neighbor = neighbor as NodeId;
+                    let newly = lanes & undiscovered[neighbor];
+                    if newly != 0 {
+                        if undiscovered[neighbor] == u64::MAX {
+                            touched.push(neighbor);
+                        }
+                        undiscovered[neighbor] &= !newly;
+                        if next_frontier[neighbor] == 0 {
+                            next_active.push(neighbor);
+                        }
+                        next_frontier[neighbor] |= newly;
+                        on_tree_entry(entry_base + slot, newly.count_ones());
+                    }
+                }
+            }
+            // Clear the old level's masks before installing the new ones (a
+            // node can sit in the current level for one lane and be freshly
+            // discovered for another).
+            for &node in active.iter() {
+                frontier[node] = 0;
+            }
+            next_active.sort_unstable();
+            for &node in next_active.iter() {
+                frontier[node] = next_frontier[node];
+                next_frontier[node] = 0;
+            }
+            std::mem::swap(active, next_active);
+            next_active.clear();
+        }
+        // Sparse reset for the next batch.
+        for &node in touched.iter() {
+            undiscovered[node] = u64::MAX;
+        }
+        touched.clear();
     }
 }
 
@@ -786,6 +1276,221 @@ mod tests {
             let csr_tree = csr_dijkstra(&csr, source, DistanceTransform::Inverse).unwrap();
             assert_eq!(adjacency, csr_tree, "source {source}");
         }
+    }
+
+    /// Pseudo-random weighted graph for engine-parity checks.
+    fn scrambled_graph(nodes: usize, seed: u64) -> WeightedGraph {
+        let mut g = WeightedGraph::with_nodes(Direction::Undirected, nodes);
+        let mut state = seed | 1;
+        let mut next = || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for i in 0..nodes {
+            for _ in 0..3 {
+                let j = (next() as usize) % nodes;
+                if i != j {
+                    let weight = (next() % 1000) as f64 / 20.0 + 0.05;
+                    g.add_edge(i, j, weight).unwrap();
+                }
+            }
+        }
+        g
+    }
+
+    #[test]
+    fn bucket_queue_pops_in_ascending_key_order() {
+        // Keys with duplicate distances and scrambled pushes, over a width
+        // small enough to exercise the ring.
+        let mut queue = BucketQueue::new(0.25);
+        let mut keys = Vec::new();
+        let mut state = 0x9E37u64;
+        for node in 0..500usize {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let distance = ((state >> 33) % 64) as f64 / 4.0;
+            keys.push(pack_entry(distance.to_bits(), node));
+        }
+        for &key in &keys {
+            MinQueue::push(&mut queue, key);
+        }
+        keys.sort_unstable();
+        let mut popped = Vec::new();
+        while let Some(key) = MinQueue::pop(&mut queue) {
+            popped.push(key);
+        }
+        assert_eq!(popped, keys);
+    }
+
+    #[test]
+    fn bucket_queue_overflow_and_rebase_keep_exact_order() {
+        // A tiny width spreads these keys across far more than BUCKET_RING
+        // buckets, forcing the overflow list and repeated window re-bases.
+        let mut queue = BucketQueue::new(1e-3);
+        let mut keys = Vec::new();
+        for node in 0..300usize {
+            let distance = ((node * 7919) % 300) as f64 * 17.0;
+            keys.push(pack_entry(distance.to_bits(), node));
+        }
+        for &key in &keys {
+            MinQueue::push(&mut queue, key);
+        }
+        keys.sort_unstable();
+        let mut popped = Vec::new();
+        while let Some(key) = MinQueue::pop(&mut queue) {
+            popped.push(key);
+        }
+        assert_eq!(popped, keys);
+        // The queue is reusable after a full drain.
+        queue.clear();
+        MinQueue::push(&mut queue, pack_entry(1.0f64.to_bits(), 7));
+        assert_eq!(
+            MinQueue::pop(&mut queue),
+            Some(pack_entry(1.0f64.to_bits(), 7))
+        );
+        assert_eq!(MinQueue::pop(&mut queue), None);
+    }
+
+    #[test]
+    fn bucketed_engine_matches_heap_engine() {
+        let g = scrambled_graph(60, 42);
+        let csr = CsrGraph::from_graph(&g).unwrap();
+        for transform in [
+            DistanceTransform::Inverse,
+            DistanceTransform::NegativeLog,
+            DistanceTransform::Identity,
+        ] {
+            let entry_distances = csr_entry_distances(&csr, transform);
+            assert!(entry_distances.bucket_width().is_some());
+            let mut heap = CsrDijkstra::with_engine(csr.node_count(), SsspEngine::BinaryHeap);
+            let mut bucketed = CsrDijkstra::with_engine(csr.node_count(), SsspEngine::Bucketed);
+            for source in 0..csr.node_count() {
+                heap.run(&csr, &entry_distances, source);
+                bucketed.run(&csr, &entry_distances, source);
+                // Same pop order ⇒ same relaxation order ⇒ identical reached
+                // sequence, distances, parents and parent entries.
+                assert_eq!(heap.reached(), bucketed.reached(), "source {source}");
+                for node in 0..csr.node_count() {
+                    assert_eq!(
+                        heap.distance(node).to_bits(),
+                        bucketed.distance(node).to_bits()
+                    );
+                    assert_eq!(heap.parent(node), bucketed.parent(node));
+                    assert_eq!(heap.parent_entry(node), bucketed.parent_entry(node));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn auto_engine_matches_adjacency_on_weighted_graphs() {
+        let g = scrambled_graph(40, 7);
+        let csr = CsrGraph::from_graph(&g).unwrap();
+        for source in 0..g.node_count() {
+            let adjacency = dijkstra(&g, source, DistanceTransform::Inverse).unwrap();
+            let csr_tree = csr_dijkstra(&csr, source, DistanceTransform::Inverse).unwrap();
+            assert_eq!(adjacency, csr_tree, "source {source}");
+        }
+    }
+
+    #[test]
+    fn batched_bfs_matches_per_root_trees() {
+        // The uniform_fast_path graph plus extra lanes: compare per-entry
+        // tree-membership counts of the batch against per-root CsrDijkstra.
+        let mut g = WeightedGraph::with_nodes(Direction::Undirected, 10);
+        for (a, b) in [
+            (0, 1),
+            (0, 2),
+            (1, 3),
+            (2, 3),
+            (3, 4),
+            (4, 5),
+            (2, 5),
+            (7, 8),
+        ] {
+            g.add_edge(a, b, 1.0).unwrap();
+        }
+        g.add_edge(0, 6, 0.0).unwrap(); // infinite distance: must be skipped
+        let csr = CsrGraph::from_graph(&g).unwrap();
+        let entry_distances = csr_entry_distances(&csr, DistanceTransform::Inverse);
+        assert!(entry_distances.uniform().is_some());
+        assert!(!entry_distances.uniform_is_total());
+
+        let roots: Vec<NodeId> = (0..csr.node_count()).collect();
+        let mut batch_counts = vec![0usize; csr.entry_count()];
+        let mut batch = UniformBfsBatch::new(csr.node_count());
+        batch.run(&csr, &entry_distances, &roots, |entry, lanes| {
+            batch_counts[entry] += lanes as usize;
+        });
+
+        let mut per_root_counts = vec![0usize; csr.entry_count()];
+        let mut scratch = CsrDijkstra::new(csr.node_count());
+        for root in 0..csr.node_count() {
+            scratch.run(&csr, &entry_distances, root);
+            for &node in scratch.reached() {
+                if let Some(entry) = scratch.parent_entry(node) {
+                    per_root_counts[entry] += 1;
+                }
+            }
+        }
+        assert_eq!(batch_counts, per_root_counts);
+    }
+
+    #[test]
+    fn batched_bfs_is_reusable_across_batches() {
+        // A directed unit-weight cycle with a chord, swept in two batches of
+        // two roots each; totals must match a single four-root batch.
+        let mut g = WeightedGraph::with_nodes(Direction::Directed, 4);
+        for (a, b) in [(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)] {
+            g.add_edge(a, b, 1.0).unwrap();
+        }
+        let csr = CsrGraph::from_graph(&g).unwrap();
+        let entry_distances = csr_entry_distances(&csr, DistanceTransform::Inverse);
+        assert!(entry_distances.uniform_is_total());
+
+        let mut split_counts = vec![0usize; csr.entry_count()];
+        let mut batch = UniformBfsBatch::new(csr.node_count());
+        for roots in [[0, 1], [2, 3]] {
+            batch.run(&csr, &entry_distances, &roots, |entry, lanes| {
+                split_counts[entry] += lanes as usize;
+            });
+        }
+        let mut whole_counts = vec![0usize; csr.entry_count()];
+        batch.run(&csr, &entry_distances, &[0, 1, 2, 3], |entry, lanes| {
+            whole_counts[entry] += lanes as usize;
+        });
+        assert_eq!(split_counts, whole_counts);
+    }
+
+    #[test]
+    fn bucket_width_is_tuned_from_the_distance_distribution() {
+        // Uniform distances need no bucketing.
+        let mut unit = WeightedGraph::with_nodes(Direction::Undirected, 3);
+        unit.add_edge(0, 1, 1.0).unwrap();
+        unit.add_edge(1, 2, 1.0).unwrap();
+        let csr = CsrGraph::from_graph(&unit).unwrap();
+        assert_eq!(
+            csr_entry_distances(&csr, DistanceTransform::Inverse).bucket_width(),
+            None
+        );
+        // All-zero distances (identity transform on zero weights) cannot be
+        // bucketed either: the general path falls back to the heap.
+        let mut zeros = WeightedGraph::with_nodes(Direction::Directed, 3);
+        zeros.add_edge(0, 1, 0.0).unwrap();
+        zeros.add_edge(1, 2, 0.0).unwrap();
+        let csr = CsrGraph::from_graph(&zeros).unwrap();
+        assert_eq!(
+            csr_entry_distances(&csr, DistanceTransform::Identity).bucket_width(),
+            None
+        );
+        // A weighted graph yields a positive width no larger than the median
+        // entry distance.
+        let g = detour_graph();
+        let csr = CsrGraph::from_graph(&g).unwrap();
+        let distances = csr_entry_distances(&csr, DistanceTransform::Inverse);
+        let width = distances.bucket_width().unwrap();
+        assert!(width > 0.0 && width <= 1.0);
     }
 
     #[test]

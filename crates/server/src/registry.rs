@@ -3,9 +3,11 @@
 //! A [`Registry`] owns every named graph the server can answer queries
 //! about: graphs loaded from a directory at startup plus graphs uploaded
 //! over HTTP. Each [`GraphEntry`] carries a **scored-edge cache** keyed by
-//! method, so the expensive scoring pass (Sinkhorn for DS, one Dijkstra per
-//! root for HSS, the NC posterior, Monte Carlo-free but still O(E) work for
-//! the rest) runs **once per `(graph, method)`** and every subsequent
+//! [`Method::cache_key`] — the CLI name for exact methods, and a key that
+//! embeds `roots` and `seed` for the sampled `hss-approx` estimator — so
+//! the expensive scoring pass (Sinkhorn for DS, one SSSP per root for HSS,
+//! the NC posterior, Monte Carlo-free but still O(E) work for the rest)
+//! runs **once per `(graph, method configuration)`** and every subsequent
 //! threshold policy is answered from the cached
 //! [`backboning::ScoredEdges`] at selection cost.
 //!
@@ -65,7 +67,10 @@ pub struct GraphEntry {
     /// Logical clock driving both LRU caches: bumped on every cache touch,
     /// so the entry with the smallest stamp is the least recently used.
     clock: AtomicU64,
-    cache: Mutex<HashMap<&'static str, (u64, ScoreSlot)>>,
+    /// Keyed by [`Method::cache_key`]: the CLI name for exact methods, and
+    /// `hss-approx:roots=K:seed=S` for the sampled estimator — two sampled
+    /// configurations score differently and must never share a slot.
+    cache: Mutex<HashMap<String, (u64, ScoreSlot)>>,
     compare_cache: Mutex<HashMap<String, (u64, Arc<str>)>>,
 }
 
@@ -124,14 +129,16 @@ impl GraphEntry {
         &self.graph
     }
 
-    /// CLI names of the methods whose scores are currently cached
-    /// (successfully computed ones only), sorted for stable output.
-    pub fn cached_methods(&self) -> Vec<&'static str> {
+    /// Cache keys of the methods whose scores are currently cached
+    /// (successfully computed ones only), sorted for stable output. Exact
+    /// methods appear under their CLI name; sampled HSS under its full
+    /// `hss-approx:roots=K:seed=S` key.
+    pub fn cached_methods(&self) -> Vec<String> {
         let cache = self.cache.lock().unwrap_or_else(|e| e.into_inner());
-        let mut names: Vec<&'static str> = cache
+        let mut names: Vec<String> = cache
             .iter()
             .filter(|(_, (_, slot))| matches!(slot.get(), Some(Ok(_))))
-            .map(|(name, _)| *name)
+            .map(|(name, _)| name.clone())
             .collect();
         names.sort_unstable();
         names
@@ -281,12 +288,13 @@ impl Registry {
         method: Method,
     ) -> Result<Arc<ScoredEdges>, BackboneError> {
         let stamp = entry.tick();
+        let key = method.cache_key();
         let slot = {
             let mut cache = entry.cache.lock().unwrap_or_else(|e| e.into_inner());
-            if cache.len() >= MAX_SCORED_METHODS && !cache.contains_key(method.cli_name()) {
+            if cache.len() >= MAX_SCORED_METHODS && !cache.contains_key(&key) {
                 evict_least_recently_used(&mut cache);
             }
-            let (used, slot) = cache.entry(method.cli_name()).or_default();
+            let (used, slot) = cache.entry(key).or_default();
             *used = stamp;
             Arc::clone(slot)
         };
@@ -379,6 +387,27 @@ mod tests {
     }
 
     #[test]
+    fn sampled_hss_configurations_get_distinct_cache_slots() {
+        let registry = Registry::new(1);
+        let entry = registry.insert("g", sample_graph()).unwrap();
+        let first = Method::HssApprox { roots: 2, seed: 1 };
+        let second = Method::HssApprox { roots: 2, seed: 2 };
+        let a = registry.scored(&entry, first).unwrap();
+        let b = registry.scored(&entry, second).unwrap();
+        // Different seeds are different scoring passes, never a shared slot.
+        assert!(!Arc::ptr_eq(&a, &b));
+        assert_eq!(registry.cache_stats(), (0, 2));
+        assert_eq!(
+            entry.cached_methods(),
+            vec!["hss-approx:roots=2:seed=1", "hss-approx:roots=2:seed=2"]
+        );
+        // Repeating either configuration is a hit on its own slot.
+        let again = registry.scored(&entry, first).unwrap();
+        assert!(Arc::ptr_eq(&a, &again));
+        assert_eq!(registry.cache_stats(), (1, 2));
+    }
+
+    #[test]
     fn reinserting_a_name_drops_the_old_cache() {
         let registry = Registry::new(1);
         let entry = registry.insert("g", sample_graph()).unwrap();
@@ -437,7 +466,7 @@ mod tests {
             .scored(&entry, Method::HighSalienceSkeleton)
             .unwrap();
         assert_eq!(entry.cached_methods().len(), MAX_SCORED_METHODS);
-        assert!(!entry.cached_methods().contains(&"nc"));
+        assert!(!entry.cached_methods().iter().any(|key| key == "nc"));
 
         // Re-scoring the evicted method is a fresh pass with bit-identical
         // results — eviction is lossless.

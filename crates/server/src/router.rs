@@ -13,7 +13,9 @@
 //!
 //! The backbone route takes `method=` (required; any CLI method name) and
 //! exactly one threshold-policy parameter (`threshold=`, `top_k=`,
-//! `top_share=`, `coverage=`), plus `output=backbone|scores|summary` and
+//! `top_share=`, `coverage=`). `hss_roots=` / `hss_seed=` tune the sampled
+//! `hss-approx` estimator (rejected alongside any other method). Plus
+//! `output=backbone|scores|summary` and
 //! `format=tsv|json` (default: TSV for backbone/scores, JSON for summary;
 //! an `Accept: application/json` header also selects JSON). Responses are
 //! produced by the same writers as the `backbone` CLI, so the two surfaces
@@ -22,9 +24,12 @@
 //! byte-identical to the cold one.
 //!
 //! The compare route takes `methods=` (comma-separated CLI names or `all`;
-//! default `nc,df,hss`), `top_share=`, `noise=`, `resamples=` and `seed=`,
-//! mirroring the defaults of `backbone compare` — the body is exactly the
-//! bytes of `backbone compare … -o json` on the same graph. Base scoring
+//! default `nc,df,hss`), `top_share=`, `noise=`, `resamples=`, `seed=` and
+//! the `hss_roots=` / `hss_seed=` sampling parameters, mirroring the
+//! defaults of `backbone compare` — the body is the stable report of
+//! `backbone compare … -o json` on the same graph, minus the CLI's
+//! per-method `score_wall_ms` timing field (a cached body must be
+//! byte-identical to a cold one). Base scoring
 //! goes through the scored-edge cache ([`Registry::scored`]), so an
 //! N-method comparison costs at most N scoring passes ever, and the
 //! finished report — a pure function of `(graph, config)` — is cached per
@@ -95,7 +100,7 @@ fn health(registry: &Registry) -> Response {
 fn graph_json(entry: &GraphEntry) -> String {
     let mut methods = JsonArray::new();
     for name in entry.cached_methods() {
-        methods.string(name);
+        methods.string(&name);
     }
     let mut object = JsonObject::inline();
     object
@@ -254,6 +259,42 @@ fn wants_json(request: &Request, output: Output) -> Result<bool, String> {
     }
 }
 
+/// Apply the `hss_roots`/`hss_seed` query parameters to a parsed method.
+/// They are only meaningful for `hss-approx`: giving either alongside any
+/// other method is an error, matching the CLI's flag scoping (a silently
+/// ignored sampling parameter would mislabel the response).
+fn apply_hss_params(method: Method, request: &Request) -> Result<Method, String> {
+    let roots = request
+        .query_param("hss_roots")
+        .map(|value| {
+            value
+                .parse::<usize>()
+                .map_err(|_| format!("hss_roots: cannot parse `{value}` as an integer"))
+        })
+        .transpose()?;
+    let seed = request
+        .query_param("hss_seed")
+        .map(|value| {
+            value
+                .parse::<u64>()
+                .map_err(|_| format!("hss_seed: cannot parse `{value}` as an integer"))
+        })
+        .transpose()?;
+    match method {
+        Method::HssApprox {
+            roots: default_roots,
+            seed: default_seed,
+        } => Ok(Method::HssApprox {
+            roots: roots.unwrap_or(default_roots),
+            seed: seed.unwrap_or(default_seed),
+        }),
+        _ if roots.is_some() || seed.is_some() => {
+            Err("hss_roots/hss_seed apply only to the hss-approx method".to_string())
+        }
+        _ => Ok(method),
+    }
+}
+
 fn backbone(registry: &Registry, name: &str, request: &Request) -> Response {
     let Some(entry) = registry.get(name) else {
         return Response::error(404, &format!("no graph named `{name}`"));
@@ -265,9 +306,13 @@ fn backbone(registry: &Registry, name: &str, request: &Request) -> Response {
         return Response::error(
             400,
             &format!(
-                "unknown method `{method_name}` (expected one of: nc, ncb, df, hss, ds, mst, naive)"
+                "unknown method `{method_name}` (expected one of: nc, ncb, df, hss, hss-approx, ds, mst, naive)"
             ),
         );
+    };
+    let method = match apply_hss_params(method, request) {
+        Ok(method) => method,
+        Err(message) => return Response::error(400, &message),
     };
     let policy = match parse_policy(request) {
         Ok(policy) => policy,
@@ -337,6 +382,22 @@ fn parse_compare_config(
             .parse()
             .map_err(|_| format!("seed: cannot parse `{value}` as an integer"))?;
     }
+    // Sampling parameters patch every hss-approx entry of the method list;
+    // without one in the list they are rejected, mirroring the CLI.
+    let has_hss_approx = config
+        .methods
+        .iter()
+        .any(|method| matches!(method, Method::HssApprox { .. }));
+    if !has_hss_approx
+        && (request.query_param("hss_roots").is_some() || request.query_param("hss_seed").is_some())
+    {
+        return Err("hss_roots/hss_seed apply only when `methods` includes hss-approx".to_string());
+    }
+    for method in &mut config.methods {
+        if matches!(method, Method::HssApprox { .. }) {
+            *method = apply_hss_params(*method, request)?;
+        }
+    }
     Ok(config)
 }
 
@@ -344,7 +405,9 @@ fn parse_compare_config(
 /// report depends on, in a fixed order. Thread count is deliberately
 /// excluded — results are bit-identical at any worker count.
 fn compare_cache_key(config: &comparison::ComparisonConfig) -> String {
-    let methods: Vec<&str> = config.methods.iter().map(Method::cli_name).collect();
+    // cache_key, not cli_name: two hss-approx configurations are different
+    // comparisons and must never share a cached report.
+    let methods: Vec<String> = config.methods.iter().map(Method::cache_key).collect();
     format!(
         "{}|{}|{}|{}|{}",
         methods.join(","),
@@ -381,7 +444,9 @@ fn compare(registry: &Registry, name: &str, request: &Request) -> Response {
             Ok(report) => report,
             Err(err) => return Response::error(400, &err.to_string()),
         };
-    let mut body = report.to_json();
+    // The stable rendering (no wall times): a cache-hit body must be
+    // byte-identical to the cold one.
+    let mut body = report.to_json_stable();
     body.push('\n');
     entry.store_compare(key, Arc::from(body.as_str()));
     Response::json(200, body)

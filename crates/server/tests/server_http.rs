@@ -315,7 +315,7 @@ fn evicted_scores_recompute_byte_identically() {
     }
     let entry = server.registry().get("trade").expect("registered graph");
     assert!(
-        !entry.cached_methods().contains(&"nc"),
+        !entry.cached_methods().iter().any(|key| key == "nc"),
         "nc evicted after sweeping past the cache bound, got {:?}",
         entry.cached_methods()
     );
@@ -442,13 +442,18 @@ fn compare_route_serves_stable_cache_backed_json() {
     assert_eq!(misses, 3, "nc, df, hss each scored once");
     assert_eq!(hits, 0, "follow-ups served from the report cache");
 
-    // The served bytes are exactly the in-process engine's report (+ \n) —
-    // the same path `backbone compare -o json` renders.
+    // The served bytes are exactly the in-process engine's stable report
+    // (+ \n) — the timing-free core of what `backbone compare -o json`
+    // renders.
     let report = backboning_eval::Comparison::new(backboning_eval::ComparisonConfig::default())
         .expect("default config is valid")
         .run(&trade_graph())
         .expect("comparison runs");
-    assert_eq!(text(&cold), format!("{}\n", report.to_json()));
+    assert_eq!(text(&cold), format!("{}\n", report.to_json_stable()));
+    assert!(
+        !text(&cold).contains("score_wall_ms"),
+        "served compare bodies carry no wall times"
+    );
 
     // Worker-count invariance of the noise Monte Carlo, end to end.
     let multi = trade_server(4);
@@ -465,6 +470,69 @@ fn compare_route_serves_stable_cache_backed_json() {
 
     server.shutdown();
     multi.shutdown();
+}
+
+/// The sampled hss-approx estimator over HTTP: `hss_roots`/`hss_seed` are
+/// part of the cache identity, responses are deterministic for a fixed
+/// `(roots, seed)`, and the parameters are rejected alongside exact methods
+/// — on both the backbone and the compare route.
+#[test]
+fn hss_approx_route_keys_its_cache_by_sampling_parameters() {
+    let server = trade_server(1);
+    let query = "/graphs/trade/backbone?method=hss-approx&hss_roots=4&hss_seed=7&top_k=5";
+    let (status, cold) = get(&server, query);
+    assert_eq!(status, 200, "{}", text(&cold));
+    let (status, warm) = get(&server, query);
+    assert_eq!(status, 200);
+    assert_eq!(warm, cold, "fixed (roots, seed) is deterministic");
+
+    // A different seed is a different scoring pass with its own cache slot.
+    let (status, body) = get(
+        &server,
+        "/graphs/trade/backbone?method=hss-approx&hss_roots=4&hss_seed=8&top_k=5",
+    );
+    assert_eq!(status, 200, "{}", text(&body));
+    let (_, misses) = server.registry().cache_stats();
+    assert_eq!(misses, 2, "each (roots, seed) scored exactly once");
+    let (status, info) = get(&server, "/graphs/trade");
+    assert_eq!(status, 200);
+    let info = text(&info);
+    assert!(info.contains("hss-approx:roots=4:seed=7"), "{info}");
+    assert!(info.contains("hss-approx:roots=4:seed=8"), "{info}");
+
+    // Omitted parameters fall back to the method's defaults.
+    let (status, _) = get(&server, "/graphs/trade/backbone?method=hss-approx&top_k=5");
+    assert_eq!(status, 200);
+
+    // Sampling parameters alongside an exact method — or unparsable ones —
+    // are a 400, on both routes.
+    for bad in [
+        "/graphs/trade/backbone?method=nc&hss_roots=4&top_k=5",
+        "/graphs/trade/backbone?method=hss&hss_seed=7&top_k=5",
+        "/graphs/trade/backbone?method=hss-approx&hss_roots=x&top_k=5",
+        "/graphs/trade/backbone?method=hss-approx&hss_roots=0&top_k=5",
+        "/graphs/trade/compare?methods=nc,df&hss_roots=4",
+    ] {
+        let (status, body) = get(&server, bad);
+        assert_eq!(status, 400, "{bad}: {}", text(&body));
+        assert!(text(&body).contains("\"error\":"), "{bad}");
+    }
+
+    // The compare route accepts the parameters when hss-approx is in the
+    // method list and keys its report cache by them.
+    let first_query =
+        "/graphs/trade/compare?methods=nc,hss-approx&hss_roots=4&hss_seed=7&resamples=0";
+    let (status, first) = get(&server, first_query);
+    assert_eq!(status, 200, "{}", text(&first));
+    assert!(text(&first).contains("\"method\": \"hss-approx\""));
+    let (status, _) = get(
+        &server,
+        "/graphs/trade/compare?methods=nc,hss-approx&hss_roots=4&hss_seed=8&resamples=0",
+    );
+    assert_eq!(status, 200);
+    let (_, repeat) = get(&server, first_query);
+    assert_eq!(repeat, first, "report cache keyed by sampling parameters");
+    server.shutdown();
 }
 
 /// Compare-route error paths: missing graphs 404, bad parameters 400.
