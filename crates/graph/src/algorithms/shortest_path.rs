@@ -1501,3 +1501,33 @@ mod tests {
         assert_eq!(tree.distances[0], 0.0);
     }
 }
+
+#[cfg(test)]
+mod review_repro {
+    use super::*;
+    use crate::{CsrGraph, Direction, WeightedGraph};
+
+    #[test]
+    fn review_overflow_interleaved_parity() {
+        // Chain 0-1-...-2999 with distance 1e-3 per edge (Identity), plus one
+        // long edge 0 -> 3000 with distance 2.0. Tuned width ~1e-3 puts the
+        // long edge ~2000 buckets ahead (> BUCKET_RING) -> overflow.
+        let n = 3002usize;
+        let mut g = WeightedGraph::with_nodes(Direction::Undirected, n);
+        for i in 0..2999 {
+            g.add_edge(i, i + 1, 1e-3).unwrap();
+        }
+        g.add_edge(0, 3000, 2.0).unwrap();
+        // A child of the overflow node: its discovery time exposes when the
+        // overflow key actually pops.
+        g.add_edge(3000, 3001, 1e-3).unwrap();
+        let csr = CsrGraph::from_graph(&g).unwrap();
+        let ed = csr_entry_distances(&csr, DistanceTransform::Identity);
+        eprintln!("bucket_width = {:?}", ed.bucket_width());
+        let mut heap = CsrDijkstra::with_engine(csr.node_count(), SsspEngine::BinaryHeap);
+        let mut bucketed = CsrDijkstra::with_engine(csr.node_count(), SsspEngine::Bucketed);
+        heap.run(&csr, &ed, 0);
+        bucketed.run(&csr, &ed, 0);
+        assert_eq!(heap.reached(), bucketed.reached(), "reached order parity");
+    }
+}
