@@ -46,6 +46,39 @@ echo "$SMOKE_HSSA" | grep -q '"hss_roots": 256'
 cleanup_smoke
 trap - EXIT
 
+echo "==> gen smoke: backbone gen | backbone nc"
+# A community-structured scenario straight through the pipeline, by pipe.
+GEN_SPEC='sb:n=5000,b=8,pin=0.02,pout=0.0008,w=lognormal(0,1),noise=0.1,seed=4242'
+GEN_SUMMARY=$(./target/release/backbone gen "$GEN_SPEC" \
+    | ./target/release/backbone --method nc --top-share 0.1 --undirected -o summary)
+echo "$GEN_SUMMARY" | grep -q '"method": "nc"'
+echo "$GEN_SUMMARY" | grep -q '"nodes": 5000'
+# Same spec, same bytes: the gen output hashes identically across runs.
+GEN_HASH_A=$(./target/release/backbone gen "$GEN_SPEC" | sha256sum)
+GEN_HASH_B=$(./target/release/backbone gen "$GEN_SPEC" | sha256sum)
+[ "$GEN_HASH_A" = "$GEN_HASH_B" ]
+
+echo "==> bench-matrix smoke: 3-cell sweep, rows parse and are run-stable"
+MATRIX_A=$(mktemp --suffix .json)
+MATRIX_B=$(mktemp --suffix .json)
+cleanup_matrix() { rm -f "$MATRIX_A" "$MATRIX_B"; }
+trap cleanup_matrix EXIT
+MATRIX_SPECS='ba:n=2000,m=3,seed=4242;geo:n=2000,r=0.04,w=powerlaw(2.5),seed=4242;sb:n=2000,b=8,pin=0.01,pout=0.0004,w=lognormal(0,1),seed=4242'
+./target/release/backbone bench-matrix --specs "$MATRIX_SPECS" --methods nc \
+    --runs 1 --out "$MATRIX_A" | grep -q '3 cell(s) swept'
+./target/release/backbone bench-matrix --specs "$MATRIX_SPECS" --methods nc \
+    --runs 1 --out "$MATRIX_B" >/dev/null
+# The appended rows parse (one per cell, keyed by spec) ...
+[ "$(grep -c '"spec": ' "$MATRIX_A")" = "3" ]
+grep -q '"backbone_hash": "' "$MATRIX_A"
+# ... and are byte-identical across runs once the timing fields are
+# stripped (same sed idiom as the compare smoke above).
+MATRIX_A_STABLE=$(sed 's/, "median_ms": [0-9.]*//g; s/, "edges_per_sec": [0-9.]*//g' "$MATRIX_A")
+MATRIX_B_STABLE=$(sed 's/, "median_ms": [0-9.]*//g; s/, "edges_per_sec": [0-9.]*//g' "$MATRIX_B")
+[ "$MATRIX_A_STABLE" = "$MATRIX_B_STABLE" ]
+cleanup_matrix
+trap - EXIT
+
 echo "==> server smoke: backbone serve"
 SERVE_PORT="${SERVE_PORT:-48170}"
 SERVE_URL="http://127.0.0.1:${SERVE_PORT}"

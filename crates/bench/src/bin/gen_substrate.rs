@@ -3,54 +3,71 @@
 //! ```sh
 //! gen_substrate ba <nodes> <edges_per_node> <seed> <out.tsv>
 //! gen_substrate er <nodes> <expected_edges> <seed> <out.tsv>
+//! gen_substrate spec <scenario-spec> <out.tsv>
 //! ```
 //!
-//! The graph is generated straight into the compact CSR core
-//! ([`backboning_graph::CsrGraph`]) and written with the standard edge-list
-//! writer, so `ci.sh` can push a 100k-node Barabási–Albert network through
-//! the full `backbone` CLI (streaming ingestion → score → select) inside a
-//! wall-clock budget without committing a multi-megabyte fixture.
+//! A thin wrapper over [`backboning_gen`]: the `ba`/`er` forms are kept for
+//! `ci.sh` compatibility and translate 1:1 into scenario specs (the gen
+//! crate consumes the exact random streams of the original substrate
+//! generators, so the emitted bytes are unchanged — pinned by
+//! `tests/gen_substrate_identity.rs`). The `spec` form exposes every
+//! family/weight/noise combination the generator knows.
 
 use std::process::ExitCode;
 
-use backboning_graph::generators::{barabasi_albert_csr, erdos_renyi_csr};
+use backboning_gen::ScenarioSpec;
 use backboning_graph::io::write_edge_list_file;
-use backboning_graph::{CsrGraph, Direction};
 
 fn usage() -> ExitCode {
     eprintln!("usage: gen_substrate <ba|er> <nodes> <param> <seed> <out.tsv>");
-    eprintln!("  ba: param = edges per new node (undirected)");
-    eprintln!("  er: param = expected edge count (undirected, weights in (0, 10])");
+    eprintln!("       gen_substrate spec <scenario-spec> <out.tsv>");
+    eprintln!("  ba:   param = edges per new node (undirected, unit weights)");
+    eprintln!("  er:   param = expected edge count (undirected, weights in (0, 10])");
+    eprintln!("  spec: e.g. sb:n=5000,b=8,pin=0.02,pout=0.0008,w=lognormal(0,1)");
     ExitCode::from(2)
 }
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let [kind, nodes, param, seed, out] = args.as_slice() else {
-        return usage();
-    };
-    let (Ok(nodes), Ok(param), Ok(seed)) = (
-        nodes.parse::<usize>(),
-        param.parse::<usize>(),
-        seed.parse::<u64>(),
-    ) else {
-        return usage();
-    };
-    let graph: CsrGraph = match kind.as_str() {
-        "ba" => barabasi_albert_csr(nodes, param, seed),
-        "er" => erdos_renyi_csr(nodes, param, 10.0, Direction::Undirected, seed),
+    let (spec_text, out) = match args.as_slice() {
+        [kind, spec, out] if kind == "spec" => (spec.clone(), out),
+        [kind, nodes, param, seed, out] if kind == "ba" || kind == "er" => {
+            let (Ok(nodes), Ok(param), Ok(seed)) = (
+                nodes.parse::<usize>(),
+                param.parse::<usize>(),
+                seed.parse::<u64>(),
+            ) else {
+                return usage();
+            };
+            let text = match kind.as_str() {
+                "ba" => format!("ba:n={nodes},m={param},w=unit,noise=0,seed={seed}"),
+                _ => format!("er:n={nodes},e={param},w=uniform(10),noise=0,seed={seed}"),
+            };
+            (text, out)
+        }
         _ => return usage(),
-    }
-    .unwrap_or_else(|err| {
-        eprintln!("gen_substrate: {err}");
-        std::process::exit(1);
-    });
+    };
+    let spec = match spec_text.parse::<ScenarioSpec>() {
+        Ok(spec) => spec,
+        Err(err) => {
+            eprintln!("gen_substrate: {err}");
+            return usage();
+        }
+    };
+    let graph = match spec.generate() {
+        Ok(graph) => graph,
+        Err(err) => {
+            eprintln!("gen_substrate: {err}");
+            std::process::exit(1);
+        }
+    };
     if let Err(err) = write_edge_list_file(&graph, out) {
         eprintln!("gen_substrate: {out}: {err}");
         return ExitCode::FAILURE;
     }
     println!(
-        "{kind} substrate: {} nodes, {} edges -> {out}",
+        "{} substrate: {} nodes, {} edges -> {out}",
+        spec.family.tag(),
         graph.node_count(),
         graph.edge_count()
     );

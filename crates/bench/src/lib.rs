@@ -27,6 +27,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod matrix;
+
 use backboning_data::{CountryData, CountryDataConfig, OccupationData, OccupationDataConfig};
 use backboning_eval::Method;
 

@@ -32,7 +32,9 @@ use std::io::{BufReader, Write};
 use std::path::PathBuf;
 
 use backboning::{Method, Pipeline, ThresholdPolicy};
+use backboning_bench::matrix;
 use backboning_eval::comparison::{parse_method_list, Comparison, ComparisonConfig};
+use backboning_gen::ScenarioSpec;
 use backboning_graph::io::{read_edge_list_csr_named, EdgeListOptions};
 use backboning_graph::Direction;
 
@@ -140,6 +142,44 @@ SERVE MODE:
     · GET /graphs/NAME/compare[?methods=...&top_share=...] · POST /shutdown
     (clean stop). Full reference: docs/API.md.
 
+GEN MODE:
+    backbone gen <SPEC> [--out PATH]
+
+    Generate a synthetic scenario deterministically from a spec string and
+    write it as a TSV edge list to stdout (or PATH). The same spec always
+    produces byte-identical output. Spec grammar (see docs/GUIDE.md
+    § Generating scenarios):
+
+        <family>:n=<NODES>[,<key>=<value>...]
+
+    Families: ba (m = attachment edges), er (e = edge count), geo
+    (r = connection radius), sb (b = blocks, pin/pout = within/between edge
+    probability). Shared keys: w = unit | uniform(MAX) | powerlaw(ALPHA) |
+    lognormal(MU,SIGMA); noise = F in [0,1) (the paper's multiplicative
+    noise model); seed = N (default 4242). Example:
+
+        backbone gen \"sb:n=5000,b=8,pin=0.02,pout=0.0008,w=lognormal(0,1)\"
+
+BENCH-MATRIX MODE:
+    backbone bench-matrix [OPTIONS]
+
+    Sweep generated scenarios × methods × a top-share policy and upsert one
+    structured row per cell into the \"matrix\" section of
+    BENCH_backbones.json — the regression-tracked perf grid. Rows are keyed
+    by spec × method × policy × threads and are deterministic apart from
+    the median_ms / edges_per_sec timing fields.
+
+    --specs <LIST>         semicolon-separated scenario specs (default: the
+                           committed 4-family × 2-size grid)
+    --methods <LIST>       comma-separated method names (default:
+                           naive,mst,df,nc,hss-approx — the scalable set)
+    --top-share <F>        matched edge coverage per backbone (default 0.1)
+    --runs <N>             timed repetitions per cell, median recorded
+                           (default 3)
+    --threads <N>          worker threads (default 1, for comparable rows)
+    --out <PATH>           snapshot file to upsert
+                           (default BENCH_backbones.json)
+
     -h, --help             print this help
 ";
 
@@ -194,8 +234,26 @@ pub struct CompareCliConfig {
     pub output: CompareOutputKind,
 }
 
+/// A fully parsed `backbone gen` invocation.
+#[derive(Debug, Clone)]
+pub struct GenCliConfig {
+    /// The scenario to generate.
+    pub spec: ScenarioSpec,
+    /// Output path; `None` writes the edge list to stdout.
+    pub out: Option<PathBuf>,
+}
+
+/// A fully parsed `backbone bench-matrix` invocation.
+#[derive(Debug, Clone)]
+pub struct MatrixCliConfig {
+    /// The sweep configuration (specs, methods, policy, runs, threads).
+    pub matrix: matrix::MatrixConfig,
+    /// The snapshot file whose `"matrix"` section is upserted.
+    pub out: PathBuf,
+}
+
 /// The parsed command: run the pipeline, compare methods, serve over HTTP,
-/// or print help.
+/// generate a scenario, sweep the bench matrix, or print help.
 #[derive(Debug, Clone)]
 pub enum Command {
     /// Run the pipeline with this configuration.
@@ -204,6 +262,10 @@ pub enum Command {
     Compare(CompareCliConfig),
     /// Start the HTTP serving subsystem (`backbone serve`).
     Serve(backboning_server::ServerConfig),
+    /// Generate a scenario edge list (`backbone gen`).
+    Gen(GenCliConfig),
+    /// Sweep the scenario × method bench matrix (`backbone bench-matrix`).
+    BenchMatrix(MatrixCliConfig),
     /// Print the usage text and exit successfully.
     Help,
 }
@@ -411,6 +473,81 @@ fn parse_compare_args(mut args: impl Iterator<Item = String>) -> Result<Command,
     Ok(Command::Compare(config))
 }
 
+/// Parse the flags of `backbone gen …` (after the `gen` word).
+fn parse_gen_args(mut args: impl Iterator<Item = String>) -> Result<Command, UsageError> {
+    let mut spec: Option<ScenarioSpec> = None;
+    let mut out: Option<PathBuf> = None;
+    while let Some(arg) = args.next() {
+        let mut value_for = |flag: &str| {
+            args.next()
+                .ok_or_else(|| usage_error(format!("{flag}: missing value")))
+        };
+        match arg.as_str() {
+            "-h" | "--help" => return Ok(Command::Help),
+            "--out" => out = Some(PathBuf::from(value_for(&arg)?)),
+            flag if flag.starts_with("--") => {
+                return Err(usage_error(format!("unknown gen flag `{flag}`")));
+            }
+            text => {
+                if spec.is_some() {
+                    return Err(usage_error(format!(
+                        "unexpected extra spec `{text}` (one scenario per run)"
+                    )));
+                }
+                spec = Some(
+                    ScenarioSpec::parse(text).map_err(|error| usage_error(error.to_string()))?,
+                );
+            }
+        }
+    }
+    let spec = spec.ok_or_else(|| usage_error("gen requires a scenario spec argument"))?;
+    Ok(Command::Gen(GenCliConfig { spec, out }))
+}
+
+/// Parse the flags of `backbone bench-matrix …` (after the `bench-matrix`
+/// word).
+fn parse_matrix_args(mut args: impl Iterator<Item = String>) -> Result<Command, UsageError> {
+    let mut config = matrix::MatrixConfig::default();
+    let mut out = PathBuf::from("BENCH_backbones.json");
+    while let Some(arg) = args.next() {
+        let mut value_for = |flag: &str| {
+            args.next()
+                .ok_or_else(|| usage_error(format!("{flag}: missing value")))
+        };
+        match arg.as_str() {
+            "-h" | "--help" => return Ok(Command::Help),
+            "--specs" => {
+                config.specs = value_for(&arg)?
+                    .split(';')
+                    .filter(|text| !text.is_empty())
+                    .map(|text| {
+                        ScenarioSpec::parse(text).map_err(|error| usage_error(error.to_string()))
+                    })
+                    .collect::<Result<Vec<ScenarioSpec>, UsageError>>()?;
+            }
+            "--methods" => {
+                config.methods = parse_method_list(&value_for(&arg)?).map_err(usage_error)?;
+            }
+            "--top-share" => config.top_share = parse_number(&arg, &value_for(&arg)?)?,
+            "--runs" => config.runs = parse_number(&arg, &value_for(&arg)?)?,
+            "--threads" => config.threads = parse_number(&arg, &value_for(&arg)?)?,
+            "--out" => out = PathBuf::from(value_for(&arg)?),
+            flag if flag.starts_with('-') => {
+                return Err(usage_error(format!("unknown bench-matrix flag `{flag}`")));
+            }
+            other => {
+                return Err(usage_error(format!(
+                    "bench-matrix takes no positional arguments, got `{other}`"
+                )));
+            }
+        }
+    }
+    Ok(Command::BenchMatrix(MatrixCliConfig {
+        matrix: config,
+        out,
+    }))
+}
+
 /// Parse a `backbone` command line (without the program name).
 pub fn parse_args<I>(args: I) -> Result<Command, UsageError>
 where
@@ -424,6 +561,14 @@ where
     if args.peek().map(String::as_str) == Some("compare") {
         args.next();
         return parse_compare_args(args);
+    }
+    if args.peek().map(String::as_str) == Some("gen") {
+        args.next();
+        return parse_gen_args(args);
+    }
+    if args.peek().map(String::as_str) == Some("bench-matrix") {
+        args.next();
+        return parse_matrix_args(args);
     }
     let mut method: Option<Method> = None;
     let mut policy: Option<ThresholdPolicy> = None;
@@ -593,6 +738,76 @@ pub fn execute_compare(config: &CompareCliConfig, out: &mut dyn Write) -> Result
     };
     out.write_all(rendered.as_bytes())
         .map_err(|e| e.to_string())
+}
+
+/// Execute a parsed `backbone gen` configuration: generate the scenario and
+/// write its edge list to stdout, or to `--out PATH` (then `out` gets a
+/// one-line summary instead).
+pub fn execute_gen(config: &GenCliConfig, out: &mut dyn Write) -> Result<(), String> {
+    let graph = config.spec.generate().map_err(|e| e.to_string())?;
+    match &config.out {
+        Some(path) => {
+            backboning_graph::io::write_edge_list_file(&graph, path).map_err(|e| e.to_string())?;
+            writeln!(
+                out,
+                "{}: {} nodes, {} edges -> {}",
+                config.spec.render(),
+                graph.node_count(),
+                graph.edge_count(),
+                path.display()
+            )
+            .map_err(|e| e.to_string())
+        }
+        None => backboning_graph::io::write_edge_list(&graph, &mut *out).map_err(|e| e.to_string()),
+    }
+}
+
+/// Execute a parsed `backbone bench-matrix` configuration: run the sweep,
+/// upsert the rows into the snapshot file's `"matrix"` section, and echo
+/// the rows (plus a summary line) to `out`.
+pub fn execute_bench_matrix(config: &MatrixCliConfig, out: &mut dyn Write) -> Result<(), String> {
+    let rows = matrix::run_matrix(&config.matrix)?;
+    // Missing file and empty file (e.g. a fresh mktemp target) both start a
+    // new snapshot document.
+    let existing = std::fs::read_to_string(&config.out)
+        .ok()
+        .filter(|text| !text.trim().is_empty())
+        .unwrap_or_else(|| "{\n}\n".to_string());
+    if !existing.trim_end().ends_with('}') {
+        return Err(format!(
+            "{}: existing file is not a snapshot JSON document",
+            config.out.display()
+        ));
+    }
+    let merged = matrix::merge_rows(matrix::extract_rows(&existing), rows.clone());
+    let updated = matrix::with_matrix_section(&existing, &merged);
+    // Self-check before writing: every merged row must survive a re-parse of
+    // the rendered section, or the upsert would silently drop cells. Timing
+    // floats are compared after rendering (parse-back sees rounded values).
+    let rendered: Vec<String> = merged.iter().map(matrix::render_row).collect();
+    let reparsed: Vec<String> = matrix::extract_rows(&updated)
+        .iter()
+        .map(matrix::render_row)
+        .collect();
+    if reparsed != rendered {
+        return Err(format!(
+            "bench-matrix self-check failed: {} rows rendered, {} parsed back",
+            rendered.len(),
+            reparsed.len()
+        ));
+    }
+    std::fs::write(&config.out, &updated).map_err(|e| format!("{}: {e}", config.out.display()))?;
+    for row in &rows {
+        writeln!(out, "{}", matrix::render_row(row)).map_err(|e| e.to_string())?;
+    }
+    writeln!(
+        out,
+        "bench-matrix: {} cell(s) swept, {} total in {}",
+        rows.len(),
+        merged.len(),
+        config.out.display()
+    )
+    .map_err(|e| e.to_string())
 }
 
 #[cfg(test)]
@@ -987,6 +1202,204 @@ mod tests {
         assert!(text.contains("b\tc\t4"));
         assert!(!text.contains("c\td"));
         std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn gen_subcommand_parses_spec_and_out() {
+        let Command::Gen(config) = parse(&["gen", "ba:n=100,m=2"]).unwrap() else {
+            panic!("expected a gen command");
+        };
+        assert_eq!(config.spec.nodes, 100);
+        assert!(config.out.is_none());
+
+        let Command::Gen(config) =
+            parse(&["gen", "geo:n=50,r=0.2", "--out", "scenario.tsv"]).unwrap()
+        else {
+            panic!("expected a gen command");
+        };
+        assert_eq!(config.spec.family.tag(), "geo");
+        assert_eq!(
+            config.out.as_deref(),
+            Some(std::path::Path::new("scenario.tsv"))
+        );
+    }
+
+    #[test]
+    fn gen_usage_errors_are_reported() {
+        for (args, needle) in [
+            (&["gen"][..], "requires a scenario spec"),
+            (&["gen", "zz:n=10"][..], "unknown family"),
+            (&["gen", "ba:n=10", "er:n=10"][..], "extra spec"),
+            (&["gen", "ba:n=10", "--wat"][..], "unknown gen flag"),
+            (&["gen", "ba:n=10", "--out"][..], "missing value"),
+        ] {
+            let err = parse(args).unwrap_err();
+            assert!(
+                err.0.contains(needle),
+                "{args:?}: `{needle}` not in `{}`",
+                err.0
+            );
+        }
+        assert!(matches!(parse(&["gen", "--help"]), Ok(Command::Help)));
+    }
+
+    #[test]
+    fn bench_matrix_subcommand_parses_defaults_and_overrides() {
+        let Command::BenchMatrix(config) = parse(&["bench-matrix"]).unwrap() else {
+            panic!("expected a bench-matrix command");
+        };
+        assert_eq!(config.matrix.specs.len(), 8);
+        assert_eq!(config.matrix.methods.len(), 5);
+        assert_eq!(config.matrix.top_share, 0.1);
+        assert_eq!(config.matrix.runs, 3);
+        assert_eq!(config.matrix.threads, 1);
+        assert_eq!(config.out, std::path::PathBuf::from("BENCH_backbones.json"));
+
+        let Command::BenchMatrix(config) = parse(&[
+            "bench-matrix",
+            "--specs",
+            "ba:n=100,m=2;sb:n=120,b=3,w=lognormal(0,1)",
+            "--methods",
+            "nc,df",
+            "--top-share",
+            "0.2",
+            "--runs",
+            "1",
+            "--threads",
+            "2",
+            "--out",
+            "grid.json",
+        ])
+        .unwrap() else {
+            panic!("expected a bench-matrix command");
+        };
+        assert_eq!(config.matrix.specs.len(), 2);
+        assert_eq!(config.matrix.specs[1].family.tag(), "sb");
+        assert_eq!(
+            config.matrix.methods,
+            vec![Method::NoiseCorrected, Method::DisparityFilter]
+        );
+        assert_eq!(config.matrix.top_share, 0.2);
+        assert_eq!(config.matrix.runs, 1);
+        assert_eq!(config.matrix.threads, 2);
+        assert_eq!(config.out, std::path::PathBuf::from("grid.json"));
+    }
+
+    #[test]
+    fn bench_matrix_usage_errors_are_reported() {
+        for (args, needle) in [
+            (&["bench-matrix", "--specs", "zz:n=1"][..], "unknown family"),
+            (&["bench-matrix", "--methods", "wat"][..], "wat"),
+            (&["bench-matrix", "--wat"][..], "unknown bench-matrix flag"),
+            (&["bench-matrix", "positional"][..], "no positional"),
+            (&["bench-matrix", "--runs"][..], "missing value"),
+        ] {
+            let err = parse(args).unwrap_err();
+            assert!(
+                err.0.contains(needle),
+                "{args:?}: `{needle}` not in `{}`",
+                err.0
+            );
+        }
+    }
+
+    #[test]
+    fn execute_gen_writes_deterministic_edge_list() {
+        let Command::Gen(config) = parse(&["gen", "sb:n=60,b=3,pin=0.3,pout=0.05,seed=5"]).unwrap()
+        else {
+            panic!("expected a gen command");
+        };
+        let mut first = Vec::new();
+        execute_gen(&config, &mut first).unwrap();
+        let mut second = Vec::new();
+        execute_gen(&config, &mut second).unwrap();
+        assert_eq!(first, second);
+        let text = String::from_utf8(first).unwrap();
+        assert!(text.starts_with("# source\ttarget\tweight\n"));
+        assert!(text.lines().count() > 10);
+    }
+
+    #[test]
+    fn execute_bench_matrix_upserts_rows_into_fresh_file() {
+        let dir =
+            std::env::temp_dir().join(format!("backboning_cli_matrix_test_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let out = dir.join("grid.json");
+        let Command::BenchMatrix(mut config) = parse(&[
+            "bench-matrix",
+            "--specs",
+            "ba:n=120,m=2,seed=5",
+            "--methods",
+            "nc,mst",
+            "--runs",
+            "1",
+        ])
+        .unwrap() else {
+            panic!("expected a bench-matrix command");
+        };
+        config.out = out.clone();
+
+        let mut echoed = Vec::new();
+        execute_bench_matrix(&config, &mut echoed).unwrap();
+        let first = std::fs::read_to_string(&out).unwrap();
+        assert_eq!(matrix::extract_rows(&first).len(), 2);
+
+        // A second identical run must upsert in place, not duplicate rows,
+        // and keep the deterministic fields byte-identical.
+        execute_bench_matrix(&config, &mut Vec::new()).unwrap();
+        let second = std::fs::read_to_string(&out).unwrap();
+        assert_eq!(matrix::extract_rows(&second).len(), 2);
+        let strip = |text: &str| -> Vec<String> {
+            matrix::extract_rows(text)
+                .into_iter()
+                .map(|mut row| {
+                    row.median_ms = 0.0;
+                    row.edges_per_sec = 0.0;
+                    matrix::render_row(&row)
+                })
+                .collect()
+        };
+        assert_eq!(strip(&first), strip(&second));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn execute_bench_matrix_accepts_empty_file_and_rejects_non_json() {
+        let dir = std::env::temp_dir().join(format!(
+            "backboning_cli_matrix_empty_test_{}",
+            std::process::id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let Command::BenchMatrix(mut config) = parse(&[
+            "bench-matrix",
+            "--specs",
+            "ba:n=120,m=2,seed=5",
+            "--methods",
+            "nc",
+            "--runs",
+            "1",
+        ])
+        .unwrap() else {
+            panic!("expected a bench-matrix command");
+        };
+
+        // An existing zero-byte file (the mktemp idiom) starts a fresh
+        // snapshot document instead of failing.
+        let empty = dir.join("empty.json");
+        std::fs::write(&empty, "").unwrap();
+        config.out = empty.clone();
+        execute_bench_matrix(&config, &mut Vec::new()).unwrap();
+        let written = std::fs::read_to_string(&empty).unwrap();
+        assert_eq!(matrix::extract_rows(&written).len(), 1);
+
+        // A non-JSON file is refused, not clobbered.
+        let bogus = dir.join("notes.txt");
+        std::fs::write(&bogus, "not a snapshot\n").unwrap();
+        config.out = bogus.clone();
+        let err = execute_bench_matrix(&config, &mut Vec::new()).unwrap_err();
+        assert!(err.contains("not a snapshot"), "unexpected error: {err}");
+        assert_eq!(std::fs::read_to_string(&bogus).unwrap(), "not a snapshot\n");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

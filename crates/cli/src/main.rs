@@ -3,14 +3,18 @@
 //! or, as `backbone compare`, run the matched-coverage method comparison
 //! (`backboning_eval::Comparison`) — or, as `backbone serve`, start the
 //! long-lived HTTP serving subsystem (`backboning_server`) with its
-//! scored-graph cache.
+//! scored-graph cache — or, as `backbone gen` / `backbone bench-matrix`,
+//! generate deterministic synthetic scenarios (`backboning_gen`) and sweep
+//! the scenario × method perf grid into `BENCH_backbones.json`.
 //!
 //! Exit codes: `0` success, `1` runtime failure (unreadable input, malformed
 //! edge list, method error, bind failure), `2` usage error.
 
 use std::io::Write;
 
-use backboning_cli::{execute, execute_compare, parse_args, Command, USAGE};
+use backboning_cli::{
+    execute, execute_bench_matrix, execute_compare, execute_gen, parse_args, Command, USAGE,
+};
 
 fn main() {
     let args = std::env::args().skip(1);
@@ -54,6 +58,24 @@ fn main() {
             let stdout = std::io::stdout();
             let mut out = stdout.lock();
             if let Err(err) = execute_compare(&config, &mut out) {
+                eprintln!("backbone: {err}");
+                std::process::exit(1);
+            }
+            let _ = out.flush();
+        }
+        Command::Gen(config) => {
+            let stdout = std::io::stdout();
+            let mut out = stdout.lock();
+            if let Err(err) = execute_gen(&config, &mut out) {
+                eprintln!("backbone: {err}");
+                std::process::exit(1);
+            }
+            let _ = out.flush();
+        }
+        Command::BenchMatrix(config) => {
+            let stdout = std::io::stdout();
+            let mut out = stdout.lock();
+            if let Err(err) = execute_bench_matrix(&config, &mut out) {
                 eprintln!("backbone: {err}");
                 std::process::exit(1);
             }

@@ -299,3 +299,111 @@ fn compare_invalid_share_exits_1() {
     let err = String::from_utf8_lossy(&output.stderr);
     assert!(err.contains("top_share"), "{err}");
 }
+
+#[test]
+fn gen_pipes_into_the_pipeline() {
+    // `backbone gen` to stdout, then feed the edge list back through a
+    // backbone run — the full scenario → backbone loop, via real processes.
+    let spec = "sb:n=300,b=4,pin=0.1,pout=0.01,w=lognormal(0,1),noise=0.1,seed=7";
+    let generated = stdout_of(&run_with_stdin(&["gen", spec], None));
+    assert!(generated.starts_with("# source\ttarget\tweight\n"));
+
+    // Deterministic: a second run emits identical bytes.
+    let again = stdout_of(&run_with_stdin(&["gen", spec], None));
+    assert_eq!(generated, again);
+
+    let output = run_with_stdin(
+        &[
+            "--method",
+            "nc",
+            "--top-share",
+            "0.1",
+            "--undirected",
+            "-o",
+            "summary",
+        ],
+        Some(&generated),
+    );
+    let summary = stdout_of(&output);
+    assert!(summary.contains("\"method\": \"nc\""), "{summary}");
+}
+
+#[test]
+fn gen_writes_a_file_with_out_flag() {
+    let dir = std::env::temp_dir().join(format!("backbone_gen_e2e_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("scenario.tsv");
+    let output = run_with_stdin(
+        &[
+            "gen",
+            "ba:n=200,m=2,seed=3",
+            "--out",
+            path.to_str().unwrap(),
+        ],
+        None,
+    );
+    let summary = stdout_of(&output);
+    assert!(summary.contains("200 nodes"), "{summary}");
+    let text = std::fs::read_to_string(&path).unwrap();
+    assert!(text.starts_with("# source\ttarget\tweight\n"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn gen_usage_errors_exit_2() {
+    let output = run_with_stdin(&["gen", "zz:n=10"], None);
+    assert_eq!(output.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&output.stderr);
+    assert!(err.contains("unknown family"), "{err}");
+}
+
+#[test]
+fn bench_matrix_rows_are_stable_across_runs() {
+    let dir = std::env::temp_dir().join(format!("backbone_matrix_e2e_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let out = dir.join("grid.json");
+    let args = [
+        "bench-matrix",
+        "--specs",
+        "ba:n=200,m=2,seed=5;er:n=200,e=600,w=uniform(10),seed=5",
+        "--methods",
+        "nc,df",
+        "--runs",
+        "1",
+        "--out",
+        out.to_str().unwrap(),
+    ];
+    let first_echo = stdout_of(&run_with_stdin(&args, None));
+    assert!(first_echo.contains("4 cell(s) swept"), "{first_echo}");
+    let first = std::fs::read_to_string(&out).unwrap();
+
+    stdout_of(&run_with_stdin(&args, None));
+    let second = std::fs::read_to_string(&out).unwrap();
+
+    // The deterministic fields must be byte-identical across the two runs
+    // (the same sed idiom ci.sh uses strips the timing fields).
+    let strip = |text: &str| -> String {
+        text.lines()
+            .map(|line| {
+                let line = regex_strip(line, ", \"median_ms\": ");
+                regex_strip(&line, ", \"edges_per_sec\": ")
+            })
+            .collect::<Vec<String>>()
+            .join("\n")
+    };
+    assert_eq!(strip(&first), strip(&second));
+    assert_eq!(first.matches("\"spec\": ").count(), 4);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Drop `marker<number>` from a line (a tiny stand-in for the CI sed strip).
+fn regex_strip(line: &str, marker: &str) -> String {
+    let Some(start) = line.find(marker) else {
+        return line.to_string();
+    };
+    let tail = &line[start + marker.len()..];
+    let end = tail
+        .find(|c: char| !(c.is_ascii_digit() || c == '.'))
+        .unwrap_or(tail.len());
+    format!("{}{}", &line[..start], &tail[end..])
+}

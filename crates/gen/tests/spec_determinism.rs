@@ -1,0 +1,119 @@
+//! Property tests pinning the two guarantees the scenario subsystem is
+//! built on: a spec string round-trips exactly (`parse(render(s)) == s`, so
+//! rendered specs are safe cache keys), and the same spec produces a
+//! bit-identical edge list on every run and from every thread count.
+
+use backboning_gen::{Family, ScenarioSpec, WeightDist};
+use backboning_graph::io::write_edge_list_string;
+use proptest::prelude::*;
+
+/// Strategy over valid specs covering all four families and all four weight
+/// distributions. The vendored proptest has no `prop_oneof`, so variants are
+/// chosen by an integer selector.
+fn arb_spec() -> impl Strategy<Value = ScenarioSpec> {
+    (
+        (0usize..4, 20usize..200, 1usize..5),
+        (0usize..4, (1u32..100, 1u32..40)),
+        0u32..10,
+        0u64..1_000_000,
+    )
+        .prop_map(
+            |((family_ix, nodes, shape), (weight_ix, (wa, wb)), noise_tenths, seed)| {
+                let family = match family_ix {
+                    0 => Family::BarabasiAlbert {
+                        edges_per_node: shape.min(nodes - 1),
+                    },
+                    1 => Family::ErdosRenyi {
+                        edges: (nodes * shape).min(nodes * (nodes - 1) / 2),
+                    },
+                    2 => Family::Geometric {
+                        radius: 0.02 * shape as f64,
+                    },
+                    _ => Family::StochasticBlock {
+                        blocks: shape.min(nodes),
+                        p_within: 0.02 * shape as f64,
+                        p_between: 0.001 * shape as f64,
+                    },
+                };
+                let weights = match weight_ix {
+                    0 => WeightDist::Unit,
+                    1 => WeightDist::Uniform {
+                        max: wa as f64 / 7.0,
+                    },
+                    2 => WeightDist::PowerLaw {
+                        alpha: 1.0 + wa as f64 / 10.0,
+                    },
+                    _ => WeightDist::LogNormal {
+                        mu: wa as f64 / 25.0 - 2.0,
+                        sigma: wb as f64 / 20.0,
+                    },
+                };
+                ScenarioSpec {
+                    family,
+                    nodes,
+                    weights,
+                    noise: noise_tenths as f64 / 10.0,
+                    seed,
+                }
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `parse(render(s)) == s` for every generatable spec — floats included,
+    /// thanks to Rust's shortest-round-trip `Display`.
+    #[test]
+    fn spec_string_round_trips(spec in arb_spec()) {
+        spec.validate().expect("strategy emits valid specs");
+        let rendered = spec.render();
+        let reparsed = ScenarioSpec::parse(&rendered).expect("rendered spec parses");
+        prop_assert_eq!(reparsed, spec);
+        // Render is canonical: a second round trip is a fixed point.
+        prop_assert_eq!(reparsed.render(), rendered);
+    }
+
+    /// Same spec ⇒ bit-identical edge-list text across repeated runs.
+    #[test]
+    fn generation_is_deterministic_across_runs(spec in arb_spec()) {
+        let first = write_edge_list_string(&spec.generate().unwrap()).unwrap();
+        let second = write_edge_list_string(&spec.generate().unwrap()).unwrap();
+        prop_assert_eq!(first, second);
+    }
+}
+
+/// Generation is seed-addressed and sequential, so its output cannot depend
+/// on available parallelism. Pin that: generate the same specs from spawned
+/// thread pools of size 1/2/3/8 (and under a `BACKBONING_THREADS` override)
+/// and require bit-identical edge lists everywhere.
+#[test]
+fn generation_is_identical_across_thread_counts() {
+    let specs = [
+        "ba:n=500,m=3,w=unit,noise=0,seed=4242",
+        "er:n=500,e=1500,w=uniform(10),noise=0.2,seed=99",
+        "geo:n=500,r=0.06,w=powerlaw(2.5),noise=0.1,seed=7",
+        "sb:n=500,b=5,pin=0.08,pout=0.004,w=lognormal(0,1),noise=0.3,seed=11",
+    ];
+    for text in specs {
+        let spec = ScenarioSpec::parse(text).unwrap();
+        let reference = write_edge_list_string(&spec.generate().unwrap()).unwrap();
+        for threads in [1usize, 2, 3, 8] {
+            let handles: Vec<_> = (0..threads)
+                .map(|_| {
+                    std::thread::spawn(move || {
+                        let spec = ScenarioSpec::parse(text).unwrap();
+                        write_edge_list_string(&spec.generate().unwrap()).unwrap()
+                    })
+                })
+                .collect();
+            for handle in handles {
+                assert_eq!(
+                    handle.join().unwrap(),
+                    reference,
+                    "{text} diverged when generated from {threads} threads"
+                );
+            }
+        }
+    }
+}

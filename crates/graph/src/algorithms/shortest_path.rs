@@ -492,27 +492,45 @@ impl BucketQueue {
 
     /// Move `base` to the next non-empty bucket and load it into `current`.
     /// Returns `false` when the queue is exhausted.
+    ///
+    /// Keys land in `overflow` relative to the base at *push* time and the
+    /// window slides afterwards, so the earliest pending bucket can be in the
+    /// overflow list even while ring slots are occupied. The next bucket is
+    /// therefore the minimum of the two sources; when they tie, both load
+    /// into `current` together so the in-bucket heap keeps exact order.
     fn advance(&mut self) -> bool {
         let base_slot = (self.base % BUCKET_RING as u64) as usize;
-        if let Some(slot) = self.next_occupied_slot((base_slot + 1) % BUCKET_RING) {
-            let offset = ((slot + BUCKET_RING - base_slot) % BUCKET_RING) as u64;
-            self.base += offset;
-            self.occupied[slot / 64] &= !(1u64 << (slot % 64));
-            // `drain` keeps the slot's allocation for later buckets.
-            self.current
-                .extend(self.ring[slot].drain(..).map(std::cmp::Reverse));
-            return true;
+        let ring_next = self
+            .next_occupied_slot((base_slot + 1) % BUCKET_RING)
+            .map(|slot| {
+                let offset = ((slot + BUCKET_RING - base_slot) % BUCKET_RING) as u64;
+                (slot, self.base + offset)
+            });
+        let overflow_next = (!self.overflow.is_empty()).then_some(self.overflow_min);
+        let target = match (ring_next, overflow_next) {
+            (None, None) => return false,
+            (Some((_, bucket)), None) => bucket,
+            (None, Some(bucket)) => bucket,
+            (Some((_, ring_bucket)), Some(overflow_bucket)) => ring_bucket.min(overflow_bucket),
+        };
+        self.base = target;
+        if let Some((slot, bucket)) = ring_next {
+            if bucket == target {
+                self.occupied[slot / 64] &= !(1u64 << (slot % 64));
+                // `drain` keeps the slot's allocation for later buckets.
+                self.current
+                    .extend(self.ring[slot].drain(..).map(std::cmp::Reverse));
+            }
         }
-        if self.overflow.is_empty() {
-            return false;
-        }
-        // Re-base the window onto the earliest overflow bucket and re-push;
-        // at least one key maps to the new base bucket, i.e. into `current`.
-        self.base = self.overflow_min;
-        self.overflow_min = u64::MAX;
-        let pending = std::mem::take(&mut self.overflow);
-        for key in pending {
-            self.push(key);
+        if overflow_next == Some(target) {
+            // Re-push with the re-based window: bucket-`target` keys join
+            // `current`, in-window keys go to ring slots, the rest overflow
+            // again (with a freshly tracked minimum).
+            self.overflow_min = u64::MAX;
+            let pending = std::mem::take(&mut self.overflow);
+            for key in pending {
+                self.push(key);
+            }
         }
         true
     }
