@@ -46,6 +46,18 @@ echo "$SMOKE_HSSA" | grep -q '"hss_roots": 256'
 cleanup_smoke
 trap - EXIT
 
+echo "==> timings smoke: --timings prints a stage table to stderr only"
+TIMINGS_OUT=$(./target/release/backbone --method nc --top-k 5 --undirected --timings \
+    -o summary docs/examples/trade.tsv 2>/dev/null)
+TIMINGS_ERR=$(./target/release/backbone --method nc --top-k 5 --undirected --timings \
+    -o summary docs/examples/trade.tsv 2>&1 >/dev/null)
+echo "$TIMINGS_OUT" | grep -q '"stage_ms": { "score": '
+echo "$TIMINGS_ERR" | grep -q '^ingest'
+echo "$TIMINGS_ERR" | grep -q '^score'
+echo "$TIMINGS_ERR" | grep -q '^total'
+# stdout stays pure pipeline output: no table rows leak into it.
+if echo "$TIMINGS_OUT" | grep -q '^total'; then exit 1; fi
+
 echo "==> gen smoke: backbone gen | backbone nc"
 # A community-structured scenario straight through the pipeline, by pipe.
 GEN_SPEC='sb:n=5000,b=8,pin=0.02,pout=0.0008,w=lognormal(0,1),noise=0.1,seed=4242'
@@ -122,6 +134,17 @@ COMPARE_SERVER=$(curl -sf "${SERVE_URL}/graphs/trade/compare")
 [ "$COMPARE_CLI_STABLE" = "$COMPARE_SERVER" ]
 COMPARE_CACHED=$(curl -sf "${SERVE_URL}/graphs/trade/compare")
 [ "$COMPARE_SERVER" = "$COMPARE_CACHED" ]
+
+# Observability smoke: /metrics serves both formats, /health exposes the
+# cache counters, and a concurrent loadtest burst cross-checks the server's
+# request counts and latency quantiles against the client side — with
+# byte-identity asserted on every cached backbone response under load.
+curl -sf "${SERVE_URL}/metrics" | grep -q '# TYPE http_requests_total counter'
+curl -sf "${SERVE_URL}/metrics" | grep -q 'http_request_duration_seconds{method="GET",route="/graphs/{name}/backbone",quantile="0.5"}'
+curl -sf "${SERVE_URL}/metrics?format=json" | grep -q '"name": "http_requests_total"'
+curl -sf "${SERVE_URL}/health" | grep -q '"cache": { "scored": { "hits": '
+./target/release/backbone_loadtest --addr "127.0.0.1:${SERVE_PORT}" --graph trade \
+    --clients 4 --requests 25 | grep -q 'cross-checks passed'
 
 # Clean shutdown via the control path; SIGTERM (see cleanup_server) is the
 # fallback if the route ever breaks.

@@ -1,0 +1,114 @@
+//! Soak a running backboning server and cross-check its `/metrics` against
+//! the client side — the observability layer's end-to-end test under real
+//! concurrency.
+//!
+//! ```text
+//! backbone_loadtest --addr 127.0.0.1:4817 [--graph NAME] [--method nc]
+//!                   [--top-share 0.2] [--clients 4] [--requests 25]
+//! ```
+//!
+//! `--requests` is per client. With `--graph` the mix alternates the cached
+//! backbone summary route (byte-identity asserted on every response) with
+//! `/health`; without it only `/health` is soaked. The binary exits
+//! non-zero when any cross-check fails: a non-200 response, diverging
+//! response bytes, a `/metrics` count that disagrees with the client-side
+//! count, or a server quantile more than one histogram bucket above the
+//! client-observed one. `ci.sh` runs it against the smoke server.
+
+use std::net::{SocketAddr, ToSocketAddrs};
+
+use backboning_bench::loadtest::{run_loadtest, LoadTarget, LoadtestConfig};
+
+fn usage() -> String {
+    "usage: backbone_loadtest --addr HOST:PORT [--graph NAME] [--method M] \
+     [--top-share F] [--clients N] [--requests N]"
+        .to_string()
+}
+
+fn parse_config() -> Result<LoadtestConfig, String> {
+    let mut addr: Option<SocketAddr> = None;
+    let mut graph: Option<String> = None;
+    let mut method = "nc".to_string();
+    let mut top_share = "0.2".to_string();
+    let mut clients = 4usize;
+    let mut requests = 25usize;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value_for = |flag: &str| {
+            args.next()
+                .ok_or_else(|| format!("{flag}: missing value\n{}", usage()))
+        };
+        match arg.as_str() {
+            "--addr" => {
+                let text = value_for(&arg)?;
+                addr = Some(
+                    text.to_socket_addrs()
+                        .map_err(|e| format!("--addr {text}: {e}"))?
+                        .next()
+                        .ok_or_else(|| format!("--addr {text}: no address resolved"))?,
+                );
+            }
+            "--graph" => graph = Some(value_for(&arg)?),
+            "--method" => method = value_for(&arg)?,
+            "--top-share" => top_share = value_for(&arg)?,
+            "--clients" => {
+                clients = value_for(&arg)?
+                    .parse()
+                    .map_err(|e| format!("--clients: {e}"))?;
+            }
+            "--requests" => {
+                requests = value_for(&arg)?
+                    .parse()
+                    .map_err(|e| format!("--requests: {e}"))?;
+            }
+            "-h" | "--help" => {
+                println!("{}", usage());
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag `{other}`\n{}", usage())),
+        }
+    }
+    let addr = addr.ok_or_else(|| format!("--addr is required\n{}", usage()))?;
+
+    let mut targets = Vec::new();
+    if let Some(name) = &graph {
+        targets.push(LoadTarget {
+            path: format!(
+                "/graphs/{name}/backbone?method={method}&top_share={top_share}&output=summary"
+            ),
+            route: "/graphs/{name}/backbone".to_string(),
+            expect_identical: true,
+        });
+    }
+    targets.push(LoadTarget {
+        path: "/health".to_string(),
+        route: "/health".to_string(),
+        // /health reports live cache counters, so its body may change
+        // between requests.
+        expect_identical: false,
+    });
+    Ok(LoadtestConfig {
+        addr,
+        clients,
+        requests_per_client: requests,
+        targets,
+    })
+}
+
+fn main() {
+    let config = match parse_config() {
+        Ok(config) => config,
+        Err(message) => {
+            eprintln!("backbone_loadtest: {message}");
+            std::process::exit(2);
+        }
+    };
+    match run_loadtest(&config) {
+        Ok(report) => print!("{}", report.render_table()),
+        Err(message) => {
+            eprintln!("backbone_loadtest: FAILED: {message}");
+            std::process::exit(1);
+        }
+    }
+}

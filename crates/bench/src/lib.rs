@@ -27,6 +27,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod loadtest;
 pub mod matrix;
 
 use backboning_data::{CountryData, CountryDataConfig, OccupationData, OccupationDataConfig};

@@ -1,0 +1,455 @@
+//! A concurrent load-test harness for the backboning HTTP server.
+//!
+//! The harness soaks a running server with `clients × requests_per_client`
+//! keep-alive-less requests cycling over a route mix, measures every
+//! client-side latency (post-connect: request write → full response read)
+//! into the same [`backboning_obs::LatencyHistogram`] the server uses, and
+//! then **cross-checks the server's own `/metrics` against what the clients
+//! observed**:
+//!
+//! * per-route request counts must match *exactly* (the server records a
+//!   request's metrics before writing its response, so every response a
+//!   client finished reading is visible to the next scrape);
+//! * responses of deterministic routes must be byte-identical under
+//!   concurrency (the scored-graph cache's central guarantee);
+//! * the server-reported p50/p90/p99 may not exceed the client-observed
+//!   quantile by more than one histogram bucket (server handling time is a
+//!   subset of the client round trip, and the shared log-bucketed histogram
+//!   overstates a quantile by at most one bucket).
+//!
+//! Both the `backbone_loadtest` binary (run by `ci.sh` against the smoke
+//! server) and `bench_snapshot`'s `server_load` section are thin wrappers
+//! around [`run_loadtest`] — one measurement pipeline, two consumers.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use backboning_obs::{bucket_index_micros, HistogramSnapshot, LatencyHistogram};
+
+/// One route of the soak mix.
+#[derive(Debug, Clone)]
+pub struct LoadTarget {
+    /// Request path (with query string) sent to the server.
+    pub path: String,
+    /// The route label the server files this path under in `/metrics`
+    /// (e.g. `/graphs/{name}/backbone` — patterns, not concrete paths).
+    pub route: String,
+    /// Assert that every response is byte-identical to the first one.
+    /// Off for routes whose body legitimately varies (`/health` reports
+    /// live cache counters).
+    pub expect_identical: bool,
+}
+
+/// A full load-test configuration.
+#[derive(Debug, Clone)]
+pub struct LoadtestConfig {
+    /// Address of the running server.
+    pub addr: SocketAddr,
+    /// Number of concurrent client threads.
+    pub clients: usize,
+    /// Requests per client, cycling round-robin over [`LoadtestConfig::targets`].
+    pub requests_per_client: usize,
+    /// The route mix.
+    pub targets: Vec<LoadTarget>,
+}
+
+/// Per-route outcome of one soak: client-side latency distribution next to
+/// the server-reported quantiles for the same route.
+#[derive(Debug, Clone)]
+pub struct RouteOutcome {
+    /// The server's route label.
+    pub route: String,
+    /// Requests the clients completed against this route.
+    pub requests: u64,
+    /// Client-side latency distribution (write → full read).
+    pub client: HistogramSnapshot,
+    /// Server-reported p50 for this route, in milliseconds.
+    pub server_p50_ms: f64,
+    /// Server-reported p90 for this route, in milliseconds.
+    pub server_p90_ms: f64,
+    /// Server-reported p99 for this route, in milliseconds.
+    pub server_p99_ms: f64,
+}
+
+/// The result of one [`run_loadtest`] soak. Constructed only after every
+/// cross-check passed.
+#[derive(Debug, Clone)]
+pub struct LoadtestReport {
+    /// Total requests completed across all clients.
+    pub total_requests: u64,
+    /// Wall time of the soak (first connect to last read), in seconds.
+    pub wall_seconds: f64,
+    /// Aggregate client-side throughput: `total_requests / wall_seconds`.
+    pub rps: f64,
+    /// Client-side latency distribution over every request of the soak.
+    pub client: HistogramSnapshot,
+    /// Per-route breakdown, in route-label order.
+    pub routes: Vec<RouteOutcome>,
+}
+
+/// One blocking HTTP/1.1 GET over a fresh connection, returning the status
+/// code and the full raw response (head + body).
+pub fn http_get(addr: SocketAddr, path: &str) -> Result<(u16, Vec<u8>), String> {
+    let mut stream =
+        TcpStream::connect(addr).map_err(|e| format!("connect {addr} for {path}: {e}"))?;
+    write!(
+        stream,
+        "GET {path} HTTP/1.1\r\nHost: loadtest\r\nConnection: close\r\n\r\n"
+    )
+    .map_err(|e| format!("send {path}: {e}"))?;
+    let mut response = Vec::new();
+    stream
+        .read_to_end(&mut response)
+        .map_err(|e| format!("read {path}: {e}"))?;
+    let head = std::str::from_utf8(response.get(..12).unwrap_or(&response))
+        .map_err(|_| format!("{path}: non-UTF-8 status line"))?;
+    let status: u16 = head
+        .strip_prefix("HTTP/1.1 ")
+        .and_then(|rest| rest.get(..3))
+        .and_then(|code| code.parse().ok())
+        .ok_or_else(|| format!("{path}: malformed status line `{head}`"))?;
+    Ok((status, response))
+}
+
+/// The body of a `/metrics?format=json` scrape.
+pub fn scrape_metrics_json(addr: SocketAddr) -> Result<String, String> {
+    let (status, response) = http_get(addr, "/metrics?format=json")?;
+    if status != 200 {
+        return Err(format!("/metrics scrape returned {status}"));
+    }
+    let text = String::from_utf8(response).map_err(|_| "/metrics: non-UTF-8 body".to_string())?;
+    let body_at = text
+        .find("\r\n\r\n")
+        .ok_or_else(|| "/metrics: no header/body separator".to_string())?;
+    Ok(text[body_at + 4..].to_string())
+}
+
+/// Extract the first number following `"key": ` on `line`.
+fn json_number(line: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\": ");
+    let at = line.find(&needle)? + needle.len();
+    let rest = &line[at..];
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == 'E'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Total of `http_requests_total` over every status for one GET route in a
+/// `/metrics?format=json` body. The obs renderer emits one metric entry per
+/// line, so a line filter is a complete parse.
+pub fn route_request_count(metrics_json: &str, route: &str) -> u64 {
+    metrics_json
+        .lines()
+        .filter(|line| {
+            line.contains("\"name\": \"http_requests_total\"")
+                && line.contains("\"method\": \"GET\"")
+                && line.contains(&format!("\"route\": \"{route}\""))
+        })
+        .filter_map(|line| json_number(line, "value"))
+        .sum::<f64>() as u64
+}
+
+/// The `(count, sum_seconds)` of one GET route's duration histogram in a
+/// `/metrics?format=json` body.
+pub fn route_duration_seconds(metrics_json: &str, route: &str) -> Option<(u64, f64)> {
+    metrics_json
+        .lines()
+        .find(|line| {
+            line.contains("\"name\": \"http_request_duration_seconds\"")
+                && line.contains("\"method\": \"GET\"")
+                && line.contains(&format!("\"route\": \"{route}\""))
+        })
+        .and_then(|line| {
+            Some((
+                json_number(line, "count")? as u64,
+                json_number(line, "sum_seconds")?,
+            ))
+        })
+}
+
+/// The server-reported `(p50, p90, p99)` of one GET route's duration
+/// histogram, in seconds.
+pub fn route_quantiles_seconds(metrics_json: &str, route: &str) -> Option<(f64, f64, f64)> {
+    metrics_json
+        .lines()
+        .find(|line| {
+            line.contains("\"name\": \"http_request_duration_seconds\"")
+                && line.contains("\"method\": \"GET\"")
+                && line.contains(&format!("\"route\": \"{route}\""))
+        })
+        .and_then(|line| {
+            Some((
+                json_number(line, "p50_seconds")?,
+                json_number(line, "p90_seconds")?,
+                json_number(line, "p99_seconds")?,
+            ))
+        })
+}
+
+/// Per-target shared state of one soak.
+struct TargetState {
+    histogram: LatencyHistogram,
+    completed: AtomicU64,
+    reference: Mutex<Option<Vec<u8>>>,
+}
+
+/// Run the soak and every cross-check; any failed assertion returns `Err`
+/// with a message naming the route and the numbers that disagreed.
+pub fn run_loadtest(config: &LoadtestConfig) -> Result<LoadtestReport, String> {
+    if config.targets.is_empty() || config.clients == 0 || config.requests_per_client == 0 {
+        return Err("loadtest needs at least one target, client and request".to_string());
+    }
+    let before = scrape_metrics_json(config.addr)?;
+
+    let states: Vec<TargetState> = config
+        .targets
+        .iter()
+        .map(|_| TargetState {
+            histogram: LatencyHistogram::new(),
+            completed: AtomicU64::new(0),
+            reference: Mutex::new(None),
+        })
+        .collect();
+    let overall = LatencyHistogram::new();
+    let failures: Mutex<Vec<String>> = Mutex::new(Vec::new());
+
+    let soak_start = Instant::now();
+    std::thread::scope(|scope| {
+        for _ in 0..config.clients {
+            scope.spawn(|| {
+                for index in 0..config.requests_per_client {
+                    let target_index = index % config.targets.len();
+                    let target = &config.targets[target_index];
+                    let state = &states[target_index];
+                    let result = (|| -> Result<(), String> {
+                        let mut stream = TcpStream::connect(config.addr)
+                            .map_err(|e| format!("connect for {}: {e}", target.path))?;
+                        let start = Instant::now();
+                        write!(
+                            stream,
+                            "GET {} HTTP/1.1\r\nHost: loadtest\r\nConnection: close\r\n\r\n",
+                            target.path
+                        )
+                        .map_err(|e| format!("send {}: {e}", target.path))?;
+                        let mut response = Vec::new();
+                        stream
+                            .read_to_end(&mut response)
+                            .map_err(|e| format!("read {}: {e}", target.path))?;
+                        let elapsed = start.elapsed();
+                        if !response.starts_with(b"HTTP/1.1 200") {
+                            return Err(format!(
+                                "{}: non-200 response: {}",
+                                target.path,
+                                String::from_utf8_lossy(&response[..response.len().min(120)])
+                            ));
+                        }
+                        if target.expect_identical {
+                            let mut reference = state.reference.lock().unwrap();
+                            match reference.as_ref() {
+                                None => *reference = Some(response.clone()),
+                                Some(expected) if *expected != response => {
+                                    return Err(format!(
+                                        "{}: response bytes diverged under load \
+                                         ({} vs {} bytes)",
+                                        target.path,
+                                        expected.len(),
+                                        response.len()
+                                    ));
+                                }
+                                Some(_) => {}
+                            }
+                        }
+                        state.histogram.record(elapsed);
+                        overall.record(elapsed);
+                        state.completed.fetch_add(1, Ordering::Relaxed);
+                        Ok(())
+                    })();
+                    if let Err(message) = result {
+                        failures.lock().unwrap().push(message);
+                        break;
+                    }
+                }
+            });
+        }
+    });
+    let wall_seconds = soak_start.elapsed().as_secs_f64();
+    let failures = failures.into_inner().unwrap();
+    if let Some(first) = failures.first() {
+        return Err(format!(
+            "{} client failure(s); first: {first}",
+            failures.len()
+        ));
+    }
+
+    let after = scrape_metrics_json(config.addr)?;
+
+    // Group client-side results by route label: several paths may share one
+    // route pattern (the server can't tell them apart, so neither do we).
+    let mut routes: Vec<RouteOutcome> = Vec::new();
+    for (target, state) in config.targets.iter().zip(&states) {
+        let snapshot = state.histogram.snapshot();
+        let completed = state.completed.load(Ordering::Relaxed);
+        match routes.iter_mut().find(|r| r.route == target.route) {
+            Some(existing) => {
+                existing.requests += completed;
+                existing.client.merge(&snapshot);
+            }
+            None => routes.push(RouteOutcome {
+                route: target.route.clone(),
+                requests: completed,
+                client: snapshot,
+                server_p50_ms: 0.0,
+                server_p90_ms: 0.0,
+                server_p99_ms: 0.0,
+            }),
+        }
+    }
+    routes.sort_by(|a, b| a.route.cmp(&b.route));
+
+    for outcome in &mut routes {
+        // Exact count cross-check. The pre-soak scrape's own request is
+        // recorded before its response is written, so it is part of the
+        // after-scrape's `/metrics` count; the after-scrape itself is not.
+        let mut expected = outcome.requests;
+        if outcome.route == "/metrics" {
+            expected += 1;
+        }
+        let delta = route_request_count(&after, &outcome.route)
+            .saturating_sub(route_request_count(&before, &outcome.route));
+        if delta != expected {
+            return Err(format!(
+                "route {}: /metrics counted {delta} request(s), clients completed {expected}",
+                outcome.route
+            ));
+        }
+
+        let (p50, p90, p99) = route_quantiles_seconds(&after, &outcome.route)
+            .ok_or_else(|| format!("route {}: no duration histogram in /metrics", outcome.route))?;
+        outcome.server_p50_ms = p50 * 1e3;
+        outcome.server_p90_ms = p90 * 1e3;
+        outcome.server_p99_ms = p99 * 1e3;
+
+        // Quantile cross-check — only when the soak is the route's whole
+        // traffic, so both sides rank the same request population. Server
+        // handling time is a subset of the client round trip, and each
+        // reported quantile overstates its true value by at most one
+        // bucket, so the server may lead the client by at most one bucket.
+        if route_request_count(&before, &outcome.route) == 0 && outcome.route != "/metrics" {
+            for (quantile, server_ms) in [
+                (0.5, outcome.server_p50_ms),
+                (0.9, outcome.server_p90_ms),
+                (0.99, outcome.server_p99_ms),
+            ] {
+                let client_micros = outcome.client.quantile_micros(quantile);
+                let server_micros = (server_ms * 1e3).round() as u64;
+                if bucket_index_micros(server_micros) > bucket_index_micros(client_micros) + 1 {
+                    return Err(format!(
+                        "route {}: server p{} {:.3} ms exceeds the client-side {:.3} ms \
+                         by more than one histogram bucket",
+                        outcome.route,
+                        (quantile * 100.0) as u32,
+                        server_ms,
+                        client_micros as f64 / 1e3
+                    ));
+                }
+            }
+        }
+    }
+
+    let total_requests: u64 = states
+        .iter()
+        .map(|s| s.completed.load(Ordering::Relaxed))
+        .sum();
+    Ok(LoadtestReport {
+        total_requests,
+        wall_seconds,
+        rps: total_requests as f64 / wall_seconds,
+        client: overall.snapshot(),
+        routes,
+    })
+}
+
+impl LoadtestReport {
+    /// Render the human-readable soak summary printed by the
+    /// `backbone_loadtest` binary.
+    pub fn render_table(&self) -> String {
+        let ms = |micros: u64| micros as f64 / 1e3;
+        let mut out = format!(
+            "loadtest: {} requests in {:.3} s = {:.1} req/s\n\
+             client latency: p50 {:.3} ms, p90 {:.3} ms, p99 {:.3} ms, max {:.3} ms\n",
+            self.total_requests,
+            self.wall_seconds,
+            self.rps,
+            ms(self.client.quantile_micros(0.5)),
+            ms(self.client.quantile_micros(0.9)),
+            ms(self.client.quantile_micros(0.99)),
+            ms(self.client.max_micros()),
+        );
+        for route in &self.routes {
+            out.push_str(&format!(
+                "  {}: {} requests, client p50 {:.3} ms / server p50 {:.3} ms \
+                 (count + quantile cross-checks passed)\n",
+                route.route,
+                route.requests,
+                ms(route.client.quantile_micros(0.5)),
+                route.server_p50_ms,
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_line_parsers_extract_counts_and_quantiles() {
+        let body = concat!(
+            "{\n",
+            "  \"counters\": [\n",
+            "    { \"name\": \"http_requests_total\", \"labels\": { \"method\": \"GET\", ",
+            "\"route\": \"/health\", \"status\": \"200\" }, \"value\": 7 },\n",
+            "    { \"name\": \"http_requests_total\", \"labels\": { \"method\": \"GET\", ",
+            "\"route\": \"/health\", \"status\": \"400\" }, \"value\": 2 },\n",
+            "    { \"name\": \"http_requests_total\", \"labels\": { \"method\": \"POST\", ",
+            "\"route\": \"/health\", \"status\": \"200\" }, \"value\": 9 }\n",
+            "  ],\n",
+            "  \"histograms\": [\n",
+            "    { \"name\": \"http_request_duration_seconds\", \"labels\": ",
+            "{ \"method\": \"GET\", \"route\": \"/health\" }, \"count\": 9, ",
+            "\"sum_seconds\": 0.01, \"p50_seconds\": 0.001024, \"p90_seconds\": 0.002048, ",
+            "\"p99_seconds\": 0.004096, \"max_seconds\": 0.005 }\n",
+            "  ]\n",
+            "}\n"
+        );
+        // GET statuses sum; the POST line is excluded.
+        assert_eq!(route_request_count(body, "/health"), 9);
+        assert_eq!(route_request_count(body, "/graphs"), 0);
+        assert_eq!(
+            route_quantiles_seconds(body, "/health"),
+            Some((0.001024, 0.002048, 0.004096))
+        );
+        assert_eq!(route_quantiles_seconds(body, "/graphs"), None);
+        assert_eq!(route_duration_seconds(body, "/health"), Some((9, 0.01)));
+    }
+
+    #[test]
+    fn empty_configurations_are_rejected() {
+        let config = LoadtestConfig {
+            addr: "127.0.0.1:1".parse().unwrap(),
+            clients: 0,
+            requests_per_client: 10,
+            targets: vec![LoadTarget {
+                path: "/health".to_string(),
+                route: "/health".to_string(),
+                expect_identical: false,
+            }],
+        };
+        assert!(run_loadtest(&config).is_err());
+    }
+}

@@ -94,6 +94,8 @@ OUTPUT:
                            summary   a JSON run summary
     --threads <N>          worker threads (default: auto; also honours the
                            BACKBONING_THREADS environment variable)
+    --timings              print a per-stage wall-time breakdown (ingest /
+                           score / select / build) to stderr after the run
 
 COMPARE MODE:
     backbone compare [--methods LIST] [--top-share F] [OPTIONS] [INPUT]
@@ -135,9 +137,12 @@ SERVE MODE:
                            *.edges) to register at startup, named by file
                            stem
     --threads <N>          scoring worker threads, and the worker-pool floor
+    --access-log           log one line per request to stderr
+                           (method, path, status, bytes, milliseconds)
     The INPUT FORMAT flags above apply to the startup graph directory.
 
-    Routes: GET /health · GET /graphs · GET|POST|DELETE /graphs/NAME ·
+    Routes: GET /health · GET /metrics[?format=json] · GET /graphs ·
+    GET|POST|DELETE /graphs/NAME ·
     GET /graphs/NAME/backbone?method=nc&top_share=0.2[&output=...][&format=...]
     · GET /graphs/NAME/compare[?methods=...&top_share=...] · POST /shutdown
     (clean stop). Full reference: docs/API.md.
@@ -209,6 +214,8 @@ pub struct CliConfig {
     pub output: OutputKind,
     /// Worker threads (`0` = automatic).
     pub threads: usize,
+    /// Print a per-stage wall-time breakdown to stderr after the run.
+    pub timings: bool,
 }
 
 /// What a `backbone compare` run writes to stdout.
@@ -371,6 +378,7 @@ fn parse_serve_args(mut args: impl Iterator<Item = String>) -> Result<Command, U
             "--addr" => config.addr = value_for(&arg)?,
             "--graphs" => config.graphs_dir = Some(PathBuf::from(value_for(&arg)?)),
             "--threads" => config.threads = parse_number(&arg, &value_for(&arg)?)?,
+            "--access-log" => config.access_log = true,
             flag if flag.starts_with('-') => {
                 return Err(usage_error(format!("unknown serve flag `{flag}`")));
             }
@@ -577,6 +585,7 @@ where
     let mut options = EdgeListOptions::default();
     let mut output = OutputKind::Backbone;
     let mut threads = 0usize;
+    let mut timings = false;
     let mut hss_roots: Option<usize> = None;
     let mut hss_seed: Option<u64> = None;
 
@@ -641,6 +650,7 @@ where
                 };
             }
             "--threads" => threads = parse_number(&arg, &value_for(&arg)?)?,
+            "--timings" => timings = true,
             "-" => {
                 if input.is_some() || explicit_stdin {
                     return Err(usage_error(
@@ -676,6 +686,7 @@ where
         options,
         output,
         threads,
+        timings,
     }))
 }
 
@@ -687,6 +698,7 @@ pub fn execute(config: &CliConfig, out: &mut dyn Write) -> Result<(), String> {
     // Parse straight into the compact u32/CSR core: the pipeline is generic
     // over both representations with bit-identical output, and the CSR form
     // is what keeps million-edge runs inside a laptop's memory.
+    let ingest_start = std::time::Instant::now();
     let graph = match &config.input {
         Some(path) => backboning_graph::io::read_edge_list_csr_file(path, &config.options),
         None => {
@@ -695,6 +707,7 @@ pub fn execute(config: &CliConfig, out: &mut dyn Write) -> Result<(), String> {
         }
     }
     .map_err(|e| e.to_string())?;
+    let ingest = ingest_start.elapsed();
 
     let run = Pipeline::new(config.method, config.policy)
         .with_threads(config.threads)
@@ -708,7 +721,29 @@ pub fn execute(config: &CliConfig, out: &mut dyn Write) -> Result<(), String> {
             writeln!(out, "{}", run.summary_json()).map_err(|e| e.to_string())?
         }
     }
+    if config.timings {
+        eprint!("{}", render_timings_table(ingest, &run.stages));
+    }
     Ok(())
+}
+
+/// The `--timings` stderr table: one row per pipeline stage (ingest, then
+/// the [`backboning::StageTimings`] stages) plus a total.
+fn render_timings_table(ingest: std::time::Duration, stages: &backboning::StageTimings) -> String {
+    let ms = |d: std::time::Duration| d.as_secs_f64() * 1e3;
+    let mut rows = vec![("ingest", ms(ingest))];
+    if let Some(score) = stages.score {
+        rows.push(("score", ms(score)));
+    }
+    rows.push(("select", ms(stages.select)));
+    rows.push(("build", ms(stages.build)));
+    let total: f64 = rows.iter().map(|(_, v)| v).sum();
+    rows.push(("total", total));
+    let mut table = String::from("stage         ms\n------  --------\n");
+    for (stage, value) in rows {
+        table.push_str(&format!("{stage:<6}  {value:>8.3}\n"));
+    }
+    table
 }
 
 /// Execute a parsed `backbone compare` configuration, writing the report to
@@ -840,6 +875,37 @@ mod tests {
         assert!(config.input.is_none());
         assert_eq!(config.output, OutputKind::Backbone);
         assert_eq!(config.threads, 0);
+        assert!(!config.timings);
+    }
+
+    #[test]
+    fn timings_flag_parses_and_renders_a_stage_table() {
+        assert!(config(&["-m", "nc", "--top-k", "5", "--timings"]).timings);
+
+        let stages = backboning::StageTimings {
+            score: Some(std::time::Duration::from_micros(1500)),
+            select: std::time::Duration::from_micros(250),
+            build: std::time::Duration::from_micros(250),
+        };
+        let table = render_timings_table(std::time::Duration::from_millis(2), &stages);
+        assert_eq!(
+            table,
+            "stage         ms\n\
+             ------  --------\n\
+             ingest     2.000\n\
+             score      1.500\n\
+             select     0.250\n\
+             build      0.250\n\
+             total      4.000\n"
+        );
+        // Without a score stage the row disappears instead of reading 0.
+        let cached = backboning::StageTimings {
+            score: None,
+            ..stages
+        };
+        let table = render_timings_table(std::time::Duration::ZERO, &cached);
+        assert!(!table.contains("score"));
+        assert!(table.contains("total      0.500\n"), "{table}");
     }
 
     #[test]
@@ -1090,6 +1156,7 @@ mod tests {
             "2",
             "--undirected",
             "--header",
+            "--access-log",
         ])
         .unwrap() else {
             panic!("expected a serve command")
@@ -1102,6 +1169,7 @@ mod tests {
         assert_eq!(config.threads, 2);
         assert_eq!(config.options.direction, Direction::Undirected);
         assert!(config.options.has_header);
+        assert!(config.access_log);
     }
 
     #[test]
@@ -1112,6 +1180,7 @@ mod tests {
         assert_eq!(config.addr, "127.0.0.1:4817");
         assert!(config.graphs_dir.is_none());
         assert_eq!(config.threads, 0);
+        assert!(!config.access_log);
     }
 
     #[test]

@@ -96,7 +96,7 @@ pub use high_salience::HighSalienceSkeleton;
 pub use method::Method;
 pub use naive::NaiveThreshold;
 pub use noise_corrected::{NoiseCorrected, NoiseCorrectedBinomial};
-pub use pipeline::{Pipeline, PipelineRun, ThresholdPolicy};
+pub use pipeline::{Pipeline, PipelineRun, StageTimings, ThresholdPolicy};
 pub use scored::{BackboneExtractor, ScoredEdge, ScoredEdges, Symmetrization};
 pub use spanning_tree::MaximumSpanningTree;
 

@@ -212,11 +212,11 @@ impl Pipeline {
     }
 
     /// Run the full pipeline: score, select, and build the backbone graph,
-    /// measuring wall time and coverage along the way.
+    /// measuring wall time, per-stage time and coverage along the way.
     pub fn run<G: GraphView>(&self, graph: &G) -> BackboneResult<PipelineRun> {
         let start = Instant::now();
         let scored = Arc::new(self.score(graph)?);
-        self.assemble(graph, scored, start)
+        self.assemble(graph, scored, start, Some(start.elapsed()))
     }
 
     /// Run everything *after* scoring on an already-scored edge set: apply
@@ -265,20 +265,26 @@ impl Pipeline {
                 ),
             });
         }
-        self.assemble(graph, scored, Instant::now())
+        self.assemble(graph, scored, Instant::now(), None)
     }
 
     /// Select, build the backbone, and package the run statistics. `start`
     /// is when the caller's measured work began (before scoring for `run`,
-    /// after it for `run_with_scores`).
+    /// after it for `run_with_scores`); `score` is the already-measured
+    /// scoring time, `None` when the scores were supplied by the caller.
     fn assemble<G: GraphView>(
         &self,
         graph: &G,
         scored: Arc<ScoredEdges>,
         start: Instant,
+        score: Option<Duration>,
     ) -> BackboneResult<PipelineRun> {
+        let select_start = Instant::now();
         let kept = self.select(graph, &scored)?;
+        let select = select_start.elapsed();
+        let build_start = Instant::now();
         let backbone = graph.subgraph_with_edges(&kept)?;
+        let build = build_start.elapsed();
         let elapsed = start.elapsed();
         let original_connected = graph.non_isolated_node_count();
         let coverage = if original_connected == 0 {
@@ -294,11 +300,34 @@ impl Pipeline {
             original_edges: graph.edge_count(),
             coverage,
             elapsed,
+            stages: StageTimings {
+                score,
+                select,
+                build,
+            },
             scored,
             kept,
             backbone,
         })
     }
+}
+
+/// Per-stage wall times of one pipeline run, as measured by
+/// [`Pipeline::run`] / [`Pipeline::run_with_scores`].
+///
+/// The stages are the three calls the pipeline makes: [`Pipeline::score`],
+/// [`Pipeline::select`], and the backbone subgraph construction. Their sum
+/// is slightly below [`PipelineRun::elapsed`] (the difference is the
+/// bookkeeping between stages).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StageTimings {
+    /// Time spent scoring the edges; `None` when the run reused
+    /// already-computed scores ([`Pipeline::run_with_scores`]).
+    pub score: Option<Duration>,
+    /// Time spent applying the threshold policy to the scored edges.
+    pub select: Duration,
+    /// Time spent building the backbone subgraph from the kept edges.
+    pub build: Duration,
 }
 
 /// The smallest score-ranked prefix of edges whose node coverage reaches
@@ -359,6 +388,8 @@ pub struct PipelineRun {
     pub coverage: f64,
     /// Wall time of scoring + selection + backbone construction.
     pub elapsed: Duration,
+    /// Per-stage breakdown of `elapsed` (score / select / build).
+    pub stages: StageTimings,
     /// Every edge with its method-specific significance score (shared, so a
     /// cached selection never copies the score vector).
     pub scored: Arc<ScoredEdges>,
@@ -427,12 +458,15 @@ impl PipelineRun {
     }
 
     /// The run summary as a JSON object: method, policy, thread count,
-    /// input/backbone sizes, coverage and wall time.
+    /// input/backbone sizes, coverage, wall time and the per-stage
+    /// `stage_ms` breakdown (the `score` entry is omitted when the run
+    /// reused cached scores).
     pub fn summary_json(&self) -> String {
         self.summary(true)
     }
 
-    /// [`PipelineRun::summary_json`] without the `wall_ms` field.
+    /// [`PipelineRun::summary_json`] without the `wall_ms` and `stage_ms`
+    /// fields.
     ///
     /// Wall time is the one run statistic that is not a pure function of the
     /// input; omitting it makes the summary *stable*: two runs with the same
@@ -474,6 +508,14 @@ impl PipelineRun {
             .raw("backbone", &backbone.finish());
         if include_timing {
             summary.f64_fixed("wall_ms", self.elapsed.as_secs_f64() * 1e3, 3);
+            let mut stages = json::JsonObject::inline();
+            if let Some(score) = self.stages.score {
+                stages.f64_fixed("score", score.as_secs_f64() * 1e3, 3);
+            }
+            stages
+                .f64_fixed("select", self.stages.select.as_secs_f64() * 1e3, 3)
+                .f64_fixed("build", self.stages.build.as_secs_f64() * 1e3, 3);
+            summary.raw("stage_ms", &stages.finish());
         }
         summary.finish()
     }
@@ -642,6 +684,34 @@ mod tests {
         for share in [-0.01, 1.01, f64::NAN] {
             assert!(Pipeline::matched(Method::NoiseCorrected, &graph, share).is_err());
         }
+    }
+
+    #[test]
+    fn stage_timings_follow_the_run_entry_point() {
+        let graph = path_graph();
+        let pipeline = Pipeline::new(Method::NoiseCorrected, ThresholdPolicy::TopK(2));
+
+        let full = pipeline.run(&graph).unwrap();
+        assert!(full.stages.score.is_some());
+        let json = full.summary_json();
+        assert!(json.contains("\"stage_ms\": { \"score\": "));
+        assert!(json.contains("\"select\": "));
+        assert!(json.contains("\"build\": "));
+        // The stable summary carries no timing at all.
+        let stable = full.summary_json_stable();
+        assert!(!stable.contains("stage_ms"));
+        assert!(!stable.contains("wall_ms"));
+
+        // Reusing scores drops the score stage from both the struct and the
+        // summary, but keeps select/build.
+        let cached = pipeline
+            .run_with_scores(&graph, Arc::clone(&full.scored))
+            .unwrap();
+        assert_eq!(cached.stages.score, None);
+        assert_eq!(cached.kept, full.kept);
+        let cached_json = cached.summary_json();
+        assert!(cached_json.contains("\"stage_ms\": { \"select\": "));
+        assert!(!cached_json.contains("\"score\": "));
     }
 
     #[test]

@@ -1,0 +1,365 @@
+//! Log-bucketed latency histogram with fixed, deterministic bucket bounds.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::{Duration, Instant};
+
+/// Largest latency (in microseconds) tracked with log-bucket resolution.
+/// Values beyond this land in a single overflow bucket; the exact maximum is
+/// still reported via the histogram's max tracker.
+pub const MAX_TRACKED_MICROS: u64 = 60_000_000;
+
+/// Builds the shared bucket upper bounds: every power of two from 1 µs up,
+/// interleaved with its √2 midpoint (~2 buckets per octave), capped at
+/// [`MAX_TRACKED_MICROS`]. Strictly increasing by construction.
+fn build_bounds() -> Vec<u64> {
+    let mut bounds = Vec::new();
+    let mut power: u64 = 1;
+    while power < MAX_TRACKED_MICROS {
+        bounds.push(power);
+        let midpoint = ((power as f64) * std::f64::consts::SQRT_2).round() as u64;
+        if midpoint > power && midpoint < MAX_TRACKED_MICROS && midpoint < power * 2 {
+            bounds.push(midpoint);
+        }
+        power = power.saturating_mul(2);
+    }
+    bounds.push(MAX_TRACKED_MICROS);
+    bounds
+}
+
+/// The fixed bucket upper bounds (inclusive), in microseconds, shared by every
+/// [`LatencyHistogram`] in the process. Bucket `i` counts values `v` with
+/// `bounds[i-1] < v <= bounds[i]` (bucket 0 starts at zero); one extra
+/// overflow bucket past the last bound catches everything larger.
+pub fn bucket_bounds_micros() -> &'static [u64] {
+    static BOUNDS: OnceLock<Vec<u64>> = OnceLock::new();
+    BOUNDS.get_or_init(build_bounds)
+}
+
+/// Maps a value in microseconds to its bucket index. Values past the last
+/// bound map to the overflow bucket `bucket_bounds_micros().len()`.
+pub fn bucket_index_micros(micros: u64) -> usize {
+    bucket_bounds_micros().partition_point(|&bound| bound < micros)
+}
+
+/// A lock-free, atomics-only latency histogram.
+///
+/// Recording is wait-free: one `fetch_add` on the bucket counter plus two
+/// relaxed updates for the running sum and maximum. All instances share the
+/// same bucket boundaries (see [`bucket_bounds_micros`]), so snapshots merge
+/// deterministically regardless of which thread recorded what.
+pub struct LatencyHistogram {
+    counts: Box<[AtomicU64]>,
+    sum_micros: AtomicU64,
+    max_micros: AtomicU64,
+}
+
+impl LatencyHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        let buckets = bucket_bounds_micros().len() + 1;
+        let counts = (0..buckets).map(|_| AtomicU64::new(0)).collect();
+        LatencyHistogram {
+            counts,
+            sum_micros: AtomicU64::new(0),
+            max_micros: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one latency observation.
+    pub fn record(&self, elapsed: Duration) {
+        self.record_micros(u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX));
+    }
+
+    /// Records one latency observation given directly in microseconds.
+    pub fn record_micros(&self, micros: u64) {
+        let index = bucket_index_micros(micros);
+        self.counts[index].fetch_add(1, Ordering::Relaxed);
+        self.sum_micros.fetch_add(micros, Ordering::Relaxed);
+        self.max_micros.fetch_max(micros, Ordering::Relaxed);
+    }
+
+    /// Takes a point-in-time copy of the bucket counts without blocking
+    /// writers. Concurrent recordings may or may not be included; once
+    /// writers quiesce the snapshot is exact.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            counts: self
+                .counts
+                .iter()
+                .map(|c| c.load(Ordering::Relaxed))
+                .collect(),
+            sum_micros: self.sum_micros.load(Ordering::Relaxed),
+            max_micros: self.max_micros.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram::new()
+    }
+}
+
+impl std::fmt::Debug for LatencyHistogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let snapshot = self.snapshot();
+        f.debug_struct("LatencyHistogram")
+            .field("count", &snapshot.count())
+            .field("sum_micros", &snapshot.sum_micros())
+            .field("max_micros", &snapshot.max_micros())
+            .finish()
+    }
+}
+
+/// An immutable copy of a histogram's state, with quantile readout and
+/// deterministic merging.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    counts: Vec<u64>,
+    sum_micros: u64,
+    max_micros: u64,
+}
+
+impl HistogramSnapshot {
+    /// An empty snapshot (useful as a merge accumulator).
+    pub fn empty() -> Self {
+        HistogramSnapshot {
+            counts: vec![0; bucket_bounds_micros().len() + 1],
+            sum_micros: 0,
+            max_micros: 0,
+        }
+    }
+
+    /// Total number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Sum of all recorded values, in microseconds.
+    pub fn sum_micros(&self) -> u64 {
+        self.sum_micros
+    }
+
+    /// The exact largest recorded value, in microseconds (0 when empty).
+    pub fn max_micros(&self) -> u64 {
+        self.max_micros
+    }
+
+    /// Mean of all recorded values, in microseconds (0.0 when empty).
+    pub fn mean_micros(&self) -> f64 {
+        let count = self.count();
+        if count == 0 {
+            0.0
+        } else {
+            self.sum_micros as f64 / count as f64
+        }
+    }
+
+    /// The per-bucket counts, aligned with [`bucket_bounds_micros`] plus one
+    /// trailing overflow bucket.
+    pub fn bucket_counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Reads the `q`-quantile (`0.0 < q <= 1.0`) in microseconds.
+    ///
+    /// Walks exact bucket counts to the observation of rank `ceil(q * count)`
+    /// and reports that bucket's upper bound, clamped to the exact recorded
+    /// maximum — so the result never understates the true quantile and
+    /// overstates it by at most one bucket (a factor of √2). Returns 0 for an
+    /// empty histogram.
+    pub fn quantile_micros(&self, q: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let bounds = bucket_bounds_micros();
+        let mut seen = 0u64;
+        for (index, &count) in self.counts.iter().enumerate() {
+            seen += count;
+            if seen >= rank {
+                let upper = bounds.get(index).copied().unwrap_or(self.max_micros);
+                return upper.min(self.max_micros);
+            }
+        }
+        self.max_micros
+    }
+
+    /// [`Self::quantile_micros`] converted to seconds.
+    pub fn quantile_seconds(&self, q: f64) -> f64 {
+        self.quantile_micros(q) as f64 / 1e6
+    }
+
+    /// Adds another snapshot's counts into this one. Because all histograms
+    /// share the same fixed bounds, merging is associative and commutative:
+    /// any merge order over the same snapshots yields identical results.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        assert_eq!(
+            self.counts.len(),
+            other.counts.len(),
+            "histogram snapshots always share the fixed global bucket layout",
+        );
+        for (mine, theirs) in self.counts.iter_mut().zip(&other.counts) {
+            *mine += theirs;
+        }
+        self.sum_micros += other.sum_micros;
+        self.max_micros = self.max_micros.max(other.max_micros);
+    }
+}
+
+/// RAII span guard: records the time from construction to drop into the
+/// histogram it was started on.
+#[derive(Debug)]
+pub struct Timer {
+    histogram: Arc<LatencyHistogram>,
+    start: Instant,
+    recorded: bool,
+}
+
+impl Timer {
+    /// Starts timing a span against `histogram`.
+    pub fn start(histogram: Arc<LatencyHistogram>) -> Self {
+        Timer {
+            histogram,
+            start: Instant::now(),
+            recorded: false,
+        }
+    }
+
+    /// Stops the span early, records it, and returns the elapsed time.
+    pub fn stop(mut self) -> Duration {
+        let elapsed = self.start.elapsed();
+        self.histogram.record(elapsed);
+        self.recorded = true;
+        elapsed
+    }
+}
+
+impl Drop for Timer {
+    fn drop(&mut self) {
+        if !self.recorded {
+            self.histogram.record(self.start.elapsed());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bounds_are_strictly_increasing_and_capped() {
+        let bounds = bucket_bounds_micros();
+        assert_eq!(bounds[0], 1);
+        assert_eq!(*bounds.last().unwrap(), MAX_TRACKED_MICROS);
+        for window in bounds.windows(2) {
+            assert!(window[0] < window[1], "bounds must strictly increase");
+        }
+        // ~2 buckets per octave over 1 µs..60 s is a little over 50 bounds.
+        assert!(bounds.len() > 45 && bounds.len() < 60, "{}", bounds.len());
+    }
+
+    #[test]
+    fn bucket_relative_width_is_at_most_sqrt2() {
+        let bounds = bucket_bounds_micros();
+        for window in bounds.windows(2) {
+            let ratio = window[1] as f64 / window[0] as f64;
+            // Integer rounding at the small end makes some ratios exactly 2
+            // (1→2) or slightly above √2; all stay at or below one octave.
+            assert!(ratio <= 2.0, "ratio {} too wide", ratio);
+        }
+    }
+
+    #[test]
+    fn records_land_in_the_right_buckets() {
+        let histogram = LatencyHistogram::new();
+        histogram.record_micros(0);
+        histogram.record_micros(1);
+        histogram.record_micros(2);
+        histogram.record_micros(3);
+        let snapshot = histogram.snapshot();
+        assert_eq!(snapshot.bucket_counts()[0], 2); // 0 and 1 both ≤ 1 µs
+        assert_eq!(snapshot.bucket_counts()[1], 1); // 2 µs
+        assert_eq!(snapshot.bucket_counts()[2], 1); // 3 µs
+        assert_eq!(snapshot.count(), 4);
+        assert_eq!(snapshot.sum_micros(), 6);
+        assert_eq!(snapshot.max_micros(), 3);
+    }
+
+    #[test]
+    fn overflow_values_go_to_the_overflow_bucket_with_exact_max() {
+        let histogram = LatencyHistogram::new();
+        histogram.record_micros(MAX_TRACKED_MICROS + 123);
+        let snapshot = histogram.snapshot();
+        assert_eq!(*snapshot.bucket_counts().last().unwrap(), 1);
+        assert_eq!(snapshot.max_micros(), MAX_TRACKED_MICROS + 123);
+        assert_eq!(snapshot.quantile_micros(0.5), MAX_TRACKED_MICROS + 123);
+    }
+
+    #[test]
+    fn quantiles_of_a_point_mass_are_exactly_the_bucket_bound() {
+        let histogram = LatencyHistogram::new();
+        for _ in 0..1000 {
+            histogram.record_micros(500);
+        }
+        let snapshot = histogram.snapshot();
+        // 500 µs falls in the bucket with upper bound 512; the exact max (500)
+        // clamps the readout.
+        for q in [0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(snapshot.quantile_micros(q), 500);
+        }
+    }
+
+    #[test]
+    fn quantile_walk_matches_rank_semantics() {
+        let histogram = LatencyHistogram::new();
+        // 90 fast observations, 10 slow ones.
+        for _ in 0..90 {
+            histogram.record_micros(100);
+        }
+        for _ in 0..10 {
+            histogram.record_micros(10_000);
+        }
+        let snapshot = histogram.snapshot();
+        // p50 and p90 sit in the fast mass; p99 in the slow mass.
+        assert!(snapshot.quantile_micros(0.5) <= 128);
+        assert!(snapshot.quantile_micros(0.9) <= 128);
+        assert!(snapshot.quantile_micros(0.99) >= 10_000);
+    }
+
+    #[test]
+    fn timer_records_on_drop_and_on_stop() {
+        let histogram = Arc::new(LatencyHistogram::new());
+        {
+            let _span = Timer::start(Arc::clone(&histogram));
+        }
+        let elapsed = Timer::start(Arc::clone(&histogram)).stop();
+        let snapshot = histogram.snapshot();
+        assert_eq!(snapshot.count(), 2);
+        assert!(elapsed.as_secs() < 60);
+    }
+
+    #[test]
+    fn merge_is_elementwise_with_max_of_maxes() {
+        let a = LatencyHistogram::new();
+        let b = LatencyHistogram::new();
+        a.record_micros(10);
+        a.record_micros(20);
+        b.record_micros(5_000);
+        let mut merged = a.snapshot();
+        merged.merge(&b.snapshot());
+        assert_eq!(merged.count(), 3);
+        assert_eq!(merged.sum_micros(), 5_030);
+        assert_eq!(merged.max_micros(), 5_000);
+    }
+
+    #[test]
+    fn empty_snapshot_reads_zero_everywhere() {
+        let snapshot = HistogramSnapshot::empty();
+        assert_eq!(snapshot.count(), 0);
+        assert_eq!(snapshot.quantile_micros(0.99), 0);
+        assert_eq!(snapshot.mean_micros(), 0.0);
+    }
+}

@@ -1,0 +1,35 @@
+//! Lock-free observability primitives for the backboning stack.
+//!
+//! This crate is intentionally tiny and dependency-free. It provides the
+//! measurement substrate the server and benchmark tooling report through:
+//!
+//! - [`Counter`] and [`Gauge`]: single atomics with relaxed ordering, safe to
+//!   hammer from any number of threads.
+//! - [`LatencyHistogram`]: a log-bucketed (HDR-style) histogram with **fixed**
+//!   bucket boundaries — roughly two buckets per octave from 1 µs to 60 s —
+//!   so snapshots taken on different threads or machines always line up and
+//!   merges are deterministic. Quantile readout walks exact bucket counts;
+//!   the reported value is the bucket upper bound, so the relative error is
+//!   bounded by one bucket (a factor of √2).
+//! - [`Timer`]: an RAII span guard that records its elapsed time into a
+//!   histogram on drop.
+//! - [`MetricsRegistry`]: a process-wide, label-aware registry of named
+//!   metrics that can be snapshotted without stopping writers and rendered
+//!   as Prometheus text exposition or JSON.
+//!
+//! Everything records with `Ordering::Relaxed`: individual metric updates
+//! never need to synchronize with each other, and snapshots are advisory
+//! reads. Once writers quiesce (e.g. after a load test joins its clients),
+//! counts read back exactly.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod histogram;
+mod registry;
+
+pub use histogram::{
+    bucket_bounds_micros, bucket_index_micros, HistogramSnapshot, LatencyHistogram, Timer,
+    MAX_TRACKED_MICROS,
+};
+pub use registry::{Counter, Gauge, MetricSample, MetricsRegistry, MetricsSnapshot, SampleValue};

@@ -1,0 +1,619 @@
+//! Counters, gauges, and the label-aware process-wide metrics registry.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+use crate::histogram::{HistogramSnapshot, LatencyHistogram};
+
+/// A monotonically increasing counter. All operations use relaxed atomics.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Creates a counter at zero.
+    pub fn new() -> Self {
+        Counter(AtomicU64::new(0))
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Reads the current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge: a value that can go up and down. All operations use relaxed
+/// atomics.
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    /// Creates a gauge at zero.
+    pub fn new() -> Self {
+        Gauge(AtomicI64::new(0))
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Subtracts one.
+    pub fn dec(&self) {
+        self.add(-1);
+    }
+
+    /// Adds `delta` (may be negative).
+    pub fn add(&self, delta: i64) {
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Overwrites the value.
+    pub fn set(&self, value: i64) {
+        self.0.store(value, Ordering::Relaxed);
+    }
+
+    /// Reads the current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Sorted `(key, value)` label pairs identifying one time series.
+type LabelSet = Vec<(String, String)>;
+
+fn label_set(labels: &[(&str, &str)]) -> LabelSet {
+    let mut set: LabelSet = labels
+        .iter()
+        .map(|&(key, value)| (key.to_string(), value.to_string()))
+        .collect();
+    set.sort();
+    set
+}
+
+enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<LatencyHistogram>),
+}
+
+impl Metric {
+    fn kind(&self) -> &'static str {
+        match self {
+            Metric::Counter(_) => "counter",
+            Metric::Gauge(_) => "gauge",
+            Metric::Histogram(_) => "histogram",
+        }
+    }
+}
+
+/// A process-wide registry of named, labelled metrics.
+///
+/// Lookup takes a read lock; registering a series seen for the first time
+/// takes a short write lock. The returned `Arc` handles are the hot path —
+/// callers cache them and record through plain atomics, never touching the
+/// lock again. [`MetricsRegistry::snapshot`] copies current values without
+/// stopping writers.
+#[derive(Default)]
+pub struct MetricsRegistry {
+    metrics: RwLock<BTreeMap<(String, LabelSet), Metric>>,
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// Returns the counter for `name` + `labels`, registering it on first use.
+    ///
+    /// # Panics
+    /// If the same series was previously registered as a different kind.
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Counter> {
+        let key = (name.to_string(), label_set(labels));
+        if let Some(metric) = self.metrics.read().unwrap().get(&key) {
+            return match metric {
+                Metric::Counter(counter) => Arc::clone(counter),
+                other => panic!("metric {name} already registered as a {}", other.kind()),
+            };
+        }
+        let mut metrics = self.metrics.write().unwrap();
+        match metrics
+            .entry(key)
+            .or_insert_with(|| Metric::Counter(Arc::new(Counter::new())))
+        {
+            Metric::Counter(counter) => Arc::clone(counter),
+            other => panic!("metric {name} already registered as a {}", other.kind()),
+        }
+    }
+
+    /// Returns the gauge for `name` + `labels`, registering it on first use.
+    ///
+    /// # Panics
+    /// If the same series was previously registered as a different kind.
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Gauge> {
+        let key = (name.to_string(), label_set(labels));
+        if let Some(metric) = self.metrics.read().unwrap().get(&key) {
+            return match metric {
+                Metric::Gauge(gauge) => Arc::clone(gauge),
+                other => panic!("metric {name} already registered as a {}", other.kind()),
+            };
+        }
+        let mut metrics = self.metrics.write().unwrap();
+        match metrics
+            .entry(key)
+            .or_insert_with(|| Metric::Gauge(Arc::new(Gauge::new())))
+        {
+            Metric::Gauge(gauge) => Arc::clone(gauge),
+            other => panic!("metric {name} already registered as a {}", other.kind()),
+        }
+    }
+
+    /// Returns the latency histogram for `name` + `labels`, registering it on
+    /// first use.
+    ///
+    /// # Panics
+    /// If the same series was previously registered as a different kind.
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> Arc<LatencyHistogram> {
+        let key = (name.to_string(), label_set(labels));
+        if let Some(metric) = self.metrics.read().unwrap().get(&key) {
+            return match metric {
+                Metric::Histogram(histogram) => Arc::clone(histogram),
+                other => panic!("metric {name} already registered as a {}", other.kind()),
+            };
+        }
+        let mut metrics = self.metrics.write().unwrap();
+        match metrics
+            .entry(key)
+            .or_insert_with(|| Metric::Histogram(Arc::new(LatencyHistogram::new())))
+        {
+            Metric::Histogram(histogram) => Arc::clone(histogram),
+            other => panic!("metric {name} already registered as a {}", other.kind()),
+        }
+    }
+
+    /// Takes a point-in-time copy of every registered series. Writers keep
+    /// recording while the snapshot is taken; each series is read atomically.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let metrics = self.metrics.read().unwrap();
+        let samples = metrics
+            .iter()
+            .map(|((name, labels), metric)| MetricSample {
+                name: name.clone(),
+                labels: labels.clone(),
+                value: match metric {
+                    Metric::Counter(counter) => SampleValue::Counter(counter.get()),
+                    Metric::Gauge(gauge) => SampleValue::Gauge(gauge.get()),
+                    Metric::Histogram(histogram) => SampleValue::Histogram(histogram.snapshot()),
+                },
+            })
+            .collect();
+        MetricsSnapshot { samples }
+    }
+}
+
+/// The recorded value of one series at snapshot time.
+#[derive(Debug, Clone)]
+pub enum SampleValue {
+    /// A monotonic counter value.
+    Counter(u64),
+    /// A gauge value.
+    Gauge(i64),
+    /// A full histogram snapshot.
+    Histogram(HistogramSnapshot),
+}
+
+/// One named, labelled series captured in a [`MetricsSnapshot`].
+#[derive(Debug, Clone)]
+pub struct MetricSample {
+    /// Metric family name, e.g. `http_requests_total`.
+    pub name: String,
+    /// Sorted label pairs, e.g. `[("method", "GET"), ("route", "/health")]`.
+    pub labels: Vec<(String, String)>,
+    /// The value at snapshot time.
+    pub value: SampleValue,
+}
+
+/// A point-in-time copy of a registry, renderable as Prometheus text
+/// exposition or JSON. Extra scrape-time samples (values owned outside the
+/// registry, like cache counters) can be appended before rendering.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsSnapshot {
+    samples: Vec<MetricSample>,
+}
+
+impl MetricsSnapshot {
+    /// Appends a counter sample gathered outside the registry.
+    pub fn push_counter(&mut self, name: &str, labels: &[(&str, &str)], value: u64) {
+        self.samples.push(MetricSample {
+            name: name.to_string(),
+            labels: label_set(labels),
+            value: SampleValue::Counter(value),
+        });
+    }
+
+    /// Appends a gauge sample gathered outside the registry.
+    pub fn push_gauge(&mut self, name: &str, labels: &[(&str, &str)], value: i64) {
+        self.samples.push(MetricSample {
+            name: name.to_string(),
+            labels: label_set(labels),
+            value: SampleValue::Gauge(value),
+        });
+    }
+
+    /// The captured samples, sorted by name and label set.
+    pub fn samples(&self) -> Vec<&MetricSample> {
+        let mut samples: Vec<&MetricSample> = self.samples.iter().collect();
+        samples.sort_by(|a, b| (&a.name, &a.labels).cmp(&(&b.name, &b.labels)));
+        samples
+    }
+
+    /// Finds a counter sample by name and exact label set.
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Option<u64> {
+        let wanted = label_set(labels);
+        self.samples.iter().find_map(|sample| {
+            match (
+                &sample.value,
+                sample.name == name && sample.labels == wanted,
+            ) {
+                (SampleValue::Counter(value), true) => Some(*value),
+                _ => None,
+            }
+        })
+    }
+
+    /// Finds a histogram sample by name and exact label set.
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> Option<&HistogramSnapshot> {
+        let wanted = label_set(labels);
+        self.samples.iter().find_map(|sample| {
+            match (
+                &sample.value,
+                sample.name == name && sample.labels == wanted,
+            ) {
+                (SampleValue::Histogram(histogram), true) => Some(histogram),
+                _ => None,
+            }
+        })
+    }
+
+    /// Renders the snapshot in Prometheus text exposition format.
+    ///
+    /// Counters and gauges render as plain samples; histograms render as
+    /// Prometheus *summaries* — `quantile="0.5" / "0.9" / "0.99"` samples in
+    /// seconds plus `_sum` and `_count` — followed by a `{name}_max` gauge
+    /// family carrying the exact recorded maximum.
+    pub fn to_prometheus(&self) -> String {
+        let samples = self.samples();
+        let mut out = String::new();
+        let mut histogram_families: Vec<(&str, Vec<&MetricSample>)> = Vec::new();
+        let mut previous_name: Option<&str> = None;
+        for sample in &samples {
+            let name = sample.name.as_str();
+            match &sample.value {
+                SampleValue::Counter(value) => {
+                    if previous_name != Some(name) {
+                        out.push_str(&format!("# TYPE {name} counter\n"));
+                    }
+                    out.push_str(&format!(
+                        "{name}{} {value}\n",
+                        prometheus_labels(&sample.labels, None)
+                    ));
+                }
+                SampleValue::Gauge(value) => {
+                    if previous_name != Some(name) {
+                        out.push_str(&format!("# TYPE {name} gauge\n"));
+                    }
+                    out.push_str(&format!(
+                        "{name}{} {value}\n",
+                        prometheus_labels(&sample.labels, None)
+                    ));
+                }
+                SampleValue::Histogram(histogram) => {
+                    if previous_name != Some(name) {
+                        out.push_str(&format!("# TYPE {name} summary\n"));
+                        histogram_families.push((name, Vec::new()));
+                    }
+                    histogram_families.last_mut().unwrap().1.push(sample);
+                    for quantile in ["0.5", "0.9", "0.99"] {
+                        let q: f64 = quantile.parse().unwrap();
+                        out.push_str(&format!(
+                            "{name}{} {}\n",
+                            prometheus_labels(&sample.labels, Some(quantile)),
+                            histogram.quantile_seconds(q)
+                        ));
+                    }
+                    let labels = prometheus_labels(&sample.labels, None);
+                    out.push_str(&format!(
+                        "{name}_sum{labels} {}\n",
+                        histogram.sum_micros() as f64 / 1e6
+                    ));
+                    out.push_str(&format!("{name}_count{labels} {}\n", histogram.count()));
+                }
+            }
+            previous_name = Some(name);
+        }
+        // Exact maxima go last, one gauge family per histogram family, so
+        // every family's samples stay contiguous as the format requires.
+        for (name, family) in histogram_families {
+            out.push_str(&format!("# TYPE {name}_max gauge\n"));
+            for sample in family {
+                if let SampleValue::Histogram(histogram) = &sample.value {
+                    out.push_str(&format!(
+                        "{name}_max{} {}\n",
+                        prometheus_labels(&sample.labels, None),
+                        histogram.max_micros() as f64 / 1e6
+                    ));
+                }
+            }
+        }
+        out
+    }
+
+    /// Renders the snapshot as JSON: three arrays (`counters`, `gauges`,
+    /// `histograms`), each entry carrying `name`, a `labels` object, and its
+    /// value(s). Histogram quantiles and sums are in seconds; `count` is the
+    /// exact number of observations.
+    pub fn to_json(&self) -> String {
+        let mut counters = Vec::new();
+        let mut gauges = Vec::new();
+        let mut histograms = Vec::new();
+        for sample in self.samples() {
+            let head = format!(
+                "{{ \"name\": {}, \"labels\": {}",
+                json_string(&sample.name),
+                json_labels(&sample.labels)
+            );
+            match &sample.value {
+                SampleValue::Counter(value) => {
+                    counters.push(format!("{head}, \"value\": {value} }}"));
+                }
+                SampleValue::Gauge(value) => {
+                    gauges.push(format!("{head}, \"value\": {value} }}"));
+                }
+                SampleValue::Histogram(histogram) => {
+                    histograms.push(format!(
+                        "{head}, \"count\": {}, \"sum_seconds\": {}, \"p50_seconds\": {}, \
+                         \"p90_seconds\": {}, \"p99_seconds\": {}, \"max_seconds\": {} }}",
+                        histogram.count(),
+                        histogram.sum_micros() as f64 / 1e6,
+                        histogram.quantile_seconds(0.5),
+                        histogram.quantile_seconds(0.9),
+                        histogram.quantile_seconds(0.99),
+                        histogram.max_micros() as f64 / 1e6,
+                    ));
+                }
+            }
+        }
+        let mut out = String::from("{\n");
+        for (index, (key, entries)) in [
+            ("counters", counters),
+            ("gauges", gauges),
+            ("histograms", histograms),
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            if index > 0 {
+                out.push_str(",\n");
+            }
+            out.push_str(&format!("  \"{key}\": [\n"));
+            for (entry_index, entry) in entries.iter().enumerate() {
+                if entry_index > 0 {
+                    out.push_str(",\n");
+                }
+                out.push_str("    ");
+                out.push_str(entry);
+            }
+            if !entries.is_empty() {
+                out.push('\n');
+            }
+            out.push_str("  ]");
+        }
+        out.push_str("\n}\n");
+        out
+    }
+}
+
+/// Renders a label set (plus an optional `quantile` label) in Prometheus
+/// exposition syntax; empty label sets render as nothing.
+fn prometheus_labels(labels: &[(String, String)], quantile: Option<&str>) -> String {
+    let mut parts: Vec<String> = labels
+        .iter()
+        .map(|(key, value)| format!("{key}=\"{}\"", prometheus_escape(value)))
+        .collect();
+    if let Some(q) = quantile {
+        parts.push(format!("quantile=\"{q}\""));
+    }
+    if parts.is_empty() {
+        String::new()
+    } else {
+        format!("{{{}}}", parts.join(","))
+    }
+}
+
+fn prometheus_escape(value: &str) -> String {
+    value
+        .replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+fn json_string(value: &str) -> String {
+    let mut out = String::with_capacity(value.len() + 2);
+    out.push('"');
+    for character in value.chars() {
+        match character {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn json_labels(labels: &[(String, String)]) -> String {
+    if labels.is_empty() {
+        return "{}".to_string();
+    }
+    let parts: Vec<String> = labels
+        .iter()
+        .map(|(key, value)| format!("{}: {}", json_string(key), json_string(value)))
+        .collect();
+    format!("{{ {} }}", parts.join(", "))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn counter_and_gauge_basics() {
+        let counter = Counter::new();
+        counter.inc();
+        counter.add(41);
+        assert_eq!(counter.get(), 42);
+
+        let gauge = Gauge::new();
+        gauge.inc();
+        gauge.inc();
+        gauge.dec();
+        assert_eq!(gauge.get(), 1);
+        gauge.set(-7);
+        assert_eq!(gauge.get(), -7);
+    }
+
+    #[test]
+    fn registry_returns_the_same_series_for_the_same_key() {
+        let registry = MetricsRegistry::new();
+        let a = registry.counter("hits", &[("route", "/health")]);
+        let b = registry.counter("hits", &[("route", "/health")]);
+        a.inc();
+        assert_eq!(b.get(), 1);
+        // Label order does not matter: sets are sorted on registration.
+        let c = registry.counter("pair", &[("a", "1"), ("b", "2")]);
+        let d = registry.counter("pair", &[("b", "2"), ("a", "1")]);
+        c.inc();
+        assert_eq!(d.get(), 1);
+        // Different labels are a different series.
+        let e = registry.counter("hits", &[("route", "/graphs")]);
+        assert_eq!(e.get(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn registering_the_same_series_as_a_different_kind_panics() {
+        let registry = MetricsRegistry::new();
+        registry.counter("clash", &[]);
+        registry.gauge("clash", &[]);
+    }
+
+    #[test]
+    fn snapshot_is_queryable_and_extendable() {
+        let registry = MetricsRegistry::new();
+        registry.counter("requests", &[("route", "/health")]).add(3);
+        registry.gauge("in_flight", &[]).set(2);
+        registry
+            .histogram("latency_seconds", &[("route", "/health")])
+            .record(Duration::from_micros(800));
+
+        let mut snapshot = registry.snapshot();
+        snapshot.push_counter("cache_hits_total", &[], 9);
+        assert_eq!(
+            snapshot.counter("requests", &[("route", "/health")]),
+            Some(3)
+        );
+        assert_eq!(snapshot.counter("cache_hits_total", &[]), Some(9));
+        assert_eq!(snapshot.counter("requests", &[("route", "/nope")]), None);
+        let histogram = snapshot
+            .histogram("latency_seconds", &[("route", "/health")])
+            .unwrap();
+        assert_eq!(histogram.count(), 1);
+        assert_eq!(histogram.max_micros(), 800);
+    }
+
+    #[test]
+    fn prometheus_rendering_has_type_lines_and_quantiles() {
+        let registry = MetricsRegistry::new();
+        registry
+            .counter(
+                "http_requests_total",
+                &[("route", "/health"), ("status", "200")],
+            )
+            .add(5);
+        registry.gauge("http_requests_in_flight", &[]).set(1);
+        let histogram =
+            registry.histogram("http_request_duration_seconds", &[("route", "/health")]);
+        histogram.record_micros(1_000);
+        histogram.record_micros(2_000);
+
+        let text = registry.snapshot().to_prometheus();
+        assert!(text.contains("# TYPE http_requests_total counter\n"));
+        assert!(text.contains("http_requests_total{route=\"/health\",status=\"200\"} 5\n"));
+        assert!(text.contains("# TYPE http_requests_in_flight gauge\n"));
+        assert!(text.contains("http_requests_in_flight 1\n"));
+        assert!(text.contains("# TYPE http_request_duration_seconds summary\n"));
+        // 1000 µs rounds up to its bucket's upper bound (1024 µs).
+        assert!(text.contains(
+            "http_request_duration_seconds{route=\"/health\",quantile=\"0.5\"} 0.001024\n"
+        ));
+        assert!(text.contains("http_request_duration_seconds_sum{route=\"/health\"} 0.003\n"));
+        assert!(text.contains("http_request_duration_seconds_count{route=\"/health\"} 2\n"));
+        assert!(text.contains("# TYPE http_request_duration_seconds_max gauge\n"));
+        assert!(text.contains("http_request_duration_seconds_max{route=\"/health\"} 0.002\n"));
+    }
+
+    #[test]
+    fn json_rendering_is_grouped_by_kind() {
+        let registry = MetricsRegistry::new();
+        registry.counter("requests", &[("route", "/x")]).add(2);
+        registry.gauge("in_flight", &[]).set(0);
+        registry
+            .histogram("latency_seconds", &[])
+            .record_micros(512);
+        let json = registry.snapshot().to_json();
+        assert!(json.contains("\"counters\": ["));
+        assert!(json.contains(
+            "{ \"name\": \"requests\", \"labels\": { \"route\": \"/x\" }, \"value\": 2 }"
+        ));
+        assert!(json.contains("\"gauges\": ["));
+        assert!(json.contains("\"histograms\": ["));
+        assert!(json.contains("\"count\": 1"));
+        assert!(json.contains("\"p50_seconds\": 0.000512"));
+        assert!(json.ends_with("}\n"));
+    }
+
+    #[test]
+    fn snapshots_do_not_block_writers() {
+        let registry = Arc::new(MetricsRegistry::new());
+        let counter = registry.counter("spins", &[]);
+        let writer = {
+            let counter = Arc::clone(&counter);
+            std::thread::spawn(move || {
+                for _ in 0..10_000 {
+                    counter.inc();
+                }
+            })
+        };
+        for _ in 0..50 {
+            let _ = registry.snapshot().to_prometheus();
+        }
+        writer.join().unwrap();
+        assert_eq!(counter.get(), 10_000);
+    }
+}

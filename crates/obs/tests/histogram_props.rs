@@ -1,0 +1,133 @@
+//! Property tests for the latency histogram: quantile accuracy against exact
+//! sort-based quantiles, concurrent-recording totals, and snapshot-merge
+//! determinism.
+
+use proptest::prelude::*;
+
+use std::sync::Arc;
+
+use backboning_obs::{
+    bucket_bounds_micros, bucket_index_micros, HistogramSnapshot, LatencyHistogram,
+};
+
+/// The exact rank-based quantile the histogram approximates: the value of
+/// rank `ceil(q * n)` in the sorted sample.
+fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// Latency samples spanning the histogram's full tracked range (1 µs .. 60 s)
+/// plus a sliver of overflow values.
+fn samples() -> impl Strategy<Value = Vec<u64>> {
+    proptest::collection::vec(0u64..70_000_000, 1..400)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The histogram quantile never understates the exact quantile and
+    /// overstates it by at most one bucket's relative error: the reported
+    /// value lives in the same bucket as the exact value (it is the bucket's
+    /// upper bound, clamped to the recorded maximum).
+    #[test]
+    fn quantiles_are_within_one_bucket_of_exact(values in samples()) {
+        let histogram = LatencyHistogram::new();
+        for &value in &values {
+            histogram.record_micros(value);
+        }
+        let snapshot = histogram.snapshot();
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        for q in [0.5, 0.9, 0.99, 1.0] {
+            let exact = exact_quantile(&sorted, q);
+            let reported = snapshot.quantile_micros(q);
+            prop_assert!(
+                reported >= exact,
+                "q={}: reported {} understates exact {}",
+                q, reported, exact
+            );
+            prop_assert!(
+                bucket_index_micros(reported) <= bucket_index_micros(exact) + 1,
+                "q={}: reported {} is more than one bucket above exact {}",
+                q, reported, exact
+            );
+            // The upper bound of exact's bucket caps the error at √2 + the
+            // max clamp keeps the readout within the recorded range.
+            prop_assert!(reported <= *sorted.last().unwrap());
+        }
+    }
+
+    /// Concurrent recording from several threads loses nothing: total count,
+    /// sum, and max all match the single-threaded ground truth.
+    #[test]
+    fn concurrent_recording_preserves_totals(values in samples(), threads in 1usize..9) {
+        let histogram = Arc::new(LatencyHistogram::new());
+        let chunk = values.len().div_ceil(threads);
+        std::thread::scope(|scope| {
+            for part in values.chunks(chunk.max(1)) {
+                let histogram = Arc::clone(&histogram);
+                scope.spawn(move || {
+                    for &value in part {
+                        histogram.record_micros(value);
+                    }
+                });
+            }
+        });
+        let snapshot = histogram.snapshot();
+        prop_assert_eq!(snapshot.count(), values.len() as u64);
+        prop_assert_eq!(snapshot.sum_micros(), values.iter().sum::<u64>());
+        prop_assert_eq!(snapshot.max_micros(), values.iter().copied().max().unwrap_or(0));
+    }
+
+    /// Splitting the same sample across 1, 2, 3, or 8 threads — each with its
+    /// own histogram — and merging the per-thread snapshots yields exactly
+    /// the same snapshot as recording everything into one histogram, in any
+    /// merge order. Fixed global bucket bounds make this deterministic.
+    #[test]
+    fn snapshot_merge_is_deterministic_across_thread_splits(values in samples()) {
+        let reference = LatencyHistogram::new();
+        for &value in &values {
+            reference.record_micros(value);
+        }
+        let expected = reference.snapshot();
+
+        for threads in [1usize, 2, 3, 8] {
+            let partials: Vec<HistogramSnapshot> = std::thread::scope(|scope| {
+                let chunk = values.len().div_ceil(threads).max(1);
+                let handles: Vec<_> = values
+                    .chunks(chunk)
+                    .map(|part| {
+                        scope.spawn(move || {
+                            let local = LatencyHistogram::new();
+                            for &value in part {
+                                local.record_micros(value);
+                            }
+                            local.snapshot()
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|handle| handle.join().unwrap()).collect()
+            });
+
+            let mut forward = HistogramSnapshot::empty();
+            for partial in &partials {
+                forward.merge(partial);
+            }
+            let mut backward = HistogramSnapshot::empty();
+            for partial in partials.iter().rev() {
+                backward.merge(partial);
+            }
+            prop_assert!(forward == expected, "forward merge diverged at {} threads", threads);
+            prop_assert!(backward == expected, "merge order changed the result at {} threads", threads);
+        }
+    }
+
+    /// Bucket index lookup agrees with a linear scan of the bounds table.
+    #[test]
+    fn bucket_index_matches_linear_scan(value in 0u64..100_000_000) {
+        let bounds = bucket_bounds_micros();
+        let linear = bounds.iter().position(|&bound| value <= bound).unwrap_or(bounds.len());
+        prop_assert_eq!(bucket_index_micros(value), linear);
+    }
+}

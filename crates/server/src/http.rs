@@ -279,6 +279,8 @@ pub struct Response {
 pub const CONTENT_TSV: &str = "text/tab-separated-values; charset=utf-8";
 /// `Content-Type` for JSON documents.
 pub const CONTENT_JSON: &str = "application/json";
+/// `Content-Type` for the Prometheus text exposition format.
+pub const CONTENT_PROMETHEUS: &str = "text/plain; version=0.0.4; charset=utf-8";
 
 fn reason(status: u16) -> &'static str {
     match status {
@@ -313,6 +315,15 @@ impl Response {
         }
     }
 
+    /// A Prometheus text exposition response.
+    pub fn prometheus(body: String) -> Response {
+        Response {
+            status: 200,
+            content_type: CONTENT_PROMETHEUS,
+            body: body.into_bytes(),
+        }
+    }
+
     /// An error response: `{ "status": <code>, "error": "<message>" }`.
     pub fn error(status: u16, message: &str) -> Response {
         let mut object = backboning::json::JsonObject::pretty();
@@ -324,16 +335,26 @@ impl Response {
         Response::json(status, body)
     }
 
-    /// Serialise the response (status line, headers, body) onto `writer`.
-    pub fn write_to<W: Write>(&self, writer: &mut W) -> std::io::Result<()> {
-        write!(
-            writer,
+    /// The head the response serialises with (status line + headers).
+    fn head(&self) -> String {
+        format!(
             "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
             self.status,
             reason(self.status),
             self.content_type,
             self.body.len(),
-        )?;
+        )
+    }
+
+    /// Total bytes the response occupies on the wire (head + body) — what
+    /// the bytes-out counter accounts for.
+    pub fn encoded_len(&self) -> u64 {
+        (self.head().len() + self.body.len()) as u64
+    }
+
+    /// Serialise the response (status line, headers, body) onto `writer`.
+    pub fn write_to<W: Write>(&self, writer: &mut W) -> std::io::Result<()> {
+        writer.write_all(self.head().as_bytes())?;
         writer.write_all(&self.body)?;
         writer.flush()
     }

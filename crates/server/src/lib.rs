@@ -55,9 +55,11 @@
 #![warn(missing_docs)]
 
 pub mod http;
+pub mod metrics;
 pub mod registry;
 pub mod router;
 pub mod server;
 
-pub use registry::{GraphEntry, Registry};
+pub use metrics::ServerMetrics;
+pub use registry::{CacheCounters, GraphEntry, Registry};
 pub use server::{Server, ServerConfig, ServerControl, ServerError, MIN_WORKERS};

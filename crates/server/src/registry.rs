@@ -47,6 +47,36 @@ use backboning_graph::CsrGraph;
 
 type ScoreSlot = Arc<OnceLock<Result<Arc<ScoredEdges>, BackboneError>>>;
 
+/// Registry-lifetime cache event counters. One instance is shared (via
+/// `Arc`) between the [`Registry`] and every [`GraphEntry`] it creates, so
+/// counts accumulate across graph re-inserts and removals: they describe the
+/// server process, not any single graph's cache.
+#[derive(Default)]
+struct CacheAtomics {
+    scored_evictions: AtomicU64,
+    compare_hits: AtomicU64,
+    compare_misses: AtomicU64,
+    compare_evictions: AtomicU64,
+}
+
+/// A point-in-time copy of every cache counter the registry keeps, for
+/// `/health` and `/metrics`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheCounters {
+    /// Scored-edge lookups answered from the cache.
+    pub scored_hits: u64,
+    /// Scored-edge lookups that ran a scoring pass.
+    pub scored_misses: u64,
+    /// Scored-edge slots evicted by the per-graph LRU bound.
+    pub scored_evictions: u64,
+    /// Comparison-report lookups answered from the cache.
+    pub compare_hits: u64,
+    /// Comparison-report lookups that missed (the report was computed).
+    pub compare_misses: u64,
+    /// Comparison reports evicted by the per-graph LRU bound.
+    pub compare_evictions: u64,
+}
+
 /// Maximum number of cached comparison reports per graph. A comparison
 /// report is small (a few KiB of JSON), but its cache key includes
 /// free-form query parameters, so the map is bounded to keep a client
@@ -72,16 +102,20 @@ pub struct GraphEntry {
     /// configurations score differently and must never share a slot.
     cache: Mutex<HashMap<String, (u64, ScoreSlot)>>,
     compare_cache: Mutex<HashMap<String, (u64, Arc<str>)>>,
+    /// Shared with the owning [`Registry`] so cache events survive graph
+    /// re-inserts (which drop the entry, but not the process-wide counts).
+    counters: Arc<CacheAtomics>,
 }
 
 impl GraphEntry {
-    fn new(name: String, graph: CsrGraph) -> Self {
+    fn new(name: String, graph: CsrGraph, counters: Arc<CacheAtomics>) -> Self {
         GraphEntry {
             name,
             graph,
             clock: AtomicU64::new(0),
             cache: Mutex::new(HashMap::new()),
             compare_cache: Mutex::new(HashMap::new()),
+            counters,
         }
     }
 
@@ -97,10 +131,16 @@ impl GraphEntry {
     pub fn cached_compare(&self, key: &str) -> Option<Arc<str>> {
         let stamp = self.tick();
         let mut cache = self.compare_cache.lock().unwrap_or_else(|e| e.into_inner());
-        cache.get_mut(key).map(|(used, body)| {
+        let body = cache.get_mut(key).map(|(used, body)| {
             *used = stamp;
             Arc::clone(body)
-        })
+        });
+        if body.is_some() {
+            self.counters.compare_hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.counters.compare_misses.fetch_add(1, Ordering::Relaxed);
+        }
+        body
     }
 
     /// Store a comparison report body under its configuration key. The map
@@ -115,6 +155,9 @@ impl GraphEntry {
         let mut cache = self.compare_cache.lock().unwrap_or_else(|e| e.into_inner());
         if cache.len() >= MAX_COMPARE_REPORTS && !cache.contains_key(&key) {
             evict_least_recently_used(&mut cache);
+            self.counters
+                .compare_evictions
+                .fetch_add(1, Ordering::Relaxed);
         }
         cache.insert(key, (stamp, body));
     }
@@ -176,6 +219,7 @@ pub struct Registry {
     threads: usize,
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
+    counters: Arc<CacheAtomics>,
 }
 
 impl Registry {
@@ -187,6 +231,7 @@ impl Registry {
             threads,
             cache_hits: AtomicU64::new(0),
             cache_misses: AtomicU64::new(0),
+            counters: Arc::new(CacheAtomics::default()),
         }
     }
 
@@ -246,7 +291,11 @@ impl Registry {
                 "invalid graph name `{name}` (1-{MAX_NAME_LEN} characters from [A-Za-z0-9._-], not starting with a dot)"
             ));
         }
-        let entry = Arc::new(GraphEntry::new(name.to_string(), graph));
+        let entry = Arc::new(GraphEntry::new(
+            name.to_string(),
+            graph,
+            Arc::clone(&self.counters),
+        ));
         let mut graphs = self.graphs.write().unwrap_or_else(|e| e.into_inner());
         graphs.insert(name.to_string(), Arc::clone(&entry));
         Ok(entry)
@@ -293,6 +342,9 @@ impl Registry {
             let mut cache = entry.cache.lock().unwrap_or_else(|e| e.into_inner());
             if cache.len() >= MAX_SCORED_METHODS && !cache.contains_key(&key) {
                 evict_least_recently_used(&mut cache);
+                self.counters
+                    .scored_evictions
+                    .fetch_add(1, Ordering::Relaxed);
             }
             let (used, slot) = cache.entry(key).or_default();
             *used = stamp;
@@ -320,6 +372,19 @@ impl Registry {
             self.cache_hits.load(Ordering::Relaxed),
             self.cache_misses.load(Ordering::Relaxed),
         )
+    }
+
+    /// Every cache counter the registry keeps, in one consistent-enough
+    /// snapshot (each counter is read atomically; the set is advisory).
+    pub fn cache_counters(&self) -> CacheCounters {
+        CacheCounters {
+            scored_hits: self.cache_hits.load(Ordering::Relaxed),
+            scored_misses: self.cache_misses.load(Ordering::Relaxed),
+            scored_evictions: self.counters.scored_evictions.load(Ordering::Relaxed),
+            compare_hits: self.counters.compare_hits.load(Ordering::Relaxed),
+            compare_misses: self.counters.compare_misses.load(Ordering::Relaxed),
+            compare_evictions: self.counters.compare_evictions.load(Ordering::Relaxed),
+        }
     }
 }
 
@@ -473,6 +538,44 @@ mod tests {
         let rescored = registry.scored(&entry, methods[0]).unwrap();
         assert!(!Arc::ptr_eq(&first, &rescored), "a fresh scoring pass ran");
         assert_eq!(first.scores(), rescored.scores());
+    }
+
+    #[test]
+    fn cache_counters_track_evictions_and_compare_traffic() {
+        let registry = Registry::new(1);
+        let entry = registry.insert("g", sample_graph()).unwrap();
+        // Compare cache: one miss, one hit, then one eviction past the bound.
+        assert!(entry.cached_compare("k").is_none());
+        entry.store_compare("k".to_string(), Arc::from("{}"));
+        assert!(entry.cached_compare("k").is_some());
+        for index in 0..MAX_COMPARE_REPORTS {
+            entry.store_compare(format!("filler-{index}"), Arc::from("{}"));
+        }
+        let counters = registry.cache_counters();
+        assert_eq!(counters.compare_misses, 1);
+        assert_eq!(counters.compare_hits, 1);
+        assert_eq!(counters.compare_evictions, 1);
+
+        // Scored-cache evictions count too, and mirror cache_stats.
+        for method in [
+            Method::NoiseCorrected,
+            Method::DisparityFilter,
+            Method::NaiveThreshold,
+            Method::MaximumSpanningTree,
+            Method::HighSalienceSkeleton,
+        ] {
+            registry.scored(&entry, method).unwrap();
+        }
+        let counters = registry.cache_counters();
+        assert_eq!(counters.scored_evictions, 1);
+        assert_eq!(counters.scored_misses, 5);
+        assert_eq!(counters.scored_hits, 0);
+        assert_eq!(registry.cache_stats(), (0, 5));
+
+        // Counters describe the process, not one graph entry: re-inserting
+        // the graph drops its caches but never the counts.
+        registry.insert("g", sample_graph()).unwrap();
+        assert_eq!(registry.cache_counters(), counters);
     }
 
     #[test]

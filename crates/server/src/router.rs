@@ -2,7 +2,8 @@
 //!
 //! | Route | Meaning |
 //! |---|---|
-//! | `GET /health` | liveness, graph count, cache hit/miss counters |
+//! | `GET /health` | liveness, graph count, worker count, cache hit/miss/eviction counters |
+//! | `GET /metrics` | Prometheus text exposition (or `?format=json`) of all request/cache metrics |
 //! | `GET /graphs` | list registered graphs |
 //! | `GET /graphs/{name}` | one graph's size, direction and cached methods |
 //! | `POST /graphs/{name}` | upload an edge list body, register it as `{name}` |
@@ -45,14 +46,21 @@ use backboning_graph::io::read_edge_list_csr_named;
 use backboning_graph::Direction;
 
 use crate::http::{Request, Response};
+use crate::metrics::{metrics_response, ServerMetrics};
 use crate::registry::{valid_graph_name, GraphEntry, Registry};
 use crate::server::ServerControl;
 
 /// Dispatch one request against the registry, possibly signalling shutdown.
-pub fn handle(registry: &Registry, control: &ServerControl, request: &Request) -> Response {
+pub fn handle(
+    registry: &Registry,
+    control: &ServerControl,
+    metrics: &ServerMetrics,
+    request: &Request,
+) -> Response {
     let segments = request.path_segments();
     match (request.method.as_str(), segments.as_slice()) {
-        ("GET", ["health"]) => health(registry),
+        ("GET", ["health"]) => health(registry, control),
+        ("GET", ["metrics"]) => metrics_response(metrics, registry, control.workers(), request),
         ("GET", ["graphs"]) => list_graphs(registry),
         ("GET", ["graphs", name]) => graph_info(registry, name),
         ("POST", ["graphs", name]) => upload_graph(registry, name, request),
@@ -69,6 +77,7 @@ pub fn handle(registry: &Registry, control: &ServerControl, request: &Request) -
         (
             _,
             ["health"]
+            | ["metrics"]
             | ["graphs"]
             | ["graphs", _]
             | ["graphs", _, "backbone"]
@@ -86,13 +95,26 @@ fn finish_line(object: &mut JsonObject) -> String {
     body
 }
 
-fn health(registry: &Registry) -> Response {
-    let (hits, misses) = registry.cache_stats();
+fn health(registry: &Registry, control: &ServerControl) -> Response {
+    let counters = registry.cache_counters();
+    let mut scored = JsonObject::inline();
+    scored
+        .u64("hits", counters.scored_hits)
+        .u64("misses", counters.scored_misses)
+        .u64("evictions", counters.scored_evictions);
+    let mut compare = JsonObject::inline();
+    compare
+        .u64("hits", counters.compare_hits)
+        .u64("misses", counters.compare_misses)
+        .u64("evictions", counters.compare_evictions);
     let mut cache = JsonObject::inline();
-    cache.u64("hits", hits).u64("misses", misses);
+    cache
+        .raw("scored", &scored.finish())
+        .raw("compare", &compare.finish());
     let mut body = JsonObject::pretty();
     body.string("status", "ok")
         .usize("graphs", registry.graph_count())
+        .usize("workers", control.workers())
         .raw("cache", &cache.finish());
     Response::json(200, finish_line(&mut body))
 }

@@ -17,18 +17,20 @@
 //! process with SIGTERM is equally safe — the server holds no state that
 //! outlives it.
 
-use std::io::BufReader;
+use std::io::{BufRead, BufReader, Read};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use backboning_graph::io::EdgeListOptions;
+use backboning_obs::Gauge;
 
 use crate::http::{read_request, HttpError, Response};
+use crate::metrics::{method_label, route_pattern, ServerMetrics, ROUTE_INVALID};
 use crate::registry::Registry;
 use crate::router;
 
@@ -55,6 +57,10 @@ pub struct ServerConfig {
     pub threads: usize,
     /// Edge-list parsing options for graphs loaded from `graphs_dir`.
     pub options: EdgeListOptions,
+    /// Write one access-log line per request to stderr (method, path,
+    /// status, response bytes, wall milliseconds). Off by default so smoke
+    /// tests and scripted servers keep byte-stable stderr.
+    pub access_log: bool,
 }
 
 impl Default for ServerConfig {
@@ -64,6 +70,7 @@ impl Default for ServerConfig {
             graphs_dir: None,
             threads: 0,
             options: EdgeListOptions::default(),
+            access_log: false,
         }
     }
 }
@@ -99,12 +106,18 @@ impl std::error::Error for ServerError {
 pub struct ServerControl {
     stop: AtomicBool,
     addr: SocketAddr,
+    workers: usize,
 }
 
 impl ServerControl {
     /// Whether shutdown has been requested.
     pub fn is_shutting_down(&self) -> bool {
         self.stop.load(Ordering::SeqCst)
+    }
+
+    /// The resolved worker-pool size (after the [`MIN_WORKERS`] floor).
+    pub fn workers(&self) -> usize {
+        self.workers
     }
 
     /// Request shutdown: flip the flag and wake the blocking `accept` with
@@ -131,6 +144,7 @@ impl ServerControl {
 pub struct Server {
     addr: SocketAddr,
     registry: Arc<Registry>,
+    metrics: Arc<ServerMetrics>,
     control: Arc<ServerControl>,
     accept_handle: Option<JoinHandle<()>>,
     worker_handles: Vec<JoinHandle<()>>,
@@ -161,20 +175,26 @@ impl Server {
             })?;
         let listener = TcpListener::bind(addr).map_err(ServerError::Io)?;
         let addr = listener.local_addr().map_err(ServerError::Io)?;
+        let workers = backboning_parallel::resolve_threads(config.threads).max(MIN_WORKERS);
         let control = Arc::new(ServerControl {
             stop: AtomicBool::new(false),
             addr,
+            workers,
         });
+        let metrics = Arc::new(ServerMetrics::new());
 
-        let workers = backboning_parallel::resolve_threads(config.threads).max(MIN_WORKERS);
         let (sender, receiver) = channel::<TcpStream>();
         let receiver = Arc::new(Mutex::new(receiver));
+        let access_log = config.access_log;
         let worker_handles = (0..workers)
             .map(|_| {
                 let receiver = Arc::clone(&receiver);
                 let registry = Arc::clone(&registry);
+                let metrics = Arc::clone(&metrics);
                 let control = Arc::clone(&control);
-                std::thread::spawn(move || worker_loop(&receiver, &registry, &control))
+                std::thread::spawn(move || {
+                    worker_loop(&receiver, &registry, &metrics, &control, access_log)
+                })
             })
             .collect();
 
@@ -186,6 +206,7 @@ impl Server {
         Ok(Server {
             addr,
             registry,
+            metrics,
             control,
             accept_handle: Some(accept_handle),
             worker_handles,
@@ -201,6 +222,11 @@ impl Server {
     /// the benchmark harness does).
     pub fn registry(&self) -> &Arc<Registry> {
         &self.registry
+    }
+
+    /// The server's request-metric recorder (what `/metrics` renders).
+    pub fn metrics(&self) -> &Arc<ServerMetrics> {
+        &self.metrics
     }
 
     /// Block until the server shuts down (via `POST /shutdown` or
@@ -260,7 +286,9 @@ fn accept_loop(listener: &TcpListener, sender: Sender<TcpStream>, control: &Serv
 fn worker_loop(
     receiver: &Arc<Mutex<Receiver<TcpStream>>>,
     registry: &Arc<Registry>,
+    metrics: &Arc<ServerMetrics>,
     control: &Arc<ServerControl>,
+    access_log: bool,
 ) {
     loop {
         let stream = {
@@ -268,30 +296,144 @@ fn worker_loop(
             receiver.recv()
         };
         let Ok(stream) = stream else { break };
-        handle_connection(stream, registry, control);
+        handle_connection(stream, registry, metrics, control, access_log);
     }
 }
 
-fn handle_connection(stream: TcpStream, registry: &Arc<Registry>, control: &Arc<ServerControl>) {
+/// A `BufRead` adapter counting every byte the request parser consumes, so
+/// the bytes-in counter reflects what actually crossed the socket (request
+/// line, headers, and body) rather than a reconstruction.
+struct CountingReader<R> {
+    inner: R,
+    bytes: u64,
+}
+
+impl<R> CountingReader<R> {
+    fn new(inner: R) -> Self {
+        CountingReader { inner, bytes: 0 }
+    }
+
+    fn bytes_read(&self) -> u64 {
+        self.bytes
+    }
+}
+
+impl<R: Read> Read for CountingReader<R> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        let read = self.inner.read(buf)?;
+        self.bytes += read as u64;
+        Ok(read)
+    }
+}
+
+impl<R: BufRead> BufRead for CountingReader<R> {
+    fn fill_buf(&mut self) -> std::io::Result<&[u8]> {
+        self.inner.fill_buf()
+    }
+
+    fn consume(&mut self, amt: usize) {
+        self.bytes += amt as u64;
+        self.inner.consume(amt);
+    }
+}
+
+/// Decrements the in-flight gauge when the connection finishes, however it
+/// finishes (early return, panic unwound by the caller, clean write).
+struct InFlightGuard<'a>(&'a Gauge);
+
+impl Drop for InFlightGuard<'_> {
+    fn drop(&mut self) {
+        self.0.dec();
+    }
+}
+
+fn handle_connection(
+    stream: TcpStream,
+    registry: &Arc<Registry>,
+    metrics: &Arc<ServerMetrics>,
+    control: &Arc<ServerControl>,
+    access_log: bool,
+) {
     let _ = stream.set_read_timeout(Some(SOCKET_TIMEOUT));
     let _ = stream.set_write_timeout(Some(SOCKET_TIMEOUT));
-    let mut reader = BufReader::new(&stream);
-    let response = match read_request(&mut reader) {
+    metrics.in_flight().inc();
+    let _in_flight = InFlightGuard(metrics.in_flight());
+    let started = Instant::now();
+    let mut reader = CountingReader::new(BufReader::new(&stream));
+    let (route, method, target, response) = match read_request(&mut reader) {
         Ok(None) => return, // probe or shutdown wake: nothing to answer
         Ok(Some(request)) => {
+            let route = route_pattern(&request);
+            let method = method_label(&request.method);
+            let target = if access_log {
+                request_target(&request)
+            } else {
+                String::new()
+            };
             // A panicking handler must not take its worker down with it.
-            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                router::handle(registry, control, &request)
+            let response = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                router::handle(registry, control, metrics, &request)
             }))
-            .unwrap_or_else(|_| Response::error(500, "internal error while handling the request"))
+            .unwrap_or_else(|_| Response::error(500, "internal error while handling the request"));
+            (route, method, target, response)
         }
-        Err(HttpError::TooLarge(bytes)) => Response::error(
-            413,
-            &format!("request body of {bytes} bytes exceeds the upload limit"),
+        Err(HttpError::TooLarge(bytes)) => (
+            ROUTE_INVALID,
+            "OTHER",
+            String::new(),
+            Response::error(
+                413,
+                &format!("request body of {bytes} bytes exceeds the upload limit"),
+            ),
         ),
-        Err(HttpError::Malformed(message)) => Response::error(400, &message),
+        Err(HttpError::Malformed(message)) => (
+            ROUTE_INVALID,
+            "OTHER",
+            String::new(),
+            Response::error(400, &message),
+        ),
         Err(HttpError::Io(_)) => return, // peer went away mid-request
     };
+    // Record (and log) before writing the response: a client that has read
+    // its response can rely on `/metrics` already counting the request.
+    let elapsed = started.elapsed();
+    let bytes_out = response.encoded_len();
+    metrics.record_request(
+        route,
+        method,
+        response.status,
+        elapsed,
+        reader.bytes_read(),
+        bytes_out,
+    );
+    if access_log {
+        let target = if target.is_empty() { "-" } else { &target };
+        eprintln!(
+            "{method} {target} {} {bytes_out} {:.3}ms",
+            response.status,
+            elapsed.as_secs_f64() * 1e3,
+        );
+    }
     let mut writer = &stream;
     let _ = response.write_to(&mut writer);
+}
+
+/// The request target for the access log: the decoded path plus its query
+/// parameters (re-joined; good enough for a human-readable log line).
+fn request_target(request: &crate::http::Request) -> String {
+    if request.query.is_empty() {
+        return request.path.clone();
+    }
+    let query: Vec<String> = request
+        .query
+        .iter()
+        .map(|(key, value)| {
+            if value.is_empty() {
+                key.clone()
+            } else {
+                format!("{key}={value}")
+            }
+        })
+        .collect();
+    format!("{}?{}", request.path, query.join("&"))
 }

@@ -560,6 +560,166 @@ fn compare_route_rejects_bad_requests() {
     server.shutdown();
 }
 
+/// One raw HTTP exchange returning the response head (status line +
+/// headers) for header-level assertions.
+fn response_head(server: &Server, path: &str) -> String {
+    let mut stream = TcpStream::connect(server.addr()).expect("connect to the server");
+    stream
+        .write_all(
+            format!("GET {path} HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n").as_bytes(),
+        )
+        .expect("send the request");
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).expect("read the response");
+    let head_end = raw
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .expect("response has a header/body separator");
+    String::from_utf8(raw[..head_end].to_vec()).expect("headers are UTF-8")
+}
+
+/// `/metrics` serves Prometheus text exposition by default and JSON on
+/// request, with exact per-route request counts: every answered request is
+/// recorded *before* its response is written, so a scrape that follows a
+/// completed request always counts it.
+#[test]
+fn metrics_route_counts_requests_exactly() {
+    let server = trade_server(1);
+    let (status, _) = get(&server, "/health");
+    assert_eq!(status, 200);
+    for _ in 0..3 {
+        let (status, _) = get(
+            &server,
+            "/graphs/trade/backbone?method=nc&top_share=0.3&output=summary",
+        );
+        assert_eq!(status, 200);
+    }
+    let (status, _) = get(&server, "/graphs/trade/backbone?method=wat&top_k=3");
+    assert_eq!(status, 400);
+
+    let (status, body) = get(&server, "/metrics");
+    assert_eq!(status, 200);
+    let metrics = text(&body);
+    assert!(
+        metrics.contains("# TYPE http_requests_total counter\n"),
+        "{metrics}"
+    );
+    assert!(
+        metrics
+            .contains("http_requests_total{method=\"GET\",route=\"/health\",status=\"200\"} 1\n"),
+        "{metrics}"
+    );
+    // Routes are labelled by pattern — the graph name never appears.
+    assert!(
+        metrics.contains(
+            "http_requests_total{method=\"GET\",route=\"/graphs/{name}/backbone\",status=\"200\"} 3\n"
+        ),
+        "{metrics}"
+    );
+    assert!(
+        metrics.contains(
+            "http_requests_total{method=\"GET\",route=\"/graphs/{name}/backbone\",status=\"400\"} 1\n"
+        ),
+        "{metrics}"
+    );
+    // The first scrape does not count itself (it is recorded only after its
+    // body was rendered) …
+    assert!(!metrics.contains("route=\"/metrics\""), "{metrics}");
+    // … and per-route latency summaries carry quantiles, sum, count and max.
+    assert!(
+        metrics.contains("# TYPE http_request_duration_seconds summary\n"),
+        "{metrics}"
+    );
+    assert!(
+        metrics.contains(
+            "http_request_duration_seconds{method=\"GET\",route=\"/health\",quantile=\"0.5\"} "
+        ),
+        "{metrics}"
+    );
+    assert!(
+        metrics
+            .contains("http_request_duration_seconds_count{method=\"GET\",route=\"/health\"} 1\n"),
+        "{metrics}"
+    );
+    assert!(
+        metrics.contains("# TYPE http_request_duration_seconds_max gauge\n"),
+        "{metrics}"
+    );
+    // Scrape-time samples: registry, worker pool, and cache counters.
+    assert!(metrics.contains("graphs_registered 1\n"), "{metrics}");
+    assert!(metrics.contains("worker_threads 4\n"), "{metrics}");
+    assert!(metrics.contains("score_cache_hits_total 2\n"), "{metrics}");
+    assert!(
+        metrics.contains("score_cache_misses_total 1\n"),
+        "{metrics}"
+    );
+    assert!(
+        metrics.contains("score_cache_evictions_total 0\n"),
+        "{metrics}"
+    );
+    assert!(
+        metrics.contains("compare_cache_misses_total 0\n"),
+        "{metrics}"
+    );
+    // Traffic counters move with real byte counts.
+    assert!(metrics.contains("http_request_bytes_total "), "{metrics}");
+    assert!(
+        !metrics.contains("http_request_bytes_total 0\n"),
+        "{metrics}"
+    );
+
+    // The JSON format reports the same counts; by now the previous scrape
+    // itself has been recorded.
+    let (status, body) = get(&server, "/metrics?format=json");
+    assert_eq!(status, 200);
+    let json = text(&body);
+    assert!(json.contains("\"counters\": ["), "{json}");
+    assert!(json.contains("\"histograms\": ["), "{json}");
+    assert!(
+        json.contains(
+            "{ \"name\": \"http_requests_total\", \"labels\": { \"method\": \"GET\", \"route\": \"/metrics\", \"status\": \"200\" }, \"value\": 1 }"
+        ),
+        "{json}"
+    );
+    assert!(json.contains("\"p99_seconds\": "), "{json}");
+
+    // An unknown format is a 400; wrong verbs are a 405.
+    let (status, _) = get(&server, "/metrics?format=xml");
+    assert_eq!(status, 400);
+    let (status, _) = post(&server, "/metrics", "");
+    assert_eq!(status, 405);
+
+    // The exposition content type is the Prometheus text format.
+    let head = response_head(&server, "/metrics");
+    assert!(
+        head.contains("Content-Type: text/plain; version=0.0.4; charset=utf-8"),
+        "{head}"
+    );
+    server.shutdown();
+}
+
+/// `/health` exposes the resolved worker-thread count and the full
+/// hit/miss/eviction cache counters for both per-graph caches.
+#[test]
+fn health_reports_workers_and_cache_counters() {
+    let server = trade_server(1);
+    let (status, _) = get(&server, "/graphs/trade/backbone?method=nc&top_k=5");
+    assert_eq!(status, 200);
+    let (status, body) = get(&server, "/health");
+    assert_eq!(status, 200);
+    let health = text(&body);
+    // threads=1 still floors the pool at MIN_WORKERS.
+    assert!(health.contains("\"workers\": 4"), "{health}");
+    assert!(
+        health.contains(
+            "\"cache\": { \"scored\": { \"hits\": 0, \"misses\": 1, \"evictions\": 0 }, \
+             \"compare\": { \"hits\": 0, \"misses\": 0, \"evictions\": 0 } }"
+        ),
+        "{health}"
+    );
+    server.shutdown();
+}
+
 /// The clean-shutdown control path: POST /shutdown answers, the server
 /// drains, `wait` returns, and the port stops accepting.
 #[test]
