@@ -5,6 +5,7 @@
 //! ```text
 //! backbone_loadtest --addr 127.0.0.1:4817 [--graph NAME] [--method nc]
 //!                   [--top-share 0.2] [--clients 4] [--requests 25]
+//!                   [--churn]
 //! ```
 //!
 //! `--requests` is per client. With `--graph` the mix alternates the cached
@@ -14,24 +15,40 @@
 //! response bytes, a `/metrics` count that disagrees with the client-side
 //! count, or a server quantile more than one histogram bucket above the
 //! client-observed one. `ci.sh` runs it against the smoke server.
+//!
+//! With `--churn` the binary instead runs the concurrent-churn soak
+//! ([`backboning_bench::loadtest::run_churn_soak`]): it uploads its own
+//! substrate, races `--clients` readers (`--requests` reads each) against
+//! two writers streaming `PATCH` deltas, and asserts every response is
+//! byte-identical to the from-scratch backbone of some reachable weight
+//! state, with the `/metrics` patch counters matching exactly.
 
 use std::net::{SocketAddr, ToSocketAddrs};
 
-use backboning_bench::loadtest::{run_loadtest, LoadTarget, LoadtestConfig};
+use backboning_bench::loadtest::{
+    run_churn_soak, run_loadtest, ChurnConfig, LoadTarget, LoadtestConfig,
+};
 
 fn usage() -> String {
     "usage: backbone_loadtest --addr HOST:PORT [--graph NAME] [--method M] \
-     [--top-share F] [--clients N] [--requests N]"
+     [--top-share F] [--clients N] [--requests N] [--churn]"
         .to_string()
 }
 
-fn parse_config() -> Result<LoadtestConfig, String> {
+/// What the binary was asked to run: the route-mix soak or the churn soak.
+enum Mode {
+    Soak(LoadtestConfig),
+    Churn(ChurnConfig),
+}
+
+fn parse_config() -> Result<Mode, String> {
     let mut addr: Option<SocketAddr> = None;
     let mut graph: Option<String> = None;
     let mut method = "nc".to_string();
     let mut top_share = "0.2".to_string();
     let mut clients = 4usize;
     let mut requests = 25usize;
+    let mut churn = false;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -62,6 +79,7 @@ fn parse_config() -> Result<LoadtestConfig, String> {
                     .parse()
                     .map_err(|e| format!("--requests: {e}"))?;
             }
+            "--churn" => churn = true,
             "-h" | "--help" => {
                 println!("{}", usage());
                 std::process::exit(0);
@@ -70,6 +88,14 @@ fn parse_config() -> Result<LoadtestConfig, String> {
         }
     }
     let addr = addr.ok_or_else(|| format!("--addr is required\n{}", usage()))?;
+
+    if churn {
+        return Ok(Mode::Churn(ChurnConfig {
+            addr,
+            readers: clients,
+            reads_per_reader: requests,
+        }));
+    }
 
     let mut targets = Vec::new();
     if let Some(name) = &graph {
@@ -88,24 +114,28 @@ fn parse_config() -> Result<LoadtestConfig, String> {
         // between requests.
         expect_identical: false,
     });
-    Ok(LoadtestConfig {
+    Ok(Mode::Soak(LoadtestConfig {
         addr,
         clients,
         requests_per_client: requests,
         targets,
-    })
+    }))
 }
 
 fn main() {
-    let config = match parse_config() {
-        Ok(config) => config,
+    let mode = match parse_config() {
+        Ok(mode) => mode,
         Err(message) => {
             eprintln!("backbone_loadtest: {message}");
             std::process::exit(2);
         }
     };
-    match run_loadtest(&config) {
-        Ok(report) => print!("{}", report.render_table()),
+    let outcome = match mode {
+        Mode::Soak(config) => run_loadtest(&config).map(|report| report.render_table()),
+        Mode::Churn(config) => run_churn_soak(&config).map(|report| report.render_table()),
+    };
+    match outcome {
+        Ok(table) => print!("{table}"),
         Err(message) => {
             eprintln!("backbone_loadtest: FAILED: {message}");
             std::process::exit(1);

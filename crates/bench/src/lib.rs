@@ -29,6 +29,7 @@
 
 pub mod loadtest;
 pub mod matrix;
+pub mod patchbench;
 
 use backboning_data::{CountryData, CountryDataConfig, OccupationData, OccupationDataConfig};
 use backboning_eval::Method;

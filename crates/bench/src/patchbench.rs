@@ -1,0 +1,371 @@
+//! Incremental-rescore benchmark: maintain the `"patch"` section of
+//! `BENCH_backbones.json`.
+//!
+//! One row per (substrate, method): the median wall time of a full
+//! from-scratch scoring pass next to the median wall time of
+//! [`delta_rescore`] after a small reweight batch, with the speedup between
+//! them. Before timing anything the harness asserts the two paths agree
+//! bit-for-bit — a fast wrong answer must never make it into the snapshot.
+//!
+//! Like the `"matrix"` section, the section is maintained by textual upsert
+//! (key: substrate × method × batch size × threads) so the `bench_patch`
+//! binary can refresh its rows without touching anything else in the
+//! document, and `bench_snapshot` carries the section over untouched.
+
+use std::time::Instant;
+
+use backboning::{apply_batch, delta_rescore, delta_rescore_in_place, DeltaStrategy, Method};
+use backboning_graph::delta::{DeltaOp, DeltaOpKind};
+use backboning_graph::{CsrGraph, DeltaBatch};
+
+/// One row of the `"patch"` section.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PatchRow {
+    /// Substrate label (`ba_100k`, …).
+    pub substrate: String,
+    /// Node count of the substrate.
+    pub nodes: usize,
+    /// Edge count of the substrate.
+    pub edges: usize,
+    /// Method cache key (`nt`, `df`, `nc`, …).
+    pub method: String,
+    /// The method's [`DeltaStrategy`], as a stable label.
+    pub strategy: String,
+    /// Edges reweighted by the benchmark batch.
+    pub batch_edges: usize,
+    /// Worker threads both paths ran with.
+    pub threads: usize,
+    /// Median wall time of a from-scratch scoring pass, in milliseconds.
+    pub full_median_ms: f64,
+    /// Median wall time of the incremental rescore, in milliseconds.
+    pub delta_median_ms: f64,
+    /// `full_median_ms / delta_median_ms`.
+    pub speedup: f64,
+}
+
+/// The stable label of a [`DeltaStrategy`] used in the snapshot rows.
+pub fn strategy_name(strategy: DeltaStrategy) -> &'static str {
+    match strategy {
+        DeltaStrategy::EdgeLocal => "edge-local",
+        DeltaStrategy::NodeLocal => "node-local",
+        DeltaStrategy::TotalCoupled => "total-coupled",
+        DeltaStrategy::Global => "global",
+        DeltaStrategy::Invalidate => "invalidate",
+    }
+}
+
+/// Build the benchmark delta: `batch_edges` reweights spread evenly across
+/// the edge-id range (old weight + 1), addressed by the unlabeled graph's
+/// numeric node ids.
+pub fn reweight_batch(graph: &CsrGraph, batch_edges: usize) -> DeltaBatch {
+    let stride = (graph.edge_count() / batch_edges).max(1);
+    let ops = (0..batch_edges)
+        .filter_map(|k| graph.edge(k * stride))
+        .enumerate()
+        .map(|(index, edge)| DeltaOp {
+            line: index + 1,
+            kind: DeltaOpKind::Reweight {
+                source: edge.source.to_string(),
+                target: edge.target.to_string(),
+                weight: edge.weight + 1.0,
+            },
+        })
+        .collect();
+    DeltaBatch { ops }
+}
+
+/// Median of `runs` timed executions, in milliseconds.
+fn timed_runs(runs: usize, mut work: impl FnMut()) -> f64 {
+    let mut samples: Vec<f64> = (0..runs)
+        .map(|_| {
+            let start = Instant::now();
+            work();
+            start.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    samples[samples.len() / 2]
+}
+
+/// Measure every method's full-pass vs incremental-rescore wall time on one
+/// substrate after a `batch_edges`-edge reweight batch. Fails (rather than
+/// recording a row) if the incremental scores are not identical to the
+/// from-scratch ones.
+pub fn measure_patch_rescore(
+    substrate: &str,
+    graph: &CsrGraph,
+    methods: &[Method],
+    batch_edges: usize,
+    runs: usize,
+    threads: usize,
+) -> Result<Vec<PatchRow>, String> {
+    let batch = reweight_batch(graph, batch_edges);
+    let (patched, effect) = apply_batch(graph, &batch)
+        .map_err(|e| format!("{substrate}: applying the benchmark batch: {e}"))?;
+    let mut rows = Vec::new();
+    for &method in methods {
+        let name = method.cache_key();
+        let previous = method
+            .score_with_threads(graph, threads)
+            .map_err(|e| format!("{substrate}/{name}: base scoring: {e}"))?;
+        let fresh = method
+            .score_with_threads(&patched, threads)
+            .map_err(|e| format!("{substrate}/{name}: from-scratch scoring: {e}"))?;
+        let incremental = delta_rescore(method, &patched, &previous, &effect, threads)
+            .map_err(|e| format!("{substrate}/{name}: incremental rescore: {e}"))?;
+        let in_place = delta_rescore_in_place(method, &patched, previous.clone(), &effect, threads)
+            .map_err(|e| format!("{substrate}/{name}: in-place rescore: {e}"))?;
+        if incremental != fresh || in_place != fresh {
+            return Err(format!(
+                "{substrate}/{name}: incremental scores differ from from-scratch scoring \
+                 — refusing to record a speedup for a wrong answer"
+            ));
+        }
+        let full_median_ms = timed_runs(runs, || {
+            let _ = method.score_with_threads(&patched, threads);
+        });
+        // Time the ownership-threading loop a maintained score state uses:
+        // each iteration consumes the state and gets the updated one back
+        // (idempotent here — the rescore set is recomputed from the patched
+        // graph — so every iteration does the full incremental work).
+        let mut state = Some(previous);
+        let delta_median_ms = timed_runs(runs, || {
+            let next = delta_rescore_in_place(
+                method,
+                &patched,
+                state.take().expect("state is always returned"),
+                &effect,
+                threads,
+            )
+            .expect("rescore succeeded above");
+            state = Some(next);
+        });
+        rows.push(PatchRow {
+            substrate: substrate.to_string(),
+            nodes: graph.node_count(),
+            edges: graph.edge_count(),
+            method: name,
+            strategy: strategy_name(method.delta_strategy()).to_string(),
+            batch_edges,
+            threads,
+            full_median_ms,
+            delta_median_ms,
+            speedup: full_median_ms / delta_median_ms,
+        });
+    }
+    Ok(rows)
+}
+
+/// Render one row as a single JSON object line (4-space indent, no trailing
+/// comma — the section renderer adds those).
+pub fn render_row(row: &PatchRow) -> String {
+    format!(
+        "{{\"substrate\": \"{}\", \"nodes\": {}, \"edges\": {}, \"method\": \"{}\", \
+         \"strategy\": \"{}\", \"batch_edges\": {}, \"threads\": {}, \
+         \"full_median_ms\": {:.3}, \"delta_median_ms\": {:.6}, \"speedup\": {:.1}}}",
+        row.substrate,
+        row.nodes,
+        row.edges,
+        row.method,
+        row.strategy,
+        row.batch_edges,
+        row.threads,
+        row.full_median_ms,
+        row.delta_median_ms,
+        row.speedup,
+    )
+}
+
+fn field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let marker = format!("\"{key}\": ");
+    let start = line.find(&marker)? + marker.len();
+    let rest = &line[start..];
+    if let Some(quoted) = rest.strip_prefix('"') {
+        Some(&quoted[..quoted.find('"')?])
+    } else {
+        let end = rest.find([',', '}']).unwrap_or(rest.len());
+        Some(rest[..end].trim())
+    }
+}
+
+/// Parse a rendered row line back into a [`PatchRow`] (used by the upsert
+/// merge and `bench_snapshot`'s carry-over). Returns `None` on any
+/// malformed field.
+pub fn parse_row(line: &str) -> Option<PatchRow> {
+    let line = line.trim().trim_end_matches(',');
+    if !line.starts_with('{') || !line.ends_with('}') {
+        return None;
+    }
+    Some(PatchRow {
+        substrate: field(line, "substrate")?.to_string(),
+        nodes: field(line, "nodes")?.parse().ok()?,
+        edges: field(line, "edges")?.parse().ok()?,
+        method: field(line, "method")?.to_string(),
+        strategy: field(line, "strategy")?.to_string(),
+        batch_edges: field(line, "batch_edges")?.parse().ok()?,
+        threads: field(line, "threads")?.parse().ok()?,
+        full_median_ms: field(line, "full_median_ms")?.parse().ok()?,
+        delta_median_ms: field(line, "delta_median_ms")?.parse().ok()?,
+        speedup: field(line, "speedup")?.parse().ok()?,
+    })
+}
+
+const SECTION_OPEN: &str = "  \"patch\": [\n";
+const SECTION_CLOSE: &str = "\n  ]";
+
+/// Extract the rows of an existing `"patch"` section, oldest first.
+/// Returns an empty vector when the document has no section yet.
+pub fn extract_rows(json: &str) -> Vec<PatchRow> {
+    let Some(start) = json.find(SECTION_OPEN) else {
+        return Vec::new();
+    };
+    let body_start = start + SECTION_OPEN.len();
+    let Some(body_len) = json[body_start..].find(SECTION_CLOSE) else {
+        return Vec::new();
+    };
+    json[body_start..body_start + body_len]
+        .lines()
+        .filter_map(parse_row)
+        .collect()
+}
+
+/// Merge new rows over existing ones: a new row replaces the existing row
+/// with the same (substrate, method, batch_edges, threads) key, otherwise
+/// appends.
+pub fn merge_rows(existing: Vec<PatchRow>, new_rows: Vec<PatchRow>) -> Vec<PatchRow> {
+    let mut merged = existing;
+    for row in new_rows {
+        let key = (
+            row.substrate.clone(),
+            row.method.clone(),
+            row.batch_edges,
+            row.threads,
+        );
+        match merged.iter_mut().find(|existing| {
+            (
+                existing.substrate.clone(),
+                existing.method.clone(),
+                existing.batch_edges,
+                existing.threads,
+            ) == key
+        }) {
+            Some(slot) => *slot = row,
+            None => merged.push(row),
+        }
+    }
+    merged
+}
+
+/// Remove the `"patch"` section (and the comma that attached it) from a
+/// rendered snapshot document, returning valid JSON.
+pub fn strip_patch_section(json: &str) -> String {
+    let Some(start) = json.find(SECTION_OPEN) else {
+        return json.to_string();
+    };
+    let Some(close) = json[start..].find(SECTION_CLOSE) else {
+        return json.to_string();
+    };
+    let mut end = start + close + SECTION_CLOSE.len();
+    if json[end..].starts_with('\n') {
+        end += 1;
+    }
+    let head = json[..start].trim_end_matches('\n');
+    let head = head.strip_suffix(',').unwrap_or(head);
+    format!("{head}\n{}", &json[end..])
+}
+
+/// Return `json` with its `"patch"` section replaced by `rows` (or with a
+/// new section appended as the last key when none exists). `json` must be a
+/// rendered snapshot document — an object ending in `}`.
+pub fn with_patch_section(json: &str, rows: &[PatchRow]) -> String {
+    let base = strip_patch_section(json);
+    let trimmed = base.trim_end();
+    let body = trimmed
+        .strip_suffix('}')
+        .expect("snapshot document ends with a closing brace")
+        .trim_end();
+    if rows.is_empty() {
+        return format!("{body}\n}}\n");
+    }
+    let rendered: Vec<String> = rows
+        .iter()
+        .map(|row| format!("    {}", render_row(row)))
+        .collect();
+    let joiner = if body.trim_end().ends_with('{') {
+        ""
+    } else {
+        ","
+    };
+    format!(
+        "{body}{joiner}\n{}{}{}\n}}\n",
+        SECTION_OPEN,
+        rendered.join(",\n"),
+        SECTION_CLOSE
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use backboning_graph::generators::barabasi_albert_csr;
+
+    fn sample_row() -> PatchRow {
+        PatchRow {
+            substrate: "ba_100k".to_string(),
+            nodes: 100_000,
+            edges: 299_994,
+            method: "nt".to_string(),
+            strategy: "edge-local".to_string(),
+            batch_edges: 16,
+            threads: 1,
+            full_median_ms: 15.877,
+            delta_median_ms: 0.021,
+            speedup: 756.0,
+        }
+    }
+
+    #[test]
+    fn rows_round_trip_through_render_and_parse() {
+        let row = sample_row();
+        assert_eq!(parse_row(&render_row(&row)), Some(row.clone()));
+        assert_eq!(parse_row(&format!("    {},", render_row(&row))), Some(row));
+        assert_eq!(parse_row("not a row"), None);
+    }
+
+    #[test]
+    fn section_insert_extract_strip_round_trip() {
+        let base = "{\n  \"entries\": [\n    {\"x\": 1}\n  ]\n}\n";
+        let rows = vec![sample_row()];
+        let with_section = with_patch_section(base, &rows);
+        assert!(with_section.contains("\"patch\": ["));
+        assert_eq!(extract_rows(&with_section), rows);
+        assert_eq!(strip_patch_section(&with_section), base);
+        assert_eq!(strip_patch_section(base), base);
+        // Upsert: same key replaces, new key appends.
+        let mut faster = sample_row();
+        faster.delta_median_ms = 0.01;
+        let mut other = sample_row();
+        other.method = "df".to_string();
+        let merged = merge_rows(rows, vec![faster.clone(), other.clone()]);
+        assert_eq!(merged, vec![faster, other]);
+    }
+
+    #[test]
+    fn measured_rows_pin_bit_identity_on_a_small_substrate() {
+        let graph = barabasi_albert_csr(300, 3, 7).unwrap();
+        let methods = [
+            Method::parse("naive").unwrap(),
+            Method::parse("df").unwrap(),
+            Method::parse("nc").unwrap(),
+        ];
+        let rows = measure_patch_rescore("ba_300", &graph, &methods, 16, 1, 1).unwrap();
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0].strategy, "edge-local");
+        assert_eq!(rows[1].strategy, "node-local");
+        assert_eq!(rows[2].strategy, "total-coupled");
+        for row in &rows {
+            assert_eq!(row.batch_edges, 16);
+            assert!(row.full_median_ms > 0.0 && row.delta_median_ms > 0.0);
+        }
+    }
+}

@@ -31,11 +31,12 @@
 use std::io::{BufReader, Write};
 use std::path::PathBuf;
 
-use backboning::{Method, Pipeline, ThresholdPolicy};
+use backboning::{apply_batch, delta_rescore, Method, Pipeline, ThresholdPolicy};
 use backboning_bench::matrix;
 use backboning_eval::comparison::{parse_method_list, Comparison, ComparisonConfig};
 use backboning_gen::ScenarioSpec;
 use backboning_graph::io::{read_edge_list_csr_named, EdgeListOptions};
+use backboning_graph::DeltaBatch;
 use backboning_graph::Direction;
 
 /// The usage text printed by `backbone --help` and on usage errors.
@@ -165,6 +166,30 @@ GEN MODE:
 
         backbone gen \"sb:n=5000,b=8,pin=0.02,pout=0.0008,w=lognormal(0,1)\"
 
+PATCH MODE:
+    backbone patch <DELTA> [--out PATH] [--verify] [OPTIONS] [INPUT]
+
+    Apply a batched delta to an edge list and write the patched edge list
+    to stdout (or PATH). DELTA is a file of one op per line — the same
+    wire format as the server's PATCH /graphs/NAME route:
+
+        add SOURCE TARGET WEIGHT
+        remove SOURCE TARGET
+        reweight SOURCE TARGET WEIGHT
+
+    The batch is transactional: any invalid line (unknown node, duplicate
+    add, bad weight) rejects the whole delta, naming the line. With
+    --verify, every method with an incremental delta path is additionally
+    rescored both incrementally and from scratch on the patched graph and
+    the run fails unless the two agree bit-for-bit — the churn-parity
+    contract, runnable offline on real data.
+
+    --out <PATH>           write the patched edge list to PATH (then stdout
+                           gets a one-line summary instead)
+    --verify               cross-check incremental vs from-scratch scores
+    --threads <N>          worker threads for --verify scoring
+    The INPUT FORMAT flags above apply; INPUT defaults to stdin.
+
 BENCH-MATRIX MODE:
     backbone bench-matrix [OPTIONS]
 
@@ -250,6 +275,23 @@ pub struct GenCliConfig {
     pub out: Option<PathBuf>,
 }
 
+/// A fully parsed `backbone patch` invocation.
+#[derive(Debug, Clone)]
+pub struct PatchCliConfig {
+    /// Graph input path; `None` reads stdin.
+    pub input: Option<PathBuf>,
+    /// The delta file (add/remove/reweight lines).
+    pub delta: PathBuf,
+    /// Output path for the patched edge list; `None` writes to stdout.
+    pub out: Option<PathBuf>,
+    /// Edge-list parsing options (direction, separator, header, comments).
+    pub options: EdgeListOptions,
+    /// Cross-check incremental against from-scratch rescoring.
+    pub verify: bool,
+    /// Worker threads for `--verify` scoring (`0` = automatic).
+    pub threads: usize,
+}
+
 /// A fully parsed `backbone bench-matrix` invocation.
 #[derive(Debug, Clone)]
 pub struct MatrixCliConfig {
@@ -273,6 +315,8 @@ pub enum Command {
     Gen(GenCliConfig),
     /// Sweep the scenario × method bench matrix (`backbone bench-matrix`).
     BenchMatrix(MatrixCliConfig),
+    /// Apply a batched delta to an edge list (`backbone patch`).
+    Patch(PatchCliConfig),
     /// Print the usage text and exit successfully.
     Help,
 }
@@ -556,6 +600,61 @@ fn parse_matrix_args(mut args: impl Iterator<Item = String>) -> Result<Command, 
     }))
 }
 
+/// Parse the flags of `backbone patch …` (after the `patch` word).
+fn parse_patch_args(mut args: impl Iterator<Item = String>) -> Result<Command, UsageError> {
+    let mut delta: Option<PathBuf> = None;
+    let mut input: Option<PathBuf> = None;
+    let mut explicit_stdin = false;
+    let mut out: Option<PathBuf> = None;
+    let mut options = EdgeListOptions::default();
+    let mut verify = false;
+    let mut threads = 0usize;
+    while let Some(arg) = args.next() {
+        if apply_format_flag(&arg, &mut args, &mut options)? {
+            continue;
+        }
+        let mut value_for = |flag: &str| {
+            args.next()
+                .ok_or_else(|| usage_error(format!("{flag}: missing value")))
+        };
+        match arg.as_str() {
+            "-h" | "--help" => return Ok(Command::Help),
+            "--out" => out = Some(PathBuf::from(value_for(&arg)?)),
+            "--verify" => verify = true,
+            "--threads" => threads = parse_number(&arg, &value_for(&arg)?)?,
+            flag if flag.starts_with("--") => {
+                return Err(usage_error(format!("unknown patch flag `{flag}`")));
+            }
+            "-" => {
+                if delta.is_none() {
+                    return Err(usage_error("the delta argument cannot be stdin"));
+                }
+                explicit_stdin = true;
+            }
+            path => {
+                if delta.is_none() {
+                    delta = Some(PathBuf::from(path));
+                } else if input.is_none() && !explicit_stdin {
+                    input = Some(PathBuf::from(path));
+                } else {
+                    return Err(usage_error(format!(
+                        "unexpected extra argument `{path}` (patch takes a delta file and one input)"
+                    )));
+                }
+            }
+        }
+    }
+    let delta = delta.ok_or_else(|| usage_error("patch requires a delta file argument"))?;
+    Ok(Command::Patch(PatchCliConfig {
+        input,
+        delta,
+        out,
+        options,
+        verify,
+        threads,
+    }))
+}
+
 /// Parse a `backbone` command line (without the program name).
 pub fn parse_args<I>(args: I) -> Result<Command, UsageError>
 where
@@ -577,6 +676,10 @@ where
     if args.peek().map(String::as_str) == Some("bench-matrix") {
         args.next();
         return parse_matrix_args(args);
+    }
+    if args.peek().map(String::as_str) == Some("patch") {
+        args.next();
+        return parse_patch_args(args);
     }
     let mut method: Option<Method> = None;
     let mut policy: Option<ThresholdPolicy> = None;
@@ -794,6 +897,99 @@ pub fn execute_gen(config: &GenCliConfig, out: &mut dyn Write) -> Result<(), Str
             .map_err(|e| e.to_string())
         }
         None => backboning_graph::io::write_edge_list(&graph, &mut *out).map_err(|e| e.to_string()),
+    }
+}
+
+/// Execute a parsed `backbone patch` configuration: apply the delta batch
+/// (transactionally — any bad line rejects the whole file with its line
+/// number) and write the patched edge list. With `--verify`, every local
+/// method is rescored through the incremental [`backboning::delta`] path
+/// *and* from scratch on the patched graph, and the run fails unless the
+/// two agree bit-for-bit.
+pub fn execute_patch(config: &PatchCliConfig, out: &mut dyn Write) -> Result<(), String> {
+    let graph = match &config.input {
+        Some(path) => backboning_graph::io::read_edge_list_csr_file(path, &config.options),
+        None => {
+            let stdin = std::io::stdin();
+            read_edge_list_csr_named(BufReader::new(stdin.lock()), &config.options, "<stdin>")
+        }
+    }
+    .map_err(|e| e.to_string())?;
+
+    let delta_text = std::fs::read_to_string(&config.delta)
+        .map_err(|e| format!("{}: {e}", config.delta.display()))?;
+    let batch = DeltaBatch::parse_tsv(&delta_text)
+        .map_err(|e| format!("{}: {e}", config.delta.display()))?;
+    if batch.is_empty() {
+        return Err(format!(
+            "{}: delta contains no operations",
+            config.delta.display()
+        ));
+    }
+    let (patched, effect) =
+        apply_batch(&graph, &batch).map_err(|e| format!("{}: {e}", config.delta.display()))?;
+
+    if config.verify {
+        // The churn-parity cross-check, offline: chain the incremental path
+        // off the pre-patch scores and compare against from-scratch scoring
+        // of the patched graph. Methods that legitimately fail (e.g. a
+        // doubly-stochastic scaling that stops converging) must fail on
+        // *both* paths to count as parity.
+        let methods = [
+            Method::NaiveThreshold,
+            Method::DisparityFilter,
+            Method::NoiseCorrected,
+            Method::DoublyStochastic,
+        ];
+        let mut verified = Vec::new();
+        for method in methods {
+            let incremental = match method.score_with_threads(&graph, config.threads) {
+                Ok(previous) => {
+                    delta_rescore(method, &patched, &previous, &effect, config.threads).ok()
+                }
+                // No pre-patch scores to chain from — the incremental path
+                // would itself fall back to a full pass.
+                Err(_) => method.score_with_threads(&patched, config.threads).ok(),
+            };
+            let fresh = method.score_with_threads(&patched, config.threads).ok();
+            let agree = match (&incremental, &fresh) {
+                (Some(incremental), Some(fresh)) => incremental == fresh,
+                (None, None) => true,
+                _ => false,
+            };
+            if !agree {
+                return Err(format!(
+                    "--verify: {} incremental scores differ from from-scratch scoring",
+                    method.cli_name()
+                ));
+            }
+            verified.push(method.cli_name());
+        }
+        eprintln!(
+            "backbone patch --verify: incremental == from-scratch for {}",
+            verified.join(", ")
+        );
+    }
+
+    match &config.out {
+        Some(path) => {
+            backboning_graph::io::write_edge_list_file(&patched, path)
+                .map_err(|e| format!("{}: {e}", path.display()))?;
+            writeln!(
+                out,
+                "patched: {} nodes, {} edges ({} added, {} removed, {} reweighted) -> {}",
+                patched.node_count(),
+                patched.edge_count(),
+                effect.added,
+                effect.removed,
+                effect.reweighted,
+                path.display()
+            )
+            .map_err(|e| e.to_string())
+        }
+        None => {
+            backboning_graph::io::write_edge_list(&patched, &mut *out).map_err(|e| e.to_string())
+        }
     }
 }
 
@@ -1484,5 +1680,95 @@ mod tests {
         assert!(err.contains("broken.tsv"), "missing path in `{err}`");
         assert!(err.contains("line 1"), "missing line in `{err}`");
         std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn patch_arguments_parse() {
+        let Command::Patch(config) = parse(&[
+            "patch",
+            "delta.tsv",
+            "--undirected",
+            "--verify",
+            "--threads",
+            "2",
+            "--out",
+            "patched.tsv",
+            "graph.tsv",
+        ])
+        .unwrap() else {
+            panic!("expected a patch command");
+        };
+        assert_eq!(config.delta, PathBuf::from("delta.tsv"));
+        assert_eq!(config.input, Some(PathBuf::from("graph.tsv")));
+        assert_eq!(config.out, Some(PathBuf::from("patched.tsv")));
+        assert_eq!(config.options.direction, Direction::Undirected);
+        assert!(config.verify);
+        assert_eq!(config.threads, 2);
+
+        // Stdin input, no flags.
+        let Command::Patch(config) = parse(&["patch", "delta.tsv"]).unwrap() else {
+            panic!("expected a patch command");
+        };
+        assert!(config.input.is_none());
+        assert!(!config.verify);
+
+        assert!(matches!(parse(&["patch", "-h"]), Ok(Command::Help)));
+        assert!(parse(&["patch"]).is_err(), "delta file is required");
+        assert!(parse(&["patch", "-", "g.tsv"]).is_err(), "delta from stdin");
+        assert!(parse(&["patch", "d.tsv", "--wat"]).is_err());
+        assert!(parse(&["patch", "d.tsv", "a", "b"]).is_err());
+    }
+
+    #[test]
+    fn execute_patch_applies_and_verifies_end_to_end() {
+        let dir =
+            std::env::temp_dir().join(format!("backboning_cli_patch_test_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let graph_path = dir.join("graph.tsv");
+        std::fs::write(&graph_path, "a b 5\nb c 4\nc d 1\nd a 3\n").unwrap();
+        let delta_path = dir.join("delta.tsv");
+        std::fs::write(&delta_path, "reweight c d 9\nadd a c 2\nremove d a\n").unwrap();
+
+        let Command::Patch(mut config) =
+            parse(&["patch", "placeholder.tsv", "--undirected", "--verify"]).unwrap()
+        else {
+            panic!("expected a patch command");
+        };
+        config.delta = delta_path.clone();
+        config.input = Some(graph_path.clone());
+
+        // Stdout mode: the patched edge list itself.
+        let mut out = Vec::new();
+        execute_patch(&config, &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert_eq!(
+            text,
+            "# source\ttarget\tweight\na\tb\t5\nb\tc\t4\nc\td\t9\na\tc\t2\n"
+        );
+
+        // --out mode: the file gets the same bytes, stdout a summary line.
+        let out_path = dir.join("patched.tsv");
+        config.out = Some(out_path.clone());
+        let mut summary = Vec::new();
+        execute_patch(&config, &mut summary).unwrap();
+        assert_eq!(std::fs::read_to_string(&out_path).unwrap(), text);
+        let summary = String::from_utf8(summary).unwrap();
+        assert!(
+            summary.contains("4 nodes, 4 edges (1 added, 1 removed, 1 reweighted)"),
+            "{summary}"
+        );
+
+        // A bad delta line fails transactionally, naming file and line.
+        std::fs::write(&delta_path, "reweight a b 2\nremove a z\n").unwrap();
+        config.out = None;
+        let err = execute_patch(&config, &mut Vec::new()).unwrap_err();
+        assert!(err.contains("delta.tsv"), "{err}");
+        assert!(err.contains("line 2"), "{err}");
+
+        // An empty delta is refused rather than silently writing the input.
+        std::fs::write(&delta_path, "# nothing here\n").unwrap();
+        let err = execute_patch(&config, &mut Vec::new()).unwrap_err();
+        assert!(err.contains("no operations"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -5,7 +5,9 @@
 //! long-lived HTTP serving subsystem (`backboning_server`) with its
 //! scored-graph cache — or, as `backbone gen` / `backbone bench-matrix`,
 //! generate deterministic synthetic scenarios (`backboning_gen`) and sweep
-//! the scenario × method perf grid into `BENCH_backbones.json`.
+//! the scenario × method perf grid into `BENCH_backbones.json` — or, as
+//! `backbone patch`, apply a batched add/remove/reweight delta to an edge
+//! list (optionally `--verify`-ing the incremental rescoring path).
 //!
 //! Exit codes: `0` success, `1` runtime failure (unreadable input, malformed
 //! edge list, method error, bind failure), `2` usage error.
@@ -13,7 +15,8 @@
 use std::io::Write;
 
 use backboning_cli::{
-    execute, execute_bench_matrix, execute_compare, execute_gen, parse_args, Command, USAGE,
+    execute, execute_bench_matrix, execute_compare, execute_gen, execute_patch, parse_args,
+    Command, USAGE,
 };
 
 fn main() {
@@ -76,6 +79,15 @@ fn main() {
             let stdout = std::io::stdout();
             let mut out = stdout.lock();
             if let Err(err) = execute_bench_matrix(&config, &mut out) {
+                eprintln!("backbone: {err}");
+                std::process::exit(1);
+            }
+            let _ = out.flush();
+        }
+        Command::Patch(config) => {
+            let stdout = std::io::stdout();
+            let mut out = stdout.lock();
+            if let Err(err) = execute_patch(&config, &mut out) {
                 eprintln!("backbone: {err}");
                 std::process::exit(1);
             }

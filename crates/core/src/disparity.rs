@@ -89,42 +89,17 @@ impl DisparityFilter {
             &edges,
             clamped_threads(threads, edges.len(), 2048),
             |_, edge| {
-                // Emitter perspective: the edge as a share of the source's outgoing weight.
-                let source_alpha = if totals.out_strength[edge.source] > 0.0 {
-                    Self::alpha(
-                        edge.weight / totals.out_strength[edge.source],
-                        out_degree[edge.source],
-                    )
-                } else {
-                    1.0
-                };
-                // Receiver perspective: the edge as a share of the target's incoming weight.
-                let target_alpha = if totals.in_strength[edge.target] > 0.0 {
-                    Self::alpha(
-                        edge.weight / totals.in_strength[edge.target],
-                        in_degree[edge.target],
-                    )
-                } else {
-                    1.0
-                };
-
-                // Combine the two perspectives on the *score* scale (1 − α), so that
-                // Max keeps the most significant perspective.
-                let score = self
-                    .symmetrization
-                    .combine(1.0 - source_alpha, 1.0 - target_alpha);
-                let p_value = 1.0 - score;
-
-                ScoredEdge {
-                    edge_index: edge.index,
-                    source: edge.source,
-                    target: edge.target,
-                    weight: edge.weight,
-                    score,
-                    raw_score: None,
-                    std_dev: None,
-                    p_value: Some(p_value),
-                }
+                score_edge(
+                    self.symmetrization,
+                    edge.index,
+                    edge.source,
+                    edge.target,
+                    edge.weight,
+                    totals.out_strength[edge.source],
+                    out_degree[edge.source],
+                    totals.in_strength[edge.target],
+                    in_degree[edge.target],
+                )
             },
         );
         Ok(ScoredEdges::new(
@@ -132,6 +107,52 @@ impl DisparityFilter {
             graph.node_count(),
             scored,
         ))
+    }
+}
+
+/// The Disparity Filter score of one edge from its endpoint strengths and
+/// degrees — the single source of truth shared by the batch scorer above and
+/// the incremental rescoring path in [`crate::delta`], so both produce
+/// bit-identical results.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn score_edge(
+    symmetrization: Symmetrization,
+    edge_index: usize,
+    source: usize,
+    target: usize,
+    weight: f64,
+    source_strength: f64,
+    source_degree: usize,
+    target_strength: f64,
+    target_degree: usize,
+) -> ScoredEdge {
+    // Emitter perspective: the edge as a share of the source's outgoing weight.
+    let source_alpha = if source_strength > 0.0 {
+        DisparityFilter::alpha(weight / source_strength, source_degree)
+    } else {
+        1.0
+    };
+    // Receiver perspective: the edge as a share of the target's incoming weight.
+    let target_alpha = if target_strength > 0.0 {
+        DisparityFilter::alpha(weight / target_strength, target_degree)
+    } else {
+        1.0
+    };
+
+    // Combine the two perspectives on the *score* scale (1 − α), so that
+    // Max keeps the most significant perspective.
+    let score = symmetrization.combine(1.0 - source_alpha, 1.0 - target_alpha);
+    let p_value = 1.0 - score;
+
+    ScoredEdge {
+        edge_index,
+        source,
+        target,
+        weight,
+        score,
+        raw_score: None,
+        std_dev: None,
+        p_value: Some(p_value),
     }
 }
 

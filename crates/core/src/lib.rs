@@ -76,6 +76,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod delta;
 pub mod disparity;
 pub mod doubly_stochastic;
 pub mod error;
@@ -89,6 +90,9 @@ pub mod scored;
 pub mod spanning_tree;
 mod totals;
 
+pub use delta::{
+    apply_batch, delta_rescore, delta_rescore_all, delta_rescore_in_place, DeltaStrategy,
+};
 pub use disparity::DisparityFilter;
 pub use doubly_stochastic::DoublyStochastic;
 pub use error::{BackboneError, BackboneResult};

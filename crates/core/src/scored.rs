@@ -114,6 +114,12 @@ impl ScoredEdges {
         self.edges.iter()
     }
 
+    /// Take the scored edges out, consuming the set — the zero-copy entry
+    /// point of the in-place delta rescore.
+    pub fn into_edges(self) -> Vec<ScoredEdge> {
+        self.edges
+    }
+
     /// The scored edge for a given original edge index, if present.
     pub fn get(&self, edge_index: usize) -> Option<&ScoredEdge> {
         self.edges.iter().find(|e| e.edge_index == edge_index)

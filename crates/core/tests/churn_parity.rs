@@ -1,0 +1,255 @@
+//! Churn-parity property suite: randomized PATCH sequences over generated
+//! substrates, pinning that the incremental `delta_rescore` path is *exact*.
+//!
+//! For every local method (nt / df / nc / ds), any randomized
+//! add / remove / reweight sequence must yield scores **bit-identical** to
+//! from-scratch scoring on the final patched graph, invariant under
+//! 1 / 2 / 3 / 8 scoring threads and under any batch split of the same op
+//! sequence; the pipeline's kept-edge sets must agree too. Doubly
+//! stochastic is allowed to fail (Sinkhorn non-convergence on a mutated
+//! graph) only if the from-scratch pass fails identically.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use backboning::delta::{apply_batch, delta_rescore, delta_rescore_in_place};
+use backboning::{Method, Pipeline, ScoredEdges, ThresholdPolicy};
+use backboning_gen::ScenarioSpec;
+use backboning_graph::{CsrGraph, DeltaBatch, DeltaGraph};
+
+/// Small versions of the bench-matrix substrate families.
+const SPECS: [&str; 3] = [
+    "ba:n=80,m=3,w=powerlaw(2.5),noise=0.1,seed=4242",
+    "er:n=80,e=240,w=uniform(10),noise=0.1,seed=4242",
+    "sb:n=80,b=4,pin=0.2,pout=0.02,w=uniform(10),noise=0.1,seed=4242",
+];
+
+const METHODS: [Method; 4] = [
+    Method::NaiveThreshold,
+    Method::DisparityFilter,
+    Method::NoiseCorrected,
+    Method::DoublyStochastic,
+];
+
+const THREAD_COUNTS: [usize; 4] = [1, 2, 3, 8];
+
+fn substrate(spec: &str) -> CsrGraph {
+    ScenarioSpec::parse(spec)
+        .expect("valid spec")
+        .generate()
+        .expect("generation succeeds")
+}
+
+/// Turn abstract proptest choices into always-valid delta lines by
+/// interpreting them against a shadow of the evolving edge list. The shadow
+/// mirrors `DeltaGraph` order exactly: removals delete in place (survivors
+/// keep relative order), additions append.
+fn realize_ops(base: &CsrGraph, raw: &[(u8, usize, usize, f64)]) -> Vec<String> {
+    let node_range = base.node_count() + 4; // occasionally grow the graph
+    let mut edges: Vec<(usize, usize, f64)> = base
+        .edges()
+        .map(|e| (e.source, e.target, e.weight))
+        .collect();
+    let mut present: HashSet<(usize, usize)> = edges.iter().map(|&(s, t, _)| (s, t)).collect();
+    let mut lines = Vec::new();
+    for &(choice, a, b, weight) in raw {
+        match choice % 3 {
+            0 => {
+                let source = a % node_range;
+                let target = b % node_range;
+                let (s, t) = (source.min(target), source.max(target));
+                if present.contains(&(s, t)) {
+                    let position = edges.iter().position(|&(es, et, _)| (es, et) == (s, t));
+                    if let Some(position) = position {
+                        edges[position].2 = weight;
+                        lines.push(format!("reweight {s} {t} {weight}"));
+                    }
+                } else {
+                    present.insert((s, t));
+                    edges.push((s, t, weight));
+                    lines.push(format!("add {s} {t} {weight}"));
+                }
+            }
+            1 => {
+                if edges.is_empty() {
+                    continue;
+                }
+                let position = a % edges.len();
+                let (s, t, _) = edges.remove(position);
+                present.remove(&(s, t));
+                lines.push(format!("remove {s} {t}"));
+            }
+            _ => {
+                if edges.is_empty() {
+                    continue;
+                }
+                let position = a % edges.len();
+                edges[position].2 = weight;
+                let (s, t, _) = edges[position];
+                lines.push(format!("reweight {s} {t} {weight}"));
+            }
+        }
+    }
+    lines
+}
+
+/// Split `lines` into batches following the proptest-chosen chunk sizes
+/// (cycled); an empty pattern means one batch with everything.
+fn split_batches(lines: &[String], pattern: &[usize]) -> Vec<String> {
+    if lines.is_empty() {
+        return Vec::new();
+    }
+    if pattern.is_empty() {
+        return vec![lines.join("\n")];
+    }
+    let mut batches = Vec::new();
+    let mut cursor = 0;
+    let mut turn = 0;
+    while cursor < lines.len() {
+        let take = pattern[turn % pattern.len()]
+            .max(1)
+            .min(lines.len() - cursor);
+        batches.push(lines[cursor..cursor + take].join("\n"));
+        cursor += take;
+        turn += 1;
+    }
+    batches
+}
+
+/// Apply a batch sequence, chaining incremental rescores per method, and
+/// return the final graph plus per-method incremental scores (`None` where
+/// the method errored — allowed only if from-scratch errors identically).
+fn churn(
+    base: &CsrGraph,
+    batches: &[String],
+    threads: usize,
+) -> (CsrGraph, HashMap<&'static str, Option<ScoredEdges>>) {
+    let mut graph = base.clone();
+    let mut scores: HashMap<&'static str, Option<ScoredEdges>> = METHODS
+        .iter()
+        .map(|&m| (m.score_name(), m.score_with_threads(&graph, threads).ok()))
+        .collect();
+    for text in batches {
+        let batch = DeltaBatch::parse_tsv(text).expect("realized ops parse");
+        let (patched, effect) = apply_batch(&graph, &batch).expect("realized ops apply");
+        for &method in &METHODS {
+            let name = method.score_name();
+            let next = match scores.get(name).and_then(|s| s.as_ref()) {
+                Some(previous) => {
+                    // The borrowing and the consuming (in-place) forms must
+                    // agree bit-for-bit — the latter is the maintained-state
+                    // fast path that skips the carry-over copy.
+                    let borrowed = delta_rescore(method, &patched, previous, &effect, threads).ok();
+                    let consumed = delta_rescore_in_place(
+                        method,
+                        &patched,
+                        previous.clone(),
+                        &effect,
+                        threads,
+                    )
+                    .ok();
+                    assert_eq!(
+                        borrowed,
+                        consumed,
+                        "{} in-place rescore diverged from the borrowing form",
+                        method.score_name()
+                    );
+                    consumed
+                }
+                None => method.score_with_threads(&patched, threads).ok(),
+            };
+            scores.insert(name, next);
+        }
+        graph = patched;
+    }
+    (graph, scores)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The tentpole invariant: incremental scores after arbitrary churn are
+    /// bit-identical to from-scratch scores on the final graph, for every
+    /// thread count and any batch split, and the pipeline keeps the same
+    /// edge sets.
+    #[test]
+    fn incremental_rescoring_is_exact_under_churn(
+        spec_index in 0usize..SPECS.len(),
+        raw in proptest::collection::vec(
+            ((0u8..6), (0usize..10_000), (0usize..10_000), 0.05f64..25.0),
+            1..24,
+        ),
+        pattern in proptest::collection::vec(1usize..6, 0..5),
+    ) {
+        let base = substrate(SPECS[spec_index]);
+        let lines = realize_ops(&base, &raw);
+        if lines.is_empty() {
+            return Ok(());
+        }
+        let single = split_batches(&lines, &[]);
+        let split = split_batches(&lines, &pattern);
+
+        let (final_graph, single_scores) = churn(&base, &single, 1);
+        // The overlay's compaction equals a from-scratch build of the same
+        // edge list, so both paths score the identical graph object.
+        {
+            let mut delta = DeltaGraph::from_csr(&base);
+            for text in &split {
+                delta.apply(&DeltaBatch::parse_tsv(text).unwrap()).unwrap();
+            }
+            prop_assert_eq!(&delta.to_csr().unwrap(), &final_graph);
+        }
+
+        for threads in THREAD_COUNTS {
+            let (graph_t, incremental) = churn(&base, &split, threads);
+            prop_assert_eq!(&graph_t, &final_graph);
+            for &method in &METHODS {
+                let name = method.score_name();
+                let fresh = method.score_with_threads(&final_graph, threads).ok();
+                let got = incremental.get(name).cloned().flatten();
+                match (&fresh, &got) {
+                    (Some(fresh), Some(got)) => {
+                        prop_assert!(
+                            got == fresh,
+                            "{} scores at {} threads differ from from-scratch",
+                            name,
+                            threads
+                        );
+                        // Batch-split invariance against the single-batch run.
+                        if let Some(Some(single_run)) = single_scores.get(name) {
+                            prop_assert!(
+                                got == single_run,
+                                "{} scores differ across batch splits",
+                                name
+                            );
+                        }
+                        // Pipeline parity on the kept edge set.
+                        let pipeline = Pipeline::new(method, ThresholdPolicy::TopShare(0.4))
+                            .with_threads(threads);
+                        let from_incremental = pipeline
+                            .run_with_scores(&final_graph, Arc::new(got.clone()))
+                            .unwrap();
+                        let from_fresh = pipeline
+                            .run_with_scores(&final_graph, Arc::new(fresh.clone()))
+                            .unwrap();
+                        prop_assert!(
+                            from_incremental.kept == from_fresh.kept,
+                            "{} pipeline edge sets differ",
+                            name
+                        );
+                    }
+                    (None, None) => {} // both failed (DS non-convergence) — parity holds
+                    (fresh, got) => prop_assert!(
+                        false,
+                        "{}: from-scratch ok={} but incremental ok={}",
+                        name,
+                        fresh.is_some(),
+                        got.is_some()
+                    ),
+                }
+            }
+        }
+    }
+}

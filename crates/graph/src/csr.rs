@@ -37,7 +37,7 @@ use crate::view::GraphView;
 /// The maximum node/edge/entry count the compact core can address.
 pub const CSR_INDEX_LIMIT: u64 = u32::MAX as u64;
 
-fn check_capacity(what: &'static str, requested: u64) -> GraphResult<()> {
+pub(crate) fn check_capacity(what: &'static str, requested: u64) -> GraphResult<()> {
     if requested > CSR_INDEX_LIMIT {
         Err(GraphError::CapacityExceeded {
             what,
@@ -156,6 +156,44 @@ impl CsrGraph {
             builder.add_edge(source, target, weight)?;
         }
         builder.finish()
+    }
+
+    /// A copy of this graph with the listed edges' weights replaced —
+    /// `(edge id, new weight)` pairs. Structure (node ids, edge ids,
+    /// adjacency order) is untouched, so the result is bit-identical to
+    /// rebuilding the graph from the reweighted edge list.
+    pub fn with_reweighted_edges(&self, updates: &[(usize, f64)]) -> GraphResult<CsrGraph> {
+        let mut graph = self.clone();
+        for &(edge, weight) in updates {
+            if !weight.is_finite() || weight < 0.0 {
+                return Err(GraphError::InvalidWeight { weight });
+            }
+            if edge >= graph.edge_weights.len() {
+                return Err(GraphError::InvalidParameter {
+                    parameter: "edge",
+                    message: format!(
+                        "edge id {edge} is out of range (graph has {} edges)",
+                        graph.edge_weights.len()
+                    ),
+                });
+            }
+            graph.edge_weights[edge] = weight;
+            let source = graph.edge_sources[edge] as usize;
+            let target = graph.edge_targets[edge] as usize;
+            let mut rows = vec![source];
+            if graph.direction == Direction::Undirected && source != target {
+                rows.push(target);
+            }
+            for node in rows {
+                let range = graph.entry_range(node);
+                for slot in range {
+                    if graph.entry_edge_ids[slot] as usize == edge {
+                        graph.entry_weights[slot] = weight;
+                    }
+                }
+            }
+        }
+        Ok(graph)
     }
 
     /// Direction semantics of the graph.
@@ -402,6 +440,40 @@ impl CsrBuilder {
         check_capacity("nodes", node_count as u64)?;
         let mut builder = CsrBuilder::new(direction);
         builder.node_count = node_count;
+        Ok(builder)
+    }
+
+    /// Start a builder with `node_count` pre-declared nodes carrying an
+    /// existing label table (shorter tables are padded with unlabeled
+    /// nodes; an empty table declares every node unlabeled). Used to
+    /// rebuild a compact graph without re-interning labels.
+    pub fn with_labeled_nodes(
+        direction: Direction,
+        node_count: usize,
+        labels: Vec<Option<String>>,
+    ) -> GraphResult<CsrBuilder> {
+        if labels.len() > node_count {
+            return Err(GraphError::InvalidParameter {
+                parameter: "labels",
+                message: format!("{} labels supplied for {node_count} nodes", labels.len()),
+            });
+        }
+        let mut builder = CsrBuilder::with_nodes(direction, node_count)?;
+        for (id, label) in labels.iter().enumerate() {
+            if let Some(label) = label {
+                if builder
+                    .label_index
+                    .insert(label.clone(), id as u32)
+                    .is_some()
+                {
+                    return Err(GraphError::InvalidParameter {
+                        parameter: "labels",
+                        message: format!("duplicate node label `{label}`"),
+                    });
+                }
+            }
+        }
+        builder.labels = labels;
         Ok(builder)
     }
 

@@ -34,6 +34,7 @@
 pub mod algorithms;
 pub mod builder;
 pub mod csr;
+pub mod delta;
 pub mod error;
 pub mod generators;
 pub mod graph;
@@ -43,6 +44,7 @@ pub mod view;
 
 pub use builder::GraphBuilder;
 pub use csr::{CsrBuilder, CsrGraph};
+pub use delta::{DeltaBatch, DeltaGraph, DeltaOp, DeltaOpKind, PatchEffect};
 pub use error::{GraphError, GraphResult};
 pub use graph::{Direction, Edge, EdgeRef, InNeighbors, NodeId, WeightedGraph};
 pub use view::GraphView;

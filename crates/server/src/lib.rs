@@ -56,10 +56,11 @@
 
 pub mod http;
 pub mod metrics;
+pub mod patch;
 pub mod registry;
 pub mod router;
 pub mod server;
 
 pub use metrics::ServerMetrics;
-pub use registry::{CacheCounters, GraphEntry, Registry};
+pub use registry::{CacheCounters, GraphEntry, GraphState, PatchOutcome, Registry};
 pub use server::{Server, ServerConfig, ServerControl, ServerError, MIN_WORKERS};

@@ -119,6 +119,9 @@ impl ServerMetrics {
             &[],
             counters.compare_evictions,
         );
+        snapshot.push_counter("graph_patches_total", &[], counters.patches);
+        snapshot.push_counter("graph_patch_ops_total", &[], counters.patch_ops);
+        snapshot.push_counter("graph_compactions_total", &[], counters.compactions);
         if as_json {
             snapshot.to_json()
         } else {
@@ -148,6 +151,7 @@ pub fn method_label(method: &str) -> &'static str {
     match method {
         "GET" => "GET",
         "POST" => "POST",
+        "PATCH" => "PATCH",
         "DELETE" => "DELETE",
         "PUT" => "PUT",
         "HEAD" => "HEAD",

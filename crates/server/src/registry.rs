@@ -1,36 +1,58 @@
-//! The graph registry and its scored-edge cache.
+//! The graph registry, its scored-edge cache, and patch generations.
 //!
 //! A [`Registry`] owns every named graph the server can answer queries
 //! about: graphs loaded from a directory at startup plus graphs uploaded
-//! over HTTP. Each [`GraphEntry`] carries a **scored-edge cache** keyed by
+//! over HTTP. Each [`GraphEntry`] publishes an immutable [`GraphState`]
+//! snapshot — the compact graph plus every cache — behind a generation
+//! counter. Readers clone one `Arc` per request and then work on a frozen
+//! world: a concurrent `PATCH` publishes a *new* state (generation + 1)
+//! without touching the old one, so a response is always computed against
+//! exactly one generation's graph and scores — **torn reads are
+//! structurally impossible**, not merely avoided (pinned by the
+//! concurrent-churn soak).
+//!
+//! Each state carries a **scored-edge cache** keyed by
 //! [`Method::cache_key`] — the CLI name for exact methods, and a key that
 //! embeds `roots` and `seed` for the sampled `hss-approx` estimator — so
 //! the expensive scoring pass (Sinkhorn for DS, one SSSP per root for HSS,
 //! the NC posterior, Monte Carlo-free but still O(E) work for the rest)
-//! runs **once per `(graph, method configuration)`** and every subsequent
-//! threshold policy is answered from the cached
+//! runs **once per `(generation, method configuration)`** and every
+//! subsequent threshold policy is answered from the cached
 //! [`backboning::ScoredEdges`] at selection cost.
 //!
-//! Each entry additionally carries a **comparison report cache** keyed by
+//! [`Registry::patch`] applies a batched delta through the
+//! [`backboning_graph::delta`] overlay (writers are serialized per graph;
+//! readers are never blocked), compacts structural changes back to a flat
+//! [`CsrGraph`], and **seeds the successor state's cache** by exact
+//! incremental rescoring ([`backboning::delta::delta_rescore`]) of every
+//! method cached in the previous generation whose
+//! [`DeltaStrategy`] permits it — so the cache
+//! stays hot under churn for the local methods, while HSS / hss-approx /
+//! MST results invalidate to a staged full recompute on next request.
+//! Cache invalidation is thereby *keyed by generation*: stale entries are
+//! unreachable the instant the new state is published.
+//!
+//! Each state additionally carries a **comparison report cache** keyed by
 //! the canonical `/compare` configuration: a comparison's noise Monte
 //! Carlo re-scores perturbed graph copies, which the scored-edge cache
 //! cannot help with, but the finished report is a pure function of
 //! `(graph, config)`, so its bytes are stored and repeated requests skip
-//! the Monte Carlo entirely (bounded per graph; see
-//! [`GraphEntry::store_compare`]).
+//! the Monte Carlo entirely (bounded per state; see
+//! [`GraphState::store_compare`]).
 //!
 //! Concurrency model: the graph map is behind an `RwLock` (lookups are
-//! reads; uploads are rare writes). Each cache slot is an
-//! `Arc<OnceLock<…>>`, so concurrent first hits on the same `(graph,
-//! method)` block on one scoring pass instead of duplicating it, while
-//! queries for *other* methods or graphs proceed unhindered. Failed scoring
-//! attempts are cached too — a graph with no doubly-stochastic scaling
-//! answers every DS query with the same error without re-running Sinkhorn.
+//! reads; uploads are rare writes), as is each entry's published state.
+//! Each cache slot is an `Arc<OnceLock<…>>`, so concurrent first hits on
+//! the same `(graph, method)` block on one scoring pass instead of
+//! duplicating it, while queries for *other* methods or graphs proceed
+//! unhindered. Failed scoring attempts are cached too — a graph with no
+//! doubly-stochastic scaling answers every DS query with the same error
+//! without re-running Sinkhorn.
 //!
 //! Both caches are **LRU-bounded**: a `ScoredEdges` set of a million-edge
 //! [`CsrGraph`] is an order of magnitude larger than the graph itself, so
 //! at most `MAX_SCORED_METHODS` score sets (and `MAX_COMPARE_REPORTS`
-//! reports) are retained per graph, evicting the least-recently-used slot.
+//! reports) are retained per state, evicting the least-recently-used slot.
 //! Eviction is always safe: every cached value is a pure function of
 //! `(graph, key)`, so a re-scored response is byte-identical to the
 //! evicted one (pinned by the integration suite).
@@ -41,77 +63,88 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock, RwLock};
 
 use backboning::error::BackboneError;
-use backboning::{Method, ScoredEdges};
+use backboning::{delta_rescore, DeltaStrategy, Method, ScoredEdges};
 use backboning_graph::io::{read_edge_list_csr_file, EdgeListOptions};
-use backboning_graph::CsrGraph;
+use backboning_graph::{CsrGraph, DeltaBatch, DeltaGraph, GraphError, PatchEffect};
 
 type ScoreSlot = Arc<OnceLock<Result<Arc<ScoredEdges>, BackboneError>>>;
 
-/// Registry-lifetime cache event counters. One instance is shared (via
-/// `Arc`) between the [`Registry`] and every [`GraphEntry`] it creates, so
-/// counts accumulate across graph re-inserts and removals: they describe the
-/// server process, not any single graph's cache.
+/// Registry-lifetime event counters. One instance is shared (via `Arc`)
+/// between the [`Registry`] and every [`GraphEntry`] / [`GraphState`] it
+/// creates, so counts accumulate across graph re-inserts, removals and
+/// patch generations: they describe the server process, not any single
+/// graph's cache.
 #[derive(Default)]
 struct CacheAtomics {
     scored_evictions: AtomicU64,
     compare_hits: AtomicU64,
     compare_misses: AtomicU64,
     compare_evictions: AtomicU64,
+    patches: AtomicU64,
+    patch_ops: AtomicU64,
+    compactions: AtomicU64,
 }
 
-/// A point-in-time copy of every cache counter the registry keeps, for
-/// `/health` and `/metrics`.
+/// A point-in-time copy of every cache and patch counter the registry
+/// keeps, for `/health` and `/metrics`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CacheCounters {
     /// Scored-edge lookups answered from the cache.
     pub scored_hits: u64,
     /// Scored-edge lookups that ran a scoring pass.
     pub scored_misses: u64,
-    /// Scored-edge slots evicted by the per-graph LRU bound.
+    /// Scored-edge slots evicted by the per-state LRU bound.
     pub scored_evictions: u64,
     /// Comparison-report lookups answered from the cache.
     pub compare_hits: u64,
     /// Comparison-report lookups that missed (the report was computed).
     pub compare_misses: u64,
-    /// Comparison reports evicted by the per-graph LRU bound.
+    /// Comparison reports evicted by the per-state LRU bound.
     pub compare_evictions: u64,
+    /// PATCH batches committed across all graphs.
+    pub patches: u64,
+    /// Individual delta ops committed across all PATCH batches.
+    pub patch_ops: u64,
+    /// Structural patches compacted back to a flat CSR.
+    pub compactions: u64,
 }
 
-/// Maximum number of cached comparison reports per graph. A comparison
+/// Maximum number of cached comparison reports per state. A comparison
 /// report is small (a few KiB of JSON), but its cache key includes
 /// free-form query parameters, so the map is bounded to keep a client
 /// sweeping parameters from growing it without limit.
 const MAX_COMPARE_REPORTS: usize = 32;
 
-/// Maximum number of scored-edge sets retained per graph. A score set
+/// Maximum number of scored-edge sets retained per state. A score set
 /// carries several `f64` columns per edge, so on a multi-million-edge graph
-/// it dwarfs the CSR arrays themselves; bounding the per-graph set keeps a
+/// it dwarfs the CSR arrays themselves; bounding the per-state set keeps a
 /// client sweeping methods from pinning `7 × O(E)` memory.
 const MAX_SCORED_METHODS: usize = 4;
 
-/// A named graph plus its per-method scored-edge cache and its comparison
-/// report cache.
-pub struct GraphEntry {
-    name: String,
-    graph: CsrGraph,
+/// One immutable generation of a graph: the compact CSR plus the caches
+/// computed against it. Requests snapshot the current state once
+/// ([`GraphEntry::snapshot`]) and never observe a later patch.
+pub struct GraphState {
+    graph: Arc<CsrGraph>,
+    generation: u64,
     /// Logical clock driving both LRU caches: bumped on every cache touch,
     /// so the entry with the smallest stamp is the least recently used.
     clock: AtomicU64,
-    /// Keyed by [`Method::cache_key`]: the CLI name for exact methods, and
-    /// `hss-approx:roots=K:seed=S` for the sampled estimator — two sampled
-    /// configurations score differently and must never share a slot.
-    cache: Mutex<HashMap<String, (u64, ScoreSlot)>>,
+    /// Keyed by [`Method::cache_key`]; the stored [`Method`] lets a patch
+    /// seed the successor generation's cache by incremental rescoring.
+    cache: Mutex<HashMap<String, (u64, Method, ScoreSlot)>>,
     compare_cache: Mutex<HashMap<String, (u64, Arc<str>)>>,
     /// Shared with the owning [`Registry`] so cache events survive graph
-    /// re-inserts (which drop the entry, but not the process-wide counts).
+    /// re-inserts and patches (which drop the state, but not the
+    /// process-wide counts).
     counters: Arc<CacheAtomics>,
 }
 
-impl GraphEntry {
-    fn new(name: String, graph: CsrGraph, counters: Arc<CacheAtomics>) -> Self {
-        GraphEntry {
-            name,
+impl GraphState {
+    fn new(graph: Arc<CsrGraph>, generation: u64, counters: Arc<CacheAtomics>) -> Self {
+        GraphState {
             graph,
+            generation,
             clock: AtomicU64::new(0),
             cache: Mutex::new(HashMap::new()),
             compare_cache: Mutex::new(HashMap::new()),
@@ -121,6 +154,17 @@ impl GraphEntry {
 
     fn tick(&self) -> u64 {
         self.clock.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// The graph of this generation, in its compact CSR form.
+    pub fn graph(&self) -> &Arc<CsrGraph> {
+        &self.graph
+    }
+
+    /// The generation number (0 for a freshly inserted graph, +1 per
+    /// committed patch).
+    pub fn generation(&self) -> u64 {
+        self.generation
     }
 
     /// The cached comparison report body for a canonical configuration key,
@@ -154,22 +198,12 @@ impl GraphEntry {
         let stamp = self.tick();
         let mut cache = self.compare_cache.lock().unwrap_or_else(|e| e.into_inner());
         if cache.len() >= MAX_COMPARE_REPORTS && !cache.contains_key(&key) {
-            evict_least_recently_used(&mut cache);
+            evict_least_recently_used(&mut cache, |(used, _)| *used);
             self.counters
                 .compare_evictions
                 .fetch_add(1, Ordering::Relaxed);
         }
         cache.insert(key, (stamp, body));
-    }
-
-    /// The registry name of the graph.
-    pub fn name(&self) -> &str {
-        &self.name
-    }
-
-    /// The graph itself, in its compact CSR form.
-    pub fn graph(&self) -> &CsrGraph {
-        &self.graph
     }
 
     /// Cache keys of the methods whose scores are currently cached
@@ -180,23 +214,134 @@ impl GraphEntry {
         let cache = self.cache.lock().unwrap_or_else(|e| e.into_inner());
         let mut names: Vec<String> = cache
             .iter()
-            .filter(|(_, (_, slot))| matches!(slot.get(), Some(Ok(_))))
+            .filter(|(_, (_, _, slot))| matches!(slot.get(), Some(Ok(_))))
             .map(|(name, _)| name.clone())
             .collect();
         names.sort_unstable();
         names
     }
+
+    /// Every successfully cached `(key, method, scores)` triple — the raw
+    /// material a patch uses to seed its successor state.
+    fn cached_scores(&self) -> Vec<(String, Method, Arc<ScoredEdges>)> {
+        let cache = self.cache.lock().unwrap_or_else(|e| e.into_inner());
+        cache
+            .iter()
+            .filter_map(|(key, (_, method, slot))| match slot.get() {
+                Some(Ok(scored)) => Some((key.clone(), *method, Arc::clone(scored))),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Pre-populate a score slot (used when a patch carries scores over to
+    /// the next generation). Counts neither as hit nor miss — no lookup
+    /// happened.
+    fn store_scored(&self, key: String, method: Method, scored: Arc<ScoredEdges>) {
+        let stamp = self.tick();
+        let mut cache = self.cache.lock().unwrap_or_else(|e| e.into_inner());
+        if cache.len() >= MAX_SCORED_METHODS && !cache.contains_key(&key) {
+            evict_least_recently_used(&mut cache, |(used, _, _)| *used);
+            self.counters
+                .scored_evictions
+                .fetch_add(1, Ordering::Relaxed);
+        }
+        let slot: ScoreSlot = Arc::default();
+        let _ = slot.set(Ok(scored));
+        cache.insert(key, (stamp, method, slot));
+    }
+}
+
+/// A named graph: the currently published [`GraphState`] plus the writer
+/// side of the patch pipeline.
+pub struct GraphEntry {
+    name: String,
+    state: RwLock<Arc<GraphState>>,
+    /// The mutable overlay feeding [`Registry::patch`]; the mutex
+    /// serializes writers per graph (readers never take it). Lazily seeded
+    /// from the published state on first patch.
+    patch: Mutex<Option<DeltaGraph>>,
+}
+
+impl GraphEntry {
+    fn new(name: String, graph: CsrGraph, counters: Arc<CacheAtomics>) -> Self {
+        let state = GraphState::new(Arc::new(graph), 0, counters);
+        GraphEntry {
+            name,
+            state: RwLock::new(Arc::new(state)),
+            patch: Mutex::new(None),
+        }
+    }
+
+    /// The currently published generation. Handlers snapshot **once** per
+    /// request and use the snapshot's graph and caches throughout, so a
+    /// concurrent patch can never tear a response.
+    pub fn snapshot(&self) -> Arc<GraphState> {
+        Arc::clone(&self.state.read().unwrap_or_else(|e| e.into_inner()))
+    }
+
+    /// The registry name of the graph.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The current generation's graph, in its compact CSR form.
+    pub fn graph(&self) -> Arc<CsrGraph> {
+        Arc::clone(&self.snapshot().graph)
+    }
+
+    /// The current generation number.
+    pub fn generation(&self) -> u64 {
+        self.snapshot().generation
+    }
+
+    /// [`GraphState::cached_compare`] on the current generation.
+    pub fn cached_compare(&self, key: &str) -> Option<Arc<str>> {
+        self.snapshot().cached_compare(key)
+    }
+
+    /// [`GraphState::store_compare`] on the current generation.
+    pub fn store_compare(&self, key: String, body: Arc<str>) {
+        self.snapshot().store_compare(key, body)
+    }
+
+    /// [`GraphState::cached_methods`] on the current generation.
+    pub fn cached_methods(&self) -> Vec<String> {
+        self.snapshot().cached_methods()
+    }
 }
 
 /// Remove the entry with the smallest LRU stamp from a bounded cache map.
-fn evict_least_recently_used<K: Clone + std::hash::Hash + Eq, V>(map: &mut HashMap<K, (u64, V)>) {
+fn evict_least_recently_used<K: Clone + std::hash::Hash + Eq, V>(
+    map: &mut HashMap<K, V>,
+    stamp: impl Fn(&V) -> u64,
+) {
     if let Some(oldest) = map
         .iter()
-        .min_by_key(|(_, (used, _))| *used)
+        .min_by_key(|(_, value)| stamp(value))
         .map(|(key, _)| key.clone())
     {
         map.remove(&oldest);
     }
+}
+
+/// What a committed [`Registry::patch`] did, for the PATCH response body.
+#[derive(Debug, Clone)]
+pub struct PatchOutcome {
+    /// The newly published generation number.
+    pub generation: u64,
+    /// Node count of the new generation.
+    pub nodes: usize,
+    /// Edge count of the new generation.
+    pub edges: usize,
+    /// The overlay's report of the batch.
+    pub effect: PatchEffect,
+    /// Whether the structural delta log was compacted back to a flat CSR
+    /// (reweight-only patches update weights in place instead).
+    pub compacted: bool,
+    /// Cache keys carried over to the new generation by incremental
+    /// rescoring, sorted.
+    pub rescored_methods: Vec<String>,
 }
 
 /// Maximum accepted graph-name length.
@@ -284,7 +429,8 @@ impl Registry {
     }
 
     /// Register `graph` under `name`, replacing any previous graph of that
-    /// name (and dropping its cache). Rejects invalid names.
+    /// name (and dropping its cache, patch log and generation counter).
+    /// Rejects invalid names.
     pub fn insert(&self, name: &str, graph: CsrGraph) -> Result<Arc<GraphEntry>, String> {
         if !valid_graph_name(name) {
             return Err(format!(
@@ -325,28 +471,41 @@ impl Registry {
         graphs.len()
     }
 
-    /// The scored edges of `entry` under `method`, from the cache when
-    /// present, scoring (once, with concurrent callers blocking on the same
-    /// pass) when not. At most `MAX_SCORED_METHODS` score sets are
-    /// retained per graph; a lookup past the bound evicts the
-    /// least-recently-used method's slot (whose scores are recomputed —
-    /// bit-identically — if it is ever asked for again).
+    /// The scored edges of `entry`'s **current** generation under `method`
+    /// — a convenience wrapper over [`Registry::scored_state`] for callers
+    /// that don't hold a snapshot.
     pub fn scored(
         &self,
         entry: &GraphEntry,
         method: Method,
     ) -> Result<Arc<ScoredEdges>, BackboneError> {
-        let stamp = entry.tick();
+        self.scored_state(&entry.snapshot(), method)
+    }
+
+    /// The scored edges of one pinned generation under `method`, from the
+    /// state's cache when present, scoring (once, with concurrent callers
+    /// blocking on the same pass) when not. At most `MAX_SCORED_METHODS`
+    /// score sets are retained per state; a lookup past the bound evicts
+    /// the least-recently-used method's slot (whose scores are recomputed —
+    /// bit-identically — if it is ever asked for again).
+    pub fn scored_state(
+        &self,
+        state: &GraphState,
+        method: Method,
+    ) -> Result<Arc<ScoredEdges>, BackboneError> {
+        let stamp = state.tick();
         let key = method.cache_key();
         let slot = {
-            let mut cache = entry.cache.lock().unwrap_or_else(|e| e.into_inner());
+            let mut cache = state.cache.lock().unwrap_or_else(|e| e.into_inner());
             if cache.len() >= MAX_SCORED_METHODS && !cache.contains_key(&key) {
-                evict_least_recently_used(&mut cache);
+                evict_least_recently_used(&mut cache, |(used, _, _)| *used);
                 self.counters
                     .scored_evictions
                     .fetch_add(1, Ordering::Relaxed);
             }
-            let (used, slot) = cache.entry(key).or_default();
+            let (used, _, slot) = cache
+                .entry(key)
+                .or_insert_with(|| (0, method, Arc::default()));
             *used = stamp;
             Arc::clone(slot)
         };
@@ -354,7 +513,7 @@ impl Registry {
         let result = slot.get_or_init(|| {
             computed_here = true;
             method
-                .score_with_threads(&entry.graph, self.threads)
+                .score_with_threads(state.graph.as_ref(), self.threads)
                 .map(Arc::new)
         });
         if computed_here {
@@ -363,6 +522,101 @@ impl Registry {
             self.cache_hits.fetch_add(1, Ordering::Relaxed);
         }
         result.clone()
+    }
+
+    /// Apply a batched delta to `entry` and publish the next generation.
+    ///
+    /// Writers are serialized per graph by the patch mutex; readers keep
+    /// serving the previous state until the new one is published (one
+    /// `RwLock` write of an `Arc`), so they never block on scoring and
+    /// never observe a half-applied batch. Structural batches compact the
+    /// overlay back to a flat CSR; reweight-only batches poke the weights
+    /// of a cloned CSR (bit-identical to compaction, much cheaper). Every
+    /// method cached on the old state whose
+    /// [`DeltaStrategy`] is not `Invalidate` is
+    /// carried to the new state via exact incremental rescoring, so the
+    /// cache stays hot under churn. Validation failures (including
+    /// [`GraphError::CapacityExceeded`]) leave the published state and the
+    /// overlay untouched.
+    pub fn patch(
+        &self,
+        entry: &GraphEntry,
+        batch: &DeltaBatch,
+    ) -> Result<PatchOutcome, GraphError> {
+        let mut patch_guard = entry.patch.lock().unwrap_or_else(|e| e.into_inner());
+        let old_state = entry.snapshot();
+        let delta =
+            patch_guard.get_or_insert_with(|| DeltaGraph::from_csr(old_state.graph.as_ref()));
+        let effect = delta.apply(batch)?;
+        let compact_result = if effect.structure_changed {
+            delta.to_csr().map(Arc::new)
+        } else {
+            let updates: Vec<(usize, f64)> = effect
+                .changed_edges
+                .iter()
+                .map(|&id| (id, delta.edge_weight(id).expect("changed edge is live")))
+                .collect();
+            old_state
+                .graph
+                .with_reweighted_edges(&updates)
+                .map(Arc::new)
+        };
+        let new_graph = match compact_result {
+            Ok(graph) => graph,
+            Err(error) => {
+                // The overlay committed but the rebuild failed (should be
+                // unreachable — apply re-validates capacity): drop the
+                // overlay so the next patch re-seeds from the published
+                // state instead of diverging from it.
+                *patch_guard = None;
+                return Err(error);
+            }
+        };
+        if effect.structure_changed {
+            self.counters.compactions.fetch_add(1, Ordering::Relaxed);
+        }
+
+        let new_state = Arc::new(GraphState::new(
+            Arc::clone(&new_graph),
+            old_state.generation + 1,
+            Arc::clone(&self.counters),
+        ));
+        // Seed the successor's cache: exact incremental rescore of every
+        // carryable method cached on the old generation. HSS / hss-approx /
+        // MST invalidate — their next request is a staged full recompute on
+        // the new state.
+        let mut rescored = Vec::new();
+        for (key, method, previous) in old_state.cached_scores() {
+            if method.delta_strategy() == DeltaStrategy::Invalidate {
+                continue;
+            }
+            if let Ok(scored) = delta_rescore(
+                method,
+                new_graph.as_ref(),
+                previous.as_ref(),
+                &effect,
+                self.threads,
+            ) {
+                new_state.store_scored(key.clone(), method, Arc::new(scored));
+                rescored.push(key);
+            }
+        }
+        rescored.sort_unstable();
+
+        *entry.state.write().unwrap_or_else(|e| e.into_inner()) = Arc::clone(&new_state);
+        self.counters.patches.fetch_add(1, Ordering::Relaxed);
+        self.counters
+            .patch_ops
+            .fetch_add(batch.len() as u64, Ordering::Relaxed);
+        let compacted = effect.structure_changed;
+        Ok(PatchOutcome {
+            generation: new_state.generation,
+            nodes: new_graph.node_count(),
+            edges: new_graph.edge_count(),
+            effect,
+            compacted,
+            rescored_methods: rescored,
+        })
     }
 
     /// Lifetime cache statistics: `(hits, misses)`. A hit is any scored
@@ -384,6 +638,9 @@ impl Registry {
             compare_hits: self.counters.compare_hits.load(Ordering::Relaxed),
             compare_misses: self.counters.compare_misses.load(Ordering::Relaxed),
             compare_evictions: self.counters.compare_evictions.load(Ordering::Relaxed),
+            patches: self.counters.patches.load(Ordering::Relaxed),
+            patch_ops: self.counters.patch_ops.load(Ordering::Relaxed),
+            compactions: self.counters.compactions.load(Ordering::Relaxed),
         }
     }
 }
@@ -576,6 +833,91 @@ mod tests {
         // the graph drops its caches but never the counts.
         registry.insert("g", sample_graph()).unwrap();
         assert_eq!(registry.cache_counters(), counters);
+    }
+
+    #[test]
+    fn patch_publishes_a_new_generation_and_seeds_the_cache() {
+        let registry = Registry::new(1);
+        let entry = registry.insert("g", sample_graph()).unwrap();
+        assert_eq!(entry.generation(), 0);
+        let nt = registry.scored(&entry, Method::NaiveThreshold).unwrap();
+        let _ = registry.scored(&entry, Method::DisparityFilter).unwrap();
+        let _ = registry
+            .scored(&entry, Method::MaximumSpanningTree)
+            .unwrap();
+
+        let old_state = entry.snapshot();
+        let batch = DeltaBatch::parse_tsv("reweight a b 9\n").unwrap();
+        let outcome = registry.patch(&entry, &batch).unwrap();
+        assert_eq!(outcome.generation, 1);
+        assert!(!outcome.compacted);
+        assert_eq!(outcome.effect.reweighted, 1);
+        // Local methods were carried over; MST invalidated.
+        assert_eq!(
+            outcome.rescored_methods,
+            vec!["df".to_string(), "naive".to_string()]
+        );
+        assert_eq!(entry.generation(), 1);
+        assert_eq!(entry.cached_methods(), vec!["df", "naive"]);
+
+        // The old snapshot is frozen — readers holding it never tear.
+        assert_eq!(old_state.generation(), 0);
+        assert_eq!(old_state.graph().edge_count(), 3);
+        assert!(Arc::ptr_eq(
+            &nt,
+            &registry
+                .scored_state(&old_state, Method::NaiveThreshold)
+                .unwrap()
+        ));
+
+        // The seeded cache answers without a scoring pass and matches a
+        // from-scratch score of the patched graph bit-for-bit.
+        let (hits_before, misses_before) = registry.cache_stats();
+        let seeded = registry.scored(&entry, Method::NaiveThreshold).unwrap();
+        assert_eq!(
+            registry.cache_stats(),
+            (hits_before + 1, misses_before),
+            "seeded slot must be a cache hit"
+        );
+        let fresh = Method::NaiveThreshold
+            .score_with_threads(entry.graph().as_ref(), 1)
+            .unwrap();
+        assert_eq!(seeded.as_ref(), &fresh);
+    }
+
+    #[test]
+    fn structural_patches_compact_and_invalidate_hss() {
+        let registry = Registry::new(1);
+        let entry = registry.insert("g", sample_graph()).unwrap();
+        let _ = registry
+            .scored(&entry, Method::HighSalienceSkeleton)
+            .unwrap();
+        let batch = DeltaBatch::parse_tsv("add a d 5\nremove b c\n").unwrap();
+        let outcome = registry.patch(&entry, &batch).unwrap();
+        assert!(outcome.compacted);
+        assert_eq!(outcome.generation, 1);
+        assert_eq!(outcome.nodes, 4);
+        assert_eq!(outcome.edges, 3);
+        assert!(outcome.rescored_methods.is_empty());
+        assert!(entry.cached_methods().is_empty());
+        let counters = registry.cache_counters();
+        assert_eq!(counters.patches, 1);
+        assert_eq!(counters.patch_ops, 2);
+        assert_eq!(counters.compactions, 1);
+    }
+
+    #[test]
+    fn failed_patches_change_nothing() {
+        let registry = Registry::new(1);
+        let entry = registry.insert("g", sample_graph()).unwrap();
+        let batch = DeltaBatch::parse_tsv("add a b 1\n").unwrap(); // already exists
+        let err = registry.patch(&entry, &batch).unwrap_err().to_string();
+        assert!(err.contains("line 1"), "{err}");
+        assert_eq!(entry.generation(), 0);
+        assert_eq!(registry.cache_counters().patches, 0);
+        // A valid follow-up still works against the unchanged state.
+        let ok = DeltaBatch::parse_tsv("reweight a b 1\n").unwrap();
+        assert_eq!(registry.patch(&entry, &ok).unwrap().generation, 1);
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! | `GET /graphs` | list registered graphs |
 //! | `GET /graphs/{name}` | one graph's size, direction and cached methods |
 //! | `POST /graphs/{name}` | upload an edge list body, register it as `{name}` |
+//! | `PATCH /graphs/{name}` | apply a batched delta (TSV or JSON body), publish generation + 1 |
 //! | `DELETE /graphs/{name}` | unregister a graph |
 //! | `GET /graphs/{name}/backbone` | run the pipeline (cache-backed) and return backbone / scores / summary |
 //! | `GET /graphs/{name}/compare` | matched-coverage method comparison (cache-backed), stable JSON |
@@ -43,10 +44,11 @@ use backboning::json::{self, JsonArray, JsonObject};
 use backboning::{Method, Pipeline, PipelineRun, ThresholdPolicy};
 use backboning_eval::comparison;
 use backboning_graph::io::read_edge_list_csr_named;
-use backboning_graph::Direction;
+use backboning_graph::{Direction, GraphError};
 
 use crate::http::{Request, Response};
 use crate::metrics::{metrics_response, ServerMetrics};
+use crate::patch::parse_delta_body;
 use crate::registry::{valid_graph_name, GraphEntry, Registry};
 use crate::server::ServerControl;
 
@@ -64,6 +66,7 @@ pub fn handle(
         ("GET", ["graphs"]) => list_graphs(registry),
         ("GET", ["graphs", name]) => graph_info(registry, name),
         ("POST", ["graphs", name]) => upload_graph(registry, name, request),
+        ("PATCH", ["graphs", name]) => patch_graph(registry, name, request),
         ("DELETE", ["graphs", name]) => delete_graph(registry, name),
         ("GET", ["graphs", name, "backbone"]) => backbone(registry, name, request),
         ("GET", ["graphs", name, "compare"]) => compare(registry, name, request),
@@ -120,24 +123,29 @@ fn health(registry: &Registry, control: &ServerControl) -> Response {
 }
 
 fn graph_json(entry: &GraphEntry) -> String {
+    // One snapshot for the whole document: size, generation and cached
+    // methods always describe the same published state.
+    let state = entry.snapshot();
     let mut methods = JsonArray::new();
-    for name in entry.cached_methods() {
+    for name in state.cached_methods() {
         methods.string(&name);
     }
     let mut object = JsonObject::inline();
     object
         .string("name", entry.name())
-        .usize("nodes", entry.graph().node_count())
-        .usize("edges", entry.graph().edge_count())
-        .string(
-            "direction",
-            match entry.graph().direction() {
-                Direction::Directed => "directed",
-                Direction::Undirected => "undirected",
-            },
-        )
+        .usize("nodes", state.graph().node_count())
+        .usize("edges", state.graph().edge_count())
+        .string("direction", direction_name(state.graph().direction()))
+        .u64("generation", state.generation())
         .raw("cached_methods", &methods.finish());
     object.finish()
+}
+
+fn direction_name(direction: Direction) -> &'static str {
+    match direction {
+        Direction::Directed => "directed",
+        Direction::Undirected => "undirected",
+    }
 }
 
 fn list_graphs(registry: &Registry) -> Response {
@@ -202,6 +210,72 @@ fn registry_upload_options(request: &Request) -> backboning_graph::io::EdgeListO
         },
         has_header: matches!(request.query_param("header"), Some("1" | "true")),
         ..Default::default()
+    }
+}
+
+/// `PATCH /graphs/{name}`: apply a batched delta and publish the next
+/// generation. The body is TSV (`add SRC TGT W` / `remove SRC TGT` /
+/// `reweight SRC TGT W`, one per line) or JSON (`{"ops": […]}` with
+/// `Content-Type: application/json`). Validation is transactional — any bad
+/// op rejects the whole batch with a line- or op-numbered 400 and the graph
+/// stays at its current generation. A delta that would push the graph past
+/// the compact core's `u32` capacity is a structured 400
+/// (`"kind": "capacity_exceeded"`), never a panic.
+fn patch_graph(registry: &Registry, name: &str, request: &Request) -> Response {
+    let Some(entry) = registry.get(name) else {
+        return Response::error(404, &format!("no graph named `{name}`"));
+    };
+    let batch = match parse_delta_body(request) {
+        Ok(batch) => batch,
+        Err(message) => return Response::error(400, &message),
+    };
+    if batch.is_empty() {
+        return Response::error(400, "delta batch is empty (nothing to apply)");
+    }
+    match registry.patch(&entry, &batch) {
+        Ok(outcome) => {
+            let mut applied = JsonObject::inline();
+            applied
+                .usize("added", outcome.effect.added)
+                .usize("removed", outcome.effect.removed)
+                .usize("reweighted", outcome.effect.reweighted);
+            let mut methods = JsonArray::new();
+            for key in &outcome.rescored_methods {
+                methods.string(key);
+            }
+            let mut body = JsonObject::pretty();
+            body.string("name", entry.name())
+                .usize("nodes", outcome.nodes)
+                .usize("edges", outcome.edges)
+                .string("direction", direction_name(entry.graph().direction()))
+                .u64("generation", outcome.generation)
+                .raw("applied", &applied.finish())
+                .bool("compacted", outcome.compacted)
+                .raw("rescored_methods", &methods.finish());
+            Response::json(200, finish_line(&mut body))
+        }
+        Err(GraphError::CapacityExceeded {
+            what,
+            requested,
+            limit,
+        }) => {
+            // Structured so clients can distinguish "your delta is too big
+            // for the compact core" from a malformed batch.
+            let mut body = JsonObject::pretty();
+            body.usize("status", 400)
+                .string(
+                    "error",
+                    &format!(
+                        "delta exceeds the compact core's capacity: {requested} {what} (limit {limit})"
+                    ),
+                )
+                .string("kind", "capacity_exceeded")
+                .string("what", what)
+                .u64("requested", requested)
+                .u64("limit", limit);
+            Response::json(400, finish_line(&mut body))
+        }
+        Err(err) => Response::error(400, &err.to_string()),
     }
 }
 
@@ -349,15 +423,18 @@ fn backbone(registry: &Registry, name: &str, request: &Request) -> Response {
         Err(message) => return Response::error(400, &message),
     };
 
-    // The cache-backed hot path: scoring runs at most once per
-    // (graph, method); every policy re-selects over the borrowed scores.
-    let scored = match registry.scored(&entry, method) {
+    // One snapshot for the whole request: graph and scores come from the
+    // same generation even if a PATCH lands mid-flight. The cache-backed
+    // hot path scores at most once per (generation, method); every policy
+    // re-selects over the borrowed scores.
+    let state = entry.snapshot();
+    let scored = match registry.scored_state(&state, method) {
         Ok(scored) => scored,
         Err(err) => return Response::error(400, &err.to_string()),
     };
     let run = match Pipeline::new(method, policy)
         .with_threads(registry.threads())
-        .run_with_scores(entry.graph(), scored)
+        .run_with_scores(state.graph().as_ref(), scored)
     {
         Ok(run) => run,
         Err(err) => return Response::error(400, &err.to_string()),
@@ -452,25 +529,30 @@ fn compare(registry: &Registry, name: &str, request: &Request) -> Response {
         Ok(comparison) => comparison,
         Err(err) => return Response::error(400, &err.to_string()),
     };
+    // One snapshot for the whole request: the report and its cache entry
+    // belong to a single generation, so a PATCH landing mid-Monte-Carlo
+    // can never store a stale report on the successor state.
+    let state = entry.snapshot();
     // The finished report is a pure function of (graph, config) — no wall
-    // times — so repeated requests are answered from the per-graph report
-    // cache without re-running the noise Monte Carlo.
+    // times — so repeated requests are answered from the per-generation
+    // report cache without re-running the noise Monte Carlo.
     let key = compare_cache_key(comparison.config());
-    if let Some(body) = entry.cached_compare(&key) {
+    if let Some(body) = state.cached_compare(&key) {
         return Response::json(200, body.to_string());
     }
-    // Base scoring goes through the (graph, method) scored-edge cache; only
-    // the noise resamples are scored fresh (they are perturbed copies).
-    let report =
-        match comparison.run_with_scores(entry.graph(), |method| registry.scored(&entry, method)) {
-            Ok(report) => report,
-            Err(err) => return Response::error(400, &err.to_string()),
-        };
+    // Base scoring goes through the (generation, method) scored-edge cache;
+    // only the noise resamples are scored fresh (they are perturbed copies).
+    let report = match comparison.run_with_scores(state.graph().as_ref(), |method| {
+        registry.scored_state(&state, method)
+    }) {
+        Ok(report) => report,
+        Err(err) => return Response::error(400, &err.to_string()),
+    };
     // The stable rendering (no wall times): a cache-hit body must be
     // byte-identical to the cold one.
     let mut body = report.to_json_stable();
     body.push('\n');
-    entry.store_compare(key, Arc::from(body.as_str()));
+    state.store_compare(key, Arc::from(body.as_str()));
     Response::json(200, body)
 }
 

@@ -84,6 +84,25 @@ fn post(server: &Server, path_and_query: &str, body: &str) -> (u16, Vec<u8>) {
     )
 }
 
+/// A PATCH exchange; `content_type: None` sends the TSV default.
+fn patch(
+    server: &Server,
+    path_and_query: &str,
+    body: &str,
+    content_type: Option<&str>,
+) -> (u16, Vec<u8>) {
+    let type_header = content_type
+        .map(|value| format!("Content-Type: {value}\r\n"))
+        .unwrap_or_default();
+    request(
+        server,
+        &format!(
+            "PATCH {path_and_query} HTTP/1.1\r\nHost: test\r\n{type_header}Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+            body.len()
+        ),
+    )
+}
+
 fn text(body: &[u8]) -> String {
     String::from_utf8(body.to_vec()).expect("body is UTF-8")
 }
@@ -717,6 +736,170 @@ fn health_reports_workers_and_cache_counters() {
         ),
         "{health}"
     );
+    server.shutdown();
+}
+
+/// The PATCH tentpole over HTTP: a reweight batch bumps the generation,
+/// changes the *cached* backbone, and the post-patch response is
+/// byte-identical to a fresh server that ingested the patched edge list
+/// from scratch — generation-keyed invalidation plus exact incremental
+/// rescoring, end to end.
+#[test]
+fn patch_route_rescores_exactly_and_bumps_the_generation() {
+    let server = trade_server(1);
+    let edge_list = "a b 5\nb c 4\nc d 1\nd a 3\n";
+    let (status, body) = post(&server, "/graphs/delta?direction=undirected", edge_list);
+    assert_eq!(status, 201, "{}", text(&body));
+    assert!(text(&body).contains("\"generation\": 0"), "{}", text(&body));
+
+    // Warm the cache, pinning the pre-patch backbone.
+    let query = "/graphs/delta/backbone?method=naive&top_k=2";
+    let (status, before) = get(&server, query);
+    assert_eq!(status, 200);
+    assert!(text(&before).contains("a\tb\t5"), "{}", text(&before));
+    assert!(!text(&before).contains("c\td"), "{}", text(&before));
+
+    // Reweight c–d to the top: the cached response must change.
+    let (status, body) = patch(&server, "/graphs/delta", "reweight c d 9\n", None);
+    assert_eq!(status, 200, "{}", text(&body));
+    let outcome = text(&body);
+    assert!(outcome.contains("\"generation\": 1"), "{outcome}");
+    assert!(
+        outcome.contains("\"applied\": { \"added\": 0, \"removed\": 0, \"reweighted\": 1 }"),
+        "{outcome}"
+    );
+    assert!(outcome.contains("\"compacted\": false"), "{outcome}");
+    // The cached naive scores were carried over by incremental rescoring.
+    assert!(
+        outcome.contains("\"rescored_methods\": [\"naive\"]"),
+        "{outcome}"
+    );
+
+    let (status, after) = get(&server, query);
+    assert_eq!(status, 200);
+    assert_ne!(after, before, "patch must invalidate the cached backbone");
+    assert!(text(&after).contains("c\td\t9"), "{}", text(&after));
+
+    // Ground truth: a server that ingested the patched list from scratch
+    // serves byte-identical bytes (the seeded cache is exact, not stale).
+    let fresh = trade_server(1);
+    let patched_list = "a b 5\nb c 4\nc d 9\nd a 3\n";
+    let (status, _) = post(&fresh, "/graphs/delta?direction=undirected", patched_list);
+    assert_eq!(status, 201);
+    let (_, from_scratch) = get(&fresh, query);
+    assert_eq!(
+        after, from_scratch,
+        "incrementally rescored response differs from a from-scratch server"
+    );
+
+    // The seeded slot answers as a cache *hit* — no re-scoring happened.
+    let (hits_before, misses_before) = server.registry().cache_stats();
+    let (status, _) = get(&server, query);
+    assert_eq!(status, 200);
+    assert_eq!(
+        server.registry().cache_stats(),
+        (hits_before + 1, misses_before)
+    );
+
+    // Structural JSON batch: add + remove compacts and invalidates.
+    let json_body = r#"{"ops": [
+        {"op": "add", "source": "a", "target": "e", "weight": 7},
+        {"op": "remove", "source": "c", "target": "d"}
+    ]}"#;
+    let (status, body) = patch(
+        &server,
+        "/graphs/delta",
+        json_body,
+        Some("application/json"),
+    );
+    assert_eq!(status, 200, "{}", text(&body));
+    let outcome = text(&body);
+    assert!(outcome.contains("\"generation\": 2"), "{outcome}");
+    assert!(outcome.contains("\"nodes\": 5"), "{outcome}");
+    assert!(outcome.contains("\"edges\": 4"), "{outcome}");
+    assert!(
+        outcome.contains("\"applied\": { \"added\": 1, \"removed\": 1, \"reweighted\": 0 }"),
+        "{outcome}"
+    );
+    assert!(outcome.contains("\"compacted\": true"), "{outcome}");
+    let (status, info) = get(&server, "/graphs/delta");
+    assert_eq!(status, 200);
+    assert!(text(&info).contains("\"generation\": 2"), "{}", text(&info));
+
+    // The patch counters surface on /metrics, and PATCH keeps its verb label.
+    let (status, body) = get(&server, "/metrics");
+    assert_eq!(status, 200);
+    let metrics = text(&body);
+    assert!(metrics.contains("graph_patches_total 2\n"), "{metrics}");
+    assert!(metrics.contains("graph_patch_ops_total 3\n"), "{metrics}");
+    assert!(metrics.contains("graph_compactions_total 1\n"), "{metrics}");
+    assert!(
+        metrics.contains(
+            "http_requests_total{method=\"PATCH\",route=\"/graphs/{name}\",status=\"200\"} 2\n"
+        ),
+        "{metrics}"
+    );
+    server.shutdown();
+}
+
+/// PATCH negative paths: unknown graphs 404, malformed or inapplicable
+/// deltas 400 with the offending line, oversized deltas a structured
+/// `capacity_exceeded` — never a panic, and never a generation bump.
+#[test]
+fn patch_route_rejects_bad_deltas() {
+    let server = trade_server(1);
+    let (status, body) = patch(&server, "/graphs/absent", "reweight a b 1\n", None);
+    assert_eq!(status, 404, "{}", text(&body));
+
+    let edge_list = "a b 5\nb c 4\n";
+    let (status, _) = post(&server, "/graphs/delta?direction=undirected", edge_list);
+    assert_eq!(status, 201);
+
+    // Malformed / inapplicable TSV deltas: 400 naming the line, nothing
+    // applied (the whole batch is transactional).
+    for (delta, fragment) in [
+        ("add a b heavy\n", "line 1"),
+        ("reweight a b 1\nremove a z\n", "line 2"),
+        ("reweight a b 1\nremove b c\nadd a b 2\n", "line 3"),
+        ("upsert a b 2\n", "unknown op `upsert`"),
+        ("add a c -1\n", "line 1"),
+    ] {
+        let (status, body) = patch(&server, "/graphs/delta", delta, None);
+        assert_eq!(status, 400, "`{delta}`: {}", text(&body));
+        assert!(text(&body).contains(fragment), "`{delta}`: {}", text(&body));
+    }
+    // Malformed JSON deltas: 400 naming the op.
+    let bad_json = r#"{"ops": [{"op": "add", "source": "a", "target": "c"}]}"#;
+    let (status, body) = patch(&server, "/graphs/delta", bad_json, Some("application/json"));
+    assert_eq!(status, 400);
+    assert!(text(&body).contains("op 1"), "{}", text(&body));
+    // Empty batches are rejected, not silently committed.
+    let (status, body) = patch(&server, "/graphs/delta", "# nothing\n", None);
+    assert_eq!(status, 400);
+    assert!(text(&body).contains("empty"), "{}", text(&body));
+
+    // Nothing above moved the generation.
+    let (_, info) = get(&server, "/graphs/delta");
+    assert!(text(&info).contains("\"generation\": 0"), "{}", text(&info));
+    assert_eq!(server.registry().cache_counters().patches, 0);
+
+    // A delta pushing an unlabeled graph past the u32 node range is a
+    // structured 400 the client can match on — the server stays up.
+    let plain = {
+        let mut graph = backboning_graph::WeightedGraph::with_nodes(Direction::Undirected, 3);
+        graph.add_edge(0, 1, 2.0).unwrap();
+        graph.add_edge(1, 2, 1.0).unwrap();
+        CsrGraph::from_graph(&graph).unwrap()
+    };
+    server.registry().insert("plain", plain).unwrap();
+    let (status, body) = patch(&server, "/graphs/plain", "add 0 4294967295 1\n", None);
+    assert_eq!(status, 400);
+    let error = text(&body);
+    assert!(error.contains("\"kind\": \"capacity_exceeded\""), "{error}");
+    assert!(error.contains("\"what\": \"nodes\""), "{error}");
+    assert!(error.contains("\"requested\": 4294967296"), "{error}");
+    let (status, _) = get(&server, "/health");
+    assert_eq!(status, 200, "server survives capacity rejections");
     server.shutdown();
 }
 
